@@ -1,0 +1,75 @@
+// Ablation: multi-rail rendezvous splitting (§4 "multi-rails" strategy,
+// §7 "greedy load-balancing strategies over multiple NICs").
+//
+// Transfers one large block between two nodes connected by BOTH a
+// Myri-10G and a Quadrics rail: pinned to each single rail, then with
+// split_balance striping across the two heterogeneous NICs. Shows the
+// achieved aggregate bandwidth and where splitting stops paying (small
+// bodies are deliberately not split).
+#include <cstdio>
+#include <vector>
+
+#include "nmad/api/session.hpp"
+#include "simnet/profiles.hpp"
+#include "util/buffer.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace nmad;
+
+double transfer_us(const std::string& strategy, size_t bytes,
+                   core::RailIndex pin) {
+  api::ClusterOptions options;
+  options.rails = {simnet::mx_myri10g_profile(),
+                   simnet::elan_quadrics_profile()};
+  options.core.strategy = strategy;
+  api::Cluster cluster(std::move(options));
+  core::Core& a = cluster.core(0);
+  core::Core& b = cluster.core(1);
+
+  std::vector<std::byte> src(bytes), dst(bytes);
+  util::fill_pattern({src.data(), bytes}, 1);
+
+  core::SendHints hints;
+  hints.pinned_rail = pin;
+
+  auto* recv = b.irecv(cluster.gate(1, 0), 1,
+                       util::MutableBytes{dst.data(), bytes});
+  auto* send = a.isend(cluster.gate(0, 1), 1,
+                       core::SourceLayout::contiguous({src.data(), bytes}),
+                       hints);
+  cluster.wait(send);
+  cluster.wait(recv);
+  NMAD_ASSERT(util::check_pattern({dst.data(), bytes}, 1));
+  const double elapsed = cluster.now();
+  a.release(send);
+  b.release(recv);
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  util::Table table({"size", "mx_only_us", "quadrics_only_us", "split_us",
+                     "split_MBps", "speedup_vs_mx"});
+  for (uint64_t size : util::doubling_sizes(64 * 1024, 16u << 20)) {
+    const double t_mx = transfer_us("aggreg", size, 0);
+    const double t_qs = transfer_us("aggreg", size, 1);
+    const double t_split =
+        transfer_us("split_balance", size, core::kAnyRail);
+    table.add_row({util::format_size(size), util::format_fixed(t_mx, 1),
+                   util::format_fixed(t_qs, 1),
+                   util::format_fixed(t_split, 1),
+                   util::format_fixed(static_cast<double>(size) / t_split, 0),
+                   util::format_fixed(t_mx / t_split, 2)});
+  }
+  std::printf("## Multi-rail ablation — one bulk transfer, MX + Quadrics\n");
+  table.print();
+  std::printf(
+      "\nreading: the two rails sum to ~2085 MB/s nominal; splitting\n"
+      "approaches that for large bodies and falls back to a single rail\n"
+      "below the minimum slice size.\n\n");
+  return 0;
+}

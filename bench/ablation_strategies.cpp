@@ -1,0 +1,64 @@
+// Ablation: scheduling strategy comparison (§3.2 — "several optimization
+// tactics may be available").
+//
+// Runs the Figure-3 multi-segment workload through each built-in strategy
+// so the contribution of each optimization is visible in isolation:
+//   default          — no optimization (synchronous library behaviour)
+//   aggreg           — aggregation bounded by the rendezvous threshold
+//   aggreg_extended  — aggregation bounded by the physical packet size
+//   split_balance    — aggreg + multi-rail splitting (1 rail here → same)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace nmad;
+
+void run_case(const std::string& net, int segments) {
+  const std::vector<std::string> strategies = {
+      "default", "aggreg", "aggreg_extended", "split_balance"};
+
+  std::vector<std::string> header = {"seg_size"};
+  for (const auto& s : strategies) header.push_back(s + "_us");
+  header.push_back("aggreg_speedup");
+  util::Table table(header);
+
+  for (uint64_t size : util::doubling_sizes(4, 4096)) {
+    std::vector<std::string> row = {util::format_size(size)};
+    std::vector<double> lats;
+    for (const auto& strat : strategies) {
+      core::CoreConfig config;
+      config.strategy = strat;
+      baseline::MpiStack stack = bench::make_stack("madmpi", net, config);
+      lats.push_back(bench::multiseg_latency_us(stack, segments, size, 10));
+    }
+    for (double lat : lats) row.push_back(util::format_fixed(lat, 2));
+    row.push_back(util::format_fixed(lats[0] / lats[1], 2));
+    table.add_row(std::move(row));
+  }
+
+  std::printf("## Strategy ablation — %d segments over %s\n", segments,
+              net.c_str());
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags;
+  flags.define("net", "mx", "network profile");
+  if (auto st = flags.parse(argc, argv); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    return 2;
+  }
+  run_case(flags.get("net"), 8);
+  run_case(flags.get("net"), 16);
+  return 0;
+}

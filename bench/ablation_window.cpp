@@ -1,0 +1,93 @@
+// Ablation: the optimization window (§3.1).
+//
+// Submits bursts of N small messages and reports how many physical
+// packets the engine actually emitted and the per-message cost. Because
+// election is just-in-time (the window drains whenever the NIC goes
+// idle), a burst collapses to very few packets: the first message ships
+// alone while the rest accumulate behind the busy NIC.
+#include <cstdio>
+#include <vector>
+
+#include "nmad/api/session.hpp"
+#include "util/buffer.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace nmad;
+
+struct BurstResult {
+  double total_us;
+  uint64_t packets;
+  uint64_t prebuilt;
+  uint64_t max_window;
+};
+
+BurstResult run_burst(int messages, size_t msg_bytes,
+                      const std::string& strategy,
+                      size_t prebuild_backlog = 0) {
+  api::ClusterOptions options;
+  options.core.strategy = strategy;
+  options.core.prebuild_backlog_chunks = prebuild_backlog;
+  api::Cluster cluster(std::move(options));
+  core::Core& a = cluster.core(0);
+  core::Core& b = cluster.core(1);
+
+  std::vector<std::vector<std::byte>> bufs(messages);
+  std::vector<core::Request*> reqs;
+  for (int i = 0; i < messages; ++i) {
+    bufs[i].resize(msg_bytes);
+    reqs.push_back(b.irecv(cluster.gate(1, 0), core::Tag(i),
+                           {bufs[i].data(), msg_bytes}));
+  }
+  std::vector<std::byte> payload(msg_bytes);
+  uint64_t max_window = 0;
+  for (int i = 0; i < messages; ++i) {
+    reqs.push_back(a.isend(cluster.gate(0, 1), core::Tag(i),
+                           util::ConstBytes{payload.data(), msg_bytes}));
+    max_window = std::max<uint64_t>(max_window,
+                                    a.window_size(cluster.gate(0, 1)));
+  }
+  cluster.wait_all(reqs);
+  BurstResult r{cluster.now(), a.stats().packets_sent,
+                a.stats().packets_prebuilt, max_window};
+  for (auto* req : reqs) {
+    (req->kind() == core::Request::Kind::kSend ? a : b).release(req);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  util::Table table({"burst", "policy", "packets", "prebuilt", "max_window",
+                     "total_us", "us_per_msg"});
+  for (int burst : {1, 2, 4, 8, 16, 32, 64}) {
+    struct Policy {
+      const char* label;
+      const char* strategy;
+      size_t prebuild;
+    };
+    for (const Policy& p :
+         {Policy{"default", "default", 0}, Policy{"aggreg-jit", "aggreg", 0},
+          Policy{"aggreg-prearm", "aggreg", 2}}) {
+      const BurstResult r = run_burst(burst, 64, p.strategy, p.prebuild);
+      table.add_row({std::to_string(burst), p.label,
+                     std::to_string(r.packets), std::to_string(r.prebuilt),
+                     std::to_string(r.max_window),
+                     util::format_fixed(r.total_us, 2),
+                     util::format_fixed(r.total_us / burst, 2)});
+    }
+  }
+  std::printf("## Window ablation — burst of 64-byte messages, MX rail\n");
+  table.print();
+  std::printf(
+      "\nreading: with `aggreg`, packets grows like O(1)..O(burst/limit)\n"
+      "while `default` emits one packet per message; max_window shows the\n"
+      "backlog that just-in-time election found when the NIC went idle.\n"
+      "`aggreg-prearm` is the §3.2 alternative policy: elections run early\n"
+      "while the NIC is busy (the prebuilt column), trading aggregation\n"
+      "opportunity for zero election cost on the idle path.\n\n");
+  return 0;
+}

@@ -1,0 +1,187 @@
+#include "bench/common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/buffer.hpp"
+
+namespace nmad::bench {
+namespace {
+
+using baseline::MpiStack;
+using mpi::Comm;
+using mpi::Datatype;
+using mpi::Endpoint;
+using mpi::kCommWorld;
+
+// One ping-pong round trip: A sends `size` bytes to B, B echoes. Returns
+// nothing; the caller reads the virtual clock around it.
+void one_roundtrip(MpiStack& stack, std::byte* a_buf, std::byte* b_buf,
+                   size_t size) {
+  Endpoint& a = stack.ep(0);
+  Endpoint& b = stack.ep(1);
+  const Datatype byte = Datatype::byte_type();
+  const int n = static_cast<int>(size);
+
+  auto* ra = a.irecv(a_buf, n, byte, 1, 2, kCommWorld);
+  auto* rb = b.irecv(b_buf, n, byte, 0, 1, kCommWorld);
+  auto* sa = a.isend(a_buf, n, byte, 1, 1, kCommWorld);
+  b.wait(rb);
+  // B turns the message around the moment its receive completes.
+  auto* sb = b.isend(b_buf, n, byte, 0, 2, kCommWorld);
+  a.wait(ra);
+  a.wait(sa);
+  b.wait(sb);
+  a.free_request(ra);
+  a.free_request(sa);
+  b.free_request(rb);
+  b.free_request(sb);
+}
+
+}  // namespace
+
+double pingpong_latency_us(MpiStack& stack, size_t size, int iters,
+                           int warmup) {
+  std::vector<std::byte> a_buf(size == 0 ? 1 : size);
+  std::vector<std::byte> b_buf(a_buf.size());
+  util::fill_pattern({a_buf.data(), size}, 17);
+
+  for (int i = 0; i < warmup; ++i) {
+    one_roundtrip(stack, a_buf.data(), b_buf.data(), size);
+  }
+  const double t0 = stack.now_us();
+  for (int i = 0; i < iters; ++i) {
+    one_roundtrip(stack, a_buf.data(), b_buf.data(), size);
+  }
+  const double rtt = (stack.now_us() - t0) / iters;
+  return rtt / 2.0;
+}
+
+double pingpong_bandwidth_mbps(MpiStack& stack, size_t size, int iters,
+                               int warmup) {
+  const double oneway_us = pingpong_latency_us(stack, size, iters, warmup);
+  return static_cast<double>(size) / oneway_us;  // bytes/µs == MB/s
+}
+
+double multiseg_latency_us(MpiStack& stack, int segments, size_t seg_size,
+                           int iters, int warmup) {
+  Endpoint& a = stack.ep(0);
+  Endpoint& b = stack.ep(1);
+  const Datatype byte = Datatype::byte_type();
+  const int n = static_cast<int>(seg_size);
+
+  // One communicator per segment, duplicated identically on both sides —
+  // the paper's proof that MAD-MPI optimizes across communicators.
+  std::vector<Comm> comms_a, comms_b;
+  for (int s = 0; s < segments; ++s) {
+    comms_a.push_back(a.comm_dup(kCommWorld));
+    comms_b.push_back(b.comm_dup(kCommWorld));
+  }
+
+  std::vector<std::vector<std::byte>> a_bufs(segments), b_bufs(segments);
+  for (int s = 0; s < segments; ++s) {
+    a_bufs[s].resize(seg_size);
+    b_bufs[s].resize(seg_size);
+    util::fill_pattern({a_bufs[s].data(), seg_size}, 100 + s);
+  }
+
+  auto roundtrip = [&]() {
+    std::vector<mpi::Request*> reqs;
+    std::vector<mpi::Request*> b_recvs;
+    // Pre-post everything receivable, then fire the pings.
+    for (int s = 0; s < segments; ++s) {
+      reqs.push_back(a.irecv(a_bufs[s].data(), n, byte, 1, 2, comms_a[s]));
+      b_recvs.push_back(
+          b.irecv(b_bufs[s].data(), n, byte, 0, 1, comms_b[s]));
+    }
+    for (int s = 0; s < segments; ++s) {
+      reqs.push_back(a.isend(a_bufs[s].data(), n, byte, 1, 1, comms_a[s]));
+    }
+    for (auto* r : b_recvs) b.wait(r);
+    // The full series has landed; B mirrors it back.
+    for (int s = 0; s < segments; ++s) {
+      reqs.push_back(b.isend(b_bufs[s].data(), n, byte, 0, 2, comms_b[s]));
+    }
+    for (auto* r : reqs) a.wait(r);  // wait() pumps the shared world
+    for (auto* r : b_recvs) b.free_request(r);
+    for (auto* r : reqs) a.free_request(r);
+  };
+
+  for (int i = 0; i < warmup; ++i) roundtrip();
+  const double t0 = stack.now_us();
+  for (int i = 0; i < iters; ++i) roundtrip();
+  return (stack.now_us() - t0) / iters / 2.0;
+}
+
+double datatype_transfer_us(MpiStack& stack, int count, size_t small_block,
+                            size_t large_block, int iters, int warmup) {
+  Endpoint& a = stack.ep(0);
+  Endpoint& b = stack.ep(1);
+
+  // One element: [small][gap][large], exactly the §5.3 shape. The gap
+  // makes the type genuinely non-contiguous.
+  const size_t gap = 512;
+  const std::vector<int> lens = {static_cast<int>(small_block),
+                                 static_cast<int>(large_block)};
+  const std::vector<ptrdiff_t> displs = {
+      0, static_cast<ptrdiff_t>(small_block + gap)};
+  const mpi::Datatype element =
+      mpi::Datatype::hindexed(lens, displs, mpi::Datatype::byte_type());
+
+  const size_t footprint =
+      static_cast<size_t>(element.extent()) * static_cast<size_t>(count);
+  std::vector<std::byte> a_buf(footprint), b_buf(footprint);
+  util::fill_pattern({a_buf.data(), footprint}, 5);
+
+  auto roundtrip = [&]() {
+    auto* ra = a.irecv(a_buf.data(), count, element, 1, 2, kCommWorld);
+    auto* rb = b.irecv(b_buf.data(), count, element, 0, 1, kCommWorld);
+    auto* sa = a.isend(a_buf.data(), count, element, 1, 1, kCommWorld);
+    b.wait(rb);
+    auto* sb = b.isend(b_buf.data(), count, element, 0, 2, kCommWorld);
+    a.wait(ra);
+    a.wait(sa);
+    b.wait(sb);
+    a.free_request(ra);
+    a.free_request(sa);
+    b.free_request(rb);
+    b.free_request(sb);
+  };
+
+  for (int i = 0; i < warmup; ++i) roundtrip();
+  const double t0 = stack.now_us();
+  for (int i = 0; i < iters; ++i) roundtrip();
+  return (stack.now_us() - t0) / iters / 2.0;
+}
+
+baseline::MpiStack make_stack(const std::string& impl,
+                              const std::string& net,
+                              const core::CoreConfig& core_config) {
+  baseline::StackOptions options;
+  if (!baseline::stack_impl_from_name(impl, &options.impl)) {
+    std::fprintf(stderr, "unknown MPI implementation: %s\n", impl.c_str());
+    std::exit(2);
+  }
+  if (!simnet::nic_profile_by_name(net, &options.nic)) {
+    std::fprintf(stderr, "unknown network: %s\n", net.c_str());
+    std::exit(2);
+  }
+  options.core = core_config;
+  return baseline::MpiStack(std::move(options));
+}
+
+std::vector<std::string> impls_for_net(const std::string& net) {
+  // The paper runs MadMPI/MPICH/OpenMPI over MX, and MadMPI/MPICH over
+  // Quadrics (no OpenMPI-Quadrics port existed).
+  if (net == "mx" || net == "myri10g" || net == "mx-myri10g") {
+    return {"madmpi", "mpich", "openmpi"};
+  }
+  return {"madmpi", "mpich"};
+}
+
+double gain_percent(double ours_us, double theirs_us) {
+  if (theirs_us <= 0.0) return 0.0;
+  return (theirs_us - ours_us) / theirs_us * 100.0;
+}
+
+}  // namespace nmad::bench

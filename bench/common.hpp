@@ -1,0 +1,50 @@
+// Shared benchmark runners for the paper-figure reproductions.
+//
+// All timings are virtual microseconds read off the simulated clock, so
+// results are exactly reproducible run-to-run and machine-to-machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baseline/stack.hpp"
+#include "util/table.hpp"
+
+namespace nmad::bench {
+
+// One-way latency (µs) of a standard single-segment ping-pong of `size`
+// bytes, averaged over `iters` round trips after `warmup` rounds.
+double pingpong_latency_us(baseline::MpiStack& stack, size_t size,
+                           int iters = 20, int warmup = 3);
+
+// Bandwidth in MB/s derived from the same ping-pong.
+double pingpong_bandwidth_mbps(baseline::MpiStack& stack, size_t size,
+                               int iters = 20, int warmup = 3);
+
+// One-way latency (µs) of a multi-segment ping-pong: `segments`
+// independent isend operations of `seg_size` bytes each, every segment on
+// its own communicator (§5.2). The reply mirrors the request.
+double multiseg_latency_us(baseline::MpiStack& stack, int segments,
+                           size_t seg_size, int iters = 20, int warmup = 3);
+
+// One-way transfer time (µs) of a ping-pong exchanging `count` elements of
+// the paper's indexed datatype: a 64-byte block and a 256 KB block,
+// separated by a gap (§5.3).
+double datatype_transfer_us(baseline::MpiStack& stack, int count,
+                            size_t small_block = 64,
+                            size_t large_block = 256 * 1024, int iters = 5,
+                            int warmup = 1);
+
+// Builds a fresh stack for (impl name, net name); aborts on bad names.
+baseline::MpiStack make_stack(const std::string& impl,
+                              const std::string& net,
+                              const core::CoreConfig& core_config = {});
+
+// Which implementations the paper compares on each network.
+std::vector<std::string> impls_for_net(const std::string& net);
+
+// Percentage gain of `ours` over `theirs` (positive = ours faster).
+double gain_percent(double ours_us, double theirs_us);
+
+}  // namespace nmad::bench

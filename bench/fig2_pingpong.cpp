@@ -1,0 +1,99 @@
+// Figure 2 — "Raw point-to-point ping-pong": latency and bandwidth of a
+// single-segment ping-pong, 4 B – 2 MB, MAD-MPI vs MPICH vs OpenMPI over
+// MX/Myri-10G (2a, 2b) and MAD-MPI vs MPICH over Elan/Quadrics (2c, 2d).
+#include <cstdio>
+#include <string>
+
+#include "bench/common.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace nmad;
+
+void run_network(const std::string& net, uint64_t min_size,
+                 uint64_t max_size, bool csv, bool plot) {
+  const std::vector<std::string> impls = bench::impls_for_net(net);
+
+  std::vector<std::string> header = {"size"};
+  for (const std::string& impl : impls) header.push_back(impl + "_lat_us");
+  for (const std::string& impl : impls) header.push_back(impl + "_bw_MBps");
+  util::Table table(header);
+
+  std::vector<std::vector<std::pair<double, double>>> lat_series(
+      impls.size());
+  std::vector<std::vector<std::pair<double, double>>> bw_series(
+      impls.size());
+  for (uint64_t size : util::doubling_sizes(min_size, max_size)) {
+    std::vector<std::string> row = {util::format_size(size)};
+    std::vector<double> lats;
+    for (const std::string& impl : impls) {
+      baseline::MpiStack stack = bench::make_stack(impl, net);
+      lats.push_back(bench::pingpong_latency_us(stack, size));
+    }
+    for (size_t i = 0; i < lats.size(); ++i) {
+      row.push_back(util::format_fixed(lats[i], 2));
+      lat_series[i].emplace_back(static_cast<double>(size), lats[i]);
+      bw_series[i].emplace_back(static_cast<double>(size),
+                                static_cast<double>(size) / lats[i]);
+    }
+    for (double lat : lats) {
+      row.push_back(util::format_fixed(static_cast<double>(size) / lat, 1));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::printf("## Figure 2 — raw ping-pong over %s\n", net.c_str());
+  if (csv) {
+    table.print_csv(stdout);
+  } else {
+    table.print();
+  }
+  if (plot) {
+    const char markers[] = {'m', 'p', 'o'};
+    util::AsciiPlot lat_plot("latency (µs) vs message size — " + net);
+    util::AsciiPlot bw_plot("bandwidth (MB/s) vs message size — " + net);
+    for (size_t i = 0; i < impls.size(); ++i) {
+      lat_plot.add_series(impls[i], markers[i % 3], lat_series[i]);
+      bw_plot.add_series(impls[i], markers[i % 3], bw_series[i]);
+    }
+    std::printf("\n");
+    lat_plot.render();
+    std::printf("\n");
+    bw_plot.render();
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags;
+  flags.define("net", "all", "network: mx, quadrics, or all");
+  flags.define("min", "4", "smallest message size");
+  flags.define("max", "2M", "largest message size");
+  flags.define_bool("csv", false, "emit CSV instead of a table");
+  flags.define_bool("plot", false, "render ASCII log-log figures");
+  if (auto st = flags.parse(argc, argv); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    flags.print_help(argv[0]);
+    return 2;
+  }
+
+  const std::string net = flags.get("net");
+  const uint64_t min_size = flags.get_size("min");
+  const uint64_t max_size = flags.get_size("max");
+  const bool csv = flags.get_bool("csv");
+  const bool plot = flags.get_bool("plot");
+
+  if (net == "all") {
+    run_network("mx", min_size, max_size, csv, plot);
+    run_network("quadrics", min_size, max_size, csv, plot);
+  } else {
+    run_network(net, min_size, max_size, csv, plot);
+  }
+  return 0;
+}

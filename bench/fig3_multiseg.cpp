@@ -1,0 +1,85 @@
+// Figure 3 — "Performance of a ping-pong program featuring multi-segments
+// messages": 8- and 16-segment series of independent isends on separate
+// communicators, per-segment size 4 B – 16 KB (MX) / 8 KB (Quadrics).
+// Also prints the §5.2 headline gains (up to ~70 % over MX, ~50 % over
+// Quadrics).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench/common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace nmad;
+
+void run_case(const std::string& net, int segments, uint64_t min_size,
+              uint64_t max_size, bool csv, double* best_gain) {
+  const std::vector<std::string> impls = bench::impls_for_net(net);
+
+  std::vector<std::string> header = {"seg_size"};
+  for (const std::string& impl : impls) header.push_back(impl + "_lat_us");
+  header.push_back("gain_vs_best_%");
+  util::Table table(header);
+
+  for (uint64_t size : util::doubling_sizes(min_size, max_size)) {
+    std::vector<std::string> row = {util::format_size(size)};
+    std::vector<double> lats;
+    for (const std::string& impl : impls) {
+      baseline::MpiStack stack = bench::make_stack(impl, net);
+      lats.push_back(bench::multiseg_latency_us(stack, segments, size));
+    }
+    for (double lat : lats) row.push_back(util::format_fixed(lat, 2));
+    // Gain of MAD-MPI (index 0) over the best competitor.
+    const double best_other = *std::min_element(lats.begin() + 1, lats.end());
+    const double gain = bench::gain_percent(lats[0], best_other);
+    *best_gain = std::max(*best_gain, gain);
+    row.push_back(util::format_fixed(gain, 1));
+    table.add_row(std::move(row));
+  }
+
+  std::printf("## Figure 3 — %d-segment ping-pong over %s\n", segments,
+              net.c_str());
+  if (csv) {
+    table.print_csv(stdout);
+  } else {
+    table.print();
+  }
+  std::printf("\n");
+}
+
+void run_network(const std::string& net, bool csv) {
+  const uint64_t max_size = net == "quadrics" ? 8 * 1024 : 16 * 1024;
+  double best_gain = 0.0;
+  run_case(net, 8, 4, max_size, csv, &best_gain);
+  run_case(net, 16, 4, max_size, csv, &best_gain);
+  std::printf("§5.2 headline: MAD-MPI is up to %.0f%% faster than the best "
+              "competing MPI over %s (paper: up to %s)\n\n",
+              best_gain, net.c_str(),
+              net == "quadrics" ? "50%" : "70%");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags;
+  flags.define("net", "all", "network: mx, quadrics, or all");
+  flags.define_bool("csv", false, "emit CSV instead of a table");
+  if (auto st = flags.parse(argc, argv); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    flags.print_help(argv[0]);
+    return 2;
+  }
+  const std::string net = flags.get("net");
+  const bool csv = flags.get_bool("csv");
+  if (net == "all") {
+    run_network("mx", csv);
+    run_network("quadrics", csv);
+  } else {
+    run_network(net, csv);
+  }
+  return 0;
+}

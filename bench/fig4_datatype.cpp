@@ -1,0 +1,88 @@
+// Figure 4 — "Indexed datatype": ping-pong exchanging arrays of an indexed
+// datatype made of a 64-byte block followed by a 256 KB block, total data
+// 256 KB – 2 MB. MAD-MPI sends each block as its own engine request (small
+// blocks aggregate with the rendezvous control of the large blocks, large
+// blocks land zero-copy); the baselines pack/unpack through contiguous
+// bounce buffers. Prints the §5.3 headline gains (~70 % vs MPICH, ~50 % vs
+// OpenMPI over MX; ~70 % vs MPICH over Quadrics).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench/common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace nmad;
+
+constexpr size_t kSmall = 64;
+constexpr size_t kLarge = 256 * 1024;
+
+void run_network(const std::string& net, bool csv) {
+  const std::vector<std::string> impls = bench::impls_for_net(net);
+
+  std::vector<std::string> header = {"total_size", "elements"};
+  for (const std::string& impl : impls) header.push_back(impl + "_us");
+  for (size_t i = 1; i < impls.size(); ++i) {
+    header.push_back("gain_vs_" + impls[i] + "_%");
+  }
+  util::Table table(header);
+
+  std::vector<double> max_gains(impls.size(), 0.0);
+  for (int count = 1; count <= 8; count *= 2) {
+    const size_t total = static_cast<size_t>(count) * (kSmall + kLarge);
+    std::vector<std::string> row = {util::format_size(total),
+                                    std::to_string(count)};
+    std::vector<double> times;
+    for (const std::string& impl : impls) {
+      baseline::MpiStack stack = bench::make_stack(impl, net);
+      times.push_back(
+          bench::datatype_transfer_us(stack, count, kSmall, kLarge));
+    }
+    for (double t : times) row.push_back(util::format_fixed(t, 1));
+    for (size_t i = 1; i < impls.size(); ++i) {
+      const double gain = bench::gain_percent(times[0], times[i]);
+      max_gains[i] = std::max(max_gains[i], gain);
+      row.push_back(util::format_fixed(gain, 1));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::printf("## Figure 4 — indexed datatype (64B + 256KB blocks) over %s\n",
+              net.c_str());
+  if (csv) {
+    table.print_csv(stdout);
+  } else {
+    table.print();
+  }
+  for (size_t i = 1; i < impls.size(); ++i) {
+    std::printf("§5.3 headline: MAD-MPI gains up to %.0f%% vs %s over %s\n",
+                max_gains[i], impls[i].c_str(), net.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags;
+  flags.define("net", "all", "network: mx, quadrics, or all");
+  flags.define_bool("csv", false, "emit CSV instead of a table");
+  if (auto st = flags.parse(argc, argv); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    flags.print_help(argv[0]);
+    return 2;
+  }
+  const std::string net = flags.get("net");
+  const bool csv = flags.get_bool("csv");
+  if (net == "all") {
+    run_network("mx", csv);
+    run_network("quadrics", csv);
+  } else {
+    run_network(net, csv);
+  }
+  return 0;
+}

@@ -1,0 +1,187 @@
+// Engine micro-costs in REAL host nanoseconds (google-benchmark).
+//
+// Everything else in bench/ reports virtual simulated time; this binary
+// measures the actual CPU cost of the engine's hot-path primitives —
+// window operations, packet building, wire parsing, strategy election,
+// layout scatter, datatype flattening — the code a production port would
+// run on the critical path.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "madmpi/datatype.hpp"
+#include "nmad/api/session.hpp"
+#include "nmad/core/packet_builder.hpp"
+#include "nmad/core/strategy.hpp"
+#include "nmad/core/wire_format.hpp"
+#include "nmad/strategies/builtin.hpp"
+#include "util/buffer.hpp"
+#include "util/intrusive_list.hpp"
+#include "util/pool.hpp"
+
+namespace {
+
+using namespace nmad;
+using core::ChunkKind;
+using core::OutChunk;
+
+void BM_WindowPushPop(benchmark::State& state) {
+  util::IntrusiveList<OutChunk, &OutChunk::hook> window;
+  std::vector<OutChunk> chunks(64);
+  for (auto _ : state) {
+    for (auto& c : chunks) window.push_back(c);
+    while (!window.empty()) benchmark::DoNotOptimize(&window.pop_front());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_WindowPushPop);
+
+void BM_ChunkPoolCycle(benchmark::State& state) {
+  util::ObjectPool<OutChunk> pool(128);
+  for (auto _ : state) {
+    OutChunk* c = pool.acquire();
+    benchmark::DoNotOptimize(c);
+    pool.release(c);
+  }
+}
+BENCHMARK(BM_ChunkPoolCycle);
+
+void BM_PacketBuild(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  std::vector<std::byte> payload(256);
+  std::vector<OutChunk> chunks(n);
+  for (size_t i = 0; i < n; ++i) {
+    chunks[i].kind = ChunkKind::kData;
+    chunks[i].tag = i;
+    chunks[i].seq = 0;
+    chunks[i].total = 256;
+    chunks[i].payload = {payload.data(), payload.size()};
+  }
+  for (auto _ : state) {
+    core::PacketBuilder builder(64 * 1024, 0);
+    for (auto& c : chunks) builder.add(&c);
+    benchmark::DoNotOptimize(builder.finalize());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PacketBuild)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_PacketDecode(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  std::vector<std::byte> payload(256);
+  util::ByteBuffer packet;
+  util::WireWriter w(packet);
+  core::encode_packet_header(w, static_cast<uint16_t>(n));
+  for (size_t i = 0; i < n; ++i) {
+    core::encode_data_header(w, 0, i, 0, 256);
+    w.bytes(payload.data(), payload.size());
+  }
+  for (auto _ : state) {
+    size_t seen = 0;
+    auto st = core::decode_packet(packet.view(),
+                                  [&](const core::WireChunk& c) {
+                                    benchmark::DoNotOptimize(&c);
+                                    ++seen;
+                                  });
+    benchmark::DoNotOptimize(st);
+    benchmark::DoNotOptimize(seen);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PacketDecode)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_StrategyElection(benchmark::State& state) {
+  // Cost of one just-in-time election over a populated window — the
+  // §5.1 "extra operations on the critical path".
+  const auto n = static_cast<size_t>(state.range(0));
+  api::Cluster cluster;
+  core::Core& a = cluster.core(0);
+  core::Gate& gate = a.gate(cluster.gate(0, 1));
+  auto strategy = core::make_strategy("aggreg");
+  std::vector<std::byte> payload(128);
+  std::vector<OutChunk> chunks(n);
+  for (size_t i = 0; i < n; ++i) {
+    chunks[i].kind = ChunkKind::kData;
+    chunks[i].tag = i;
+    chunks[i].total = 128;
+    chunks[i].payload = {payload.data(), payload.size()};
+  }
+  for (auto _ : state) {
+    for (auto& c : chunks) gate.window.push_back(c);
+    core::PacketBuilder builder(32 * 1024, 0);
+    benchmark::DoNotOptimize(
+        strategy->pack(a, gate, a.rail_info(0), builder));
+    gate.window.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StrategyElection)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_LayoutScatter(benchmark::State& state) {
+  const auto block = static_cast<size_t>(state.range(0));
+  const size_t total = 64 * 1024;
+  std::vector<std::byte> storage(total * 2);
+  std::vector<core::DestLayout::Block> blocks;
+  for (size_t off = 0; off < total; off += block) {
+    blocks.push_back({off, {storage.data() + 2 * off, block}});
+  }
+  core::DestLayout layout = core::DestLayout::scattered(std::move(blocks));
+  std::vector<std::byte> src(total);
+  for (auto _ : state) {
+    layout.scatter(0, {src.data(), total});
+  }
+  state.SetBytesProcessed(state.iterations() * total);
+}
+BENCHMARK(BM_LayoutScatter)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_DatatypeFlatten(benchmark::State& state) {
+  const auto blocks = static_cast<int>(state.range(0));
+  std::vector<int> lens(blocks, 64);
+  std::vector<ptrdiff_t> displs(blocks);
+  for (int i = 0; i < blocks; ++i) displs[i] = i * 128;
+  for (auto _ : state) {
+    auto t = mpi::Datatype::hindexed(lens, displs,
+                                     mpi::Datatype::byte_type());
+    benchmark::DoNotOptimize(t.blocks().data());
+  }
+}
+BENCHMARK(BM_DatatypeFlatten)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_SourceLayoutFromDatatype(benchmark::State& state) {
+  const auto count = static_cast<int>(state.range(0));
+  const std::vector<int> lens = {64, 4096};
+  const std::vector<ptrdiff_t> displs = {0, 128};
+  const auto t =
+      mpi::Datatype::hindexed(lens, displs, mpi::Datatype::byte_type());
+  std::vector<std::byte> buf(static_cast<size_t>(t.extent()) * count);
+  for (auto _ : state) {
+    auto layout = t.source_layout(buf.data(), count);
+    benchmark::DoNotOptimize(layout.total());
+  }
+}
+BENCHMARK(BM_SourceLayoutFromDatatype)->Arg(1)->Arg(16);
+
+// Whole-stack virtual ping-pong per real-CPU cost: how much host time one
+// simulated round trip burns (simulator efficiency, not protocol time).
+void BM_SimulatedRoundTrip(benchmark::State& state) {
+  api::Cluster cluster;
+  core::Core& a = cluster.core(0);
+  core::Core& b = cluster.core(1);
+  std::vector<std::byte> out(1024), in(1024);
+  core::Tag tag = 0;
+  for (auto _ : state) {
+    auto* r = b.irecv(cluster.gate(1, 0), tag, {in.data(), in.size()});
+    auto* s = a.isend(cluster.gate(0, 1), tag,
+                      util::ConstBytes{out.data(), out.size()});
+    cluster.wait(r);
+    cluster.wait(s);
+    a.release(s);
+    b.release(r);
+    ++tag;
+  }
+}
+BENCHMARK(BM_SimulatedRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

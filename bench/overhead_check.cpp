@@ -1,0 +1,77 @@
+// §5.1 headline check — "MAD-MPI introduces a constant overhead of less
+// than 0.5 µs and reaches 1155 MB/s in bandwidth over MYRI-10G and
+// 835 MB/s over QUADRICS."
+//
+// Prints the small-message latency overhead of MAD-MPI versus MPICH on
+// both networks (it must be a small, roughly size-independent constant in
+// the eager range) and the peak bandwidths at 2 MB.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace nmad;
+
+void run_network(const std::string& net) {
+  util::Table table({"size", "madmpi_us", "mpich_us", "overhead_us"});
+  double min_ovh = 1e9, max_ovh = -1e9;
+  for (uint64_t size : util::doubling_sizes(4, 4096)) {
+    baseline::MpiStack mad = bench::make_stack("madmpi", net);
+    baseline::MpiStack mpich = bench::make_stack("mpich", net);
+    const double lat_mad = bench::pingpong_latency_us(mad, size);
+    const double lat_mpich = bench::pingpong_latency_us(mpich, size);
+    const double ovh = lat_mad - lat_mpich;
+    min_ovh = std::min(min_ovh, ovh);
+    max_ovh = std::max(max_ovh, ovh);
+    table.add_row({util::format_size(size), util::format_fixed(lat_mad, 2),
+                   util::format_fixed(lat_mpich, 2),
+                   util::format_fixed(ovh, 2)});
+  }
+
+  baseline::MpiStack mad = bench::make_stack("madmpi", net);
+  const double peak_bw = bench::pingpong_bandwidth_mbps(mad, 2 << 20);
+
+  std::printf("## §5.1 — MAD-MPI overhead over %s\n", net.c_str());
+  table.print();
+  std::printf(
+      "overhead range: [%.2f, %.2f] µs (paper: constant, < 0.5 µs)\n",
+      min_ovh, max_ovh);
+  std::printf("MAD-MPI peak bandwidth at 2M: %.0f MB/s (paper: %s MB/s)\n\n",
+              peak_bw, net == "quadrics" ? "835" : "1155");
+}
+
+}  // namespace
+
+void run_checksum_cost() {
+  // Cost of the optional wire checksum (a debug feature, not part of the
+  // paper's protocol): latency delta with checksums on.
+  util::Table table({"size", "plain_us", "checksum_us", "delta_us"});
+  for (uint64_t size : {uint64_t{4}, uint64_t{1024}, uint64_t{16384}}) {
+    baseline::MpiStack plain = bench::make_stack("madmpi", "mx");
+    core::CoreConfig with_checksum;
+    with_checksum.wire_checksum = true;
+    baseline::MpiStack checked =
+        bench::make_stack("madmpi", "mx", with_checksum);
+    const double t_plain = bench::pingpong_latency_us(plain, size);
+    const double t_checked = bench::pingpong_latency_us(checked, size);
+    table.add_row({util::format_size(size),
+                   util::format_fixed(t_plain, 2),
+                   util::format_fixed(t_checked, 2),
+                   util::format_fixed(t_checked - t_plain, 2)});
+  }
+  std::printf("## Extra — wire-checksum cost (debug feature)\n");
+  table.print();
+  std::printf("\n");
+}
+
+int main() {
+  run_network("mx");
+  run_network("quadrics");
+  run_checksum_cost();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Multi-rail bulk transfer: the paper's split_balance strategy (§4, §7).
+//
+// Moves an 8 MB block between two nodes that are connected by BOTH a
+// Myri-10G rail and a Quadrics rail, first over each single rail, then
+// with the split_balance strategy striping the rendezvous body across the
+// two heterogeneous NICs proportionally to their bandwidth.
+//
+//   $ ./multirail_transfer
+#include <cstdio>
+#include <vector>
+
+#include "nmad/api/session.hpp"
+#include "simnet/profiles.hpp"
+#include "util/buffer.hpp"
+
+namespace {
+
+using namespace nmad;
+
+constexpr size_t kBytes = 8u << 20;
+
+struct Result {
+  double us;
+  uint64_t rail0_bytes;
+  uint64_t rail1_bytes;
+};
+
+Result run(const std::string& strategy,
+           std::vector<core::RailIndex> rails_to_use) {
+  api::ClusterOptions options;
+  options.rails = {simnet::mx_myri10g_profile(),
+                   simnet::elan_quadrics_profile()};
+  options.core.strategy = strategy;
+  api::Cluster cluster(std::move(options));
+
+  // Open a dedicated second gate restricted to the requested rails? The
+  // default gate uses all rails; rail restriction is expressed per-message
+  // through pinning instead.
+  core::Core& a = cluster.core(0);
+  core::Core& b = cluster.core(1);
+
+  std::vector<std::byte> src(kBytes), dst(kBytes);
+  util::fill_pattern({src.data(), kBytes}, 1);
+
+  core::SendHints hints;
+  if (rails_to_use.size() == 1) hints.pinned_rail = rails_to_use[0];
+
+  auto* recv = b.irecv(cluster.gate(1, 0), 1,
+                       util::MutableBytes{dst.data(), kBytes});
+  auto* send = a.isend(cluster.gate(0, 1), 1,
+                       core::SourceLayout::contiguous({src.data(), kBytes}),
+                       hints);
+  const double t0 = cluster.now();
+  cluster.wait(send);
+  cluster.wait(recv);
+  const double elapsed = cluster.now() - t0;
+
+  if (!util::check_pattern({dst.data(), kBytes}, 1)) {
+    std::fprintf(stderr, "payload corrupt!\n");
+    std::exit(1);
+  }
+  Result r{elapsed,
+           cluster.fabric().node(0).nic(0).counters().bytes_sent,
+           cluster.fabric().node(0).nic(1).counters().bytes_sent};
+  a.release(send);
+  b.release(recv);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("transferring %zu MB between two nodes...\n\n", kBytes >> 20);
+
+  const Result mx = run("aggreg", {0});
+  std::printf("mx only        : %8.1f µs  (%.0f MB/s)\n", mx.us,
+              static_cast<double>(kBytes) / mx.us);
+
+  const Result quadrics = run("aggreg", {1});
+  std::printf("quadrics only  : %8.1f µs  (%.0f MB/s)\n", quadrics.us,
+              static_cast<double>(kBytes) / quadrics.us);
+
+  const Result both = run("split_balance", {});
+  std::printf("split_balance  : %8.1f µs  (%.0f MB/s)\n", both.us,
+              static_cast<double>(kBytes) / both.us);
+  std::printf("  rail traffic : mx %.1f MB, quadrics %.1f MB\n",
+              both.rail0_bytes / 1048576.0, both.rail1_bytes / 1048576.0);
+
+  const double speedup = mx.us / both.us;
+  std::printf("\nspeedup over the fastest single rail: %.2fx\n", speedup);
+  // Two rails must genuinely help (ideal would be ~1.7x for these NICs).
+  return speedup > 1.2 ? 0 : 1;
+}

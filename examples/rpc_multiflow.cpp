@@ -1,0 +1,112 @@
+// RPC over NewMadeleine: the multi-flow, dependency-aware workload the
+// paper's introduction motivates (§2).
+//
+// A client issues several concurrent remote calls. Each call is one nmad
+// message of two pieces: a small service descriptor (sent with HIGH
+// priority — the receiver needs it early "for preparing the data areas to
+// receive the service arguments") and a large argument blob. The engine
+// aggregates descriptors from *different* calls into shared packets and
+// moves big argument blobs through zero-copy rendezvous.
+//
+//   $ ./rpc_multiflow
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "nmad/api/pack.hpp"
+#include "nmad/api/session.hpp"
+#include "util/buffer.hpp"
+
+namespace {
+
+using namespace nmad;
+
+constexpr int kCalls = 6;
+constexpr core::Tag kDescriptorTag = 100;  // + call id
+constexpr core::Tag kArgsTag = 200;        // + call id
+
+struct Descriptor {
+  uint32_t service = 0;
+  uint32_t args_len = 0;
+};
+
+}  // namespace
+
+int main() {
+  api::Cluster cluster;
+  core::Core& client = cluster.core(0);
+  core::Core& server = cluster.core(1);
+
+  // Server posts descriptor receives up front (it cannot know argument
+  // sizes yet — that is what the descriptor tells it).
+  std::vector<Descriptor> incoming(kCalls);
+  std::vector<core::Request*> desc_recvs;
+  for (int c = 0; c < kCalls; ++c) {
+    desc_recvs.push_back(server.irecv(
+        cluster.gate(1, 0), kDescriptorTag + c,
+        util::as_writable_bytes(&incoming[c], sizeof(Descriptor))));
+  }
+
+  // Client fires all calls back-to-back; argument sizes vary from eager
+  // to rendezvous territory.
+  std::vector<Descriptor> outgoing(kCalls);
+  std::vector<std::vector<std::byte>> args(kCalls);
+  std::vector<core::Request*> client_reqs;
+  for (int c = 0; c < kCalls; ++c) {
+    const size_t len = 1024u << c;  // 1K … 32K
+    outgoing[c] = Descriptor{static_cast<uint32_t>(10 + c),
+                             static_cast<uint32_t>(len)};
+    args[c].resize(len);
+    util::fill_pattern({args[c].data(), len}, 500 + c);
+
+    api::PackHandle desc(client, cluster.gate(0, 1), kDescriptorTag + c);
+    desc.set_priority(core::Priority::kHigh);
+    desc.pack(&outgoing[c], sizeof(Descriptor));
+    client_reqs.push_back(desc.end());
+
+    api::PackHandle body(client, cluster.gate(0, 1), kArgsTag + c);
+    body.pack(args[c].data(), len);
+    client_reqs.push_back(body.end());
+  }
+
+  // Server: as each descriptor lands, allocate the argument area and post
+  // the matching receive — the event-driven consumption pattern RPC
+  // systems use.
+  std::map<int, std::vector<std::byte>> arg_areas;
+  std::vector<core::Request*> arg_recvs(kCalls, nullptr);
+  int served = 0;
+  for (int c = 0; c < kCalls; ++c) {
+    cluster.wait(desc_recvs[c]);
+    const Descriptor& d = incoming[c];
+    arg_areas[c].resize(d.args_len);
+    arg_recvs[c] = server.irecv(
+        cluster.gate(1, 0), kArgsTag + c,
+        util::MutableBytes{arg_areas[c].data(), d.args_len});
+  }
+  for (int c = 0; c < kCalls; ++c) {
+    cluster.wait(arg_recvs[c]);
+    const bool ok = util::check_pattern(
+        {arg_areas[c].data(), arg_areas[c].size()}, 500 + c);
+    std::printf("call %d: service=%u args=%zu bytes — %s (t=%.2f µs)\n", c,
+                incoming[c].service, arg_areas[c].size(),
+                ok ? "ok" : "CORRUPT", cluster.now());
+    served += ok;
+  }
+  for (auto* r : client_reqs) cluster.wait(r);
+
+  const auto& stats = client.stats();
+  std::printf(
+      "\n%d/%d calls served in %.2f virtual µs\n"
+      "engine: %llu packets for %llu chunks (%llu aggregated), "
+      "%llu rendezvous\n",
+      served, kCalls, cluster.now(),
+      static_cast<unsigned long long>(stats.packets_sent),
+      static_cast<unsigned long long>(stats.chunks_sent),
+      static_cast<unsigned long long>(stats.chunks_aggregated),
+      static_cast<unsigned long long>(stats.rdv_started));
+
+  for (auto* r : client_reqs) client.release(r);
+  for (auto* r : desc_recvs) server.release(r);
+  for (auto* r : arg_recvs) server.release(r);
+  return served == kCalls ? 0 : 1;
+}

@@ -1,0 +1,193 @@
+// Parallel sample sort on 4 ranks — a complete algorithm built from the
+// MPI layer: local sort, splitter agreement via gather+bcast, bucket
+// exchange via point-to-point (variable-size all-to-all), local merge.
+//
+// The bucket exchange fires 2×P×(P-1) messages of irregular sizes in one
+// burst: exactly the "irregular and multi-flow communication schemes"
+// the paper's introduction says classical MPIs leave unattended. The
+// program verifies the global sort order on every stack.
+//
+//   $ ./sample_sort
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baseline/stack.hpp"
+#include "madmpi/collectives.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nmad;
+using mpi::Datatype;
+using mpi::kCommWorld;
+
+constexpr int kRanks = 4;
+constexpr int kPerRank = 4096;
+
+struct RunResult {
+  bool sorted;
+  double comm_us;
+};
+
+RunResult run(baseline::StackImpl impl) {
+  baseline::StackOptions options;
+  options.impl = impl;
+  options.nodes = kRanks;
+  baseline::MpiStack stack(std::move(options));
+  const Datatype int_t = Datatype::int_type();
+
+  // Each rank owns kPerRank random keys (deterministic seed per rank).
+  std::vector<std::vector<int>> keys(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    util::Rng rng(1000 + r);
+    keys[r].resize(kPerRank);
+    for (int& k : keys[r]) {
+      k = static_cast<int>(rng.next_below(1 << 20));
+    }
+    std::sort(keys[r].begin(), keys[r].end());  // local sort
+  }
+
+  const double t0 = stack.now_us();
+
+  // 1. Splitter agreement: every rank contributes P-1 regular samples;
+  //    rank 0 gathers, picks global splitters, broadcasts them.
+  std::vector<std::vector<int>> samples(kRanks);
+  std::vector<int> gathered((kRanks - 1) * kRanks);
+  {
+    std::vector<std::unique_ptr<mpi::CollectiveOp>> ops;
+    for (int r = 0; r < kRanks; ++r) {
+      samples[r].resize(kRanks - 1);
+      for (int s = 0; s < kRanks - 1; ++s) {
+        samples[r][s] = keys[r][(s + 1) * kPerRank / kRanks];
+      }
+      ops.push_back(mpi::igather(stack.ep(r), samples[r].data(),
+                                 r == 0 ? gathered.data() : nullptr,
+                                 kRanks - 1, int_t, 0, kCommWorld));
+    }
+    for (auto& op : ops) op->wait();
+  }
+  std::vector<std::vector<int>> splitters(kRanks,
+                                          std::vector<int>(kRanks - 1));
+  {
+    std::sort(gathered.begin(), gathered.end());
+    for (int s = 0; s < kRanks - 1; ++s) {
+      splitters[0][s] = gathered[(s + 1) * (kRanks - 1)];
+    }
+    std::vector<std::unique_ptr<mpi::CollectiveOp>> ops;
+    for (int r = 0; r < kRanks; ++r) {
+      ops.push_back(mpi::ibcast(stack.ep(r), splitters[r].data(),
+                                kRanks - 1, int_t, 0, kCommWorld));
+    }
+    for (auto& op : ops) op->wait();
+  }
+
+  // 2. Bucket exchange in a single phase: every rank sends, per peer, a
+  //    count message immediately followed by the bucket itself (the
+  //    descriptor+payload pattern of §2). Receivers post the bucket
+  //    receive as soon as the matching count lands — early bucket bytes
+  //    park in the unexpected queue and replay. NewMadeleine aggregates
+  //    each peer's count with its bucket (and with other flows' control
+  //    traffic); the baselines send everything one message at a time.
+  std::vector<std::vector<std::vector<int>>> buckets(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    buckets[r].assign(kRanks, {});
+    for (int k : keys[r]) {
+      int dest = 0;
+      while (dest < kRanks - 1 && k >= splitters[r][dest]) ++dest;
+      buckets[r][dest].push_back(k);
+    }
+  }
+  std::vector<std::vector<int>> incoming_count(
+      kRanks, std::vector<int>(kRanks, 0));
+  std::vector<std::vector<int>> counts(kRanks, std::vector<int>(kRanks, 0));
+  std::vector<std::vector<std::vector<int>>> received(kRanks);
+  {
+    std::vector<std::vector<mpi::Request*>> count_recvs(
+        kRanks, std::vector<mpi::Request*>(kRanks, nullptr));
+    std::vector<mpi::Request*> others;
+    for (int r = 0; r < kRanks; ++r) {
+      received[r].assign(kRanks, {});
+      for (int p = 0; p < kRanks; ++p) {
+        if (p == r) continue;
+        count_recvs[r][p] = stack.ep(r).irecv(&incoming_count[r][p], 1,
+                                              int_t, p, 100, kCommWorld);
+      }
+    }
+    for (int r = 0; r < kRanks; ++r) {
+      for (int p = 0; p < kRanks; ++p) {
+        if (p == r) continue;
+        counts[r][p] = static_cast<int>(buckets[r][p].size());
+        others.push_back(stack.ep(r).isend(&counts[r][p], 1, int_t, p,
+                                           100, kCommWorld));
+        if (!buckets[r][p].empty()) {
+          others.push_back(stack.ep(r).isend(
+              buckets[r][p].data(), static_cast<int>(buckets[r][p].size()),
+              int_t, p, 200, kCommWorld));
+        }
+      }
+    }
+    // Consume counts as they land and immediately post the bucket recv.
+    for (int r = 0; r < kRanks; ++r) {
+      for (int p = 0; p < kRanks; ++p) {
+        if (p == r) continue;
+        stack.ep(r).wait(count_recvs[r][p]);
+        stack.ep(r).free_request(count_recvs[r][p]);
+        received[r][p].resize(incoming_count[r][p]);
+        if (incoming_count[r][p] > 0) {
+          others.push_back(stack.ep(r).irecv(received[r][p].data(),
+                                             incoming_count[r][p], int_t,
+                                             p, 200, kCommWorld));
+        }
+      }
+    }
+    stack.ep(0).wait_all(others);
+    for (auto* req : others) stack.ep(0).free_request(req);
+  }
+  const double comm_us = stack.now_us() - t0;
+
+  // 3. Local merge and global-order verification.
+  bool sorted = true;
+  int previous_max = -1;
+  size_t total_keys = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    std::vector<int> merged = std::move(buckets[r][r]);
+    for (int p = 0; p < kRanks; ++p) {
+      if (p == r) continue;
+      merged.insert(merged.end(), received[r][p].begin(),
+                    received[r][p].end());
+    }
+    std::sort(merged.begin(), merged.end());
+    total_keys += merged.size();
+    if (!merged.empty()) {
+      sorted &= merged.front() >= previous_max;
+      previous_max = merged.back();
+    }
+  }
+  sorted &= total_keys == static_cast<size_t>(kRanks) * kPerRank;
+  return RunResult{sorted, comm_us};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("sample sort: %d ranks × %d keys\n\n", kRanks, kPerRank);
+  const RunResult mad = run(baseline::StackImpl::kMadMpi);
+  const RunResult mpich = run(baseline::StackImpl::kMpich);
+  std::printf("madmpi : %s, comm %8.1f virtual µs\n",
+              mad.sorted ? "globally sorted" : "SORT BROKEN", mad.comm_us);
+  std::printf("mpich  : %s, comm %8.1f virtual µs\n",
+              mpich.sorted ? "globally sorted" : "SORT BROKEN",
+              mpich.comm_us);
+  if (!mad.sorted || !mpich.sorted) return 1;
+  const double delta =
+      (mpich.comm_us - mad.comm_us) / mpich.comm_us * 100.0;
+  std::printf("\ncommunication time delta: %+.1f%% for MAD-MPI\n", delta);
+  std::printf(
+      "(buckets are ~4 KB each — mostly one message per peer, so there is\n"
+      " little to aggregate and the stacks land within a few percent;\n"
+      " contrast with rpc_multiflow/stencil_jacobi where flows overlap)\n");
+  // Parity is the expected outcome here; fail only on a real regression.
+  return delta > -15.0 ? 0 : 1;
+}

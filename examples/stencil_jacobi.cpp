@@ -1,0 +1,140 @@
+// A complete miniature application: multi-field 1-D Jacobi on N ranks.
+//
+// Each rank owns a slice of a 1-D rod and smooths kFields independent
+// fields per sweep — the multi-variable structure of real stencil codes
+// (CFD codes exchange velocity components, pressure, energy...). Every
+// sweep exchanges one-cell halos per field with both neighbours, and
+// every few sweeps takes a global residual with allreduce.
+//
+// The per-sweep traffic to each neighbour is kFields small messages: the
+// multi-flow pattern of the paper's §2. MAD-MPI's window aggregates them
+// into one packet per neighbour; the baselines send them one by one. The
+// identical program runs on both stacks and must produce bit-identical
+// numerics.
+//
+//   $ ./stencil_jacobi
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baseline/stack.hpp"
+#include "madmpi/collectives.hpp"
+
+namespace {
+
+using namespace nmad;
+using mpi::Datatype;
+using mpi::kCommWorld;
+
+constexpr int kRanks = 4;
+constexpr int kFields = 4;
+constexpr int kCellsPerRank = 256;
+constexpr int kSweeps = 40;
+constexpr int kResidualEvery = 10;
+
+struct RunResult {
+  double residual;
+  double comm_us;
+};
+
+RunResult run(baseline::StackImpl impl) {
+  baseline::StackOptions options;
+  options.impl = impl;
+  options.nodes = kRanks;
+  baseline::MpiStack stack(std::move(options));
+  const Datatype dbl = Datatype::double_type();
+
+  // u[r][f] is rank r's slice of field f, with ghost cells at both ends.
+  // Field f's boundary temperature is 1.0 + f on the left, 0 on the right.
+  std::vector<std::vector<std::vector<double>>> u(kRanks), next(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    u[r].assign(kFields, std::vector<double>(kCellsPerRank + 2, 0.0));
+    next[r] = u[r];
+    if (r == 0) {
+      for (int f = 0; f < kFields; ++f) u[r][f][0] = 1.0 + f;
+    }
+  }
+
+  double residual = 0.0;
+  const double t0 = stack.now_us();
+
+  for (int sweep = 0; sweep < kSweeps; ++sweep) {
+    // Halo exchange: kFields messages per neighbour per direction, posted
+    // split-phase on every rank, then drained together.
+    std::vector<mpi::Request*> reqs;
+    for (int r = 0; r < kRanks; ++r) {
+      mpi::Endpoint& ep = stack.ep(r);
+      for (int f = 0; f < kFields; ++f) {
+        const int tag_east = 2 * f;      // data moving toward rank+1
+        const int tag_west = 2 * f + 1;  // data moving toward rank-1
+        if (r > 0) {
+          reqs.push_back(
+              ep.irecv(&u[r][f][0], 1, dbl, r - 1, tag_east, kCommWorld));
+          reqs.push_back(
+              ep.isend(&u[r][f][1], 1, dbl, r - 1, tag_west, kCommWorld));
+        }
+        if (r < kRanks - 1) {
+          reqs.push_back(ep.irecv(&u[r][f][kCellsPerRank + 1], 1, dbl,
+                                  r + 1, tag_west, kCommWorld));
+          reqs.push_back(ep.isend(&u[r][f][kCellsPerRank], 1, dbl, r + 1,
+                                  tag_east, kCommWorld));
+        }
+      }
+    }
+    stack.ep(0).wait_all(reqs);
+    for (auto* req : reqs) stack.ep(0).free_request(req);
+
+    // Local sweep (computation is free in virtual time; only the
+    // communication above advances the clock).
+    double local_sq[kRanks] = {};
+    for (int r = 0; r < kRanks; ++r) {
+      for (int f = 0; f < kFields; ++f) {
+        for (int i = 1; i <= kCellsPerRank; ++i) {
+          next[r][f][i] = 0.5 * (u[r][f][i - 1] + u[r][f][i + 1]);
+          const double d = next[r][f][i] - u[r][f][i];
+          local_sq[r] += d * d;
+        }
+        std::swap(u[r][f], next[r][f]);
+        if (r == 0) u[r][f][0] = 1.0 + f;  // re-pin boundary after swap
+      }
+    }
+
+    if ((sweep + 1) % kResidualEvery == 0) {
+      std::vector<double> global(kRanks, 0.0);
+      std::vector<std::unique_ptr<mpi::CollectiveOp>> ops;
+      for (int r = 0; r < kRanks; ++r) {
+        ops.push_back(mpi::iallreduce(stack.ep(r), &local_sq[r], &global[r],
+                                      1, dbl, mpi::sum_double(),
+                                      kCommWorld));
+      }
+      for (auto& op : ops) op->wait();
+      residual = std::sqrt(global[0]);
+    }
+  }
+
+  return RunResult{residual, stack.now_us() - t0};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("1-D Jacobi: %d ranks × %d cells × %d fields, %d sweeps, "
+              "residual every %d\n\n",
+              kRanks, kCellsPerRank, kFields, kSweeps, kResidualEvery);
+  const RunResult mad = run(baseline::StackImpl::kMadMpi);
+  const RunResult mpich = run(baseline::StackImpl::kMpich);
+
+  std::printf("madmpi : residual %.12f, comm time %8.1f virtual µs\n",
+              mad.residual, mad.comm_us);
+  std::printf("mpich  : residual %.12f, comm time %8.1f virtual µs\n",
+              mpich.residual, mpich.comm_us);
+
+  if (mad.residual != mpich.residual) {
+    std::fprintf(stderr, "numerical results diverge!\n");
+    return 1;
+  }
+  std::printf("\nidentical numerics; MAD-MPI saved %.1f%% of comm time\n",
+              (mpich.comm_us - mad.comm_us) / mpich.comm_us * 100.0);
+  return mad.comm_us < mpich.comm_us ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+/* nmad.h — C API for the NewMadeleine reproduction.
+ *
+ * A minimal, stable C89-compatible surface over the C++ engine for
+ * bindings and C applications: build a simulated cluster, open gates,
+ * post nonblocking sends/receives, wait, read the virtual clock.
+ *
+ *   nmad_cluster_t* c = nmad_cluster_create("mx", 2, "aggreg");
+ *   nmad_request_t* r = nmad_irecv(c, 1, nmad_gate(c, 1, 0), 7, in, len);
+ *   nmad_request_t* s = nmad_isend(c, 0, nmad_gate(c, 0, 1), 7, out, len);
+ *   nmad_wait(c, r); nmad_wait(c, s);
+ *   nmad_request_free(r); nmad_request_free(s);
+ *   nmad_cluster_destroy(c);
+ */
+#ifndef NMAD_H_
+#define NMAD_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct nmad_cluster nmad_cluster_t;
+typedef struct nmad_request nmad_request_t;
+typedef uint16_t nmad_gate_t;
+
+/* Builds a simulated cluster: `net` is a NIC profile name ("mx", "gm",
+ * "quadrics", "sci", "tcp"), `nodes` >= 2, `strategy` a registered
+ * scheduling strategy ("default", "aggreg", "aggreg_extended",
+ * "split_balance"). Returns NULL on bad arguments. */
+nmad_cluster_t* nmad_cluster_create(const char* net, int nodes,
+                                    const char* strategy);
+void nmad_cluster_destroy(nmad_cluster_t* cluster);
+
+/* Number of nodes in the cluster. */
+int nmad_cluster_size(const nmad_cluster_t* cluster);
+
+/* The gate on `from` leading to `to` (from != to). */
+nmad_gate_t nmad_gate(nmad_cluster_t* cluster, int from, int to);
+
+/* Nonblocking contiguous send/receive on behalf of `node`. The buffer
+ * must stay valid until the request completes. Returns NULL on bad
+ * arguments. */
+nmad_request_t* nmad_isend(nmad_cluster_t* cluster, int node,
+                           nmad_gate_t gate, uint64_t tag, const void* buf,
+                           size_t len);
+nmad_request_t* nmad_irecv(nmad_cluster_t* cluster, int node,
+                           nmad_gate_t gate, uint64_t tag, void* buf,
+                           size_t len);
+
+/* 1 when complete, 0 otherwise. */
+int nmad_test(const nmad_request_t* request);
+
+/* Pumps the simulation until the request completes. Returns 0 on success,
+ * non-zero when the request finished with an error (e.g. truncation). */
+int nmad_wait(nmad_cluster_t* cluster, nmad_request_t* request);
+
+/* Bytes received so far (receives only; sends report 0). */
+size_t nmad_received_bytes(const nmad_request_t* request);
+
+/* Releases a completed request. */
+void nmad_request_free(nmad_request_t* request);
+
+/* Virtual time in microseconds. */
+double nmad_now_us(const nmad_cluster_t* cluster);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* NMAD_H_ */

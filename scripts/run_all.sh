@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite and every benchmark, and
+# records the outputs at the repository root (test_output.txt,
+# bench_output.txt) — the artifacts EXPERIMENTS.md quotes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build -j"$(nproc)" 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "==== $(basename "$b") ====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done

@@ -1,0 +1,538 @@
+#include "baseline/baseline_mpi.hpp"
+
+#include <algorithm>
+
+#include "util/wire.hpp"
+
+namespace nmad::baseline {
+namespace {
+
+enum FrameType : uint8_t {
+  kEager = 1,      // single-frame message (len == total)
+  kEagerFrag = 2,  // one frame of a multi-frame eager message
+  kRts = 3,
+  kCts = 4,
+};
+
+// Compact MPICH-style envelope: type, context, tag, seq, len.
+constexpr size_t kEagerHeaderBytes = 1 + 2 + 4 + 4 + 4;
+constexpr size_t kFragHeaderBytes = kEagerHeaderBytes + 8;  // + offset,total
+constexpr double kFrameSoftwareUs = 0.10;  // per extra pipelined frame
+
+}  // namespace
+
+Tuning mpich_tuning(const simnet::NicProfile& nic) {
+  Tuning t;
+  t.name = "mpich";
+  t.send_overhead_us = 0.30;
+  t.recv_overhead_us = 0.20;
+  t.match_overhead_us = 0.10;
+  t.eager_threshold = nic.rdv_threshold;
+  t.rndv_frag_bytes = 0;  // single zero-copy bulk transfer
+  return t;
+}
+
+Tuning openmpi_tuning(const simnet::NicProfile& nic) {
+  Tuning t;
+  t.name = "openmpi";
+  t.send_overhead_us = 0.55;
+  t.recv_overhead_us = 0.35;
+  t.match_overhead_us = 0.15;
+  t.eager_threshold = nic.rdv_threshold;
+  t.rndv_frag_bytes = 128 * 1024;  // BTL-style pipelined rendezvous
+  t.rndv_frag_overhead_us = 0.40;
+  t.pipelined_pack = true;
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Request state
+// ---------------------------------------------------------------------------
+
+struct BaselineEndpoint::BaseRequest : mpi::Request {
+  bool complete = false;
+  util::Status st;
+
+  [[nodiscard]] bool done() const override { return complete; }
+  [[nodiscard]] util::Status status() const override { return st; }
+
+  void finish(util::Status s = util::ok_status()) {
+    if (complete) return;
+    st = std::move(s);
+    complete = true;
+  }
+};
+
+struct BaselineEndpoint::SendState : BaselineEndpoint::BaseRequest {
+  int dest = 0;
+  uint16_t ctx = 0;
+  int tag = 0;
+  uint32_t seq = 0;
+  util::ByteBuffer pack_buf;   // datatype bounce (owned)
+  util::ConstBytes view;       // contiguous body
+  uint64_t cookie = 0;
+  size_t sent = 0;             // bulk/frame progress
+  size_t frames_pending = 0;   // in-flight eager frames
+  bool all_frames_queued = false;
+  bool charge_pack_per_frag = false;  // OpenMPI pipelined datatype pack
+};
+
+struct BaselineEndpoint::RecvState : BaselineEndpoint::BaseRequest {
+  int src = 0;
+  uint16_t ctx = 0;
+  int tag = 0;
+  uint32_t seq = 0;
+  void* user_buf = nullptr;
+  size_t user_bytes = 0;       // type.size * count
+  bool contiguous = true;
+  mpi::Datatype type = mpi::Datatype::byte_type();
+  int count = 0;
+  util::ByteBuffer bounce;     // packed stream for noncontiguous receives
+  size_t received = 0;   // accounted after the modelled copy finishes
+  size_t delivered = 0;  // accounted synchronously at frame arrival
+  size_t expected = 0;
+  bool expected_known = false;
+  bool unpack_issued = false;
+
+  [[nodiscard]] size_t received_bytes() const override { return received; }
+};
+
+struct BaselineEndpoint::UnexpectedEntry {
+  bool is_rdv = false;
+  uint64_t cookie = 0;
+  uint32_t total = 0;
+  util::ByteBuffer data;   // in-order prefix of the packed stream
+  size_t received = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+BaselineEndpoint::BaselineEndpoint(simnet::SimWorld& world,
+                                   simnet::SimNode& node, int rank, int size,
+                                   Tuning tuning)
+    : Endpoint(world, rank, size),
+      node_(node),
+      nic_(node.nic(0)),
+      tuning_(tuning),
+      next_cookie_((static_cast<uint64_t>(rank) + 1) << 48) {
+  nic_.set_rx_handler(
+      [this](simnet::RxFrame&& frame) { on_frame(std::move(frame)); });
+}
+
+BaselineEndpoint::~BaselineEndpoint() {
+  for (auto& [cookie, sink] : rdv_sinks_) {
+    nic_.remove_bulk_sink(cookie);
+  }
+}
+
+void BaselineEndpoint::when_cpu_free(std::function<void()> fn) {
+  const simnet::SimTime free_at = node_.cpu().free_at();
+  if (free_at <= world_.now()) {
+    fn();
+  } else {
+    world_.at(free_at, std::move(fn));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
+
+mpi::Request* BaselineEndpoint::isend(const void* buf, int count,
+                                      const mpi::Datatype& type, int dest,
+                                      int tag, mpi::Comm comm) {
+  NMAD_ASSERT(dest >= 0 && dest < size_ && dest != rank_);
+  auto* state = new SendState;
+  state->dest = dest;
+  state->ctx = static_cast<uint16_t>(comm.context);
+  state->tag = tag;
+  state->seq = send_seq_[FlowKey{dest, comm.context, tag}]++;
+
+  node_.cpu().charge(tuning_.send_overhead_us);
+
+  const size_t total = type.size() * static_cast<size_t>(count);
+  if (type.is_contiguous() || total == 0) {
+    state->view = util::as_bytes_view(buf, total);
+  } else {
+    // Derived datatype: pack everything into a contiguous bounce buffer —
+    // the documented MPICH/OpenMPI behaviour (§5.3).
+    state->pack_buf.resize(total);
+    type.pack(buf, count, state->pack_buf.view());
+    stats_.pack_bytes += total;
+    if (tuning_.pipelined_pack && tuning_.rndv_frag_bytes != 0 &&
+        total > tuning_.eager_threshold && nic_.profile().rdma) {
+      // Pack cost is charged fragment-by-fragment as the rendezvous
+      // pipeline drains (content is staged now; that is sim bookkeeping).
+      state->charge_pack_per_frag = true;
+    } else {
+      node_.cpu().charge_memcpy(total);
+    }
+    state->view = state->pack_buf.view();
+  }
+
+  if (total <= tuning_.eager_threshold || !nic_.profile().rdma) {
+    emit_eager_frames(state);
+  } else {
+    // Rendezvous: RTS now, bulk after the CTS.
+    state->cookie = next_cookie_++;
+    rdv_send_[state->cookie] = state;
+    ++stats_.rdv_count;
+    util::ByteBuffer frame;
+    util::WireWriter w(frame);
+    w.u8(kRts);
+    w.u16(state->ctx);
+    w.u32(static_cast<uint32_t>(state->tag));
+    w.u32(state->seq);
+    w.u32(static_cast<uint32_t>(total));
+    w.u64(state->cookie);
+    ++stats_.frames_sent;
+    when_cpu_free([this, state, frame = std::move(frame)]() {
+      nic_.send_frame(state->dest, frame.view(), 1, nullptr);
+    });
+  }
+  return state;
+}
+
+void BaselineEndpoint::emit_eager_frames(SendState* state) {
+  const size_t total = state->view.size();
+  const size_t max_payload =
+      nic_.profile().max_eager_frame - kFragHeaderBytes;
+  const bool single = total <= max_payload;
+
+  size_t offset = 0;
+  do {
+    const size_t n = std::min(total - offset, max_payload);
+    if (offset > 0) node_.cpu().charge(kFrameSoftwareUs);
+    util::ByteBuffer frame;
+    util::WireWriter w(frame);
+    w.u8(single ? kEager : kEagerFrag);
+    w.u16(state->ctx);
+    w.u32(static_cast<uint32_t>(state->tag));
+    w.u32(state->seq);
+    w.u32(static_cast<uint32_t>(n));
+    if (!single) {
+      w.u32(static_cast<uint32_t>(offset));
+      w.u32(static_cast<uint32_t>(total));
+    }
+    w.bytes(state->view.subspan(offset, n));
+    ++state->frames_pending;
+    ++stats_.frames_sent;
+    // Header + payload go out as a two-segment gather when the NIC can,
+    // otherwise the copy cost is charged.
+    const size_t segs = nic_.profile().has_gather() ? 2 : 1;
+    if (!nic_.profile().has_gather()) node_.cpu().charge_memcpy(n);
+    when_cpu_free([this, state, segs, frame = std::move(frame)]() {
+      nic_.send_frame(state->dest, frame.view(), segs, [state]() {
+        NMAD_ASSERT(state->frames_pending > 0);
+        if (--state->frames_pending == 0 && state->all_frames_queued) {
+          state->finish();
+        }
+      });
+    });
+    offset += n;
+  } while (offset < total);
+  state->all_frames_queued = true;
+  if (state->frames_pending == 0) state->finish();  // possible for 0 bytes?
+}
+
+void BaselineEndpoint::start_bulk_send(SendState* state) {
+  if (tuning_.rndv_frag_bytes == 0) {
+    // Single zero-copy transfer (MPICH over MX/Elan).
+    when_cpu_free([this, state]() {
+      nic_.send_bulk(state->dest, state->cookie, 0, state->view, 1,
+                     [state]() { state->finish(); });
+    });
+    return;
+  }
+  continue_bulk_send(state);
+}
+
+void BaselineEndpoint::continue_bulk_send(SendState* state) {
+  const size_t n =
+      std::min(tuning_.rndv_frag_bytes, state->view.size() - state->sent);
+  node_.cpu().charge(tuning_.rndv_frag_overhead_us);
+  if (state->charge_pack_per_frag) node_.cpu().charge_memcpy(n);
+  const size_t offset = state->sent;
+  state->sent += n;
+  when_cpu_free([this, state, offset, n]() {
+    nic_.send_bulk(state->dest, state->cookie, offset,
+                   state->view.subspan(offset, n), 1, [this, state]() {
+                     if (state->sent < state->view.size()) {
+                       continue_bulk_send(state);
+                     } else {
+                       state->finish();
+                     }
+                   });
+  });
+}
+
+void BaselineEndpoint::send_cts(int dest, uint64_t cookie) {
+  util::ByteBuffer frame;
+  util::WireWriter w(frame);
+  w.u8(kCts);
+  w.u16(0);
+  w.u32(0);
+  w.u32(0);
+  w.u32(0);
+  w.u64(cookie);
+  ++stats_.frames_sent;
+  when_cpu_free([this, dest, frame = std::move(frame)]() {
+    nic_.send_frame(dest, frame.view(), 1, nullptr);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+mpi::Request* BaselineEndpoint::irecv(void* buf, int count,
+                                      const mpi::Datatype& type, int source,
+                                      int tag, mpi::Comm comm) {
+  NMAD_ASSERT(source >= 0 && source < size_ && source != rank_);
+  auto* state = new RecvState;
+  state->src = source;
+  state->ctx = static_cast<uint16_t>(comm.context);
+  state->tag = tag;
+  state->seq = recv_seq_[FlowKey{source, comm.context, tag}]++;
+  state->user_buf = buf;
+  state->user_bytes = type.size() * static_cast<size_t>(count);
+  state->contiguous = type.is_contiguous();
+  state->type = type;
+  state->count = count;
+
+  node_.cpu().charge(tuning_.recv_overhead_us);
+
+  const MsgKey key{source, comm.context, tag, state->seq};
+  auto it = unexpected_.find(key);
+  if (it == unexpected_.end()) {
+    active_recv_[key] = state;
+    return state;
+  }
+
+  UnexpectedEntry entry = std::move(it->second);
+  unexpected_.erase(it);
+  if (entry.is_rdv) {
+    begin_rdv_recv(state, source, entry.total, entry.cookie);
+    return state;
+  }
+  // Replay the buffered in-order prefix; later frames (if any) keep
+  // flowing through the active path.
+  state->expected = entry.total;
+  state->expected_known = true;
+  if (state->expected > state->user_bytes) {
+    state->finish(util::truncated("message longer than receive buffer"));
+    return state;
+  }
+  if (entry.received < entry.total) {
+    active_recv_[key] = state;
+  }
+  if (entry.received > 0) {
+    deliver_to_user(state, 0,
+                    util::ConstBytes{entry.data.data(), entry.received});
+  } else if (entry.total == 0) {
+    recv_account(state, 0, world_.now());
+  }
+  return state;
+}
+
+mpi::ProbeStatus BaselineEndpoint::iprobe(int source, int tag,
+                                          mpi::Comm comm) {
+  NMAD_ASSERT(source >= 0 && source < size_ && source != rank_);
+  uint32_t next_seq = 0;
+  if (auto it = recv_seq_.find(FlowKey{source, comm.context, tag});
+      it != recv_seq_.end()) {
+    next_seq = it->second;
+  }
+  auto it = unexpected_.find(MsgKey{source, comm.context, tag, next_seq});
+  if (it == unexpected_.end()) return {};
+  return mpi::ProbeStatus{true, it->second.total};
+}
+
+void BaselineEndpoint::on_frame(simnet::RxFrame&& frame) {
+  node_.cpu().charge(tuning_.match_overhead_us);
+  util::WireReader r(frame.bytes.view());
+  const auto type = static_cast<FrameType>(r.u8());
+  const uint16_t ctx = r.u16();
+  const auto tag = static_cast<int>(r.u32());
+  const uint32_t seq = r.u32();
+  const int src = static_cast<int>(frame.src_node);
+
+  switch (type) {
+    case kEager: {
+      const uint32_t len = r.u32();
+      const MsgKey key{src, ctx, tag, seq};
+      on_eager(src, key, 0, len, r.bytes(len));
+      break;
+    }
+    case kEagerFrag: {
+      const uint32_t len = r.u32();
+      const uint32_t offset = r.u32();
+      const uint32_t total = r.u32();
+      const MsgKey key{src, ctx, tag, seq};
+      on_eager(src, key, offset, total, r.bytes(len));
+      break;
+    }
+    case kRts: {
+      const uint32_t total = r.u32();
+      const uint64_t cookie = r.u64();
+      const MsgKey key{src, ctx, tag, seq};
+      on_rts(src, key, total, cookie);
+      break;
+    }
+    case kCts: {
+      r.u32();  // unused len slot
+      on_cts(r.u64());
+      break;
+    }
+  }
+  NMAD_ASSERT_MSG(r.ok(), "malformed baseline frame");
+}
+
+void BaselineEndpoint::on_eager(int src, const MsgKey& key, uint32_t offset,
+                                uint32_t total, util::ConstBytes payload) {
+  (void)src;  // the key already encodes the source
+  auto it = active_recv_.find(key);
+  if (it == active_recv_.end()) {
+    UnexpectedEntry& entry = unexpected_[key];
+    entry.total = total;
+    if (entry.data.size() < total) entry.data.resize(total);
+    NMAD_ASSERT_MSG(offset == entry.received,
+                    "out-of-order frame on an in-order link");
+    util::copy_bytes(
+        util::MutableBytes{entry.data.data() + offset, payload.size()},
+        payload);
+    node_.cpu().charge_memcpy(payload.size());
+    entry.received += payload.size();
+    return;
+  }
+
+  RecvState* state = it->second;
+  if (!state->expected_known) {
+    state->expected = total;
+    state->expected_known = true;
+    if (state->expected > state->user_bytes) {
+      state->finish(util::truncated("message longer than receive buffer"));
+      active_recv_.erase(it);
+      return;
+    }
+  }
+  if (payload.empty() && total == 0) {
+    active_recv_.erase(it);
+    recv_account(state, 0, world_.now());
+    return;
+  }
+  deliver_to_user(state, offset, payload);
+  if (state->delivered == state->expected) {
+    active_recv_.erase(MsgKey{state->src, state->ctx, state->tag,
+                              state->seq});
+  }
+}
+
+void BaselineEndpoint::deliver_to_user(RecvState* state, uint32_t offset,
+                                       util::ConstBytes payload) {
+  if (state->contiguous) {
+    // One copy: NIC buffer → user buffer.
+    util::copy_bytes(
+        util::MutableBytes{
+            static_cast<std::byte*>(state->user_buf) + offset,
+            payload.size()},
+        payload);
+  } else {
+    // Temporary area first; dispatch happens in finish_recv (second copy).
+    if (state->bounce.size() < state->expected) {
+      state->bounce.resize(state->expected);
+    }
+    util::copy_bytes(
+        util::MutableBytes{state->bounce.data() + offset, payload.size()},
+        payload);
+  }
+  state->delivered += payload.size();
+  const simnet::SimTime done_at =
+      node_.cpu().charge_memcpy(payload.size());
+  recv_account(state, payload.size(), done_at);
+}
+
+void BaselineEndpoint::recv_account(RecvState* state, size_t bytes,
+                                    simnet::SimTime done_at) {
+  world_.at(done_at, [this, state, bytes]() {
+    state->received += bytes;
+    NMAD_ASSERT(state->expected_known);
+    if (state->received < state->expected) return;
+    finish_recv(state);
+  });
+}
+
+void BaselineEndpoint::finish_recv(RecvState* state) {
+  if (!state->contiguous && !state->unpack_issued &&
+      state->expected > 0) {
+    // Dispatch from the temporary area to the real destination.
+    state->unpack_issued = true;
+    state->type.unpack(state->bounce.view(), state->user_buf, state->count);
+    stats_.unpack_bytes += state->expected;
+    const simnet::SimTime t = node_.cpu().charge_memcpy(state->expected);
+    world_.at(t, [state]() { state->finish(); });
+    return;
+  }
+  state->finish();
+}
+
+void BaselineEndpoint::on_rts(int src, const MsgKey& key, uint32_t total,
+                              uint64_t cookie) {
+  auto it = active_recv_.find(key);
+  if (it == active_recv_.end()) {
+    UnexpectedEntry& entry = unexpected_[key];
+    entry.is_rdv = true;
+    entry.total = total;
+    entry.cookie = cookie;
+    return;
+  }
+  RecvState* state = it->second;
+  active_recv_.erase(it);
+  begin_rdv_recv(state, src, total, cookie);
+}
+
+void BaselineEndpoint::begin_rdv_recv(RecvState* state, int src,
+                                      uint32_t total, uint64_t cookie) {
+  state->expected = total;
+  state->expected_known = true;
+  if (total > state->user_bytes) {
+    state->finish(util::truncated("message longer than receive buffer"));
+    return;
+  }
+  util::MutableBytes region;
+  if (state->contiguous) {
+    region = util::MutableBytes{static_cast<std::byte*>(state->user_buf),
+                                total};
+  } else {
+    state->bounce.resize(total);
+    region = state->bounce.view();
+  }
+  auto sink = std::make_unique<simnet::BulkSink>(
+      cookie, region, total, [this, state, cookie, total]() {
+        world_.after(0.0, [this, state, cookie, total]() {
+          nic_.remove_bulk_sink(cookie);
+          rdv_sinks_.erase(cookie);
+          state->received = total;
+          finish_recv(state);
+        });
+      });
+  nic_.post_bulk_sink(sink.get());
+  rdv_sinks_.emplace(cookie, std::move(sink));
+  send_cts(src, cookie);
+}
+
+void BaselineEndpoint::on_cts(uint64_t cookie) {
+  auto it = rdv_send_.find(cookie);
+  NMAD_ASSERT_MSG(it != rdv_send_.end(), "CTS for unknown cookie");
+  SendState* state = it->second;
+  rdv_send_.erase(it);
+  start_bulk_send(state);
+}
+
+void BaselineEndpoint::free_request(mpi::Request* req) {
+  delete static_cast<BaseRequest*>(req);
+}
+
+}  // namespace nmad::baseline

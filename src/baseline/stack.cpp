@@ -1,0 +1,66 @@
+#include "baseline/stack.hpp"
+
+namespace nmad::baseline {
+
+const char* stack_impl_name(StackImpl impl) {
+  switch (impl) {
+    case StackImpl::kMadMpi: return "madmpi";
+    case StackImpl::kMpich: return "mpich";
+    case StackImpl::kOpenMpi: return "openmpi";
+  }
+  return "?";
+}
+
+bool stack_impl_from_name(const std::string& name, StackImpl* out) {
+  if (out == nullptr) return false;
+  if (name == "madmpi" || name == "mad-mpi" || name == "nmad") {
+    *out = StackImpl::kMadMpi;
+  } else if (name == "mpich") {
+    *out = StackImpl::kMpich;
+  } else if (name == "openmpi" || name == "ompi") {
+    *out = StackImpl::kOpenMpi;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+MpiStack::MpiStack(StackOptions options) : options_(std::move(options)) {
+  if (options_.impl == StackImpl::kMadMpi) {
+    api::ClusterOptions cluster;
+    cluster.nodes = options_.nodes;
+    cluster.rails = {options_.nic};
+    cluster.cpu = options_.cpu;
+    cluster.core = options_.core;
+    mad_ = std::make_unique<mpi::MadMpiWorld>(std::move(cluster));
+    return;
+  }
+
+  base_world_ = std::make_unique<simnet::SimWorld>();
+  base_fabric_ = std::make_unique<simnet::Fabric>(*base_world_);
+  for (size_t n = 0; n < options_.nodes; ++n) {
+    base_fabric_->add_node(options_.cpu);
+  }
+  base_fabric_->add_rail(options_.nic);
+  const Tuning tuning = options_.impl == StackImpl::kMpich
+                            ? mpich_tuning(options_.nic)
+                            : openmpi_tuning(options_.nic);
+  for (size_t n = 0; n < options_.nodes; ++n) {
+    base_eps_.push_back(std::make_unique<BaselineEndpoint>(
+        *base_world_, base_fabric_->node(static_cast<simnet::NodeId>(n)),
+        static_cast<int>(n), static_cast<int>(options_.nodes), tuning));
+  }
+}
+
+mpi::Endpoint& MpiStack::ep(int rank) {
+  if (mad_) return mad_->ep(rank);
+  NMAD_ASSERT(rank >= 0 && static_cast<size_t>(rank) < base_eps_.size());
+  return *base_eps_[rank];
+}
+
+simnet::SimWorld& MpiStack::world() {
+  if (mad_) return mad_->world();
+  return *base_world_;
+}
+
+}  // namespace nmad::baseline

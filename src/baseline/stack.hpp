@@ -1,0 +1,62 @@
+// MpiStack: one-call construction of a complete simulated MPI world for
+// any of the three implementations the paper compares.
+//
+// Every bench builds the same program against the same NIC profile and
+// only varies the stack, exactly as the paper varies MAD-MPI vs MPICH vs
+// OpenMPI on one testbed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/baseline_mpi.hpp"
+#include "madmpi/madmpi.hpp"
+#include "simnet/profiles.hpp"
+
+namespace nmad::baseline {
+
+enum class StackImpl {
+  kMadMpi,
+  kMpich,
+  kOpenMpi,
+};
+
+const char* stack_impl_name(StackImpl impl);
+// "madmpi" / "mpich" / "openmpi"; false for unknown names.
+bool stack_impl_from_name(const std::string& name, StackImpl* out);
+
+struct StackOptions {
+  StackImpl impl = StackImpl::kMadMpi;
+  simnet::NicProfile nic = simnet::mx_myri10g_profile();
+  simnet::CpuProfile cpu = simnet::opteron_2006_profile();
+  size_t nodes = 2;
+  // MAD-MPI only: engine configuration (strategy, overhead knobs).
+  core::CoreConfig core;
+};
+
+class MpiStack {
+ public:
+  explicit MpiStack(StackOptions options);
+
+  [[nodiscard]] mpi::Endpoint& ep(int rank);
+  [[nodiscard]] simnet::SimWorld& world();
+  [[nodiscard]] double now_us() { return world().now(); }
+  [[nodiscard]] const char* impl_name() const {
+    return stack_impl_name(options_.impl);
+  }
+  [[nodiscard]] const StackOptions& options() const { return options_; }
+
+ private:
+  StackOptions options_;
+
+  // MAD-MPI flavour.
+  std::unique_ptr<mpi::MadMpiWorld> mad_;
+
+  // Baseline flavour.
+  std::unique_ptr<simnet::SimWorld> base_world_;
+  std::unique_ptr<simnet::Fabric> base_fabric_;
+  std::vector<std::unique_ptr<BaselineEndpoint>> base_eps_;
+};
+
+}  // namespace nmad::baseline

@@ -1,0 +1,119 @@
+// Implementation of the C API (include/nmad.h).
+#include "nmad.h"
+
+#include <memory>
+
+#include "nmad/api/session.hpp"
+#include "nmad/core/strategy.hpp"
+#include "nmad/strategies/builtin.hpp"
+#include "simnet/profiles.hpp"
+#include "util/buffer.hpp"
+
+struct nmad_cluster {
+  std::unique_ptr<nmad::api::Cluster> impl;
+};
+
+struct nmad_request {
+  nmad::core::Request* inner = nullptr;
+  nmad::core::Core* owner = nullptr;
+};
+
+extern "C" {
+
+nmad_cluster_t* nmad_cluster_create(const char* net, int nodes,
+                                    const char* strategy) {
+  if (net == nullptr || strategy == nullptr || nodes < 2) return nullptr;
+  nmad::simnet::NicProfile profile;
+  if (!nmad::simnet::nic_profile_by_name(net, &profile)) return nullptr;
+  if (nmad::core::make_strategy(strategy) == nullptr) {
+    // Built-ins may not be registered yet (no Core constructed): register
+    // and retry once.
+    nmad::core::ensure_builtin_strategies();
+    if (nmad::core::make_strategy(strategy) == nullptr) return nullptr;
+  }
+
+  nmad::api::ClusterOptions options;
+  options.nodes = static_cast<size_t>(nodes);
+  options.rails = {profile};
+  options.core.strategy = strategy;
+  auto* cluster = new nmad_cluster;
+  cluster->impl = std::make_unique<nmad::api::Cluster>(std::move(options));
+  return cluster;
+}
+
+void nmad_cluster_destroy(nmad_cluster_t* cluster) { delete cluster; }
+
+int nmad_cluster_size(const nmad_cluster_t* cluster) {
+  if (cluster == nullptr) return 0;
+  return static_cast<int>(cluster->impl->node_count());
+}
+
+nmad_gate_t nmad_gate(nmad_cluster_t* cluster, int from, int to) {
+  return cluster->impl->gate(static_cast<nmad::simnet::NodeId>(from),
+                             static_cast<nmad::simnet::NodeId>(to));
+}
+
+nmad_request_t* nmad_isend(nmad_cluster_t* cluster, int node,
+                           nmad_gate_t gate, uint64_t tag, const void* buf,
+                           size_t len) {
+  if (cluster == nullptr || node < 0 ||
+      static_cast<size_t>(node) >= cluster->impl->node_count()) {
+    return nullptr;
+  }
+  if (buf == nullptr && len != 0) return nullptr;
+  nmad::core::Core& core =
+      cluster->impl->core(static_cast<nmad::simnet::NodeId>(node));
+  auto* request = new nmad_request;
+  request->owner = &core;
+  request->inner =
+      core.isend(gate, tag, nmad::util::as_bytes_view(buf, len));
+  return request;
+}
+
+nmad_request_t* nmad_irecv(nmad_cluster_t* cluster, int node,
+                           nmad_gate_t gate, uint64_t tag, void* buf,
+                           size_t len) {
+  if (cluster == nullptr || node < 0 ||
+      static_cast<size_t>(node) >= cluster->impl->node_count()) {
+    return nullptr;
+  }
+  if (buf == nullptr && len != 0) return nullptr;
+  nmad::core::Core& core =
+      cluster->impl->core(static_cast<nmad::simnet::NodeId>(node));
+  auto* request = new nmad_request;
+  request->owner = &core;
+  request->inner =
+      core.irecv(gate, tag, nmad::util::as_writable_bytes(buf, len));
+  return request;
+}
+
+int nmad_test(const nmad_request_t* request) {
+  return (request != nullptr && request->inner->done()) ? 1 : 0;
+}
+
+int nmad_wait(nmad_cluster_t* cluster, nmad_request_t* request) {
+  if (cluster == nullptr || request == nullptr) return -1;
+  cluster->impl->wait(request->inner);
+  return request->inner->status().is_ok() ? 0 : 1;
+}
+
+size_t nmad_received_bytes(const nmad_request_t* request) {
+  if (request == nullptr ||
+      request->inner->kind() != nmad::core::Request::Kind::kRecv) {
+    return 0;
+  }
+  return static_cast<const nmad::core::RecvRequest*>(request->inner)
+      ->received_bytes();
+}
+
+void nmad_request_free(nmad_request_t* request) {
+  if (request == nullptr) return;
+  request->owner->release(request->inner);
+  delete request;
+}
+
+double nmad_now_us(const nmad_cluster_t* cluster) {
+  return cluster->impl->now();
+}
+
+}  // extern "C"

@@ -1,0 +1,36 @@
+#include "nmad/api/completion_queue.hpp"
+
+#include "util/assert.hpp"
+
+namespace nmad::api {
+
+void CompletionQueue::track(core::Request* req) {
+  NMAD_ASSERT(req != nullptr);
+  if (req->done()) {
+    ready_.push_back(req);
+    return;
+  }
+  ++in_flight_;
+  req->set_on_complete([this, req]() {
+    NMAD_ASSERT(in_flight_ > 0);
+    --in_flight_;
+    ready_.push_back(req);
+  });
+}
+
+core::Request* CompletionQueue::poll() {
+  if (ready_.empty()) return nullptr;
+  core::Request* req = ready_.front();
+  ready_.pop_front();
+  return req;
+}
+
+core::Request* CompletionQueue::wait_next() {
+  const bool ok =
+      world_.run_until([this]() { return !ready_.empty(); });
+  NMAD_ASSERT_MSG(ok, "completion queue drained the simulation while "
+                      "requests were still in flight");
+  return poll();
+}
+
+}  // namespace nmad::api

@@ -1,0 +1,56 @@
+// Completion queue: event-driven request reaping.
+//
+// The production NewMadeleine "sendrecv" interface delivers completion
+// *events* rather than making applications poll individual requests; this
+// is the equivalent here. Track any number of requests and consume them
+// in completion order — the natural shape for servers that handle
+// whichever client message lands first (see examples/rpc_multiflow.cpp
+// for the polling alternative).
+//
+//   CompletionQueue cq(world);
+//   cq.track(core.irecv(...));
+//   cq.track(core.irecv(...));
+//   while (cq.pending() > 0) {
+//     core::Request* done = cq.wait_next();
+//     ...handle, then core.release(done)...
+//   }
+#pragma once
+
+#include <deque>
+
+#include "nmad/core/request.hpp"
+#include "simnet/world.hpp"
+
+namespace nmad::api {
+
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(simnet::SimWorld& world) : world_(world) {}
+
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  // Registers a request; it appears in the queue once complete (requests
+  // that are already complete are enqueued immediately). The tracked
+  // request must not have another on_complete callback.
+  void track(core::Request* req);
+
+  // Requests tracked but not yet consumed (ready or in flight).
+  [[nodiscard]] size_t pending() const { return in_flight_ + ready_.size(); }
+  // Completed requests waiting to be consumed.
+  [[nodiscard]] size_t ready() const { return ready_.size(); }
+
+  // Next completed request, or nullptr if none is ready right now.
+  core::Request* poll();
+
+  // Pumps the event loop until a completion is available and returns it.
+  // Aborts if the simulation goes quiescent first.
+  core::Request* wait_next();
+
+ private:
+  simnet::SimWorld& world_;
+  std::deque<core::Request*> ready_;
+  size_t in_flight_ = 0;
+};
+
+}  // namespace nmad::api

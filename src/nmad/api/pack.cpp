@@ -1,0 +1,36 @@
+#include "nmad/api/pack.hpp"
+
+namespace nmad::api {
+
+void PackHandle::pack(const void* data, size_t len) {
+  NMAD_ASSERT_MSG(!ended_, "pack() after end()");
+  if (len == 0) return;
+  blocks_.push_back(core::SourceLayout::Block{
+      offset_, util::as_bytes_view(data, len)});
+  offset_ += len;
+}
+
+core::SendRequest* PackHandle::end() {
+  NMAD_ASSERT_MSG(!ended_, "end() called twice");
+  ended_ = true;
+  return core_.isend(gate_, tag_,
+                     core::SourceLayout::scattered(std::move(blocks_)),
+                     hints_);
+}
+
+void UnpackHandle::unpack(void* data, size_t len) {
+  NMAD_ASSERT_MSG(!ended_, "unpack() after end()");
+  if (len == 0) return;
+  blocks_.push_back(core::DestLayout::Block{
+      offset_, util::as_writable_bytes(data, len)});
+  offset_ += len;
+}
+
+core::RecvRequest* UnpackHandle::end() {
+  NMAD_ASSERT_MSG(!ended_, "end() called twice");
+  ended_ = true;
+  return core_.irecv(gate_, tag_,
+                     core::DestLayout::scattered(std::move(blocks_)));
+}
+
+}  // namespace nmad::api

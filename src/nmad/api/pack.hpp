@@ -1,0 +1,75 @@
+// Incremental message building — the historical Madeleine interface.
+//
+// "The first interface is similar to the interface of the former MADELEINE
+// library, it allows to incrementally build messages. ... a NewMadeleine
+// message is made of several pieces of data, located anywhere in
+// user-space. The message is initiated and finalized with a
+// synchronization barrier call." (§3.4)
+//
+// Usage, sender:                        receiver:
+//   PackHandle p(core, gate, tag);        UnpackHandle u(core, gate, tag);
+//   p.pack(&hdr, sizeof hdr);             u.unpack(&hdr, sizeof hdr);
+//   p.pack(body, body_len);               u.unpack(body, body_len);
+//   auto* req = p.end();                  auto* req = u.end();
+//   ... wait(req); core.release(req);
+#pragma once
+
+#include <vector>
+
+#include "nmad/core/core.hpp"
+
+namespace nmad::api {
+
+class PackHandle {
+ public:
+  PackHandle(core::Core& core, core::GateId gate, core::Tag tag)
+      : core_(core), gate_(gate), tag_(tag) {}
+
+  PackHandle(const PackHandle&) = delete;
+  PackHandle& operator=(const PackHandle&) = delete;
+
+  // Registers one piece of data; the memory must stay valid until the
+  // request returned by end() completes.
+  void pack(const void* data, size_t len);
+
+  // Optional per-message scheduling hints (apply to the whole message).
+  void set_priority(core::Priority prio) { hints_.prio = prio; }
+  void set_rail(core::RailIndex rail) { hints_.pinned_rail = rail; }
+
+  // Finalizes and submits the message. May be called exactly once.
+  [[nodiscard]] core::SendRequest* end();
+
+ private:
+  core::Core& core_;
+  core::GateId gate_;
+  core::Tag tag_;
+  core::SendHints hints_;
+  std::vector<core::SourceLayout::Block> blocks_;
+  size_t offset_ = 0;
+  bool ended_ = false;
+};
+
+class UnpackHandle {
+ public:
+  UnpackHandle(core::Core& core, core::GateId gate, core::Tag tag)
+      : core_(core), gate_(gate), tag_(tag) {}
+
+  UnpackHandle(const UnpackHandle&) = delete;
+  UnpackHandle& operator=(const UnpackHandle&) = delete;
+
+  // Registers a destination for the next `len` incoming bytes.
+  void unpack(void* data, size_t len);
+
+  // Finalizes and posts the receive. May be called exactly once.
+  [[nodiscard]] core::RecvRequest* end();
+
+ private:
+  core::Core& core_;
+  core::GateId gate_;
+  core::Tag tag_;
+  std::vector<core::DestLayout::Block> blocks_;
+  size_t offset_ = 0;
+  bool ended_ = false;
+};
+
+}  // namespace nmad::api

@@ -1,0 +1,64 @@
+#include "nmad/api/session.hpp"
+
+#include "nmad/drivers/sim_driver.hpp"
+
+namespace nmad::api {
+
+Cluster::Cluster(ClusterOptions options) : fabric_(world_) {
+  if (options.rails.empty()) {
+    options.rails.push_back(simnet::mx_myri10g_profile());
+  }
+  NMAD_ASSERT_MSG(options.nodes >= 2, "cluster needs at least two nodes");
+
+  for (size_t n = 0; n < options.nodes; ++n) {
+    fabric_.add_node(options.cpu);
+  }
+  for (const simnet::NicProfile& profile : options.rails) {
+    fabric_.add_rail(profile);
+  }
+
+  for (size_t n = 0; n < options.nodes; ++n) {
+    simnet::SimNode& node = fabric_.node(static_cast<simnet::NodeId>(n));
+    auto core = std::make_unique<core::Core>(world_, node, options.core);
+    for (size_t r = 0; r < options.rails.size(); ++r) {
+      auto driver = std::make_unique<drivers::SimDriver>(
+          world_, node, node.nic(static_cast<simnet::RailIndex>(r)));
+      const util::Status st = core->add_rail(std::move(driver));
+      NMAD_ASSERT_MSG(st.is_ok(), "rail setup failed");
+    }
+    cores_.push_back(std::move(core));
+  }
+
+  gates_.resize(options.nodes, std::vector<core::GateId>(options.nodes, 0));
+  for (size_t from = 0; from < options.nodes; ++from) {
+    for (size_t to = 0; to < options.nodes; ++to) {
+      if (from == to) continue;
+      auto gate =
+          cores_[from]->connect(static_cast<drivers::PeerAddr>(to));
+      NMAD_ASSERT_MSG(gate.has_value(), "gate open failed");
+      gates_[from][to] = gate.value();
+    }
+  }
+}
+
+core::GateId Cluster::gate(simnet::NodeId from, simnet::NodeId to) const {
+  NMAD_ASSERT(from < gates_.size() && to < gates_.size() && from != to);
+  return gates_[from][to];
+}
+
+void Cluster::wait(core::Request* req) {
+  NMAD_ASSERT(req != nullptr);
+  const bool ok = world_.run_until([req]() { return req->done(); });
+  if (!ok) {
+    // Protocol deadlock: dump every engine's state before aborting so the
+    // failure is diagnosable.
+    for (auto& core : cores_) core->debug_dump(stderr);
+    NMAD_ASSERT_MSG(ok, "simulation went quiescent with a pending request");
+  }
+}
+
+void Cluster::wait_all(std::span<core::Request* const> reqs) {
+  for (core::Request* req : reqs) wait(req);
+}
+
+}  // namespace nmad::api

@@ -1,0 +1,62 @@
+// Session helpers: build a simulated cluster with one engine per node.
+//
+// Cluster is the entry point used by examples, tests and benchmarks: it
+// owns the virtual world, the fabric, and one Core per node, opens gates
+// between every node pair, and provides MPI-style wait helpers that pump
+// the event loop.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nmad/core/core.hpp"
+#include "simnet/fabric.hpp"
+#include "simnet/profiles.hpp"
+#include "simnet/world.hpp"
+
+namespace nmad::api {
+
+struct ClusterOptions {
+  size_t nodes = 2;
+  // One entry per rail; defaults to a single MX/Myri-10G rail.
+  std::vector<simnet::NicProfile> rails;
+  simnet::CpuProfile cpu = simnet::opteron_2006_profile();
+  core::CoreConfig core;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options = {});
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] simnet::SimWorld& world() { return world_; }
+  [[nodiscard]] simnet::Fabric& fabric() { return fabric_; }
+  [[nodiscard]] size_t node_count() const { return cores_.size(); }
+  [[nodiscard]] core::Core& core(simnet::NodeId node) {
+    NMAD_ASSERT(node < cores_.size());
+    return *cores_[node];
+  }
+
+  // Gate on `from` leading to `to`.
+  [[nodiscard]] core::GateId gate(simnet::NodeId from,
+                                  simnet::NodeId to) const;
+
+  // Virtual time now, µs.
+  [[nodiscard]] double now() const { return world_.now(); }
+
+  // Pumps the event loop until the request completes. Aborts if the
+  // simulation goes quiescent first (protocol deadlock — always a bug).
+  void wait(core::Request* req);
+  void wait_all(std::span<core::Request* const> reqs);
+
+ private:
+  simnet::SimWorld world_;
+  simnet::Fabric fabric_;
+  std::vector<std::unique_ptr<core::Core>> cores_;
+  std::vector<std::vector<core::GateId>> gates_;  // [from][to]
+};
+
+}  // namespace nmad::api

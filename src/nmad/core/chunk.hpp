@@ -1,0 +1,76 @@
+// Window elements: OutChunk (one entry of the optimization window) and
+// BulkJob (a rendezvous body waiting for / flowing after its CTS).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nmad/core/types.hpp"
+#include "nmad/core/wire_format.hpp"
+#include "util/buffer.hpp"
+#include "util/intrusive_list.hpp"
+
+namespace nmad::core {
+
+class SendRequest;
+
+// One schedulable unit in the optimization window. Data chunks alias the
+// application buffer (zero-copy until the driver decides otherwise);
+// control chunks (RTS/CTS) carry only header fields.
+struct OutChunk {
+  util::ListHook hook;
+
+  ChunkKind kind = ChunkKind::kData;
+  uint8_t flags = 0;
+  Tag tag = 0;
+  SeqNum seq = 0;
+  uint32_t offset = 0;
+  uint32_t total = 0;
+  util::ConstBytes payload;  // data/frag only
+
+  uint64_t cookie = 0;             // rts/cts
+  uint32_t rdv_len = 0;            // rts: length of the rendezvous block
+  std::vector<uint8_t> cts_rails;  // cts only
+
+  Priority prio = Priority::kNormal;
+  RailIndex pinned_rail = kAnyRail;
+  SendRequest* owner = nullptr;  // null for control chunks
+
+  [[nodiscard]] bool is_control() const {
+    return kind == ChunkKind::kRts || kind == ChunkKind::kCts;
+  }
+
+  // Bytes this chunk adds to a track-0 packet (header + inline payload).
+  [[nodiscard]] size_t wire_bytes() const {
+    return chunk_wire_bytes(kind, payload.size(), cts_rails.size());
+  }
+};
+
+// A rendezvous body. Parked on the gate while waiting for the CTS, then
+// moved to the ready list where strategies may stream it out through one
+// rail or split it over several.
+struct BulkJob {
+  util::ListHook hook;
+
+  uint64_t cookie = 0;
+  GateId gate = 0;
+  util::ConstBytes body;           // whole contiguous block
+  size_t sent = 0;                 // bytes handed to drivers so far
+  size_t acked = 0;                // bytes whose transmit completed
+  std::vector<uint8_t> rails;      // rails with a sink posted (from CTS)
+  RailIndex pinned_rail = kAnyRail;  // application hint, if any
+  SendRequest* owner = nullptr;
+
+  [[nodiscard]] bool all_sent() const { return sent == body.size(); }
+  [[nodiscard]] bool all_acked() const { return acked == body.size(); }
+  [[nodiscard]] size_t remaining() const { return body.size() - sent; }
+
+  [[nodiscard]] bool allows_rail(RailIndex rail) const {
+    for (uint8_t r : rails) {
+      if (r == rail) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace nmad::core

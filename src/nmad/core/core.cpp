@@ -1,0 +1,702 @@
+#include "nmad/core/core.hpp"
+
+#include <algorithm>
+
+#include "nmad/strategies/builtin.hpp"
+#include "util/logging.hpp"
+
+namespace nmad::core {
+
+Core::Core(simnet::SimWorld& world, simnet::SimNode& node, CoreConfig config)
+    : world_(world),
+      node_(node),
+      config_(std::move(config)),
+      strategy_((ensure_builtin_strategies(), make_strategy(config_.strategy))),
+      // Rendezvous cookies embed the node id so sinks posted on a shared
+      // receiver NIC never collide across senders.
+      next_cookie_((static_cast<uint64_t>(node.id()) + 1) << 48) {
+  NMAD_ASSERT_MSG(strategy_ != nullptr, "unknown strategy name");
+}
+
+Core::~Core() {
+  for (auto& rail : rails_) {
+    // A packet elected early but never transmitted returns its chunks to
+    // the pool (reaching here with one is already a usage error that the
+    // request pools will flag; this keeps the diagnostics readable).
+    if (rail.prebuilt) {
+      for (OutChunk* chunk : rail.prebuilt->chunks()) {
+        chunk_pool_.release(chunk);
+      }
+      rail.prebuilt.reset();
+    }
+    rail.driver->shutdown();
+  }
+}
+
+util::Status Core::add_rail(std::unique_ptr<drivers::Driver> driver) {
+  if (connected_) {
+    return util::failed_precondition("add rails before connecting gates");
+  }
+  NMAD_RETURN_IF_ERROR(driver->init());
+  const auto index = static_cast<RailIndex>(rails_.size());
+  const drivers::DriverCaps& caps = driver->caps();
+
+  RailInfo info;
+  info.index = index;
+  info.rdma = caps.supports_rdma;
+  info.gather = caps.supports_gather;
+  info.max_gather_segments = caps.max_gather_segments;
+  info.rdv_threshold = caps.rdv_threshold;
+  info.max_packet_bytes = caps.max_packet_bytes;
+  info.latency_us = caps.latency_us;
+  info.bandwidth_mbps = caps.bandwidth_mbps;
+
+  driver->set_rx_handler([this, index](drivers::RxPacket&& packet) {
+    on_packet(index, std::move(packet));
+  });
+
+  RailState state;
+  state.driver = std::move(driver);
+  state.info = info;
+  rails_.push_back(std::move(state));
+  return util::ok_status();
+}
+
+util::Expected<GateId> Core::connect(drivers::PeerAddr peer) {
+  std::vector<RailIndex> all;
+  for (RailIndex r = 0; r < rails_.size(); ++r) all.push_back(r);
+  return connect(peer, std::move(all));
+}
+
+util::Expected<GateId> Core::connect(drivers::PeerAddr peer,
+                                     std::vector<RailIndex> rails) {
+  if (rails.empty()) return util::invalid_argument("gate needs >= 1 rail");
+  if (peer_gate_.count(peer) != 0) {
+    return util::already_exists("gate to this peer already open");
+  }
+  for (RailIndex r : rails) {
+    if (r >= rails_.size()) return util::out_of_range("bad rail index");
+  }
+  connected_ = true;
+
+  auto gate = std::make_unique<Gate>();
+  gate->id = static_cast<GateId>(gates_.size());
+  gate->peer = peer;
+  gate->rails = std::move(rails);
+  gate->rdv_threshold = SIZE_MAX;
+  gate->max_packet = SIZE_MAX;
+  for (RailIndex r : gate->rails) {
+    const RailInfo& info = rails_[r].info;
+    gate->max_packet = std::min(gate->max_packet, info.max_packet_bytes);
+    if (info.rdma) {
+      gate->has_rdma = true;
+      gate->rdv_threshold =
+          std::min(gate->rdv_threshold, info.rdv_threshold);
+    }
+  }
+  if (config_.rdv_threshold_override != 0 && gate->has_rdma) {
+    gate->rdv_threshold = config_.rdv_threshold_override;
+  }
+
+  const GateId id = gate->id;
+  peer_gate_[peer] = id;
+  gates_.push_back(std::move(gate));
+  return id;
+}
+
+Gate& Core::gate(GateId id) {
+  NMAD_ASSERT(id < gates_.size());
+  return *gates_[id];
+}
+
+const RailInfo& Core::rail_info(RailIndex rail) const {
+  NMAD_ASSERT(rail < rails_.size());
+  return rails_[rail].info;
+}
+
+size_t Core::window_size(GateId id) { return gate(id).window.size(); }
+
+util::Status Core::set_strategy(const std::string& name) {
+  std::unique_ptr<Strategy> next = make_strategy(name);
+  if (next == nullptr) {
+    return util::not_found("no strategy registered as '" + name + "'");
+  }
+  strategy_ = std::move(next);
+  config_.strategy = name;
+  return util::ok_status();
+}
+
+void Core::poll() {
+  for (auto& rail : rails_) rail.driver->poll();
+}
+
+// ---------------------------------------------------------------------------
+// Collect layer: submission
+// ---------------------------------------------------------------------------
+
+size_t Core::max_eager_payload(const Gate& gate) const {
+  NMAD_ASSERT(gate.max_packet > kPacketHeaderBytes + kFragHeaderBytes);
+  return gate.max_packet - kPacketHeaderBytes - kFragHeaderBytes;
+}
+
+OutChunk* Core::new_chunk() { return chunk_pool_.acquire(); }
+
+void Core::submit_chunk(Gate& gate, OutChunk* chunk) {
+  node_.cpu().charge(config_.submit_chunk_us);
+  if (chunk->prio == Priority::kHigh) chunk->flags |= kFlagPriority;
+  gate.window.push_back(*chunk);
+}
+
+void Core::submit_rdv_block(Gate& gate, SendRequest* req, Tag tag,
+                            SeqNum seq, size_t logical_offset,
+                            util::ConstBytes block, size_t total,
+                            const SendHints& hints) {
+  BulkJob* job = bulk_pool_.acquire();
+  job->cookie = next_cookie_++;
+  job->gate = gate.id;
+  job->body = block;
+  job->sent = 0;
+  job->acked = 0;
+  job->rails.clear();
+  job->pinned_rail = hints.pinned_rail;
+  job->owner = req;
+  req->add_part();
+  gate.rdv_wait_cts[job->cookie] = job;
+  ++stats_.rdv_started;
+
+  OutChunk* rts = new_chunk();
+  rts->kind = ChunkKind::kRts;
+  rts->flags = 0;
+  rts->tag = tag;
+  rts->seq = seq;
+  rts->offset = static_cast<uint32_t>(logical_offset);
+  rts->total = static_cast<uint32_t>(total);
+  rts->rdv_len = static_cast<uint32_t>(block.size());
+  rts->cookie = job->cookie;
+  rts->prio = Priority::kHigh;  // control data ships first
+  rts->pinned_rail = hints.pinned_rail;
+  rts->owner = nullptr;
+  submit_chunk(gate, rts);
+}
+
+void Core::submit_eager_block(Gate& gate, SendRequest* req, Tag tag,
+                              SeqNum seq, size_t logical_offset,
+                              util::ConstBytes block, size_t total,
+                              bool simple, const SendHints& hints) {
+  const size_t max_payload = max_eager_payload(gate);
+  size_t offset = 0;
+  do {
+    const size_t n = std::min(block.size() - offset, max_payload);
+    OutChunk* chunk = new_chunk();
+    chunk->kind = simple ? ChunkKind::kData : ChunkKind::kFrag;
+    chunk->flags = 0;
+    chunk->tag = tag;
+    chunk->seq = seq;
+    chunk->offset = static_cast<uint32_t>(logical_offset + offset);
+    chunk->total = static_cast<uint32_t>(total);
+    chunk->payload = block.subspan(offset, n);
+    chunk->prio = hints.prio;
+    chunk->pinned_rail = hints.pinned_rail;
+    chunk->owner = req;
+    req->add_part();
+    if (logical_offset + offset + n == total) chunk->flags |= kFlagLast;
+    submit_chunk(gate, chunk);
+    offset += n;
+  } while (offset < block.size());
+}
+
+SendRequest* Core::isend(GateId gate_id, Tag tag, const SourceLayout& src,
+                         const SendHints& hints) {
+  Gate& g = gate(gate_id);
+  const SeqNum seq = g.send_seq[tag]++;
+  SendRequest* req = send_pool_.acquire(gate_id, tag, seq, src.total());
+  ++stats_.sends_submitted;
+  node_.cpu().charge(config_.submit_overhead_us);
+
+  const size_t total = src.total();
+  if (total == 0) {
+    // Zero-length message: a bare data chunk carries the completion.
+    OutChunk* chunk = new_chunk();
+    chunk->kind = ChunkKind::kData;
+    chunk->flags = kFlagLast;
+    chunk->tag = tag;
+    chunk->seq = seq;
+    chunk->offset = 0;
+    chunk->total = 0;
+    chunk->payload = {};
+    chunk->prio = hints.prio;
+    chunk->pinned_rail = hints.pinned_rail;
+    chunk->owner = req;
+    req->add_part();
+    submit_chunk(g, chunk);
+    refill_all();
+    return req;
+  }
+
+  // "Simple" messages (single block, fits one eager chunk) use the compact
+  // data header; everything else uses offset-addressed fragments.
+  const bool want_rdv =
+      g.has_rdma && src.blocks().size() == 1 &&
+      src.blocks()[0].memory.size() >= g.rdv_threshold;
+  const bool simple = src.blocks().size() == 1 && !want_rdv &&
+                      src.blocks()[0].memory.size() <= max_eager_payload(g);
+
+  for (const SourceLayout::Block& block : src.blocks()) {
+    if (block.memory.empty()) continue;
+    if (g.has_rdma && block.memory.size() >= g.rdv_threshold) {
+      submit_rdv_block(g, req, tag, seq, block.logical_offset, block.memory,
+                       total, hints);
+    } else {
+      submit_eager_block(g, req, tag, seq, block.logical_offset,
+                         block.memory, total, simple, hints);
+    }
+  }
+  refill_all();
+  return req;
+}
+
+SendRequest* Core::isend(GateId gate_id, Tag tag, util::ConstBytes data,
+                         const SendHints& hints) {
+  return isend(gate_id, tag, SourceLayout::contiguous(data), hints);
+}
+
+RecvRequest* Core::irecv(GateId gate_id, Tag tag, DestLayout dest) {
+  Gate& g = gate(gate_id);
+  const SeqNum seq = g.recv_seq[tag]++;
+  RecvRequest* req = recv_pool_.acquire(gate_id, tag, seq, std::move(dest));
+  ++stats_.recvs_submitted;
+  node_.cpu().charge(config_.submit_overhead_us);
+
+  const MsgKey key{tag, seq};
+  g.active_recv[key] = req;
+
+  // Replay anything that arrived before this receive was posted.
+  auto it = g.unexpected.find(key);
+  if (it != g.unexpected.end()) {
+    UnexpectedMsg msg = std::move(it->second);
+    g.unexpected.erase(it);
+    for (const StoredFrag& frag : msg.frags) {
+      deliver_eager(g, req, frag.offset, frag.total, frag.data.view());
+    }
+    for (const StoredRts& rts : msg.rts) {
+      start_rdv_recv(g, req, rts.len, rts.offset, rts.total, rts.cookie);
+    }
+    refill_all();  // replay may have queued CTS chunks
+  }
+  return req;
+}
+
+RecvRequest* Core::irecv(GateId gate_id, Tag tag,
+                         util::MutableBytes buffer) {
+  return irecv(gate_id, tag, DestLayout::contiguous(buffer));
+}
+
+Core::PeekResult Core::peek_unexpected(GateId gate_id, Tag tag) {
+  Gate& g = gate(gate_id);
+  // The next irecv on this tag will be assigned the current counter value.
+  SeqNum next_seq = 0;
+  if (auto it = g.recv_seq.find(tag); it != g.recv_seq.end()) {
+    next_seq = it->second;
+  }
+  auto it = g.unexpected.find(MsgKey{tag, next_seq});
+  if (it == g.unexpected.end()) return {};
+  PeekResult result;
+  result.matched = true;
+  for (const StoredFrag& frag : it->second.frags) {
+    result.total_known = true;
+    result.total_bytes = frag.total;
+  }
+  for (const StoredRts& rts : it->second.rts) {
+    result.total_known = true;
+    result.total_bytes = rts.total;
+  }
+  return result;
+}
+
+void Core::release(Request* req) {
+  NMAD_ASSERT(req != nullptr);
+  NMAD_ASSERT_MSG(req->done(), "release of an incomplete request");
+  if (req->kind() == Request::Kind::kSend) {
+    send_pool_.release(static_cast<SendRequest*>(req));
+  } else {
+    recv_pool_.release(static_cast<RecvRequest*>(req));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling layer: just-in-time election
+// ---------------------------------------------------------------------------
+
+void Core::refill_all() {
+  for (RailIndex r = 0; r < rails_.size(); ++r) {
+    refill_rail(r);
+    if (!rails_[r].driver->tx_idle()) maybe_prebuild(r);
+  }
+}
+
+// §3.2 alternative policy: while the NIC is busy and the backlog is deep
+// enough, run the optimizer early and park the resulting packet.
+void Core::maybe_prebuild(RailIndex rail) {
+  if (config_.prebuild_backlog_chunks == 0) return;
+  RailState& rs = rails_[rail];
+  if (rs.prebuilt) return;
+  const size_t n = gates_.size();
+  for (size_t k = 0; k < n; ++k) {
+    const size_t gi = (rs.rr_cursor + k) % n;
+    Gate& g = *gates_[gi];
+    if (!g.has_rail(rail)) continue;
+    if (g.window.size() < config_.prebuild_backlog_chunks) continue;
+    const size_t max_bytes = std::min(g.max_packet, rs.info.max_packet_bytes);
+    const size_t max_segments =
+        rs.info.gather ? rs.info.max_gather_segments : 0;
+    auto builder = std::make_shared<PacketBuilder>(max_bytes, max_segments,
+                                                   config_.wire_checksum);
+    const size_t taken = strategy_->pack(*this, g, rs.info, *builder);
+    if (taken == 0) continue;
+    // The election cost is paid now, overlapped with the NIC's current
+    // transmission instead of delaying the next one.
+    node_.cpu().charge(config_.elect_overhead_us);
+    ++stats_.packets_prebuilt;
+    rs.prebuilt = std::move(builder);
+    rs.prebuilt_gate = g.id;
+    rs.rr_cursor = (gi + 1) % n;
+    return;
+  }
+}
+
+void Core::refill_rail(RailIndex rail) {
+  RailState& rs = rails_[rail];
+  if (!rs.driver->tx_idle()) return;
+
+  // A pre-armed packet goes out instantly, no election on the idle path.
+  if (rs.prebuilt) {
+    std::shared_ptr<PacketBuilder> builder = std::move(rs.prebuilt);
+    rs.prebuilt.reset();
+    issue_packet(gate(rs.prebuilt_gate), rail, std::move(builder),
+                 /*charge_election=*/false);
+    return;
+  }
+  const size_t n = gates_.size();
+  for (size_t k = 0; k < n; ++k) {
+    const size_t gi = (rs.rr_cursor + k) % n;
+    Gate& g = *gates_[gi];
+    if (!g.has_rail(rail)) continue;
+
+    // Granted rendezvous bodies take precedence: the receiver is waiting.
+    Strategy::BulkDecision decision = strategy_->next_bulk(*this, g, rs.info);
+    if (decision.job != nullptr && decision.bytes > 0) {
+      rs.rr_cursor = (gi + 1) % n;
+      issue_bulk(g, rail, decision.job, decision.bytes);
+      return;
+    }
+
+    if (!g.window.empty()) {
+      const size_t max_bytes =
+          std::min(g.max_packet, rs.info.max_packet_bytes);
+      const size_t max_segments =
+          rs.info.gather ? rs.info.max_gather_segments : 0;
+      auto builder = std::make_shared<PacketBuilder>(max_bytes, max_segments,
+                                                   config_.wire_checksum);
+      const size_t taken = strategy_->pack(*this, g, rs.info, *builder);
+      if (taken > 0) {
+        rs.rr_cursor = (gi + 1) % n;
+        issue_packet(g, rail, std::move(builder));
+        return;
+      }
+    }
+  }
+}
+
+void Core::issue_packet(Gate& gate, RailIndex rail,
+                        std::shared_ptr<PacketBuilder> builder,
+                        bool charge_election) {
+  // The optimizer just inspected the window and synthesized a packet;
+  // charge its cost (§5.1: "extra operations on the critical path") —
+  // unless it was already paid at prebuild time.
+  if (charge_election) node_.cpu().charge(config_.elect_overhead_us);
+  ++stats_.packets_sent;
+  stats_.chunks_sent += builder->chunk_count();
+  if (builder->chunk_count() > 1) {
+    stats_.chunks_aggregated += builder->chunk_count();
+  }
+
+  const util::SegmentVec& segments = builder->finalize();
+  const util::Status st = rails_[rail].driver->send_packet(
+      gate.peer, segments, [this, builder]() {
+        for (OutChunk* chunk : builder->chunks()) {
+          if (chunk->owner != nullptr && !chunk->is_control()) {
+            chunk->owner->part_done();
+          }
+          chunk_pool_.release(chunk);
+        }
+        refill_all();
+      });
+  NMAD_ASSERT_MSG(st.is_ok(), "driver rejected packet send");
+}
+
+void Core::issue_bulk(Gate& gate, RailIndex rail, BulkJob* job,
+                      size_t bytes) {
+  NMAD_ASSERT(bytes > 0 && bytes <= job->remaining());
+  node_.cpu().charge(config_.elect_overhead_us);
+  ++stats_.bulk_sends;
+  stats_.bulk_bytes += bytes;
+
+  const size_t offset = job->sent;
+  job->sent += bytes;
+  if (job->all_sent()) {
+    gate.ready_bulk.remove(*job);  // nothing left to elect
+  }
+
+  util::SegmentVec segments;
+  segments.add(job->body.subspan(offset, bytes));
+  const util::Status st = rails_[rail].driver->send_bulk(
+      gate.peer, job->cookie, offset, segments, [this, job, bytes]() {
+        job->acked += bytes;
+        if (job->all_sent() && job->all_acked()) {
+          SendRequest* owner = job->owner;
+          bulk_pool_.release(job);
+          owner->part_done();
+        }
+        refill_all();
+      });
+  NMAD_ASSERT_MSG(st.is_ok(), "driver rejected bulk send");
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
+  (void)rail;
+  auto it = peer_gate_.find(packet.from);
+  NMAD_ASSERT_MSG(it != peer_gate_.end(), "packet from unknown peer");
+  Gate& g = *gates_[it->second];
+  ++stats_.packets_received;
+  node_.cpu().charge(config_.parse_packet_us);
+
+  const util::Status st = decode_packet(
+      packet.bytes.view(), [this, &g](const WireChunk& chunk) {
+        node_.cpu().charge(config_.parse_chunk_us);
+        ++stats_.chunks_received;
+        switch (chunk.kind) {
+          case ChunkKind::kData:
+          case ChunkKind::kFrag:
+            handle_payload_chunk(g, chunk);
+            break;
+          case ChunkKind::kRts:
+            handle_rts(g, chunk);
+            break;
+          case ChunkKind::kCts:
+            handle_cts(g, chunk);
+            break;
+        }
+      });
+  NMAD_ASSERT_MSG(st.is_ok(), "malformed packet on wire");
+}
+
+void Core::handle_payload_chunk(Gate& gate, const WireChunk& chunk) {
+  const MsgKey key{chunk.tag, chunk.seq};
+  auto it = gate.active_recv.find(key);
+  if (it == gate.active_recv.end()) {
+    // Unexpected: copy the payload aside (real host work) until a
+    // matching receive is posted.
+    ++stats_.unexpected_chunks;
+    node_.cpu().charge_memcpy(chunk.payload.size());
+    StoredFrag frag;
+    frag.kind = chunk.kind;
+    frag.flags = chunk.flags;
+    frag.offset = chunk.offset;
+    frag.total = chunk.total;
+    frag.data.append(chunk.payload);
+    gate.unexpected[key].frags.push_back(std::move(frag));
+    return;
+  }
+  deliver_eager(gate, it->second, chunk.offset, chunk.total, chunk.payload);
+}
+
+void Core::deliver_eager(Gate& gate, RecvRequest* req, uint32_t offset,
+                         uint32_t total, util::ConstBytes payload) {
+  if (!req->set_total(total)) {
+    finish_recv_if_done(gate, req);
+    return;
+  }
+  if (payload.empty()) {
+    recv_add_bytes(gate, req, 0);
+    return;
+  }
+  // Eager data is copied from the NIC buffer into the destination layout:
+  // the one unavoidable copy of eager protocols. Content moves now (the
+  // source view dies with the packet); completion is accounted when the
+  // modelled memcpy finishes.
+  req->layout_.scatter(offset, payload);
+  const simnet::SimTime done_at = node_.cpu().charge_memcpy(payload.size());
+  const size_t n = payload.size();
+  world_.at(done_at,
+            [this, &gate, req, n]() { recv_add_bytes(gate, req, n); });
+}
+
+void Core::handle_rts(Gate& gate, const WireChunk& chunk) {
+  const MsgKey key{chunk.tag, chunk.seq};
+  auto it = gate.active_recv.find(key);
+  if (it == gate.active_recv.end()) {
+    ++stats_.unexpected_chunks;
+    StoredRts rts;
+    rts.len = chunk.len;
+    rts.offset = chunk.offset;
+    rts.total = chunk.total;
+    rts.cookie = chunk.cookie;
+    gate.unexpected[key].rts.push_back(rts);
+    return;
+  }
+  start_rdv_recv(gate, it->second, chunk.len, chunk.offset, chunk.total,
+                 chunk.cookie);
+}
+
+void Core::start_rdv_recv(Gate& gate, RecvRequest* req, uint32_t len,
+                          uint32_t offset, uint32_t total, uint64_t cookie) {
+  if (!req->set_total(total)) {
+    // Truncation: no CTS is ever sent; the request carries the error.
+    finish_recv_if_done(gate, req);
+    return;
+  }
+
+  RdvRecv rec;
+  rec.request = req;
+  rec.len = len;
+  rec.offset = offset;
+  util::MutableBytes region = req->layout_.contiguous_region(offset, len);
+  if (region.empty() && len > 0) {
+    // Destination is scattered: receive through a bounce buffer, scatter
+    // on completion (costs a modelled memcpy — zero-copy only when the
+    // block lands contiguously, exactly the Figure 4 distinction).
+    rec.bounce.resize(len);
+    region = rec.bounce.view();
+  }
+  const GateId gate_id = gate.id;
+  rec.sink = std::make_unique<simnet::BulkSink>(
+      cookie, region, len, [this, gate_id, cookie]() {
+        // Defer: the sink is still on the delivery stack right now.
+        world_.after(0.0, [this, gate_id, cookie]() {
+          on_bulk_recv_complete(gate_id, cookie);
+        });
+      });
+
+  std::vector<uint8_t> posted_rails;
+  for (RailIndex r : gate.rails) {
+    if (!rails_[r].info.rdma) continue;
+    const util::Status st = rails_[r].driver->post_bulk_recv(rec.sink.get());
+    NMAD_ASSERT_MSG(st.is_ok(), "bulk post failed on RDMA rail");
+    posted_rails.push_back(static_cast<uint8_t>(r));
+  }
+  NMAD_ASSERT_MSG(!posted_rails.empty(),
+                  "RTS received but no RDMA rail available");
+  rec.rails = posted_rails;
+  gate.rdv_recv.emplace(cookie, std::move(rec));
+
+  // Grant: the CTS is an ordinary control chunk — it rides the window and
+  // may be aggregated with outgoing data (key to the §5.3 strategy).
+  OutChunk* cts = new_chunk();
+  cts->kind = ChunkKind::kCts;
+  cts->flags = 0;
+  cts->tag = req->tag();
+  cts->seq = req->seq();
+  cts->cookie = cookie;
+  cts->cts_rails = std::move(posted_rails);
+  cts->prio = Priority::kHigh;
+  cts->owner = nullptr;
+  submit_chunk(gate, cts);
+  refill_all();
+}
+
+void Core::on_bulk_recv_complete(GateId gate_id, uint64_t cookie) {
+  Gate& g = gate(gate_id);
+  auto it = g.rdv_recv.find(cookie);
+  NMAD_ASSERT(it != g.rdv_recv.end());
+  RdvRecv rec = std::move(it->second);
+  g.rdv_recv.erase(it);
+
+  for (uint8_t r : rec.rails) {
+    rails_[r].driver->cancel_bulk_recv(cookie);
+  }
+
+  RecvRequest* req = rec.request;
+  const size_t len = rec.len;
+  if (!rec.bounce.empty()) {
+    // Bounce path: scatter into the real destination at memcpy cost.
+    req->layout_.scatter(rec.offset, rec.bounce.view());
+    const simnet::SimTime done_at = node_.cpu().charge_memcpy(len);
+    Gate* gp = &g;
+    world_.at(done_at,
+              [this, gp, req, len]() { recv_add_bytes(*gp, req, len); });
+  } else {
+    recv_add_bytes(g, req, len);
+  }
+}
+
+void Core::recv_add_bytes(Gate& gate, RecvRequest* req, size_t n) {
+  req->add_received(n);
+  finish_recv_if_done(gate, req);
+}
+
+void Core::finish_recv_if_done(Gate& gate, RecvRequest* req) {
+  if (!req->done()) return;
+  gate.active_recv.erase(MsgKey{req->tag(), req->seq()});
+}
+
+void Core::debug_dump(std::FILE* out) const {
+  std::fprintf(out, "=== nmad core on node %u (strategy %s) ===\n",
+               node_.id(), std::string(strategy_->name()).c_str());
+  for (size_t r = 0; r < rails_.size(); ++r) {
+    std::fprintf(out, "rail %zu: %s tx_idle=%d prebuilt=%d\n", r,
+                 rails_[r].driver->caps().name.c_str(),
+                 rails_[r].driver->tx_idle() ? 1 : 0,
+                 rails_[r].prebuilt ? 1 : 0);
+  }
+  for (const auto& gate : gates_) {
+    std::fprintf(out,
+                 "gate %u → peer %u: window=%zu ready_bulk=%zu "
+                 "rdv_wait_cts=%zu active_recv=%zu unexpected=%zu "
+                 "rdv_recv=%zu\n",
+                 gate->id, gate->peer, gate->window.size(),
+                 gate->ready_bulk.size(), gate->rdv_wait_cts.size(),
+                 gate->active_recv.size(), gate->unexpected.size(),
+                 gate->rdv_recv.size());
+  }
+  std::fprintf(out,
+               "stats: sends=%llu recvs=%llu packets=%llu/%llu "
+               "chunks=%llu agg=%llu rdv=%llu bulk=%llu prebuilt=%llu "
+               "unexpected=%llu\n",
+               static_cast<unsigned long long>(stats_.sends_submitted),
+               static_cast<unsigned long long>(stats_.recvs_submitted),
+               static_cast<unsigned long long>(stats_.packets_sent),
+               static_cast<unsigned long long>(stats_.packets_received),
+               static_cast<unsigned long long>(stats_.chunks_sent),
+               static_cast<unsigned long long>(stats_.chunks_aggregated),
+               static_cast<unsigned long long>(stats_.rdv_started),
+               static_cast<unsigned long long>(stats_.bulk_sends),
+               static_cast<unsigned long long>(stats_.packets_prebuilt),
+               static_cast<unsigned long long>(stats_.unexpected_chunks));
+}
+
+void Core::handle_cts(Gate& gate, const WireChunk& chunk) {
+  auto it = gate.rdv_wait_cts.find(chunk.cookie);
+  NMAD_ASSERT_MSG(it != gate.rdv_wait_cts.end(), "CTS for unknown cookie");
+  BulkJob* job = it->second;
+  gate.rdv_wait_cts.erase(it);
+
+  // Keep only rails this side can actually drive (and the pinned rail, if
+  // the application constrained the message to one).
+  job->rails.clear();
+  for (uint8_t r : chunk.rails) {
+    if (r >= rails_.size() || !rails_[r].info.rdma || !gate.has_rail(r)) {
+      continue;
+    }
+    if (job->pinned_rail != kAnyRail && job->pinned_rail != r) continue;
+    job->rails.push_back(r);
+  }
+  NMAD_ASSERT_MSG(!job->rails.empty(), "CTS grants no usable rail");
+  gate.ready_bulk.push_back(*job);
+  refill_all();
+}
+
+}  // namespace nmad::core

@@ -1,0 +1,226 @@
+// Core: the NewMadeleine communication engine (paper §3).
+//
+// One Core instance is one process's engine. It owns the three layers:
+//   - collect layer: isend()/irecv() register application data and the
+//     metadata needed to identify it remotely (tag, sequence number);
+//   - optimizing/scheduling layer: submitted chunks accumulate in the
+//     per-gate optimization window; whenever a NIC goes idle the selected
+//     Strategy elects/synthesizes the next physical packet just-in-time;
+//   - transfer layer: one Driver per rail moves packets and rendezvous
+//     bodies, and reports idleness so the cycle continues.
+//
+// The engine is event-driven: driver callbacks (packet arrival, transmit
+// completion, bulk completion) drive all protocol state transitions.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nmad/core/chunk.hpp"
+#include "nmad/core/gate.hpp"
+#include "nmad/core/layout.hpp"
+#include "nmad/core/request.hpp"
+#include "nmad/core/strategy.hpp"
+#include "nmad/drivers/driver.hpp"
+#include "simnet/fabric.hpp"
+#include "simnet/world.hpp"
+#include "util/pool.hpp"
+#include "util/status.hpp"
+
+namespace nmad::core {
+
+struct CoreConfig {
+  // Strategy selected at startup ("the optimization function is to be
+  // selected among an extensible and programmable set of strategies").
+  std::string strategy = "aggreg";
+
+  // Modelled software costs of the engine itself. These are what §5.1
+  // measures as the < 0.5 µs MAD-MPI overhead: the extra header plus the
+  // scheduler "inspect[ing] the ready list of packets".
+  double submit_overhead_us = 0.10;  // collect layer, per isend/irecv
+  double submit_chunk_us = 0.03;     // per chunk registered
+  double elect_overhead_us = 0.40;   // optimizer, per packet election
+  double parse_packet_us = 0.20;     // receive path, per packet
+  double parse_chunk_us = 0.05;      // receive path, per chunk
+
+  // Overrides the per-rail rendezvous threshold when non-zero.
+  size_t rdv_threshold_override = 0;
+
+  // Appends a 4-byte checksum to every track-0 packet and verifies it on
+  // receive — a debugging aid for driver/strategy development (the flag
+  // is carried on the wire, so mixed settings interoperate).
+  bool wire_checksum = false;
+
+  // §3.2 lists three election policies. The default is pure just-in-time
+  // (elect when a NIC idles). Setting this to N > 0 enables the
+  // alternatives: once the window backlog reaches N chunks while the NIC
+  // is busy, the optimizer runs early and parks one ready-to-send packet,
+  // which is handed over the moment the NIC idles ("prepare a single
+  // ready-to-send packet to anticipate for any upcoming completion").
+  // The election cost is thus overlapped with communication, at the price
+  // of freezing that packet's contents early.
+  size_t prebuild_backlog_chunks = 0;
+};
+
+struct CoreStats {
+  uint64_t sends_submitted = 0;
+  uint64_t recvs_submitted = 0;
+  uint64_t packets_sent = 0;
+  uint64_t packets_received = 0;
+  uint64_t chunks_sent = 0;
+  uint64_t chunks_received = 0;
+  // Chunks that shared a packet with at least one other chunk.
+  uint64_t chunks_aggregated = 0;
+  uint64_t rdv_started = 0;
+  uint64_t bulk_sends = 0;
+  uint64_t bulk_bytes = 0;
+  uint64_t unexpected_chunks = 0;
+  uint64_t packets_prebuilt = 0;  // elected early under the backlog policy
+};
+
+struct SendHints {
+  Priority prio = Priority::kNormal;
+  RailIndex pinned_rail = kAnyRail;
+};
+
+class Core {
+ public:
+  Core(simnet::SimWorld& world, simnet::SimNode& node, CoreConfig config);
+  ~Core();
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  // Setup ----------------------------------------------------------------
+  // Adds one rail (driver). All rails must be added before connecting.
+  util::Status add_rail(std::unique_ptr<drivers::Driver> driver);
+
+  // Opens a gate to `peer` using all rails (or an explicit subset).
+  // Rail indices are assumed symmetric between the two processes, which
+  // holds by construction in the simulated fabric.
+  util::Expected<GateId> connect(drivers::PeerAddr peer);
+  util::Expected<GateId> connect(drivers::PeerAddr peer,
+                                 std::vector<RailIndex> rails);
+
+  // Collect layer ----------------------------------------------------------
+  // Submits a message gathered from `src`; each source block becomes one
+  // or more window chunks (eager) or a rendezvous job (large blocks).
+  SendRequest* isend(GateId gate, Tag tag, const SourceLayout& src,
+                     const SendHints& hints = {});
+  SendRequest* isend(GateId gate, Tag tag, util::ConstBytes data,
+                     const SendHints& hints = {});
+
+  RecvRequest* irecv(GateId gate, Tag tag, DestLayout dest);
+  RecvRequest* irecv(GateId gate, Tag tag, util::MutableBytes buffer);
+
+  // Nonblocking probe: reports whether the *next* message on (gate, tag)
+  // — the one the next irecv would match — has already announced itself
+  // (eager data or a rendezvous RTS), without consuming anything.
+  struct PeekResult {
+    bool matched = false;
+    bool total_known = false;
+    size_t total_bytes = 0;
+  };
+  [[nodiscard]] PeekResult peek_unexpected(GateId gate, Tag tag);
+
+  // Completion -------------------------------------------------------------
+  [[nodiscard]] static bool test(const Request* req) { return req->done(); }
+  // Returns the request to the engine pool; only valid once done.
+  void release(Request* req);
+
+  // Drives driver-internal progress (no-op on the simulated fabric).
+  void poll();
+
+  // Introspection ----------------------------------------------------------
+  [[nodiscard]] const CoreConfig& config() const { return config_; }
+  [[nodiscard]] const CoreStats& stats() const { return stats_; }
+  [[nodiscard]] size_t rail_count() const { return rails_.size(); }
+  [[nodiscard]] const RailInfo& rail_info(RailIndex rail) const;
+  [[nodiscard]] size_t gate_count() const { return gates_.size(); }
+  [[nodiscard]] Gate& gate(GateId id);
+  [[nodiscard]] size_t window_size(GateId id);
+  [[nodiscard]] std::string_view strategy_name() const {
+    return strategy_->name();
+  }
+
+  // Switches the optimization function at runtime — the paper proposes a
+  // "(dynamically in the future) selectable optimization function"
+  // (§3.2). Safe at any point: strategies are stateless over the window,
+  // so the next election simply uses the new policy. Returns not-found
+  // for unregistered names.
+  util::Status set_strategy(const std::string& name);
+  [[nodiscard]] simnet::SimWorld& world() { return world_; }
+  [[nodiscard]] simnet::SimNode& node() { return node_; }
+
+  // Writes a human-readable snapshot of the engine state (windows,
+  // pending rendezvous, in-flight receives) — used by deadlock
+  // diagnostics and debugging sessions.
+  void debug_dump(std::FILE* out) const;
+
+ private:
+  struct RailState {
+    std::unique_ptr<drivers::Driver> driver;
+    RailInfo info;
+    size_t rr_cursor = 0;  // round-robin position over gates
+    // Packet elected early under the prebuild policy, waiting for idle.
+    std::shared_ptr<PacketBuilder> prebuilt;
+    GateId prebuilt_gate = 0;
+  };
+
+  void maybe_prebuild(RailIndex rail);
+
+  // Scheduling -------------------------------------------------------------
+  void refill_all();
+  void refill_rail(RailIndex rail);
+  void issue_packet(Gate& gate, RailIndex rail,
+                    std::shared_ptr<PacketBuilder> builder,
+                    bool charge_election = true);
+  void issue_bulk(Gate& gate, RailIndex rail, BulkJob* job, size_t bytes);
+
+  // Submission helpers ------------------------------------------------------
+  OutChunk* new_chunk();
+  void submit_chunk(Gate& gate, OutChunk* chunk);
+  void submit_rdv_block(Gate& gate, SendRequest* req, Tag tag, SeqNum seq,
+                        size_t logical_offset, util::ConstBytes block,
+                        size_t total, const SendHints& hints);
+  void submit_eager_block(Gate& gate, SendRequest* req, Tag tag, SeqNum seq,
+                          size_t logical_offset, util::ConstBytes block,
+                          size_t total, bool simple,
+                          const SendHints& hints);
+
+  // Receive path ------------------------------------------------------------
+  void on_packet(RailIndex rail, drivers::RxPacket&& packet);
+  void handle_payload_chunk(Gate& gate, const WireChunk& chunk);
+  void handle_rts(Gate& gate, const WireChunk& chunk);
+  void handle_cts(Gate& gate, const WireChunk& chunk);
+  void deliver_eager(Gate& gate, RecvRequest* req, uint32_t offset,
+                     uint32_t total, util::ConstBytes payload);
+  void start_rdv_recv(Gate& gate, RecvRequest* req, uint32_t len,
+                      uint32_t offset, uint32_t total, uint64_t cookie);
+  void on_bulk_recv_complete(GateId gate_id, uint64_t cookie);
+  void recv_add_bytes(Gate& gate, RecvRequest* req, size_t n);
+  void finish_recv_if_done(Gate& gate, RecvRequest* req);
+
+  [[nodiscard]] size_t max_eager_payload(const Gate& gate) const;
+
+  simnet::SimWorld& world_;
+  simnet::SimNode& node_;
+  CoreConfig config_;
+  std::unique_ptr<Strategy> strategy_;
+  std::vector<RailState> rails_;
+  std::vector<std::unique_ptr<Gate>> gates_;
+  std::map<drivers::PeerAddr, GateId> peer_gate_;
+  uint64_t next_cookie_;
+  bool connected_ = false;  // first connect freezes rail setup
+
+  util::ObjectPool<OutChunk> chunk_pool_;
+  util::ObjectPool<BulkJob> bulk_pool_;
+  util::ObjectPool<SendRequest> send_pool_;
+  util::ObjectPool<RecvRequest> recv_pool_;
+
+  CoreStats stats_;
+};
+
+}  // namespace nmad::core

@@ -1,0 +1,84 @@
+// Gate: all per-peer engine state (paper: a connection to one remote
+// process, possibly spanning several heterogeneous NICs).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "nmad/core/chunk.hpp"
+#include "nmad/core/request.hpp"
+#include "nmad/drivers/driver.hpp"
+#include "simnet/nic.hpp"
+#include "util/buffer.hpp"
+#include "util/intrusive_list.hpp"
+
+namespace nmad::core {
+
+// Eager chunk that arrived before its receive was posted; the payload is
+// copied into owned storage at arrival (charged as host work).
+struct StoredFrag {
+  ChunkKind kind = ChunkKind::kData;
+  uint8_t flags = 0;
+  uint32_t offset = 0;
+  uint32_t total = 0;
+  util::ByteBuffer data;
+};
+
+// RTS that arrived before its receive was posted.
+struct StoredRts {
+  uint32_t len = 0;
+  uint32_t offset = 0;
+  uint32_t total = 0;
+  uint64_t cookie = 0;
+};
+
+struct UnexpectedMsg {
+  std::vector<StoredFrag> frags;
+  std::vector<StoredRts> rts;
+};
+
+// Receive-side state of one in-flight rendezvous block.
+struct RdvRecv {
+  RecvRequest* request = nullptr;
+  uint32_t len = 0;
+  uint32_t offset = 0;
+  std::unique_ptr<simnet::BulkSink> sink;
+  std::vector<uint8_t> rails;       // rails the sink is posted on
+  util::ByteBuffer bounce;          // used when the dest is not contiguous
+};
+
+using MsgKey = std::pair<Tag, SeqNum>;
+
+struct Gate {
+  GateId id = 0;
+  drivers::PeerAddr peer = 0;
+  std::vector<RailIndex> rails;      // core rail indices reaching the peer
+  size_t rdv_threshold = SIZE_MAX;   // per-block eager/rdv switch
+  size_t max_packet = 32 * 1024;     // largest track-0 packet
+  bool has_rdma = false;
+
+  // ---- send side -------------------------------------------------------
+  // The optimization window: chunks accumulate here while NICs are busy.
+  util::IntrusiveList<OutChunk, &OutChunk::hook> window;
+  // Rendezvous jobs whose CTS has arrived; strategies drain these first.
+  util::IntrusiveList<BulkJob, &BulkJob::hook> ready_bulk;
+  std::map<Tag, SeqNum> send_seq;
+  std::map<uint64_t, BulkJob*> rdv_wait_cts;  // parked until CTS
+
+  // ---- receive side ----------------------------------------------------
+  std::map<Tag, SeqNum> recv_seq;
+  std::map<MsgKey, RecvRequest*> active_recv;
+  std::map<MsgKey, UnexpectedMsg> unexpected;
+  std::map<uint64_t, RdvRecv> rdv_recv;  // cookie → in-flight bulk receive
+
+  [[nodiscard]] bool has_rail(RailIndex rail) const {
+    for (RailIndex r : rails) {
+      if (r == rail) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace nmad::core

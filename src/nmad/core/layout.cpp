@@ -1,0 +1,93 @@
+#include "nmad/core/layout.hpp"
+
+#include "util/assert.hpp"
+
+namespace nmad::core {
+
+DestLayout DestLayout::contiguous(util::MutableBytes memory) {
+  DestLayout layout;
+  if (!memory.empty()) {
+    layout.blocks_.push_back(Block{0, memory});
+  }
+  layout.total_ = memory.size();
+  return layout;
+}
+
+DestLayout DestLayout::scattered(std::vector<Block> blocks) {
+  DestLayout layout;
+  size_t expected_offset = 0;
+  for (const Block& b : blocks) {
+    NMAD_ASSERT_MSG(b.logical_offset == expected_offset,
+                    "layout blocks must be dense and ordered");
+    expected_offset += b.memory.size();
+  }
+  layout.blocks_ = std::move(blocks);
+  layout.total_ = expected_offset;
+  return layout;
+}
+
+void DestLayout::scatter(size_t offset, util::ConstBytes data) const {
+  NMAD_ASSERT_MSG(offset + data.size() <= total_,
+                  "scatter outside layout bounds");
+  size_t remaining = data.size();
+  size_t src_pos = 0;
+  // Binary search for the block containing `offset`.
+  size_t lo = 0, hi = blocks_.size();
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (blocks_[mid].logical_offset <= offset) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  for (size_t i = lo; remaining > 0; ++i) {
+    NMAD_ASSERT(i < blocks_.size());
+    const Block& b = blocks_[i];
+    const size_t block_end = b.logical_offset + b.memory.size();
+    if (offset >= block_end) continue;  // possible only for i == lo
+    const size_t in_block = offset - b.logical_offset;
+    const size_t n = std::min(remaining, b.memory.size() - in_block);
+    util::copy_bytes(b.memory.subspan(in_block, n),
+                     data.subspan(src_pos, n));
+    offset += n;
+    src_pos += n;
+    remaining -= n;
+  }
+}
+
+util::MutableBytes DestLayout::contiguous_region(size_t offset,
+                                                 size_t len) const {
+  if (offset + len > total_ || len == 0) return {};
+  for (const Block& b : blocks_) {
+    const size_t block_end = b.logical_offset + b.memory.size();
+    if (offset >= b.logical_offset && offset + len <= block_end) {
+      return b.memory.subspan(offset - b.logical_offset, len);
+    }
+  }
+  return {};
+}
+
+SourceLayout SourceLayout::contiguous(util::ConstBytes memory) {
+  SourceLayout layout;
+  if (!memory.empty()) {
+    layout.blocks_.push_back(Block{0, memory});
+  }
+  layout.total_ = memory.size();
+  return layout;
+}
+
+SourceLayout SourceLayout::scattered(std::vector<Block> blocks) {
+  SourceLayout layout;
+  size_t expected_offset = 0;
+  for (const Block& b : blocks) {
+    NMAD_ASSERT_MSG(b.logical_offset == expected_offset,
+                    "layout blocks must be dense and ordered");
+    expected_offset += b.memory.size();
+  }
+  layout.blocks_ = std::move(blocks);
+  layout.total_ = expected_offset;
+  return layout;
+}
+
+}  // namespace nmad::core

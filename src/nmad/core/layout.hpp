@@ -1,0 +1,75 @@
+// DestLayout: maps the logical byte space of an incoming message onto
+// receiver memory.
+//
+// A contiguous receive is the common case; derived-datatype receives
+// (MAD-MPI indexed/vector types) map logical ranges onto scattered blocks.
+// Large rendezvous blocks whose logical range is memory-contiguous are
+// received zero-copy straight into their final destination — the mechanism
+// behind Figure 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/buffer.hpp"
+
+namespace nmad::core {
+
+class DestLayout {
+ public:
+  struct Block {
+    size_t logical_offset = 0;  // offset in the message byte stream
+    util::MutableBytes memory;  // destination bytes
+  };
+
+  DestLayout() = default;
+
+  static DestLayout contiguous(util::MutableBytes memory);
+
+  // Blocks must be given in increasing logical offset with no overlap;
+  // logical offsets must be dense (block i+1 starts where block i ends).
+  static DestLayout scattered(std::vector<Block> blocks);
+
+  // Total logical bytes this layout can accept.
+  [[nodiscard]] size_t total() const { return total_; }
+
+  [[nodiscard]] bool empty() const { return total_ == 0; }
+
+  // Copies `data` into the memory backing logical range
+  // [offset, offset+data.size()); the range must fit.
+  void scatter(size_t offset, util::ConstBytes data) const;
+
+  // Returns the memory span backing logical range [offset, offset+len) if
+  // that range is contiguous in memory, else an empty span. Used to decide
+  // whether a rendezvous block can land zero-copy.
+  [[nodiscard]] util::MutableBytes contiguous_region(size_t offset,
+                                                     size_t len) const;
+
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+
+ private:
+  std::vector<Block> blocks_;  // sorted by logical_offset, dense
+  size_t total_ = 0;
+};
+
+// Source-side mirror: a logical byte stream gathered from scattered
+// source blocks. Used by the pack API and MAD-MPI datatype sends.
+class SourceLayout {
+ public:
+  struct Block {
+    size_t logical_offset = 0;
+    util::ConstBytes memory;
+  };
+
+  static SourceLayout contiguous(util::ConstBytes memory);
+  static SourceLayout scattered(std::vector<Block> blocks);
+
+  [[nodiscard]] size_t total() const { return total_; }
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+
+ private:
+  std::vector<Block> blocks_;
+  size_t total_ = 0;
+};
+
+}  // namespace nmad::core

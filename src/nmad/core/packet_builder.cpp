@@ -1,0 +1,102 @@
+#include "nmad/core/packet_builder.hpp"
+
+#include "util/wire.hpp"
+
+namespace nmad::core {
+
+bool PacketBuilder::fits(const OutChunk& chunk) const {
+  if (chunks_.empty()) return true;  // first chunk always ships
+  if (wire_bytes_ + chunk.wire_bytes() > max_bytes_) return false;
+  // A payload chunk needs a header segment and a payload segment; control
+  // chunks extend the previous header segment only if adjacent, so count
+  // conservatively.
+  const size_t extra_segments = chunk.payload.empty() ? 1 : 2;
+  if (max_segments_ != 0 &&
+      segment_estimate_ + extra_segments > max_segments_) {
+    return false;
+  }
+  return true;
+}
+
+void PacketBuilder::add(OutChunk* chunk) {
+  NMAD_ASSERT(!finalized_);
+  NMAD_ASSERT(chunk != nullptr);
+  chunks_.push_back(chunk);
+  wire_bytes_ += chunk->wire_bytes();
+  segment_estimate_ += chunk->payload.empty() ? 1 : 2;
+}
+
+const util::SegmentVec& PacketBuilder::finalize() {
+  NMAD_ASSERT(!finalized_);
+  finalized_ = true;
+
+  // First pass: encode every header into one stable buffer, recording the
+  // extent of each chunk's header region.
+  util::WireWriter w(headers_);
+  encode_packet_header(w, static_cast<uint16_t>(chunks_.size()),
+                       checksum_ ? kPacketFlagChecksum : kPacketFlagNone);
+  std::vector<std::pair<size_t, size_t>> extents;  // (offset, len)
+  extents.reserve(chunks_.size());
+  for (const OutChunk* chunk : chunks_) {
+    const size_t begin = headers_.size();
+    const auto len = static_cast<uint32_t>(chunk->payload.size());
+    switch (chunk->kind) {
+      case ChunkKind::kData:
+        encode_data_header(w, chunk->flags, chunk->tag, chunk->seq, len);
+        break;
+      case ChunkKind::kFrag:
+        encode_frag_header(w, chunk->flags, chunk->tag, chunk->seq, len,
+                           chunk->offset, chunk->total);
+        break;
+      case ChunkKind::kRts:
+        encode_rts(w, chunk->flags, chunk->tag, chunk->seq, chunk->rdv_len,
+                   chunk->offset, chunk->total, chunk->cookie);
+        break;
+      case ChunkKind::kCts:
+        encode_cts(w, chunk->tag, chunk->seq, chunk->cookie,
+                   chunk->cts_rails);
+        break;
+    }
+    extents.emplace_back(begin, headers_.size() - begin);
+  }
+
+  // Second pass: build the gather list. The leading segment covers the
+  // packet header plus the first chunk header; consecutive header regions
+  // (control chunks with no payload) coalesce automatically because they
+  // are adjacent in the buffer.
+  size_t run_begin = 0;
+  size_t run_end = kPacketHeaderBytes;
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    NMAD_ASSERT(extents[i].first == run_end);
+    run_end += extents[i].second;
+    if (!chunks_[i]->payload.empty()) {
+      segments_.add(headers_.data() + run_begin, run_end - run_begin);
+      segments_.add(chunks_[i]->payload);
+      run_begin = run_end;
+    }
+  }
+  if (run_end > run_begin) {
+    segments_.add(headers_.data() + run_begin, run_end - run_begin);
+  }
+
+  if (checksum_) {
+    // Hash the flattened chunk region (everything after the packet
+    // header) in stream order and append the trailer as a last segment.
+    util::Fnv32 hash;
+    bool first = true;
+    for (const util::Segment& seg : segments_) {
+      util::ConstBytes view = seg.view();
+      if (first) {
+        view = view.subspan(kPacketHeaderBytes);
+        first = false;
+      }
+      hash.update(view);
+    }
+    util::WireWriter trailer(trailer_);
+    trailer.u32(hash.digest());
+    segments_.add(trailer_.view());
+  }
+  return segments_;
+}
+
+}  // namespace nmad::core

@@ -1,0 +1,66 @@
+// PacketBuilder: assembles one physical track-0 packet from window chunks.
+//
+// The builder accumulates chunks under byte/segment limits, then finalizes
+// into a gather list: [packet header + chunk0 header][chunk0 payload]
+// [chunk1 header][chunk1 payload]... Headers live in one stable buffer so
+// payload segments stay zero-copy views of application memory.
+#pragma once
+
+#include <vector>
+
+#include "nmad/core/chunk.hpp"
+#include "util/buffer.hpp"
+
+namespace nmad::core {
+
+class PacketBuilder {
+ public:
+  // `max_bytes` bounds the total wire size; `max_segments` bounds the
+  // gather list length (0 = unlimited, the driver will bounce-copy).
+  // With `checksum`, a 4-byte FNV-1a of the chunk region trails the
+  // packet and the header flag advertises it.
+  PacketBuilder(size_t max_bytes, size_t max_segments,
+                bool checksum = false)
+      : max_bytes_(max_bytes),
+        max_segments_(max_segments),
+        checksum_(checksum) {
+    if (checksum_) {
+      wire_bytes_ += kChecksumTrailerBytes;
+      ++segment_estimate_;
+    }
+  }
+
+  // True if `chunk` would still fit.
+  [[nodiscard]] bool fits(const OutChunk& chunk) const;
+
+  // Adds a chunk (caller must have checked fits(), except for the first
+  // chunk which is always accepted so oversized-but-unavoidable packets
+  // can't deadlock). Does not unlink the chunk from any list.
+  void add(OutChunk* chunk);
+
+  [[nodiscard]] size_t chunk_count() const { return chunks_.size(); }
+  [[nodiscard]] size_t wire_bytes() const { return wire_bytes_; }
+  [[nodiscard]] bool empty() const { return chunks_.empty(); }
+  [[nodiscard]] const std::vector<OutChunk*>& chunks() const {
+    return chunks_;
+  }
+
+  // Encodes all headers and produces the gather list. Must be called once,
+  // after which the builder must stay alive until the driver's tx-done
+  // (the SegmentVec references its header buffer).
+  const util::SegmentVec& finalize();
+
+ private:
+  size_t max_bytes_;
+  size_t max_segments_;
+  bool checksum_;
+  std::vector<OutChunk*> chunks_;
+  size_t wire_bytes_ = kPacketHeaderBytes;
+  size_t segment_estimate_ = 1;  // leading header segment
+  util::ByteBuffer headers_;
+  util::ByteBuffer trailer_;
+  util::SegmentVec segments_;
+  bool finalized_ = false;
+};
+
+}  // namespace nmad::core

@@ -1,0 +1,134 @@
+// Send/receive request objects.
+//
+// Requests follow MPI-like nonblocking semantics: isend/irecv return a
+// request, completion is observed with test()/wait(), and the owner
+// releases the request back to the engine pool afterwards. A send request
+// completes when every chunk of the message has left the NIC (the user
+// buffer is reusable); a receive request completes when every expected
+// byte has landed in the destination layout.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "nmad/core/layout.hpp"
+#include "nmad/core/types.hpp"
+#include "util/pool.hpp"
+#include "util/status.hpp"
+
+namespace nmad::core {
+
+class Core;
+
+class Request {
+ public:
+  enum class Kind : uint8_t { kSend, kRecv };
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] const util::Status& status() const { return status_; }
+
+  [[nodiscard]] GateId gate() const { return gate_; }
+  [[nodiscard]] Tag tag() const { return tag_; }
+  [[nodiscard]] SeqNum seq() const { return seq_; }
+
+  // Optional completion callback (runs once, at completion time).
+  void set_on_complete(std::function<void()> fn) {
+    on_complete_ = std::move(fn);
+  }
+
+ protected:
+  friend class Core;
+
+  Request(Kind kind, GateId gate, Tag tag, SeqNum seq)
+      : kind_(kind), gate_(gate), tag_(tag), seq_(seq) {}
+
+  void complete(util::Status status) {
+    if (done_) return;
+    status_ = std::move(status);
+    done_ = true;
+    if (on_complete_) {
+      auto fn = std::move(on_complete_);
+      on_complete_ = nullptr;
+      fn();
+    }
+  }
+
+  Kind kind_;
+  GateId gate_;
+  Tag tag_;
+  SeqNum seq_;
+  bool done_ = false;
+  util::Status status_;
+  std::function<void()> on_complete_;
+};
+
+class SendRequest final : public Request {
+ public:
+  [[nodiscard]] size_t total_bytes() const { return total_bytes_; }
+
+ private:
+  friend class Core;
+  friend class util::ObjectPool<SendRequest>;
+
+  SendRequest(GateId gate, Tag tag, SeqNum seq, size_t total_bytes)
+      : Request(Kind::kSend, gate, tag, seq), total_bytes_(total_bytes) {}
+
+  // One "part" per data/frag chunk and per rendezvous job; the request
+  // completes when all parts have been transmitted.
+  void add_part() { ++pending_parts_; }
+  void part_done() {
+    NMAD_ASSERT(pending_parts_ > 0);
+    if (--pending_parts_ == 0) complete(util::ok_status());
+  }
+
+  size_t total_bytes_;
+  size_t pending_parts_ = 0;
+};
+
+class RecvRequest final : public Request {
+ public:
+  // Bytes received so far / expected in total (valid once known).
+  [[nodiscard]] size_t received_bytes() const { return received_; }
+  [[nodiscard]] bool total_known() const { return total_known_; }
+  [[nodiscard]] size_t expected_bytes() const { return expected_; }
+
+ private:
+  friend class Core;
+  friend class util::ObjectPool<RecvRequest>;
+
+  RecvRequest(GateId gate, Tag tag, SeqNum seq, DestLayout layout)
+      : Request(Kind::kRecv, gate, tag, seq), layout_(std::move(layout)) {}
+
+  // Learns the message total from an incoming chunk header. Returns false
+  // (and fails the request) when the destination is too small.
+  bool set_total(size_t total) {
+    if (total_known_) {
+      NMAD_ASSERT_MSG(expected_ == total, "inconsistent totals on wire");
+      return status_.is_ok();
+    }
+    total_known_ = true;
+    expected_ = total;
+    if (total > layout_.total()) {
+      complete(util::truncated("message longer than receive layout"));
+      return false;
+    }
+    return true;
+  }
+
+  void add_received(size_t n) {
+    received_ += n;
+    NMAD_ASSERT_MSG(!total_known_ || received_ <= expected_,
+                    "received more bytes than expected");
+    if (total_known_ && received_ == expected_) {
+      complete(util::ok_status());
+    }
+  }
+
+  DestLayout layout_;
+  size_t received_ = 0;
+  size_t expected_ = 0;
+  bool total_known_ = false;
+};
+
+}  // namespace nmad::core

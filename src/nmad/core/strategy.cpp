@@ -1,0 +1,33 @@
+#include "nmad/core/strategy.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace nmad::core {
+namespace {
+
+std::map<std::string, StrategyFactory>& registry() {
+  static std::map<std::string, StrategyFactory> map;
+  return map;
+}
+
+}  // namespace
+
+bool register_strategy(const std::string& name, StrategyFactory factory) {
+  return registry().emplace(name, std::move(factory)).second;
+}
+
+std::unique_ptr<Strategy> make_strategy(const std::string& name) {
+  auto it = registry().find(name);
+  if (it == registry().end()) return nullptr;
+  return it->second();
+}
+
+std::vector<std::string> strategy_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace nmad::core

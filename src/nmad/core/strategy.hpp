@@ -1,0 +1,76 @@
+// Scheduling strategies (paper §3.2).
+//
+// "We propose a (dynamically ...) selectable optimization function instead
+// of a fixed optimizing heuristic. The optimization function is to be
+// selected among an extensible and programmable set of strategies."
+//
+// A strategy is consulted exactly when a NIC goes idle ("just-in-time"):
+// it elects what that NIC transmits next — a packet synthesized from
+// window chunks, a slice of a ready rendezvous body, or nothing.
+// Strategies are registered by name so new ones can be added without
+// touching the engine.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nmad/core/gate.hpp"
+#include "nmad/core/packet_builder.hpp"
+
+namespace nmad::core {
+
+class Core;
+
+// Nominal per-rail information strategies may consult ("information about
+// the underlying network can be obtained in a generic manner", §4).
+struct RailInfo {
+  RailIndex index = 0;
+  bool rdma = false;
+  bool gather = false;
+  size_t max_gather_segments = 1;
+  size_t rdv_threshold = 32 * 1024;
+  size_t max_packet_bytes = 32 * 1024;
+  double latency_us = 0.0;
+  double bandwidth_mbps = 0.0;
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  // Elects chunks from `gate`'s window into `builder` for transmission on
+  // `rail`. Returns the number of chunks consumed (0 = nothing electable).
+  // The strategy must unlink consumed chunks from the window.
+  virtual size_t pack(Core& core, Gate& gate, const RailInfo& rail,
+                      PacketBuilder& builder) = 0;
+
+  // Offered a ready rendezvous body for `rail`; returns the job to stream
+  // from and how many bytes to take (0 = decline). Splitting across rails
+  // happens by answering several of these offers with partial lengths.
+  struct BulkDecision {
+    BulkJob* job = nullptr;
+    size_t bytes = 0;
+  };
+  virtual BulkDecision next_bulk(Core& core, Gate& gate,
+                                 const RailInfo& rail) = 0;
+};
+
+// Registry -----------------------------------------------------------------
+
+using StrategyFactory = std::function<std::unique_ptr<Strategy>()>;
+
+// Registers a strategy under `name`; returns false if the name is taken.
+bool register_strategy(const std::string& name, StrategyFactory factory);
+
+// Instantiates a registered strategy; nullptr when unknown.
+std::unique_ptr<Strategy> make_strategy(const std::string& name);
+
+// Names of all registered strategies (sorted).
+std::vector<std::string> strategy_names();
+
+}  // namespace nmad::core

@@ -1,0 +1,15 @@
+#include "nmad/core/types.hpp"
+
+namespace nmad::core {
+
+const char* chunk_kind_name(ChunkKind kind) {
+  switch (kind) {
+    case ChunkKind::kData: return "data";
+    case ChunkKind::kFrag: return "frag";
+    case ChunkKind::kRts: return "rts";
+    case ChunkKind::kCts: return "cts";
+  }
+  return "?";
+}
+
+}  // namespace nmad::core

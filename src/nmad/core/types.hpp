@@ -1,0 +1,50 @@
+// Fundamental identifiers and enums of the nmad engine.
+#pragma once
+
+#include <cstdint>
+
+namespace nmad::core {
+
+// Index of a connection to one peer process.
+using GateId = uint16_t;
+
+// Full 64-bit message tag. Upper layers multiplex logical channels into it
+// (MAD-MPI folds the communicator id into the high bits), which is exactly
+// what lets the optimizer aggregate across MPI communicators.
+using Tag = uint64_t;
+
+// Per-(gate, tag) message sequence number; sender and receiver counters
+// advance in posting order, so chunks can be reordered or split across
+// rails on the wire and still be matched unambiguously.
+using SeqNum = uint32_t;
+
+// Index of a rail (one NIC / driver instance) within a Core.
+using RailIndex = uint32_t;
+
+inline constexpr RailIndex kAnyRail = ~RailIndex{0};
+
+// Kinds of chunk travelling in track-0 packets.
+enum class ChunkKind : uint8_t {
+  kData = 1,  // complete small message body
+  kFrag = 2,  // fragment of a multi-segment message
+  kRts = 3,   // rendezvous request-to-send (control)
+  kCts = 4,   // rendezvous clear-to-send (control)
+};
+
+const char* chunk_kind_name(ChunkKind kind);
+
+// Scheduling priority hint, e.g. an RPC service id that must be delivered
+// before its arguments (paper §2).
+enum class Priority : uint8_t {
+  kNormal = 0,
+  kHigh = 1,
+};
+
+// Flags carried in chunk headers.
+enum ChunkFlags : uint8_t {
+  kFlagNone = 0,
+  kFlagLast = 1u << 0,      // final fragment of its message
+  kFlagPriority = 1u << 1,  // was submitted with Priority::kHigh
+};
+
+}  // namespace nmad::core

@@ -1,0 +1,66 @@
+#include "nmad/core/wire_format.hpp"
+
+namespace nmad::core {
+
+void encode_packet_header(util::WireWriter& w, uint16_t chunk_count,
+                          uint8_t flags) {
+  w.u16(chunk_count);
+  w.u8(flags);
+}
+
+namespace {
+void encode_common(util::WireWriter& w, ChunkKind kind, uint8_t flags,
+                   Tag tag, SeqNum seq) {
+  w.u8(static_cast<uint8_t>(kind));
+  w.u8(flags);
+  w.u64(tag);
+  w.u32(seq);
+}
+}  // namespace
+
+void encode_data_header(util::WireWriter& w, uint8_t flags, Tag tag,
+                        SeqNum seq, uint32_t len) {
+  encode_common(w, ChunkKind::kData, flags, tag, seq);
+  w.u32(len);
+}
+
+void encode_frag_header(util::WireWriter& w, uint8_t flags, Tag tag,
+                        SeqNum seq, uint32_t len, uint32_t offset,
+                        uint32_t total) {
+  encode_common(w, ChunkKind::kFrag, flags, tag, seq);
+  w.u32(len);
+  w.u32(offset);
+  w.u32(total);
+}
+
+void encode_rts(util::WireWriter& w, uint8_t flags, Tag tag, SeqNum seq,
+                uint32_t len, uint32_t offset, uint32_t total,
+                uint64_t cookie) {
+  encode_common(w, ChunkKind::kRts, flags, tag, seq);
+  w.u32(len);
+  w.u32(offset);
+  w.u32(total);
+  w.u64(cookie);
+}
+
+void encode_cts(util::WireWriter& w, Tag tag, SeqNum seq, uint64_t cookie,
+                const std::vector<uint8_t>& rails) {
+  encode_common(w, ChunkKind::kCts, /*flags=*/0, tag, seq);
+  w.u32(0);  // len unused for cts
+  w.u64(cookie);
+  w.u8(static_cast<uint8_t>(rails.size()));
+  for (uint8_t rail : rails) w.u8(rail);
+}
+
+size_t chunk_wire_bytes(ChunkKind kind, size_t payload_len,
+                        size_t cts_rail_count) {
+  switch (kind) {
+    case ChunkKind::kData: return kDataHeaderBytes + payload_len;
+    case ChunkKind::kFrag: return kFragHeaderBytes + payload_len;
+    case ChunkKind::kRts: return kRtsHeaderBytes;
+    case ChunkKind::kCts: return kCtsHeaderBytes + cts_rail_count;
+  }
+  return 0;
+}
+
+}  // namespace nmad::core

@@ -1,0 +1,152 @@
+// The nmad track-0 wire format.
+//
+// A physical packet is a multiplex of chunks, each preceded by a
+// self-describing header. This is the "extra header ... added to the data
+// by NewMadeleine for allowing the reordering and the multiplexing of the
+// packets" of §5.1 — its byte cost is real and shows up in the overhead
+// measurements.
+//
+// Packet layout:
+//   PacketHeader { u16 chunk_count }
+//   repeated chunk_count times:
+//     u8  kind (ChunkKind)
+//     u8  flags (ChunkFlags)
+//     u64 tag
+//     u32 seq
+//     kind-specific fields (see encode functions), then inline payload
+//     for kData / kFrag.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nmad/core/types.hpp"
+#include "util/buffer.hpp"
+#include "util/status.hpp"
+#include "util/wire.hpp"
+
+namespace nmad::core {
+
+// u16 chunk count + u8 packet flags.
+inline constexpr size_t kPacketHeaderBytes = 3;
+
+enum PacketFlags : uint8_t {
+  kPacketFlagNone = 0,
+  // A 4-byte FNV-1a of the chunk region trails the packet. Self-
+  // describing: receivers verify whenever the flag is present, so mixed
+  // configurations interoperate.
+  kPacketFlagChecksum = 1u << 0,
+};
+
+inline constexpr size_t kChecksumTrailerBytes = 4;
+
+// Fixed header bytes per chunk kind (excluding payload).
+inline constexpr size_t kDataHeaderBytes = 1 + 1 + 8 + 4 + 4;
+inline constexpr size_t kFragHeaderBytes = 1 + 1 + 8 + 4 + 4 + 4 + 4;
+inline constexpr size_t kRtsHeaderBytes = 1 + 1 + 8 + 4 + 4 + 4 + 4 + 8;
+inline constexpr size_t kCtsHeaderBytes = 1 + 1 + 8 + 4 + 4 + 8 + 1;  // + rails
+
+// Decoded view of one chunk. Payload views alias the packet buffer.
+struct WireChunk {
+  ChunkKind kind = ChunkKind::kData;
+  uint8_t flags = 0;
+  Tag tag = 0;
+  SeqNum seq = 0;
+  uint32_t len = 0;      // payload length (data/frag) or body length (rts)
+  uint32_t offset = 0;   // logical offset within the message (frag/rts)
+  uint32_t total = 0;    // total message length (frag/rts)
+  uint64_t cookie = 0;   // rendezvous identifier (rts/cts)
+  std::vector<uint8_t> rails;  // cts: rails with a posted sink
+  util::ConstBytes payload;    // data/frag inline payload
+};
+
+// Encoders append one chunk header (and know nothing of payload bytes;
+// the packet builder appends payload segments separately).
+void encode_packet_header(util::WireWriter& w, uint16_t chunk_count,
+                          uint8_t flags = kPacketFlagNone);
+void encode_data_header(util::WireWriter& w, uint8_t flags, Tag tag,
+                        SeqNum seq, uint32_t len);
+void encode_frag_header(util::WireWriter& w, uint8_t flags, Tag tag,
+                        SeqNum seq, uint32_t len, uint32_t offset,
+                        uint32_t total);
+void encode_rts(util::WireWriter& w, uint8_t flags, Tag tag, SeqNum seq,
+                uint32_t len, uint32_t offset, uint32_t total,
+                uint64_t cookie);
+void encode_cts(util::WireWriter& w, Tag tag, SeqNum seq, uint64_t cookie,
+                const std::vector<uint8_t>& rails);
+
+// Parses a whole packet; invokes `sink(chunk)` per chunk in order.
+// Returns a non-ok status on malformed input or checksum mismatch.
+template <typename Sink>
+util::Status decode_packet(util::ConstBytes packet, Sink&& sink) {
+  if (packet.size() < kPacketHeaderBytes) {
+    return util::truncated("packet header");
+  }
+  util::ConstBytes body = packet.subspan(kPacketHeaderBytes);
+  {
+    util::WireReader header(packet.subspan(2, 1));
+    const uint8_t flags = header.u8();
+    if (flags & kPacketFlagChecksum) {
+      if (body.size() < kChecksumTrailerBytes) {
+        return util::truncated("checksum trailer");
+      }
+      util::WireReader tail(
+          body.subspan(body.size() - kChecksumTrailerBytes));
+      const uint32_t stored = tail.u32();
+      body = body.first(body.size() - kChecksumTrailerBytes);
+      if (util::Fnv32::of(body) != stored) {
+        return util::internal_error("packet checksum mismatch");
+      }
+    }
+  }
+  util::WireReader counter(packet.first(2));
+  const uint16_t count = counter.u16();
+  util::WireReader r(body);
+  for (uint16_t i = 0; i < count; ++i) {
+    WireChunk chunk;
+    chunk.kind = static_cast<ChunkKind>(r.u8());
+    chunk.flags = r.u8();
+    chunk.tag = r.u64();
+    chunk.seq = r.u32();
+    switch (chunk.kind) {
+      case ChunkKind::kData:
+        chunk.len = r.u32();
+        chunk.total = chunk.len;
+        chunk.payload = r.bytes(chunk.len);
+        break;
+      case ChunkKind::kFrag:
+        chunk.len = r.u32();
+        chunk.offset = r.u32();
+        chunk.total = r.u32();
+        chunk.payload = r.bytes(chunk.len);
+        break;
+      case ChunkKind::kRts:
+        chunk.len = r.u32();
+        chunk.offset = r.u32();
+        chunk.total = r.u32();
+        chunk.cookie = r.u64();
+        break;
+      case ChunkKind::kCts: {
+        chunk.len = r.u32();
+        chunk.cookie = r.u64();
+        const uint8_t n_rails = r.u8();
+        for (uint8_t k = 0; k < n_rails; ++k) chunk.rails.push_back(r.u8());
+        break;
+      }
+      default:
+        return util::internal_error("unknown chunk kind on wire");
+    }
+    if (!r.ok()) return util::truncated("chunk body");
+    sink(chunk);
+  }
+  if (r.remaining() != 0) {
+    return util::internal_error("trailing bytes after last chunk");
+  }
+  return util::ok_status();
+}
+
+// Wire size of a chunk with the given kind/payload/rails count.
+size_t chunk_wire_bytes(ChunkKind kind, size_t payload_len,
+                        size_t cts_rail_count = 0);
+
+}  // namespace nmad::core

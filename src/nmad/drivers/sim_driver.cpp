@@ -1,0 +1,133 @@
+#include "nmad/drivers/sim_driver.hpp"
+
+#include "util/logging.hpp"
+
+namespace nmad::drivers {
+
+DriverCaps caps_from_profile(const simnet::NicProfile& profile) {
+  DriverCaps caps;
+  caps.name = profile.name;
+  caps.supports_gather = profile.has_gather();
+  caps.max_gather_segments = profile.gather_max_segments;
+  caps.supports_rdma = profile.rdma;
+  caps.rdv_threshold = profile.rdv_threshold;
+  caps.max_packet_bytes = profile.max_eager_frame;
+  caps.latency_us = profile.latency_us;
+  caps.bandwidth_mbps = profile.bandwidth_mbps;
+  return caps;
+}
+
+SimDriver::SimDriver(simnet::SimWorld& world, simnet::SimNode& node,
+                     simnet::SimNic& nic)
+    : world_(world), node_(node), nic_(nic),
+      caps_(caps_from_profile(nic.profile())) {}
+
+util::Status SimDriver::init() {
+  if (open_) return util::already_exists("driver already initialised");
+  open_ = true;
+  return util::ok_status();
+}
+
+void SimDriver::shutdown() { open_ = false; }
+
+bool SimDriver::tx_idle() const {
+  return open_ && !pending_tx_ && nic_.tx_idle();
+}
+
+void SimDriver::when_cpu_free(std::function<void()> fn) {
+  const simnet::SimTime free_at = node_.cpu().free_at();
+  if (free_at <= world_.now()) {
+    fn();
+  } else {
+    world_.at(free_at, std::move(fn));
+  }
+}
+
+util::Status SimDriver::send_packet(PeerAddr to,
+                                    const util::SegmentVec& segments,
+                                    CompletionFn on_tx_done) {
+  if (!open_) return util::closed("send on closed driver");
+  NMAD_ASSERT_MSG(!pending_tx_, "overlapping sends on one driver");
+  pending_tx_ = true;
+
+  const size_t total = segments.total_bytes();
+  size_t wire_segments = segments.count();
+  if (!caps_.supports_gather || wire_segments > caps_.max_gather_segments) {
+    // No gather DMA: the host copies the packet into a bounce buffer.
+    node_.cpu().charge_memcpy(total);
+    wire_segments = 1;
+  }
+
+  // The frame content is captured now (the engine may release chunk
+  // buffers at tx-done); the copy itself is sim bookkeeping.
+  auto frame = std::make_shared<util::ByteBuffer>();
+  frame->resize(total);
+  segments.gather_into(frame->view());
+
+  when_cpu_free([this, to, frame, wire_segments,
+                 on_tx_done = std::move(on_tx_done)]() mutable {
+    nic_.send_frame(to, frame->view(), wire_segments,
+                    [this, frame, on_tx_done = std::move(on_tx_done)]() {
+                      pending_tx_ = false;
+                      if (on_tx_done) on_tx_done();
+                    });
+  });
+  return util::ok_status();
+}
+
+util::Status SimDriver::send_bulk(PeerAddr to, uint64_t cookie,
+                                  size_t offset,
+                                  const util::SegmentVec& segments,
+                                  CompletionFn on_tx_done) {
+  if (!open_) return util::closed("send on closed driver");
+  if (!caps_.supports_rdma) {
+    return util::unimplemented("bulk send without RDMA support");
+  }
+  NMAD_ASSERT_MSG(!pending_tx_, "overlapping sends on one driver");
+  pending_tx_ = true;
+
+  size_t wire_segments = segments.count();
+  if (wire_segments > caps_.max_gather_segments) {
+    node_.cpu().charge_memcpy(segments.total_bytes());
+    wire_segments = 1;
+  }
+
+  auto frame = std::make_shared<util::ByteBuffer>();
+  frame->resize(segments.total_bytes());
+  segments.gather_into(frame->view());
+
+  when_cpu_free([this, to, cookie, offset, frame, wire_segments,
+                 on_tx_done = std::move(on_tx_done)]() mutable {
+    nic_.send_bulk(to, cookie, offset, frame->view(), wire_segments,
+                   [this, frame, on_tx_done = std::move(on_tx_done)]() {
+                     pending_tx_ = false;
+                     if (on_tx_done) on_tx_done();
+                   });
+  });
+  return util::ok_status();
+}
+
+util::Status SimDriver::post_bulk_recv(simnet::BulkSink* sink) {
+  if (!open_) return util::closed("post on closed driver");
+  if (!caps_.supports_rdma) {
+    return util::unimplemented("bulk recv without RDMA support");
+  }
+  nic_.post_bulk_sink(sink);
+  return util::ok_status();
+}
+
+void SimDriver::cancel_bulk_recv(uint64_t cookie) {
+  nic_.remove_bulk_sink(cookie);
+}
+
+void SimDriver::set_rx_handler(RxHandler handler) {
+  nic_.set_rx_handler(
+      [handler = std::move(handler)](simnet::RxFrame&& frame) {
+        RxPacket packet;
+        packet.from = frame.src_node;
+        packet.bytes = std::move(frame.bytes);
+        handler(std::move(packet));
+      });
+}
+
+}  // namespace nmad::drivers

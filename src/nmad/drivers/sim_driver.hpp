@@ -1,0 +1,60 @@
+// Transfer-layer driver over a simulated NIC.
+//
+// Bridges the engine's driver API onto simnet: charges host CPU where a
+// real driver would burn cycles (bounce-buffer copies when the NIC lacks
+// gather DMA), defers NIC launches until the host CPU is free, and owns
+// the BulkSink objects backing posted rendezvous windows.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "nmad/drivers/driver.hpp"
+#include "simnet/fabric.hpp"
+#include "simnet/nic.hpp"
+#include "simnet/world.hpp"
+
+namespace nmad::drivers {
+
+class SimDriver final : public Driver {
+ public:
+  // `node` supplies the CPU model; `nic` must belong to that node.
+  SimDriver(simnet::SimWorld& world, simnet::SimNode& node,
+            simnet::SimNic& nic);
+
+  [[nodiscard]] const DriverCaps& caps() const override { return caps_; }
+
+  [[nodiscard]] util::Status init() override;
+  void shutdown() override;
+
+  [[nodiscard]] bool tx_idle() const override;
+
+  util::Status send_packet(PeerAddr to, const util::SegmentVec& segments,
+                           CompletionFn on_tx_done) override;
+  util::Status send_bulk(PeerAddr to, uint64_t cookie, size_t offset,
+                         const util::SegmentVec& segments,
+                         CompletionFn on_tx_done) override;
+  util::Status post_bulk_recv(simnet::BulkSink* sink) override;
+  void cancel_bulk_recv(uint64_t cookie) override;
+
+  void set_rx_handler(RxHandler handler) override;
+  void poll() override {}  // fully event-driven
+
+  [[nodiscard]] simnet::SimNic& nic() { return nic_; }
+
+ private:
+  // Runs `fn` as soon as the host CPU is free (possibly immediately).
+  void when_cpu_free(std::function<void()> fn);
+
+  simnet::SimWorld& world_;
+  simnet::SimNode& node_;
+  simnet::SimNic& nic_;
+  DriverCaps caps_;
+  bool open_ = false;
+  bool pending_tx_ = false;  // send accepted but NIC not yet done
+};
+
+// Builds driver caps from a NIC profile (shared with tests).
+DriverCaps caps_from_profile(const simnet::NicProfile& profile);
+
+}  // namespace nmad::drivers

@@ -1,0 +1,170 @@
+#include "nmad/strategies/builtin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nmad/core/core.hpp"
+#include "nmad/core/strategy.hpp"
+
+namespace nmad::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// default: strict FIFO, no aggregation, no splitting.
+// ---------------------------------------------------------------------------
+class DefaultStrategy : public Strategy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "default"; }
+
+  size_t pack(Core& core, Gate& gate, const RailInfo& rail,
+              PacketBuilder& builder) override {
+    (void)core;
+    OutChunk* chunk = first_eligible(gate, rail);
+    if (chunk == nullptr) return 0;
+    gate.window.remove(*chunk);
+    builder.add(chunk);
+    return 1;
+  }
+
+  BulkDecision next_bulk(Core& core, Gate& gate,
+                         const RailInfo& rail) override {
+    (void)core;
+    for (BulkJob& job : gate.ready_bulk) {
+      if (job.allows_rail(rail.index)) return {&job, job.remaining()};
+    }
+    return {};
+  }
+
+ protected:
+  static OutChunk* first_eligible(Gate& gate, const RailInfo& rail) {
+    for (OutChunk& chunk : gate.window) {
+      if (chunk.pinned_rail == kAnyRail || chunk.pinned_rail == rail.index) {
+        return &chunk;
+      }
+    }
+    return nullptr;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// aggreg: greedy aggregation with reordering, control chunks first.
+// ---------------------------------------------------------------------------
+class AggregStrategy : public DefaultStrategy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "aggreg"; }
+
+  size_t pack(Core& core, Gate& gate, const RailInfo& rail,
+              PacketBuilder& builder) override {
+    (void)core;
+    const size_t limit = aggregate_limit(gate, rail);
+    size_t taken = 0;
+    // Pass 0 elects control/high-priority chunks (RTS/CTS and tagged
+    // data); pass 1 takes ordinary data FIFO. Chunks that do not fit are
+    // skipped but scanning continues: this is the paper's reordering
+    // "to maximize the number of aggregation operations".
+    for (int pass = 0; pass < 2; ++pass) {
+      OutChunk* it = gate.window.empty() ? nullptr : &gate.window.front();
+      while (it != nullptr) {
+        OutChunk* next = gate.window.next_of(*it);
+        const bool urgent =
+            it->is_control() || (it->flags & kFlagPriority) != 0;
+        const bool wanted = (pass == 0) ? urgent : !urgent;
+        const bool rail_ok =
+            it->pinned_rail == kAnyRail || it->pinned_rail == rail.index;
+        if (wanted && rail_ok && builder.fits(*it) &&
+            (builder.wire_bytes() + it->wire_bytes() <= limit ||
+             builder.empty())) {
+          gate.window.remove(*it);
+          builder.add(it);
+          ++taken;
+        }
+        it = next;
+      }
+    }
+    return taken;
+  }
+
+ protected:
+  // Aggregate "as long as the cumulated length does not require to switch
+  // to the rendez-vous protocol".
+  [[nodiscard]] virtual size_t aggregate_limit(const Gate& gate,
+                                               const RailInfo& rail) const {
+    return std::min({gate.rdv_threshold, gate.max_packet,
+                     rail.max_packet_bytes});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// aggreg_extended: aggregation bounded by the physical packet limit only.
+// ---------------------------------------------------------------------------
+class AggregExtendedStrategy final : public AggregStrategy {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "aggreg_extended";
+  }
+
+ protected:
+  [[nodiscard]] size_t aggregate_limit(const Gate& gate,
+                                       const RailInfo& rail) const override {
+    return std::min(gate.max_packet, rail.max_packet_bytes);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// split_balance: multi-rail bandwidth-proportional rendezvous splitting.
+// ---------------------------------------------------------------------------
+class SplitBalanceStrategy final : public AggregStrategy {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "split_balance";
+  }
+
+  BulkDecision next_bulk(Core& core, Gate& gate,
+                         const RailInfo& rail) override {
+    for (BulkJob& job : gate.ready_bulk) {
+      if (!job.allows_rail(rail.index)) continue;
+      const size_t remaining = job.remaining();
+      if (remaining == 0) continue;
+      // Small bodies are not worth splitting: per-transfer setup would
+      // dominate the parallel wire time.
+      if (job.body.size() < 2 * kMinSliceBytes || job.rails.size() < 2) {
+        return {&job, remaining};
+      }
+      // This rail's share of the original body, by nominal bandwidth.
+      double bw_sum = 0.0;
+      for (uint8_t r : job.rails) {
+        bw_sum += core.rail_info(r).bandwidth_mbps;
+      }
+      const double fraction = rail.bandwidth_mbps / bw_sum;
+      auto share = static_cast<size_t>(
+          std::ceil(static_cast<double>(job.body.size()) * fraction));
+      share = std::max(share, kMinSliceBytes);
+      return {&job, std::min(share, remaining)};
+    }
+    return {};
+  }
+
+ private:
+  static constexpr size_t kMinSliceBytes = 16 * 1024;
+};
+
+}  // namespace
+
+void ensure_builtin_strategies() {
+  static const bool registered = [] {
+    register_strategy("default",
+                      [] { return std::make_unique<DefaultStrategy>(); });
+    register_strategy("aggreg",
+                      [] { return std::make_unique<AggregStrategy>(); });
+    register_strategy("aggreg_extended", [] {
+      return std::make_unique<AggregExtendedStrategy>();
+    });
+    register_strategy("split_balance", [] {
+      return std::make_unique<SplitBalanceStrategy>();
+    });
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace nmad::core

@@ -1,0 +1,25 @@
+// Built-in scheduling strategies.
+//
+//   default           — FIFO, one chunk per packet, no optimization. The
+//                       behaviour of a classical synchronous library;
+//                       baseline for ablations.
+//   aggreg            — the paper's aggregation strategy: coalesces window
+//                       chunks (control first, reordering allowed) into one
+//                       physical packet as long as the cumulated length
+//                       stays under the rendezvous threshold.
+//   aggreg_extended   — like aggreg but aggregates up to the full physical
+//                       packet limit even beyond the rendezvous threshold.
+//   split_balance     — the paper's multi-rail strategy: aggregates like
+//                       aggreg on track 0 and splits rendezvous bodies
+//                       over every granted rail proportionally to rail
+//                       bandwidth ("possibly ... in a heterogeneous
+//                       manner").
+#pragma once
+
+namespace nmad::core {
+
+// Registers the built-in strategies (idempotent). Called by the Core
+// constructor so that linking the strategies library is sufficient.
+void ensure_builtin_strategies();
+
+}  // namespace nmad::core

@@ -1,0 +1,24 @@
+#include "simnet/cpu.hpp"
+
+#include "simnet/world.hpp"
+
+namespace nmad::simnet {
+
+SimTime CpuModel::charge(SimTime duration) {
+  NMAD_ASSERT_MSG(duration >= 0.0, "negative CPU charge");
+  const SimTime start =
+      busy_until_ > world_.now() ? busy_until_ : world_.now();
+  busy_until_ = start + duration;
+  busy_total_ += duration;
+  return busy_until_;
+}
+
+SimTime CpuModel::charge_memcpy(size_t bytes) {
+  return charge(memcpy_cost(bytes));
+}
+
+SimTime CpuModel::free_at() const {
+  return busy_until_ > world_.now() ? busy_until_ : world_.now();
+}
+
+}  // namespace nmad::simnet

@@ -1,0 +1,65 @@
+// Host CPU cost model.
+//
+// Models the sequential execution resource of one node: software overheads
+// and memory copies occupy the CPU and therefore delay everything that the
+// same node does afterwards. This is what makes pack/unpack-based datatype
+// handling (Figure 4 baseline) measurably slower than zero-copy rendezvous.
+#pragma once
+
+#include <cstddef>
+
+#include "simnet/time.hpp"
+#include "util/assert.hpp"
+
+namespace nmad::simnet {
+
+class SimWorld;
+
+struct CpuProfile {
+  // memcpy bandwidth is strongly size-dependent: small buffers live in the
+  // 1 MB L2 of the 2006 Opteron and copy at cache speed, large buffers
+  // stream through main memory. Figure 4's pack/unpack penalty comes from
+  // the cold rate; eager receive copies mostly run at the hot rate.
+  double memcpy_hot_mbps = 4500.0;   // cache-resident copies
+  double memcpy_cold_mbps = 1400.0;  // streaming copies
+  size_t memcpy_hot_threshold = 128 * 1024;  // <= this size counts as hot
+  // Fixed cost of one memcpy call (setup), µs.
+  double memcpy_call_us = 0.05;
+};
+
+class CpuModel {
+ public:
+  CpuModel(SimWorld& world, CpuProfile profile)
+      : world_(world), profile_(profile) {}
+
+  // Occupies the CPU for `duration` starting no earlier than now and no
+  // earlier than the end of previously charged work; returns completion
+  // time.
+  SimTime charge(SimTime duration);
+
+  // Charges a memcpy of `bytes` and returns completion time.
+  SimTime charge_memcpy(size_t bytes);
+
+  // Duration a memcpy of `bytes` would take (no charging).
+  [[nodiscard]] SimTime memcpy_cost(size_t bytes) const {
+    const double bw = bytes <= profile_.memcpy_hot_threshold
+                          ? profile_.memcpy_hot_mbps
+                          : profile_.memcpy_cold_mbps;
+    return profile_.memcpy_call_us +
+           wire_time(static_cast<double>(bytes), bw);
+  }
+
+  // Earliest instant at which new CPU work could start.
+  [[nodiscard]] SimTime free_at() const;
+
+  [[nodiscard]] SimTime busy_total() const { return busy_total_; }
+  [[nodiscard]] const CpuProfile& profile() const { return profile_; }
+
+ private:
+  SimWorld& world_;
+  CpuProfile profile_;
+  SimTime busy_until_ = 0.0;
+  SimTime busy_total_ = 0.0;
+};
+
+}  // namespace nmad::simnet

@@ -1,0 +1,52 @@
+#include "simnet/event_queue.hpp"
+
+#include <algorithm>
+
+namespace nmad::simnet {
+
+EventId EventQueue::schedule_at(SimTime at, EventFn fn) {
+  NMAD_ASSERT_MSG(at >= 0.0, "event scheduled before time zero");
+  const EventId id = next_id_++;
+  heap_.push(Event{at, id, std::move(fn)});
+  ++live_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
+  if (it != cancelled_.end() && *it == id) return;  // already cancelled
+  cancelled_.insert(it, id);
+  NMAD_ASSERT(live_ > 0);
+  --live_;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty()) {
+    const EventId id = heap_.top().id;
+    auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
+    if (it == cancelled_.end() || *it != id) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  return heap_.empty() ? kNever : heap_.top().at;
+}
+
+bool EventQueue::run_one(SimTime* now) {
+  drop_cancelled();
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; the event is moved out via const_cast,
+  // which is safe because we pop immediately and never reheapify first.
+  Event event = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  --live_;
+  NMAD_ASSERT_MSG(event.at + 1e-9 >= *now, "time went backwards");
+  if (event.at > *now) *now = event.at;
+  event.fn();
+  return true;
+}
+
+}  // namespace nmad::simnet

@@ -1,0 +1,59 @@
+// Priority event queue for the discrete-event engine.
+//
+// Ties at the same timestamp are broken by insertion order so simulation
+// runs are fully deterministic regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "simnet/time.hpp"
+#include "util/assert.hpp"
+
+namespace nmad::simnet {
+
+using EventFn = std::function<void()>;
+using EventId = uint64_t;
+
+class EventQueue {
+ public:
+  // Schedules `fn` at absolute time `at`. Returns an id usable for cancel().
+  EventId schedule_at(SimTime at, EventFn fn);
+
+  // Lazily cancels a pending event (it is skipped when popped).
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] size_t size() const { return live_; }
+
+  // Time of the earliest pending event; kNever when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  // Pops and runs the earliest event; returns false if none pending.
+  // `now` is updated to the event's timestamp before the callback runs.
+  bool run_one(SimTime* now);
+
+ private:
+  struct Event {
+    SimTime at;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // earlier insertion first
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  mutable std::vector<EventId> cancelled_;  // sorted ids pending skip
+  size_t live_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace nmad::simnet

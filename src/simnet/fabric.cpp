@@ -1,0 +1,35 @@
+#include "simnet/fabric.hpp"
+
+namespace nmad::simnet {
+
+NodeId Fabric::add_node(const CpuProfile& cpu_profile) {
+  NMAD_ASSERT_MSG(rail_profiles_.empty(),
+                  "add every node before adding rails");
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<SimNode>(world_, id, cpu_profile));
+  return id;
+}
+
+RailIndex Fabric::add_rail(const NicProfile& profile) {
+  NMAD_ASSERT_MSG(!nodes_.empty(), "rail added to an empty fabric");
+  const auto rail = static_cast<RailIndex>(rail_profiles_.size());
+  rail_profiles_.push_back(profile);
+
+  std::vector<SimNic*> endpoints;
+  endpoints.reserve(nodes_.size());
+  for (auto& node : nodes_) {
+    node->nics_.push_back(
+        std::make_unique<SimNic>(world_, profile, node->id(), rail));
+    endpoints.push_back(node->nics_.back().get());
+  }
+  for (SimNic* nic : endpoints) {
+    std::vector<SimNic*> peers;
+    for (SimNic* other : endpoints) {
+      if (other != nic) peers.push_back(other);
+    }
+    nic->set_peers(std::move(peers));
+  }
+  return rail;
+}
+
+}  // namespace nmad::simnet

@@ -1,0 +1,70 @@
+// Fabric: assembles nodes, CPUs, NICs and rails into one simulated cluster.
+//
+// A "rail" is one network technology instance: every node gets one NIC of
+// that profile and all NICs on the rail are mutually reachable (crossbar
+// switch with uniform latency, which matches the small clusters of the
+// paper's testbed).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "simnet/cpu.hpp"
+#include "simnet/nic.hpp"
+#include "simnet/world.hpp"
+
+namespace nmad::simnet {
+
+class SimNode {
+ public:
+  SimNode(SimWorld& world, NodeId id, CpuProfile cpu_profile)
+      : id_(id), cpu_(world, cpu_profile) {}
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] CpuModel& cpu() { return cpu_; }
+
+  [[nodiscard]] size_t nic_count() const { return nics_.size(); }
+  [[nodiscard]] SimNic& nic(RailIndex rail) {
+    NMAD_ASSERT(rail < nics_.size());
+    return *nics_[rail];
+  }
+
+ private:
+  friend class Fabric;
+  NodeId id_;
+  CpuModel cpu_;
+  std::vector<std::unique_ptr<SimNic>> nics_;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(SimWorld& world) : world_(world) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // Adds a node; must be called before any add_rail().
+  NodeId add_node(const CpuProfile& cpu_profile);
+
+  // Adds one NIC of `profile` to every node and wires them all together.
+  RailIndex add_rail(const NicProfile& profile);
+
+  [[nodiscard]] SimWorld& world() { return world_; }
+  [[nodiscard]] size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] size_t rail_count() const { return rail_profiles_.size(); }
+  [[nodiscard]] SimNode& node(NodeId id) {
+    NMAD_ASSERT(id < nodes_.size());
+    return *nodes_[id];
+  }
+  [[nodiscard]] const NicProfile& rail_profile(RailIndex rail) const {
+    NMAD_ASSERT(rail < rail_profiles_.size());
+    return rail_profiles_[rail];
+  }
+
+ private:
+  SimWorld& world_;
+  std::vector<std::unique_ptr<SimNode>> nodes_;
+  std::vector<NicProfile> rail_profiles_;
+};
+
+}  // namespace nmad::simnet

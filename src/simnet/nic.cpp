@@ -1,0 +1,143 @@
+#include "simnet/nic.hpp"
+
+#include "simnet/world.hpp"
+#include "util/logging.hpp"
+
+namespace nmad::simnet {
+
+void BulkSink::deposit(size_t offset, util::ConstBytes data) {
+  NMAD_ASSERT_MSG(offset + data.size() <= region_.size(),
+                  "bulk deposit outside sink region");
+  util::copy_bytes(region_.subspan(offset, data.size()), data);
+  received_ += data.size();
+  NMAD_ASSERT_MSG(received_ <= expected_, "bulk sink overfilled");
+  if (received_ == expected_ && on_complete_) {
+    // Move out first: the callback commonly frees the sink.
+    auto fn = std::move(on_complete_);
+    on_complete_ = nullptr;
+    fn();
+  }
+}
+
+SimNic* SimNic::peer(NodeId node) const {
+  for (SimNic* p : peers_) {
+    if (p->node() == node) return p;
+  }
+  return nullptr;
+}
+
+bool SimNic::tx_idle() const { return tx_free_ <= world_.now(); }
+
+SimTime SimNic::launch(size_t bytes, size_t segment_count,
+                       double extra_setup_us, TxDoneFn on_tx_done) {
+  NMAD_ASSERT_MSG(segment_count == 0 ||
+                      segment_count <= profile_.gather_max_segments,
+                  "gather list longer than NIC supports");
+  const SimTime start = tx_free_ > world_.now() ? tx_free_ : world_.now();
+  const double gather_cost =
+      segment_count > 1
+          ? static_cast<double>(segment_count - 1) * profile_.gather_segment_us
+          : 0.0;
+  const SimTime occupancy =
+      profile_.tx_post_us + extra_setup_us + gather_cost +
+      wire_time(static_cast<double>(bytes), profile_.bandwidth_mbps);
+  tx_free_ = start + occupancy;
+  counters_.tx_busy_us += occupancy;
+  counters_.bytes_sent += bytes;
+  if (on_tx_done) {
+    world_.at(tx_free_, std::move(on_tx_done));
+  }
+  // Head of the frame leaves after setup; last byte arrives a full
+  // serialization later plus the wire latency.
+  return start + occupancy + profile_.latency_us;
+}
+
+void SimNic::send_frame(NodeId dst, util::ConstBytes bytes,
+                        size_t segment_count, TxDoneFn on_tx_done) {
+  SimNic* dest = peer(dst);
+  NMAD_ASSERT_MSG(dest != nullptr, "no peer NIC on this rail");
+  ++counters_.frames_sent;
+  if (trace_ != nullptr) {
+    trace_->record(world_.now(), TraceKind::kFrameTx, node_, rail_,
+                   bytes.size());
+  }
+  const SimTime arrival =
+      launch(bytes.size(), segment_count, 0.0, std::move(on_tx_done));
+
+  RxFrame frame;
+  frame.src_node = node_;
+  frame.rail = rail_;
+  frame.bytes.append(bytes);
+  const size_t len = bytes.size();
+  world_.at(arrival, [dest, frame = std::move(frame), len]() mutable {
+    dest->deliver_frame(std::move(frame), len);
+  });
+}
+
+void SimNic::send_bulk(NodeId dst, uint64_t cookie, size_t offset,
+                       util::ConstBytes bytes, size_t segment_count,
+                       TxDoneFn on_tx_done) {
+  NMAD_ASSERT_MSG(profile_.rdma, "bulk send on a NIC without RDMA");
+  SimNic* dest = peer(dst);
+  NMAD_ASSERT_MSG(dest != nullptr, "no peer NIC on this rail");
+  ++counters_.bulk_sent;
+  if (trace_ != nullptr) {
+    trace_->record(world_.now(), TraceKind::kBulkTx, node_, rail_,
+                   bytes.size());
+  }
+  const SimTime arrival = launch(bytes.size(), segment_count,
+                                 profile_.rdma_setup_us, std::move(on_tx_done));
+
+  util::ByteBuffer copy;
+  copy.append(bytes);
+  world_.at(arrival, [dest, cookie, offset, copy = std::move(copy)]() mutable {
+    dest->deliver_bulk(cookie, offset, std::move(copy));
+  });
+}
+
+void SimNic::deliver_frame(RxFrame&& frame, size_t bytes) {
+  // Receive engine drains frames serially.
+  const SimTime start = rx_free_ > world_.now() ? rx_free_ : world_.now();
+  rx_free_ = start + profile_.rx_drain_us;
+  ++counters_.frames_received;
+  counters_.bytes_received += bytes;
+  if (trace_ != nullptr) {
+    trace_->record(start, TraceKind::kFrameRx, node_, rail_, bytes);
+  }
+  if (start > world_.now()) {
+    world_.at(start, [this, frame = std::move(frame)]() mutable {
+      NMAD_ASSERT_MSG(rx_handler_ != nullptr, "frame with no rx handler");
+      rx_handler_(std::move(frame));
+    });
+    return;
+  }
+  NMAD_ASSERT_MSG(rx_handler_ != nullptr, "frame with no rx handler");
+  rx_handler_(std::move(frame));
+}
+
+void SimNic::deliver_bulk(uint64_t cookie, size_t offset,
+                          util::ByteBuffer data) {
+  auto it = sinks_.find(cookie);
+  NMAD_ASSERT_MSG(it != sinks_.end(),
+                  "bulk frame arrived with no posted sink (protocol bug)");
+  ++counters_.bulk_received;
+  counters_.bytes_received += data.size();
+  if (trace_ != nullptr) {
+    trace_->record(world_.now(), TraceKind::kBulkRx, node_, rail_,
+                   data.size());
+  }
+  it->second->deposit(offset, data.view());
+}
+
+void SimNic::post_bulk_sink(BulkSink* sink) {
+  NMAD_ASSERT(sink != nullptr);
+  const bool inserted = sinks_.emplace(sink->cookie(), sink).second;
+  NMAD_ASSERT_MSG(inserted, "duplicate bulk cookie on NIC");
+}
+
+void SimNic::remove_bulk_sink(uint64_t cookie) {
+  const size_t erased = sinks_.erase(cookie);
+  NMAD_ASSERT_MSG(erased == 1, "removing unknown bulk cookie");
+}
+
+}  // namespace nmad::simnet

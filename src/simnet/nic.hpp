@@ -1,0 +1,175 @@
+// Simulated network interface cards.
+//
+// A SimNic is one endpoint of one rail (network technology) on one node.
+// It models:
+//   - transmit serialization: one DMA engine, frames occupy it for
+//     overhead + bytes/bandwidth;
+//   - wire latency: delivery at tx_start + latency + bytes/bandwidth;
+//   - receive serialization (frames from several senders drain in order);
+//   - track 0 (eager frames handed to a software rx handler) and track 1
+//     (bulk frames DMA'd straight into a pre-posted BulkSink region —
+//     the zero-copy rendezvous data path).
+//
+// The NIC itself never charges host CPU time: drivers decide what costs
+// host cycles (gather setup vs bounce-buffer memcpy etc.) via CpuModel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simnet/cpu.hpp"
+#include "simnet/time.hpp"
+#include "simnet/trace.hpp"
+#include "util/buffer.hpp"
+#include "util/status.hpp"
+
+namespace nmad::simnet {
+
+class SimWorld;
+class SimNic;
+
+using NodeId = uint32_t;
+using RailIndex = uint32_t;
+
+struct NicProfile {
+  std::string name;
+  double latency_us = 2.0;        // one-way small-frame latency
+  double bandwidth_mbps = 1000.0; // sustained link bandwidth
+  double tx_post_us = 0.1;        // NIC-side cost to launch one frame
+  double rx_drain_us = 0.1;       // NIC-side cost to surface one frame
+  uint32_t gather_max_segments = 1;  // 1 = no gather DMA
+  double gather_segment_us = 0.05;   // DMA setup per extra segment
+  bool rdma = false;                 // supports directed bulk (track 1)
+  double rdma_setup_us = 0.5;        // per bulk transfer setup
+  size_t rdv_threshold = 32 * 1024;  // recommended eager/rdv switch
+  size_t max_eager_frame = 64 * 1024;  // largest track-0 frame
+
+  [[nodiscard]] bool has_gather() const { return gather_max_segments > 1; }
+};
+
+// A track-0 frame as delivered to the receiving engine.
+struct RxFrame {
+  NodeId src_node = 0;
+  RailIndex rail = 0;
+  util::ByteBuffer bytes;
+};
+
+// Pre-posted destination region for track-1 (bulk/zero-copy) data. One
+// sink may be fed through several rails at once (multi-rail split); the
+// completion callback fires when every expected byte has landed.
+class BulkSink {
+ public:
+  BulkSink(uint64_t cookie, util::MutableBytes region, size_t expected,
+           std::function<void()> on_complete)
+      : cookie_(cookie),
+        region_(region),
+        expected_(expected),
+        on_complete_(std::move(on_complete)) {
+    NMAD_ASSERT(expected <= region.size());
+  }
+
+  [[nodiscard]] uint64_t cookie() const { return cookie_; }
+  [[nodiscard]] size_t expected() const { return expected_; }
+  [[nodiscard]] size_t received() const { return received_; }
+  [[nodiscard]] bool complete() const { return received_ == expected_; }
+
+  // Called by the NIC at delivery time.
+  void deposit(size_t offset, util::ConstBytes data);
+
+ private:
+  uint64_t cookie_;
+  util::MutableBytes region_;
+  size_t expected_;
+  size_t received_ = 0;
+  std::function<void()> on_complete_;
+};
+
+class SimNic {
+ public:
+  using RxHandler = std::function<void(RxFrame&&)>;
+  using TxDoneFn = std::function<void()>;
+
+  SimNic(SimWorld& world, NicProfile profile, NodeId node, RailIndex rail)
+      : world_(world), profile_(profile), node_(node), rail_(rail) {}
+
+  SimNic(const SimNic&) = delete;
+  SimNic& operator=(const SimNic&) = delete;
+
+  [[nodiscard]] const NicProfile& profile() const { return profile_; }
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] RailIndex rail() const { return rail_; }
+
+  // Connects this endpoint to its peers on the same rail (set by Fabric).
+  void set_peers(std::vector<SimNic*> peers) { peers_ = std::move(peers); }
+  [[nodiscard]] SimNic* peer(NodeId node) const;
+
+  // True when the transmit engine could start a new frame right now.
+  [[nodiscard]] bool tx_idle() const;
+  // Earliest time the transmit engine frees up.
+  [[nodiscard]] SimTime tx_free_at() const { return tx_free_; }
+
+  // Launches a track-0 frame carrying `bytes` towards `dst`. `on_tx_done`
+  // fires when the transmit engine is free again (NIC idle → the transfer
+  // layer asks the scheduler for more work). The frame content is copied
+  // internally: sim bookkeeping, not modelled host work.
+  void send_frame(NodeId dst, util::ConstBytes bytes, size_t segment_count,
+                  TxDoneFn on_tx_done);
+
+  // Launches a track-1 bulk frame into the sink posted under `cookie` on
+  // the destination NIC, at `offset` within the sink region.
+  void send_bulk(NodeId dst, uint64_t cookie, size_t offset,
+                 util::ConstBytes bytes, size_t segment_count,
+                 TxDoneFn on_tx_done);
+
+  // Receiving side ----------------------------------------------------
+  void set_rx_handler(RxHandler handler) { rx_handler_ = std::move(handler); }
+
+  // Registers a bulk sink; the NIC does not own it. Several rails may
+  // share one sink (multi-rail reassembly).
+  void post_bulk_sink(BulkSink* sink);
+  void remove_bulk_sink(uint64_t cookie);
+  [[nodiscard]] bool has_bulk_sink(uint64_t cookie) const {
+    return sinks_.count(cookie) != 0;
+  }
+
+  // Optional event trace (not owned); records every frame/bulk launch and
+  // delivery on this NIC.
+  void set_trace(TraceLog* trace) { trace_ = trace; }
+
+  // Counters used by tests and benches.
+  struct Counters {
+    uint64_t frames_sent = 0;
+    uint64_t frames_received = 0;
+    uint64_t bulk_sent = 0;
+    uint64_t bulk_received = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t bytes_received = 0;
+    SimTime tx_busy_us = 0.0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  // Common tx path: returns frame arrival time at the destination.
+  SimTime launch(size_t bytes, size_t segment_count, double extra_setup_us,
+                 TxDoneFn on_tx_done);
+
+  void deliver_frame(RxFrame&& frame, size_t bytes);
+  void deliver_bulk(uint64_t cookie, size_t offset, util::ByteBuffer data);
+
+  SimWorld& world_;
+  NicProfile profile_;
+  NodeId node_;
+  RailIndex rail_;
+  std::vector<SimNic*> peers_;
+  RxHandler rx_handler_;
+  std::map<uint64_t, BulkSink*> sinks_;
+  SimTime tx_free_ = 0.0;
+  SimTime rx_free_ = 0.0;
+  TraceLog* trace_ = nullptr;
+  Counters counters_;
+};
+
+}  // namespace nmad::simnet

@@ -1,0 +1,137 @@
+#include "simnet/profiles.hpp"
+
+namespace nmad::simnet {
+
+NicProfile mx_myri10g_profile() {
+  NicProfile p;
+  p.name = "mx-myri10g";
+  // Per-frame NIC costs dominate small-message behaviour on MX: each send
+  // is a PIO copy + doorbell, each receive a polled queue entry. This is
+  // the cost that aggregation amortises (a frame carrying 8 chunks pays it
+  // once); the pure wire/switch latency is comparatively small.
+  p.latency_us = 0.35;
+  p.bandwidth_mbps = 1205.0;
+  p.tx_post_us = 1.4;
+  p.rx_drain_us = 0.6;
+  p.gather_max_segments = 32;
+  p.gather_segment_us = 0.05;
+  p.rdma = true;
+  p.rdma_setup_us = 1.2;
+  p.rdv_threshold = 32 * 1024;
+  p.max_eager_frame = 32 * 1024;
+  return p;
+}
+
+NicProfile gm_myrinet2000_profile() {
+  NicProfile p;
+  p.name = "gm-myrinet2000";
+  p.latency_us = 3.5;
+  p.bandwidth_mbps = 245.0;
+  p.tx_post_us = 2.2;   // GM's per-message host cost was much higher
+  p.rx_drain_us = 1.2;
+  p.gather_max_segments = 1;  // no gather DMA: bounce copies
+  p.gather_segment_us = 0.0;
+  p.rdma = true;
+  p.rdma_setup_us = 4.0;
+  p.rdv_threshold = 16 * 1024;
+  p.max_eager_frame = 16 * 1024;
+  return p;
+}
+
+NicProfile elan_quadrics_profile() {
+  NicProfile p;
+  p.name = "elan-quadrics";
+  // Elan4 has a lower per-message cost than MX (STEN/event units on the
+  // NIC) and a lower wire latency, but less bandwidth.
+  p.latency_us = 0.15;
+  p.bandwidth_mbps = 880.0;
+  p.tx_post_us = 1.0;
+  p.rx_drain_us = 0.4;
+  p.gather_max_segments = 16;
+  p.gather_segment_us = 0.06;
+  p.rdma = true;
+  p.rdma_setup_us = 0.9;
+  p.rdv_threshold = 16 * 1024;
+  p.max_eager_frame = 16 * 1024;
+  return p;
+}
+
+NicProfile sci_profile() {
+  NicProfile p;
+  p.name = "sisci-sci";
+  p.latency_us = 2.5;
+  p.bandwidth_mbps = 320.0;
+  p.tx_post_us = 0.4;
+  p.rx_drain_us = 0.4;
+  p.gather_max_segments = 1;  // remote-write interface, no gather DMA
+  p.gather_segment_us = 0.0;
+  p.rdma = true;
+  p.rdma_setup_us = 1.5;
+  p.rdv_threshold = 8 * 1024;
+  p.max_eager_frame = 8 * 1024;
+  return p;
+}
+
+NicProfile tcp_gige_profile() {
+  NicProfile p;
+  p.name = "tcp-gige";
+  p.latency_us = 45.0;
+  p.bandwidth_mbps = 112.0;
+  p.tx_post_us = 4.0;   // syscall + kernel stack
+  p.rx_drain_us = 4.0;
+  p.gather_max_segments = 8;  // writev
+  p.gather_segment_us = 0.3;
+  p.rdma = false;
+  p.rdma_setup_us = 0.0;
+  p.rdv_threshold = 64 * 1024;
+  p.max_eager_frame = 64 * 1024;
+  return p;
+}
+
+NicProfile shm_profile() {
+  NicProfile p;
+  p.name = "shm";
+  p.latency_us = 0.25;
+  p.bandwidth_mbps = 2600.0;  // bounded by one memcpy stream
+  p.tx_post_us = 0.15;
+  p.rx_drain_us = 0.15;
+  p.gather_max_segments = 1;
+  p.gather_segment_us = 0.0;
+  p.rdma = true;  // large blocks map as single-copy shared segments
+  p.rdma_setup_us = 0.3;
+  p.rdv_threshold = 16 * 1024;
+  p.max_eager_frame = 16 * 1024;
+  return p;
+}
+
+CpuProfile opteron_2006_profile() {
+  CpuProfile p;
+  p.memcpy_hot_mbps = 4500.0;
+  p.memcpy_cold_mbps = 1400.0;
+  p.memcpy_hot_threshold = 128 * 1024;
+  p.memcpy_call_us = 0.05;
+  return p;
+}
+
+bool nic_profile_by_name(const std::string& name, NicProfile* out) {
+  if (out == nullptr) return false;
+  if (name == "mx" || name == "myri10g" || name == "mx-myri10g") {
+    *out = mx_myri10g_profile();
+  } else if (name == "gm" || name == "myrinet2000" ||
+             name == "gm-myrinet2000") {
+    *out = gm_myrinet2000_profile();
+  } else if (name == "quadrics" || name == "elan" || name == "elan-quadrics") {
+    *out = elan_quadrics_profile();
+  } else if (name == "sci" || name == "sisci" || name == "sisci-sci") {
+    *out = sci_profile();
+  } else if (name == "tcp" || name == "gige" || name == "tcp-gige") {
+    *out = tcp_gige_profile();
+  } else if (name == "shm") {
+    *out = shm_profile();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace nmad::simnet

@@ -1,0 +1,44 @@
+// Calibrated NIC and host profiles.
+//
+// Numbers are set to the 2006-era hardware the paper evaluated on
+// (§5: dual-core 1.8 GHz Opterons, Myri-10G/MX 1.2.0, Quadrics QM500).
+// Calibration anchors, from the paper's own measurements:
+//   - MX/Myri-10G:   MPI short-message latency ≈ 2.5–3 µs, peak ≈ 1200 MB/s
+//   - Elan/Quadrics: MPI short-message latency ≈ 1.6–2 µs, peak ≈ 900 MB/s
+//   - MAD-MPI reaches 1155 MB/s (MX) and 835 MB/s (Quadrics) with < 0.5 µs
+//     constant overhead versus the native MPIs.
+#pragma once
+
+#include "simnet/cpu.hpp"
+#include "simnet/nic.hpp"
+
+namespace nmad::simnet {
+
+// Myri-10G with the MX message-passing driver.
+NicProfile mx_myri10g_profile();
+
+// Myrinet 2000 with the older GM driver (the paper's §4 also lists a
+// GM/MYRINET transfer layer): higher latency, 2 Gb/s wire, no gather DMA.
+NicProfile gm_myrinet2000_profile();
+
+// Quadrics QM500 (Elan4) with the Elan driver.
+NicProfile elan_quadrics_profile();
+
+// SCI with the SISCI driver (shared-memory style remote writes).
+NicProfile sci_profile();
+
+// Plain gigabit Ethernet with TCP: high latency, kernel copies, no RDMA.
+NicProfile tcp_gige_profile();
+
+// Intra-node shared-memory "rail": sub-microsecond latency, memory-speed
+// bandwidth, no gather engine (copies are the transport).
+NicProfile shm_profile();
+
+// 2006 dual-core Opteron host.
+CpuProfile opteron_2006_profile();
+
+// Looks a profile up by the names used on bench command lines
+// ("mx", "quadrics", "sci", "tcp"); returns false for unknown names.
+bool nic_profile_by_name(const std::string& name, NicProfile* out);
+
+}  // namespace nmad::simnet

@@ -1,0 +1,40 @@
+#include "simnet/trace.hpp"
+
+namespace nmad::simnet {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kFrameTx: return "frame-tx";
+    case TraceKind::kFrameRx: return "frame-rx";
+    case TraceKind::kBulkTx: return "bulk-tx";
+    case TraceKind::kBulkRx: return "bulk-rx";
+    case TraceKind::kUser: return "user";
+  }
+  return "?";
+}
+
+void TraceLog::record(SimTime at, TraceKind kind, uint32_t node,
+                      uint32_t rail, uint64_t bytes, std::string note) {
+  events_.push_back(
+      TraceEvent{at, kind, node, rail, bytes, std::move(note)});
+}
+
+size_t TraceLog::count(TraceKind kind, int node) const {
+  size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind != kind) continue;
+    if (node >= 0 && e.node != static_cast<uint32_t>(node)) continue;
+    ++n;
+  }
+  return n;
+}
+
+void TraceLog::dump(std::FILE* out) const {
+  for (const TraceEvent& e : events_) {
+    std::fprintf(out, "%12.3f µs  node%u rail%u  %-9s %8llu B  %s\n", e.at,
+                 e.node, e.rail, trace_kind_name(e.kind),
+                 static_cast<unsigned long long>(e.bytes), e.note.c_str());
+  }
+}
+
+}  // namespace nmad::simnet

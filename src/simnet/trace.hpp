@@ -1,0 +1,58 @@
+// Event trace recorder for the simulated fabric.
+//
+// When attached to NICs (and optionally fed by the engine), records a
+// timestamped event stream — frame launches, deliveries, bulk transfers —
+// that tests assert on and developers dump as a readable timeline when
+// debugging protocol schedules.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "simnet/time.hpp"
+
+namespace nmad::simnet {
+
+enum class TraceKind : uint8_t {
+  kFrameTx = 0,   // track-0 frame handed to the wire
+  kFrameRx,       // track-0 frame surfaced to software
+  kBulkTx,        // track-1 body slice launched
+  kBulkRx,        // track-1 slice deposited
+  kUser,          // free-form marker from upper layers
+};
+
+const char* trace_kind_name(TraceKind kind);
+
+struct TraceEvent {
+  SimTime at = 0.0;
+  TraceKind kind = TraceKind::kUser;
+  uint32_t node = 0;
+  uint32_t rail = 0;
+  uint64_t bytes = 0;
+  std::string note;  // optional detail (user markers)
+};
+
+class TraceLog {
+ public:
+  void record(SimTime at, TraceKind kind, uint32_t node, uint32_t rail,
+              uint64_t bytes, std::string note = {});
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  // Number of events of one kind (optionally restricted to one node).
+  [[nodiscard]] size_t count(TraceKind kind, int node = -1) const;
+
+  // Human-readable timeline, one event per line.
+  void dump(std::FILE* out = stderr) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace nmad::simnet

@@ -1,0 +1,97 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace nmad::util {
+
+void AsciiPlot::add_series(const std::string& name, char marker,
+                           std::vector<std::pair<double, double>> points) {
+  for (const auto& [x, y] : points) {
+    NMAD_ASSERT_MSG(x > 0.0 && y > 0.0,
+                    "log-log plot needs positive coordinates");
+  }
+  series_.push_back(Series{name, marker, std::move(points)});
+}
+
+void AsciiPlot::render(std::FILE* out) const {
+  if (series_.empty()) {
+    std::fprintf(out, "%s: (no data)\n", title_.c_str());
+    return;
+  }
+  double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+  for (const Series& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      min_x = std::min(min_x, x);
+      max_x = std::max(max_x, x);
+      min_y = std::min(min_y, y);
+      max_y = std::max(max_y, y);
+    }
+  }
+  // Pad the y range slightly so extreme points stay inside the frame.
+  const double lx0 = std::log2(min_x), lx1 = std::log2(max_x);
+  double ly0 = std::log2(min_y), ly1 = std::log2(max_y);
+  if (ly1 - ly0 < 1e-9) {
+    ly0 -= 0.5;
+    ly1 += 0.5;
+  }
+  ly0 -= (ly1 - ly0) * 0.05;
+  ly1 += (ly1 - ly0) * 0.05;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  auto to_col = [&](double x) {
+    const double f = (std::log2(x) - lx0) / std::max(lx1 - lx0, 1e-9);
+    return std::min(width_ - 1,
+                    static_cast<size_t>(f * static_cast<double>(width_ - 1) +
+                                        0.5));
+  };
+  auto to_row = [&](double y) {
+    const double f = (std::log2(y) - ly0) / (ly1 - ly0);
+    const auto from_bottom =
+        static_cast<size_t>(f * static_cast<double>(height_ - 1) + 0.5);
+    return height_ - 1 - std::min(height_ - 1, from_bottom);
+  };
+
+  for (const Series& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      char& cell = grid[to_row(y)][to_col(x)];
+      // Overlapping series show '+' so collisions stay visible.
+      cell = (cell == ' ' || cell == s.marker) ? s.marker : '+';
+    }
+  }
+
+  std::fprintf(out, "%s\n", title_.c_str());
+  for (size_t r = 0; r < height_; ++r) {
+    // Label every fourth row with its y value.
+    if (r % 4 == 0 || r == height_ - 1) {
+      const double f =
+          static_cast<double>(height_ - 1 - r) / (height_ - 1);
+      const double y = std::exp2(ly0 + f * (ly1 - ly0));
+      std::fprintf(out, "%9.1f |%s\n", y, grid[r].c_str());
+    } else {
+      std::fprintf(out, "%9s |%s\n", "", grid[r].c_str());
+    }
+  }
+  std::fprintf(out, "%9s +%s\n", "", std::string(width_, '-').c_str());
+  // X labels: min, middle, max.
+  const std::string lo = format_size(static_cast<uint64_t>(min_x));
+  const std::string mid = format_size(
+      static_cast<uint64_t>(std::exp2((lx0 + lx1) / 2.0)));
+  const std::string hi = format_size(static_cast<uint64_t>(max_x));
+  std::fprintf(out, "%9s  %-*s%s%*s\n", "",
+               static_cast<int>(width_ / 2 - mid.size() / 2), lo.c_str(),
+               mid.c_str(),
+               static_cast<int>(width_ - width_ / 2 - mid.size() +
+                                mid.size() / 2 - hi.size() + 1),
+               hi.c_str());
+  std::fprintf(out, "%9s  legend:", "");
+  for (const Series& s : series_) {
+    std::fprintf(out, "  %c=%s", s.marker, s.name.c_str());
+  }
+  std::fprintf(out, "\n");
+}
+
+}  // namespace nmad::util

@@ -1,0 +1,43 @@
+// ASCII chart renderer for the figure-reproduction benches.
+//
+// Renders multiple series on a log-log grid in plain text, mirroring the
+// paper's gnuplot figures closely enough to eyeball who-wins and
+// crossover points straight from the terminal (`--plot` on the fig
+// benches).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nmad::util {
+
+class AsciiPlot {
+ public:
+  // `width`/`height` are the plot area in characters (axes excluded).
+  AsciiPlot(std::string title, size_t width = 64, size_t height = 20)
+      : title_(std::move(title)), width_(width), height_(height) {}
+
+  // Adds a named series; `marker` is the character plotted at each point.
+  // Points must have strictly positive coordinates (log scale).
+  void add_series(const std::string& name, char marker,
+                  std::vector<std::pair<double, double>> points);
+
+  // Renders to `out`: title, plot area with log₂-spaced gridline labels on
+  // both axes, and a legend.
+  void render(std::FILE* out = stdout) const;
+
+ private:
+  struct Series {
+    std::string name;
+    char marker;
+    std::vector<std::pair<double, double>> points;
+  };
+
+  std::string title_;
+  size_t width_;
+  size_t height_;
+  std::vector<Series> series_;
+};
+
+}  // namespace nmad::util

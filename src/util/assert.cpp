@@ -1,0 +1,15 @@
+#include "util/assert.hpp"
+
+#include <cstdlib>
+
+namespace nmad::util {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const char* msg) {
+  std::fprintf(stderr, "[nmad] assertion failed: %s at %s:%d%s%s\n", expr,
+               file, line, msg ? " — " : "", msg ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace nmad::util

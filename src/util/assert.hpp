@@ -1,0 +1,40 @@
+// Assertion macros for invariant checking.
+//
+// NMAD_ASSERT is compiled in all build types: the engine is a scheduling
+// core where silent state corruption is far worse than the cost of a
+// predictable branch. NMAD_DEBUG_ASSERT compiles out in NDEBUG builds and
+// is meant for hot-path checks.
+#pragma once
+
+#include <cstdio>
+
+namespace nmad::util {
+
+// Prints a diagnostic and aborts. Out-of-line so the macro stays tiny.
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const char* msg);
+
+}  // namespace nmad::util
+
+#define NMAD_ASSERT(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) [[unlikely]] {                                            \
+      ::nmad::util::assert_fail(#expr, __FILE__, __LINE__, nullptr);       \
+    }                                                                      \
+  } while (0)
+
+#define NMAD_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) [[unlikely]] {                                            \
+      ::nmad::util::assert_fail(#expr, __FILE__, __LINE__, (msg));         \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define NMAD_DEBUG_ASSERT(expr) ((void)0)
+#else
+#define NMAD_DEBUG_ASSERT(expr) NMAD_ASSERT(expr)
+#endif
+
+#define NMAD_UNREACHABLE(msg)                                              \
+  ::nmad::util::assert_fail("unreachable", __FILE__, __LINE__, (msg))

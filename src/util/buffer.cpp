@@ -1,0 +1,39 @@
+#include "util/buffer.hpp"
+
+namespace nmad::util {
+
+size_t SegmentVec::gather_into(MutableBytes out) const {
+  NMAD_ASSERT_MSG(out.size() >= total_, "gather target too small");
+  size_t offset = 0;
+  for (const Segment& seg : segments_) {
+    if (seg.len == 0) continue;
+    std::memcpy(out.data() + offset, seg.data, seg.len);
+    offset += seg.len;
+  }
+  return offset;
+}
+
+void copy_bytes(MutableBytes dst, ConstBytes src) {
+  NMAD_ASSERT(dst.size() == src.size());
+  if (src.empty()) return;
+  std::memcpy(dst.data(), src.data(), src.size());
+}
+
+void fill_pattern(MutableBytes out, uint64_t seed) {
+  uint64_t state = seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
+  for (size_t i = 0; i < out.size(); ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    out[i] = static_cast<std::byte>((state >> 33) & 0xFF);
+  }
+}
+
+bool check_pattern(ConstBytes in, uint64_t seed) {
+  uint64_t state = seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
+  for (size_t i = 0; i < in.size(); ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    if (in[i] != static_cast<std::byte>((state >> 33) & 0xFF)) return false;
+  }
+  return true;
+}
+
+}  // namespace nmad::util

@@ -1,0 +1,119 @@
+// Byte buffers and scatter/gather segment vectors.
+//
+// The engine manipulates application data as (pointer, length) views; data
+// is only copied when a driver lacks gather/scatter or when a baseline
+// protocol deliberately packs. ByteBuffer is the owning flat buffer used
+// for wire packets; SegmentVec is the iovec-style view list.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace nmad::util {
+
+using ConstBytes = std::span<const std::byte>;
+using MutableBytes = std::span<std::byte>;
+
+inline ConstBytes as_bytes_view(const void* data, size_t len) {
+  return {static_cast<const std::byte*>(data), len};
+}
+inline MutableBytes as_writable_bytes(void* data, size_t len) {
+  return {static_cast<std::byte*>(data), len};
+}
+
+// One scatter/gather element.
+struct Segment {
+  const std::byte* data = nullptr;
+  size_t len = 0;
+
+  Segment() = default;
+  Segment(const void* d, size_t l)
+      : data(static_cast<const std::byte*>(d)), len(l) {}
+  explicit Segment(ConstBytes view) : data(view.data()), len(view.size()) {}
+
+  [[nodiscard]] ConstBytes view() const { return {data, len}; }
+};
+
+// iovec-style gather list with total-length bookkeeping.
+class SegmentVec {
+ public:
+  SegmentVec() = default;
+
+  void add(const void* data, size_t len) {
+    if (len == 0 && data == nullptr) return;
+    segments_.emplace_back(data, len);
+    total_ += len;
+  }
+  void add(ConstBytes view) { add(view.data(), view.size()); }
+  void add(const Segment& seg) { add(seg.data, seg.len); }
+
+  void clear() {
+    segments_.clear();
+    total_ = 0;
+  }
+
+  [[nodiscard]] size_t count() const { return segments_.size(); }
+  [[nodiscard]] size_t total_bytes() const { return total_; }
+  [[nodiscard]] bool empty() const { return segments_.empty(); }
+  [[nodiscard]] const Segment& operator[](size_t i) const {
+    NMAD_DEBUG_ASSERT(i < segments_.size());
+    return segments_[i];
+  }
+
+  [[nodiscard]] auto begin() const { return segments_.begin(); }
+  [[nodiscard]] auto end() const { return segments_.end(); }
+
+  // Copies every segment back-to-back into `out` (which must be large
+  // enough) and returns the number of bytes written.
+  size_t gather_into(MutableBytes out) const;
+
+ private:
+  std::vector<Segment> segments_;
+  size_t total_ = 0;
+};
+
+// Owning, growable flat byte buffer used to assemble wire packets.
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(size_t size) : bytes_(size) {}
+
+  [[nodiscard]] size_t size() const { return bytes_.size(); }
+  [[nodiscard]] bool empty() const { return bytes_.empty(); }
+
+  [[nodiscard]] std::byte* data() { return bytes_.data(); }
+  [[nodiscard]] const std::byte* data() const { return bytes_.data(); }
+
+  [[nodiscard]] MutableBytes view() { return {bytes_.data(), bytes_.size()}; }
+  [[nodiscard]] ConstBytes view() const {
+    return {bytes_.data(), bytes_.size()};
+  }
+
+  void resize(size_t size) { bytes_.resize(size); }
+  void clear() { bytes_.clear(); }
+
+  void append(ConstBytes chunk) {
+    bytes_.insert(bytes_.end(), chunk.begin(), chunk.end());
+  }
+  void append(const void* data, size_t len) {
+    append(as_bytes_view(data, len));
+  }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+// Copies `src` into `dst`; both spans must have the same length.
+void copy_bytes(MutableBytes dst, ConstBytes src);
+
+// Fills a buffer with a deterministic byte pattern (for tests/benches) and
+// verifies it; seed distinguishes independent buffers.
+void fill_pattern(MutableBytes out, uint64_t seed);
+[[nodiscard]] bool check_pattern(ConstBytes in, uint64_t seed);
+
+}  // namespace nmad::util

@@ -1,0 +1,92 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/units.hpp"
+
+namespace nmad::util {
+
+void CliFlags::define(const std::string& name,
+                      const std::string& default_value,
+                      const std::string& help) {
+  flags_[name] = Flag{default_value, help, /*is_bool=*/false};
+}
+
+void CliFlags::define_bool(const std::string& name, bool default_value,
+                           const std::string& help) {
+  flags_[name] = Flag{default_value ? "true" : "false", help,
+                      /*is_bool=*/true};
+}
+
+Status CliFlags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    if (const size_t eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.resize(eq);
+      has_value = true;
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      if (arg == "help") {
+        print_help(argv[0]);
+        std::exit(0);
+      }
+      return invalid_argument("unknown flag --" + arg);
+    }
+    if (it->second.is_bool) {
+      it->second.value = has_value ? value : "true";
+    } else if (has_value) {
+      it->second.value = value;
+    } else if (i + 1 < argc) {
+      it->second.value = argv[++i];
+    } else {
+      return invalid_argument("flag --" + arg + " expects a value");
+    }
+  }
+  return ok_status();
+}
+
+std::string CliFlags::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  NMAD_ASSERT_MSG(it != flags_.end(), "undeclared flag queried");
+  return it->second.value;
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+int64_t CliFlags::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+uint64_t CliFlags::get_size(const std::string& name) const {
+  uint64_t out = 0;
+  NMAD_ASSERT_MSG(parse_size(get(name), &out),
+                  "flag value is not a valid size");
+  return out;
+}
+
+void CliFlags::print_help(const char* program) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", program);
+  for (const auto& [name, flag] : flags_) {
+    std::fprintf(stderr, "  --%-20s %s (default: %s)\n", name.c_str(),
+                 flag.help.c_str(), flag.value.c_str());
+  }
+}
+
+}  // namespace nmad::util

@@ -1,0 +1,164 @@
+// Intrusive doubly-linked list.
+//
+// The optimization window and driver queues move packets between lists on
+// every progress step; an intrusive list makes insertion/removal O(1) with
+// no allocation, which is the standard idiom for communication runtimes.
+//
+// Usage:
+//   struct Packet { nmad::util::ListHook hook; ... };
+//   IntrusiveList<Packet, &Packet::hook> pending;
+#pragma once
+
+#include <cstddef>
+
+#include "util/assert.hpp"
+
+namespace nmad::util {
+
+struct ListHook {
+  ListHook* prev = nullptr;
+  ListHook* next = nullptr;
+
+  [[nodiscard]] bool is_linked() const { return prev != nullptr; }
+
+  // Detach from whatever list this hook is on. Safe to call when unlinked.
+  void unlink() {
+    if (!is_linked()) return;
+    prev->next = next;
+    next->prev = prev;
+    prev = nullptr;
+    next = nullptr;
+  }
+};
+
+template <typename T, ListHook T::* Hook>
+class IntrusiveList {
+ public:
+  IntrusiveList() { reset_sentinel(); }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  IntrusiveList(IntrusiveList&& other) noexcept { steal_from(other); }
+  IntrusiveList& operator=(IntrusiveList&& other) noexcept {
+    if (this != &other) {
+      clear();
+      steal_from(other);
+    }
+    return *this;
+  }
+
+  ~IntrusiveList() { clear(); }
+
+  [[nodiscard]] bool empty() const { return head_.next == &head_; }
+  [[nodiscard]] size_t size() const { return size_; }
+
+  void push_back(T& item) { insert_before(head_, hook_of(item)); }
+  void push_front(T& item) { insert_before(*head_.next, hook_of(item)); }
+
+  // Inserts `item` immediately before `pos` (which must be on this list).
+  void insert_before(T& pos, T& item) {
+    insert_before(hook_of(pos), hook_of(item));
+  }
+
+  [[nodiscard]] T& front() {
+    NMAD_ASSERT(!empty());
+    return *owner_of(head_.next);
+  }
+  [[nodiscard]] T& back() {
+    NMAD_ASSERT(!empty());
+    return *owner_of(head_.prev);
+  }
+
+  T& pop_front() {
+    T& item = front();
+    remove(item);
+    return item;
+  }
+  T& pop_back() {
+    T& item = back();
+    remove(item);
+    return item;
+  }
+
+  void remove(T& item) {
+    ListHook& hook = hook_of(item);
+    NMAD_DEBUG_ASSERT(hook.is_linked());
+    hook.unlink();
+    --size_;
+  }
+
+  // Unlinks every element (does not destroy them; the list never owns).
+  void clear() {
+    while (!empty()) pop_front();
+  }
+
+  class iterator {
+   public:
+    explicit iterator(ListHook* at) : at_(at) {}
+    T& operator*() const { return *owner_of(at_); }
+    T* operator->() const { return owner_of(at_); }
+    iterator& operator++() {
+      at_ = at_->next;
+      return *this;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.at_ == b.at_;
+    }
+
+   private:
+    ListHook* at_;
+  };
+
+  iterator begin() { return iterator{head_.next}; }
+  iterator end() { return iterator{&head_}; }
+
+  // Returns the element after `item`, or nullptr if it is the last.
+  T* next_of(T& item) {
+    ListHook* n = hook_of(item).next;
+    return n == &head_ ? nullptr : owner_of(n);
+  }
+
+ private:
+  static ListHook& hook_of(T& item) { return item.*Hook; }
+
+  static T* owner_of(ListHook* hook) {
+    // Recover the owning object from its hook member.
+    const auto offset = reinterpret_cast<size_t>(
+        &(static_cast<T*>(nullptr)->*Hook));
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(hook) - offset);
+  }
+
+  void insert_before(ListHook& pos, ListHook& hook) {
+    NMAD_DEBUG_ASSERT(!hook.is_linked());
+    hook.prev = pos.prev;
+    hook.next = &pos;
+    pos.prev->next = &hook;
+    pos.prev = &hook;
+    ++size_;
+  }
+
+  void reset_sentinel() {
+    head_.prev = &head_;
+    head_.next = &head_;
+    size_ = 0;
+  }
+
+  void steal_from(IntrusiveList& other) {
+    if (other.empty()) {
+      reset_sentinel();
+      return;
+    }
+    head_.next = other.head_.next;
+    head_.prev = other.head_.prev;
+    head_.next->prev = &head_;
+    head_.prev->next = &head_;
+    size_ = other.size_;
+    other.reset_sentinel();
+  }
+
+  ListHook head_;  // sentinel; prev == tail, next == first
+  size_t size_ = 0;
+};
+
+}  // namespace nmad::util

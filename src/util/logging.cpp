@@ -1,0 +1,52 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace nmad::util {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::logf(LogLevel level, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  vlogf(level, fmt, args);
+  va_end(args);
+}
+
+void Logger::vlogf(LogLevel level, const char* fmt, va_list args) {
+  if (!enabled(level)) return;  // the macros pre-check; direct calls don't
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  if (needed < 0) return;
+
+  std::string body(static_cast<size_t>(needed) + 1, '\0');
+  std::vsnprintf(body.data(), body.size(), fmt, args);
+  body.resize(static_cast<size_t>(needed));
+
+  if (sink_) {
+    sink_(level, body);
+  } else {
+    std::fprintf(stderr, "[nmad %s] %s\n", log_level_name(level),
+                 body.c_str());
+  }
+}
+
+}  // namespace nmad::util

@@ -1,0 +1,63 @@
+// Minimal leveled logger.
+//
+// The engine logs through a process-global logger with a settable level and
+// sink, so tests can capture output and benchmarks can silence it. Printf
+// formatting is used instead of iostreams to keep call sites cheap and to
+// avoid locale surprises.
+#pragma once
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+
+namespace nmad::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+const char* log_level_name(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  // Process-global logger used by the NMAD_LOG_* macros.
+  static Logger& global();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  // Replaces the output sink; pass nullptr to restore stderr output.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void logf(LogLevel level, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+  void vlogf(LogLevel level, const char* fmt, va_list args);
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+}  // namespace nmad::util
+
+#define NMAD_LOG(level, ...)                                            \
+  do {                                                                  \
+    auto& nmad_logger_ = ::nmad::util::Logger::global();                \
+    if (nmad_logger_.enabled(level)) {                                  \
+      nmad_logger_.logf(level, __VA_ARGS__);                            \
+    }                                                                   \
+  } while (0)
+
+#define NMAD_LOG_TRACE(...) NMAD_LOG(::nmad::util::LogLevel::kTrace, __VA_ARGS__)
+#define NMAD_LOG_DEBUG(...) NMAD_LOG(::nmad::util::LogLevel::kDebug, __VA_ARGS__)
+#define NMAD_LOG_INFO(...) NMAD_LOG(::nmad::util::LogLevel::kInfo, __VA_ARGS__)
+#define NMAD_LOG_WARN(...) NMAD_LOG(::nmad::util::LogLevel::kWarn, __VA_ARGS__)
+#define NMAD_LOG_ERROR(...) NMAD_LOG(::nmad::util::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,71 @@
+// Fixed-type object pool with freelist reuse.
+//
+// Packet wrappers and requests are allocated and released at very high
+// rates on the progress path; the pool amortises allocation by recycling
+// slots in chunk-allocated slabs. Objects are constructed on acquire and
+// destroyed on release, so no stale state leaks between uses.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace nmad::util {
+
+template <typename T>
+class ObjectPool {
+ public:
+  explicit ObjectPool(size_t slab_objects = 64)
+      : slab_objects_(slab_objects == 0 ? 1 : slab_objects) {}
+
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  ~ObjectPool() {
+    NMAD_ASSERT_MSG(live_ == 0, "ObjectPool destroyed with live objects");
+  }
+
+  template <typename... Args>
+  T* acquire(Args&&... args) {
+    if (free_.empty()) grow();
+    void* slot = free_.back();
+    free_.pop_back();
+    ++live_;
+    return ::new (slot) T(std::forward<Args>(args)...);
+  }
+
+  void release(T* object) {
+    NMAD_ASSERT(object != nullptr);
+    object->~T();
+    free_.push_back(object);
+    NMAD_ASSERT(live_ > 0);
+    --live_;
+  }
+
+  [[nodiscard]] size_t live() const { return live_; }
+  [[nodiscard]] size_t capacity() const {
+    return slabs_.size() * slab_objects_;
+  }
+
+ private:
+  using Slot = std::aligned_storage_t<sizeof(T), alignof(T)>;
+
+  void grow() {
+    auto slab = std::make_unique<Slot[]>(slab_objects_);
+    for (size_t i = 0; i < slab_objects_; ++i) {
+      free_.push_back(&slab[i]);
+    }
+    slabs_.push_back(std::move(slab));
+  }
+
+  size_t slab_objects_;
+  size_t live_ = 0;
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  std::vector<void*> free_;
+};
+
+}  // namespace nmad::util

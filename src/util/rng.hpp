@@ -1,0 +1,35 @@
+// Deterministic PRNG (xoshiro256**) for workload generators and tests.
+//
+// std::mt19937_64 would also work but is large and slower to seed; the
+// xoshiro family is the common choice in HPC workload generators and keeps
+// simulation runs bit-reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace nmad::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853C49E6748FEA9Bull) { reseed(seed); }
+
+  void reseed(uint64_t seed);
+
+  uint64_t next_u64();
+
+  // Uniform in [0, bound) without modulo bias (Lemire's method).
+  uint64_t next_below(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t next_range(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  bool next_bool(double p_true = 0.5);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace nmad::util

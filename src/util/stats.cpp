@@ -1,0 +1,79 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nmad::util {
+
+void RunningStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const {
+  NMAD_ASSERT(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const {
+  NMAD_ASSERT(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::percentile(double p) const {
+  NMAD_ASSERT(!samples_.empty());
+  NMAD_ASSERT(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void SizeHistogram::add(uint64_t value) {
+  const size_t bucket = value < 2 ? 0 : std::bit_width(value) - 1;
+  if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
+  ++buckets_[bucket];
+  ++total_;
+}
+
+uint64_t SizeHistogram::bucket(size_t i) const {
+  return i < buckets_.size() ? buckets_[i] : 0;
+}
+
+}  // namespace nmad::util

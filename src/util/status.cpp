@@ -1,0 +1,64 @@
+#include "util/status.hpp"
+
+namespace nmad::util {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kAlreadyExists: return "already-exists";
+    case StatusCode::kOutOfRange: return "out-of-range";
+    case StatusCode::kResourceExhausted: return "resource-exhausted";
+    case StatusCode::kFailedPrecondition: return "failed-precondition";
+    case StatusCode::kUnimplemented: return "unimplemented";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kTruncated: return "truncated";
+    case StatusCode::kWouldBlock: return "would-block";
+    case StatusCode::kClosed: return "closed";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status invalid_argument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+Status not_found(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+Status already_exists(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+Status out_of_range(std::string msg) {
+  return {StatusCode::kOutOfRange, std::move(msg)};
+}
+Status resource_exhausted(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+Status failed_precondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+Status unimplemented(std::string msg) {
+  return {StatusCode::kUnimplemented, std::move(msg)};
+}
+Status internal_error(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+Status truncated(std::string msg) {
+  return {StatusCode::kTruncated, std::move(msg)};
+}
+Status would_block() { return Status{StatusCode::kWouldBlock}; }
+Status closed(std::string msg) {
+  return {StatusCode::kClosed, std::move(msg)};
+}
+
+}  // namespace nmad::util

@@ -1,0 +1,126 @@
+// Lightweight status codes and an Expected<T> result type.
+//
+// The engine avoids exceptions on communication paths (they make progress
+// loops and C-style driver callbacks brittle); fallible operations return
+// Status or Expected<T> instead, and callers must check them.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/assert.hpp"
+
+namespace nmad::util {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kTruncated,       // receive buffer smaller than the incoming message
+  kWouldBlock,      // operation cannot make progress right now
+  kClosed,          // endpoint / driver already shut down
+};
+
+// Human-readable name of a status code ("ok", "invalid-argument", ...).
+const char* status_code_name(StatusCode code);
+
+// A status code plus an optional context message. Cheap to copy when ok
+// (the common case stores no string).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  explicit Status(StatusCode code) : code_(code) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  // Full human-readable rendering, e.g. "invalid-argument: tag too wide".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status ok_status() { return Status::ok(); }
+
+// Shorthand constructors mirroring absl-style helpers.
+Status invalid_argument(std::string msg);
+Status not_found(std::string msg);
+Status already_exists(std::string msg);
+Status out_of_range(std::string msg);
+Status resource_exhausted(std::string msg);
+Status failed_precondition(std::string msg);
+Status unimplemented(std::string msg);
+Status internal_error(std::string msg);
+Status truncated(std::string msg);
+Status would_block();
+Status closed(std::string msg);
+
+// Minimal expected/result type: either a value or a non-ok Status.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : state_(std::move(value)) {}                // NOLINT
+  Expected(Status status) : state_(std::move(status)) {          // NOLINT
+    NMAD_ASSERT_MSG(!std::get<Status>(state_).is_ok(),
+                    "Expected<T> built from an ok Status");
+  }
+
+  [[nodiscard]] bool has_value() const {
+    return std::holds_alternative<T>(state_);
+  }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] const T& value() const& {
+    NMAD_ASSERT_MSG(has_value(), "value() on errored Expected");
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T& value() & {
+    NMAD_ASSERT_MSG(has_value(), "value() on errored Expected");
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& take() && {
+    NMAD_ASSERT_MSG(has_value(), "take() on errored Expected");
+    return std::get<T>(std::move(state_));
+  }
+
+  [[nodiscard]] Status status() const {
+    if (has_value()) return Status::ok();
+    return std::get<Status>(state_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace nmad::util
+
+// Propagate a non-ok Status from an expression, absl-style.
+#define NMAD_RETURN_IF_ERROR(expr)                        \
+  do {                                                    \
+    ::nmad::util::Status nmad_status_ = (expr);           \
+    if (!nmad_status_.is_ok()) return nmad_status_;       \
+  } while (0)

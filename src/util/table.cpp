@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/assert.hpp"
+
+namespace nmad::util {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != 'e' && c != 'E' && c != '%' &&
+        c != 'K' && c != 'M' && c != 'G') {
+      return false;
+    }
+  }
+  return std::isdigit(static_cast<unsigned char>(s[0])) || s[0] == '-' ||
+         s[0] == '+' || s[0] == '.';
+}
+
+}  // namespace
+
+void Table::add_row(std::vector<std::string> cells) {
+  NMAD_ASSERT_MSG(cells.size() == header_.size(),
+                  "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<size_t> widths(header_.size());
+  std::vector<bool> numeric(header_.size(), true);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+      if (!looks_numeric(row[c])) numeric[c] = false;
+    }
+  }
+
+  auto print_cell = [&](const std::string& text, size_t c, bool right) {
+    const int w = static_cast<int>(widths[c]);
+    if (right) {
+      std::fprintf(out, "%*s", w, text.c_str());
+    } else {
+      std::fprintf(out, "%-*s", w, text.c_str());
+    }
+    std::fputs(c + 1 == header_.size() ? "\n" : "  ", out);
+  };
+
+  for (size_t c = 0; c < header_.size(); ++c) {
+    print_cell(header_[c], c, /*right=*/false);
+  }
+  for (size_t c = 0; c < header_.size(); ++c) {
+    std::string rule(widths[c], '-');
+    print_cell(rule, c, /*right=*/false);
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      print_cell(row[c], c, numeric[c]);
+    }
+  }
+}
+
+void Table::print_csv(std::FILE* out) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fputs(row[c].c_str(), out);
+      std::fputc(c + 1 == row.size() ? '\n' : ',', out);
+    }
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace nmad::util

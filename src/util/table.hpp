@@ -1,0 +1,37 @@
+// Aligned ASCII table / CSV writer for benchmark output.
+//
+// Every bench binary prints one table per paper figure; keeping the
+// formatting in one place makes the harness output uniform and lets
+// EXPERIMENTS.md quote it directly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nmad::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells);
+
+  // Pretty-prints with per-column alignment (numbers right, text left).
+  void print(std::FILE* out = stdout) const;
+
+  // Comma-separated output for downstream plotting.
+  void print_csv(std::FILE* out) const;
+
+  [[nodiscard]] size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(size_t i) const {
+    return rows_[i];
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nmad::util

@@ -1,0 +1,76 @@
+#include "util/units.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace nmad::util {
+
+bool parse_size(const std::string& text, uint64_t* out) {
+  if (text.empty() || out == nullptr) return false;
+  uint64_t value = 0;
+  size_t i = 0;
+  bool any_digit = false;
+  for (; i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]));
+       ++i) {
+    value = value * 10 + static_cast<uint64_t>(text[i] - '0');
+    any_digit = true;
+  }
+  if (!any_digit) return false;
+  uint64_t mult = 1;
+  if (i < text.size()) {
+    switch (std::toupper(static_cast<unsigned char>(text[i]))) {
+      case 'K': mult = 1024ull; break;
+      case 'M': mult = 1024ull * 1024; break;
+      case 'G': mult = 1024ull * 1024 * 1024; break;
+      default: return false;
+    }
+    ++i;
+    // Allow a trailing "B" / "iB".
+    if (i < text.size() &&
+        std::toupper(static_cast<unsigned char>(text[i])) == 'I') {
+      ++i;
+    }
+    if (i < text.size() &&
+        std::toupper(static_cast<unsigned char>(text[i])) == 'B') {
+      ++i;
+    }
+  }
+  if (i != text.size()) return false;
+  *out = value * mult;
+  return true;
+}
+
+std::string format_size(uint64_t bytes) {
+  const uint64_t kK = 1024ull;
+  const uint64_t kM = kK * 1024;
+  const uint64_t kG = kM * 1024;
+  char buf[32];
+  if (bytes >= kG && bytes % kG == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluG",
+                  static_cast<unsigned long long>(bytes / kG));
+  } else if (bytes >= kM && bytes % kM == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluM",
+                  static_cast<unsigned long long>(bytes / kM));
+  } else if (bytes >= kK && bytes % kK == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluK",
+                  static_cast<unsigned long long>(bytes / kK));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::vector<uint64_t> doubling_sizes(uint64_t lo, uint64_t hi) {
+  std::vector<uint64_t> sizes;
+  for (uint64_t s = lo; s <= hi && s != 0; s *= 2) sizes.push_back(s);
+  return sizes;
+}
+
+}  // namespace nmad::util

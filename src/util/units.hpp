@@ -1,0 +1,24 @@
+// Size/time formatting and parsing helpers shared by benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nmad::util {
+
+// "4", "1K", "256K", "2M" → bytes (K/M/G are binary multiples). Returns
+// false on malformed input.
+bool parse_size(const std::string& text, uint64_t* out);
+
+// 4 → "4", 1024 → "1K", 2097152 → "2M"; falls back to plain digits when the
+// value is not an exact multiple.
+std::string format_size(uint64_t bytes);
+
+// 12.345 → "12.35" (fixed, `digits` decimals).
+std::string format_fixed(double value, int digits = 2);
+
+// Doubling sweep [lo, hi] inclusive, e.g. 4 → 8 → ... → 2M.
+std::vector<uint64_t> doubling_sizes(uint64_t lo, uint64_t hi);
+
+}  // namespace nmad::util

@@ -1,0 +1,111 @@
+// Little-endian wire encode/decode helpers.
+//
+// Track-0 packets carry a real byte-serialised header format (the paper's
+// §5.1 "extra header ... for allowing the reordering and the multiplexing
+// of the packets"); these helpers keep the encoding explicit and
+// endian-stable.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/buffer.hpp"
+
+namespace nmad::util {
+
+class WireWriter {
+ public:
+  explicit WireWriter(ByteBuffer& out) : out_(out) {}
+
+  void u8(uint8_t v) { out_.append(&v, 1); }
+  void u16(uint16_t v) { put_le(v); }
+  void u32(uint32_t v) { put_le(v); }
+  void u64(uint64_t v) { put_le(v); }
+  void bytes(ConstBytes view) { out_.append(view); }
+  void bytes(const void* data, size_t len) { out_.append(data, len); }
+
+  [[nodiscard]] size_t written() const { return out_.size(); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    std::byte raw[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      raw[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+    }
+    out_.append(raw, sizeof(T));
+  }
+
+  ByteBuffer& out_;
+};
+
+// Incremental FNV-1a 32-bit hash — the integrity check used by the
+// optional wire checksum (fast, endian-stable, good enough to catch
+// protocol bugs; not cryptographic).
+class Fnv32 {
+ public:
+  void update(ConstBytes data) {
+    for (std::byte b : data) {
+      state_ ^= std::to_integer<uint32_t>(b);
+      state_ *= 16777619u;
+    }
+  }
+  [[nodiscard]] uint32_t digest() const { return state_; }
+
+  static uint32_t of(ConstBytes data) {
+    Fnv32 h;
+    h.update(data);
+    return h.digest();
+  }
+
+ private:
+  uint32_t state_ = 2166136261u;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(ConstBytes in) : in_(in) {}
+
+  [[nodiscard]] size_t remaining() const { return in_.size() - offset_; }
+  [[nodiscard]] size_t offset() const { return offset_; }
+  [[nodiscard]] bool ok() const { return !failed_; }
+
+  uint8_t u8() { return get_le<uint8_t>(); }
+  uint16_t u16() { return get_le<uint16_t>(); }
+  uint32_t u32() { return get_le<uint32_t>(); }
+  uint64_t u64() { return get_le<uint64_t>(); }
+
+  // Returns a view of the next `len` bytes without copying.
+  ConstBytes bytes(size_t len) {
+    if (failed_ || remaining() < len) {
+      failed_ = true;
+      return {};
+    }
+    ConstBytes view = in_.subspan(offset_, len);
+    offset_ += len;
+    return view;
+  }
+
+ private:
+  template <typename T>
+  T get_le() {
+    if (failed_ || remaining() < sizeof(T)) {
+      failed_ = true;
+      return T{};
+    }
+    T v{};
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(
+          v | (static_cast<T>(std::to_integer<uint8_t>(in_[offset_ + i]))
+               << (8 * i)));
+    }
+    offset_ += sizeof(T);
+    return v;
+  }
+
+  ConstBytes in_;
+  size_t offset_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace nmad::util

@@ -1,0 +1,72 @@
+// The benchmark harness itself: runner determinism, physical sanity of
+// the measurements, and the helper math EXPERIMENTS.md relies on.
+#include <gtest/gtest.h>
+
+#include "bench/common.hpp"
+
+namespace nmad::bench {
+namespace {
+
+TEST(BenchCommon, GainPercentMath) {
+  EXPECT_DOUBLE_EQ(gain_percent(5.0, 10.0), 50.0);
+  EXPECT_DOUBLE_EQ(gain_percent(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(gain_percent(15.0, 10.0), -50.0);
+  EXPECT_DOUBLE_EQ(gain_percent(1.0, 0.0), 0.0);  // guarded
+}
+
+TEST(BenchCommon, ImplsPerNetworkMatchThePaper) {
+  EXPECT_EQ(impls_for_net("mx"),
+            (std::vector<std::string>{"madmpi", "mpich", "openmpi"}));
+  EXPECT_EQ(impls_for_net("quadrics"),
+            (std::vector<std::string>{"madmpi", "mpich"}));
+}
+
+TEST(BenchCommon, PingPongIsDeterministic) {
+  baseline::MpiStack s1 = make_stack("madmpi", "mx");
+  baseline::MpiStack s2 = make_stack("madmpi", "mx");
+  const double a = pingpong_latency_us(s1, 1024, 5, 1);
+  const double b = pingpong_latency_us(s2, 1024, 5, 1);
+  EXPECT_DOUBLE_EQ(a, b);  // virtual time: bit-identical reruns
+}
+
+TEST(BenchCommon, LatencyMonotoneInSize) {
+  double prev = 0.0;
+  for (size_t size : {4u, 1024u, 65536u, 1048576u}) {
+    baseline::MpiStack stack = make_stack("mpich", "mx");
+    const double lat = pingpong_latency_us(stack, size, 3, 1);
+    EXPECT_GT(lat, prev) << size;
+    prev = lat;
+  }
+}
+
+TEST(BenchCommon, BandwidthBoundedByWireRate) {
+  for (const char* net : {"mx", "quadrics", "sci", "tcp", "gm"}) {
+    simnet::NicProfile profile;
+    ASSERT_TRUE(simnet::nic_profile_by_name(net, &profile));
+    baseline::MpiStack stack = make_stack("madmpi", net);
+    const double bw = pingpong_bandwidth_mbps(stack, 2u << 20, 2, 1);
+    EXPECT_LT(bw, profile.bandwidth_mbps * 1.001) << net;
+    EXPECT_GT(bw, profile.bandwidth_mbps * 0.5) << net;
+  }
+}
+
+TEST(BenchCommon, MultisegLatencyScalesWithSegments) {
+  baseline::MpiStack s8 = make_stack("mpich", "mx");
+  baseline::MpiStack s16 = make_stack("mpich", "mx");
+  const double t8 = multiseg_latency_us(s8, 8, 64, 3, 1);
+  const double t16 = multiseg_latency_us(s16, 16, 64, 3, 1);
+  EXPECT_GT(t16, t8 * 1.5);  // roughly linear in segment count for MPICH
+  EXPECT_LT(t16, t8 * 2.5);
+}
+
+TEST(BenchCommon, DatatypeTransferDominatedByLargeBlocks) {
+  baseline::MpiStack stack = make_stack("madmpi", "mx");
+  const double t1 = datatype_transfer_us(stack, 1, 64, 256 * 1024, 2, 1);
+  baseline::MpiStack stack4 = make_stack("madmpi", "mx");
+  const double t4 = datatype_transfer_us(stack4, 4, 64, 256 * 1024, 2, 1);
+  EXPECT_GT(t4, t1 * 3.0);  // ~linear in element count
+  EXPECT_LT(t4, t1 * 5.0);
+}
+
+}  // namespace
+}  // namespace nmad::bench

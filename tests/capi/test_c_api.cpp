@@ -1,0 +1,94 @@
+// The C API surface: lifecycle, transfers, error handling.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "nmad.h"
+
+namespace {
+
+TEST(CApi, CreateQueryDestroy) {
+  nmad_cluster_t* cluster = nmad_cluster_create("quadrics", 3, "aggreg");
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_EQ(nmad_cluster_size(cluster), 3);
+  EXPECT_DOUBLE_EQ(nmad_now_us(cluster), 0.0);
+  nmad_cluster_destroy(cluster);
+}
+
+TEST(CApi, BadArgumentsReturnNull) {
+  EXPECT_EQ(nmad_cluster_create("nosuchnet", 2, "aggreg"), nullptr);
+  EXPECT_EQ(nmad_cluster_create("mx", 2, "nosuchstrategy"), nullptr);
+  EXPECT_EQ(nmad_cluster_create("mx", 1, "aggreg"), nullptr);
+  EXPECT_EQ(nmad_cluster_create(nullptr, 2, "aggreg"), nullptr);
+}
+
+TEST(CApi, TransferRoundTrip) {
+  nmad_cluster_t* cluster = nmad_cluster_create("mx", 2, "aggreg");
+  ASSERT_NE(cluster, nullptr);
+
+  std::vector<char> out(10000), in(10000);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<char>(i * 13 + 1);
+  }
+  nmad_request_t* recv = nmad_irecv(cluster, 1, nmad_gate(cluster, 1, 0),
+                                    42, in.data(), in.size());
+  nmad_request_t* send = nmad_isend(cluster, 0, nmad_gate(cluster, 0, 1),
+                                    42, out.data(), out.size());
+  ASSERT_NE(recv, nullptr);
+  ASSERT_NE(send, nullptr);
+  EXPECT_EQ(nmad_wait(cluster, recv), 0);
+  EXPECT_EQ(nmad_wait(cluster, send), 0);
+  EXPECT_EQ(nmad_test(recv), 1);
+  EXPECT_EQ(nmad_received_bytes(recv), out.size());
+  EXPECT_EQ(nmad_received_bytes(send), 0u);
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), out.size()), 0);
+  EXPECT_GT(nmad_now_us(cluster), 0.0);
+
+  nmad_request_free(recv);
+  nmad_request_free(send);
+  nmad_cluster_destroy(cluster);
+}
+
+TEST(CApi, TruncationReportedThroughWait) {
+  nmad_cluster_t* cluster = nmad_cluster_create("mx", 2, "aggreg");
+  ASSERT_NE(cluster, nullptr);
+
+  std::vector<char> out(256), in(64);
+  nmad_request_t* recv = nmad_irecv(cluster, 1, nmad_gate(cluster, 1, 0),
+                                    1, in.data(), in.size());
+  nmad_request_t* send = nmad_isend(cluster, 0, nmad_gate(cluster, 0, 1),
+                                    1, out.data(), out.size());
+  EXPECT_EQ(nmad_wait(cluster, send), 0);
+  EXPECT_NE(nmad_wait(cluster, recv), 0);  // truncated
+
+  nmad_request_free(recv);
+  nmad_request_free(send);
+  nmad_cluster_destroy(cluster);
+}
+
+TEST(CApi, ZeroByteMessage) {
+  nmad_cluster_t* cluster = nmad_cluster_create("tcp", 2, "default");
+  ASSERT_NE(cluster, nullptr);
+  nmad_request_t* recv =
+      nmad_irecv(cluster, 1, nmad_gate(cluster, 1, 0), 9, nullptr, 0);
+  nmad_request_t* send =
+      nmad_isend(cluster, 0, nmad_gate(cluster, 0, 1), 9, nullptr, 0);
+  EXPECT_EQ(nmad_wait(cluster, recv), 0);
+  EXPECT_EQ(nmad_wait(cluster, send), 0);
+  nmad_request_free(recv);
+  nmad_request_free(send);
+  nmad_cluster_destroy(cluster);
+}
+
+TEST(CApi, NullBufferWithLengthRejected) {
+  nmad_cluster_t* cluster = nmad_cluster_create("mx", 2, "aggreg");
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_EQ(nmad_isend(cluster, 0, nmad_gate(cluster, 0, 1), 1, nullptr,
+                       16),
+            nullptr);
+  EXPECT_EQ(nmad_irecv(cluster, 5, 0, 1, nullptr, 0), nullptr);  // bad node
+  nmad_cluster_destroy(cluster);
+}
+
+}  // namespace

@@ -1,0 +1,291 @@
+// Baseline (MPICH-sim / OpenMPI-sim) protocol behaviour: per-message
+// processing, pipelining timing, pack/unpack charging, rendezvous.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/stack.hpp"
+#include "util/buffer.hpp"
+
+namespace nmad::baseline {
+namespace {
+
+using mpi::Datatype;
+using mpi::kCommWorld;
+
+MpiStack mx_stack(StackImpl impl) {
+  StackOptions options;
+  options.impl = impl;
+  return MpiStack(std::move(options));
+}
+
+TEST(Baseline, TuningsDiffer) {
+  const auto nic = simnet::mx_myri10g_profile();
+  const Tuning mpich = mpich_tuning(nic);
+  const Tuning ompi = openmpi_tuning(nic);
+  EXPECT_LT(mpich.send_overhead_us, ompi.send_overhead_us);
+  EXPECT_EQ(mpich.rndv_frag_bytes, 0u);
+  EXPECT_GT(ompi.rndv_frag_bytes, 0u);
+  EXPECT_TRUE(ompi.pipelined_pack);
+  EXPECT_FALSE(mpich.pipelined_pack);
+}
+
+TEST(Baseline, StackImplNames) {
+  StackImpl impl;
+  EXPECT_TRUE(stack_impl_from_name("madmpi", &impl));
+  EXPECT_EQ(impl, StackImpl::kMadMpi);
+  EXPECT_TRUE(stack_impl_from_name("mpich", &impl));
+  EXPECT_EQ(impl, StackImpl::kMpich);
+  EXPECT_TRUE(stack_impl_from_name("ompi", &impl));
+  EXPECT_EQ(impl, StackImpl::kOpenMpi);
+  EXPECT_FALSE(stack_impl_from_name("lam", &impl));
+  EXPECT_STREQ(stack_impl_name(StackImpl::kOpenMpi), "openmpi");
+}
+
+TEST(Baseline, EagerMessageOneFrame) {
+  MpiStack stack = mx_stack(StackImpl::kMpich);
+  auto& a = static_cast<BaselineEndpoint&>(stack.ep(0));
+  auto& b = stack.ep(1);
+  const Datatype byte = Datatype::byte_type();
+
+  std::vector<std::byte> out(1024), in(1024);
+  util::fill_pattern({out.data(), 1024}, 1);
+  auto* r = b.irecv(in.data(), 1024, byte, 0, 0, kCommWorld);
+  auto* s = a.isend(out.data(), 1024, byte, 1, 0, kCommWorld);
+  b.wait(r);
+  a.wait(s);
+  EXPECT_EQ(a.stats().frames_sent, 1u);
+  EXPECT_EQ(a.stats().rdv_count, 0u);
+  EXPECT_TRUE(util::check_pattern({in.data(), 1024}, 1));
+  a.free_request(s);
+  b.free_request(r);
+}
+
+TEST(Baseline, LargeMessageUsesRendezvous) {
+  MpiStack stack = mx_stack(StackImpl::kMpich);
+  auto& a = static_cast<BaselineEndpoint&>(stack.ep(0));
+  auto& b = stack.ep(1);
+  const Datatype byte = Datatype::byte_type();
+
+  const size_t len = 256 * 1024;
+  std::vector<std::byte> out(len), in(len);
+  util::fill_pattern({out.data(), len}, 2);
+  auto* r = b.irecv(in.data(), static_cast<int>(len), byte, 0, 0,
+                    kCommWorld);
+  auto* s = a.isend(out.data(), static_cast<int>(len), byte, 1, 0,
+                    kCommWorld);
+  b.wait(r);
+  a.wait(s);
+  EXPECT_EQ(a.stats().rdv_count, 1u);
+  EXPECT_TRUE(util::check_pattern({in.data(), len}, 2));
+  a.free_request(s);
+  b.free_request(r);
+}
+
+TEST(Baseline, NoAggregationAcrossMessages) {
+  // N messages → N frames, always (the defining contrast with nmad).
+  MpiStack stack = mx_stack(StackImpl::kMpich);
+  auto& a = static_cast<BaselineEndpoint&>(stack.ep(0));
+  auto& b = stack.ep(1);
+  const Datatype byte = Datatype::byte_type();
+
+  constexpr int kN = 12;
+  std::vector<std::vector<std::byte>> out(kN), in(kN);
+  std::vector<mpi::Request*> reqs;
+  for (int i = 0; i < kN; ++i) {
+    out[i].resize(64);
+    in[i].resize(64);
+    util::fill_pattern({out[i].data(), 64}, 10 + i);
+    reqs.push_back(b.irecv(in[i].data(), 64, byte, 0, i, kCommWorld));
+  }
+  for (int i = 0; i < kN; ++i) {
+    reqs.push_back(a.isend(out[i].data(), 64, byte, 1, i, kCommWorld));
+  }
+  for (auto* r : reqs) a.wait(r);
+  EXPECT_EQ(a.stats().frames_sent, static_cast<uint64_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_TRUE(util::check_pattern({in[i].data(), 64}, 10 + i));
+  }
+  for (auto* r : reqs) a.free_request(r);
+}
+
+TEST(Baseline, PipeliningBeatsSerialRoundTrips) {
+  // N pipelined one-way messages must take far less than N times a single
+  // message (the overlap §5.2 credits MPICH with).
+  const Datatype byte = Datatype::byte_type();
+  constexpr int kN = 8;
+
+  MpiStack serial = mx_stack(StackImpl::kMpich);
+  std::vector<std::byte> buf(64), rbuf(64);
+  double t0 = serial.now_us();
+  for (int i = 0; i < kN; ++i) {
+    auto* r = serial.ep(1).irecv(rbuf.data(), 64, byte, 0, i, kCommWorld);
+    auto* s = serial.ep(0).isend(buf.data(), 64, byte, 1, i, kCommWorld);
+    serial.ep(1).wait(r);  // forces full latency each time
+    serial.ep(0).wait(s);
+    serial.ep(0).free_request(s);
+    serial.ep(1).free_request(r);
+  }
+  const double serial_time = serial.now_us() - t0;
+
+  MpiStack piped = mx_stack(StackImpl::kMpich);
+  std::vector<mpi::Request*> reqs;
+  t0 = piped.now_us();
+  for (int i = 0; i < kN; ++i) {
+    reqs.push_back(piped.ep(1).irecv(rbuf.data(), 64, byte, 0, i,
+                                     kCommWorld));
+  }
+  for (int i = 0; i < kN; ++i) {
+    reqs.push_back(piped.ep(0).isend(buf.data(), 64, byte, 1, i,
+                                     kCommWorld));
+  }
+  for (auto* r : reqs) piped.ep(0).wait(r);
+  const double piped_time = piped.now_us() - t0;
+
+  EXPECT_LT(piped_time, 0.7 * serial_time);
+  for (auto* r : reqs) piped.ep(0).free_request(r);
+}
+
+TEST(Baseline, DatatypeSendChargesPackAndUnpack) {
+  MpiStack stack = mx_stack(StackImpl::kMpich);
+  auto& a = static_cast<BaselineEndpoint&>(stack.ep(0));
+  auto& b = static_cast<BaselineEndpoint&>(stack.ep(1));
+
+  const std::vector<int> lens = {64, 4096};
+  const std::vector<ptrdiff_t> displs = {0, 128};
+  const Datatype t = Datatype::hindexed(lens, displs, Datatype::byte_type());
+  const size_t footprint = static_cast<size_t>(t.extent());
+  std::vector<std::byte> out(footprint), in(footprint);
+  util::fill_pattern({out.data(), footprint}, 3);
+
+  auto* r = b.irecv(in.data(), 1, t, 0, 0, kCommWorld);
+  auto* s = a.isend(out.data(), 1, t, 1, 0, kCommWorld);
+  b.wait(r);
+  a.wait(s);
+
+  EXPECT_EQ(a.stats().pack_bytes, t.size());
+  EXPECT_EQ(b.stats().unpack_bytes, t.size());
+  // Typed regions intact, gap untouched.
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), 64), 0);
+  EXPECT_EQ(std::memcmp(in.data() + 128, out.data() + 128, 4096), 0);
+  a.free_request(s);
+  b.free_request(r);
+}
+
+TEST(Baseline, OpenMpiFragmentsRendezvous) {
+  MpiStack stack = mx_stack(StackImpl::kOpenMpi);
+  auto& a = static_cast<BaselineEndpoint&>(stack.ep(0));
+  auto& b = stack.ep(1);
+  const Datatype byte = Datatype::byte_type();
+
+  const size_t len = 512 * 1024;  // 4 fragments of 128K
+  std::vector<std::byte> out(len), in(len);
+  util::fill_pattern({out.data(), len}, 4);
+  auto* r = b.irecv(in.data(), static_cast<int>(len), byte, 0, 0,
+                    kCommWorld);
+  auto* s = a.isend(out.data(), static_cast<int>(len), byte, 1, 0,
+                    kCommWorld);
+  b.wait(r);
+  a.wait(s);
+  EXPECT_TRUE(util::check_pattern({in.data(), len}, 4));
+  a.free_request(s);
+  b.free_request(r);
+}
+
+TEST(Baseline, UnexpectedEagerBuffered) {
+  MpiStack stack = mx_stack(StackImpl::kMpich);
+  auto& a = stack.ep(0);
+  auto& b = stack.ep(1);
+  const Datatype byte = Datatype::byte_type();
+
+  std::vector<std::byte> out(512), in(512);
+  util::fill_pattern({out.data(), 512}, 5);
+  auto* s = a.isend(out.data(), 512, byte, 1, 3, kCommWorld);
+  a.wait(s);
+  stack.world().run_to_quiescence();  // delivered, nobody listening
+
+  auto* r = b.irecv(in.data(), 512, byte, 0, 3, kCommWorld);
+  b.wait(r);
+  EXPECT_TRUE(util::check_pattern({in.data(), 512}, 5));
+  a.free_request(s);
+  b.free_request(r);
+}
+
+TEST(Baseline, UnexpectedRendezvousBuffered) {
+  MpiStack stack = mx_stack(StackImpl::kMpich);
+  auto& a = stack.ep(0);
+  auto& b = stack.ep(1);
+  const Datatype byte = Datatype::byte_type();
+
+  const size_t len = 128 * 1024;
+  std::vector<std::byte> out(len), in(len);
+  util::fill_pattern({out.data(), len}, 6);
+  auto* s = a.isend(out.data(), static_cast<int>(len), byte, 1, 3,
+                    kCommWorld);
+  stack.world().run_to_quiescence();
+  EXPECT_FALSE(s->done());  // waiting for CTS
+
+  auto* r = b.irecv(in.data(), static_cast<int>(len), byte, 0, 3,
+                    kCommWorld);
+  b.wait(r);
+  a.wait(s);
+  EXPECT_TRUE(util::check_pattern({in.data(), len}, 6));
+  a.free_request(s);
+  b.free_request(r);
+}
+
+TEST(Baseline, TruncationReported) {
+  MpiStack stack = mx_stack(StackImpl::kMpich);
+  auto& a = stack.ep(0);
+  auto& b = stack.ep(1);
+  const Datatype byte = Datatype::byte_type();
+
+  std::vector<std::byte> out(256), in(64);
+  auto* r = b.irecv(in.data(), 64, byte, 0, 0, kCommWorld);
+  auto* s = a.isend(out.data(), 256, byte, 1, 0, kCommWorld);
+  a.wait(s);
+  b.wait(r);
+  EXPECT_FALSE(r->status().is_ok());
+  a.free_request(s);
+  b.free_request(r);
+}
+
+TEST(Baseline, TcpStackWithoutRdmaStillDeliversLargeMessages) {
+  StackOptions options;
+  options.impl = StackImpl::kMpich;
+  options.nic = simnet::tcp_gige_profile();
+  MpiStack stack{std::move(options)};
+  auto& a = stack.ep(0);
+  auto& b = stack.ep(1);
+  const Datatype byte = Datatype::byte_type();
+
+  const size_t len = 300 * 1024;  // multi-frame eager path (no RDMA)
+  std::vector<std::byte> out(len), in(len);
+  util::fill_pattern({out.data(), len}, 7);
+  auto* r = b.irecv(in.data(), static_cast<int>(len), byte, 0, 0,
+                    kCommWorld);
+  auto* s = a.isend(out.data(), static_cast<int>(len), byte, 1, 0,
+                    kCommWorld);
+  b.wait(r);
+  a.wait(s);
+  EXPECT_TRUE(util::check_pattern({in.data(), len}, 7));
+  a.free_request(s);
+  b.free_request(r);
+}
+
+TEST(Baseline, ZeroByteMessage) {
+  MpiStack stack = mx_stack(StackImpl::kOpenMpi);
+  auto& a = stack.ep(0);
+  auto& b = stack.ep(1);
+  const Datatype byte = Datatype::byte_type();
+  auto* r = b.irecv(nullptr, 0, byte, 0, 0, kCommWorld);
+  auto* s = a.isend(nullptr, 0, byte, 1, 0, kCommWorld);
+  b.wait(r);
+  a.wait(s);
+  EXPECT_TRUE(r->status().is_ok());
+  a.free_request(s);
+  b.free_request(r);
+}
+
+}  // namespace
+}  // namespace nmad::baseline

@@ -1,0 +1,247 @@
+// Derived datatype construction laws: size/extent, block flattening,
+// coalescing, layouts, and pack/unpack as inverses.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "madmpi/datatype.hpp"
+#include "util/buffer.hpp"
+#include "util/rng.hpp"
+
+namespace nmad::mpi {
+namespace {
+
+TEST(Datatype, PredefinedSizes) {
+  EXPECT_EQ(Datatype::byte_type().size(), 1u);
+  EXPECT_EQ(Datatype::byte_type().extent(), 1);
+  EXPECT_EQ(Datatype::int_type().size(), sizeof(int));
+  EXPECT_EQ(Datatype::double_type().size(), sizeof(double));
+  EXPECT_TRUE(Datatype::byte_type().is_contiguous());
+}
+
+TEST(Datatype, ContiguousCoalescesToOneBlock) {
+  const Datatype t = Datatype::contiguous(100, Datatype::int_type());
+  EXPECT_EQ(t.size(), 400u);
+  EXPECT_EQ(t.extent(), 400);
+  EXPECT_EQ(t.blocks().size(), 1u);
+  EXPECT_TRUE(t.is_contiguous());
+}
+
+TEST(Datatype, VectorShape) {
+  // 3 blocks of 2 ints, stride 4 ints.
+  const Datatype t = Datatype::vector(3, 2, 4, Datatype::int_type());
+  EXPECT_EQ(t.size(), 3u * 2 * sizeof(int));
+  EXPECT_EQ(t.extent(),
+            static_cast<ptrdiff_t>((2 * 4 + 2) * sizeof(int)));
+  ASSERT_EQ(t.blocks().size(), 3u);
+  EXPECT_EQ(t.blocks()[0].disp, 0);
+  EXPECT_EQ(t.blocks()[0].len, 8u);
+  EXPECT_EQ(t.blocks()[1].disp, 16);
+  EXPECT_EQ(t.blocks()[2].disp, 32);
+  EXPECT_FALSE(t.is_contiguous());
+}
+
+TEST(Datatype, VectorWithStrideEqualBlockIsContiguous) {
+  const Datatype t = Datatype::vector(4, 3, 3, Datatype::int_type());
+  EXPECT_EQ(t.blocks().size(), 1u);
+  EXPECT_EQ(t.size(), 48u);
+  EXPECT_TRUE(t.is_contiguous());
+}
+
+TEST(Datatype, HvectorByteStride) {
+  const Datatype t = Datatype::hvector(2, 1, 100, Datatype::double_type());
+  ASSERT_EQ(t.blocks().size(), 2u);
+  EXPECT_EQ(t.blocks()[1].disp, 100);
+  EXPECT_EQ(t.extent(), 108);
+}
+
+TEST(Datatype, IndexedGapsPreserved) {
+  const std::vector<int> lens = {2, 3};
+  const std::vector<int> displs = {0, 5};
+  const Datatype t = Datatype::indexed(lens, displs, Datatype::int_type());
+  EXPECT_EQ(t.size(), 20u);
+  EXPECT_EQ(t.extent(), 32);
+  ASSERT_EQ(t.blocks().size(), 2u);
+  EXPECT_EQ(t.blocks()[1].disp, 20);
+  EXPECT_EQ(t.blocks()[1].len, 12u);
+}
+
+TEST(Datatype, HindexedPaperShape) {
+  // §5.3: one 64-byte block followed by one 256 KB block.
+  const std::vector<int> lens = {64, 256 * 1024};
+  const std::vector<ptrdiff_t> displs = {0, 64 + 512};
+  const Datatype t = Datatype::hindexed(lens, displs, Datatype::byte_type());
+  EXPECT_EQ(t.size(), 64u + 256 * 1024);
+  EXPECT_EQ(t.extent(), 64 + 512 + 256 * 1024);
+  ASSERT_EQ(t.blocks().size(), 2u);
+}
+
+TEST(Datatype, StructCombinesHeterogeneousTypes) {
+  const std::vector<int> lens = {1, 4};
+  const std::vector<ptrdiff_t> displs = {0, 8};
+  const std::vector<Datatype> types = {Datatype::double_type(),
+                                       Datatype::int_type()};
+  const Datatype t = Datatype::struct_type(lens, displs, types);
+  EXPECT_EQ(t.size(), 8u + 16);
+  EXPECT_EQ(t.extent(), 24);
+  EXPECT_EQ(t.blocks().size(), 1u);  // adjacent, coalesced
+}
+
+TEST(Datatype, NestedVectorOfVector) {
+  const Datatype inner = Datatype::vector(2, 1, 2, Datatype::int_type());
+  ASSERT_EQ(inner.blocks().size(), 2u);
+  EXPECT_EQ(inner.extent(), 12);  // last block ends at byte 12
+  const Datatype outer = Datatype::contiguous(2, inner);
+  EXPECT_EQ(outer.size(), 4u * sizeof(int));
+  // Element 0 ends with a block at [8,12); element 1 starts with a block
+  // at [12,16): they touch in memory and coalesce, leaving three blocks.
+  EXPECT_EQ(outer.blocks().size(), 3u);
+}
+
+TEST(Datatype, ZeroCountIsEmpty) {
+  const Datatype t = Datatype::contiguous(0, Datatype::int_type());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.extent(), 0);
+  EXPECT_TRUE(t.blocks().empty());
+}
+
+TEST(Datatype, PackUnpackInverse) {
+  const std::vector<int> lens = {3, 1, 4};
+  const std::vector<int> displs = {0, 5, 8};
+  const Datatype t = Datatype::indexed(lens, displs, Datatype::int_type());
+
+  const int count = 3;
+  const size_t footprint =
+      static_cast<size_t>(t.extent()) * static_cast<size_t>(count);
+  std::vector<std::byte> src(footprint);
+  util::fill_pattern({src.data(), footprint}, 77);
+
+  std::vector<std::byte> packed(t.size() * count);
+  t.pack(src.data(), count, {packed.data(), packed.size()});
+
+  std::vector<std::byte> restored(footprint, std::byte{0});
+  t.unpack({packed.data(), packed.size()}, restored.data(), count);
+
+  // Typed regions must match the original; gaps stay zero.
+  for (int e = 0; e < count; ++e) {
+    const ptrdiff_t base = e * t.extent();
+    for (const auto& b : t.blocks()) {
+      EXPECT_EQ(std::memcmp(restored.data() + base + b.disp,
+                            src.data() + base + b.disp, b.len),
+                0);
+    }
+  }
+}
+
+TEST(Datatype, SourceLayoutMatchesPack) {
+  // The engine layout must enumerate exactly the bytes pack() would copy,
+  // in the same order.
+  const std::vector<int> lens = {2, 5};
+  const std::vector<int> displs = {1, 4};
+  const Datatype t = Datatype::indexed(lens, displs, Datatype::int_type());
+  const int count = 2;
+
+  const size_t footprint =
+      static_cast<size_t>(t.extent()) * static_cast<size_t>(count);
+  std::vector<std::byte> buf(footprint);
+  util::fill_pattern({buf.data(), footprint}, 4);
+
+  std::vector<std::byte> packed(t.size() * count);
+  t.pack(buf.data(), count, {packed.data(), packed.size()});
+
+  core::SourceLayout layout = t.source_layout(buf.data(), count);
+  ASSERT_EQ(layout.total(), packed.size());
+  std::vector<std::byte> gathered;
+  for (const auto& block : layout.blocks()) {
+    gathered.insert(gathered.end(), block.memory.begin(),
+                    block.memory.end());
+  }
+  ASSERT_EQ(gathered.size(), packed.size());
+  EXPECT_EQ(std::memcmp(gathered.data(), packed.data(), packed.size()), 0);
+}
+
+TEST(Datatype, DestLayoutMatchesUnpack) {
+  const std::vector<int> lens = {3, 2};
+  const std::vector<int> displs = {0, 4};
+  const Datatype t = Datatype::indexed(lens, displs, Datatype::int_type());
+  const int count = 2;
+
+  std::vector<std::byte> packed(t.size() * count);
+  util::fill_pattern({packed.data(), packed.size()}, 9);
+
+  const size_t footprint =
+      static_cast<size_t>(t.extent()) * static_cast<size_t>(count);
+  std::vector<std::byte> via_unpack(footprint, std::byte{0});
+  t.unpack({packed.data(), packed.size()}, via_unpack.data(), count);
+
+  std::vector<std::byte> via_layout(footprint, std::byte{0});
+  core::DestLayout layout = t.dest_layout(via_layout.data(), count);
+  layout.scatter(0, {packed.data(), packed.size()});
+
+  EXPECT_EQ(std::memcmp(via_unpack.data(), via_layout.data(), footprint), 0);
+}
+
+TEST(Datatype, LayoutCoalescesAcrossElements) {
+  // Contiguous type, many elements: the engine should see ONE block, so a
+  // large send still qualifies for single-RTS zero-copy rendezvous.
+  const Datatype t = Datatype::contiguous(1024, Datatype::byte_type());
+  std::vector<std::byte> buf(1024 * 64);
+  core::SourceLayout layout = t.source_layout(buf.data(), 64);
+  EXPECT_EQ(layout.blocks().size(), 1u);
+  EXPECT_EQ(layout.total(), 1024u * 64);
+}
+
+// Property: random indexed types — pack → unpack restores typed bytes,
+// and layouts agree with pack on every trial.
+TEST(Datatype, RandomizedPackLayoutAgreement) {
+  util::Rng rng(123);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int nblocks = static_cast<int>(rng.next_range(1, 6));
+    std::vector<int> lens(nblocks);
+    std::vector<ptrdiff_t> displs(nblocks);
+    ptrdiff_t pos = 0;
+    for (int i = 0; i < nblocks; ++i) {
+      pos += static_cast<ptrdiff_t>(rng.next_below(32));  // gap
+      displs[i] = pos;
+      lens[i] = static_cast<int>(rng.next_range(1, 64));
+      pos += lens[i];
+    }
+    const Datatype t =
+        Datatype::hindexed(lens, displs, Datatype::byte_type());
+    const int count = static_cast<int>(rng.next_range(1, 4));
+
+    const size_t footprint =
+        static_cast<size_t>(t.extent()) * static_cast<size_t>(count);
+    std::vector<std::byte> buf(footprint);
+    util::fill_pattern({buf.data(), footprint}, trial);
+
+    std::vector<std::byte> packed(t.size() * count);
+    t.pack(buf.data(), count, {packed.data(), packed.size()});
+
+    core::SourceLayout layout = t.source_layout(buf.data(), count);
+    std::vector<std::byte> gathered;
+    for (const auto& block : layout.blocks()) {
+      gathered.insert(gathered.end(), block.memory.begin(),
+                      block.memory.end());
+    }
+    ASSERT_EQ(gathered.size(), packed.size());
+    EXPECT_EQ(std::memcmp(gathered.data(), packed.data(), packed.size()), 0)
+        << "trial " << trial;
+
+    std::vector<std::byte> restored(footprint, std::byte{0});
+    t.unpack({packed.data(), packed.size()}, restored.data(), count);
+    for (int e = 0; e < count; ++e) {
+      const ptrdiff_t base = e * t.extent();
+      for (const auto& b : t.blocks()) {
+        ASSERT_EQ(std::memcmp(restored.data() + base + b.disp,
+                              buf.data() + base + b.disp, b.len),
+                  0)
+            << "trial " << trial;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nmad::mpi

@@ -1,0 +1,98 @@
+// Asymmetric rail configurations: one side restricts a gate to a subset
+// of rails; the CTS rail negotiation must converge on the intersection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nmad/core/core.hpp"
+#include "nmad/drivers/sim_driver.hpp"
+#include "simnet/profiles.hpp"
+#include "util/buffer.hpp"
+
+namespace nmad::core {
+namespace {
+
+struct AsymWorld {
+  simnet::SimWorld world;
+  simnet::Fabric fabric{world};
+  std::unique_ptr<Core> a;
+  std::unique_ptr<Core> b;
+  GateId a_to_b = 0;
+  GateId b_to_a = 0;
+
+  // Node A uses both rails; node B's gate is restricted to `b_rails`.
+  explicit AsymWorld(std::vector<RailIndex> b_rails) {
+    fabric.add_node(simnet::opteron_2006_profile());
+    fabric.add_node(simnet::opteron_2006_profile());
+    fabric.add_rail(simnet::mx_myri10g_profile());
+    fabric.add_rail(simnet::elan_quadrics_profile());
+
+    CoreConfig config;
+    config.strategy = "split_balance";
+    a = std::make_unique<Core>(world, fabric.node(0), config);
+    b = std::make_unique<Core>(world, fabric.node(1), config);
+    for (int r = 0; r < 2; ++r) {
+      NMAD_ASSERT(
+          a->add_rail(std::make_unique<drivers::SimDriver>(
+                          world, fabric.node(0),
+                          fabric.node(0).nic(static_cast<RailIndex>(r))))
+              .is_ok());
+      NMAD_ASSERT(
+          b->add_rail(std::make_unique<drivers::SimDriver>(
+                          world, fabric.node(1),
+                          fabric.node(1).nic(static_cast<RailIndex>(r))))
+              .is_ok());
+    }
+    auto ga = a->connect(1);
+    NMAD_ASSERT(ga.has_value());
+    a_to_b = ga.value();
+    auto gb = b->connect(0, std::move(b_rails));
+    NMAD_ASSERT(gb.has_value());
+    b_to_a = gb.value();
+  }
+
+  void wait(Request* req) {
+    ASSERT_TRUE(world.run_until([req]() { return req->done(); }));
+  }
+};
+
+TEST(AsymmetricRails, RendezvousUsesOnlyTheReceiversRails) {
+  // B only posts sinks on rail 0: A's split_balance must confine the bulk
+  // to rail 0 even though its own gate spans both rails.
+  AsymWorld w({0});
+  const size_t len = 1 << 20;
+  std::vector<std::byte> out(len), in(len);
+  util::fill_pattern({out.data(), len}, 5);
+
+  auto* recv = w.b->irecv(w.b_to_a, 1, util::MutableBytes{in.data(), len});
+  auto* send = w.a->isend(w.a_to_b, 1, util::ConstBytes{out.data(), len});
+  w.wait(send);
+  w.wait(recv);
+
+  EXPECT_TRUE(util::check_pattern({in.data(), len}, 5));
+  EXPECT_GT(w.fabric.node(0).nic(0).counters().bulk_sent, 0u);
+  EXPECT_EQ(w.fabric.node(0).nic(1).counters().bulk_sent, 0u);
+  w.a->release(send);
+  w.b->release(recv);
+}
+
+TEST(AsymmetricRails, QuadricsOnlyReceiverStillWorks) {
+  AsymWorld w({1});
+  const size_t len = 256 * 1024;
+  std::vector<std::byte> out(len), in(len);
+  util::fill_pattern({out.data(), len}, 9);
+
+  auto* recv = w.b->irecv(w.b_to_a, 1, util::MutableBytes{in.data(), len});
+  auto* send = w.a->isend(w.a_to_b, 1, util::ConstBytes{out.data(), len});
+  w.wait(send);
+  w.wait(recv);
+
+  EXPECT_TRUE(util::check_pattern({in.data(), len}, 9));
+  EXPECT_EQ(w.fabric.node(0).nic(0).counters().bulk_sent, 0u);
+  EXPECT_GT(w.fabric.node(0).nic(1).counters().bulk_sent, 0u);
+  w.a->release(send);
+  w.b->release(recv);
+}
+
+}  // namespace
+}  // namespace nmad::core

@@ -1,0 +1,124 @@
+// Engine configuration/API error paths and introspection.
+#include <gtest/gtest.h>
+
+#include "nmad/api/session.hpp"
+#include "nmad/drivers/sim_driver.hpp"
+#include "simnet/profiles.hpp"
+
+namespace nmad::core {
+namespace {
+
+TEST(CoreErrors, ConnectTwiceToSamePeerRejected) {
+  simnet::SimWorld world;
+  simnet::Fabric fabric(world);
+  fabric.add_node(simnet::opteron_2006_profile());
+  fabric.add_node(simnet::opteron_2006_profile());
+  fabric.add_rail(simnet::mx_myri10g_profile());
+
+  Core core(world, fabric.node(0), CoreConfig{});
+  ASSERT_TRUE(core.add_rail(std::make_unique<drivers::SimDriver>(
+                                world, fabric.node(0),
+                                fabric.node(0).nic(0)))
+                  .is_ok());
+  auto first = core.connect(1);
+  ASSERT_TRUE(first.has_value());
+  auto second = core.connect(1);
+  EXPECT_FALSE(second.has_value());
+  EXPECT_EQ(second.status().code(), util::StatusCode::kAlreadyExists);
+}
+
+TEST(CoreErrors, ConnectWithBadRailRejected) {
+  simnet::SimWorld world;
+  simnet::Fabric fabric(world);
+  fabric.add_node(simnet::opteron_2006_profile());
+  fabric.add_node(simnet::opteron_2006_profile());
+  fabric.add_rail(simnet::mx_myri10g_profile());
+
+  Core core(world, fabric.node(0), CoreConfig{});
+  ASSERT_TRUE(core.add_rail(std::make_unique<drivers::SimDriver>(
+                                world, fabric.node(0),
+                                fabric.node(0).nic(0)))
+                  .is_ok());
+  auto bad = core.connect(1, {5});
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.status().code(), util::StatusCode::kOutOfRange);
+
+  auto empty = core.connect(1, {});
+  EXPECT_FALSE(empty.has_value());
+  EXPECT_EQ(empty.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(CoreErrors, AddRailAfterConnectRejected) {
+  simnet::SimWorld world;
+  simnet::Fabric fabric(world);
+  fabric.add_node(simnet::opteron_2006_profile());
+  fabric.add_node(simnet::opteron_2006_profile());
+  fabric.add_rail(simnet::mx_myri10g_profile());
+  fabric.add_rail(simnet::elan_quadrics_profile());
+
+  Core core(world, fabric.node(0), CoreConfig{});
+  ASSERT_TRUE(core.add_rail(std::make_unique<drivers::SimDriver>(
+                                world, fabric.node(0),
+                                fabric.node(0).nic(0)))
+                  .is_ok());
+  ASSERT_TRUE(core.connect(1).has_value());
+  const util::Status st = core.add_rail(
+      std::make_unique<drivers::SimDriver>(world, fabric.node(0),
+                                           fabric.node(0).nic(1)));
+  EXPECT_EQ(st.code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(CoreErrors, UnknownStrategyAborts) {
+  simnet::SimWorld world;
+  simnet::Fabric fabric(world);
+  fabric.add_node(simnet::opteron_2006_profile());
+  CoreConfig config;
+  config.strategy = "definitely-not-a-strategy";
+  EXPECT_DEATH(Core(world, fabric.node(0), config), "unknown strategy");
+}
+
+TEST(CoreErrors, ThresholdOverrideRespected) {
+  api::ClusterOptions options;
+  options.core.rdv_threshold_override = 4 * 1024;
+  api::Cluster cluster(std::move(options));
+  Core& a = cluster.core(0);
+  Core& b = cluster.core(1);
+
+  // 8 KB is above the overridden 4 KB threshold → rendezvous.
+  std::vector<std::byte> out(8 * 1024), in(8 * 1024);
+  util::fill_pattern({out.data(), out.size()}, 1);
+  auto* r = b.irecv(cluster.gate(1, 0), 1, {in.data(), in.size()});
+  auto* s = a.isend(cluster.gate(0, 1), 1,
+                    util::ConstBytes{out.data(), out.size()});
+  cluster.wait(s);
+  cluster.wait(r);
+  EXPECT_EQ(a.stats().rdv_started, 1u);
+  EXPECT_TRUE(util::check_pattern({in.data(), in.size()}, 1));
+  a.release(s);
+  b.release(r);
+}
+
+TEST(CoreErrors, IntrospectionSurfaces) {
+  api::ClusterOptions options;
+  options.rails = {simnet::mx_myri10g_profile(),
+                   simnet::elan_quadrics_profile()};
+  api::Cluster cluster(std::move(options));
+  Core& a = cluster.core(0);
+
+  EXPECT_EQ(a.rail_count(), 2u);
+  EXPECT_EQ(a.gate_count(), 1u);
+  EXPECT_EQ(a.strategy_name(), "aggreg");
+  EXPECT_TRUE(a.rail_info(0).rdma);
+  EXPECT_GT(a.rail_info(0).bandwidth_mbps, a.rail_info(1).bandwidth_mbps);
+
+  // debug_dump renders without crashing and mentions the strategy.
+  char buf[4096] = {};
+  FILE* mem = fmemopen(buf, sizeof(buf), "w");
+  a.debug_dump(mem);
+  std::fclose(mem);
+  EXPECT_NE(std::string(buf).find("aggreg"), std::string::npos);
+  EXPECT_NE(std::string(buf).find("gate 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nmad::core

@@ -1,0 +1,126 @@
+// Runtime strategy switching (§3.2 "dynamically ... selectable
+// optimization function") and request byte-count reporting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/stack.hpp"
+#include "nmad/api/session.hpp"
+#include "util/buffer.hpp"
+
+namespace nmad::core {
+namespace {
+
+using api::Cluster;
+
+// Sends a burst of `n` small messages A→B and returns the number of
+// physical packets emitted for it.
+uint64_t burst_packets(Cluster& cluster, int n, int tag_base) {
+  Core& a = cluster.core(0);
+  Core& b = cluster.core(1);
+  const uint64_t before = a.stats().packets_sent;
+  std::vector<std::vector<std::byte>> in(n), out(n);
+  std::vector<Request*> reqs;
+  for (int i = 0; i < n; ++i) {
+    in[i].resize(64);
+    out[i].resize(64);
+    reqs.push_back(b.irecv(cluster.gate(1, 0), Tag(tag_base + i),
+                           {in[i].data(), 64}));
+  }
+  for (int i = 0; i < n; ++i) {
+    reqs.push_back(a.isend(cluster.gate(0, 1), Tag(tag_base + i),
+                           util::ConstBytes{out[i].data(), 64}));
+  }
+  cluster.wait_all(reqs);
+  for (auto* r : reqs) {
+    (r->kind() == Request::Kind::kSend ? a : b).release(r);
+  }
+  return a.stats().packets_sent - before;
+}
+
+TEST(DynamicStrategy, SwitchTakesEffectImmediately) {
+  api::ClusterOptions options;
+  options.core.strategy = "default";
+  Cluster cluster(std::move(options));
+  Core& a = cluster.core(0);
+
+  // Under `default`, a burst of 12 messages needs 12 packets.
+  EXPECT_EQ(burst_packets(cluster, 12, 0), 12u);
+
+  // Switch to aggregation at runtime: the very next burst coalesces.
+  ASSERT_TRUE(a.set_strategy("aggreg").is_ok());
+  EXPECT_EQ(a.strategy_name(), "aggreg");
+  EXPECT_LT(burst_packets(cluster, 12, 100), 6u);
+
+  // And back.
+  ASSERT_TRUE(a.set_strategy("default").is_ok());
+  EXPECT_EQ(burst_packets(cluster, 12, 200), 12u);
+}
+
+TEST(DynamicStrategy, UnknownNameRejectedWithoutSideEffects) {
+  Cluster cluster;
+  Core& a = cluster.core(0);
+  const util::Status st = a.set_strategy("no-such-strategy");
+  EXPECT_EQ(st.code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(a.strategy_name(), "aggreg");  // unchanged
+}
+
+TEST(DynamicStrategy, SwitchWithPendingWindowIsSafe) {
+  api::ClusterOptions options;
+  options.core.strategy = "default";
+  Cluster cluster(std::move(options));
+  Core& a = cluster.core(0);
+  Core& b = cluster.core(1);
+
+  // Fill the window while the NIC is busy, switch strategies mid-flight,
+  // then let everything drain under the new policy.
+  constexpr int kN = 10;
+  std::vector<std::vector<std::byte>> in(kN), out(kN);
+  std::vector<Request*> reqs;
+  for (int i = 0; i < kN; ++i) {
+    in[i].resize(256);
+    out[i].resize(256);
+    util::fill_pattern({out[i].data(), 256}, i);
+    reqs.push_back(b.irecv(cluster.gate(1, 0), Tag(i),
+                           {in[i].data(), 256}));
+  }
+  for (int i = 0; i < kN; ++i) {
+    reqs.push_back(a.isend(cluster.gate(0, 1), Tag(i),
+                           util::ConstBytes{out[i].data(), 256}));
+  }
+  ASSERT_GT(a.window_size(cluster.gate(0, 1)), 0u);
+  ASSERT_TRUE(a.set_strategy("aggreg").is_ok());
+  cluster.wait_all(reqs);
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_TRUE(util::check_pattern({in[i].data(), 256}, i)) << i;
+  }
+  for (auto* r : reqs) {
+    (r->kind() == Request::Kind::kSend ? a : b).release(r);
+  }
+}
+
+TEST(RequestCounts, ReceivedBytesReported) {
+  for (auto impl : {baseline::StackImpl::kMadMpi,
+                    baseline::StackImpl::kMpich}) {
+    baseline::StackOptions options;
+    options.impl = impl;
+    baseline::MpiStack stack(std::move(options));
+    const mpi::Datatype byte = mpi::Datatype::byte_type();
+
+    std::vector<std::byte> out(777), in(1024);
+    auto* r = stack.ep(1).irecv(in.data(), 1024, byte, 0, 0,
+                                mpi::kCommWorld);
+    auto* s = stack.ep(0).isend(out.data(), 777, byte, 1, 0,
+                                mpi::kCommWorld);
+    stack.ep(1).wait(r);
+    stack.ep(0).wait(s);
+    EXPECT_EQ(r->received_bytes(), 777u)
+        << baseline::stack_impl_name(impl);
+    EXPECT_EQ(s->received_bytes(), 0u);
+    stack.ep(0).free_request(s);
+    stack.ep(1).free_request(r);
+  }
+}
+
+}  // namespace
+}  // namespace nmad::core

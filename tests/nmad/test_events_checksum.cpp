@@ -1,0 +1,200 @@
+// CompletionQueue (event-driven reaping) and the optional wire checksum.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nmad/api/completion_queue.hpp"
+#include "nmad/api/session.hpp"
+#include "nmad/core/wire_format.hpp"
+#include "util/buffer.hpp"
+
+namespace nmad {
+namespace {
+
+using api::Cluster;
+using api::ClusterOptions;
+using api::CompletionQueue;
+
+TEST(CompletionQueue, DeliversInCompletionOrder) {
+  Cluster cluster;
+  core::Core& a = cluster.core(0);
+  core::Core& b = cluster.core(1);
+
+  // A big rendezvous recv (slow) tracked before a tiny eager recv (fast):
+  // the queue must surface the tiny one first.
+  const size_t big = 512 * 1024;
+  std::vector<std::byte> big_in(big), big_out(big), tiny_in(32),
+      tiny_out(32);
+  util::fill_pattern({big_out.data(), big}, 1);
+  util::fill_pattern({tiny_out.data(), 32}, 2);
+
+  CompletionQueue cq(cluster.world());
+  auto* slow = b.irecv(cluster.gate(1, 0), 1, {big_in.data(), big});
+  auto* fast = b.irecv(cluster.gate(1, 0), 2, {tiny_in.data(), 32});
+  cq.track(slow);
+  cq.track(fast);
+  EXPECT_EQ(cq.pending(), 2u);
+  EXPECT_EQ(cq.ready(), 0u);
+  EXPECT_EQ(cq.poll(), nullptr);
+
+  auto* s1 = a.isend(cluster.gate(0, 1), 1,
+                     util::ConstBytes{big_out.data(), big});
+  auto* s2 = a.isend(cluster.gate(0, 1), 2,
+                     util::ConstBytes{tiny_out.data(), 32});
+
+  core::Request* first = cq.wait_next();
+  EXPECT_EQ(first, fast);
+  core::Request* second = cq.wait_next();
+  EXPECT_EQ(second, slow);
+  EXPECT_EQ(cq.pending(), 0u);
+
+  EXPECT_TRUE(util::check_pattern({tiny_in.data(), 32}, 2));
+  EXPECT_TRUE(util::check_pattern({big_in.data(), big}, 1));
+
+  cluster.wait(s1);
+  cluster.wait(s2);
+  a.release(s1);
+  a.release(s2);
+  b.release(slow);
+  b.release(fast);
+}
+
+TEST(CompletionQueue, AlreadyDoneRequestIsImmediatelyReady) {
+  Cluster cluster;
+  core::Core& a = cluster.core(0);
+  core::Core& b = cluster.core(1);
+  std::vector<std::byte> in(16), out(16);
+  auto* r = b.irecv(cluster.gate(1, 0), 1, {in.data(), 16});
+  auto* s = a.isend(cluster.gate(0, 1), 1, util::ConstBytes{out.data(), 16});
+  cluster.wait(r);
+  cluster.wait(s);
+
+  CompletionQueue cq(cluster.world());
+  cq.track(r);
+  EXPECT_EQ(cq.ready(), 1u);
+  EXPECT_EQ(cq.poll(), r);
+  a.release(s);
+  b.release(r);
+}
+
+TEST(WireChecksum, EndToEndWithChecksumsEnabled) {
+  ClusterOptions options;
+  options.core.wire_checksum = true;
+  Cluster cluster(std::move(options));
+  core::Core& a = cluster.core(0);
+  core::Core& b = cluster.core(1);
+
+  // Mixed workload: aggregated smalls + rendezvous; every track-0 packet
+  // carries and passes a checksum.
+  std::vector<std::vector<std::byte>> in(6), out(6);
+  std::vector<core::Request*> reqs;
+  for (int i = 0; i < 6; ++i) {
+    in[i].resize(512);
+    out[i].resize(512);
+    util::fill_pattern({out[i].data(), 512}, i);
+    reqs.push_back(b.irecv(cluster.gate(1, 0), core::Tag(i),
+                           {in[i].data(), 512}));
+  }
+  const size_t big = 128 * 1024;
+  std::vector<std::byte> big_in(big), big_out(big);
+  util::fill_pattern({big_out.data(), big}, 50);
+  reqs.push_back(b.irecv(cluster.gate(1, 0), 99, {big_in.data(), big}));
+
+  for (int i = 0; i < 6; ++i) {
+    reqs.push_back(a.isend(cluster.gate(0, 1), core::Tag(i),
+                           util::ConstBytes{out[i].data(), 512}));
+  }
+  reqs.push_back(a.isend(cluster.gate(0, 1), 99,
+                         util::ConstBytes{big_out.data(), big}));
+  cluster.wait_all(reqs);
+
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(util::check_pattern({in[i].data(), 512}, i)) << i;
+  }
+  EXPECT_TRUE(util::check_pattern({big_in.data(), big}, 50));
+  for (auto* r : reqs) {
+    (r->kind() == core::Request::Kind::kSend ? a : b).release(r);
+  }
+}
+
+TEST(WireChecksum, BuilderEmitsVerifiableTrailer) {
+  std::vector<std::byte> payload(64);
+  util::fill_pattern({payload.data(), 64}, 3);
+  core::OutChunk chunk;
+  chunk.kind = core::ChunkKind::kData;
+  chunk.tag = 5;
+  chunk.total = 64;
+  chunk.payload = {payload.data(), 64};
+
+  core::PacketBuilder builder(1024, 0, /*checksum=*/true);
+  builder.add(&chunk);
+  const util::SegmentVec& segs = builder.finalize();
+
+  util::ByteBuffer flat;
+  flat.resize(segs.total_bytes());
+  segs.gather_into(flat.view());
+
+  int seen = 0;
+  EXPECT_TRUE(core::decode_packet(flat.view(), [&](const core::WireChunk&) {
+                ++seen;
+              }).is_ok());
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(WireChecksum, CorruptionDetected) {
+  std::vector<std::byte> payload(64);
+  util::fill_pattern({payload.data(), 64}, 3);
+  core::OutChunk chunk;
+  chunk.kind = core::ChunkKind::kData;
+  chunk.tag = 5;
+  chunk.total = 64;
+  chunk.payload = {payload.data(), 64};
+
+  core::PacketBuilder builder(1024, 0, /*checksum=*/true);
+  builder.add(&chunk);
+  const util::SegmentVec& segs = builder.finalize();
+  util::ByteBuffer flat;
+  flat.resize(segs.total_bytes());
+  segs.gather_into(flat.view());
+
+  // Flip one payload bit: the decode must fail with a checksum error.
+  flat.view()[core::kPacketHeaderBytes + core::kDataHeaderBytes + 10] ^=
+      std::byte{0x01};
+  const util::Status st =
+      core::decode_packet(flat.view(), [](const core::WireChunk&) {});
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_NE(st.to_string().find("checksum"), std::string::npos);
+}
+
+TEST(WireChecksum, UncheckedPacketsUnaffected) {
+  // Without the flag, no trailer exists and parsing succeeds as before.
+  std::vector<std::byte> payload(16);
+  core::OutChunk chunk;
+  chunk.kind = core::ChunkKind::kData;
+  chunk.tag = 1;
+  chunk.total = 16;
+  chunk.payload = {payload.data(), 16};
+  core::PacketBuilder builder(1024, 0);
+  builder.add(&chunk);
+  const util::SegmentVec& segs = builder.finalize();
+  EXPECT_EQ(segs.total_bytes(), core::kPacketHeaderBytes +
+                                    core::kDataHeaderBytes + 16);
+}
+
+TEST(Fnv32, KnownVectorsAndIncremental) {
+  // FNV-1a("") = offset basis; FNV-1a("a") = 0xE40C292C.
+  EXPECT_EQ(util::Fnv32::of({}), 2166136261u);
+  const char a = 'a';
+  EXPECT_EQ(util::Fnv32::of(util::as_bytes_view(&a, 1)), 0xE40C292Cu);
+
+  // Incremental == one-shot.
+  std::vector<std::byte> data(100);
+  util::fill_pattern({data.data(), 100}, 9);
+  util::Fnv32 h;
+  h.update({data.data(), 40});
+  h.update({data.data() + 40, 60});
+  EXPECT_EQ(h.digest(), util::Fnv32::of({data.data(), 100}));
+}
+
+}  // namespace
+}  // namespace nmad

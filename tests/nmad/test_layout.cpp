@@ -1,0 +1,171 @@
+// DestLayout / SourceLayout: scatter, contiguity queries, bounds.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nmad/core/layout.hpp"
+#include "util/rng.hpp"
+
+namespace nmad::core {
+namespace {
+
+TEST(DestLayout, ContiguousScatter) {
+  std::vector<std::byte> mem(100, std::byte{0});
+  DestLayout layout = DestLayout::contiguous({mem.data(), mem.size()});
+  EXPECT_EQ(layout.total(), 100u);
+
+  std::vector<std::byte> src(10);
+  util::fill_pattern({src.data(), 10}, 1);
+  layout.scatter(45, {src.data(), 10});
+  EXPECT_TRUE(util::check_pattern({mem.data() + 45, 10}, 1));
+  EXPECT_EQ(mem[44], std::byte{0});
+  EXPECT_EQ(mem[55], std::byte{0});
+}
+
+TEST(DestLayout, EmptyLayout) {
+  DestLayout layout;
+  EXPECT_TRUE(layout.empty());
+  EXPECT_EQ(layout.total(), 0u);
+  EXPECT_TRUE(layout.contiguous_region(0, 1).empty());
+}
+
+TEST(DestLayout, ScatterAcrossBlocks) {
+  std::vector<std::byte> a(10, std::byte{0}), b(10, std::byte{0}),
+      c(10, std::byte{0});
+  DestLayout layout = DestLayout::scattered({
+      {0, {a.data(), 10}},
+      {10, {b.data(), 10}},
+      {20, {c.data(), 10}},
+  });
+  EXPECT_EQ(layout.total(), 30u);
+
+  // Write logical [5, 25): tail of a, all of b, head of c.
+  std::vector<std::byte> src(20);
+  util::fill_pattern({src.data(), 20}, 7);
+  layout.scatter(5, {src.data(), 20});
+
+  std::vector<std::byte> flat(30, std::byte{0});
+  std::memcpy(flat.data(), a.data(), 10);
+  std::memcpy(flat.data() + 10, b.data(), 10);
+  std::memcpy(flat.data() + 20, c.data(), 10);
+  EXPECT_TRUE(util::check_pattern({flat.data() + 5, 20}, 7));
+  EXPECT_EQ(flat[4], std::byte{0});
+  EXPECT_EQ(flat[25], std::byte{0});
+}
+
+TEST(DestLayout, ContiguousRegionWithinOneBlock) {
+  std::vector<std::byte> a(10), b(20);
+  DestLayout layout = DestLayout::scattered({
+      {0, {a.data(), 10}},
+      {10, {b.data(), 20}},
+  });
+  util::MutableBytes region = layout.contiguous_region(10, 20);
+  EXPECT_EQ(region.data(), b.data());
+  EXPECT_EQ(region.size(), 20u);
+
+  region = layout.contiguous_region(12, 5);
+  EXPECT_EQ(region.data(), b.data() + 2);
+  EXPECT_EQ(region.size(), 5u);
+}
+
+TEST(DestLayout, CrossBlockRegionIsNotContiguous) {
+  std::vector<std::byte> a(10), b(20);
+  DestLayout layout = DestLayout::scattered({
+      {0, {a.data(), 10}},
+      {10, {b.data(), 20}},
+  });
+  EXPECT_TRUE(layout.contiguous_region(5, 10).empty());
+  EXPECT_TRUE(layout.contiguous_region(0, 30).empty());
+  EXPECT_TRUE(layout.contiguous_region(25, 10).empty());  // out of bounds
+  EXPECT_TRUE(layout.contiguous_region(0, 0).empty());    // zero length
+}
+
+TEST(DestLayout, AdjacentMemoryBlocksStillSeparate) {
+  // Two layout blocks that happen to be adjacent in memory: the region
+  // query is per-block (conservative), so a crossing range reports
+  // non-contiguous. Documented behaviour, not a bug.
+  std::vector<std::byte> mem(20);
+  DestLayout layout = DestLayout::scattered({
+      {0, {mem.data(), 10}},
+      {10, {mem.data() + 10, 10}},
+  });
+  EXPECT_TRUE(layout.contiguous_region(5, 10).empty());
+}
+
+TEST(DestLayout, ScatterRandomizedAgainstFlatModel) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random dense block structure over a 1 KB logical space.
+    const size_t total = 1024;
+    std::vector<std::byte> storage(total * 2);
+    std::vector<DestLayout::Block> blocks;
+    size_t logical = 0, mem_pos = 0;
+    while (logical < total) {
+      const size_t len =
+          std::min<size_t>(rng.next_range(1, 100), total - logical);
+      mem_pos += rng.next_below(16);  // random gap in memory
+      blocks.push_back({logical, {storage.data() + mem_pos, len}});
+      logical += len;
+      mem_pos += len;
+    }
+    DestLayout layout = DestLayout::scattered(std::move(blocks));
+    ASSERT_EQ(layout.total(), total);
+
+    std::vector<std::byte> reference(total, std::byte{0});
+    for (int write = 0; write < 20; ++write) {
+      const size_t off = rng.next_below(total);
+      const size_t len = rng.next_range(0, total - off);
+      std::vector<std::byte> data(len);
+      for (auto& byte : data) {
+        byte = static_cast<std::byte>(rng.next_below(256));
+      }
+      layout.scatter(off, {data.data(), len});
+      std::memcpy(reference.data() + off, data.data(), len);
+    }
+
+    // Gather the layout back into flat form and compare.
+    std::vector<std::byte> flat(total);
+    for (const auto& block : layout.blocks()) {
+      std::memcpy(flat.data() + block.logical_offset, block.memory.data(),
+                  block.memory.size());
+    }
+    EXPECT_EQ(std::memcmp(flat.data(), reference.data(), total), 0)
+        << "trial " << trial;
+  }
+}
+
+TEST(SourceLayout, ContiguousAndScattered) {
+  std::vector<std::byte> a(10), b(5);
+  SourceLayout c = SourceLayout::contiguous({a.data(), 10});
+  EXPECT_EQ(c.total(), 10u);
+  ASSERT_EQ(c.blocks().size(), 1u);
+  EXPECT_EQ(c.blocks()[0].logical_offset, 0u);
+
+  SourceLayout s = SourceLayout::scattered({
+      {0, {a.data(), 10}},
+      {10, {b.data(), 5}},
+  });
+  EXPECT_EQ(s.total(), 15u);
+  EXPECT_EQ(s.blocks().size(), 2u);
+}
+
+TEST(SourceLayout, EmptyContiguous) {
+  SourceLayout s = SourceLayout::contiguous({});
+  EXPECT_EQ(s.total(), 0u);
+  EXPECT_TRUE(s.blocks().empty());
+}
+
+TEST(DestLayoutDeath, NonDenseBlocksRejected) {
+  std::vector<std::byte> a(10);
+  EXPECT_DEATH(DestLayout::scattered({{5, {a.data(), 10}}}), "dense");
+}
+
+TEST(DestLayoutDeath, OutOfBoundsScatterRejected) {
+  std::vector<std::byte> a(10);
+  DestLayout layout = DestLayout::contiguous({a.data(), 10});
+  std::vector<std::byte> src(5);
+  EXPECT_DEATH(layout.scatter(8, {src.data(), 5}), "bounds");
+}
+
+}  // namespace
+}  // namespace nmad::core

@@ -1,0 +1,191 @@
+// The Madeleine-style incremental pack/unpack interface (§3.4).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "nmad/api/pack.hpp"
+#include "nmad/api/session.hpp"
+#include "util/buffer.hpp"
+
+namespace nmad::api {
+namespace {
+
+TEST(PackApi, MultiPieceMessageRoundTrips) {
+  Cluster cluster;
+  core::Core& a = cluster.core(0);
+  core::Core& b = cluster.core(1);
+
+  struct Header {
+    uint32_t service = 0;
+    uint32_t arg_len = 0;
+  };
+  Header send_hdr{42, 1000};
+  std::vector<std::byte> send_args(1000);
+  util::fill_pattern({send_args.data(), 1000}, 3);
+
+  Header recv_hdr;
+  std::vector<std::byte> recv_args(1000);
+
+  UnpackHandle u(b, cluster.gate(1, 0), 7);
+  u.unpack(&recv_hdr, sizeof recv_hdr);
+  u.unpack(recv_args.data(), recv_args.size());
+  auto* recv = u.end();
+
+  PackHandle p(a, cluster.gate(0, 1), 7);
+  p.pack(&send_hdr, sizeof send_hdr);
+  p.pack(send_args.data(), send_args.size());
+  auto* send = p.end();
+
+  cluster.wait(send);
+  cluster.wait(recv);
+  EXPECT_EQ(recv_hdr.service, 42u);
+  EXPECT_EQ(recv_hdr.arg_len, 1000u);
+  EXPECT_TRUE(util::check_pattern({recv_args.data(), 1000}, 3));
+  a.release(send);
+  b.release(recv);
+}
+
+TEST(PackApi, EmptyMessage) {
+  Cluster cluster;
+  UnpackHandle u(cluster.core(1), cluster.gate(1, 0), 1);
+  auto* recv = u.end();
+  PackHandle p(cluster.core(0), cluster.gate(0, 1), 1);
+  auto* send = p.end();
+  cluster.wait(send);
+  cluster.wait(recv);
+  EXPECT_TRUE(recv->status().is_ok());
+  cluster.core(0).release(send);
+  cluster.core(1).release(recv);
+}
+
+TEST(PackApi, ZeroLengthPiecesIgnored) {
+  Cluster cluster;
+  std::vector<std::byte> data(16), out(16);
+  util::fill_pattern({data.data(), 16}, 5);
+
+  UnpackHandle u(cluster.core(1), cluster.gate(1, 0), 2);
+  u.unpack(out.data(), 0);
+  u.unpack(out.data(), 16);
+  auto* recv = u.end();
+
+  PackHandle p(cluster.core(0), cluster.gate(0, 1), 2);
+  p.pack(data.data(), 0);
+  p.pack(data.data(), 16);
+  auto* send = p.end();
+
+  cluster.wait(send);
+  cluster.wait(recv);
+  EXPECT_TRUE(util::check_pattern({out.data(), 16}, 5));
+  cluster.core(0).release(send);
+  cluster.core(1).release(recv);
+}
+
+TEST(PackApi, LargePieceGoesRendezvous) {
+  Cluster cluster;
+  const size_t big = 512 * 1024;
+  std::vector<std::byte> hdr(64), body(big), rhdr(64), rbody(big);
+  util::fill_pattern({hdr.data(), 64}, 1);
+  util::fill_pattern({body.data(), big}, 2);
+
+  UnpackHandle u(cluster.core(1), cluster.gate(1, 0), 3);
+  u.unpack(rhdr.data(), 64);
+  u.unpack(rbody.data(), big);
+  auto* recv = u.end();
+
+  PackHandle p(cluster.core(0), cluster.gate(0, 1), 3);
+  p.pack(hdr.data(), 64);
+  p.pack(body.data(), big);
+  auto* send = p.end();
+
+  cluster.wait(send);
+  cluster.wait(recv);
+  EXPECT_EQ(cluster.core(0).stats().rdv_started, 1u);
+  EXPECT_TRUE(util::check_pattern({rhdr.data(), 64}, 1));
+  EXPECT_TRUE(util::check_pattern({rbody.data(), big}, 2));
+  cluster.core(0).release(send);
+  cluster.core(1).release(recv);
+}
+
+TEST(PackApi, PriorityHintTravelsFirst) {
+  // Two messages: a low-priority bulk-ish one submitted first, then a
+  // high-priority one. With the aggregation strategy, the high-priority
+  // chunk must be packed ahead of the earlier normal chunk.
+  Cluster cluster;
+  core::Core& a = cluster.core(0);
+  core::Core& b = cluster.core(1);
+
+  std::vector<std::byte> bulk(8 * 1024), urgent(64);
+  std::vector<std::byte> rbulk(8 * 1024), rurgent(64);
+  util::fill_pattern({bulk.data(), bulk.size()}, 1);
+  util::fill_pattern({urgent.data(), 64}, 2);
+
+  std::vector<core::Request*> reqs;
+  reqs.push_back(b.irecv(cluster.gate(1, 0), 10,
+                         util::MutableBytes{rbulk.data(), rbulk.size()}));
+  reqs.push_back(b.irecv(cluster.gate(1, 0), 11,
+                         util::MutableBytes{rurgent.data(), 64}));
+
+  // Fill the NIC with an initial message so both of the interesting
+  // messages land in the window together.
+  std::vector<std::byte> plug(64), rplug(64);
+  reqs.push_back(b.irecv(cluster.gate(1, 0), 9,
+                         util::MutableBytes{rplug.data(), 64}));
+  reqs.push_back(a.isend(cluster.gate(0, 1), 9,
+                         util::ConstBytes{plug.data(), 64}));
+
+  PackHandle low(a, cluster.gate(0, 1), 10);
+  low.pack(bulk.data(), bulk.size());
+  reqs.push_back(low.end());
+
+  PackHandle high(a, cluster.gate(0, 1), 11);
+  high.set_priority(core::Priority::kHigh);
+  high.pack(urgent.data(), 64);
+  reqs.push_back(high.end());
+
+  int order = 0, urgent_order = -1, bulk_order = -1;
+  reqs[0]->set_on_complete([&] { bulk_order = order++; });
+  reqs[1]->set_on_complete([&] { urgent_order = order++; });
+
+  cluster.wait_all(reqs);
+  EXPECT_TRUE(util::check_pattern({rurgent.data(), 64}, 2));
+  EXPECT_TRUE(util::check_pattern({rbulk.data(), rbulk.size()}, 1));
+  // High priority completes first even though it was submitted second.
+  EXPECT_LT(urgent_order, bulk_order);
+
+  for (auto* r : reqs) {
+    (r->kind() == core::Request::Kind::kSend ? a : b).release(r);
+  }
+}
+
+TEST(PackApi, RailPinningRestrictsTraffic) {
+  ClusterOptions options;
+  options.rails = {simnet::mx_myri10g_profile(),
+                   simnet::elan_quadrics_profile()};
+  Cluster cluster(std::move(options));
+  core::Core& a = cluster.core(0);
+  core::Core& b = cluster.core(1);
+
+  std::vector<std::byte> data(256), out(256);
+  util::fill_pattern({data.data(), 256}, 7);
+
+  UnpackHandle u(b, cluster.gate(1, 0), 4);
+  u.unpack(out.data(), 256);
+  auto* recv = u.end();
+
+  PackHandle p(a, cluster.gate(0, 1), 4);
+  p.set_rail(1);  // force the Quadrics rail
+  p.pack(data.data(), 256);
+  auto* send = p.end();
+
+  cluster.wait(send);
+  cluster.wait(recv);
+  EXPECT_TRUE(util::check_pattern({out.data(), 256}, 7));
+  EXPECT_EQ(cluster.fabric().node(0).nic(0).counters().frames_sent, 0u);
+  EXPECT_GT(cluster.fabric().node(0).nic(1).counters().frames_sent, 0u);
+  a.release(send);
+  b.release(recv);
+}
+
+}  // namespace
+}  // namespace nmad::api

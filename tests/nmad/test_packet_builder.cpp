@@ -1,0 +1,181 @@
+// PacketBuilder: limits, gather-list shape, header/payload interleaving.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nmad/core/packet_builder.hpp"
+#include "nmad/core/wire_format.hpp"
+#include "util/buffer.hpp"
+
+namespace nmad::core {
+namespace {
+
+OutChunk make_data(Tag tag, SeqNum seq, util::ConstBytes payload) {
+  OutChunk c;
+  c.kind = ChunkKind::kData;
+  c.tag = tag;
+  c.seq = seq;
+  c.total = static_cast<uint32_t>(payload.size());
+  c.payload = payload;
+  return c;
+}
+
+OutChunk make_cts(uint64_t cookie, std::vector<uint8_t> rails) {
+  OutChunk c;
+  c.kind = ChunkKind::kCts;
+  c.tag = 1;
+  c.seq = 0;
+  c.cookie = cookie;
+  c.cts_rails = std::move(rails);
+  return c;
+}
+
+// Flattens the builder's gather list and decodes it back.
+std::vector<WireChunk> build_and_decode(PacketBuilder& builder) {
+  const util::SegmentVec& segs = builder.finalize();
+  util::ByteBuffer flat;
+  flat.resize(segs.total_bytes());
+  segs.gather_into(flat.view());
+  std::vector<WireChunk> out;
+  util::Status st = decode_packet(flat.view(), [&](const WireChunk& c) {
+    WireChunk copy = c;
+    out.push_back(copy);
+  });
+  EXPECT_TRUE(st.is_ok()) << st.to_string();
+  return out;
+}
+
+TEST(PacketBuilder, SingleChunkPacket) {
+  std::vector<std::byte> payload(32);
+  util::fill_pattern({payload.data(), 32}, 1);
+  OutChunk c = make_data(5, 0, {payload.data(), 32});
+
+  PacketBuilder builder(1024, 0);
+  EXPECT_TRUE(builder.fits(c));
+  builder.add(&c);
+  EXPECT_EQ(builder.chunk_count(), 1u);
+  EXPECT_EQ(builder.wire_bytes(), kPacketHeaderBytes + kDataHeaderBytes + 32);
+
+  auto chunks = build_and_decode(builder);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_TRUE(util::check_pattern(chunks[0].payload, 1));
+}
+
+TEST(PacketBuilder, FirstChunkAlwaysFits) {
+  std::vector<std::byte> payload(1000);
+  OutChunk c = make_data(1, 0, {payload.data(), 1000});
+  PacketBuilder builder(64, 0);  // limit smaller than the chunk
+  EXPECT_TRUE(builder.fits(c));
+  builder.add(&c);
+  EXPECT_FALSE(builder.fits(c));  // but a second one does not
+}
+
+TEST(PacketBuilder, ByteLimitEnforced) {
+  std::vector<std::byte> payload(100);
+  OutChunk a = make_data(1, 0, {payload.data(), 100});
+  OutChunk b = make_data(2, 0, {payload.data(), 100});
+  const size_t exact =
+      kPacketHeaderBytes + 2 * (kDataHeaderBytes + 100);
+  PacketBuilder fits_two(exact, 0);
+  fits_two.add(&a);
+  EXPECT_TRUE(fits_two.fits(b));
+
+  PacketBuilder fits_one(exact - 1, 0);
+  fits_one.add(&a);
+  EXPECT_FALSE(fits_one.fits(b));
+}
+
+TEST(PacketBuilder, SegmentLimitEnforced) {
+  std::vector<std::byte> payload(10);
+  OutChunk a = make_data(1, 0, {payload.data(), 10});
+  OutChunk b = make_data(2, 0, {payload.data(), 10});
+  // Each payload chunk adds 2 segments to the initial header segment, so
+  // one chunk estimates 3 segments and two chunks estimate 5.
+  PacketBuilder builder(1 << 20, 4);
+  builder.add(&a);
+  EXPECT_FALSE(builder.fits(b));
+
+  PacketBuilder wider(1 << 20, 5);
+  wider.add(&a);
+  EXPECT_TRUE(wider.fits(b));
+}
+
+TEST(PacketBuilder, MultiplexPreservesAllChunks) {
+  std::vector<std::byte> p1(16), p2(8);
+  util::fill_pattern({p1.data(), 16}, 1);
+  util::fill_pattern({p2.data(), 8}, 2);
+  OutChunk a = make_data(10, 0, {p1.data(), 16});
+  OutChunk cts = make_cts(0xBEEF, {0, 1});
+  OutChunk b = make_data(11, 3, {p2.data(), 8});
+
+  PacketBuilder builder(1024, 0);
+  builder.add(&a);
+  builder.add(&cts);
+  builder.add(&b);
+  auto chunks = build_and_decode(builder);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].tag, 10u);
+  EXPECT_TRUE(util::check_pattern(chunks[0].payload, 1));
+  EXPECT_EQ(chunks[1].cookie, 0xBEEFull);
+  EXPECT_EQ(chunks[1].rails, (std::vector<uint8_t>{0, 1}));
+  EXPECT_EQ(chunks[2].seq, 3u);
+  EXPECT_TRUE(util::check_pattern(chunks[2].payload, 2));
+}
+
+TEST(PacketBuilder, PayloadSegmentsAreZeroCopyViews) {
+  std::vector<std::byte> payload(64);
+  OutChunk c = make_data(1, 0, {payload.data(), 64});
+  PacketBuilder builder(1024, 0);
+  builder.add(&c);
+  const util::SegmentVec& segs = builder.finalize();
+  // [headers][payload] — the payload segment must alias the original.
+  ASSERT_EQ(segs.count(), 2u);
+  EXPECT_EQ(segs[1].data, payload.data());
+  EXPECT_EQ(segs[1].len, 64u);
+}
+
+TEST(PacketBuilder, ControlChunksCoalesceHeaderSegments) {
+  OutChunk a = make_cts(1, {0});
+  OutChunk b = make_cts(2, {1});
+  std::vector<std::byte> payload(4);
+  OutChunk d = make_data(3, 0, {payload.data(), 4});
+
+  PacketBuilder builder(1024, 0);
+  builder.add(&a);
+  builder.add(&b);
+  builder.add(&d);
+  const util::SegmentVec& segs = builder.finalize();
+  // cts+cts+data header merge into one leading segment, then the payload.
+  EXPECT_EQ(segs.count(), 2u);
+
+  util::ByteBuffer flat;
+  flat.resize(segs.total_bytes());
+  segs.gather_into(flat.view());
+  int seen = 0;
+  ASSERT_TRUE(decode_packet(flat.view(), [&](const WireChunk&) {
+                ++seen;
+              }).is_ok());
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(PacketBuilder, RtsUsesRdvLenNotPayload) {
+  OutChunk rts;
+  rts.kind = ChunkKind::kRts;
+  rts.tag = 4;
+  rts.seq = 2;
+  rts.offset = 64;
+  rts.total = 262208;
+  rts.rdv_len = 262144;
+  rts.cookie = 0xAA;
+
+  PacketBuilder builder(1024, 0);
+  builder.add(&rts);
+  auto chunks = build_and_decode(builder);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].len, 262144u);
+  EXPECT_EQ(chunks[0].total, 262208u);
+  EXPECT_EQ(chunks[0].offset, 64u);
+}
+
+}  // namespace
+}  // namespace nmad::core

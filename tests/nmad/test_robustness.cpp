@@ -1,0 +1,151 @@
+// Robustness: wire-format fuzzing, bounce-copy drivers (GM, no gather),
+// and opportunistic eager load-balancing over two rails.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nmad/api/session.hpp"
+#include "nmad/core/wire_format.hpp"
+#include "simnet/profiles.hpp"
+#include "util/buffer.hpp"
+#include "util/rng.hpp"
+
+namespace nmad::core {
+namespace {
+
+// Random byte soup must never crash the decoder: it either parses (valid
+// by construction is astronomically unlikely) or reports an error.
+TEST(WireFuzz, RandomBytesNeverCrashDecoder) {
+  util::Rng rng(777);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const size_t len = rng.next_below(256);
+    util::ByteBuffer buf;
+    buf.resize(len);
+    for (size_t i = 0; i < len; ++i) {
+      buf.view()[i] = static_cast<std::byte>(rng.next_below(256));
+    }
+    size_t chunks = 0;
+    const util::Status st = decode_packet(
+        buf.view(), [&](const WireChunk& c) {
+          // Any surfaced chunk must have an in-bounds payload view.
+          if (!c.payload.empty()) {
+            EXPECT_GE(c.payload.data(),
+                      buf.view().data());
+            EXPECT_LE(c.payload.data() + c.payload.size(),
+                      buf.view().data() + buf.size());
+          }
+          ++chunks;
+        });
+    (void)st;  // either outcome is acceptable; not crashing is the test
+  }
+}
+
+// Truncating a valid packet at every byte boundary must be rejected
+// cleanly (or parse a valid prefix-free packet — impossible here since
+// the chunk count announces more content).
+TEST(WireFuzz, EveryTruncationRejected) {
+  util::ByteBuffer buf;
+  util::WireWriter w(buf);
+  encode_packet_header(w, 2);
+  encode_data_header(w, 0, 42, 7, 16);
+  std::vector<std::byte> payload(16);
+  w.bytes(payload.data(), 16);
+  encode_rts(w, 0, 43, 0, 65536, 0, 65536, 0xAB);
+
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    const util::Status st = decode_packet(
+        util::ConstBytes{buf.data(), cut}, [](const WireChunk&) {});
+    EXPECT_FALSE(st.is_ok()) << "cut at " << cut;
+  }
+}
+
+// GM has no gather DMA: every packet goes through a bounce copy; the
+// engine and protocols must still be byte-correct (just slower).
+TEST(GmDriver, NoGatherFabricStaysCorrect) {
+  api::ClusterOptions options;
+  options.rails = {simnet::gm_myrinet2000_profile()};
+  api::Cluster cluster(std::move(options));
+  Core& a = cluster.core(0);
+  Core& b = cluster.core(1);
+
+  // Aggregated small messages + one rendezvous.
+  std::vector<std::vector<std::byte>> in(8), out(8);
+  std::vector<Request*> reqs;
+  for (int i = 0; i < 8; ++i) {
+    in[i].resize(200);
+    out[i].resize(200);
+    util::fill_pattern({out[i].data(), 200}, i);
+    reqs.push_back(b.irecv(cluster.gate(1, 0), Tag(i),
+                           {in[i].data(), 200}));
+  }
+  const size_t big = 128 * 1024;
+  std::vector<std::byte> big_in(big), big_out(big);
+  util::fill_pattern({big_out.data(), big}, 99);
+  reqs.push_back(b.irecv(cluster.gate(1, 0), 50, {big_in.data(), big}));
+
+  for (int i = 0; i < 8; ++i) {
+    reqs.push_back(a.isend(cluster.gate(0, 1), Tag(i),
+                           util::ConstBytes{out[i].data(), 200}));
+  }
+  reqs.push_back(a.isend(cluster.gate(0, 1), 50,
+                         util::ConstBytes{big_out.data(), big}));
+  cluster.wait_all(reqs);
+
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(util::check_pattern({in[i].data(), 200}, i)) << i;
+  }
+  EXPECT_TRUE(util::check_pattern({big_in.data(), big}, 99));
+  EXPECT_EQ(a.stats().rdv_started, 1u);
+  for (auto* r : reqs) {
+    (r->kind() == Request::Kind::kSend ? a : b).release(r);
+  }
+}
+
+TEST(GmDriver, ProfileRegistered) {
+  simnet::NicProfile p;
+  ASSERT_TRUE(simnet::nic_profile_by_name("gm", &p));
+  EXPECT_EQ(p.name, "gm-myrinet2000");
+  EXPECT_FALSE(p.has_gather());
+  EXPECT_TRUE(p.rdma);
+}
+
+// With two rails and a deep burst of eager messages, the common-list
+// scheduling of §3.3 spreads packets over both NICs opportunistically.
+TEST(EagerMultiRail, BurstUsesBothRails) {
+  api::ClusterOptions options;
+  options.rails = {simnet::mx_myri10g_profile(),
+                   simnet::elan_quadrics_profile()};
+  api::Cluster cluster(std::move(options));
+  Core& a = cluster.core(0);
+  Core& b = cluster.core(1);
+
+  constexpr int kN = 32;
+  std::vector<std::vector<std::byte>> in(kN), out(kN);
+  std::vector<Request*> reqs;
+  for (int i = 0; i < kN; ++i) {
+    in[i].resize(2048);
+    out[i].resize(2048);
+    util::fill_pattern({out[i].data(), 2048}, i);
+    reqs.push_back(b.irecv(cluster.gate(1, 0), Tag(i),
+                           {in[i].data(), 2048}));
+  }
+  for (int i = 0; i < kN; ++i) {
+    reqs.push_back(a.isend(cluster.gate(0, 1), Tag(i),
+                           util::ConstBytes{out[i].data(), 2048}));
+  }
+  cluster.wait_all(reqs);
+
+  const auto& mx = cluster.fabric().node(0).nic(0).counters();
+  const auto& elan = cluster.fabric().node(0).nic(1).counters();
+  EXPECT_GT(mx.frames_sent, 0u);
+  EXPECT_GT(elan.frames_sent, 0u);
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_TRUE(util::check_pattern({in[i].data(), 2048}, i)) << i;
+  }
+  for (auto* r : reqs) {
+    (r->kind() == Request::Kind::kSend ? a : b).release(r);
+  }
+}
+
+}  // namespace
+}  // namespace nmad::core

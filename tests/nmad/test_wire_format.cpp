@@ -1,0 +1,280 @@
+// Track-0 wire format: encode/decode round trips, header size constants,
+// and malformed-packet rejection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nmad/core/wire_format.hpp"
+#include "util/rng.hpp"
+
+namespace nmad::core {
+namespace {
+
+std::vector<WireChunk> decode_all(util::ConstBytes packet,
+                                  util::Status* status = nullptr) {
+  std::vector<WireChunk> chunks;
+  util::Status st = decode_packet(packet, [&](const WireChunk& c) {
+    WireChunk copy = c;
+    // Payload views alias the packet; copy them out for comparison.
+    chunks.push_back(copy);
+  });
+  if (status != nullptr) *status = st;
+  return chunks;
+}
+
+TEST(WireFormat, DataRoundTrip) {
+  util::ByteBuffer buf;
+  util::WireWriter w(buf);
+  encode_packet_header(w, 1);
+  encode_data_header(w, kFlagLast, /*tag=*/0xABCD000012345678ull,
+                     /*seq=*/42, /*len=*/5);
+  w.bytes("hello", 5);
+
+  util::Status st;
+  auto chunks = decode_all(buf.view(), &st);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].kind, ChunkKind::kData);
+  EXPECT_EQ(chunks[0].flags, kFlagLast);
+  EXPECT_EQ(chunks[0].tag, 0xABCD000012345678ull);
+  EXPECT_EQ(chunks[0].seq, 42u);
+  EXPECT_EQ(chunks[0].len, 5u);
+  EXPECT_EQ(chunks[0].total, 5u);  // data chunks imply total == len
+  ASSERT_EQ(chunks[0].payload.size(), 5u);
+  EXPECT_EQ(std::memcmp(chunks[0].payload.data(), "hello", 5), 0);
+}
+
+TEST(WireFormat, FragCarriesOffsetAndTotal) {
+  util::ByteBuffer buf;
+  util::WireWriter w(buf);
+  encode_packet_header(w, 1);
+  encode_frag_header(w, 0, 7, 3, /*len=*/4, /*offset=*/100, /*total=*/500);
+  w.bytes("frag", 4);
+
+  auto chunks = decode_all(buf.view());
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].kind, ChunkKind::kFrag);
+  EXPECT_EQ(chunks[0].offset, 100u);
+  EXPECT_EQ(chunks[0].total, 500u);
+  EXPECT_EQ(chunks[0].len, 4u);
+}
+
+TEST(WireFormat, RtsRoundTrip) {
+  util::ByteBuffer buf;
+  util::WireWriter w(buf);
+  encode_packet_header(w, 1);
+  encode_rts(w, 0, 9, 1, /*len=*/262144, /*offset=*/64, /*total=*/262208,
+             /*cookie=*/0xC00C1Eull);
+
+  auto chunks = decode_all(buf.view());
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].kind, ChunkKind::kRts);
+  EXPECT_EQ(chunks[0].len, 262144u);
+  EXPECT_EQ(chunks[0].offset, 64u);
+  EXPECT_EQ(chunks[0].total, 262208u);
+  EXPECT_EQ(chunks[0].cookie, 0xC00C1Eull);
+  EXPECT_TRUE(chunks[0].payload.empty());
+}
+
+TEST(WireFormat, CtsCarriesRailList) {
+  util::ByteBuffer buf;
+  util::WireWriter w(buf);
+  encode_packet_header(w, 1);
+  encode_cts(w, 9, 1, /*cookie=*/0xFEEDull, {0, 2, 3});
+
+  auto chunks = decode_all(buf.view());
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].kind, ChunkKind::kCts);
+  EXPECT_EQ(chunks[0].cookie, 0xFEEDull);
+  EXPECT_EQ(chunks[0].rails, (std::vector<uint8_t>{0, 2, 3}));
+}
+
+TEST(WireFormat, MultiplexedPacketPreservesOrder) {
+  util::ByteBuffer buf;
+  util::WireWriter w(buf);
+  encode_packet_header(w, 3);
+  encode_cts(w, 1, 0, 0x1, {0});
+  encode_data_header(w, 0, 2, 5, 3);
+  w.bytes("abc", 3);
+  encode_rts(w, 0, 3, 7, 100, 0, 100, 0x2);
+
+  auto chunks = decode_all(buf.view());
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].kind, ChunkKind::kCts);
+  EXPECT_EQ(chunks[1].kind, ChunkKind::kData);
+  EXPECT_EQ(chunks[2].kind, ChunkKind::kRts);
+}
+
+TEST(WireFormat, HeaderSizeConstantsMatchEncoders) {
+  util::ByteBuffer buf;
+  util::WireWriter w(buf);
+  encode_packet_header(w, 0);
+  EXPECT_EQ(buf.size(), kPacketHeaderBytes);
+
+  util::ByteBuffer d;
+  util::WireWriter wd(d);
+  encode_data_header(wd, 0, 1, 1, 0);
+  EXPECT_EQ(d.size(), kDataHeaderBytes);
+
+  util::ByteBuffer f;
+  util::WireWriter wf(f);
+  encode_frag_header(wf, 0, 1, 1, 0, 0, 0);
+  EXPECT_EQ(f.size(), kFragHeaderBytes);
+
+  util::ByteBuffer r;
+  util::WireWriter wr(r);
+  encode_rts(wr, 0, 1, 1, 0, 0, 0, 0);
+  EXPECT_EQ(r.size(), kRtsHeaderBytes);
+
+  util::ByteBuffer c;
+  util::WireWriter wc(c);
+  encode_cts(wc, 1, 1, 0, {});
+  EXPECT_EQ(c.size(), kCtsHeaderBytes);
+}
+
+TEST(WireFormat, ChunkWireBytesMatchesEncodedSize) {
+  EXPECT_EQ(chunk_wire_bytes(ChunkKind::kData, 10), kDataHeaderBytes + 10);
+  EXPECT_EQ(chunk_wire_bytes(ChunkKind::kFrag, 10), kFragHeaderBytes + 10);
+  EXPECT_EQ(chunk_wire_bytes(ChunkKind::kRts, 999), kRtsHeaderBytes);
+  EXPECT_EQ(chunk_wire_bytes(ChunkKind::kCts, 0, 3), kCtsHeaderBytes + 3);
+}
+
+TEST(WireFormat, TruncatedPacketRejected) {
+  util::ByteBuffer buf;
+  util::WireWriter w(buf);
+  encode_packet_header(w, 1);
+  encode_data_header(w, 0, 1, 1, /*len=*/100);  // but no payload follows
+
+  util::Status st;
+  decode_all(buf.view(), &st);
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), util::StatusCode::kTruncated);
+}
+
+TEST(WireFormat, TrailingGarbageRejected) {
+  util::ByteBuffer buf;
+  util::WireWriter w(buf);
+  encode_packet_header(w, 1);
+  encode_data_header(w, 0, 1, 1, 0);
+  w.u32(0xDEAD);  // trailing junk
+
+  util::Status st;
+  decode_all(buf.view(), &st);
+  EXPECT_FALSE(st.is_ok());
+}
+
+TEST(WireFormat, UnknownKindRejected) {
+  util::ByteBuffer buf;
+  util::WireWriter w(buf);
+  encode_packet_header(w, 1);
+  w.u8(0xEE);  // bogus kind
+  w.u8(0);
+  w.u64(0);
+  w.u32(0);
+
+  util::Status st;
+  decode_all(buf.view(), &st);
+  EXPECT_FALSE(st.is_ok());
+}
+
+TEST(WireFormat, EmptyPacketIsValid) {
+  util::ByteBuffer buf;
+  util::WireWriter w(buf);
+  encode_packet_header(w, 0);
+  util::Status st;
+  auto chunks = decode_all(buf.view(), &st);
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_TRUE(chunks.empty());
+}
+
+// Property: random packets survive encode→decode with all fields intact.
+TEST(WireFormat, RandomMultiplexRoundTripProperty) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = static_cast<int>(rng.next_range(1, 12));
+    struct Expect {
+      ChunkKind kind;
+      Tag tag;
+      SeqNum seq;
+      uint32_t len, offset, total;
+      uint64_t cookie;
+      std::vector<std::byte> payload;
+      std::vector<uint8_t> rails;
+    };
+    std::vector<Expect> expected;
+    util::ByteBuffer buf;
+    util::WireWriter w(buf);
+    encode_packet_header(w, static_cast<uint16_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Expect e;
+      e.kind = static_cast<ChunkKind>(1 + rng.next_below(4));
+      e.tag = rng.next_u64();
+      e.seq = static_cast<SeqNum>(rng.next_u64());
+      e.len = static_cast<uint32_t>(rng.next_below(64));
+      e.offset = static_cast<uint32_t>(rng.next_u64());
+      e.total = static_cast<uint32_t>(rng.next_u64());
+      e.cookie = rng.next_u64();
+      switch (e.kind) {
+        case ChunkKind::kData:
+          e.payload.resize(e.len);
+          for (auto& b : e.payload) {
+            b = static_cast<std::byte>(rng.next_below(256));
+          }
+          encode_data_header(w, 0, e.tag, e.seq, e.len);
+          w.bytes(e.payload.data(), e.payload.size());
+          break;
+        case ChunkKind::kFrag:
+          e.payload.resize(e.len);
+          for (auto& b : e.payload) {
+            b = static_cast<std::byte>(rng.next_below(256));
+          }
+          encode_frag_header(w, 0, e.tag, e.seq, e.len, e.offset, e.total);
+          w.bytes(e.payload.data(), e.payload.size());
+          break;
+        case ChunkKind::kRts:
+          encode_rts(w, 0, e.tag, e.seq, e.len, e.offset, e.total, e.cookie);
+          break;
+        case ChunkKind::kCts: {
+          const size_t n_rails = rng.next_below(4);
+          for (size_t k = 0; k < n_rails; ++k) {
+            e.rails.push_back(static_cast<uint8_t>(rng.next_below(8)));
+          }
+          encode_cts(w, e.tag, e.seq, e.cookie, e.rails);
+          break;
+        }
+      }
+      expected.push_back(std::move(e));
+    }
+
+    size_t i = 0;
+    util::Status st = decode_packet(buf.view(), [&](const WireChunk& c) {
+      ASSERT_LT(i, expected.size());
+      const Expect& e = expected[i];
+      EXPECT_EQ(c.kind, e.kind);
+      EXPECT_EQ(c.tag, e.tag);
+      EXPECT_EQ(c.seq, e.seq);
+      if (e.kind == ChunkKind::kData || e.kind == ChunkKind::kFrag) {
+        ASSERT_EQ(c.payload.size(), e.payload.size());
+        EXPECT_EQ(std::memcmp(c.payload.data(), e.payload.data(),
+                              e.payload.size()),
+                  0);
+      }
+      if (e.kind == ChunkKind::kFrag || e.kind == ChunkKind::kRts) {
+        EXPECT_EQ(c.offset, e.offset);
+        EXPECT_EQ(c.total, e.total);
+      }
+      if (e.kind == ChunkKind::kRts || e.kind == ChunkKind::kCts) {
+        EXPECT_EQ(c.cookie, e.cookie);
+      }
+      if (e.kind == ChunkKind::kCts) {
+        EXPECT_EQ(c.rails, e.rails);
+      }
+      ++i;
+    });
+    ASSERT_TRUE(st.is_ok());
+    EXPECT_EQ(i, expected.size());
+  }
+}
+
+}  // namespace
+}  // namespace nmad::core

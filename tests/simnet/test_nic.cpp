@@ -1,0 +1,226 @@
+// SimNic timing, serialization, bulk sinks, and fabric wiring.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simnet/fabric.hpp"
+#include "simnet/profiles.hpp"
+#include "util/buffer.hpp"
+
+namespace nmad::simnet {
+namespace {
+
+NicProfile test_profile() {
+  NicProfile p;
+  p.name = "test";
+  p.latency_us = 1.0;
+  p.bandwidth_mbps = 100.0;  // 100 bytes/µs
+  p.tx_post_us = 0.5;
+  p.rx_drain_us = 0.0;
+  p.gather_max_segments = 4;
+  p.gather_segment_us = 0.1;
+  p.rdma = true;
+  p.rdma_setup_us = 0.2;
+  return p;
+}
+
+struct TwoNodes {
+  SimWorld world;
+  Fabric fabric{world};
+  TwoNodes() {
+    fabric.add_node(CpuProfile{});
+    fabric.add_node(CpuProfile{});
+    fabric.add_rail(test_profile());
+  }
+  SimNic& nic(NodeId n) { return fabric.node(n).nic(0); }
+};
+
+TEST(SimNic, FrameArrivalTiming) {
+  TwoNodes t;
+  std::vector<std::byte> payload(100);
+  util::fill_pattern({payload.data(), 100}, 1);
+
+  double arrived_at = -1.0;
+  util::ByteBuffer received;
+  t.nic(1).set_rx_handler([&](RxFrame&& f) {
+    arrived_at = t.world.now();
+    received = std::move(f.bytes);
+  });
+
+  double tx_done_at = -1.0;
+  t.nic(0).send_frame(1, {payload.data(), 100}, 1,
+                      [&] { tx_done_at = t.world.now(); });
+  t.world.run_to_quiescence();
+
+  // Occupancy = tx_post (0.5) + 100 B / 100 B/µs (1.0) = 1.5 µs.
+  EXPECT_DOUBLE_EQ(tx_done_at, 1.5);
+  // Arrival = occupancy + latency (1.0).
+  EXPECT_DOUBLE_EQ(arrived_at, 2.5);
+  ASSERT_EQ(received.size(), 100u);
+  EXPECT_TRUE(util::check_pattern(received.view(), 1));
+}
+
+TEST(SimNic, GatherSegmentsCostExtra) {
+  TwoNodes t;
+  std::vector<std::byte> payload(100);
+  t.nic(1).set_rx_handler([](RxFrame&&) {});
+  double tx_done_at = -1.0;
+  t.nic(0).send_frame(1, {payload.data(), 100}, 3,
+                      [&] { tx_done_at = t.world.now(); });
+  t.world.run_to_quiescence();
+  // + (3-1) * 0.1 gather setup.
+  EXPECT_DOUBLE_EQ(tx_done_at, 1.7);
+}
+
+TEST(SimNic, TransmitSerializes) {
+  TwoNodes t;
+  std::vector<std::byte> payload(100);
+  std::vector<double> arrivals;
+  t.nic(1).set_rx_handler(
+      [&](RxFrame&&) { arrivals.push_back(t.world.now()); });
+  t.nic(0).send_frame(1, {payload.data(), 100}, 1, nullptr);
+  t.nic(0).send_frame(1, {payload.data(), 100}, 1, nullptr);
+  EXPECT_FALSE(t.nic(0).tx_idle());
+  t.world.run_to_quiescence();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 2.5);
+  EXPECT_DOUBLE_EQ(arrivals[1], 4.0);  // second frame queued behind first
+  EXPECT_TRUE(t.nic(0).tx_idle());
+}
+
+TEST(SimNic, RxDrainSerializesDeliveries) {
+  NicProfile p = test_profile();
+  p.rx_drain_us = 2.0;  // slower than arrival spacing
+  SimWorld world;
+  Fabric fabric(world);
+  fabric.add_node(CpuProfile{});
+  fabric.add_node(CpuProfile{});
+  fabric.add_rail(p);
+  std::vector<double> handled;
+  fabric.node(1).nic(0).set_rx_handler(
+      [&](RxFrame&&) { handled.push_back(world.now()); });
+  std::vector<std::byte> payload(100);
+  fabric.node(0).nic(0).send_frame(1, {payload.data(), 100}, 1, nullptr);
+  fabric.node(0).nic(0).send_frame(1, {payload.data(), 100}, 1, nullptr);
+  world.run_to_quiescence();
+  ASSERT_EQ(handled.size(), 2u);
+  // First at arrival 2.5; second arrives 4.0 but the rx engine is busy
+  // until 4.5.
+  EXPECT_DOUBLE_EQ(handled[0], 2.5);
+  EXPECT_DOUBLE_EQ(handled[1], 4.5);
+}
+
+TEST(SimNic, BulkLandsInSink) {
+  TwoNodes t;
+  std::vector<std::byte> src(400), dst(400, std::byte{0});
+  util::fill_pattern({src.data(), 400}, 2);
+
+  bool complete = false;
+  BulkSink sink(77, {dst.data(), 400}, 400, [&] { complete = true; });
+  t.nic(1).post_bulk_sink(&sink);
+
+  t.nic(0).send_bulk(1, 77, 0, {src.data(), 400}, 1, nullptr);
+  t.world.run_to_quiescence();
+
+  EXPECT_TRUE(complete);
+  EXPECT_TRUE(sink.complete());
+  EXPECT_TRUE(util::check_pattern({dst.data(), 400}, 2));
+  t.nic(1).remove_bulk_sink(77);
+}
+
+TEST(SimNic, BulkChunksReassembleAtOffsets) {
+  TwoNodes t;
+  std::vector<std::byte> src(300), dst(300, std::byte{0});
+  util::fill_pattern({src.data(), 300}, 3);
+
+  int completions = 0;
+  BulkSink sink(5, {dst.data(), 300}, 300, [&] { ++completions; });
+  t.nic(1).post_bulk_sink(&sink);
+
+  // Send out of order: [200,300) then [0,200).
+  t.nic(0).send_bulk(1, 5, 200, {src.data() + 200, 100}, 1, nullptr);
+  t.nic(0).send_bulk(1, 5, 0, {src.data(), 200}, 1, nullptr);
+  t.world.run_to_quiescence();
+
+  EXPECT_EQ(completions, 1);
+  EXPECT_TRUE(util::check_pattern({dst.data(), 300}, 3));
+  t.nic(1).remove_bulk_sink(5);
+}
+
+TEST(SimNic, SharedSinkAcrossTwoRails) {
+  SimWorld world;
+  Fabric fabric(world);
+  fabric.add_node(CpuProfile{});
+  fabric.add_node(CpuProfile{});
+  fabric.add_rail(test_profile());
+  fabric.add_rail(test_profile());
+
+  std::vector<std::byte> src(200), dst(200, std::byte{0});
+  util::fill_pattern({src.data(), 200}, 4);
+
+  bool complete = false;
+  BulkSink sink(9, {dst.data(), 200}, 200, [&] { complete = true; });
+  fabric.node(1).nic(0).post_bulk_sink(&sink);
+  fabric.node(1).nic(1).post_bulk_sink(&sink);
+
+  fabric.node(0).nic(0).send_bulk(1, 9, 0, {src.data(), 100}, 1, nullptr);
+  fabric.node(0).nic(1).send_bulk(1, 9, 100, {src.data() + 100, 100}, 1,
+                                  nullptr);
+  world.run_to_quiescence();
+
+  EXPECT_TRUE(complete);
+  EXPECT_TRUE(util::check_pattern({dst.data(), 200}, 4));
+  fabric.node(1).nic(0).remove_bulk_sink(9);
+  fabric.node(1).nic(1).remove_bulk_sink(9);
+}
+
+TEST(SimNic, CountersTrackTraffic) {
+  TwoNodes t;
+  t.nic(1).set_rx_handler([](RxFrame&&) {});
+  std::vector<std::byte> payload(64);
+  t.nic(0).send_frame(1, {payload.data(), 64}, 1, nullptr);
+  t.world.run_to_quiescence();
+  EXPECT_EQ(t.nic(0).counters().frames_sent, 1u);
+  EXPECT_EQ(t.nic(0).counters().bytes_sent, 64u);
+  EXPECT_EQ(t.nic(1).counters().frames_received, 1u);
+  EXPECT_EQ(t.nic(1).counters().bytes_received, 64u);
+  EXPECT_GT(t.nic(0).counters().tx_busy_us, 0.0);
+}
+
+TEST(Fabric, ThreeNodeCrossbarDeliversByNodeId) {
+  SimWorld world;
+  Fabric fabric(world);
+  for (int i = 0; i < 3; ++i) fabric.add_node(CpuProfile{});
+  fabric.add_rail(test_profile());
+
+  std::vector<int> got_from;
+  fabric.node(2).nic(0).set_rx_handler([&](RxFrame&& f) {
+    got_from.push_back(static_cast<int>(f.src_node));
+  });
+  std::vector<std::byte> payload(10);
+  fabric.node(0).nic(0).send_frame(2, {payload.data(), 10}, 1, nullptr);
+  fabric.node(1).nic(0).send_frame(2, {payload.data(), 10}, 1, nullptr);
+  world.run_to_quiescence();
+  ASSERT_EQ(got_from.size(), 2u);
+  EXPECT_EQ(got_from[0], 0);
+  EXPECT_EQ(got_from[1], 1);
+}
+
+TEST(Fabric, ProfilesByName) {
+  NicProfile p;
+  EXPECT_TRUE(nic_profile_by_name("mx", &p));
+  EXPECT_EQ(p.name, "mx-myri10g");
+  EXPECT_TRUE(nic_profile_by_name("quadrics", &p));
+  EXPECT_EQ(p.name, "elan-quadrics");
+  EXPECT_TRUE(nic_profile_by_name("sci", &p));
+  EXPECT_TRUE(nic_profile_by_name("gm", &p));
+  EXPECT_EQ(p.name, "gm-myrinet2000");
+  EXPECT_TRUE(nic_profile_by_name("shm", &p));
+  EXPECT_TRUE(p.rdma);  // shm: shared segments count as directed writes
+  EXPECT_TRUE(nic_profile_by_name("tcp", &p));
+  EXPECT_FALSE(p.rdma);  // tcp
+  EXPECT_FALSE(nic_profile_by_name("nosuch", &p));
+}
+
+}  // namespace
+}  // namespace nmad::simnet

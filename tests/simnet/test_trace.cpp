@@ -1,0 +1,89 @@
+// TraceLog recording and its attachment to NICs / the full engine stack.
+#include <gtest/gtest.h>
+
+#include "nmad/api/session.hpp"
+#include "simnet/trace.hpp"
+#include "util/buffer.hpp"
+
+namespace nmad::simnet {
+namespace {
+
+TEST(TraceLog, RecordsAndCounts) {
+  TraceLog log;
+  log.record(1.0, TraceKind::kFrameTx, 0, 0, 100);
+  log.record(2.0, TraceKind::kFrameRx, 1, 0, 100);
+  log.record(3.0, TraceKind::kFrameTx, 0, 1, 50);
+  log.record(4.0, TraceKind::kUser, 0, 0, 0, "marker");
+
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.count(TraceKind::kFrameTx), 2u);
+  EXPECT_EQ(log.count(TraceKind::kFrameTx, /*node=*/0), 2u);
+  EXPECT_EQ(log.count(TraceKind::kFrameTx, /*node=*/1), 0u);
+  EXPECT_EQ(log.count(TraceKind::kFrameRx), 1u);
+  EXPECT_EQ(log.events()[3].note, "marker");
+
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(TraceLog, KindNames) {
+  EXPECT_STREQ(trace_kind_name(TraceKind::kFrameTx), "frame-tx");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kBulkRx), "bulk-rx");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kUser), "user");
+}
+
+TEST(TraceLog, CapturesFullEngineExchange) {
+  api::Cluster cluster;
+  TraceLog log;
+  cluster.fabric().node(0).nic(0).set_trace(&log);
+  cluster.fabric().node(1).nic(0).set_trace(&log);
+
+  // One eager message and one rendezvous message.
+  std::vector<std::byte> small_out(256), small_in(256);
+  std::vector<std::byte> big_out(256 * 1024), big_in(256 * 1024);
+  util::fill_pattern({small_out.data(), 256}, 1);
+  util::fill_pattern({big_out.data(), big_out.size()}, 2);
+
+  std::vector<core::Request*> reqs = {
+      cluster.core(1).irecv(cluster.gate(1, 0), 1,
+                            {small_in.data(), small_in.size()}),
+      cluster.core(1).irecv(cluster.gate(1, 0), 2,
+                            {big_in.data(), big_in.size()}),
+      cluster.core(0).isend(cluster.gate(0, 1), 1,
+                            util::ConstBytes{small_out.data(), 256}),
+      cluster.core(0).isend(
+          cluster.gate(0, 1), 2,
+          util::ConstBytes{big_out.data(), big_out.size()}),
+  };
+  cluster.wait_all(reqs);
+
+  // Node 0 launched track-0 frames (data + RTS) and the bulk body; node 1
+  // received them and launched the CTS frame back.
+  EXPECT_GE(log.count(TraceKind::kFrameTx, 0), 1u);
+  EXPECT_GE(log.count(TraceKind::kFrameTx, 1), 1u);  // the CTS
+  EXPECT_GE(log.count(TraceKind::kFrameRx, 1), 1u);
+  EXPECT_EQ(log.count(TraceKind::kBulkTx, 0), 1u);
+  EXPECT_EQ(log.count(TraceKind::kBulkRx, 1), 1u);
+
+  // Timestamps are monotone non-decreasing (events recorded in order).
+  for (size_t i = 1; i < log.events().size(); ++i) {
+    EXPECT_LE(log.events()[i - 1].at, log.events()[i].at + 1e9);
+  }
+
+  // The dump must render every event.
+  char buf[8192] = {};
+  FILE* mem = fmemopen(buf, sizeof(buf), "w");
+  log.dump(mem);
+  std::fclose(mem);
+  EXPECT_NE(std::string(buf).find("bulk-tx"), std::string::npos);
+  EXPECT_NE(std::string(buf).find("frame-rx"), std::string::npos);
+
+  for (auto* r : reqs) {
+    (r->kind() == core::Request::Kind::kSend ? cluster.core(0)
+                                             : cluster.core(1))
+        .release(r);
+  }
+}
+
+}  // namespace
+}  // namespace nmad::simnet

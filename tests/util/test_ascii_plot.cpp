@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/ascii_plot.hpp"
+
+namespace nmad::util {
+namespace {
+
+std::string render(AsciiPlot& plot) {
+  char buf[16384] = {};
+  FILE* mem = fmemopen(buf, sizeof(buf), "w");
+  plot.render(mem);
+  std::fclose(mem);
+  return buf;
+}
+
+TEST(AsciiPlot, EmptyPlotSaysSo) {
+  AsciiPlot plot("empty");
+  EXPECT_NE(render(plot).find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiPlot, RendersTitleLegendAndMarkers) {
+  AsciiPlot plot("my title", 32, 8);
+  plot.add_series("fast", 'f', {{4, 2.0}, {1024, 10.0}, {1 << 20, 900.0}});
+  plot.add_series("slow", 's', {{4, 4.0}, {1024, 20.0}, {1 << 20, 950.0}});
+  const std::string out = render(plot);
+  EXPECT_NE(out.find("my title"), std::string::npos);
+  EXPECT_NE(out.find("f=fast"), std::string::npos);
+  EXPECT_NE(out.find("s=slow"), std::string::npos);
+  EXPECT_NE(out.find('f'), std::string::npos);
+  EXPECT_NE(out.find('s'), std::string::npos);
+  // Axis labels include the x extremes.
+  EXPECT_NE(out.find("1M"), std::string::npos);
+}
+
+TEST(AsciiPlot, OverlappingPointsBecomePlus) {
+  AsciiPlot plot("overlap", 16, 6);
+  plot.add_series("a", 'a', {{8, 5.0}});
+  plot.add_series("b", 'b', {{8, 5.0}});
+  const std::string out = render(plot);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlot, MonotoneSeriesDescendsOnScreen) {
+  // Larger y must appear on an earlier (higher) line.
+  AsciiPlot plot("mono", 40, 10);
+  plot.add_series("up", 'u', {{4, 1.0}, {4096, 100.0}});
+  const std::string out = render(plot);
+  const size_t first_u = out.find('u');
+  const size_t last_u = out.rfind('u');
+  ASSERT_NE(first_u, std::string::npos);
+  ASSERT_NE(last_u, first_u);
+  // The high-y point (100) renders before the low-y point (1) in text
+  // order, and its column (x=4096) is to the right.
+  const size_t first_line_start = out.rfind('\n', first_u);
+  const size_t last_line_start = out.rfind('\n', last_u);
+  EXPECT_LT(first_u - first_line_start, last_u - last_line_start + 1000);
+  EXPECT_GT(first_u - first_line_start, last_u - last_line_start);
+}
+
+TEST(AsciiPlotDeath, NonPositiveCoordinatesRejected) {
+  AsciiPlot plot("bad");
+  EXPECT_DEATH(plot.add_series("x", 'x', {{0.0, 1.0}}), "positive");
+}
+
+}  // namespace
+}  // namespace nmad::util

@@ -1,0 +1,156 @@
+// ByteBuffer / SegmentVec / pattern helpers and the wire encode/decode
+// primitives, including a round-trip property sweep.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/buffer.hpp"
+#include "util/rng.hpp"
+#include "util/wire.hpp"
+
+namespace nmad::util {
+namespace {
+
+TEST(SegmentVec, TracksTotalsAndGathers) {
+  const char a[] = "hello";
+  const char b[] = "world";
+  SegmentVec segs;
+  segs.add(a, 5);
+  segs.add(b, 5);
+  EXPECT_EQ(segs.count(), 2u);
+  EXPECT_EQ(segs.total_bytes(), 10u);
+
+  std::vector<std::byte> out(10);
+  EXPECT_EQ(segs.gather_into({out.data(), out.size()}), 10u);
+  EXPECT_EQ(std::memcmp(out.data(), "helloworld", 10), 0);
+}
+
+TEST(SegmentVec, SkipsNullEmptySegments) {
+  SegmentVec segs;
+  segs.add(nullptr, 0);
+  EXPECT_TRUE(segs.empty());
+  EXPECT_EQ(segs.total_bytes(), 0u);
+}
+
+TEST(SegmentVec, ZeroLengthWithDataPointerKept) {
+  const char a[] = "x";
+  SegmentVec segs;
+  segs.add(a, 0);
+  EXPECT_EQ(segs.count(), 1u);
+  EXPECT_EQ(segs.total_bytes(), 0u);
+}
+
+TEST(ByteBuffer, AppendGrows) {
+  ByteBuffer buf;
+  buf.append("ab", 2);
+  buf.append("cd", 2);
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(std::memcmp(buf.data(), "abcd", 4), 0);
+}
+
+TEST(Pattern, FillAndCheckAgree) {
+  std::vector<std::byte> buf(1000);
+  fill_pattern({buf.data(), buf.size()}, 42);
+  EXPECT_TRUE(check_pattern({buf.data(), buf.size()}, 42));
+  EXPECT_FALSE(check_pattern({buf.data(), buf.size()}, 43));
+  buf[500] ^= std::byte{1};
+  EXPECT_FALSE(check_pattern({buf.data(), buf.size()}, 42));
+}
+
+TEST(Pattern, DifferentSeedsDiffer) {
+  std::vector<std::byte> a(64), b(64);
+  fill_pattern({a.data(), 64}, 1);
+  fill_pattern({b.data(), 64}, 2);
+  EXPECT_NE(std::memcmp(a.data(), b.data(), 64), 0);
+}
+
+TEST(Wire, ScalarRoundTrip) {
+  ByteBuffer buf;
+  WireWriter w(buf);
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  EXPECT_EQ(buf.size(), 1u + 2 + 4 + 8);
+
+  WireReader r(buf.view());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Wire, LittleEndianLayout) {
+  ByteBuffer buf;
+  WireWriter w(buf);
+  w.u32(0x01020304);
+  EXPECT_EQ(std::to_integer<int>(buf.view()[0]), 0x04);
+  EXPECT_EQ(std::to_integer<int>(buf.view()[3]), 0x01);
+}
+
+TEST(Wire, ReaderFailsGracefullyOnUnderflow) {
+  ByteBuffer buf;
+  WireWriter w(buf);
+  w.u16(7);
+  WireReader r(buf.view());
+  EXPECT_EQ(r.u32(), 0u);  // not enough bytes
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.bytes(1).empty());  // stays failed
+}
+
+TEST(Wire, BytesViewsAlias) {
+  ByteBuffer buf;
+  WireWriter w(buf);
+  w.bytes("abcdef", 6);
+  WireReader r(buf.view());
+  ConstBytes view = r.bytes(6);
+  EXPECT_EQ(view.data(), buf.data());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+// Property: any sequence of scalar writes reads back identically.
+TEST(Wire, RandomRoundTripProperty) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    ByteBuffer buf;
+    WireWriter w(buf);
+    std::vector<int> kinds;
+    std::vector<uint64_t> values;
+    const int n = static_cast<int>(rng.next_range(1, 20));
+    for (int i = 0; i < n; ++i) {
+      const int kind = static_cast<int>(rng.next_below(4));
+      const uint64_t v = rng.next_u64();
+      kinds.push_back(kind);
+      values.push_back(v);
+      switch (kind) {
+        case 0: w.u8(static_cast<uint8_t>(v)); break;
+        case 1: w.u16(static_cast<uint16_t>(v)); break;
+        case 2: w.u32(static_cast<uint32_t>(v)); break;
+        case 3: w.u64(v); break;
+      }
+    }
+    WireReader r(buf.view());
+    for (int i = 0; i < n; ++i) {
+      switch (kinds[i]) {
+        case 0: EXPECT_EQ(r.u8(), static_cast<uint8_t>(values[i])); break;
+        case 1: EXPECT_EQ(r.u16(), static_cast<uint16_t>(values[i])); break;
+        case 2: EXPECT_EQ(r.u32(), static_cast<uint32_t>(values[i])); break;
+        case 3: EXPECT_EQ(r.u64(), values[i]); break;
+      }
+    }
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+TEST(CopyBytes, CopiesExactSpan) {
+  std::vector<std::byte> src(16), dst(16);
+  fill_pattern({src.data(), 16}, 9);
+  copy_bytes({dst.data(), 16}, {src.data(), 16});
+  EXPECT_TRUE(check_pattern({dst.data(), 16}, 9));
+}
+
+}  // namespace
+}  // namespace nmad::util

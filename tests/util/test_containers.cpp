@@ -1,0 +1,163 @@
+// Intrusive list and object pool behaviour, including the removal-while-
+// iterating pattern the optimization window relies on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/intrusive_list.hpp"
+#include "util/pool.hpp"
+
+namespace nmad::util {
+namespace {
+
+struct Item {
+  explicit Item(int v = 0) : value(v) {}
+  ListHook hook;
+  int value;
+};
+
+using ItemList = IntrusiveList<Item, &Item::hook>;
+
+TEST(IntrusiveList, StartsEmpty) {
+  ItemList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_TRUE(list.begin() == list.end());
+}
+
+TEST(IntrusiveList, PushPopOrder) {
+  ItemList list;
+  Item a(1), b(2), c(3);
+  list.push_back(a);
+  list.push_back(b);
+  list.push_front(c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.front().value, 3);
+  EXPECT_EQ(list.back().value, 2);
+  EXPECT_EQ(list.pop_front().value, 3);
+  EXPECT_EQ(list.pop_back().value, 2);
+  EXPECT_EQ(list.pop_front().value, 1);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, RemoveFromMiddle) {
+  ItemList list;
+  Item a(1), b(2), c(3);
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.remove(b);
+  EXPECT_FALSE(b.hook.is_linked());
+  std::vector<int> seen;
+  for (Item& item : list) seen.push_back(item.value);
+  EXPECT_EQ(seen, (std::vector<int>{1, 3}));
+}
+
+TEST(IntrusiveList, RemoveWhileIterating) {
+  // The strategy pack loop: grab next before unlinking the current node.
+  ItemList list;
+  std::vector<Item> items;
+  items.reserve(10);
+  for (int i = 0; i < 10; ++i) {
+    items.emplace_back(i);
+    list.push_back(items.back());
+  }
+  Item* it = &list.front();
+  while (it != nullptr) {
+    Item* next = list.next_of(*it);
+    if (it->value % 2 == 0) list.remove(*it);
+    it = next;
+  }
+  std::vector<int> seen;
+  for (Item& item : list) seen.push_back(item.value);
+  EXPECT_EQ(seen, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+TEST(IntrusiveList, InsertBeforePosition) {
+  ItemList list;
+  Item a(1), b(3), c(2);
+  list.push_back(a);
+  list.push_back(b);
+  list.insert_before(b, c);
+  std::vector<int> seen;
+  for (Item& item : list) seen.push_back(item.value);
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(IntrusiveList, MoveTransfersElements) {
+  ItemList list;
+  Item a(1), b(2);
+  list.push_back(a);
+  list.push_back(b);
+  ItemList other = std::move(list);
+  EXPECT_EQ(other.size(), 2u);
+  EXPECT_TRUE(list.empty());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(other.front().value, 1);
+  other.clear();
+}
+
+TEST(IntrusiveList, ClearUnlinksEverything) {
+  ItemList list;
+  Item a(1), b(2);
+  list.push_back(a);
+  list.push_back(b);
+  list.clear();
+  EXPECT_FALSE(a.hook.is_linked());
+  EXPECT_FALSE(b.hook.is_linked());
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, NextOfLastIsNull) {
+  ItemList list;
+  Item a(1);
+  list.push_back(a);
+  EXPECT_EQ(list.next_of(a), nullptr);
+  list.clear();
+}
+
+TEST(ObjectPool, AcquireConstructsReleaseDestroys) {
+  static int live = 0;
+  struct Tracked {
+    Tracked() { ++live; }
+    ~Tracked() { --live; }
+  };
+  ObjectPool<Tracked> pool(4);
+  Tracked* a = pool.acquire();
+  Tracked* b = pool.acquire();
+  EXPECT_EQ(live, 2);
+  EXPECT_EQ(pool.live(), 2u);
+  pool.release(a);
+  pool.release(b);
+  EXPECT_EQ(live, 0);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(ObjectPool, ReusesSlots) {
+  ObjectPool<int> pool(2);
+  int* a = pool.acquire(1);
+  pool.release(a);
+  int* b = pool.acquire(2);
+  EXPECT_EQ(a, b);  // freelist reuse
+  EXPECT_EQ(*b, 2);
+  pool.release(b);
+}
+
+TEST(ObjectPool, GrowsBeyondOneSlab) {
+  ObjectPool<int> pool(2);
+  std::vector<int*> held;
+  for (int i = 0; i < 7; ++i) held.push_back(pool.acquire(i));
+  EXPECT_GE(pool.capacity(), 7u);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(*held[i], i);
+  for (int* p : held) pool.release(p);
+}
+
+TEST(ObjectPool, ForwardsConstructorArguments) {
+  ObjectPool<std::string> pool;
+  std::string* s = pool.acquire(5, 'x');
+  EXPECT_EQ(*s, "xxxxx");
+  pool.release(s);
+}
+
+}  // namespace
+}  // namespace nmad::util

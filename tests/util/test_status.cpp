@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace nmad::util {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = invalid_argument("bad tag");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad tag");
+  EXPECT_EQ(s.to_string(), "invalid-argument: bad tag");
+}
+
+TEST(Status, EqualityComparesCodesOnly) {
+  EXPECT_EQ(invalid_argument("a"), invalid_argument("b"));
+  EXPECT_FALSE(invalid_argument("a") == not_found("a"));
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kClosed); ++c) {
+    EXPECT_STRNE(status_code_name(static_cast<StatusCode>(c)), "unknown");
+  }
+}
+
+TEST(Status, HelperConstructorsMapToCodes) {
+  EXPECT_EQ(not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(already_exists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(out_of_range("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(resource_exhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(failed_precondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(internal_error("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(truncated("x").code(), StatusCode::kTruncated);
+  EXPECT_EQ(would_block().code(), StatusCode::kWouldBlock);
+  EXPECT_EQ(closed("x").code(), StatusCode::kClosed);
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_TRUE(e.status().is_ok());
+  EXPECT_EQ(e.value_or(7), 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e(not_found("nope"));
+  EXPECT_FALSE(e.has_value());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(e.value_or(7), 7);
+}
+
+TEST(Expected, TakeMovesValueOut) {
+  Expected<std::string> e(std::string("payload"));
+  std::string s = std::move(e).take();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Expected, ReturnIfErrorMacroPropagates) {
+  auto fails = []() -> Status { return truncated("short"); };
+  auto wrapper = [&]() -> Status {
+    NMAD_RETURN_IF_ERROR(fails());
+    return ok_status();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kTruncated);
+
+  auto succeeds = [&]() -> Status {
+    NMAD_RETURN_IF_ERROR(ok_status());
+    return internal_error("reached");
+  };
+  EXPECT_EQ(succeeds().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace nmad::util
