@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multirail.dir/ablation_multirail.cpp.o"
+  "CMakeFiles/ablation_multirail.dir/ablation_multirail.cpp.o.d"
+  "ablation_multirail"
+  "ablation_multirail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multirail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_alltoall.dir/extra_alltoall.cpp.o"
+  "CMakeFiles/extra_alltoall.dir/extra_alltoall.cpp.o.d"
+  "extra_alltoall"
+  "extra_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

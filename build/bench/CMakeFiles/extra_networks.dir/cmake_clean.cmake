@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_networks.dir/extra_networks.cpp.o"
+  "CMakeFiles/extra_networks.dir/extra_networks.cpp.o.d"
+  "extra_networks"
+  "extra_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

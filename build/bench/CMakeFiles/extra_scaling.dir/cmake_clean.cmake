@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_scaling.dir/extra_scaling.cpp.o"
+  "CMakeFiles/extra_scaling.dir/extra_scaling.cpp.o.d"
+  "extra_scaling"
+  "extra_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_pingpong.dir/fig2_pingpong.cpp.o"
+  "CMakeFiles/fig2_pingpong.dir/fig2_pingpong.cpp.o.d"
+  "fig2_pingpong"
+  "fig2_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

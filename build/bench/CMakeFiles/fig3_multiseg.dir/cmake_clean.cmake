@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_multiseg.dir/fig3_multiseg.cpp.o"
+  "CMakeFiles/fig3_multiseg.dir/fig3_multiseg.cpp.o.d"
+  "fig3_multiseg"
+  "fig3_multiseg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_multiseg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_datatype.dir/fig4_datatype.cpp.o"
+  "CMakeFiles/fig4_datatype.dir/fig4_datatype.cpp.o.d"
+  "fig4_datatype"
+  "fig4_datatype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_datatype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libnmad_bench_common.a"
+)

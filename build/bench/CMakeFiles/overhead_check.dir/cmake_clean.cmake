@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_check.dir/overhead_check.cpp.o"
+  "CMakeFiles/overhead_check.dir/overhead_check.cpp.o.d"
+  "overhead_check"
+  "overhead_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

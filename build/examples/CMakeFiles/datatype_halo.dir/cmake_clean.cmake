@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datatype_halo.dir/datatype_halo.cpp.o"
+  "CMakeFiles/datatype_halo.dir/datatype_halo.cpp.o.d"
+  "datatype_halo"
+  "datatype_halo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datatype_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

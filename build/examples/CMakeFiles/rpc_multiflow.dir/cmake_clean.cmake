@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_multiflow.dir/rpc_multiflow.cpp.o"
+  "CMakeFiles/rpc_multiflow.dir/rpc_multiflow.cpp.o.d"
+  "rpc_multiflow"
+  "rpc_multiflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_multiflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmad_baseline.dir/baseline_mpi.cpp.o"
+  "CMakeFiles/nmad_baseline.dir/baseline_mpi.cpp.o.d"
+  "CMakeFiles/nmad_baseline.dir/stack.cpp.o"
+  "CMakeFiles/nmad_baseline.dir/stack.cpp.o.d"
+  "libnmad_baseline.a"
+  "libnmad_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmad_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmad_capi.dir/nmad_c.cpp.o"
+  "CMakeFiles/nmad_capi.dir/nmad_c.cpp.o.d"
+  "libnmad_capi.a"
+  "libnmad_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmad_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

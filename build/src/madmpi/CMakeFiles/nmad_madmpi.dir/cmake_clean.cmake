@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmad_madmpi.dir/collectives.cpp.o"
+  "CMakeFiles/nmad_madmpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/nmad_madmpi.dir/datatype.cpp.o"
+  "CMakeFiles/nmad_madmpi.dir/datatype.cpp.o.d"
+  "CMakeFiles/nmad_madmpi.dir/madmpi.cpp.o"
+  "CMakeFiles/nmad_madmpi.dir/madmpi.cpp.o.d"
+  "CMakeFiles/nmad_madmpi.dir/mpi.cpp.o"
+  "CMakeFiles/nmad_madmpi.dir/mpi.cpp.o.d"
+  "libnmad_madmpi.a"
+  "libnmad_madmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmad_madmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nmad/api/completion_queue.cpp" "src/nmad/CMakeFiles/nmad_core.dir/api/completion_queue.cpp.o" "gcc" "src/nmad/CMakeFiles/nmad_core.dir/api/completion_queue.cpp.o.d"
+  "/root/repo/src/nmad/api/pack.cpp" "src/nmad/CMakeFiles/nmad_core.dir/api/pack.cpp.o" "gcc" "src/nmad/CMakeFiles/nmad_core.dir/api/pack.cpp.o.d"
+  "/root/repo/src/nmad/api/session.cpp" "src/nmad/CMakeFiles/nmad_core.dir/api/session.cpp.o" "gcc" "src/nmad/CMakeFiles/nmad_core.dir/api/session.cpp.o.d"
+  "/root/repo/src/nmad/core/core.cpp" "src/nmad/CMakeFiles/nmad_core.dir/core/core.cpp.o" "gcc" "src/nmad/CMakeFiles/nmad_core.dir/core/core.cpp.o.d"
+  "/root/repo/src/nmad/core/layout.cpp" "src/nmad/CMakeFiles/nmad_core.dir/core/layout.cpp.o" "gcc" "src/nmad/CMakeFiles/nmad_core.dir/core/layout.cpp.o.d"
+  "/root/repo/src/nmad/core/packet_builder.cpp" "src/nmad/CMakeFiles/nmad_core.dir/core/packet_builder.cpp.o" "gcc" "src/nmad/CMakeFiles/nmad_core.dir/core/packet_builder.cpp.o.d"
+  "/root/repo/src/nmad/core/strategy.cpp" "src/nmad/CMakeFiles/nmad_core.dir/core/strategy.cpp.o" "gcc" "src/nmad/CMakeFiles/nmad_core.dir/core/strategy.cpp.o.d"
+  "/root/repo/src/nmad/core/types.cpp" "src/nmad/CMakeFiles/nmad_core.dir/core/types.cpp.o" "gcc" "src/nmad/CMakeFiles/nmad_core.dir/core/types.cpp.o.d"
+  "/root/repo/src/nmad/core/wire_format.cpp" "src/nmad/CMakeFiles/nmad_core.dir/core/wire_format.cpp.o" "gcc" "src/nmad/CMakeFiles/nmad_core.dir/core/wire_format.cpp.o.d"
+  "/root/repo/src/nmad/drivers/sim_driver.cpp" "src/nmad/CMakeFiles/nmad_core.dir/drivers/sim_driver.cpp.o" "gcc" "src/nmad/CMakeFiles/nmad_core.dir/drivers/sim_driver.cpp.o.d"
+  "/root/repo/src/nmad/strategies/builtin.cpp" "src/nmad/CMakeFiles/nmad_core.dir/strategies/builtin.cpp.o" "gcc" "src/nmad/CMakeFiles/nmad_core.dir/strategies/builtin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/nmad_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nmad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmad_core.dir/api/completion_queue.cpp.o"
+  "CMakeFiles/nmad_core.dir/api/completion_queue.cpp.o.d"
+  "CMakeFiles/nmad_core.dir/api/pack.cpp.o"
+  "CMakeFiles/nmad_core.dir/api/pack.cpp.o.d"
+  "CMakeFiles/nmad_core.dir/api/session.cpp.o"
+  "CMakeFiles/nmad_core.dir/api/session.cpp.o.d"
+  "CMakeFiles/nmad_core.dir/core/core.cpp.o"
+  "CMakeFiles/nmad_core.dir/core/core.cpp.o.d"
+  "CMakeFiles/nmad_core.dir/core/layout.cpp.o"
+  "CMakeFiles/nmad_core.dir/core/layout.cpp.o.d"
+  "CMakeFiles/nmad_core.dir/core/packet_builder.cpp.o"
+  "CMakeFiles/nmad_core.dir/core/packet_builder.cpp.o.d"
+  "CMakeFiles/nmad_core.dir/core/strategy.cpp.o"
+  "CMakeFiles/nmad_core.dir/core/strategy.cpp.o.d"
+  "CMakeFiles/nmad_core.dir/core/types.cpp.o"
+  "CMakeFiles/nmad_core.dir/core/types.cpp.o.d"
+  "CMakeFiles/nmad_core.dir/core/wire_format.cpp.o"
+  "CMakeFiles/nmad_core.dir/core/wire_format.cpp.o.d"
+  "CMakeFiles/nmad_core.dir/drivers/sim_driver.cpp.o"
+  "CMakeFiles/nmad_core.dir/drivers/sim_driver.cpp.o.d"
+  "CMakeFiles/nmad_core.dir/strategies/builtin.cpp.o"
+  "CMakeFiles/nmad_core.dir/strategies/builtin.cpp.o.d"
+  "libnmad_core.a"
+  "libnmad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

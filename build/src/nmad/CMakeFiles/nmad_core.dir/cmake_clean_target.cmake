@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnmad_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/cpu.cpp" "src/simnet/CMakeFiles/nmad_simnet.dir/cpu.cpp.o" "gcc" "src/simnet/CMakeFiles/nmad_simnet.dir/cpu.cpp.o.d"
+  "/root/repo/src/simnet/event_queue.cpp" "src/simnet/CMakeFiles/nmad_simnet.dir/event_queue.cpp.o" "gcc" "src/simnet/CMakeFiles/nmad_simnet.dir/event_queue.cpp.o.d"
+  "/root/repo/src/simnet/fabric.cpp" "src/simnet/CMakeFiles/nmad_simnet.dir/fabric.cpp.o" "gcc" "src/simnet/CMakeFiles/nmad_simnet.dir/fabric.cpp.o.d"
+  "/root/repo/src/simnet/nic.cpp" "src/simnet/CMakeFiles/nmad_simnet.dir/nic.cpp.o" "gcc" "src/simnet/CMakeFiles/nmad_simnet.dir/nic.cpp.o.d"
+  "/root/repo/src/simnet/profiles.cpp" "src/simnet/CMakeFiles/nmad_simnet.dir/profiles.cpp.o" "gcc" "src/simnet/CMakeFiles/nmad_simnet.dir/profiles.cpp.o.d"
+  "/root/repo/src/simnet/trace.cpp" "src/simnet/CMakeFiles/nmad_simnet.dir/trace.cpp.o" "gcc" "src/simnet/CMakeFiles/nmad_simnet.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nmad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmad_simnet.dir/cpu.cpp.o"
+  "CMakeFiles/nmad_simnet.dir/cpu.cpp.o.d"
+  "CMakeFiles/nmad_simnet.dir/event_queue.cpp.o"
+  "CMakeFiles/nmad_simnet.dir/event_queue.cpp.o.d"
+  "CMakeFiles/nmad_simnet.dir/fabric.cpp.o"
+  "CMakeFiles/nmad_simnet.dir/fabric.cpp.o.d"
+  "CMakeFiles/nmad_simnet.dir/nic.cpp.o"
+  "CMakeFiles/nmad_simnet.dir/nic.cpp.o.d"
+  "CMakeFiles/nmad_simnet.dir/profiles.cpp.o"
+  "CMakeFiles/nmad_simnet.dir/profiles.cpp.o.d"
+  "CMakeFiles/nmad_simnet.dir/trace.cpp.o"
+  "CMakeFiles/nmad_simnet.dir/trace.cpp.o.d"
+  "libnmad_simnet.a"
+  "libnmad_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmad_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmad_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/nmad_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/nmad_util.dir/assert.cpp.o"
+  "CMakeFiles/nmad_util.dir/assert.cpp.o.d"
+  "CMakeFiles/nmad_util.dir/buffer.cpp.o"
+  "CMakeFiles/nmad_util.dir/buffer.cpp.o.d"
+  "CMakeFiles/nmad_util.dir/cli.cpp.o"
+  "CMakeFiles/nmad_util.dir/cli.cpp.o.d"
+  "CMakeFiles/nmad_util.dir/logging.cpp.o"
+  "CMakeFiles/nmad_util.dir/logging.cpp.o.d"
+  "CMakeFiles/nmad_util.dir/rng.cpp.o"
+  "CMakeFiles/nmad_util.dir/rng.cpp.o.d"
+  "CMakeFiles/nmad_util.dir/stats.cpp.o"
+  "CMakeFiles/nmad_util.dir/stats.cpp.o.d"
+  "CMakeFiles/nmad_util.dir/status.cpp.o"
+  "CMakeFiles/nmad_util.dir/status.cpp.o.d"
+  "CMakeFiles/nmad_util.dir/table.cpp.o"
+  "CMakeFiles/nmad_util.dir/table.cpp.o.d"
+  "CMakeFiles/nmad_util.dir/units.cpp.o"
+  "CMakeFiles/nmad_util.dir/units.cpp.o.d"
+  "libnmad_util.a"
+  "libnmad_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmad_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

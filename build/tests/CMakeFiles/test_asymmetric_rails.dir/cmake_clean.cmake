@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asymmetric_rails.dir/nmad/test_asymmetric_rails.cpp.o"
+  "CMakeFiles/test_asymmetric_rails.dir/nmad/test_asymmetric_rails.cpp.o.d"
+  "test_asymmetric_rails"
+  "test_asymmetric_rails.pdb"
+  "test_asymmetric_rails[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asymmetric_rails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffer_wire.dir/util/test_buffer_wire.cpp.o"
+  "CMakeFiles/test_buffer_wire.dir/util/test_buffer_wire.cpp.o.d"
+  "test_buffer_wire"
+  "test_buffer_wire.pdb"
+  "test_buffer_wire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffer_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_errors.dir/nmad/test_core_errors.cpp.o"
+  "CMakeFiles/test_core_errors.dir/nmad/test_core_errors.cpp.o.d"
+  "test_core_errors"
+  "test_core_errors.pdb"
+  "test_core_errors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_strategy.dir/nmad/test_dynamic_strategy.cpp.o"
+  "CMakeFiles/test_dynamic_strategy.dir/nmad/test_dynamic_strategy.cpp.o.d"
+  "test_dynamic_strategy"
+  "test_dynamic_strategy.pdb"
+  "test_dynamic_strategy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

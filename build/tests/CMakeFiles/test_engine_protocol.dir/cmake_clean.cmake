@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_protocol.dir/nmad/test_engine_protocol.cpp.o"
+  "CMakeFiles/test_engine_protocol.dir/nmad/test_engine_protocol.cpp.o.d"
+  "test_engine_protocol"
+  "test_engine_protocol.pdb"
+  "test_engine_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_events_checksum.dir/nmad/test_events_checksum.cpp.o"
+  "CMakeFiles/test_events_checksum.dir/nmad/test_events_checksum.cpp.o.d"
+  "test_events_checksum"
+  "test_events_checksum.pdb"
+  "test_events_checksum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_events_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

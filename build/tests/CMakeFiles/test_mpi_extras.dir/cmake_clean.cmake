@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_extras.dir/mpi/test_mpi_extras.cpp.o"
+  "CMakeFiles/test_mpi_extras.dir/mpi/test_mpi_extras.cpp.o.d"
+  "test_mpi_extras"
+  "test_mpi_extras.pdb"
+  "test_mpi_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pack_api.dir/nmad/test_pack_api.cpp.o"
+  "CMakeFiles/test_pack_api.dir/nmad/test_pack_api.cpp.o.d"
+  "test_pack_api"
+  "test_pack_api.pdb"
+  "test_pack_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pack_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet_builder.dir/nmad/test_packet_builder.cpp.o"
+  "CMakeFiles/test_packet_builder.dir/nmad/test_packet_builder.cpp.o.d"
+  "test_packet_builder"
+  "test_packet_builder.pdb"
+  "test_packet_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

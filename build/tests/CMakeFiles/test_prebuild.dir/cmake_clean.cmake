@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prebuild.dir/nmad/test_prebuild.cpp.o"
+  "CMakeFiles/test_prebuild.dir/nmad/test_prebuild.cpp.o.d"
+  "test_prebuild"
+  "test_prebuild.pdb"
+  "test_prebuild[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

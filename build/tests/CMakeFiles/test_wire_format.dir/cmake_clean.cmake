@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wire_format.dir/nmad/test_wire_format.cpp.o"
+  "CMakeFiles/test_wire_format.dir/nmad/test_wire_format.cpp.o.d"
+  "test_wire_format"
+  "test_wire_format.pdb"
+  "test_wire_format[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wire_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
