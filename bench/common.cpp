@@ -156,7 +156,8 @@ double datatype_transfer_us(MpiStack& stack, int count, size_t small_block,
 
 baseline::MpiStack make_stack(const std::string& impl,
                               const std::string& net,
-                              const core::CoreConfig& core_config) {
+                              const core::CoreConfig& core_config,
+                              const simnet::FaultProfile& fault) {
   baseline::StackOptions options;
   if (!baseline::stack_impl_from_name(impl, &options.impl)) {
     std::fprintf(stderr, "unknown MPI implementation: %s\n", impl.c_str());
@@ -166,6 +167,7 @@ baseline::MpiStack make_stack(const std::string& impl,
     std::fprintf(stderr, "unknown network: %s\n", net.c_str());
     std::exit(2);
   }
+  options.nic.fault = fault;
   options.core = core_config;
   return baseline::MpiStack(std::move(options));
 }

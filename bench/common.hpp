@@ -37,9 +37,13 @@ double datatype_transfer_us(baseline::MpiStack& stack, int count,
                             int warmup = 1);
 
 // Builds a fresh stack for (impl name, net name); aborts on bad names.
+// A non-default `fault` makes the fabric lossy; only MAD-MPI (with
+// CoreConfig::reliability) survives that, so callers pairing faults with
+// the baseline MPIs get what they deserve.
 baseline::MpiStack make_stack(const std::string& impl,
                               const std::string& net,
-                              const core::CoreConfig& core_config = {});
+                              const core::CoreConfig& core_config = {},
+                              const simnet::FaultProfile& fault = {});
 
 // Which implementations the paper compares on each network.
 std::vector<std::string> impls_for_net(const std::string& net);

@@ -15,8 +15,21 @@ namespace {
 using namespace nmad;
 
 void run_network(const std::string& net, uint64_t min_size,
-                 uint64_t max_size, bool csv, bool plot) {
-  const std::vector<std::string> impls = bench::impls_for_net(net);
+                 uint64_t max_size, bool csv, bool plot,
+                 double fault_drop, uint64_t fault_seed, bool reliable) {
+  // On a lossy fabric only MAD-MPI (reliability layer) can finish the
+  // exchange; the baseline MPIs assume a lossless interconnect.
+  const std::vector<std::string> impls =
+      fault_drop > 0.0 ? std::vector<std::string>{"madmpi"}
+                       : bench::impls_for_net(net);
+  core::CoreConfig core_config;
+  simnet::FaultProfile fault;
+  core_config.reliability = reliable || fault_drop > 0.0;
+  if (fault_drop > 0.0) {
+    fault.frame_drop_prob = fault_drop;
+    fault.bulk_drop_prob = fault_drop;
+    fault.seed = fault_seed;
+  }
 
   std::vector<std::string> header = {"size"};
   for (const std::string& impl : impls) header.push_back(impl + "_lat_us");
@@ -31,7 +44,8 @@ void run_network(const std::string& net, uint64_t min_size,
     std::vector<std::string> row = {util::format_size(size)};
     std::vector<double> lats;
     for (const std::string& impl : impls) {
-      baseline::MpiStack stack = bench::make_stack(impl, net);
+      baseline::MpiStack stack =
+          bench::make_stack(impl, net, core_config, fault);
       lats.push_back(bench::pingpong_latency_us(stack, size));
     }
     for (size_t i = 0; i < lats.size(); ++i) {
@@ -46,7 +60,14 @@ void run_network(const std::string& net, uint64_t min_size,
     table.add_row(std::move(row));
   }
 
-  std::printf("## Figure 2 — raw ping-pong over %s\n", net.c_str());
+  if (fault_drop > 0.0) {
+    std::printf("## Figure 2 — raw ping-pong over %s "
+                "(lossy: drop=%.3f seed=%llu)\n",
+                net.c_str(), fault_drop,
+                static_cast<unsigned long long>(fault_seed));
+  } else {
+    std::printf("## Figure 2 — raw ping-pong over %s\n", net.c_str());
+  }
   if (csv) {
     table.print_csv(stdout);
   } else {
@@ -77,6 +98,13 @@ int main(int argc, char** argv) {
   flags.define("max", "2M", "largest message size");
   flags.define_bool("csv", false, "emit CSV instead of a table");
   flags.define_bool("plot", false, "render ASCII log-log figures");
+  flags.define("fault-drop", "0",
+               "frame/bulk drop probability (> 0 enables the reliability "
+               "layer and restricts to madmpi)");
+  flags.define("fault-seed", "1", "deterministic fault-injection seed");
+  flags.define_bool("reliable", false,
+                    "enable the ack/retransmit layer even with no faults "
+                    "(measures its zero-loss overhead)");
   if (auto st = flags.parse(argc, argv); !st.is_ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     flags.print_help(argv[0]);
@@ -88,12 +116,18 @@ int main(int argc, char** argv) {
   const uint64_t max_size = flags.get_size("max");
   const bool csv = flags.get_bool("csv");
   const bool plot = flags.get_bool("plot");
+  const double fault_drop = flags.get_double("fault-drop");
+  const auto fault_seed = static_cast<uint64_t>(flags.get_int("fault-seed"));
+  const bool reliable = flags.get_bool("reliable");
 
   if (net == "all") {
-    run_network("mx", min_size, max_size, csv, plot);
-    run_network("quadrics", min_size, max_size, csv, plot);
+    run_network("mx", min_size, max_size, csv, plot, fault_drop,
+                fault_seed, reliable);
+    run_network("quadrics", min_size, max_size, csv, plot, fault_drop,
+                fault_seed, reliable);
   } else {
-    run_network(net, min_size, max_size, csv, plot);
+    run_network(net, min_size, max_size, csv, plot, fault_drop, fault_seed,
+                reliable);
   }
   return 0;
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification under sanitizers: configures a separate build tree
+# with -DNMAD_SANITIZE=ON (ASan + UBSan, no recovery) and runs the full
+# test suite through it. A clean pass means the reliability layer's
+# timer/retransmit machinery holds up under memory and UB checking, not
+# just functionally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-asan}
+
+cmake -B "$BUILD_DIR" -S . -DNMAD_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"

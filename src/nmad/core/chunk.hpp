@@ -32,17 +32,23 @@ struct OutChunk {
   uint32_t rdv_len = 0;            // rts: length of the rendezvous block
   std::vector<uint8_t> cts_rails;  // cts only
 
+  // kAck only: `seq` carries the cumulative ack floor.
+  std::vector<uint32_t> ack_sacks;     // selectively acked packet seqs
+  std::vector<BulkAck> ack_bulk_acks;  // acked rendezvous slices
+
   Priority prio = Priority::kNormal;
   RailIndex pinned_rail = kAnyRail;
   SendRequest* owner = nullptr;  // null for control chunks
 
   [[nodiscard]] bool is_control() const {
-    return kind == ChunkKind::kRts || kind == ChunkKind::kCts;
+    return kind == ChunkKind::kRts || kind == ChunkKind::kCts ||
+           kind == ChunkKind::kAck;
   }
 
   // Bytes this chunk adds to a track-0 packet (header + inline payload).
   [[nodiscard]] size_t wire_bytes() const {
-    return chunk_wire_bytes(kind, payload.size(), cts_rails.size());
+    return chunk_wire_bytes(kind, payload.size(), cts_rails.size(),
+                            ack_sacks.size(), ack_bulk_acks.size());
   }
 };
 

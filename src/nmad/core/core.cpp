@@ -1,11 +1,22 @@
 #include "nmad/core/core.hpp"
 
 #include <algorithm>
+#include <set>
 
 #include "nmad/strategies/builtin.hpp"
+#include "simnet/time.hpp"
 #include "util/logging.hpp"
 
 namespace nmad::core {
+
+namespace {
+// Bounds on one ack chunk's contents, keeping it well under any rail's
+// packet limit. Sacks are re-advertised on every ack until the floor
+// passes them, so the cap only delays retirement; bulk-slice acks are
+// consumed when the chunk ships and re-queued if it overflows.
+constexpr size_t kMaxSacksPerAck = 32;
+constexpr size_t kMaxBulkAcksPerAck = 16;
+}  // namespace
 
 Core::Core(simnet::SimWorld& world, simnet::SimNode& node, CoreConfig config)
     : world_(world),
@@ -16,6 +27,9 @@ Core::Core(simnet::SimWorld& world, simnet::SimNode& node, CoreConfig config)
       // receiver NIC never collide across senders.
       next_cookie_((static_cast<uint64_t>(node.id()) + 1) << 48) {
   NMAD_ASSERT_MSG(strategy_ != nullptr, "unknown strategy name");
+  // The reliability layer needs checksums: corruption detection is what
+  // turns a flipped bit into a clean drop + retransmit.
+  if (config_.reliability) config_.wire_checksum = true;
 }
 
 Core::~Core() {
@@ -54,6 +68,14 @@ util::Status Core::add_rail(std::unique_ptr<drivers::Driver> driver) {
   driver->set_rx_handler([this, index](drivers::RxPacket&& packet) {
     on_packet(index, std::move(packet));
   });
+  if (config_.reliability) {
+    // Late retransmissions may land after their sink completed; the
+    // orphan handler re-acks them instead of treating them as protocol
+    // errors.
+    driver->set_bulk_orphan_handler(
+        [this](drivers::PeerAddr from, uint64_t cookie, size_t offset,
+               size_t len) { on_bulk_orphan(from, cookie, offset, len); });
+  }
 
   RailState state;
   state.driver = std::move(driver);
@@ -112,6 +134,16 @@ Gate& Core::gate(GateId id) {
 const RailInfo& Core::rail_info(RailIndex rail) const {
   NMAD_ASSERT(rail < rails_.size());
   return rails_[rail].info;
+}
+
+bool Core::rail_alive(RailIndex rail) const {
+  NMAD_ASSERT(rail < rails_.size());
+  return rails_[rail].alive;
+}
+
+void Core::fail_rail(RailIndex rail) {
+  NMAD_ASSERT(rail < rails_.size());
+  kill_rail(rail);
 }
 
 size_t Core::window_size(GateId id) { return gate(id).window.size(); }
@@ -211,6 +243,11 @@ SendRequest* Core::isend(GateId gate_id, Tag tag, const SourceLayout& src,
   const SeqNum seq = g.send_seq[tag]++;
   SendRequest* req = send_pool_.acquire(gate_id, tag, seq, src.total());
   ++stats_.sends_submitted;
+  if (g.failed) {
+    // The peer is unreachable; fail fast instead of queueing forever.
+    req->complete(g.fail_status);
+    return req;
+  }
   node_.cpu().charge(config_.submit_overhead_us);
 
   const size_t total = src.total();
@@ -265,6 +302,10 @@ RecvRequest* Core::irecv(GateId gate_id, Tag tag, DestLayout dest) {
   const SeqNum seq = g.recv_seq[tag]++;
   RecvRequest* req = recv_pool_.acquire(gate_id, tag, seq, std::move(dest));
   ++stats_.recvs_submitted;
+  if (g.failed) {
+    req->complete(g.fail_status);
+    return req;
+  }
   node_.cpu().charge(config_.submit_overhead_us);
 
   const MsgKey key{tag, seq};
@@ -339,18 +380,22 @@ void Core::refill_all() {
 void Core::maybe_prebuild(RailIndex rail) {
   if (config_.prebuild_backlog_chunks == 0) return;
   RailState& rs = rails_[rail];
-  if (rs.prebuilt) return;
+  if (!rs.alive || rs.prebuilt) return;
   const size_t n = gates_.size();
   for (size_t k = 0; k < n; ++k) {
     const size_t gi = (rs.rr_cursor + k) % n;
     Gate& g = *gates_[gi];
-    if (!g.has_rail(rail)) continue;
+    if (!g.has_rail(rail) || g.failed) continue;
     if (g.window.size() < config_.prebuild_backlog_chunks) continue;
+    if (reliable() && g.pending_pkts.size() >= config_.reliability_window) {
+      continue;
+    }
     const size_t max_bytes = std::min(g.max_packet, rs.info.max_packet_bytes);
     const size_t max_segments =
         rs.info.gather ? rs.info.max_gather_segments : 0;
-    auto builder = std::make_shared<PacketBuilder>(max_bytes, max_segments,
-                                                   config_.wire_checksum);
+    auto builder = std::make_shared<PacketBuilder>(
+        max_bytes, max_segments, config_.wire_checksum,
+        /*reserve_seq=*/reliable());
     const size_t taken = strategy_->pack(*this, g, rs.info, *builder);
     if (taken == 0) continue;
     // The election cost is paid now, overlapped with the NIC's current
@@ -366,6 +411,7 @@ void Core::maybe_prebuild(RailIndex rail) {
 
 void Core::refill_rail(RailIndex rail) {
   RailState& rs = rails_[rail];
+  if (!rs.alive) return;
   if (!rs.driver->tx_idle()) return;
 
   // A pre-armed packet goes out instantly, no election on the idle path.
@@ -380,7 +426,41 @@ void Core::refill_rail(RailIndex rail) {
   for (size_t k = 0; k < n; ++k) {
     const size_t gi = (rs.rr_cursor + k) % n;
     Gate& g = *gates_[gi];
-    if (!g.has_rail(rail)) continue;
+    if (!g.has_rail(rail) || g.failed) continue;
+
+    if (reliable()) {
+      // Lost traffic first: the receiver is stalled on it. A packet
+      // retransmit may ride any alive rail of the gate (track-0 packets
+      // fit every rail's frame limit by construction); bulk slices only
+      // ride rails their CTS granted.
+      while (!g.retx_queue.empty()) {
+        const uint32_t seq = g.retx_queue.front();
+        auto it = g.pending_pkts.find(seq);
+        if (it == g.pending_pkts.end() || !it->second.queued_retx) {
+          g.retx_queue.pop_front();  // retired while queued
+          continue;
+        }
+        g.retx_queue.pop_front();
+        rs.rr_cursor = (gi + 1) % n;
+        retransmit_packet(g, rail, seq);
+        return;
+      }
+      for (size_t b = 0; b < g.bulk_retx.size(); ++b) {
+        const BulkKey key = g.bulk_retx[b];
+        auto it = g.pending_bulk.find(key);
+        if (it == g.pending_bulk.end() || !it->second.queued_retx) {
+          g.bulk_retx.erase(g.bulk_retx.begin() +
+                            static_cast<ptrdiff_t>(b));
+          --b;
+          continue;
+        }
+        if (!rs.info.rdma || !it->second.job->allows_rail(rail)) continue;
+        g.bulk_retx.erase(g.bulk_retx.begin() + static_cast<ptrdiff_t>(b));
+        rs.rr_cursor = (gi + 1) % n;
+        retransmit_bulk(g, rail, key);
+        return;
+      }
+    }
 
     // Granted rendezvous bodies take precedence: the receiver is waiting.
     Strategy::BulkDecision decision = strategy_->next_bulk(*this, g, rs.info);
@@ -391,12 +471,17 @@ void Core::refill_rail(RailIndex rail) {
     }
 
     if (!g.window.empty()) {
+      if (reliable() &&
+          g.pending_pkts.size() >= config_.reliability_window) {
+        continue;  // sliding window full: wait for acks
+      }
       const size_t max_bytes =
           std::min(g.max_packet, rs.info.max_packet_bytes);
       const size_t max_segments =
           rs.info.gather ? rs.info.max_gather_segments : 0;
-      auto builder = std::make_shared<PacketBuilder>(max_bytes, max_segments,
-                                                   config_.wire_checksum);
+      auto builder = std::make_shared<PacketBuilder>(
+          max_bytes, max_segments, config_.wire_checksum,
+          /*reserve_seq=*/reliable());
       const size_t taken = strategy_->pack(*this, g, rs.info, *builder);
       if (taken > 0) {
         rs.rr_cursor = (gi + 1) % n;
@@ -410,6 +495,10 @@ void Core::refill_rail(RailIndex rail) {
 void Core::issue_packet(Gate& gate, RailIndex rail,
                         std::shared_ptr<PacketBuilder> builder,
                         bool charge_election) {
+  // Piggyback any pending acknowledgement on this packet — a free ride,
+  // where a standalone ack packet would cost a header and an election.
+  if (reliable()) maybe_inject_ack(gate, *builder);
+
   // The optimizer just inspected the window and synthesized a packet;
   // charge its cost (§5.1: "extra operations on the critical path") —
   // unless it was already paid at prebuild time.
@@ -420,11 +509,50 @@ void Core::issue_packet(Gate& gate, RailIndex rail,
     stats_.chunks_aggregated += builder->chunk_count();
   }
 
+  // Payload-bearing packets get a sequence number and enter the unacked
+  // window; pure-ack packets are fire-and-forget (acknowledging an ack
+  // would ping-pong forever).
+  bool track = false;
+  if (reliable()) {
+    for (const OutChunk* chunk : builder->chunks()) {
+      if (chunk->kind != ChunkKind::kAck) {
+        track = true;
+        break;
+      }
+    }
+  }
+  uint32_t pkt_seq = 0;
+  if (track) {
+    pkt_seq = gate.next_pkt_seq++;
+    builder->mark_reliable(pkt_seq);
+  }
+
   const util::SegmentVec& segments = builder->finalize();
+
+  if (track) {
+    // Flatten the wire image now: retransmission must not depend on the
+    // application buffers or the builder staying untouched.
+    PendingPacket& p = gate.pending_pkts[pkt_seq];
+    p.wire = std::make_shared<util::ByteBuffer>();
+    p.wire->resize(segments.total_bytes());
+    segments.gather_into(p.wire->view());
+    for (OutChunk* chunk : builder->chunks()) {
+      if (chunk->owner != nullptr && !chunk->is_control()) {
+        p.owners.push_back(chunk->owner);
+      }
+    }
+    p.last_rail = rail;
+    p.timeout_us = config_.ack_timeout_us;
+    arm_packet_timer(gate, pkt_seq);
+  }
+
+  const bool defer_completion = reliable();
   const util::Status st = rails_[rail].driver->send_packet(
-      gate.peer, segments, [this, builder]() {
+      gate.peer, segments, [this, builder, defer_completion]() {
         for (OutChunk* chunk : builder->chunks()) {
-          if (chunk->owner != nullptr && !chunk->is_control()) {
+          // Under reliability, part_done waits for the ack, not tx-done.
+          if (!defer_completion && chunk->owner != nullptr &&
+              !chunk->is_control()) {
             chunk->owner->part_done();
           }
           chunk_pool_.release(chunk);
@@ -447,15 +575,35 @@ void Core::issue_bulk(Gate& gate, RailIndex rail, BulkJob* job,
     gate.ready_bulk.remove(*job);  // nothing left to elect
   }
 
+  if (reliable()) {
+    const BulkKey key{job->cookie, offset};
+    PendingBulk& p = gate.pending_bulk[key];
+    p.job = job;
+    p.offset = offset;
+    p.len = bytes;
+    p.last_rail = rail;
+    // Large slices hold the wire longer; budget their transfer time on
+    // top of the base deadline so they don't time out spuriously.
+    p.timeout_us =
+        config_.ack_timeout_us +
+        2.0 * simnet::wire_time(static_cast<double>(bytes),
+                                rails_[rail].info.bandwidth_mbps);
+    arm_bulk_timer(gate, key);
+  }
+
+  const bool defer_completion = reliable();
   util::SegmentVec segments;
   segments.add(job->body.subspan(offset, bytes));
   const util::Status st = rails_[rail].driver->send_bulk(
-      gate.peer, job->cookie, offset, segments, [this, job, bytes]() {
-        job->acked += bytes;
-        if (job->all_sent() && job->all_acked()) {
-          SendRequest* owner = job->owner;
-          bulk_pool_.release(job);
-          owner->part_done();
+      gate.peer, job->cookie, offset, segments,
+      [this, job, bytes, defer_completion]() {
+        if (!defer_completion) {
+          job->acked += bytes;
+          if (job->all_sent() && job->all_acked()) {
+            SendRequest* owner = job->owner;
+            bulk_pool_.release(job);
+            owner->part_done();
+          }
         }
         refill_all();
       });
@@ -467,15 +615,39 @@ void Core::issue_bulk(Gate& gate, RailIndex rail, BulkJob* job,
 // ---------------------------------------------------------------------------
 
 void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
-  (void)rail;
   auto it = peer_gate_.find(packet.from);
   NMAD_ASSERT_MSG(it != peer_gate_.end(), "packet from unknown peer");
   Gate& g = *gates_[it->second];
+  if (g.failed) return;  // peer already declared unreachable
+  g.last_heard_rail = rail;  // a delivering rail: best ack return path
   ++stats_.packets_received;
   node_.cpu().charge(config_.parse_packet_us);
 
+  PacketMeta meta;
+  bool classified = false;  // packet-level framing inspected
+  bool drop = false;        // duplicate or unverifiable: skip every chunk
+  bool processed = false;   // at least one chunk acted on
   const util::Status st = decode_packet(
-      packet.bytes.view(), [this, &g](const WireChunk& chunk) {
+      packet.bytes.view(), &meta,
+      [this, &g, &meta, &classified, &drop,
+       &processed](const WireChunk& chunk) {
+        if (!classified) {
+          classified = true;
+          if (reliable()) {
+            if (!meta.checksummed) {
+              // A flipped checksum-flag bit would disable verification;
+              // reliable-mode peers always checksum, so refuse the
+              // packet and let the retransmit timer recover it.
+              drop = true;
+              ++stats_.packets_rejected;
+            } else if (meta.reliable && reliable_rx_register(g, meta.seq)) {
+              drop = true;  // duplicate: already delivered, just re-ack
+              ++stats_.packets_duplicate;
+            }
+          }
+        }
+        if (drop) return;
+        processed = true;
         node_.cpu().charge(config_.parse_chunk_us);
         ++stats_.chunks_received;
         switch (chunk.kind) {
@@ -489,9 +661,22 @@ void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
           case ChunkKind::kCts:
             handle_cts(g, chunk);
             break;
+          case ChunkKind::kAck:
+            handle_ack(g, chunk);
+            break;
         }
       });
-  NMAD_ASSERT_MSG(st.is_ok(), "malformed packet on wire");
+  if (!st.is_ok()) {
+    // Under reliability a corrupt packet fails checksum verification
+    // before any chunk reaches the sink; drop it and let the sender
+    // retransmit. Decode errors on verified content — or any error
+    // without the reliability layer — remain hard protocol bugs.
+    NMAD_ASSERT_MSG(reliable() && !processed, "malformed packet on wire");
+    ++stats_.packets_rejected;
+    return;
+  }
+  if (g.failed) return;  // a chunk handler may have torn the gate down
+  if (reliable() && meta.reliable && meta.checksummed) schedule_ack(g);
 }
 
 void Core::handle_payload_chunk(Gate& gate, const WireChunk& chunk) {
@@ -554,6 +739,7 @@ void Core::handle_rts(Gate& gate, const WireChunk& chunk) {
 
 void Core::start_rdv_recv(Gate& gate, RecvRequest* req, uint32_t len,
                           uint32_t offset, uint32_t total, uint64_t cookie) {
+  if (gate.failed) return;  // unexpected-replay after a gate failure
   if (!req->set_total(total)) {
     // Truncation: no CTS is ever sent; the request carries the error.
     finish_recv_if_done(gate, req);
@@ -580,16 +766,34 @@ void Core::start_rdv_recv(Gate& gate, RecvRequest* req, uint32_t len,
           on_bulk_recv_complete(gate_id, cookie);
         });
       });
+  if (reliable()) {
+    // Every deposited slice is acknowledged back to the sender, which
+    // holds its copy until then.
+    rec.sink->set_on_deposit([this, gate_id, cookie](size_t dep_offset,
+                                                     size_t dep_len) {
+      Gate& g2 = this->gate(gate_id);
+      if (g2.failed) return;
+      BulkAck ack;
+      ack.cookie = cookie;
+      ack.offset = static_cast<uint32_t>(dep_offset);
+      ack.len = static_cast<uint32_t>(dep_len);
+      g2.pending_bulk_acks.push_back(ack);
+      schedule_ack(g2);
+    });
+  }
 
   std::vector<uint8_t> posted_rails;
   for (RailIndex r : gate.rails) {
-    if (!rails_[r].info.rdma) continue;
+    if (!rails_[r].info.rdma || !rails_[r].alive) continue;
     const util::Status st = rails_[r].driver->post_bulk_recv(rec.sink.get());
     NMAD_ASSERT_MSG(st.is_ok(), "bulk post failed on RDMA rail");
     posted_rails.push_back(static_cast<uint8_t>(r));
   }
-  NMAD_ASSERT_MSG(!posted_rails.empty(),
-                  "RTS received but no RDMA rail available");
+  if (posted_rails.empty()) {
+    NMAD_ASSERT_MSG(reliable(), "RTS received but no RDMA rail available");
+    fail_gate(gate, util::closed("no alive RDMA rail for rendezvous"));
+    return;
+  }
   rec.rails = posted_rails;
   gate.rdv_recv.emplace(cookie, std::move(rec));
 
@@ -611,9 +815,16 @@ void Core::start_rdv_recv(Gate& gate, RecvRequest* req, uint32_t len,
 void Core::on_bulk_recv_complete(GateId gate_id, uint64_t cookie) {
   Gate& g = gate(gate_id);
   auto it = g.rdv_recv.find(cookie);
-  NMAD_ASSERT(it != g.rdv_recv.end());
+  if (it == g.rdv_recv.end()) {
+    // The gate failed between the sink completing and this deferred
+    // event; the sink was already cancelled.
+    NMAD_ASSERT(g.failed);
+    return;
+  }
   RdvRecv rec = std::move(it->second);
   g.rdv_recv.erase(it);
+  // Late duplicate slices must be re-acked even though the sink is gone.
+  if (reliable()) g.completed_bulk.insert(cookie);
 
   for (uint8_t r : rec.rails) {
     rails_[r].driver->cancel_bulk_recv(cookie);
@@ -647,20 +858,22 @@ void Core::debug_dump(std::FILE* out) const {
   std::fprintf(out, "=== nmad core on node %u (strategy %s) ===\n",
                node_.id(), std::string(strategy_->name()).c_str());
   for (size_t r = 0; r < rails_.size(); ++r) {
-    std::fprintf(out, "rail %zu: %s tx_idle=%d prebuilt=%d\n", r,
+    std::fprintf(out, "rail %zu: %s tx_idle=%d prebuilt=%d alive=%d\n", r,
                  rails_[r].driver->caps().name.c_str(),
                  rails_[r].driver->tx_idle() ? 1 : 0,
-                 rails_[r].prebuilt ? 1 : 0);
+                 rails_[r].prebuilt ? 1 : 0, rails_[r].alive ? 1 : 0);
   }
   for (const auto& gate : gates_) {
     std::fprintf(out,
                  "gate %u → peer %u: window=%zu ready_bulk=%zu "
                  "rdv_wait_cts=%zu active_recv=%zu unexpected=%zu "
-                 "rdv_recv=%zu\n",
+                 "rdv_recv=%zu pending_pkts=%zu pending_bulk=%zu "
+                 "failed=%d\n",
                  gate->id, gate->peer, gate->window.size(),
                  gate->ready_bulk.size(), gate->rdv_wait_cts.size(),
                  gate->active_recv.size(), gate->unexpected.size(),
-                 gate->rdv_recv.size());
+                 gate->rdv_recv.size(), gate->pending_pkts.size(),
+                 gate->pending_bulk.size(), gate->failed ? 1 : 0);
   }
   std::fprintf(out,
                "stats: sends=%llu recvs=%llu packets=%llu/%llu "
@@ -676,6 +889,23 @@ void Core::debug_dump(std::FILE* out) const {
                static_cast<unsigned long long>(stats_.bulk_sends),
                static_cast<unsigned long long>(stats_.packets_prebuilt),
                static_cast<unsigned long long>(stats_.unexpected_chunks));
+  if (config_.reliability) {
+    std::fprintf(
+        out,
+        "reliability: timeouts=%llu retx=%llu rejected=%llu dup=%llu "
+        "acks=%llu piggy=%llu bulk_to=%llu bulk_retx=%llu "
+        "rails_failed=%llu gates_failed=%llu\n",
+        static_cast<unsigned long long>(stats_.packet_timeouts),
+        static_cast<unsigned long long>(stats_.packets_retransmitted),
+        static_cast<unsigned long long>(stats_.packets_rejected),
+        static_cast<unsigned long long>(stats_.packets_duplicate),
+        static_cast<unsigned long long>(stats_.acks_sent),
+        static_cast<unsigned long long>(stats_.acks_piggybacked),
+        static_cast<unsigned long long>(stats_.bulk_timeouts),
+        static_cast<unsigned long long>(stats_.bulk_retransmitted),
+        static_cast<unsigned long long>(stats_.rails_failed),
+        static_cast<unsigned long long>(stats_.gates_failed));
+  }
 }
 
 void Core::handle_cts(Gate& gate, const WireChunk& chunk) {
@@ -691,12 +921,480 @@ void Core::handle_cts(Gate& gate, const WireChunk& chunk) {
     if (r >= rails_.size() || !rails_[r].info.rdma || !gate.has_rail(r)) {
       continue;
     }
+    if (!rails_[r].alive) continue;
     if (job->pinned_rail != kAnyRail && job->pinned_rail != r) continue;
     job->rails.push_back(r);
   }
-  NMAD_ASSERT_MSG(!job->rails.empty(), "CTS grants no usable rail");
+  if (job->rails.empty()) {
+    NMAD_ASSERT_MSG(reliable(), "CTS grants no usable rail");
+    const util::Status status =
+        util::closed("no usable rail for granted rendezvous");
+    job->owner->complete(status);
+    bulk_pool_.release(job);
+    fail_gate(gate, status);
+    return;
+  }
   gate.ready_bulk.push_back(*job);
   refill_all();
+}
+
+// ---------------------------------------------------------------------------
+// Reliability layer: acknowledgements, retransmission, rail failover
+// ---------------------------------------------------------------------------
+
+bool Core::reliable_rx_register(Gate& gate, uint32_t seq) {
+  if (seq < gate.recv_floor || gate.recv_seen.count(seq) != 0) return true;
+  gate.recv_seen.insert(seq);
+  while (gate.recv_seen.count(gate.recv_floor) != 0) {
+    gate.recv_seen.erase(gate.recv_floor);
+    ++gate.recv_floor;
+  }
+  return false;
+}
+
+OutChunk* Core::make_ack_chunk(Gate& gate) {
+  OutChunk* ack = new_chunk();
+  ack->kind = ChunkKind::kAck;
+  ack->flags = 0;
+  ack->tag = 0;
+  ack->seq = gate.recv_floor;  // cumulative floor rides the seq field
+  ack->offset = 0;
+  ack->total = 0;
+  ack->payload = {};
+  const size_t n_sacks = std::min(gate.recv_seen.size(), kMaxSacksPerAck);
+  ack->ack_sacks.assign(
+      gate.recv_seen.begin(),
+      std::next(gate.recv_seen.begin(), static_cast<ptrdiff_t>(n_sacks)));
+  const size_t n_bulk =
+      std::min(gate.pending_bulk_acks.size(), kMaxBulkAcksPerAck);
+  ack->ack_bulk_acks.assign(
+      gate.pending_bulk_acks.begin(),
+      gate.pending_bulk_acks.begin() + static_cast<ptrdiff_t>(n_bulk));
+  ack->prio = Priority::kHigh;
+  ack->pinned_rail = kAnyRail;
+  ack->owner = nullptr;
+  return ack;
+}
+
+void Core::commit_ack_chunk(Gate& gate, OutChunk* ack) {
+  // The chunk is definitely shipping: consume the bulk-slice acks it
+  // carries (the sender's timer re-sends the slice if this ack is lost).
+  // Packet acks are idempotent and re-advertised until the floor passes.
+  gate.pending_bulk_acks.erase(
+      gate.pending_bulk_acks.begin(),
+      gate.pending_bulk_acks.begin() +
+          static_cast<ptrdiff_t>(ack->ack_bulk_acks.size()));
+  gate.ack_needed = !gate.pending_bulk_acks.empty();
+  if (gate.ack_needed) {
+    if (!gate.ack_timer_armed) schedule_ack(gate);
+  } else if (gate.ack_timer_armed) {
+    world_.cancel(gate.ack_timer);
+    gate.ack_timer_armed = false;
+  }
+}
+
+void Core::maybe_inject_ack(Gate& gate, PacketBuilder& builder) {
+  if (!gate.ack_needed || gate.failed) return;
+  OutChunk* ack = make_ack_chunk(gate);
+  if (!builder.empty() && !builder.fits(*ack)) {
+    chunk_pool_.release(ack);
+    return;  // packet is full; the delayed-ack timer still covers us
+  }
+  builder.add(ack);
+  ++stats_.acks_piggybacked;
+  commit_ack_chunk(gate, ack);
+}
+
+void Core::schedule_ack(Gate& gate) {
+  gate.ack_needed = true;
+  if (gate.ack_timer_armed) return;
+  gate.ack_timer_armed = true;
+  const GateId gid = gate.id;
+  gate.ack_timer = world_.after(config_.ack_delay_us,
+                                [this, gid]() { on_ack_timer(gid); });
+}
+
+void Core::on_ack_timer(GateId gate_id) {
+  Gate& g = gate(gate_id);
+  g.ack_timer_armed = false;
+  if (g.failed || !g.ack_needed) return;
+  // No outgoing packet picked the ack up in time: send it standalone on
+  // an idle rail, bypassing the window (which may be at its cap). Prefer
+  // the rail the peer's traffic was last heard on — a rail that delivers
+  // inbound is the best guess for the return path when another rail of
+  // the gate has gone dark.
+  RailIndex chosen = kAnyRail;
+  bool any_alive = false;
+  if (g.has_rail(g.last_heard_rail) && rails_[g.last_heard_rail].alive) {
+    any_alive = true;
+    if (rails_[g.last_heard_rail].driver->tx_idle()) {
+      chosen = g.last_heard_rail;
+    }
+  }
+  for (RailIndex r : g.rails) {
+    if (chosen != kAnyRail) break;
+    if (!rails_[r].alive) continue;
+    any_alive = true;
+    if (rails_[r].driver->tx_idle()) {
+      chosen = r;
+      break;
+    }
+  }
+  if (!any_alive) return;  // nothing to ack over; the peer fails too
+  if (chosen == kAnyRail) {
+    schedule_ack(g);  // all rails busy: piggybacking will beat us anyway
+    return;
+  }
+  OutChunk* ack = make_ack_chunk(g);
+  commit_ack_chunk(g, ack);
+  ++stats_.acks_sent;
+  const RailInfo& info = rails_[chosen].info;
+  auto builder = std::make_shared<PacketBuilder>(
+      std::min(g.max_packet, info.max_packet_bytes),
+      info.gather ? info.max_gather_segments : 0, config_.wire_checksum,
+      /*reserve_seq=*/true);
+  builder->add(ack);
+  issue_packet(g, chosen, std::move(builder), /*charge_election=*/false);
+}
+
+void Core::handle_ack(Gate& gate, const WireChunk& chunk) {
+  if (!reliable()) return;  // stray ack without the layer enabled
+  while (!gate.pending_pkts.empty() &&
+         gate.pending_pkts.begin()->first < chunk.seq) {
+    retire_packet(gate, gate.pending_pkts.begin());
+  }
+  for (const uint32_t seq : chunk.sacks) {
+    auto it = gate.pending_pkts.find(seq);
+    if (it != gate.pending_pkts.end()) retire_packet(gate, it);
+  }
+  for (const BulkAck& ack : chunk.bulk_acks) retire_bulk(gate, ack);
+}
+
+void Core::retire_packet(Gate& gate,
+                         std::map<uint32_t, PendingPacket>::iterator it) {
+  PendingPacket& p = it->second;
+  if (p.timer_armed) world_.cancel(p.timer);
+  rails_[p.last_rail].consec_timeouts = 0;  // the rail delivered
+  std::vector<SendRequest*> owners = std::move(p.owners);
+  gate.pending_pkts.erase(it);
+  for (SendRequest* owner : owners) owner->part_done();
+}
+
+void Core::retire_bulk(Gate& gate, const BulkAck& ack) {
+  auto it = gate.pending_bulk.find(BulkKey{ack.cookie, ack.offset});
+  if (it == gate.pending_bulk.end()) return;  // duplicate ack
+  PendingBulk& p = it->second;
+  if (p.len != ack.len) return;  // not this slice
+  if (p.timer_armed) world_.cancel(p.timer);
+  rails_[p.last_rail].consec_timeouts = 0;
+  BulkJob* job = p.job;
+  gate.pending_bulk.erase(it);
+  job->acked += ack.len;
+  if (job->all_sent() && job->all_acked()) {
+    SendRequest* owner = job->owner;
+    bulk_pool_.release(job);
+    owner->part_done();
+  }
+}
+
+void Core::arm_packet_timer(Gate& gate, uint32_t seq) {
+  auto it = gate.pending_pkts.find(seq);
+  NMAD_ASSERT(it != gate.pending_pkts.end());
+  PendingPacket& p = it->second;
+  NMAD_ASSERT(!p.timer_armed);
+  p.timer_armed = true;
+  const GateId gid = gate.id;
+  p.timer = world_.after(
+      p.timeout_us, [this, gid, seq]() { on_packet_timeout(gid, seq); });
+}
+
+void Core::arm_bulk_timer(Gate& gate, const BulkKey& key) {
+  auto it = gate.pending_bulk.find(key);
+  NMAD_ASSERT(it != gate.pending_bulk.end());
+  PendingBulk& p = it->second;
+  NMAD_ASSERT(!p.timer_armed);
+  p.timer_armed = true;
+  const GateId gid = gate.id;
+  p.timer = world_.after(
+      p.timeout_us, [this, gid, key]() { on_bulk_timeout(gid, key); });
+}
+
+void Core::on_packet_timeout(GateId gate_id, uint32_t seq) {
+  Gate& g = gate(gate_id);
+  if (g.failed) return;
+  auto it = g.pending_pkts.find(seq);
+  if (it == g.pending_pkts.end()) return;  // retired; stale timer
+  it->second.timer_armed = false;
+  ++stats_.packet_timeouts;
+  note_rail_timeout(it->second.last_rail);
+  // Rail death may have failed the gate or requeued this packet already.
+  if (g.failed) return;
+  it = g.pending_pkts.find(seq);
+  if (it == g.pending_pkts.end() || it->second.queued_retx) {
+    refill_all();
+    return;
+  }
+  PendingPacket& p = it->second;
+  if (p.retries >= config_.max_retries) {
+    fail_gate(g, util::resource_exhausted(
+                     "packet retransmission limit reached"));
+    return;
+  }
+  ++p.retries;
+  p.timeout_us *= config_.retry_backoff;
+  p.queued_retx = true;
+  g.retx_queue.push_back(seq);
+  refill_all();
+}
+
+void Core::on_bulk_timeout(GateId gate_id, BulkKey key) {
+  Gate& g = gate(gate_id);
+  if (g.failed) return;
+  auto it = g.pending_bulk.find(key);
+  if (it == g.pending_bulk.end()) return;  // retired; stale timer
+  it->second.timer_armed = false;
+  ++stats_.bulk_timeouts;
+  note_rail_timeout(it->second.last_rail);
+  if (g.failed) return;
+  it = g.pending_bulk.find(key);
+  if (it == g.pending_bulk.end() || it->second.queued_retx) {
+    refill_all();
+    return;
+  }
+  PendingBulk& p = it->second;
+  if (p.retries >= config_.max_retries) {
+    fail_gate(g, util::resource_exhausted(
+                     "rendezvous retransmission limit reached"));
+    return;
+  }
+  ++p.retries;
+  p.timeout_us *= config_.retry_backoff;
+  p.queued_retx = true;
+  g.bulk_retx.push_back(key);
+  refill_all();
+}
+
+void Core::retransmit_packet(Gate& gate, RailIndex rail, uint32_t seq) {
+  auto it = gate.pending_pkts.find(seq);
+  NMAD_ASSERT(it != gate.pending_pkts.end());
+  PendingPacket& p = it->second;
+  p.queued_retx = false;
+  if (p.timer_armed) {
+    world_.cancel(p.timer);
+    p.timer_armed = false;
+  }
+  p.last_rail = rail;
+  ++stats_.packets_retransmitted;
+  // Re-issuing is an election of sorts: the engine walked its queues.
+  node_.cpu().charge(config_.elect_overhead_us);
+  std::shared_ptr<util::ByteBuffer> wire = p.wire;
+  util::SegmentVec segments;
+  segments.add(wire->view());
+  const util::Status st = rails_[rail].driver->send_packet(
+      gate.peer, segments, [this, wire]() { refill_all(); });
+  NMAD_ASSERT_MSG(st.is_ok(), "driver rejected packet retransmit");
+  arm_packet_timer(gate, seq);
+}
+
+void Core::retransmit_bulk(Gate& gate, RailIndex rail, const BulkKey& key) {
+  auto it = gate.pending_bulk.find(key);
+  NMAD_ASSERT(it != gate.pending_bulk.end());
+  PendingBulk& p = it->second;
+  p.queued_retx = false;
+  if (p.timer_armed) {
+    world_.cancel(p.timer);
+    p.timer_armed = false;
+  }
+  p.last_rail = rail;
+  ++stats_.bulk_retransmitted;
+  node_.cpu().charge(config_.elect_overhead_us);
+  util::SegmentVec segments;
+  segments.add(p.job->body.subspan(p.offset, p.len));
+  const util::Status st = rails_[rail].driver->send_bulk(
+      gate.peer, key.first, p.offset, segments,
+      [this]() { refill_all(); });
+  NMAD_ASSERT_MSG(st.is_ok(), "driver rejected bulk retransmit");
+  arm_bulk_timer(gate, key);
+}
+
+void Core::note_rail_timeout(RailIndex rail) {
+  if (config_.rail_dead_after == 0) return;
+  RailState& rs = rails_[rail];
+  if (!rs.alive) return;
+  if (++rs.consec_timeouts >= config_.rail_dead_after) kill_rail(rail);
+}
+
+void Core::kill_rail(RailIndex rail) {
+  NMAD_ASSERT(rail < rails_.size());
+  RailState& rs = rails_[rail];
+  if (!rs.alive) return;
+  rs.alive = false;
+  ++stats_.rails_failed;
+  NMAD_LOG_WARN("nmad: node %u declares rail %u (%s) dead", node_.id(),
+                static_cast<unsigned>(rail),
+                rs.driver->caps().name.c_str());
+
+  // A packet elected early for this rail goes back to its gate's window
+  // for re-election elsewhere.
+  if (rs.prebuilt) {
+    Gate& pg = gate(rs.prebuilt_gate);
+    for (OutChunk* chunk : rs.prebuilt->chunks()) {
+      pg.window.push_back(*chunk);
+    }
+    rs.prebuilt.reset();
+  }
+
+  for (auto& gate_ptr : gates_) {
+    Gate& g = *gate_ptr;
+    if (g.failed || !g.has_rail(rail)) continue;
+    bool any_alive = false;
+    for (RailIndex r : g.rails) {
+      if (rails_[r].alive) {
+        any_alive = true;
+        break;
+      }
+    }
+    if (!any_alive) {
+      fail_gate(g, util::closed("all rails to peer unreachable"));
+      continue;
+    }
+
+    // Unpin traffic the application pinned to the dead rail: delivery
+    // beats placement once the rail is gone.
+    for (OutChunk& chunk : g.window) {
+      if (chunk.pinned_rail == rail) chunk.pinned_rail = kAnyRail;
+    }
+    for (auto& [cookie, job] : g.rdv_wait_cts) {
+      if (job->pinned_rail == rail) job->pinned_rail = kAnyRail;
+    }
+
+    // Re-elect in-flight traffic that last rode the dead rail.
+    for (auto& [seq, p] : g.pending_pkts) {
+      if (p.last_rail != rail || p.queued_retx) continue;
+      if (p.timer_armed) {
+        world_.cancel(p.timer);
+        p.timer_armed = false;
+      }
+      p.queued_retx = true;
+      g.retx_queue.push_back(seq);
+    }
+    for (auto& [key, p] : g.pending_bulk) {
+      if (p.last_rail != rail || p.queued_retx) continue;
+      if (p.timer_armed) {
+        world_.cancel(p.timer);
+        p.timer_armed = false;
+      }
+      p.queued_retx = true;
+      g.bulk_retx.push_back(key);
+    }
+
+    // Rendezvous jobs lose the rail from their grant; a job with no
+    // usable rail left can never move its body, so the gate fails (the
+    // receive side is stuck waiting on a posted sink otherwise).
+    std::set<BulkJob*> jobs;
+    for (BulkJob& job : g.ready_bulk) jobs.insert(&job);
+    for (auto& [key, p] : g.pending_bulk) jobs.insert(p.job);
+    bool gate_dead = false;
+    for (BulkJob* job : jobs) {
+      if (job->pinned_rail == rail) job->pinned_rail = kAnyRail;
+      auto& jr = job->rails;
+      jr.erase(
+          std::remove(jr.begin(), jr.end(), static_cast<uint8_t>(rail)),
+          jr.end());
+      if (jr.empty()) {
+        gate_dead = true;
+        break;
+      }
+    }
+    if (gate_dead) {
+      fail_gate(g, util::closed("no surviving rail for rendezvous body"));
+    }
+  }
+  refill_all();
+}
+
+void Core::fail_gate(Gate& gate, const util::Status& status) {
+  if (gate.failed) return;
+  gate.failed = true;
+  gate.fail_status = status;
+  ++stats_.gates_failed;
+  NMAD_LOG_WARN("nmad: node %u fails gate %u (peer %u): %s", node_.id(),
+                gate.id, gate.peer, status.to_string().c_str());
+
+  if (gate.ack_timer_armed) {
+    world_.cancel(gate.ack_timer);
+    gate.ack_timer_armed = false;
+  }
+
+  // Window chunks: owners learn the error; control chunks just vanish.
+  while (!gate.window.empty()) {
+    OutChunk& chunk = gate.window.pop_front();
+    if (chunk.owner != nullptr) chunk.owner->complete(status);
+    chunk_pool_.release(&chunk);
+  }
+
+  // Packets elected early for this gate on any rail.
+  for (auto& rs : rails_) {
+    if (rs.prebuilt && rs.prebuilt_gate == gate.id) {
+      for (OutChunk* chunk : rs.prebuilt->chunks()) {
+        if (chunk->owner != nullptr) chunk->owner->complete(status);
+        chunk_pool_.release(chunk);
+      }
+      rs.prebuilt.reset();
+    }
+  }
+
+  // In-flight reliable packets.
+  for (auto& [seq, p] : gate.pending_pkts) {
+    if (p.timer_armed) world_.cancel(p.timer);
+    for (SendRequest* owner : p.owners) owner->complete(status);
+  }
+  gate.pending_pkts.clear();
+  gate.retx_queue.clear();
+
+  // Rendezvous jobs in every stage of the protocol.
+  std::set<BulkJob*> jobs;
+  for (auto& [key, p] : gate.pending_bulk) {
+    if (p.timer_armed) world_.cancel(p.timer);
+    jobs.insert(p.job);
+  }
+  gate.pending_bulk.clear();
+  gate.bulk_retx.clear();
+  while (!gate.ready_bulk.empty()) jobs.insert(&gate.ready_bulk.pop_front());
+  for (auto& [cookie, job] : gate.rdv_wait_cts) jobs.insert(job);
+  gate.rdv_wait_cts.clear();
+  for (BulkJob* job : jobs) {
+    if (job->owner != nullptr) job->owner->complete(status);
+    bulk_pool_.release(job);
+  }
+
+  // Receive side: posted receives learn the error; posted sinks go away.
+  for (auto& [cookie, rec] : gate.rdv_recv) {
+    for (uint8_t r : rec.rails) rails_[r].driver->cancel_bulk_recv(cookie);
+  }
+  gate.rdv_recv.clear();
+  for (auto& [key, req] : gate.active_recv) req->complete(status);
+  gate.active_recv.clear();
+  gate.unexpected.clear();
+  gate.recv_seen.clear();
+  gate.pending_bulk_acks.clear();
+}
+
+void Core::on_bulk_orphan(drivers::PeerAddr from, uint64_t cookie,
+                          size_t offset, size_t len) {
+  auto it = peer_gate_.find(from);
+  if (it == peer_gate_.end()) return;
+  Gate& g = *gates_[it->second];
+  if (g.failed) return;
+  if (g.completed_bulk.count(cookie) == 0) return;  // truly unknown: drop
+  // A retransmitted slice landed after its sink completed: the bytes are
+  // already in place, but the sender still waits for the ack.
+  BulkAck ack;
+  ack.cookie = cookie;
+  ack.offset = static_cast<uint32_t>(offset);
+  ack.len = static_cast<uint32_t>(len);
+  g.pending_bulk_acks.push_back(ack);
+  schedule_ack(g);
 }
 
 }  // namespace nmad::core

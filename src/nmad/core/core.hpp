@@ -62,6 +62,30 @@ struct CoreConfig {
   // The election cost is thus overlapped with communication, at the price
   // of freezing that packet's contents early.
   size_t prebuild_backlog_chunks = 0;
+
+  // --- Reliability layer --------------------------------------------------
+  // Enables ack/retransmit on track-0 packets and rendezvous slices:
+  // every payload-bearing packet carries a sequence number, the receiver
+  // acknowledges (piggybacked on reverse traffic where possible), and the
+  // sender retransmits on timeout with exponential backoff, failing over
+  // to surviving rails. Forces wire_checksum on; corrupt packets are
+  // dropped and recovered by retransmission instead of asserting.
+  bool reliability = false;
+  // Base retransmit deadline for a track-0 packet. Rendezvous slices add
+  // their own modelled wire time on top (large slices take longer).
+  double ack_timeout_us = 1000.0;
+  // Delayed-ack grace: how long the receiver waits for reverse traffic to
+  // piggyback on before sending a standalone ack packet.
+  double ack_delay_us = 5.0;
+  // Timeout multiplier applied after each retransmission of an entry.
+  double retry_backoff = 2.0;
+  // A packet/slice that times out this many times fails the gate.
+  uint32_t max_retries = 10;
+  // Consecutive timeouts on one rail before it is declared dead and its
+  // in-flight traffic re-elected onto surviving rails (0 disables).
+  uint32_t rail_dead_after = 6;
+  // Max unacked packets per gate; window packing pauses at the cap.
+  size_t reliability_window = 64;
 };
 
 struct CoreStats {
@@ -78,6 +102,18 @@ struct CoreStats {
   uint64_t bulk_bytes = 0;
   uint64_t unexpected_chunks = 0;
   uint64_t packets_prebuilt = 0;  // elected early under the backlog policy
+
+  // Reliability layer.
+  uint64_t packet_timeouts = 0;
+  uint64_t packets_retransmitted = 0;
+  uint64_t packets_rejected = 0;    // corrupt/unverifiable, dropped
+  uint64_t packets_duplicate = 0;   // suppressed by seq dedup (re-acked)
+  uint64_t acks_sent = 0;           // standalone delayed-ack packets
+  uint64_t acks_piggybacked = 0;    // acks injected into outgoing packets
+  uint64_t bulk_timeouts = 0;
+  uint64_t bulk_retransmitted = 0;
+  uint64_t rails_failed = 0;
+  uint64_t gates_failed = 0;
 };
 
 struct SendHints {
@@ -138,6 +174,11 @@ class Core {
   [[nodiscard]] const CoreStats& stats() const { return stats_; }
   [[nodiscard]] size_t rail_count() const { return rails_.size(); }
   [[nodiscard]] const RailInfo& rail_info(RailIndex rail) const;
+  // Reliability: rails marked dead after repeated timeouts stop carrying
+  // traffic; fail_rail() forces the transition (operational use: a health
+  // monitor outside the engine noticed the link die).
+  [[nodiscard]] bool rail_alive(RailIndex rail) const;
+  void fail_rail(RailIndex rail);
   [[nodiscard]] size_t gate_count() const { return gates_.size(); }
   [[nodiscard]] Gate& gate(GateId id);
   [[nodiscard]] size_t window_size(GateId id);
@@ -167,6 +208,10 @@ class Core {
     // Packet elected early under the prebuild policy, waiting for idle.
     std::shared_ptr<PacketBuilder> prebuilt;
     GateId prebuilt_gate = 0;
+    // Reliability: dead rails carry no traffic; consecutive unanswered
+    // timeouts (reset by any ack for this rail) drive the declaration.
+    bool alive = true;
+    uint32_t consec_timeouts = 0;
   };
 
   void maybe_prebuild(RailIndex rail);
@@ -202,6 +247,34 @@ class Core {
   void on_bulk_recv_complete(GateId gate_id, uint64_t cookie);
   void recv_add_bytes(Gate& gate, RecvRequest* req, size_t n);
   void finish_recv_if_done(Gate& gate, RecvRequest* req);
+
+  // Reliability layer -------------------------------------------------------
+  [[nodiscard]] bool reliable() const { return config_.reliability; }
+  // Registers an incoming reliable packet seq; true if already heard.
+  bool reliable_rx_register(Gate& gate, uint32_t seq);
+  // Builds an ack chunk from the gate's receive state. Bulk-slice acks
+  // are only drained from the gate once the chunk is committed to a
+  // packet (commit_ack_chunk); packet acks (floor + sacks) are idempotent.
+  OutChunk* make_ack_chunk(Gate& gate);
+  void commit_ack_chunk(Gate& gate, OutChunk* ack);
+  void maybe_inject_ack(Gate& gate, PacketBuilder& builder);
+  void schedule_ack(Gate& gate);
+  void on_ack_timer(GateId gate_id);
+  void handle_ack(Gate& gate, const WireChunk& chunk);
+  void retire_packet(Gate& gate,
+                     std::map<uint32_t, PendingPacket>::iterator it);
+  void retire_bulk(Gate& gate, const BulkAck& ack);
+  void arm_packet_timer(Gate& gate, uint32_t seq);
+  void arm_bulk_timer(Gate& gate, const BulkKey& key);
+  void on_packet_timeout(GateId gate_id, uint32_t seq);
+  void on_bulk_timeout(GateId gate_id, BulkKey key);
+  void retransmit_packet(Gate& gate, RailIndex rail, uint32_t seq);
+  void retransmit_bulk(Gate& gate, RailIndex rail, const BulkKey& key);
+  void note_rail_timeout(RailIndex rail);
+  void kill_rail(RailIndex rail);
+  void fail_gate(Gate& gate, const util::Status& status);
+  void on_bulk_orphan(drivers::PeerAddr from, uint64_t cookie,
+                      size_t offset, size_t len);
 
   [[nodiscard]] size_t max_eager_payload(const Gate& gate) const;
 

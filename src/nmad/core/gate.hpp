@@ -3,16 +3,21 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "nmad/core/chunk.hpp"
 #include "nmad/core/request.hpp"
 #include "nmad/drivers/driver.hpp"
+#include "simnet/event_queue.hpp"
 #include "simnet/nic.hpp"
 #include "util/buffer.hpp"
 #include "util/intrusive_list.hpp"
+#include "util/status.hpp"
 
 namespace nmad::core {
 
@@ -51,6 +56,37 @@ struct RdvRecv {
 
 using MsgKey = std::pair<Tag, SeqNum>;
 
+// One unacknowledged reliable packet: a flattened copy of the wire bytes
+// (retransmittable on any rail) plus the send requests whose chunks rode
+// in it. part_done() for those chunks is deferred until the ack arrives.
+struct PendingPacket {
+  std::shared_ptr<util::ByteBuffer> wire;
+  std::vector<SendRequest*> owners;  // one entry per owned payload chunk
+  RailIndex last_rail = 0;
+  uint32_t retries = 0;
+  double timeout_us = 0.0;  // current (backed-off) retransmit deadline
+  simnet::EventId timer = 0;
+  bool timer_armed = false;
+  bool queued_retx = false;  // sitting in retx_queue
+};
+
+// One unacknowledged rendezvous slice, keyed by (cookie, offset). The
+// body bytes live in the application buffer via job->body, so only the
+// extent is recorded here.
+struct PendingBulk {
+  BulkJob* job = nullptr;
+  size_t offset = 0;
+  size_t len = 0;
+  RailIndex last_rail = 0;
+  uint32_t retries = 0;
+  double timeout_us = 0.0;
+  simnet::EventId timer = 0;
+  bool timer_armed = false;
+  bool queued_retx = false;
+};
+
+using BulkKey = std::pair<uint64_t, size_t>;  // (cookie, offset)
+
 struct Gate {
   GateId id = 0;
   drivers::PeerAddr peer = 0;
@@ -72,6 +108,33 @@ struct Gate {
   std::map<MsgKey, RecvRequest*> active_recv;
   std::map<MsgKey, UnexpectedMsg> unexpected;
   std::map<uint64_t, RdvRecv> rdv_recv;  // cookie → in-flight bulk receive
+
+  // ---- reliability (CoreConfig::reliability only) ----------------------
+  // Send side: sliding window of unacked packets / bulk slices, plus the
+  // queues of timed-out entries awaiting re-election onto an idle rail.
+  uint32_t next_pkt_seq = 0;
+  std::map<uint32_t, PendingPacket> pending_pkts;
+  std::deque<uint32_t> retx_queue;
+  std::map<BulkKey, PendingBulk> pending_bulk;
+  std::deque<BulkKey> bulk_retx;
+
+  // Receive side: duplicate suppression and deferred acknowledgements.
+  // Standalone acks prefer the rail traffic was last heard on: a rail
+  // that demonstrably delivers is the best guess for the return path
+  // (a dark NIC silences both directions in the fault model).
+  RailIndex last_heard_rail = 0;
+  uint32_t recv_floor = 0;         // every packet seq below this was heard
+  std::set<uint32_t> recv_seen;    // heard seqs at/above the floor
+  bool ack_needed = false;
+  simnet::EventId ack_timer = 0;
+  bool ack_timer_armed = false;
+  std::vector<BulkAck> pending_bulk_acks;  // deposited slices to ack
+  std::set<uint64_t> completed_bulk;       // fully-received rdv cookies
+
+  // Set when the peer became unreachable; every request completes with
+  // this status from then on.
+  bool failed = false;
+  util::Status fail_status = util::ok_status();
 
   [[nodiscard]] bool has_rail(RailIndex rail) const {
     for (RailIndex r : rails) {

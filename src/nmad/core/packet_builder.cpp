@@ -33,8 +33,13 @@ const util::SegmentVec& PacketBuilder::finalize() {
   // First pass: encode every header into one stable buffer, recording the
   // extent of each chunk's header region.
   util::WireWriter w(headers_);
-  encode_packet_header(w, static_cast<uint16_t>(chunks_.size()),
-                       checksum_ ? kPacketFlagChecksum : kPacketFlagNone);
+  uint8_t flags = checksum_ ? kPacketFlagChecksum : kPacketFlagNone;
+  if (reliable_) flags |= kPacketFlagReliable;
+  encode_packet_header(w, static_cast<uint16_t>(chunks_.size()), flags);
+  // The sequence number sits between the packet header and the first
+  // chunk, inside the checksummed region, so corruption of the seq
+  // itself is also caught.
+  if (reliable_) w.u32(packet_seq_);
   std::vector<std::pair<size_t, size_t>> extents;  // (offset, len)
   extents.reserve(chunks_.size());
   for (const OutChunk* chunk : chunks_) {
@@ -56,6 +61,9 @@ const util::SegmentVec& PacketBuilder::finalize() {
         encode_cts(w, chunk->tag, chunk->seq, chunk->cookie,
                    chunk->cts_rails);
         break;
+      case ChunkKind::kAck:
+        encode_ack(w, chunk->seq, chunk->ack_sacks, chunk->ack_bulk_acks);
+        break;
     }
     extents.emplace_back(begin, headers_.size() - begin);
   }
@@ -65,7 +73,8 @@ const util::SegmentVec& PacketBuilder::finalize() {
   // (control chunks with no payload) coalesce automatically because they
   // are adjacent in the buffer.
   size_t run_begin = 0;
-  size_t run_end = kPacketHeaderBytes;
+  size_t run_end =
+      kPacketHeaderBytes + (reliable_ ? kPacketSeqBytes : 0);
   for (size_t i = 0; i < chunks_.size(); ++i) {
     NMAD_ASSERT(extents[i].first == run_end);
     run_end += extents[i].second;
@@ -80,17 +89,11 @@ const util::SegmentVec& PacketBuilder::finalize() {
   }
 
   if (checksum_) {
-    // Hash the flattened chunk region (everything after the packet
-    // header) in stream order and append the trailer as a last segment.
+    // Hash the whole packet (header included) in stream order and append
+    // the trailer as a last segment.
     util::Fnv32 hash;
-    bool first = true;
     for (const util::Segment& seg : segments_) {
-      util::ConstBytes view = seg.view();
-      if (first) {
-        view = view.subspan(kPacketHeaderBytes);
-        first = false;
-      }
-      hash.update(view);
+      hash.update(seg.view());
     }
     util::WireWriter trailer(trailer_);
     trailer.u32(hash.digest());

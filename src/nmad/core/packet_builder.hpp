@@ -18,9 +18,12 @@ class PacketBuilder {
   // `max_bytes` bounds the total wire size; `max_segments` bounds the
   // gather list length (0 = unlimited, the driver will bounce-copy).
   // With `checksum`, a 4-byte FNV-1a of the chunk region trails the
-  // packet and the header flag advertises it.
+  // packet and the header flag advertises it. With `reserve_seq`, room
+  // for a reliability sequence number is budgeted up front; whether the
+  // packet actually carries one is decided at issue time via
+  // mark_reliable() (pure-ack packets ship unreliable).
   PacketBuilder(size_t max_bytes, size_t max_segments,
-                bool checksum = false)
+                bool checksum = false, bool reserve_seq = false)
       : max_bytes_(max_bytes),
         max_segments_(max_segments),
         checksum_(checksum) {
@@ -28,6 +31,7 @@ class PacketBuilder {
       wire_bytes_ += kChecksumTrailerBytes;
       ++segment_estimate_;
     }
+    if (reserve_seq) wire_bytes_ += kPacketSeqBytes;
   }
 
   // True if `chunk` would still fit.
@@ -45,6 +49,15 @@ class PacketBuilder {
     return chunks_;
   }
 
+  // Stamps the packet with a reliability sequence number; the finalized
+  // header carries kPacketFlagReliable. Must precede finalize().
+  void mark_reliable(uint32_t packet_seq) {
+    NMAD_ASSERT(!finalized_);
+    reliable_ = true;
+    packet_seq_ = packet_seq;
+  }
+  [[nodiscard]] bool reliable() const { return reliable_; }
+
   // Encodes all headers and produces the gather list. Must be called once,
   // after which the builder must stay alive until the driver's tx-done
   // (the SegmentVec references its header buffer).
@@ -54,6 +67,8 @@ class PacketBuilder {
   size_t max_bytes_;
   size_t max_segments_;
   bool checksum_;
+  bool reliable_ = false;
+  uint32_t packet_seq_ = 0;
   std::vector<OutChunk*> chunks_;
   size_t wire_bytes_ = kPacketHeaderBytes;
   size_t segment_estimate_ = 1;  // leading header segment

@@ -8,6 +8,7 @@ const char* chunk_kind_name(ChunkKind kind) {
     case ChunkKind::kFrag: return "frag";
     case ChunkKind::kRts: return "rts";
     case ChunkKind::kCts: return "cts";
+    case ChunkKind::kAck: return "ack";
   }
   return "?";
 }

@@ -29,6 +29,7 @@ enum class ChunkKind : uint8_t {
   kFrag = 2,  // fragment of a multi-segment message
   kRts = 3,   // rendezvous request-to-send (control)
   kCts = 4,   // rendezvous clear-to-send (control)
+  kAck = 5,   // reliability: cumulative + selective acknowledgement
 };
 
 const char* chunk_kind_name(ChunkKind kind);

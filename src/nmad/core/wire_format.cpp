@@ -52,13 +52,34 @@ void encode_cts(util::WireWriter& w, Tag tag, SeqNum seq, uint64_t cookie,
   for (uint8_t rail : rails) w.u8(rail);
 }
 
+void encode_ack(util::WireWriter& w, uint32_t ack_floor,
+                const std::vector<uint32_t>& sacks,
+                const std::vector<BulkAck>& bulk_acks) {
+  NMAD_ASSERT(sacks.size() <= 255 && bulk_acks.size() <= 255);
+  // The common header's seq field carries the cumulative ack floor; tag
+  // is unused (acks cover the whole gate, not one message stream).
+  encode_common(w, ChunkKind::kAck, /*flags=*/0, /*tag=*/0, ack_floor);
+  w.u8(static_cast<uint8_t>(sacks.size()));
+  w.u8(static_cast<uint8_t>(bulk_acks.size()));
+  for (uint32_t seq : sacks) w.u32(seq);
+  for (const BulkAck& ack : bulk_acks) {
+    w.u64(ack.cookie);
+    w.u32(ack.offset);
+    w.u32(ack.len);
+  }
+}
+
 size_t chunk_wire_bytes(ChunkKind kind, size_t payload_len,
-                        size_t cts_rail_count) {
+                        size_t cts_rail_count, size_t ack_sacks,
+                        size_t ack_bulks) {
   switch (kind) {
     case ChunkKind::kData: return kDataHeaderBytes + payload_len;
     case ChunkKind::kFrag: return kFragHeaderBytes + payload_len;
     case ChunkKind::kRts: return kRtsHeaderBytes;
     case ChunkKind::kCts: return kCtsHeaderBytes + cts_rail_count;
+    case ChunkKind::kAck:
+      return kAckHeaderBytes + ack_sacks * kAckSackBytes +
+             ack_bulks * kAckBulkBytes;
   }
   return 0;
 }

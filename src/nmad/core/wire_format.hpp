@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "nmad/core/types.hpp"
@@ -32,19 +33,36 @@ inline constexpr size_t kPacketHeaderBytes = 3;
 
 enum PacketFlags : uint8_t {
   kPacketFlagNone = 0,
-  // A 4-byte FNV-1a of the chunk region trails the packet. Self-
-  // describing: receivers verify whenever the flag is present, so mixed
-  // configurations interoperate.
+  // A 4-byte FNV-1a of the whole packet (header included) trails it.
+  // Self-describing: receivers verify whenever the flag is present, so
+  // mixed configurations interoperate.
   kPacketFlagChecksum = 1u << 0,
+  // Reliability: a u32 packet sequence number follows the packet header
+  // (inside the checksummed region). The receiver acks it and suppresses
+  // duplicates; packets without the flag (pure acks) are fire-and-forget.
+  kPacketFlagReliable = 1u << 1,
 };
 
 inline constexpr size_t kChecksumTrailerBytes = 4;
+inline constexpr size_t kPacketSeqBytes = 4;
 
 // Fixed header bytes per chunk kind (excluding payload).
 inline constexpr size_t kDataHeaderBytes = 1 + 1 + 8 + 4 + 4;
 inline constexpr size_t kFragHeaderBytes = 1 + 1 + 8 + 4 + 4 + 4 + 4;
 inline constexpr size_t kRtsHeaderBytes = 1 + 1 + 8 + 4 + 4 + 4 + 4 + 8;
 inline constexpr size_t kCtsHeaderBytes = 1 + 1 + 8 + 4 + 4 + 8 + 1;  // + rails
+// Common header + n_sack count byte + n_bulk count byte; each selective
+// ack adds 4 bytes, each bulk ack 16.
+inline constexpr size_t kAckHeaderBytes = 1 + 1 + 8 + 4 + 1 + 1;
+inline constexpr size_t kAckSackBytes = 4;
+inline constexpr size_t kAckBulkBytes = 8 + 4 + 4;
+
+// One acknowledged rendezvous slice (cookie, offset, length).
+struct BulkAck {
+  uint64_t cookie = 0;
+  uint32_t offset = 0;
+  uint32_t len = 0;
+};
 
 // Decoded view of one chunk. Payload views alias the packet buffer.
 struct WireChunk {
@@ -58,6 +76,10 @@ struct WireChunk {
   uint64_t cookie = 0;   // rendezvous identifier (rts/cts)
   std::vector<uint8_t> rails;  // cts: rails with a posted sink
   util::ConstBytes payload;    // data/frag inline payload
+  // kAck only: `seq` holds the cumulative ack floor (every packet seq
+  // below it is acknowledged); these list extras beyond the floor.
+  std::vector<uint32_t> sacks;     // selectively acked packet seqs
+  std::vector<BulkAck> bulk_acks;  // acked rendezvous slices
 };
 
 // Encoders append one chunk header (and know nothing of payload bytes;
@@ -74,11 +96,24 @@ void encode_rts(util::WireWriter& w, uint8_t flags, Tag tag, SeqNum seq,
                 uint64_t cookie);
 void encode_cts(util::WireWriter& w, Tag tag, SeqNum seq, uint64_t cookie,
                 const std::vector<uint8_t>& rails);
+void encode_ack(util::WireWriter& w, uint32_t ack_floor,
+                const std::vector<uint32_t>& sacks,
+                const std::vector<BulkAck>& bulk_acks);
+
+// Packet-level framing decoded ahead of the chunks. Filled in before the
+// first sink invocation, so sinks may consult it.
+struct PacketMeta {
+  uint8_t flags = 0;
+  bool checksummed = false;
+  bool reliable = false;
+  uint32_t seq = 0;  // valid when `reliable`
+};
 
 // Parses a whole packet; invokes `sink(chunk)` per chunk in order.
 // Returns a non-ok status on malformed input or checksum mismatch.
 template <typename Sink>
-util::Status decode_packet(util::ConstBytes packet, Sink&& sink) {
+util::Status decode_packet(util::ConstBytes packet, PacketMeta* meta,
+                           Sink&& sink) {
   if (packet.size() < kPacketHeaderBytes) {
     return util::truncated("packet header");
   }
@@ -86,6 +121,9 @@ util::Status decode_packet(util::ConstBytes packet, Sink&& sink) {
   {
     util::WireReader header(packet.subspan(2, 1));
     const uint8_t flags = header.u8();
+    meta->flags = flags;
+    meta->checksummed = (flags & kPacketFlagChecksum) != 0;
+    meta->reliable = (flags & kPacketFlagReliable) != 0;
     if (flags & kPacketFlagChecksum) {
       if (body.size() < kChecksumTrailerBytes) {
         return util::truncated("checksum trailer");
@@ -94,7 +132,12 @@ util::Status decode_packet(util::ConstBytes packet, Sink&& sink) {
           body.subspan(body.size() - kChecksumTrailerBytes));
       const uint32_t stored = tail.u32();
       body = body.first(body.size() - kChecksumTrailerBytes);
-      if (util::Fnv32::of(body) != stored) {
+      // Coverage includes the packet header, so flipped chunk counts or
+      // flag bits are caught too (a cleared checksum flag still escapes;
+      // reliable-mode engines drop unverifiable packets outright).
+      const util::ConstBytes covered =
+          packet.first(packet.size() - kChecksumTrailerBytes);
+      if (util::Fnv32::of(covered) != stored) {
         return util::internal_error("packet checksum mismatch");
       }
     }
@@ -102,6 +145,10 @@ util::Status decode_packet(util::ConstBytes packet, Sink&& sink) {
   util::WireReader counter(packet.first(2));
   const uint16_t count = counter.u16();
   util::WireReader r(body);
+  if (meta->reliable) {
+    meta->seq = r.u32();
+    if (!r.ok()) return util::truncated("packet sequence number");
+  }
   for (uint16_t i = 0; i < count; ++i) {
     WireChunk chunk;
     chunk.kind = static_cast<ChunkKind>(r.u8());
@@ -133,6 +180,19 @@ util::Status decode_packet(util::ConstBytes packet, Sink&& sink) {
         for (uint8_t k = 0; k < n_rails; ++k) chunk.rails.push_back(r.u8());
         break;
       }
+      case ChunkKind::kAck: {
+        const uint8_t n_sacks = r.u8();
+        const uint8_t n_bulk = r.u8();
+        for (uint8_t k = 0; k < n_sacks; ++k) chunk.sacks.push_back(r.u32());
+        for (uint8_t k = 0; k < n_bulk; ++k) {
+          BulkAck ack;
+          ack.cookie = r.u64();
+          ack.offset = r.u32();
+          ack.len = r.u32();
+          chunk.bulk_acks.push_back(ack);
+        }
+        break;
+      }
       default:
         return util::internal_error("unknown chunk kind on wire");
     }
@@ -145,8 +205,15 @@ util::Status decode_packet(util::ConstBytes packet, Sink&& sink) {
   return util::ok_status();
 }
 
+template <typename Sink>
+util::Status decode_packet(util::ConstBytes packet, Sink&& sink) {
+  PacketMeta meta;
+  return decode_packet(packet, &meta, std::forward<Sink>(sink));
+}
+
 // Wire size of a chunk with the given kind/payload/rails count.
 size_t chunk_wire_bytes(ChunkKind kind, size_t payload_len,
-                        size_t cts_rail_count = 0);
+                        size_t cts_rail_count = 0, size_t ack_sacks = 0,
+                        size_t ack_bulks = 0);
 
 }  // namespace nmad::core

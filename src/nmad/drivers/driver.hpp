@@ -86,6 +86,18 @@ class Driver {
   // Registers the engine's packet-arrival callback.
   virtual void set_rx_handler(RxHandler handler) = 0;
 
+  // (from, cookie, offset, len): a bulk slice addressed to a sink that is
+  // no longer posted — a late retransmission under the reliability layer.
+  using BulkOrphanHandler =
+      std::function<void(PeerAddr, uint64_t, size_t, size_t)>;
+
+  // Optional: without a handler, orphan bulk arrivals stay a hard
+  // protocol error (lossless operation). Drivers that cannot observe
+  // orphans may ignore this.
+  virtual void set_bulk_orphan_handler(BulkOrphanHandler handler) {
+    (void)handler;
+  }
+
   // Drives any driver-internal progress. The simulated drivers are fully
   // event-driven and need no polling; a production driver would reap
   // completion queues here.

@@ -120,6 +120,14 @@ void SimDriver::cancel_bulk_recv(uint64_t cookie) {
   nic_.remove_bulk_sink(cookie);
 }
 
+void SimDriver::set_bulk_orphan_handler(BulkOrphanHandler handler) {
+  nic_.set_bulk_orphan_handler(
+      [handler = std::move(handler)](simnet::NodeId src, uint64_t cookie,
+                                     size_t offset, size_t len) {
+        handler(src, cookie, offset, len);
+      });
+}
+
 void SimDriver::set_rx_handler(RxHandler handler) {
   nic_.set_rx_handler(
       [handler = std::move(handler)](simnet::RxFrame&& frame) {

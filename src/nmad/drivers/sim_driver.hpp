@@ -38,6 +38,7 @@ class SimDriver final : public Driver {
   void cancel_bulk_recv(uint64_t cookie) override;
 
   void set_rx_handler(RxHandler handler) override;
+  void set_bulk_orphan_handler(BulkOrphanHandler handler) override;
   void poll() override {}  // fully event-driven
 
   [[nodiscard]] simnet::SimNic& nic() { return nic_; }

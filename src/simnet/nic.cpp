@@ -1,5 +1,7 @@
 #include "simnet/nic.hpp"
 
+#include <algorithm>
+
 #include "simnet/world.hpp"
 #include "util/logging.hpp"
 
@@ -9,8 +11,30 @@ void BulkSink::deposit(size_t offset, util::ConstBytes data) {
   NMAD_ASSERT_MSG(offset + data.size() <= region_.size(),
                   "bulk deposit outside sink region");
   util::copy_bytes(region_.subspan(offset, data.size()), data);
-  received_ += data.size();
+
+  // Merge [offset, offset + size) into the covered-interval set so that
+  // retransmitted slices never double-count towards completion.
+  size_t begin = offset;
+  size_t end = offset + data.size();
+  auto it = covered_.upper_bound(begin);
+  if (it != covered_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) {
+      begin = prev->first;
+      end = std::max(end, prev->second);
+      it = covered_.erase(prev);
+    }
+  }
+  while (it != covered_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = covered_.erase(it);
+  }
+  covered_.emplace(begin, end);
+  received_ = 0;
+  for (const auto& [b, e] : covered_) received_ += e - b;
   NMAD_ASSERT_MSG(received_ <= expected_, "bulk sink overfilled");
+
+  if (on_deposit_) on_deposit_(offset, data.size());
   if (received_ == expected_ && on_complete_) {
     // Move out first: the callback commonly frees the sink.
     auto fn = std::move(on_complete_);
@@ -27,6 +51,36 @@ SimNic* SimNic::peer(NodeId node) const {
 }
 
 bool SimNic::tx_idle() const { return tx_free_ <= world_.now(); }
+
+bool SimNic::apply_faults(SimNic* dest, SimTime arrival,
+                          util::ByteBuffer* frame, bool bulk) {
+  const FaultProfile& fault = profile_.fault;
+  uint64_t& dropped =
+      bulk ? counters_.bulk_dropped : counters_.frames_dropped;
+  // Blackouts silence both ends: the sender's DMA still completes (the
+  // engine sees tx-done and keeps cycling) but nothing reaches the wire,
+  // and a dark receiver never hears an arriving frame.
+  if (in_blackout(world_.now()) || dest->in_blackout(arrival)) {
+    ++dropped;
+    return true;
+  }
+  const double drop_prob = bulk ? fault.bulk_drop_prob : fault.frame_drop_prob;
+  if (drop_prob > 0.0 && rng_.next_bool(drop_prob)) {
+    ++dropped;
+    return true;
+  }
+  // Track-1 transfers are drop-only: RDMA hardware checksums its payload,
+  // so corruption surfaces as a lost slice. Track-0 frames take a single
+  // flipped bit that the engine's wire checksum must catch.
+  if (!bulk && fault.bit_flip_prob > 0.0 && frame->size() > 0 &&
+      rng_.next_bool(fault.bit_flip_prob)) {
+    const uint64_t bit = rng_.next_below(frame->size() * 8);
+    frame->data()[bit / 8] ^=
+        static_cast<std::byte>(uint8_t{1} << (bit % 8));
+    ++counters_.frames_corrupted;
+  }
+  return false;
+}
 
 SimTime SimNic::launch(size_t bytes, size_t segment_count,
                        double extra_setup_us, TxDoneFn on_tx_done) {
@@ -68,6 +122,10 @@ void SimNic::send_frame(NodeId dst, util::ConstBytes bytes,
   frame.src_node = node_;
   frame.rail = rail_;
   frame.bytes.append(bytes);
+  if (profile_.fault.any() &&
+      apply_faults(dest, arrival, &frame.bytes, /*bulk=*/false)) {
+    return;  // lost on the wire
+  }
   const size_t len = bytes.size();
   world_.at(arrival, [dest, frame = std::move(frame), len]() mutable {
     dest->deliver_frame(std::move(frame), len);
@@ -90,9 +148,15 @@ void SimNic::send_bulk(NodeId dst, uint64_t cookie, size_t offset,
 
   util::ByteBuffer copy;
   copy.append(bytes);
-  world_.at(arrival, [dest, cookie, offset, copy = std::move(copy)]() mutable {
-    dest->deliver_bulk(cookie, offset, std::move(copy));
-  });
+  if (profile_.fault.any() &&
+      apply_faults(dest, arrival, &copy, /*bulk=*/true)) {
+    return;  // lost on the wire
+  }
+  const NodeId src = node_;
+  world_.at(arrival,
+            [dest, src, cookie, offset, copy = std::move(copy)]() mutable {
+              dest->deliver_bulk(src, cookie, offset, std::move(copy));
+            });
 }
 
 void SimNic::deliver_frame(RxFrame&& frame, size_t bytes) {
@@ -115,11 +179,19 @@ void SimNic::deliver_frame(RxFrame&& frame, size_t bytes) {
   rx_handler_(std::move(frame));
 }
 
-void SimNic::deliver_bulk(uint64_t cookie, size_t offset,
+void SimNic::deliver_bulk(NodeId src, uint64_t cookie, size_t offset,
                           util::ByteBuffer data) {
   auto it = sinks_.find(cookie);
-  NMAD_ASSERT_MSG(it != sinks_.end(),
-                  "bulk frame arrived with no posted sink (protocol bug)");
+  if (it == sinks_.end()) {
+    // Late duplicate after its sink completed and was cancelled: only
+    // legal when someone registered an orphan handler (reliability layer);
+    // otherwise it is a protocol bug, as before.
+    NMAD_ASSERT_MSG(bulk_orphan_ != nullptr,
+                    "bulk frame arrived with no posted sink (protocol bug)");
+    ++counters_.bulk_orphaned;
+    bulk_orphan_(src, cookie, offset, data.size());
+    return;
+  }
   ++counters_.bulk_received;
   counters_.bytes_received += data.size();
   if (trace_ != nullptr) {

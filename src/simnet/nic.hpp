@@ -24,6 +24,7 @@
 #include "simnet/time.hpp"
 #include "simnet/trace.hpp"
 #include "util/buffer.hpp"
+#include "util/rng.hpp"
 #include "util/status.hpp"
 
 namespace nmad::simnet {
@@ -33,6 +34,32 @@ class SimNic;
 
 using NodeId = uint32_t;
 using RailIndex = uint32_t;
+
+// Scheduled interval during which a NIC neither emits nor hears frames.
+struct FaultWindow {
+  SimTime begin_us = 0.0;
+  SimTime end_us = 0.0;
+};
+
+// Fault model of one rail. All randomness is drawn from a per-NIC
+// deterministic RNG seeded from `seed` mixed with the node and rail ids,
+// so any failure run replays bit-identically from its seed.
+struct FaultProfile {
+  double frame_drop_prob = 0.0;  // track-0 frames silently lost
+  double bit_flip_prob = 0.0;    // track-0 frames with one corrupted bit
+  double bulk_drop_prob = 0.0;   // track-1 slices silently lost
+  uint64_t seed = 0;
+  // Blackouts apply at both ends: a frame is lost if its sender launches
+  // inside a window or its receiver would hear it inside one. The
+  // transmit engine still cycles (tx-done fires), as on real hardware
+  // where the DMA completes even though the link is dark.
+  std::vector<FaultWindow> blackouts;
+
+  [[nodiscard]] bool any() const {
+    return frame_drop_prob > 0.0 || bit_flip_prob > 0.0 ||
+           bulk_drop_prob > 0.0 || !blackouts.empty();
+  }
+};
 
 struct NicProfile {
   std::string name;
@@ -46,6 +73,7 @@ struct NicProfile {
   double rdma_setup_us = 0.5;        // per bulk transfer setup
   size_t rdv_threshold = 32 * 1024;  // recommended eager/rdv switch
   size_t max_eager_frame = 64 * 1024;  // largest track-0 frame
+  FaultProfile fault;                // lossy-link model (defaults: lossless)
 
   [[nodiscard]] bool has_gather() const { return gather_max_segments > 1; }
 };
@@ -76,7 +104,15 @@ class BulkSink {
   [[nodiscard]] size_t received() const { return received_; }
   [[nodiscard]] bool complete() const { return received_ == expected_; }
 
-  // Called by the NIC at delivery time.
+  // Observer fired on every deposit, duplicates included — the reliability
+  // layer acks each slice it hears, even retransmitted ones.
+  void set_on_deposit(std::function<void(size_t, size_t)> fn) {
+    on_deposit_ = std::move(fn);
+  }
+
+  // Called by the NIC at delivery time. Overlapping re-deposits (slice
+  // retransmissions on a lossy fabric) are idempotent: received() counts
+  // distinct covered bytes, not deposited bytes.
   void deposit(size_t offset, util::ConstBytes data);
 
  private:
@@ -84,16 +120,28 @@ class BulkSink {
   util::MutableBytes region_;
   size_t expected_;
   size_t received_ = 0;
+  std::map<size_t, size_t> covered_;  // offset → end, disjoint intervals
   std::function<void()> on_complete_;
+  std::function<void(size_t, size_t)> on_deposit_;
 };
 
 class SimNic {
  public:
   using RxHandler = std::function<void(RxFrame&&)>;
   using TxDoneFn = std::function<void()>;
+  // (src, cookie, offset, len): bulk frame that arrived after its sink was
+  // cancelled — a late retransmission on a lossy fabric.
+  using BulkOrphanFn =
+      std::function<void(NodeId, uint64_t, size_t, size_t)>;
 
   SimNic(SimWorld& world, NicProfile profile, NodeId node, RailIndex rail)
-      : world_(world), profile_(profile), node_(node), rail_(rail) {}
+      : world_(world),
+        profile_(std::move(profile)),
+        node_(node),
+        rail_(rail),
+        rng_(profile_.fault.seed ^
+             (0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(node) + 1)) ^
+             (0xC2B2AE3D27D4EB4Full * (static_cast<uint64_t>(rail) + 1))) {}
 
   SimNic(const SimNic&) = delete;
   SimNic& operator=(const SimNic&) = delete;
@@ -135,6 +183,21 @@ class SimNic {
     return sinks_.count(cookie) != 0;
   }
 
+  // Handler for bulk frames with no posted sink. Without one, such a frame
+  // is a protocol bug and asserts; with reliability enabled it is a late
+  // duplicate and the engine re-acks it.
+  void set_bulk_orphan_handler(BulkOrphanFn fn) {
+    bulk_orphan_ = std::move(fn);
+  }
+
+  // True when `at` falls inside a scheduled blackout window of this NIC.
+  [[nodiscard]] bool in_blackout(SimTime at) const {
+    for (const FaultWindow& w : profile_.fault.blackouts) {
+      if (at >= w.begin_us && at < w.end_us) return true;
+    }
+    return false;
+  }
+
   // Optional event trace (not owned); records every frame/bulk launch and
   // delivery on this NIC.
   void set_trace(TraceLog* trace) { trace_ = trace; }
@@ -148,6 +211,11 @@ class SimNic {
     uint64_t bytes_sent = 0;
     uint64_t bytes_received = 0;
     SimTime tx_busy_us = 0.0;
+    // Fault-injection outcomes (sender-side accounting).
+    uint64_t frames_dropped = 0;
+    uint64_t frames_corrupted = 0;
+    uint64_t bulk_dropped = 0;
+    uint64_t bulk_orphaned = 0;  // receiver-side: late frames, sink gone
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -157,14 +225,23 @@ class SimNic {
                  TxDoneFn on_tx_done);
 
   void deliver_frame(RxFrame&& frame, size_t bytes);
-  void deliver_bulk(uint64_t cookie, size_t offset, util::ByteBuffer data);
+  void deliver_bulk(NodeId src, uint64_t cookie, size_t offset,
+                    util::ByteBuffer data);
+
+  // Applies the fault model to a frame about to leave now and arrive at
+  // `dest` at `arrival`. Returns true when the frame is lost; may corrupt
+  // `frame` in place (track-0 bit flips, caught by the wire checksum).
+  bool apply_faults(SimNic* dest, SimTime arrival, util::ByteBuffer* frame,
+                    bool bulk);
 
   SimWorld& world_;
   NicProfile profile_;
   NodeId node_;
   RailIndex rail_;
+  util::Rng rng_;
   std::vector<SimNic*> peers_;
   RxHandler rx_handler_;
+  BulkOrphanFn bulk_orphan_;
   std::map<uint64_t, BulkSink*> sinks_;
   SimTime tx_free_ = 0.0;
   SimTime rx_free_ = 0.0;

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdio>
+#include <typeinfo>
 #include <memory>
 #include <new>
 #include <utility>
@@ -40,6 +42,9 @@ class ObjectPool {
 
   void release(T* object) {
     NMAD_ASSERT(object != nullptr);
+    if (live_ == 0) {
+      std::fprintf(stderr, "[pool] over-release of %s\n", typeid(T).name());
+    }
     object->~T();
     free_.push_back(object);
     NMAD_ASSERT(live_ > 0);

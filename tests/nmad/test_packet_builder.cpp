@@ -30,16 +30,24 @@ OutChunk make_cts(uint64_t cookie, std::vector<uint8_t> rails) {
   return c;
 }
 
-// Flattens the builder's gather list and decodes it back.
-std::vector<WireChunk> build_and_decode(PacketBuilder& builder) {
-  const util::SegmentVec& segs = builder.finalize();
+// Flattens the builder's gather list and decodes it back. The flat wire
+// image travels with the chunks: their payload spans point into it.
+struct DecodedPacket {
   util::ByteBuffer flat;
-  flat.resize(segs.total_bytes());
-  segs.gather_into(flat.view());
-  std::vector<WireChunk> out;
-  util::Status st = decode_packet(flat.view(), [&](const WireChunk& c) {
+  std::vector<WireChunk> chunks;
+
+  size_t size() const { return chunks.size(); }
+  const WireChunk& operator[](size_t i) const { return chunks[i]; }
+};
+
+DecodedPacket build_and_decode(PacketBuilder& builder) {
+  const util::SegmentVec& segs = builder.finalize();
+  DecodedPacket out;
+  out.flat.resize(segs.total_bytes());
+  segs.gather_into(out.flat.view());
+  util::Status st = decode_packet(out.flat.view(), [&](const WireChunk& c) {
     WireChunk copy = c;
-    out.push_back(copy);
+    out.chunks.push_back(copy);
   });
   EXPECT_TRUE(st.is_ok()) << st.to_string();
   return out;

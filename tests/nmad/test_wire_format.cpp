@@ -200,6 +200,8 @@ TEST(WireFormat, RandomMultiplexRoundTripProperty) {
       uint64_t cookie;
       std::vector<std::byte> payload;
       std::vector<uint8_t> rails;
+      std::vector<uint32_t> sacks;
+      std::vector<BulkAck> bulk_acks;
     };
     std::vector<Expect> expected;
     util::ByteBuffer buf;
@@ -207,7 +209,7 @@ TEST(WireFormat, RandomMultiplexRoundTripProperty) {
     encode_packet_header(w, static_cast<uint16_t>(n));
     for (int i = 0; i < n; ++i) {
       Expect e;
-      e.kind = static_cast<ChunkKind>(1 + rng.next_below(4));
+      e.kind = static_cast<ChunkKind>(1 + rng.next_below(5));
       e.tag = rng.next_u64();
       e.seq = static_cast<SeqNum>(rng.next_u64());
       e.len = static_cast<uint32_t>(rng.next_below(64));
@@ -242,6 +244,23 @@ TEST(WireFormat, RandomMultiplexRoundTripProperty) {
           encode_cts(w, e.tag, e.seq, e.cookie, e.rails);
           break;
         }
+        case ChunkKind::kAck: {
+          e.tag = 0;  // acks carry no message identity
+          const size_t n_sacks = rng.next_below(6);
+          for (size_t k = 0; k < n_sacks; ++k) {
+            e.sacks.push_back(static_cast<uint32_t>(rng.next_u64()));
+          }
+          const size_t n_bulk = rng.next_below(4);
+          for (size_t k = 0; k < n_bulk; ++k) {
+            BulkAck a;
+            a.cookie = rng.next_u64();
+            a.offset = static_cast<uint32_t>(rng.next_u64());
+            a.len = static_cast<uint32_t>(rng.next_u64());
+            e.bulk_acks.push_back(a);
+          }
+          encode_ack(w, e.seq, e.sacks, e.bulk_acks);
+          break;
+        }
       }
       expected.push_back(std::move(e));
     }
@@ -255,9 +274,11 @@ TEST(WireFormat, RandomMultiplexRoundTripProperty) {
       EXPECT_EQ(c.seq, e.seq);
       if (e.kind == ChunkKind::kData || e.kind == ChunkKind::kFrag) {
         ASSERT_EQ(c.payload.size(), e.payload.size());
-        EXPECT_EQ(std::memcmp(c.payload.data(), e.payload.data(),
-                              e.payload.size()),
-                  0);
+        if (!e.payload.empty()) {
+          EXPECT_EQ(std::memcmp(c.payload.data(), e.payload.data(),
+                                e.payload.size()),
+                    0);
+        }
       }
       if (e.kind == ChunkKind::kFrag || e.kind == ChunkKind::kRts) {
         EXPECT_EQ(c.offset, e.offset);
@@ -268,6 +289,15 @@ TEST(WireFormat, RandomMultiplexRoundTripProperty) {
       }
       if (e.kind == ChunkKind::kCts) {
         EXPECT_EQ(c.rails, e.rails);
+      }
+      if (e.kind == ChunkKind::kAck) {
+        EXPECT_EQ(c.sacks, e.sacks);
+        ASSERT_EQ(c.bulk_acks.size(), e.bulk_acks.size());
+        for (size_t k = 0; k < e.bulk_acks.size(); ++k) {
+          EXPECT_EQ(c.bulk_acks[k].cookie, e.bulk_acks[k].cookie);
+          EXPECT_EQ(c.bulk_acks[k].offset, e.bulk_acks[k].offset);
+          EXPECT_EQ(c.bulk_acks[k].len, e.bulk_acks[k].len);
+        }
       }
       ++i;
     });

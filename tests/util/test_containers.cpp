@@ -56,8 +56,9 @@ TEST(IntrusiveList, RemoveFromMiddle) {
 
 TEST(IntrusiveList, RemoveWhileIterating) {
   // The strategy pack loop: grab next before unlinking the current node.
-  ItemList list;
+  // Items outlive the list: the list destructor unlinks whatever is left.
   std::vector<Item> items;
+  ItemList list;
   items.reserve(10);
   for (int i = 0; i < 10; ++i) {
     items.emplace_back(i);
