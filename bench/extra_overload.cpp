@@ -1,0 +1,164 @@
+// Extension: receiver overload — credit flow control vs. a free-running
+// sender.
+//
+// Three senders each push 40 × 4 KiB of eager traffic at one receiver
+// whose receives are posted 20 ms late: every byte that arrives early has
+// nowhere to go but the unexpected store. Without flow control the store
+// absorbs the whole burst (480 KiB against a 128 KiB budget); with
+// receiver-driven credits the peak never exceeds the budget and the
+// excess is held at the sender (window stalls) or demoted to rendezvous.
+// Nothing is ever dropped either way — the question is *where* the
+// backlog lives.
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "nmad/api/session.hpp"
+#include "simnet/profiles.hpp"
+#include "util/buffer.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace nmad;
+
+constexpr size_t kSenders = 3;
+constexpr size_t kMsgs = 40;
+constexpr size_t kMsgBytes = 4 * 1024;
+constexpr double kPostDelayUs = 20000.0;
+
+struct OverloadRow {
+  core::CoreStats receiver;
+  core::CoreStats sender;
+  uint64_t frames_dropped = 0;
+  double end_time_us = 0.0;
+  bool data_ok = true;
+};
+
+OverloadRow run_overload(core::CoreConfig config) {
+  api::ClusterOptions options;
+  options.nodes = kSenders + 1;
+  options.rails = {simnet::mx_myri10g_profile()};
+  options.core = std::move(config);
+  api::Cluster cluster(std::move(options));
+
+  core::Core& rx = cluster.core(0);
+  std::vector<std::vector<std::vector<std::byte>>> in(kSenders),
+      out(kSenders);
+  std::vector<std::pair<core::Core*, core::Request*>> owned;
+  std::vector<core::Request*> sends;
+  std::vector<core::Request*> recvs;
+  for (size_t s = 0; s < kSenders; ++s) {
+    in[s].resize(kMsgs);
+    out[s].resize(kMsgs);
+    core::Core& tx = cluster.core(static_cast<simnet::NodeId>(s + 1));
+    const core::GateId g = cluster.gate(static_cast<simnet::NodeId>(s + 1), 0);
+    for (size_t i = 0; i < kMsgs; ++i) {
+      in[s][i].resize(kMsgBytes);
+      out[s][i].resize(kMsgBytes);
+      util::fill_pattern({out[s][i].data(), kMsgBytes},
+                         static_cast<int>(s * kMsgs + i));
+      core::Request* r = tx.isend(
+          g, core::Tag(i), util::ConstBytes{out[s][i].data(), kMsgBytes});
+      owned.emplace_back(&tx, r);
+      sends.push_back(r);
+    }
+  }
+  cluster.world().after(kPostDelayUs, [&]() {
+    for (size_t s = 0; s < kSenders; ++s) {
+      const core::GateId g = cluster.gate(0, static_cast<simnet::NodeId>(s + 1));
+      for (size_t i = 0; i < kMsgs; ++i) {
+        core::Request* r =
+            rx.irecv(g, core::Tag(i), {in[s][i].data(), kMsgBytes});
+        owned.emplace_back(&rx, r);
+        recvs.push_back(r);
+      }
+    }
+  });
+  cluster.wait_all(sends);
+  cluster.world().run_until(
+      [&]() { return recvs.size() == kSenders * kMsgs; });
+  cluster.wait_all(recvs);
+
+  OverloadRow row;
+  row.receiver = rx.stats();
+  row.sender = cluster.core(1).stats();
+  row.end_time_us = cluster.now();
+  for (size_t n = 0; n < options.nodes; ++n) {
+    row.frames_dropped += cluster.fabric()
+                              .node(static_cast<simnet::NodeId>(n))
+                              .nic(0)
+                              .counters()
+                              .frames_dropped;
+  }
+  for (size_t s = 0; s < kSenders && row.data_ok; ++s) {
+    for (size_t i = 0; i < kMsgs; ++i) {
+      if (!util::check_pattern({in[s][i].data(), kMsgBytes},
+                               static_cast<int>(s * kMsgs + i))) {
+        row.data_ok = false;
+        break;
+      }
+    }
+  }
+  for (auto& [owner, r] : owned) owner->release(r);
+  return row;
+}
+
+core::CoreConfig flow_config(size_t budget) {
+  core::CoreConfig c;
+  c.flow_control = true;
+  c.rx_budget = budget;
+  c.initial_credit_bytes = budget / kSenders;
+  c.initial_credit_msgs = 16;
+  c.ack_timeout_us = 200.0;
+  c.ack_delay_us = 5.0;
+  // When the late receives finally post, ~100 granted rendezvous bodies
+  // storm the receiver's one rail at once; acks queue past the timeout
+  // and the dead-rail heuristic would misread the congestion as loss.
+  c.rail_dead_after = 0;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  util::Table table({"config", "budget", "store_hwm", "held_at_sender",
+                     "rdv_degrades", "grants", "drops", "finish_ms",
+                     "data"});
+  auto add = [&](const char* name, size_t budget, const OverloadRow& r) {
+    table.add_row(
+        {name, budget == 0 ? "-" : util::format_size(budget),
+         util::format_size(r.receiver.rx_stored_hwm),
+         std::to_string(r.sender.credit_stalls),
+         std::to_string(r.sender.credit_rdv_degrades),
+         std::to_string(r.receiver.credit_grants),
+         std::to_string(r.frames_dropped),
+         util::format_fixed(r.end_time_us / 1000.0, 2),
+         r.data_ok ? "ok" : "CORRUPT"});
+  };
+
+  core::CoreConfig off;
+  off.reliability = true;
+  off.ack_timeout_us = 200.0;
+  off.ack_delay_us = 5.0;
+  off.rail_dead_after = 0;
+  add("no-credit", 0, run_overload(std::move(off)));
+  for (size_t budget : {64 * 1024, 128 * 1024, 256 * 1024}) {
+    add("credits", budget, run_overload(flow_config(budget)));
+  }
+
+  std::printf("## Extension — receiver overload: %zu senders x %zu x %s, "
+              "receives posted %.0f ms late\n",
+              kSenders, kMsgs, util::format_size(kMsgBytes).c_str(),
+              kPostDelayUs / 1000.0);
+  table.print();
+  std::printf(
+      "\nreading: without credits the unexpected store absorbs the whole\n"
+      "burst (hwm ~ total traffic); with credits the peak stays at or\n"
+      "under the budget and the backlog moves to the senders — held in\n"
+      "their windows or demoted to rendezvous, which parks zero payload\n"
+      "at the receiver. No configuration drops a frame; the finish time\n"
+      "is set by the late receives, not by the flow control.\n\n");
+  return 0;
+}

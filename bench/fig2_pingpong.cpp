@@ -16,7 +16,8 @@ using namespace nmad;
 
 void run_network(const std::string& net, uint64_t min_size,
                  uint64_t max_size, bool csv, bool plot,
-                 double fault_drop, uint64_t fault_seed, bool reliable) {
+                 double fault_drop, uint64_t fault_seed, bool reliable,
+                 bool credits) {
   // On a lossy fabric only MAD-MPI (reliability layer) can finish the
   // exchange; the baseline MPIs assume a lossless interconnect.
   const std::vector<std::string> impls =
@@ -25,6 +26,9 @@ void run_network(const std::string& net, uint64_t min_size,
   core::CoreConfig core_config;
   simnet::FaultProfile fault;
   core_config.reliability = reliable || fault_drop > 0.0;
+  // Ping-pong receives are always pre-posted, so credits are granted but
+  // never contended: this measures the scheme's zero-overhead claim.
+  core_config.flow_control = credits;
   if (fault_drop > 0.0) {
     fault.frame_drop_prob = fault_drop;
     fault.bulk_drop_prob = fault_drop;
@@ -66,7 +70,8 @@ void run_network(const std::string& net, uint64_t min_size,
                 net.c_str(), fault_drop,
                 static_cast<unsigned long long>(fault_seed));
   } else {
-    std::printf("## Figure 2 — raw ping-pong over %s\n", net.c_str());
+    std::printf("## Figure 2 — raw ping-pong over %s%s\n", net.c_str(),
+                credits ? " (credit flow control on)" : "");
   }
   if (csv) {
     table.print_csv(stdout);
@@ -105,6 +110,10 @@ int main(int argc, char** argv) {
   flags.define_bool("reliable", false,
                     "enable the ack/retransmit layer even with no faults "
                     "(measures its zero-loss overhead)");
+  flags.define_bool("credits", false,
+                    "enable receiver-driven credit flow control (implies "
+                    "the reliability layer; uncontended here, so measures "
+                    "its zero-overhead claim)");
   if (auto st = flags.parse(argc, argv); !st.is_ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     flags.print_help(argv[0]);
@@ -119,15 +128,16 @@ int main(int argc, char** argv) {
   const double fault_drop = flags.get_double("fault-drop");
   const auto fault_seed = static_cast<uint64_t>(flags.get_int("fault-seed"));
   const bool reliable = flags.get_bool("reliable");
+  const bool credits = flags.get_bool("credits");
 
   if (net == "all") {
     run_network("mx", min_size, max_size, csv, plot, fault_drop,
-                fault_seed, reliable);
+                fault_seed, reliable, credits);
     run_network("quadrics", min_size, max_size, csv, plot, fault_drop,
-                fault_seed, reliable);
+                fault_seed, reliable, credits);
   } else {
     run_network(net, min_size, max_size, csv, plot, fault_drop, fault_seed,
-                reliable);
+                reliable, credits);
   }
   return 0;
 }

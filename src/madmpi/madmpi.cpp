@@ -18,6 +18,8 @@ class MadMpiEndpoint::MadRequest final : public Request {
     return static_cast<const core::RecvRequest*>(inner_)->received_bytes();
   }
 
+  [[nodiscard]] core::Request* inner() const { return inner_; }
+
  private:
   core::Core& core_;
   core::Request* inner_;
@@ -90,6 +92,15 @@ ProbeStatus MadMpiEndpoint::iprobe(int source, int tag, Comm comm) {
 
 void MadMpiEndpoint::free_request(Request* req) {
   delete static_cast<MadRequest*>(req);
+}
+
+bool MadMpiEndpoint::cancel(Request* req) {
+  return core_.cancel(static_cast<MadRequest*>(req)->inner());
+}
+
+bool MadMpiEndpoint::set_deadline(Request* req, double timeout_us) {
+  core_.set_deadline(static_cast<MadRequest*>(req)->inner(), timeout_us);
+  return true;
 }
 
 MadMpiWorld::MadMpiWorld(api::ClusterOptions options)

@@ -39,6 +39,8 @@ class MadMpiEndpoint final : public Endpoint {
                  int tag, Comm comm) override;
   ProbeStatus iprobe(int source, int tag, Comm comm) override;
   void free_request(Request* req) override;
+  bool cancel(Request* req) override;
+  bool set_deadline(Request* req, double timeout_us) override;
 
   [[nodiscard]] core::Core& engine() { return core_; }
 

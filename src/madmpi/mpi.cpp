@@ -12,6 +12,16 @@ void Endpoint::wait(Request* req) {
                   "(missing matching operation?)");
 }
 
+bool Endpoint::wait_for(Request* req, double timeout_us) {
+  NMAD_ASSERT(req != nullptr);
+  const double deadline = world_.now() + timeout_us;
+  while (!req->done()) {
+    if (world_.now() >= deadline) return false;
+    if (!world_.run_one()) return false;
+  }
+  return true;
+}
+
 void Endpoint::wait_all(std::span<Request* const> reqs) {
   for (Request* req : reqs) wait(req);
 }

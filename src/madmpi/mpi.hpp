@@ -88,9 +88,28 @@ class Endpoint {
   [[nodiscard]] virtual ProbeStatus iprobe(int source, int tag,
                                            Comm comm) = 0;
 
+  // MPI_Cancel analogue: best-effort withdrawal of a pending request.
+  // True when the request was cancelled (its status becomes kCancelled);
+  // false when it already completed or its bytes are beyond recall —
+  // wait() for it normally in that case. Stacks without cancellation
+  // support always refuse.
+  virtual bool cancel(Request*) { return false; }
+  // Arms a deadline on a pending request: if it is still incomplete after
+  // `timeout_us` of virtual time, the stack cancels it with
+  // kDeadlineExceeded. Returns false on stacks without deadline support.
+  virtual bool set_deadline(Request*, double /*timeout_us*/) {
+    return false;
+  }
+
   // Completion.
   [[nodiscard]] static bool test(const Request* req) { return req->done(); }
   void wait(Request* req);
+  // Pumps the event loop until `req` completes or `timeout_us` of virtual
+  // time elapses. Returns true when the request completed; false on
+  // timeout (the request is left pending — pair with cancel() to give up
+  // on it, or keep waiting). Quiescence also reports as a timeout: with
+  // no events left, virtual time can never reach the deadline.
+  bool wait_for(Request* req, double timeout_us);
   void wait_all(std::span<Request* const> reqs);
   // Waits for any one request to complete; returns its index.
   size_t wait_any(std::span<Request* const> reqs);

@@ -1,10 +1,15 @@
 #include "nmad/api/session.hpp"
 
+#include <cstdio>
+
 #include "nmad/drivers/sim_driver.hpp"
 
 namespace nmad::api {
 
-Cluster::Cluster(ClusterOptions options) : fabric_(world_) {
+Cluster::Cluster(ClusterOptions options)
+    : fabric_(world_),
+      stall_report_interval_us_(options.stall_report_interval_us),
+      stall_report_limit_(options.stall_report_limit) {
   if (options.rails.empty()) {
     options.rails.push_back(simnet::mx_myri10g_profile());
   }
@@ -46,14 +51,39 @@ core::GateId Cluster::gate(simnet::NodeId from, simnet::NodeId to) const {
   return gates_[from][to];
 }
 
+void Cluster::stall_report(const core::Request* req, int n) const {
+  std::fprintf(stderr,
+               "cluster: %s request (gate %u tag %llu seq %llu) still "
+               "pending at t=%.1fus (stall report %d/%d)\n",
+               req->kind() == core::Request::Kind::kSend ? "send" : "recv",
+               req->gate(), static_cast<unsigned long long>(req->tag()),
+               static_cast<unsigned long long>(req->seq()), world_.now(), n,
+               stall_report_limit_);
+  for (const auto& core : cores_) core->debug_dump(stderr);
+}
+
 void Cluster::wait(core::Request* req) {
   NMAD_ASSERT(req != nullptr);
-  const bool ok = world_.run_until([req]() { return req->done(); });
-  if (!ok) {
-    // Protocol deadlock: dump every engine's state before aborting so the
-    // failure is diagnosable.
-    for (auto& core : cores_) core->debug_dump(stderr);
-    NMAD_ASSERT_MSG(ok, "simulation went quiescent with a pending request");
+  int reports = 0;
+  double next_report = stall_report_interval_us_ > 0.0
+                           ? world_.now() + stall_report_interval_us_
+                           : 0.0;
+  while (!req->done()) {
+    if (!world_.run_one()) {
+      // Protocol deadlock: dump every engine's state before aborting so
+      // the failure is diagnosable.
+      for (auto& core : cores_) core->debug_dump(stderr);
+      NMAD_ASSERT_MSG(false,
+                      "simulation went quiescent with a pending request");
+    }
+    if (stall_report_interval_us_ > 0.0 && world_.now() >= next_report &&
+        !req->done()) {
+      stall_report(req, ++reports);
+      NMAD_ASSERT_MSG(reports < stall_report_limit_,
+                      "request made no progress; giving up after repeated "
+                      "stall reports");
+      next_report = world_.now() + stall_report_interval_us_;
+    }
   }
 }
 

@@ -23,6 +23,14 @@ struct ClusterOptions {
   std::vector<simnet::NicProfile> rails;
   simnet::CpuProfile cpu = simnet::opteron_2006_profile();
   core::CoreConfig core;
+  // Progress watchdog for wait(): when a request is still pending after
+  // this much virtual time, print a stall report (request identity plus
+  // every engine's debug dump) and keep going; after `stall_report_limit`
+  // reports the wait aborts — a live-locked protocol is as much a bug as
+  // a quiescent one, but the trail of reports shows what it was doing.
+  // 0 disables the watchdog (wait only aborts on quiescence).
+  double stall_report_interval_us = 1e6;
+  int stall_report_limit = 16;
 };
 
 class Cluster {
@@ -53,10 +61,14 @@ class Cluster {
   void wait_all(std::span<core::Request* const> reqs);
 
  private:
+  void stall_report(const core::Request* req, int n) const;
+
   simnet::SimWorld world_;
   simnet::Fabric fabric_;
   std::vector<std::unique_ptr<core::Core>> cores_;
   std::vector<std::vector<core::GateId>> gates_;  // [from][to]
+  double stall_report_interval_us_;
+  int stall_report_limit_;
 };
 
 }  // namespace nmad::api

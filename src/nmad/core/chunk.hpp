@@ -36,13 +36,21 @@ struct OutChunk {
   std::vector<uint32_t> ack_sacks;     // selectively acked packet seqs
   std::vector<BulkAck> ack_bulk_acks;  // acked rendezvous slices
 
+  // kCredit only: cumulative eager admission limits for the peer.
+  uint64_t credit_bytes = 0;
+  uint64_t credit_chunks = 0;
+  // Flow control: set once this chunk's payload has been charged against
+  // the gate's credit, so a chunk returned to the window (rail death) is
+  // never charged twice.
+  bool credit_charged = false;
+
   Priority prio = Priority::kNormal;
   RailIndex pinned_rail = kAnyRail;
   SendRequest* owner = nullptr;  // null for control chunks
 
   [[nodiscard]] bool is_control() const {
     return kind == ChunkKind::kRts || kind == ChunkKind::kCts ||
-           kind == ChunkKind::kAck;
+           kind == ChunkKind::kAck || kind == ChunkKind::kCredit;
   }
 
   // Bytes this chunk adds to a track-0 packet (header + inline payload).

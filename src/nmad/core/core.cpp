@@ -16,6 +16,13 @@ namespace {
 // consumed when the chunk ships and re-queued if it overflows.
 constexpr size_t kMaxSacksPerAck = 32;
 constexpr size_t kMaxBulkAcksPerAck = 16;
+// A block at least this large that does not fit the remaining credit is
+// demoted to rendezvous instead of waiting for the window to open: the
+// RTS costs a round-trip but moves no payload until the receiver agrees.
+constexpr size_t kCreditRdvFloor = 1024;
+// An expired deadline whose request is momentarily un-cancellable (a part
+// is inside a transmitting builder) retries at this interval.
+constexpr double kDeadlineRetryUs = 50.0;
 }  // namespace
 
 Core::Core(simnet::SimWorld& world, simnet::SimNode& node, CoreConfig config)
@@ -27,8 +34,11 @@ Core::Core(simnet::SimWorld& world, simnet::SimNode& node, CoreConfig config)
       // receiver NIC never collide across senders.
       next_cookie_((static_cast<uint64_t>(node.id()) + 1) << 48) {
   NMAD_ASSERT_MSG(strategy_ != nullptr, "unknown strategy name");
-  // The reliability layer needs checksums: corruption detection is what
-  // turns a flipped bit into a clean drop + retransmit.
+  // Flow control rides the ack machinery (credits piggyback on acks and
+  // must survive loss), so it forces reliability on; reliability in turn
+  // needs checksums: corruption detection is what turns a flipped bit
+  // into a clean drop + retransmit.
+  if (config_.flow_control) config_.reliability = true;
   if (config_.reliability) config_.wire_checksum = true;
 }
 
@@ -119,6 +129,20 @@ util::Expected<GateId> Core::connect(drivers::PeerAddr peer,
   if (config_.rdv_threshold_override != 0 && gate->has_rdma) {
     gate->rdv_threshold = config_.rdv_threshold_override;
   }
+  if (config_.flow_control) {
+    // Both endpoints start from the configured initial grant; everything
+    // after that is negotiated through kCredit advertisements.
+    gate->credit_limit_bytes = config_.initial_credit_bytes == 0
+                                   ? UINT64_MAX
+                                   : config_.initial_credit_bytes;
+    gate->credit_limit_chunks = config_.initial_credit_msgs == 0
+                                    ? UINT64_MAX
+                                    : config_.initial_credit_msgs;
+    gate->advertised_limit_bytes = gate->credit_limit_bytes;
+    gate->advertised_limit_chunks = gate->credit_limit_chunks;
+    gate->last_sent_limit_bytes = gate->advertised_limit_bytes;
+    gate->last_sent_limit_chunks = gate->advertised_limit_chunks;
+  }
 
   const GateId id = gate->id;
   peer_gate_[peer] = id;
@@ -176,6 +200,9 @@ OutChunk* Core::new_chunk() { return chunk_pool_.acquire(); }
 void Core::submit_chunk(Gate& gate, OutChunk* chunk) {
   node_.cpu().charge(config_.submit_chunk_us);
   if (chunk->prio == Priority::kHigh) chunk->flags |= kFlagPriority;
+  if (flow_control() && !chunk->is_control() && !chunk->credit_charged) {
+    gate.window_eager_bytes += chunk->payload.size();
+  }
   gate.window.push_back(*chunk);
 }
 
@@ -280,7 +307,18 @@ SendRequest* Core::isend(GateId gate_id, Tag tag, const SourceLayout& src,
 
   for (const SourceLayout::Block& block : src.blocks()) {
     if (block.memory.empty()) continue;
-    if (g.has_rdma && block.memory.size() >= g.rdv_threshold) {
+    bool rdv = g.has_rdma && block.memory.size() >= g.rdv_threshold;
+    if (!rdv && flow_control() && g.has_rdma &&
+        block.memory.size() >= kCreditRdvFloor &&
+        g.eager_sent_bytes + g.window_eager_bytes + block.memory.size() >
+            g.credit_limit_bytes) {
+      // Graceful degradation: the eager path would exhaust the peer's
+      // credit, so negotiate the block instead — the RTS is always
+      // admissible and the body bypasses the receiver's eager budget.
+      rdv = true;
+      ++stats_.credit_rdv_degrades;
+    }
+    if (rdv) {
       submit_rdv_block(g, req, tag, seq, block.logical_offset, block.memory,
                        total, hints);
     } else {
@@ -316,9 +354,22 @@ RecvRequest* Core::irecv(GateId gate_id, Tag tag, DestLayout dest) {
   if (it != g.unexpected.end()) {
     UnexpectedMsg msg = std::move(it->second);
     g.unexpected.erase(it);
+    if (msg.peer_cancelled) {
+      // The sender withdrew this message before we matched it.
+      g.active_recv.erase(key);
+      req->complete(util::cancelled("sender withdrew the message"));
+      return req;
+    }
+    size_t drained_bytes = 0;
+    size_t drained_chunks = 0;
     for (const StoredFrag& frag : msg.frags) {
+      if (!frag.data.view().empty()) {
+        drained_bytes += frag.data.view().size();
+        ++drained_chunks;
+      }
       deliver_eager(g, req, frag.offset, frag.total, frag.data.view());
     }
+    if (drained_bytes > 0) rx_store_discharge(g, drained_bytes, drained_chunks);
     for (const StoredRts& rts : msg.rts) {
       start_rdv_recv(g, req, rts.len, rts.offset, rts.total, rts.cookie);
     }
@@ -357,6 +408,9 @@ Core::PeekResult Core::peek_unexpected(GateId gate_id, Tag tag) {
 void Core::release(Request* req) {
   NMAD_ASSERT(req != nullptr);
   NMAD_ASSERT_MSG(req->done(), "release of an incomplete request");
+  // A deadline still ticking on a released request would fire on pooled
+  // memory reused by a future request.
+  cancel_deadline(req);
   if (req->kind() == Request::Kind::kSend) {
     send_pool_.release(static_cast<SendRequest*>(req));
   } else {
@@ -498,6 +552,8 @@ void Core::issue_packet(Gate& gate, RailIndex rail,
   // Piggyback any pending acknowledgement on this packet — a free ride,
   // where a standalone ack packet would cost a header and an election.
   if (reliable()) maybe_inject_ack(gate, *builder);
+  // Likewise a credit advertisement, whenever the limits grew.
+  if (flow_control()) maybe_inject_credit(gate, *builder);
 
   // The optimizer just inspected the window and synthesized a packet;
   // charge its cost (§5.1: "extra operations on the critical path") —
@@ -510,12 +566,14 @@ void Core::issue_packet(Gate& gate, RailIndex rail,
   }
 
   // Payload-bearing packets get a sequence number and enter the unacked
-  // window; pure-ack packets are fire-and-forget (acknowledging an ack
-  // would ping-pong forever).
+  // window; pure ack/credit packets are fire-and-forget (acknowledging an
+  // ack would ping-pong forever, and credits are self-healing: the next
+  // advertisement supersedes a lost one).
   bool track = false;
   if (reliable()) {
     for (const OutChunk* chunk : builder->chunks()) {
-      if (chunk->kind != ChunkKind::kAck) {
+      if (chunk->kind != ChunkKind::kAck &&
+          chunk->kind != ChunkKind::kCredit) {
         track = true;
         break;
       }
@@ -664,6 +722,9 @@ void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
           case ChunkKind::kAck:
             handle_ack(g, chunk);
             break;
+          case ChunkKind::kCredit:
+            handle_credit(g, chunk);
+            break;
         }
       });
   if (!st.is_ok()) {
@@ -680,9 +741,27 @@ void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
 }
 
 void Core::handle_payload_chunk(Gate& gate, const WireChunk& chunk) {
+  if (flow_control() && !chunk.payload.empty()) {
+    // Heard-side credit accounting, the mirror of the sender's charge.
+    // Runs before any tombstone check so the two ends stay in step even
+    // for payload that is about to be dropped.
+    gate.eager_heard_bytes += chunk.payload.size();
+    gate.eager_heard_chunks += 1;
+  }
   const MsgKey key{chunk.tag, chunk.seq};
+  if (gate.cancelled_recv.count(key) != 0) {
+    // The receive was cancelled; its data has nowhere to go.
+    ++stats_.cancelled_payload_dropped;
+    return;
+  }
   auto it = gate.active_recv.find(key);
   if (it == gate.active_recv.end()) {
+    auto ue = gate.unexpected.find(key);
+    if (ue != gate.unexpected.end() && ue->second.peer_cancelled) {
+      // The sender withdrew the message; this is a straggler.
+      ++stats_.cancelled_payload_dropped;
+      return;
+    }
     // Unexpected: copy the payload aside (real host work) until a
     // matching receive is posted.
     ++stats_.unexpected_chunks;
@@ -694,6 +773,9 @@ void Core::handle_payload_chunk(Gate& gate, const WireChunk& chunk) {
     frag.total = chunk.total;
     frag.data.append(chunk.payload);
     gate.unexpected[key].frags.push_back(std::move(frag));
+    if (!chunk.payload.empty()) {
+      rx_store_charge(gate, chunk.payload.size(), 1);
+    }
     return;
   }
   deliver_eager(gate, it->second, chunk.offset, chunk.total, chunk.payload);
@@ -712,16 +794,67 @@ void Core::deliver_eager(Gate& gate, RecvRequest* req, uint32_t offset,
   // Eager data is copied from the NIC buffer into the destination layout:
   // the one unavoidable copy of eager protocols. Content moves now (the
   // source view dies with the packet); completion is accounted when the
-  // modelled memcpy finishes.
+  // modelled memcpy finishes. The deferred event re-looks the receive up
+  // by key — it may be cancelled (and even released) while the modelled
+  // memcpy is in flight.
   req->layout_.scatter(offset, payload);
   const simnet::SimTime done_at = node_.cpu().charge_memcpy(payload.size());
   const size_t n = payload.size();
-  world_.at(done_at,
-            [this, &gate, req, n]() { recv_add_bytes(gate, req, n); });
+  const GateId gid = gate.id;
+  const MsgKey key{req->tag(), req->seq()};
+  world_.at(done_at, [this, gid, key, n]() {
+    Gate& g = this->gate(gid);
+    auto it = g.active_recv.find(key);
+    if (it == g.active_recv.end()) return;
+    recv_add_bytes(g, it->second, n);
+  });
 }
 
 void Core::handle_rts(Gate& gate, const WireChunk& chunk) {
   const MsgKey key{chunk.tag, chunk.seq};
+  if ((chunk.flags & kFlagCancel) != 0) {
+    // The sender withdrew the whole message (tag, seq).
+    auto ar = gate.active_recv.find(key);
+    if (ar != gate.active_recv.end()) {
+      RecvRequest* req = ar->second;
+      for (auto rv = gate.rdv_recv.begin(); rv != gate.rdv_recv.end();) {
+        if (rv->second.request != req) {
+          ++rv;
+          continue;
+        }
+        for (uint8_t r : rv->second.rails) {
+          rails_[r].driver->cancel_bulk_recv(rv->first);
+        }
+        rv = gate.rdv_recv.erase(rv);
+      }
+      gate.active_recv.erase(ar);
+      req->complete(util::cancelled("sender withdrew the message"));
+      return;
+    }
+    if (gate.cancelled_recv.count(key) != 0) return;  // cancelled here too
+    // Not matched yet: drop whatever is parked and leave a tombstone so
+    // the future irecv learns of the withdrawal.
+    UnexpectedMsg& msg = gate.unexpected[key];
+    size_t bytes = 0;
+    size_t chunks = 0;
+    for (const StoredFrag& frag : msg.frags) {
+      if (!frag.data.view().empty()) {
+        bytes += frag.data.view().size();
+        ++chunks;
+      }
+    }
+    if (bytes > 0) rx_store_discharge(gate, bytes, chunks);
+    msg.frags.clear();
+    msg.rts.clear();
+    msg.peer_cancelled = true;
+    return;
+  }
+  if (gate.cancelled_recv.count(key) != 0) {
+    // The receive was cancelled: refuse the grant so the sender unwinds.
+    send_cancel_cts(gate, chunk.tag, chunk.seq, chunk.cookie);
+    refill_all();
+    return;
+  }
   auto it = gate.active_recv.find(key);
   if (it == gate.active_recv.end()) {
     ++stats_.unexpected_chunks;
@@ -833,12 +966,18 @@ void Core::on_bulk_recv_complete(GateId gate_id, uint64_t cookie) {
   RecvRequest* req = rec.request;
   const size_t len = rec.len;
   if (!rec.bounce.empty()) {
-    // Bounce path: scatter into the real destination at memcpy cost.
+    // Bounce path: scatter into the real destination at memcpy cost. The
+    // deferred completion re-looks the receive up by key (see
+    // deliver_eager for why).
     req->layout_.scatter(rec.offset, rec.bounce.view());
     const simnet::SimTime done_at = node_.cpu().charge_memcpy(len);
-    Gate* gp = &g;
-    world_.at(done_at,
-              [this, gp, req, len]() { recv_add_bytes(*gp, req, len); });
+    const MsgKey key{req->tag(), req->seq()};
+    world_.at(done_at, [this, gate_id, key, len]() {
+      Gate& g2 = this->gate(gate_id);
+      auto ar = g2.active_recv.find(key);
+      if (ar == g2.active_recv.end()) return;
+      recv_add_bytes(g2, ar->second, len);
+    });
   } else {
     recv_add_bytes(g, req, len);
   }
@@ -874,6 +1013,21 @@ void Core::debug_dump(std::FILE* out) const {
                  gate->active_recv.size(), gate->unexpected.size(),
                  gate->rdv_recv.size(), gate->pending_pkts.size(),
                  gate->pending_bulk.size(), gate->failed ? 1 : 0);
+    if (config_.flow_control) {
+      std::fprintf(
+          out,
+          "  credit: sent=%llu/%llu limit=%llu/%llu heard=%llu/%llu "
+          "advertised=%llu/%llu stored=%zu stalled=%d\n",
+          static_cast<unsigned long long>(gate->eager_sent_bytes),
+          static_cast<unsigned long long>(gate->eager_sent_chunks),
+          static_cast<unsigned long long>(gate->credit_limit_bytes),
+          static_cast<unsigned long long>(gate->credit_limit_chunks),
+          static_cast<unsigned long long>(gate->eager_heard_bytes),
+          static_cast<unsigned long long>(gate->eager_heard_chunks),
+          static_cast<unsigned long long>(gate->advertised_limit_bytes),
+          static_cast<unsigned long long>(gate->advertised_limit_chunks),
+          gate->stored_bytes, gate->credit_stalled ? 1 : 0);
+    }
   }
   std::fprintf(out,
                "stats: sends=%llu recvs=%llu packets=%llu/%llu "
@@ -906,11 +1060,42 @@ void Core::debug_dump(std::FILE* out) const {
         static_cast<unsigned long long>(stats_.rails_failed),
         static_cast<unsigned long long>(stats_.gates_failed));
   }
+  if (config_.flow_control) {
+    std::fprintf(
+        out,
+        "flow: grants=%llu stalls=%llu probes=%llu rdv_degrades=%llu "
+        "rx_stored=%llu rx_hwm=%llu\n",
+        static_cast<unsigned long long>(stats_.credit_grants),
+        static_cast<unsigned long long>(stats_.credit_stalls),
+        static_cast<unsigned long long>(stats_.credit_probes),
+        static_cast<unsigned long long>(stats_.credit_rdv_degrades),
+        static_cast<unsigned long long>(stats_.rx_stored_bytes),
+        static_cast<unsigned long long>(stats_.rx_stored_hwm));
+  }
+  if (stats_.sends_cancelled != 0 || stats_.recvs_cancelled != 0 ||
+      stats_.deadlines_exceeded != 0 || stats_.cancelled_payload_dropped != 0) {
+    std::fprintf(
+        out,
+        "cancel: sends=%llu recvs=%llu deadlines=%llu dropped=%llu\n",
+        static_cast<unsigned long long>(stats_.sends_cancelled),
+        static_cast<unsigned long long>(stats_.recvs_cancelled),
+        static_cast<unsigned long long>(stats_.deadlines_exceeded),
+        static_cast<unsigned long long>(stats_.cancelled_payload_dropped));
+  }
 }
 
 void Core::handle_cts(Gate& gate, const WireChunk& chunk) {
+  if ((chunk.flags & kFlagCancel) != 0) {
+    handle_cancel_cts(gate, chunk);
+    return;
+  }
   auto it = gate.rdv_wait_cts.find(chunk.cookie);
-  NMAD_ASSERT_MSG(it != gate.rdv_wait_cts.end(), "CTS for unknown cookie");
+  if (it == gate.rdv_wait_cts.end()) {
+    // A grant racing our own withdrawal: consume the tombstone.
+    if (gate.cancelled_rdv.erase(chunk.cookie) > 0) return;
+    NMAD_ASSERT_MSG(false, "CTS for unknown cookie");
+    return;
+  }
   BulkJob* job = it->second;
   gate.rdv_wait_cts.erase(it);
 
@@ -1077,7 +1262,9 @@ void Core::retire_packet(Gate& gate,
   rails_[p.last_rail].consec_timeouts = 0;  // the rail delivered
   std::vector<SendRequest*> owners = std::move(p.owners);
   gate.pending_pkts.erase(it);
-  for (SendRequest* owner : owners) owner->part_done();
+  for (SendRequest* owner : owners) {
+    if (owner != nullptr) owner->part_done();  // null: cancelled mid-flight
+  }
 }
 
 void Core::retire_bulk(Gate& gate, const BulkAck& ack) {
@@ -1325,6 +1512,10 @@ void Core::fail_gate(Gate& gate, const util::Status& status) {
     world_.cancel(gate.ack_timer);
     gate.ack_timer_armed = false;
   }
+  if (gate.credit_probe_armed) {
+    world_.cancel(gate.credit_probe_timer);
+    gate.credit_probe_armed = false;
+  }
 
   // Window chunks: owners learn the error; control chunks just vanish.
   while (!gate.window.empty()) {
@@ -1344,10 +1535,12 @@ void Core::fail_gate(Gate& gate, const util::Status& status) {
     }
   }
 
-  // In-flight reliable packets.
+  // In-flight reliable packets (null owners: chunks cancelled mid-flight).
   for (auto& [seq, p] : gate.pending_pkts) {
     if (p.timer_armed) world_.cancel(p.timer);
-    for (SendRequest* owner : p.owners) owner->complete(status);
+    for (SendRequest* owner : p.owners) {
+      if (owner != nullptr) owner->complete(status);
+    }
   }
   gate.pending_pkts.clear();
   gate.retx_queue.clear();
@@ -1375,6 +1568,11 @@ void Core::fail_gate(Gate& gate, const util::Status& status) {
   gate.rdv_recv.clear();
   for (auto& [key, req] : gate.active_recv) req->complete(status);
   gate.active_recv.clear();
+  // Release the rx budget held by this peer's parked fragments. `failed`
+  // is already set, so the discharge does not try to re-advertise credit.
+  if (gate.stored_bytes > 0 || gate.stored_chunks > 0) {
+    rx_store_discharge(gate, gate.stored_bytes, gate.stored_chunks);
+  }
   gate.unexpected.clear();
   gate.recv_seen.clear();
   gate.pending_bulk_acks.clear();
@@ -1395,6 +1593,561 @@ void Core::on_bulk_orphan(drivers::PeerAddr from, uint64_t cookie,
   ack.len = static_cast<uint32_t>(len);
   g.pending_bulk_acks.push_back(ack);
   schedule_ack(g);
+}
+
+// ---------------------------------------------------------------------------
+// Flow control (CoreConfig::flow_control)
+//
+// The receiver advertises cumulative admission limits — "you may have sent
+// me at most L bytes / N chunks of eager payload since the connection
+// opened". Cumulative limits (rather than deltas) make the scheme immune
+// to loss and reordering: the sender keeps max(limit seen so far) and a
+// stale or lost advertisement is simply superseded by the next one.
+// ---------------------------------------------------------------------------
+
+bool Core::credit_admits(Gate& gate, const OutChunk& chunk) {
+  if (!flow_control() || gate.failed) return true;
+  if (chunk.is_control() || chunk.payload.empty() || chunk.credit_charged) {
+    return true;  // control traffic and re-homed chunks always flow
+  }
+  if (gate.eager_sent_bytes + chunk.payload.size() <=
+          gate.credit_limit_bytes &&
+      gate.eager_sent_chunks + 1 <= gate.credit_limit_chunks) {
+    return true;
+  }
+  note_credit_stall(gate);
+  return false;
+}
+
+void Core::charge_credit(Gate& gate, OutChunk& chunk) {
+  if (!flow_control() || chunk.credit_charged || chunk.is_control() ||
+      chunk.payload.empty()) {
+    return;
+  }
+  chunk.credit_charged = true;
+  gate.eager_sent_bytes += chunk.payload.size();
+  gate.eager_sent_chunks += 1;
+  gate.window_eager_bytes -=
+      std::min(gate.window_eager_bytes, chunk.payload.size());
+}
+
+void Core::note_credit_stall(Gate& gate) {
+  ++stats_.credit_stalls;
+  gate.credit_stalled = true;
+  if (gate.credit_probe_armed || config_.credit_probe_us <= 0.0) return;
+  gate.credit_probe_armed = true;
+  const GateId gid = gate.id;
+  gate.credit_probe_timer = world_.after(
+      config_.credit_probe_us, [this, gid]() { on_credit_probe(gid); });
+}
+
+void Core::on_credit_probe(GateId gate_id) {
+  Gate& g = gate(gate_id);
+  g.credit_probe_armed = false;
+  if (g.failed || !g.credit_stalled) return;
+  // While anything of ours is still unacked, a piggybacked credit update
+  // can still come home on its ack: keep waiting.
+  if (!g.pending_pkts.empty() || !g.pending_bulk.empty()) {
+    g.credit_probe_armed = true;
+    g.credit_probe_timer = world_.after(
+        config_.credit_probe_us,
+        [this, gate_id]() { on_credit_probe(gate_id); });
+    return;
+  }
+  // Anything actually held back? The flag can outlive the traffic (the
+  // stalled chunks may have been cancelled); if nothing in the window is
+  // waiting on credit, the stall is over and the timer stays down.
+  bool held = false;
+  for (const OutChunk& c : g.window) {
+    if (!c.is_control() && !c.payload.empty() && !c.credit_charged) {
+      held = true;
+      break;
+    }
+  }
+  if (!held) {
+    g.credit_stalled = false;
+    return;
+  }
+  // Quiet gate, stalled sender: either the peer's store is full, or its
+  // last credit update was lost (standalone ack/credit packets are
+  // fire-and-forget). We cannot tell which from here, and force-admitting
+  // would breach the receiver's budget — so ask instead: a kCredit chunk
+  // with zero limits is a no-op under the monotone-max rule, which lets
+  // the zero value double as "please restate your limits". A lost update
+  // comes back on the answer; a genuinely full receiver restates the old
+  // limits and we simply probe again.
+  RailIndex chosen = kAnyRail;
+  bool any_alive = false;
+  if (g.has_rail(g.last_heard_rail) && rails_[g.last_heard_rail].alive) {
+    any_alive = true;
+    if (rails_[g.last_heard_rail].driver->tx_idle()) {
+      chosen = g.last_heard_rail;
+    }
+  }
+  for (RailIndex r : g.rails) {
+    if (chosen != kAnyRail) break;
+    if (!rails_[r].alive) continue;
+    any_alive = true;
+    if (rails_[r].driver->tx_idle()) {
+      chosen = r;
+      break;
+    }
+  }
+  if (!any_alive) return;  // every rail is gone; failure detection acts
+  if (chosen != kAnyRail) {
+    OutChunk* req = new_chunk();
+    req->kind = ChunkKind::kCredit;
+    req->flags = 0;
+    req->credit_bytes = 0;
+    req->credit_chunks = 0;
+    req->prio = Priority::kHigh;
+    req->owner = nullptr;
+    const RailInfo& info = rails_[chosen].info;
+    auto builder = std::make_shared<PacketBuilder>(
+        std::min(g.max_packet, info.max_packet_bytes),
+        info.gather ? info.max_gather_segments : 0, config_.wire_checksum,
+        /*reserve_seq=*/true);
+    builder->add(req);
+    issue_packet(g, chosen, std::move(builder), /*charge_election=*/false);
+    ++stats_.credit_probes;
+  }
+  // Keep probing until the limits grow (handle_credit cancels the timer)
+  // or the held-back traffic goes away.
+  g.credit_probe_armed = true;
+  g.credit_probe_timer = world_.after(
+      config_.credit_probe_us, [this, gate_id]() { on_credit_probe(gate_id); });
+}
+
+void Core::refresh_advert(Gate& gate) {
+  if (gate.failed) return;
+  // Bytes. With a budget, grant exactly the room the store has left after
+  // what is parked plus what the *other* peers may still send against
+  // their outstanding grants; this gate's own outstanding grant is being
+  // recomputed, so it is excluded.
+  uint64_t want_bytes = gate.advertised_limit_bytes;
+  if (config_.rx_budget == 0) {
+    if (config_.initial_credit_bytes != 0) {
+      want_bytes = gate.eager_heard_bytes + config_.initial_credit_bytes;
+    }
+  } else {
+    const uint64_t budget =
+        std::max<uint64_t>(config_.rx_budget, gate.max_packet);
+    uint64_t used = 0;
+    for (const auto& g : gates_) {
+      used += g->stored_bytes;
+      if (g.get() != &gate &&
+          g->advertised_limit_bytes > g->eager_heard_bytes) {
+        used += g->advertised_limit_bytes - g->eager_heard_bytes;
+      }
+    }
+    uint64_t avail = budget > used ? budget - used : 0;
+    // Cap the outstanding grant at the initial window. Adverts are
+    // monotone, so an over-generous grant to a sender that then goes idle
+    // is stranded forever — and a stranded grant the size of the whole
+    // budget starves every other peer (deadlock). Capping bounds the
+    // stranding to one initial window per idle gate, and the config rule
+    // "Σ initial grants ≤ budget" then guarantees each gate can always be
+    // re-granted its window: no peer can be starved out.
+    if (config_.initial_credit_bytes != 0) {
+      avail = std::min<uint64_t>(avail, config_.initial_credit_bytes);
+    }
+    want_bytes = gate.eager_heard_bytes + avail;
+  }
+  if (want_bytes > gate.advertised_limit_bytes) {
+    gate.advertised_limit_bytes = want_bytes;  // monotone, never retreats
+  }
+  // Chunk count, same shape.
+  uint64_t want_chunks = gate.advertised_limit_chunks;
+  if (config_.rx_budget_msgs == 0) {
+    if (config_.initial_credit_msgs != 0) {
+      want_chunks = gate.eager_heard_chunks + config_.initial_credit_msgs;
+    }
+  } else {
+    const uint64_t budget = std::max<uint64_t>(config_.rx_budget_msgs, 1);
+    uint64_t used = 0;
+    for (const auto& g : gates_) {
+      used += g->stored_chunks;
+      if (g.get() != &gate &&
+          g->advertised_limit_chunks > g->eager_heard_chunks) {
+        used += g->advertised_limit_chunks - g->eager_heard_chunks;
+      }
+    }
+    uint64_t avail = budget > used ? budget - used : 0;
+    if (config_.initial_credit_msgs != 0) {  // same stranding cap as bytes
+      avail = std::min<uint64_t>(avail, config_.initial_credit_msgs);
+    }
+    want_chunks = gate.eager_heard_chunks + avail;
+  }
+  if (want_chunks > gate.advertised_limit_chunks) {
+    gate.advertised_limit_chunks = want_chunks;
+  }
+}
+
+OutChunk* Core::make_credit_chunk(Gate& gate) {
+  refresh_advert(gate);
+  if (!gate.credit_update_needed &&
+      gate.advertised_limit_bytes == gate.last_sent_limit_bytes &&
+      gate.advertised_limit_chunks == gate.last_sent_limit_chunks) {
+    return nullptr;  // the peer already knows everything we could say
+  }
+  OutChunk* chunk = new_chunk();
+  chunk->kind = ChunkKind::kCredit;
+  chunk->flags = 0;
+  chunk->credit_bytes = gate.advertised_limit_bytes;
+  chunk->credit_chunks = gate.advertised_limit_chunks;
+  chunk->prio = Priority::kHigh;
+  chunk->owner = nullptr;
+  return chunk;
+}
+
+void Core::maybe_inject_credit(Gate& gate, PacketBuilder& builder) {
+  if (!flow_control() || gate.failed) return;
+  OutChunk* credit = make_credit_chunk(gate);
+  if (credit == nullptr) return;
+  if (!builder.empty() && !builder.fits(*credit)) {
+    chunk_pool_.release(credit);
+    return;  // packet is full; the next one (or an ack) carries the update
+  }
+  builder.add(credit);
+  gate.last_sent_limit_bytes = gate.advertised_limit_bytes;
+  gate.last_sent_limit_chunks = gate.advertised_limit_chunks;
+  gate.credit_update_needed = false;
+  ++stats_.credit_grants;
+}
+
+void Core::handle_credit(Gate& gate, const WireChunk& chunk) {
+  if (!flow_control()) return;
+  if (chunk.credit_bytes == 0 && chunk.credit_chunks == 0) {
+    // A credit *request* from a stalled sender (see on_credit_probe):
+    // restate our current limits on the ack path, even if they have not
+    // moved since the last advertisement.
+    if (!gate.failed) {
+      gate.credit_update_needed = true;
+      schedule_ack(gate);
+    }
+    return;
+  }
+  bool grew = false;
+  if (chunk.credit_bytes > gate.credit_limit_bytes) {
+    gate.credit_limit_bytes = chunk.credit_bytes;
+    grew = true;
+  }
+  if (chunk.credit_chunks > gate.credit_limit_chunks) {
+    gate.credit_limit_chunks = chunk.credit_chunks;
+    grew = true;
+  }
+  if (!grew) return;  // stale (reordered) advertisement
+  gate.credit_stalled = false;
+  if (gate.credit_probe_armed) {
+    world_.cancel(gate.credit_probe_timer);
+    gate.credit_probe_armed = false;
+  }
+  refill_all();  // stalled chunks may be admissible now
+}
+
+void Core::rx_store_charge(Gate& gate, size_t bytes, size_t chunks) {
+  gate.stored_bytes += bytes;
+  gate.stored_chunks += chunks;
+  stats_.rx_stored_bytes += bytes;
+  if (stats_.rx_stored_bytes > stats_.rx_stored_hwm) {
+    stats_.rx_stored_hwm = stats_.rx_stored_bytes;
+  }
+}
+
+void Core::rx_store_discharge(Gate& gate, size_t bytes, size_t chunks) {
+  NMAD_ASSERT(gate.stored_bytes >= bytes);
+  NMAD_ASSERT(gate.stored_chunks >= chunks);
+  NMAD_ASSERT(stats_.rx_stored_bytes >= bytes);
+  gate.stored_bytes -= bytes;
+  gate.stored_chunks -= chunks;
+  stats_.rx_stored_bytes -= bytes;
+  // Freed room means fresh credit to hand out; let it ride the next ack.
+  if (flow_control() && bytes > 0 && !gate.failed) {
+    gate.credit_update_needed = true;
+    schedule_ack(gate);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation & deadlines
+// ---------------------------------------------------------------------------
+
+bool Core::cancel(Request* req) {
+  return cancel_with(req, util::cancelled("cancelled by the application"));
+}
+
+bool Core::cancel_with(Request* req, util::Status status) {
+  if (req->done()) return false;
+  Gate& g = gate(req->gate());
+  if (req->kind() == Request::Kind::kSend) {
+    return cancel_send(g, static_cast<SendRequest*>(req), std::move(status));
+  }
+  return cancel_recv(g, static_cast<RecvRequest*>(req), std::move(status));
+}
+
+bool Core::cancel_send(Gate& gate, SendRequest* req, util::Status status) {
+  if (gate.failed) return false;
+  // Pass 1 (no mutation): every pending part must be reachable, or the
+  // cancel is refused and the send proceeds untouched. Parts inside a
+  // prebuilt packet are unreachable on purpose — the builder holds live
+  // views of the application buffer and is already promised to a NIC.
+  size_t reachable = 0;
+  for (OutChunk& c : gate.window) {
+    if (c.owner == req) ++reachable;
+  }
+  std::set<BulkJob*> jobs;
+  for (auto& [cookie, job] : gate.rdv_wait_cts) {
+    if (job->owner == req) jobs.insert(job);
+  }
+  for (BulkJob& job : gate.ready_bulk) {
+    if (job.owner == req) jobs.insert(&job);
+  }
+  for (auto& [key, p] : gate.pending_bulk) {
+    if (p.job->owner == req) jobs.insert(p.job);
+  }
+  if (!reliable()) {
+    // Without the reliability layer, a streaming job's driver-completion
+    // callback dereferences the job: it cannot be freed mid-flight.
+    for (BulkJob* job : jobs) {
+      if (job->sent > job->acked) return false;
+    }
+  }
+  reachable += jobs.size();
+  if (reliable()) {
+    for (auto& [seq, p] : gate.pending_pkts) {
+      for (SendRequest* owner : p.owners) {
+        if (owner == req) ++reachable;
+      }
+    }
+  }
+  if (reachable < req->pending_parts_) return false;
+  NMAD_ASSERT(reachable == req->pending_parts_);
+
+  // Pass 2: unwind. Window chunks are simply discarded; charged-but-lost
+  // chunks (re-homed by a rail death) un-charge so the sender's view of
+  // the credit window stays consistent with what the receiver heard.
+  std::vector<OutChunk*> mine;
+  for (OutChunk& c : gate.window) {
+    if (c.owner == req) mine.push_back(&c);
+  }
+  for (OutChunk* c : mine) {
+    gate.window.remove(*c);
+    if (flow_control() && !c->payload.empty()) {
+      if (c->credit_charged) {
+        gate.eager_sent_bytes -= c->payload.size();
+        gate.eager_sent_chunks -= 1;
+      } else {
+        gate.window_eager_bytes -=
+            std::min(gate.window_eager_bytes, c->payload.size());
+      }
+    }
+    chunk_pool_.release(c);
+  }
+  for (BulkJob* job : jobs) {
+    // A CTS may already be on its way: tombstone the cookie so the grant
+    // is swallowed instead of tripping the unknown-cookie assert.
+    gate.cancelled_rdv.insert(job->cookie);
+    gate.rdv_wait_cts.erase(job->cookie);
+    remove_window_rts(gate, job->cookie);
+    drop_bulk_job(gate, job);
+  }
+  if (reliable()) {
+    // In-flight packets keep their flattened wire copy (retransmits stay
+    // memory-safe); only the completion hook is detached.
+    for (auto& [seq, p] : gate.pending_pkts) {
+      for (SendRequest*& owner : p.owners) {
+        if (owner == req) owner = nullptr;
+      }
+    }
+  }
+  // The message consumed a sequence number, so the peer's matching irecv
+  // would wait forever: always tell it the message was withdrawn.
+  send_cancel_rts(gate, req->tag(), req->seq(), 0);
+  refill_all();
+  ++stats_.sends_cancelled;
+  req->pending_parts_ = 0;
+  req->complete(std::move(status));
+  cancel_deadline(req);
+  return true;
+}
+
+bool Core::cancel_recv(Gate& gate, RecvRequest* req, util::Status status) {
+  if (gate.failed) return false;
+  const MsgKey key{req->tag(), req->seq()};
+  std::vector<uint64_t> cookies;
+  for (auto& [cookie, rec] : gate.rdv_recv) {
+    if (rec.request == req) cookies.push_back(cookie);
+  }
+  if (!reliable()) {
+    // Once the CTS left the window the sender may stream at any moment;
+    // without the reliability layer a torn-down sink would strand those
+    // bytes with nowhere to go. Only cancel while the grant is still ours.
+    for (uint64_t cookie : cookies) {
+      bool in_window = false;
+      for (OutChunk& c : gate.window) {
+        if (c.kind == ChunkKind::kCts && c.cookie == cookie &&
+            (c.flags & kFlagCancel) == 0) {
+          in_window = true;
+          break;
+        }
+      }
+      if (!in_window) return false;
+    }
+  }
+  gate.active_recv.erase(key);
+  gate.cancelled_recv.insert(key);  // late payload is dropped, RTS refused
+  for (uint64_t cookie : cookies) {
+    RdvRecv& rec = gate.rdv_recv.at(cookie);
+    for (uint8_t r : rec.rails) rails_[r].driver->cancel_bulk_recv(cookie);
+    gate.rdv_recv.erase(cookie);
+    for (OutChunk& c : gate.window) {
+      if (c.kind == ChunkKind::kCts && c.cookie == cookie &&
+          (c.flags & kFlagCancel) == 0) {
+        gate.window.remove(c);
+        chunk_pool_.release(&c);
+        break;
+      }
+    }
+    // The sender may already hold the grant: revoke it so the job (and
+    // its retransmits) unwind instead of streaming into the void.
+    send_cancel_cts(gate, req->tag(), req->seq(), cookie);
+  }
+  refill_all();
+  ++stats_.recvs_cancelled;
+  req->complete(std::move(status));
+  cancel_deadline(req);
+  return true;
+}
+
+void Core::handle_cancel_cts(Gate& gate, const WireChunk& chunk) {
+  // The receiver refused or revoked the grant for this cookie. Preferred
+  // unwind is a full cancel of the owning send; when other parts of the
+  // message are already in flight, only this job is dropped and the rest
+  // of the message completes normally.
+  auto it = gate.rdv_wait_cts.find(chunk.cookie);
+  if (it != gate.rdv_wait_cts.end()) {
+    BulkJob* job = it->second;
+    SendRequest* owner = job->owner;
+    if (owner != nullptr &&
+        cancel_send(gate, owner,
+                    util::cancelled("peer cancelled the receive"))) {
+      return;  // cancel_send unwound this job (and any siblings)
+    }
+    gate.rdv_wait_cts.erase(chunk.cookie);
+    remove_window_rts(gate, chunk.cookie);
+    drop_bulk_job(gate, job);
+    if (owner != nullptr) owner->part_done();
+    return;
+  }
+  if (!reliable()) return;  // mid-stream: the slices land in the void
+  BulkJob* job = nullptr;
+  for (BulkJob& j : gate.ready_bulk) {
+    if (j.cookie == chunk.cookie) {
+      job = &j;
+      break;
+    }
+  }
+  if (job == nullptr) {
+    for (auto& [key, p] : gate.pending_bulk) {
+      if (key.first == chunk.cookie) {
+        job = p.job;
+        break;
+      }
+    }
+  }
+  if (job == nullptr) return;  // already finished (revocation raced the end)
+  SendRequest* owner = job->owner;
+  if (owner != nullptr &&
+      cancel_send(gate, owner,
+                  util::cancelled("peer cancelled the receive"))) {
+    return;
+  }
+  drop_bulk_job(gate, job);
+  if (owner != nullptr) owner->part_done();
+}
+
+void Core::send_cancel_rts(Gate& gate, Tag tag, SeqNum seq,
+                           uint64_t cookie) {
+  OutChunk* c = new_chunk();
+  c->kind = ChunkKind::kRts;
+  c->flags = kFlagCancel;
+  c->tag = tag;
+  c->seq = seq;
+  c->offset = 0;
+  c->total = 0;
+  c->rdv_len = 0;
+  c->cookie = cookie;
+  c->prio = Priority::kHigh;
+  c->owner = nullptr;
+  submit_chunk(gate, c);
+}
+
+void Core::send_cancel_cts(Gate& gate, Tag tag, SeqNum seq,
+                           uint64_t cookie) {
+  OutChunk* c = new_chunk();
+  c->kind = ChunkKind::kCts;
+  c->flags = kFlagCancel;
+  c->tag = tag;
+  c->seq = seq;
+  c->cookie = cookie;
+  c->prio = Priority::kHigh;
+  c->owner = nullptr;
+  submit_chunk(gate, c);
+}
+
+void Core::remove_window_rts(Gate& gate, uint64_t cookie) {
+  for (OutChunk& c : gate.window) {
+    if (c.kind == ChunkKind::kRts && c.cookie == cookie &&
+        (c.flags & kFlagCancel) == 0) {
+      gate.window.remove(c);
+      chunk_pool_.release(&c);
+      return;
+    }
+  }
+}
+
+void Core::drop_bulk_job(Gate& gate, BulkJob* job) {
+  if (job->hook.is_linked()) gate.ready_bulk.remove(*job);
+  for (auto it = gate.pending_bulk.begin(); it != gate.pending_bulk.end();) {
+    if (it->second.job == job) {
+      if (it->second.timer_armed) world_.cancel(it->second.timer);
+      it = gate.pending_bulk.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Stale bulk_retx keys are skipped (and dropped) by refill_rail once
+  // the pending entry is gone.
+  bulk_pool_.release(job);
+}
+
+void Core::set_deadline(Request* req, double timeout_us) {
+  if (req->done()) return;
+  cancel_deadline(req);  // last call wins
+  req->deadline_armed_ = true;
+  req->deadline_timer_ =
+      world_.after(timeout_us, [this, req]() { on_deadline(req); });
+}
+
+void Core::cancel_deadline(Request* req) {
+  if (!req->deadline_armed_) return;
+  world_.cancel(req->deadline_timer_);
+  req->deadline_armed_ = false;
+}
+
+void Core::on_deadline(Request* req) {
+  req->deadline_armed_ = false;
+  if (req->done()) return;
+  if (cancel_with(req,
+                  util::deadline_exceeded("request deadline expired"))) {
+    ++stats_.deadlines_exceeded;
+    return;
+  }
+  // Uncancellable right now (bytes in flight): retry shortly. The request
+  // either becomes cancellable or completes, whichever comes first.
+  req->deadline_armed_ = true;
+  req->deadline_timer_ = world_.after(kDeadlineRetryUs,
+                                      [this, req]() { on_deadline(req); });
 }
 
 }  // namespace nmad::core

@@ -86,6 +86,33 @@ struct CoreConfig {
   uint32_t rail_dead_after = 6;
   // Max unacked packets per gate; window packing pauses at the cap.
   size_t reliability_window = 64;
+
+  // --- Receiver-driven flow control ---------------------------------------
+  // Enables credit-based eager admission: the receiver advertises
+  // cumulative limits on eager bytes/chunks (piggybacked on acks), the
+  // strategy layer holds back eager chunks past the limit, and large
+  // blocks degrade to rendezvous instead of flooding the peer. Forces
+  // reliability on (credits ride the ack machinery).
+  bool flow_control = false;
+  // Receive-side budget for the unexpected store, in payload bytes and in
+  // message-chunk count (0 = unlimited). Credit advertisements never let
+  // admitted-but-unheard eager traffic exceed the free budget, so the
+  // store stays bounded under overload without dropping data.
+  size_t rx_budget = 0;
+  size_t rx_budget_msgs = 0;
+  // Credits granted to each peer at gate-open, before any advertisement
+  // arrives (both endpoints must agree on these, so every core of a
+  // fabric should share its flow-control config). For the rx_budget bound
+  // to hold from time zero, keep the sum of initial grants across peers
+  // within the budget. 0 means unlimited.
+  size_t initial_credit_bytes = 64 * 1024;
+  size_t initial_credit_msgs = 64;
+  // Liveness valve: when the sender has been credit-stalled this long
+  // with nothing in flight, it asks the receiver to restate its limits
+  // (a zero-valued kCredit chunk). Recovers from a lost final credit
+  // update without ever breaching the receiver's budget; never needed in
+  // steady state. 0 disables the probe.
+  double credit_probe_us = 2000.0;
 };
 
 struct CoreStats {
@@ -114,6 +141,20 @@ struct CoreStats {
   uint64_t bulk_retransmitted = 0;
   uint64_t rails_failed = 0;
   uint64_t gates_failed = 0;
+
+  // Flow control.
+  uint64_t credit_grants = 0;        // credit chunks put on the wire
+  uint64_t credit_stalls = 0;        // eager chunks held back by credit
+  uint64_t credit_probes = 0;        // credit requests sent while stalled
+  uint64_t credit_rdv_degrades = 0;  // eager blocks demoted to rendezvous
+  uint64_t rx_stored_bytes = 0;      // unexpected-store payload (gauge)
+  uint64_t rx_stored_hwm = 0;        // high-water mark of the above
+
+  // Cancellation / deadlines.
+  uint64_t sends_cancelled = 0;
+  uint64_t recvs_cancelled = 0;
+  uint64_t deadlines_exceeded = 0;
+  uint64_t cancelled_payload_dropped = 0;  // chunks for a cancelled recv
 };
 
 struct SendHints {
@@ -154,6 +195,16 @@ class Core {
   // Nonblocking probe: reports whether the *next* message on (gate, tag)
   // — the one the next irecv would match — has already announced itself
   // (eager data or a rendezvous RTS), without consuming anything.
+  //
+  // Sequence contract (pinned by EngineProtocol.PeekMatchesNextIrecvOnly):
+  // the probe consults exactly the (tag, seq) pair the next irecv on this
+  // tag will be assigned — the current receive-sequence counter. Messages
+  // that arrived out of order for *later* sequence numbers never match,
+  // even though they are sitting in the unexpected store; they become
+  // visible one at a time as preceding irecvs consume the counter. A
+  // peek therefore never reorders matching and iprobe/irecv pairs are
+  // race-free: if peek says matched, the next irecv matches that very
+  // message.
   struct PeekResult {
     bool matched = false;
     bool total_known = false;
@@ -165,6 +216,22 @@ class Core {
   [[nodiscard]] static bool test(const Request* req) { return req->done(); }
   // Returns the request to the engine pool; only valid once done.
   void release(Request* req);
+
+  // Cancellation / deadlines ------------------------------------------------
+  // Withdraws a pending request. Receives always cancel (the engine
+  // tombstones the message key and drops late payload); sends cancel when
+  // every part is still reachable — a part already on the wire whose fate
+  // the engine cannot recall (non-reliable eager in flight, streamed
+  // rendezvous bytes) makes cancel return false and the request proceeds.
+  // On success the request completes with kCancelled (or `status`) and
+  // must still be release()d by the caller. No-op (returns false) on
+  // requests that are already done.
+  bool cancel(Request* req);
+  // Arms a deadline `timeout_us` of virtual time from now; if the request
+  // is still pending when it expires, the engine cancels it with
+  // kDeadlineExceeded. An uncancellable send re-arms and tries again. At
+  // most one deadline per request (the last call wins).
+  void set_deadline(Request* req, double timeout_us);
 
   // Drives driver-internal progress (no-op on the simulated fabric).
   void poll();
@@ -194,6 +261,15 @@ class Core {
   util::Status set_strategy(const std::string& name);
   [[nodiscard]] simnet::SimWorld& world() { return world_; }
   [[nodiscard]] simnet::SimNode& node() { return node_; }
+
+  // Strategy SPI: flow control -----------------------------------------
+  // Whether the credit window admits electing `chunk` onto the wire now.
+  // Control chunks, already-charged chunks and empty payloads always
+  // pass. Denial records a stall and arms the liveness probe.
+  [[nodiscard]] bool credit_admits(Gate& gate, const OutChunk& chunk);
+  // Charges an elected chunk against the gate's credit (idempotent;
+  // strategies call it when they take a payload chunk off the window).
+  void charge_credit(Gate& gate, OutChunk& chunk);
 
   // Writes a human-readable snapshot of the engine state (windows,
   // pending rendezvous, in-flight receives) — used by deadlock
@@ -275,6 +351,32 @@ class Core {
   void fail_gate(Gate& gate, const util::Status& status);
   void on_bulk_orphan(drivers::PeerAddr from, uint64_t cookie,
                       size_t offset, size_t len);
+
+  // Flow control ------------------------------------------------------------
+  [[nodiscard]] bool flow_control() const { return config_.flow_control; }
+  // Recomputes the limits this receiver can advertise to `gate`'s peer
+  // without the sum of all peers' admissible-but-unheard eager traffic
+  // exceeding the free rx budget. Monotone: limits never retreat.
+  void refresh_advert(Gate& gate);
+  OutChunk* make_credit_chunk(Gate& gate);
+  void maybe_inject_credit(Gate& gate, PacketBuilder& builder);
+  void handle_credit(Gate& gate, const WireChunk& chunk);
+  void note_credit_stall(Gate& gate);
+  void on_credit_probe(GateId gate_id);
+  void rx_store_charge(Gate& gate, size_t bytes, size_t chunks);
+  void rx_store_discharge(Gate& gate, size_t bytes, size_t chunks);
+
+  // Cancellation ------------------------------------------------------------
+  bool cancel_with(Request* req, util::Status status);
+  bool cancel_send(Gate& gate, SendRequest* req, util::Status status);
+  bool cancel_recv(Gate& gate, RecvRequest* req, util::Status status);
+  void handle_cancel_cts(Gate& gate, const WireChunk& chunk);
+  void send_cancel_rts(Gate& gate, Tag tag, SeqNum seq, uint64_t cookie);
+  void send_cancel_cts(Gate& gate, Tag tag, SeqNum seq, uint64_t cookie);
+  void remove_window_rts(Gate& gate, uint64_t cookie);
+  void drop_bulk_job(Gate& gate, BulkJob* job);
+  void cancel_deadline(Request* req);
+  void on_deadline(Request* req);
 
   [[nodiscard]] size_t max_eager_payload(const Gate& gate) const;
 

@@ -42,6 +42,10 @@ struct StoredRts {
 struct UnexpectedMsg {
   std::vector<StoredFrag> frags;
   std::vector<StoredRts> rts;
+  // The sender withdrew this message (cancel-RTS) before a receive was
+  // posted; a matching irecv completes with kCancelled instead of waiting
+  // for data that will never come.
+  bool peer_cancelled = false;
 };
 
 // Receive-side state of one in-flight rendezvous block.
@@ -130,6 +134,47 @@ struct Gate {
   bool ack_timer_armed = false;
   std::vector<BulkAck> pending_bulk_acks;  // deposited slices to ack
   std::set<uint64_t> completed_bulk;       // fully-received rdv cookies
+
+  // ---- flow control (CoreConfig::flow_control only) --------------------
+  // Sender view: cumulative eager traffic charged so far versus the
+  // receiver's latest cumulative limit (TCP-window-like; see
+  // wire_format.hpp on why cumulative limits tolerate loss/reordering).
+  uint64_t eager_sent_bytes = 0;
+  uint64_t eager_sent_chunks = 0;
+  uint64_t credit_limit_bytes = UINT64_MAX;
+  uint64_t credit_limit_chunks = UINT64_MAX;
+  // Uncharged eager payload sitting in the window; isend consults it to
+  // decide whether a new block would overshoot the limit and should
+  // degrade to rendezvous instead.
+  size_t window_eager_bytes = 0;
+  // A stall was observed and the probe valve may need to fire: when every
+  // in-flight packet has drained and the peer still advertises no room,
+  // one chunk is force-admitted so a lost credit update cannot deadlock
+  // the gate.
+  bool credit_stalled = false;
+  simnet::EventId credit_probe_timer = 0;
+  bool credit_probe_armed = false;
+
+  // Receiver view: cumulative eager traffic heard from the peer, bytes
+  // currently parked in the unexpected store, and the limits advertised.
+  uint64_t eager_heard_bytes = 0;
+  uint64_t eager_heard_chunks = 0;
+  size_t stored_bytes = 0;    // unexpected-store payload from this peer
+  size_t stored_chunks = 0;
+  uint64_t advertised_limit_bytes = 0;   // monotone, never retreats
+  uint64_t advertised_limit_chunks = 0;
+  uint64_t last_sent_limit_bytes = 0;    // last limits put on the wire
+  uint64_t last_sent_limit_chunks = 0;
+  bool credit_update_needed = false;     // drained store → re-advertise
+
+  // ---- cancellation ----------------------------------------------------
+  // Sender side: rendezvous cookies withdrawn by cancel(); a late CTS for
+  // one of these is silently dropped instead of tripping the unknown-
+  // cookie assert.
+  std::set<uint64_t> cancelled_rdv;
+  // Receiver side: message keys whose receive was cancelled; payload that
+  // arrives later is dropped instead of parked as unexpected.
+  std::set<MsgKey> cancelled_recv;
 
   // Set when the peer became unreachable; every request completes with
   // this status from then on.

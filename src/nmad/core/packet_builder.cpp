@@ -58,11 +58,14 @@ const util::SegmentVec& PacketBuilder::finalize() {
                    chunk->offset, chunk->total, chunk->cookie);
         break;
       case ChunkKind::kCts:
-        encode_cts(w, chunk->tag, chunk->seq, chunk->cookie,
+        encode_cts(w, chunk->flags, chunk->tag, chunk->seq, chunk->cookie,
                    chunk->cts_rails);
         break;
       case ChunkKind::kAck:
         encode_ack(w, chunk->seq, chunk->ack_sacks, chunk->ack_bulk_acks);
+        break;
+      case ChunkKind::kCredit:
+        encode_credit(w, chunk->credit_bytes, chunk->credit_chunks);
         break;
     }
     extents.emplace_back(begin, headers_.size() - begin);

@@ -61,6 +61,11 @@ class Request {
   bool done_ = false;
   util::Status status_;
   std::function<void()> on_complete_;
+  // Deadline support (Core::set_deadline): the armed timer is cancelled
+  // when the request completes or is released, so a pooled object reused
+  // for a new request never inherits a stale deadline.
+  uint64_t deadline_timer_ = 0;  // simnet::EventId
+  bool deadline_armed_ = false;
 };
 
 class SendRequest final : public Request {

@@ -9,6 +9,7 @@ const char* chunk_kind_name(ChunkKind kind) {
     case ChunkKind::kRts: return "rts";
     case ChunkKind::kCts: return "cts";
     case ChunkKind::kAck: return "ack";
+    case ChunkKind::kCredit: return "credit";
   }
   return "?";
 }

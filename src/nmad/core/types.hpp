@@ -30,6 +30,7 @@ enum class ChunkKind : uint8_t {
   kRts = 3,   // rendezvous request-to-send (control)
   kCts = 4,   // rendezvous clear-to-send (control)
   kAck = 5,   // reliability: cumulative + selective acknowledgement
+  kCredit = 6,  // flow control: receiver's cumulative eager-credit limits
 };
 
 const char* chunk_kind_name(ChunkKind kind);
@@ -46,6 +47,9 @@ enum ChunkFlags : uint8_t {
   kFlagNone = 0,
   kFlagLast = 1u << 0,      // final fragment of its message
   kFlagPriority = 1u << 1,  // was submitted with Priority::kHigh
+  // On kRts: the sender withdraws the rendezvous (cancellation); on kCts:
+  // the receiver refuses the grant (its receive was cancelled).
+  kFlagCancel = 1u << 2,
 };
 
 }  // namespace nmad::core

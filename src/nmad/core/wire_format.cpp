@@ -43,9 +43,9 @@ void encode_rts(util::WireWriter& w, uint8_t flags, Tag tag, SeqNum seq,
   w.u64(cookie);
 }
 
-void encode_cts(util::WireWriter& w, Tag tag, SeqNum seq, uint64_t cookie,
-                const std::vector<uint8_t>& rails) {
-  encode_common(w, ChunkKind::kCts, /*flags=*/0, tag, seq);
+void encode_cts(util::WireWriter& w, uint8_t flags, Tag tag, SeqNum seq,
+                uint64_t cookie, const std::vector<uint8_t>& rails) {
+  encode_common(w, ChunkKind::kCts, flags, tag, seq);
   w.u32(0);  // len unused for cts
   w.u64(cookie);
   w.u8(static_cast<uint8_t>(rails.size()));
@@ -69,6 +69,14 @@ void encode_ack(util::WireWriter& w, uint32_t ack_floor,
   }
 }
 
+void encode_credit(util::WireWriter& w, uint64_t credit_bytes,
+                   uint64_t credit_chunks) {
+  // Credits cover the whole gate: tag and seq are unused, like kAck.
+  encode_common(w, ChunkKind::kCredit, /*flags=*/0, /*tag=*/0, /*seq=*/0);
+  w.u64(credit_bytes);
+  w.u64(credit_chunks);
+}
+
 size_t chunk_wire_bytes(ChunkKind kind, size_t payload_len,
                         size_t cts_rail_count, size_t ack_sacks,
                         size_t ack_bulks) {
@@ -80,6 +88,7 @@ size_t chunk_wire_bytes(ChunkKind kind, size_t payload_len,
     case ChunkKind::kAck:
       return kAckHeaderBytes + ack_sacks * kAckSackBytes +
              ack_bulks * kAckBulkBytes;
+    case ChunkKind::kCredit: return kCreditHeaderBytes;
   }
   return 0;
 }

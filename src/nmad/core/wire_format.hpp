@@ -56,6 +56,8 @@ inline constexpr size_t kCtsHeaderBytes = 1 + 1 + 8 + 4 + 4 + 8 + 1;  // + rails
 inline constexpr size_t kAckHeaderBytes = 1 + 1 + 8 + 4 + 1 + 1;
 inline constexpr size_t kAckSackBytes = 4;
 inline constexpr size_t kAckBulkBytes = 8 + 4 + 4;
+// Common header + u64 cumulative byte limit + u64 cumulative chunk limit.
+inline constexpr size_t kCreditHeaderBytes = 1 + 1 + 8 + 4 + 8 + 8;
 
 // One acknowledged rendezvous slice (cookie, offset, length).
 struct BulkAck {
@@ -80,6 +82,12 @@ struct WireChunk {
   // below it is acknowledged); these list extras beyond the floor.
   std::vector<uint32_t> sacks;     // selectively acked packet seqs
   std::vector<BulkAck> bulk_acks;  // acked rendezvous slices
+  // kCredit only: the receiver's cumulative eager admission limits — the
+  // sender may have at most `credit_bytes` payload bytes / `credit_chunks`
+  // eager chunks elected since the gate opened. Cumulative-limit (not
+  // delta) semantics make lost or reordered credit chunks harmless.
+  uint64_t credit_bytes = 0;
+  uint64_t credit_chunks = 0;
 };
 
 // Encoders append one chunk header (and know nothing of payload bytes;
@@ -94,11 +102,13 @@ void encode_frag_header(util::WireWriter& w, uint8_t flags, Tag tag,
 void encode_rts(util::WireWriter& w, uint8_t flags, Tag tag, SeqNum seq,
                 uint32_t len, uint32_t offset, uint32_t total,
                 uint64_t cookie);
-void encode_cts(util::WireWriter& w, Tag tag, SeqNum seq, uint64_t cookie,
-                const std::vector<uint8_t>& rails);
+void encode_cts(util::WireWriter& w, uint8_t flags, Tag tag, SeqNum seq,
+                uint64_t cookie, const std::vector<uint8_t>& rails);
 void encode_ack(util::WireWriter& w, uint32_t ack_floor,
                 const std::vector<uint32_t>& sacks,
                 const std::vector<BulkAck>& bulk_acks);
+void encode_credit(util::WireWriter& w, uint64_t credit_bytes,
+                   uint64_t credit_chunks);
 
 // Packet-level framing decoded ahead of the chunks. Filled in before the
 // first sink invocation, so sinks may consult it.
@@ -193,6 +203,10 @@ util::Status decode_packet(util::ConstBytes packet, PacketMeta* meta,
         }
         break;
       }
+      case ChunkKind::kCredit:
+        chunk.credit_bytes = r.u64();
+        chunk.credit_chunks = r.u64();
+        break;
       default:
         return util::internal_error("unknown chunk kind on wire");
     }

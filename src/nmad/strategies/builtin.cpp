@@ -18,10 +18,10 @@ class DefaultStrategy : public Strategy {
 
   size_t pack(Core& core, Gate& gate, const RailInfo& rail,
               PacketBuilder& builder) override {
-    (void)core;
-    OutChunk* chunk = first_eligible(gate, rail);
+    OutChunk* chunk = first_eligible(core, gate, rail);
     if (chunk == nullptr) return 0;
     gate.window.remove(*chunk);
+    core.charge_credit(gate, *chunk);
     builder.add(chunk);
     return 1;
   }
@@ -36,9 +36,12 @@ class DefaultStrategy : public Strategy {
   }
 
  protected:
-  static OutChunk* first_eligible(Gate& gate, const RailInfo& rail) {
+  static OutChunk* first_eligible(Core& core, Gate& gate,
+                                  const RailInfo& rail) {
     for (OutChunk& chunk : gate.window) {
-      if (chunk.pinned_rail == kAnyRail || chunk.pinned_rail == rail.index) {
+      if ((chunk.pinned_rail == kAnyRail ||
+           chunk.pinned_rail == rail.index) &&
+          core.credit_admits(gate, chunk)) {
         return &chunk;
       }
     }
@@ -55,7 +58,6 @@ class AggregStrategy : public DefaultStrategy {
 
   size_t pack(Core& core, Gate& gate, const RailInfo& rail,
               PacketBuilder& builder) override {
-    (void)core;
     const size_t limit = aggregate_limit(gate, rail);
     size_t taken = 0;
     // Pass 0 elects control/high-priority chunks (RTS/CTS and tagged
@@ -73,8 +75,10 @@ class AggregStrategy : public DefaultStrategy {
             it->pinned_rail == kAnyRail || it->pinned_rail == rail.index;
         if (wanted && rail_ok && builder.fits(*it) &&
             (builder.wire_bytes() + it->wire_bytes() <= limit ||
-             builder.empty())) {
+             builder.empty()) &&
+            core.credit_admits(gate, *it)) {
           gate.window.remove(*it);
+          core.charge_credit(gate, *it);
           builder.add(it);
           ++taken;
         }

@@ -161,7 +161,20 @@ void SimNic::send_bulk(NodeId dst, uint64_t cookie, size_t offset,
 
 void SimNic::deliver_frame(RxFrame&& frame, size_t bytes) {
   // Receive engine drains frames serially.
-  const SimTime start = rx_free_ > world_.now() ? rx_free_ : world_.now();
+  SimTime start = rx_free_ > world_.now() ? rx_free_ : world_.now();
+  // A paused receiver stops polling: queued frames wait out the pause
+  // windows (delayed, never lost). Loop until stable so back-to-back or
+  // unsorted windows compose.
+  bool moved = !profile_.fault.rx_pauses.empty();
+  while (moved) {
+    moved = false;
+    for (const FaultWindow& w : profile_.fault.rx_pauses) {
+      if (start >= w.begin_us && start < w.end_us) {
+        start = w.end_us;
+        moved = true;
+      }
+    }
+  }
   rx_free_ = start + profile_.rx_drain_us;
   ++counters_.frames_received;
   counters_.bytes_received += bytes;

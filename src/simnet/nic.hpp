@@ -54,6 +54,14 @@ struct FaultProfile {
   // transmit engine still cycles (tx-done fires), as on real hardware
   // where the DMA completes even though the link is dark.
   std::vector<FaultWindow> blackouts;
+  // Receive-side poll stalls: a slow receiver that stops draining its
+  // track-0 queue. Frames arriving (or queued) inside a window are
+  // delayed until it ends — never lost — so the sender keeps pumping
+  // into a consumer that is not listening, the classic overload shape
+  // flow control exists for. Track-1 (RDMA) deposits bypass the polling
+  // loop and are unaffected. Deliberately not part of any(): pauses are
+  // delays, not faults to roll dice for.
+  std::vector<FaultWindow> rx_pauses;
 
   [[nodiscard]] bool any() const {
     return frame_drop_prob > 0.0 || bit_flip_prob > 0.0 ||
@@ -181,6 +189,12 @@ class SimNic {
   void remove_bulk_sink(uint64_t cookie);
   [[nodiscard]] bool has_bulk_sink(uint64_t cookie) const {
     return sinks_.count(cookie) != 0;
+  }
+
+  // Installs receive-side poll stalls after construction (tests/benches
+  // reach the NIC through the fabric once the cluster is built).
+  void set_rx_pauses(std::vector<FaultWindow> pauses) {
+    profile_.fault.rx_pauses = std::move(pauses);
   }
 
   // Handler for bulk frames with no posted sink. Without one, such a frame

@@ -16,6 +16,8 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kTruncated: return "truncated";
     case StatusCode::kWouldBlock: return "would-block";
     case StatusCode::kClosed: return "closed";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "unknown";
 }
@@ -59,6 +61,12 @@ Status truncated(std::string msg) {
 Status would_block() { return Status{StatusCode::kWouldBlock}; }
 Status closed(std::string msg) {
   return {StatusCode::kClosed, std::move(msg)};
+}
+Status cancelled(std::string msg) {
+  return {StatusCode::kCancelled, std::move(msg)};
+}
+Status deadline_exceeded(std::string msg) {
+  return {StatusCode::kDeadlineExceeded, std::move(msg)};
 }
 
 }  // namespace nmad::util

@@ -26,6 +26,8 @@ enum class StatusCode : int {
   kTruncated,       // receive buffer smaller than the incoming message
   kWouldBlock,      // operation cannot make progress right now
   kClosed,          // endpoint / driver already shut down
+  kCancelled,       // request withdrawn by the application (MPI_Cancel)
+  kDeadlineExceeded,  // request deadline expired before completion
 };
 
 // Human-readable name of a status code ("ok", "invalid-argument", ...).
@@ -74,6 +76,8 @@ Status internal_error(std::string msg);
 Status truncated(std::string msg);
 Status would_block();
 Status closed(std::string msg);
+Status cancelled(std::string msg);
+Status deadline_exceeded(std::string msg);
 
 // Minimal expected/result type: either a value or a non-ok Status.
 template <typename T>

@@ -1,0 +1,247 @@
+// Cancellation and deadlines: withdrawing sends and receives at every
+// awkward moment of the protocol — still in the window, elected but
+// unacked, mid-rendezvous — plus deadline expiry during retransmit
+// backoff. A cancelled request always completes (kCancelled or
+// kDeadlineExceeded), the peer never hangs, and no payload is delivered
+// to a withdrawn receive.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "madmpi/madmpi.hpp"
+#include "nmad/api/session.hpp"
+#include "simnet/profiles.hpp"
+#include "util/buffer.hpp"
+
+namespace nmad::core {
+namespace {
+
+CoreConfig reliable_config() {
+  CoreConfig c;
+  c.reliability = true;
+  c.ack_timeout_us = 200.0;
+  c.ack_delay_us = 5.0;
+  return c;
+}
+
+struct Pair {
+  explicit Pair(CoreConfig config = reliable_config(),
+                simnet::NicProfile rail = simnet::mx_myri10g_profile()) {
+    api::ClusterOptions options;
+    options.rails = {std::move(rail)};
+    options.core = std::move(config);
+    cluster = std::make_unique<api::Cluster>(std::move(options));
+    ab = cluster->gate(0, 1);
+    ba = cluster->gate(1, 0);
+  }
+  Core& a() { return cluster->core(0); }
+  Core& b() { return cluster->core(1); }
+  // Pumps until virtual time `t` (events at exactly `t` may have run).
+  void run_to(double t) {
+    cluster->world().run_until([&]() { return cluster->now() >= t; });
+  }
+
+  std::unique_ptr<api::Cluster> cluster;
+  GateId ab{};
+  GateId ba{};
+};
+
+TEST(Cancel, SendStillInWindow) {
+  // Two back-to-back sends: the first is elected onto the NIC at once,
+  // the second is still a window chunk — the cheapest cancel there is.
+  Pair t;
+  std::vector<std::byte> out0(512), out1(512), in0(512), in1(512);
+  util::fill_pattern({out0.data(), 512}, 1);
+  util::fill_pattern({out1.data(), 512}, 2);
+  Request* s0 = t.a().isend(t.ab, 0, util::ConstBytes{out0.data(), 512});
+  Request* s1 = t.a().isend(t.ab, 1, util::ConstBytes{out1.data(), 512});
+  EXPECT_TRUE(t.a().cancel(s1));
+  EXPECT_TRUE(s1->done());
+  EXPECT_EQ(s1->status().code(), util::StatusCode::kCancelled);
+
+  // The first message is untouched; the second's receive learns of the
+  // withdrawal through the cancel-RTS tombstone (its seq was consumed).
+  Request* r0 = t.b().irecv(t.ba, 0, {in0.data(), 512});
+  Request* r1 = t.b().irecv(t.ba, 1, {in1.data(), 512});
+  t.cluster->wait(s0);
+  t.cluster->wait(r0);
+  t.cluster->wait(r1);
+  EXPECT_TRUE(s0->status().is_ok());
+  EXPECT_TRUE(r0->status().is_ok());
+  EXPECT_TRUE(util::check_pattern({in0.data(), 512}, 1));
+  EXPECT_EQ(r1->status().code(), util::StatusCode::kCancelled);
+  EXPECT_EQ(t.a().stats().sends_cancelled, 1u);
+  t.a().release(s0);
+  t.a().release(s1);
+  t.b().release(r0);
+  t.b().release(r1);
+}
+
+TEST(Cancel, SendAfterElectedBeforeAck) {
+  // The race the window can't save us from: the packet is on (or past)
+  // the wire, but unacked. Cancel succeeds — the in-flight copy is
+  // disowned and whatever the receiver stored is reclaimed by the
+  // cancel-RTS tombstone.
+  Pair t;
+  std::vector<std::byte> out(512), in(512);
+  util::fill_pattern({out.data(), 512}, 7);
+  Request* s = t.a().isend(t.ab, 0, util::ConstBytes{out.data(), 512});
+  // Payload lands ~2.5µs in; the delayed ack leaves ~5µs later. At t=3µs
+  // the data sits in b's unexpected store and the ack is still pending.
+  t.run_to(3.0);
+  EXPECT_GT(t.b().stats().rx_stored_bytes, 0u);
+  EXPECT_TRUE(t.a().cancel(s));
+  EXPECT_EQ(s->status().code(), util::StatusCode::kCancelled);
+
+  // Let the cancel-RTS land (and the late ack hit the nulled owner): the
+  // stored payload is reclaimed and a tombstone left behind.
+  t.cluster->world().run_to_quiescence();
+  EXPECT_EQ(t.b().stats().rx_stored_bytes, 0u);  // store fully reclaimed
+  Request* r = t.b().irecv(t.ba, 0, {in.data(), 512});
+  t.cluster->wait(r);
+  EXPECT_EQ(r->status().code(), util::StatusCode::kCancelled);
+  EXPECT_EQ(t.a().stats().sends_cancelled, 1u);
+  t.a().release(s);
+  t.b().release(r);
+}
+
+TEST(Cancel, RecvBeforeArrivalDropsPayload) {
+  Pair t;
+  std::vector<std::byte> out(512), in(512);
+  util::fill_pattern({out.data(), 512}, 9);
+  Request* r = t.b().irecv(t.ba, 0, {in.data(), 512});
+  EXPECT_TRUE(t.b().cancel(r));
+  EXPECT_EQ(r->status().code(), util::StatusCode::kCancelled);
+
+  // The sender is oblivious: its message is acked and completes ok, but
+  // the payload is dropped at b against the cancelled-receive tombstone.
+  Request* s = t.a().isend(t.ab, 0, util::ConstBytes{out.data(), 512});
+  t.cluster->wait(s);
+  EXPECT_TRUE(s->status().is_ok());
+  t.cluster->world().run_to_quiescence();
+  EXPECT_GE(t.b().stats().cancelled_payload_dropped, 1u);
+  EXPECT_EQ(t.b().stats().recvs_cancelled, 1u);
+  EXPECT_EQ(t.b().stats().rx_stored_bytes, 0u);
+  t.a().release(s);
+  t.b().release(r);
+}
+
+TEST(Cancel, RendezvousWithCtsInFlight) {
+  // The nastiest send-side race: the receiver has already granted the
+  // rendezvous (CTS on the wire) when the sender withdraws. The stale
+  // CTS must be eaten, and the receiver's posted sink unwound.
+  Pair t;
+  const size_t big = 128 * 1024;
+  std::vector<std::byte> out(big), in(big);
+  util::fill_pattern({out.data(), big}, 3);
+  Request* r = t.b().irecv(t.ba, 0, {in.data(), big});
+  Request* s = t.a().isend(t.ab, 0, util::ConstBytes{out.data(), big});
+  // RTS reaches b ~2.3µs in; the granted CTS arrives back ~4.6µs. Cancel
+  // in between, while the grant is in flight.
+  t.run_to(3.0);
+  EXPECT_TRUE(t.a().cancel(s));
+  EXPECT_EQ(s->status().code(), util::StatusCode::kCancelled);
+  t.cluster->wait(r);
+  EXPECT_EQ(r->status().code(), util::StatusCode::kCancelled);
+  t.cluster->world().run_to_quiescence();  // the stale CTS lands quietly
+  EXPECT_EQ(t.a().stats().sends_cancelled, 1u);
+  EXPECT_EQ(t.a().stats().bulk_sends, 0u);  // no byte of the body moved
+  t.a().release(s);
+  t.b().release(r);
+}
+
+TEST(Cancel, ReceiverCancelsGrantedRendezvousMidStream) {
+  // Receiver-side withdrawal after the grant, with the bulk transfer
+  // already pumping: the cancel-CTS chases the grant, the sender unwinds
+  // via its own cancel path, and in-flight slices die as orphans.
+  Pair t;
+  const size_t big = 128 * 1024;
+  std::vector<std::byte> out(big), in(big);
+  util::fill_pattern({out.data(), big}, 4);
+  Request* r = t.b().irecv(t.ba, 0, {in.data(), big});
+  Request* s = t.a().isend(t.ab, 0, util::ConstBytes{out.data(), big});
+  // CTS reaches a ~4.6µs in; the ~105µs bulk transfer is mid-flight at
+  // t=10µs.
+  t.run_to(10.0);
+  EXPECT_GT(t.a().stats().bulk_sends, 0u);
+  EXPECT_TRUE(t.b().cancel(r));
+  EXPECT_EQ(r->status().code(), util::StatusCode::kCancelled);
+  t.cluster->wait(s);
+  EXPECT_EQ(s->status().code(), util::StatusCode::kCancelled);
+  t.cluster->world().run_to_quiescence();
+  EXPECT_EQ(t.b().stats().recvs_cancelled, 1u);
+  EXPECT_EQ(t.a().stats().gates_failed, 0u);
+  EXPECT_EQ(t.b().stats().gates_failed, 0u);
+  t.a().release(s);
+  t.b().release(r);
+}
+
+TEST(Cancel, DeadlineDuringRetransmitBackoff) {
+  // A black-hole fabric: every frame is lost, so the packet sits in
+  // timeout/backoff forever. The deadline must cut through — firing
+  // between retransmissions and completing the send — long before the
+  // retry budget declares the gate dead.
+  CoreConfig c = reliable_config();
+  c.rail_dead_after = 0;  // keep the rail nominally alive throughout
+  simnet::NicProfile rail = simnet::mx_myri10g_profile();
+  rail.fault.frame_drop_prob = 1.0;
+  rail.fault.seed = 7;
+  Pair t(std::move(c), std::move(rail));
+  std::vector<std::byte> out(512);
+  util::fill_pattern({out.data(), 512}, 5);
+  Request* s = t.a().isend(t.ab, 0, util::ConstBytes{out.data(), 512});
+  // Timeouts at ~200/600/1400µs; the deadline lands in the second backoff.
+  t.a().set_deadline(s, 1000.0);
+  t.cluster->wait(s);
+  EXPECT_EQ(s->status().code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_LT(t.cluster->now(), 1400.0);  // did not wait out the retries
+  EXPECT_EQ(t.a().stats().deadlines_exceeded, 1u);
+  EXPECT_GT(t.a().stats().packets_retransmitted, 0u);
+  // The black hole eventually exhausts the retry budget and fails the
+  // gate, which reclaims the still-circulating cancel-RTS.
+  t.cluster->world().run_to_quiescence();
+  t.a().release(s);
+}
+
+TEST(Cancel, RecvDeadlineWithNoSender) {
+  // The deadline timer itself keeps the world non-quiescent, so waiting
+  // on a receive that nothing will ever match still terminates.
+  Pair t;
+  std::vector<std::byte> in(512);
+  Request* r = t.b().irecv(t.ba, 0, {in.data(), 512});
+  t.b().set_deadline(r, 1000.0);
+  t.cluster->wait(r);
+  EXPECT_EQ(r->status().code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(t.b().stats().deadlines_exceeded, 1u);
+  t.b().release(r);
+}
+
+TEST(Cancel, MadMpiCancelDeadlineAndWaitFor) {
+  // The MPI face of the same machinery: MPI_Cancel analogue, wait with a
+  // timeout, and a per-request deadline.
+  mpi::MadMpiWorld w;
+  const mpi::Datatype byte = mpi::Datatype::byte_type();
+  std::vector<std::byte> in(1024);
+
+  // wait_for on a never-matching receive times out, leaving the request
+  // pending; cancel then completes it.
+  mpi::Request* r0 = w.ep(1).irecv(in.data(), 1024, byte, 0, 0,
+                                   mpi::kCommWorld);
+  EXPECT_FALSE(w.ep(1).wait_for(r0, 500.0));
+  EXPECT_FALSE(r0->done());
+  EXPECT_TRUE(w.ep(1).cancel(r0));
+  EXPECT_TRUE(r0->done());
+  EXPECT_EQ(r0->status().code(), util::StatusCode::kCancelled);
+  w.ep(1).free_request(r0);
+
+  // A deadline'd receive completes on its own; wait_for sees it finish.
+  mpi::Request* r1 = w.ep(1).irecv(in.data(), 1024, byte, 0, 1,
+                                   mpi::kCommWorld);
+  EXPECT_TRUE(w.ep(1).set_deadline(r1, 800.0));
+  EXPECT_TRUE(w.ep(1).wait_for(r1, 10000.0));
+  EXPECT_EQ(r1->status().code(), util::StatusCode::kDeadlineExceeded);
+  w.ep(1).free_request(r1);
+}
+
+}  // namespace
+}  // namespace nmad::core

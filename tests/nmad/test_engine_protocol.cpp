@@ -81,6 +81,57 @@ TEST(EngineProtocol, SequencedMessagesMatchInOrderPerTag) {
   b.release(recv2);
 }
 
+// Pins the peek_unexpected sequence contract documented in core.hpp: the
+// probe consults exactly the (tag, seq) the next irecv will be assigned,
+// so iprobe/irecv pairs are race-free and later-seq arrivals stay hidden
+// until the preceding receives consume the counter.
+TEST(EngineProtocol, PeekMatchesNextIrecvOnly) {
+  Cluster cluster;
+  Core& a = cluster.core(0);
+  Core& b = cluster.core(1);
+  const GateId ab = cluster.gate(0, 1);
+  const GateId ba = cluster.gate(1, 0);
+
+  // Two unexpected messages on one tag: both land in the store, but only
+  // the first (the one the next irecv will match) is visible to peek.
+  std::vector<std::byte> m1(512), m2(1024), r1(512), r2(1024);
+  util::fill_pattern({m1.data(), 512}, 1);
+  util::fill_pattern({m2.data(), 1024}, 2);
+  auto* send1 = a.isend(ab, 5, util::ConstBytes{m1.data(), 512});
+  auto* send2 = a.isend(ab, 5, util::ConstBytes{m2.data(), 1024});
+  cluster.wait(send1);
+  cluster.wait(send2);
+  // Sends complete on tx; drain the fabric so both messages are parked.
+  cluster.world().run_to_quiescence();
+
+  Core::PeekResult peek = b.peek_unexpected(ba, 5);
+  EXPECT_TRUE(peek.matched);
+  EXPECT_TRUE(peek.total_known);
+  EXPECT_EQ(peek.total_bytes, 512u);  // the first message, never the second
+
+  // Draining the first receive advances the counter: the second message
+  // becomes visible, with its own size.
+  auto* recv1 = b.irecv(ba, 5, {r1.data(), 512});
+  cluster.wait(recv1);
+  peek = b.peek_unexpected(ba, 5);
+  EXPECT_TRUE(peek.matched);
+  EXPECT_EQ(peek.total_bytes, 1024u);
+
+  auto* recv2 = b.irecv(ba, 5, {r2.data(), 1024});
+  cluster.wait(recv2);
+  EXPECT_TRUE(util::check_pattern({r1.data(), 512}, 1));
+  EXPECT_TRUE(util::check_pattern({r2.data(), 1024}, 2));
+
+  // Nothing left: the probe reports unmatched.
+  peek = b.peek_unexpected(ba, 5);
+  EXPECT_FALSE(peek.matched);
+
+  a.release(send1);
+  a.release(send2);
+  b.release(recv1);
+  b.release(recv2);
+}
+
 TEST(EngineProtocol, ScatteredSendIntoScatteredRecv) {
   Cluster cluster;
   Core& a = cluster.core(0);

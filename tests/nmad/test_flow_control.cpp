@@ -1,0 +1,317 @@
+// Receiver-driven flow control: credit-based eager admission keeps the
+// unexpected store within its configured budget under overload (slow or
+// late receivers), without dropping data; senders degrade to rendezvous
+// past the credit window; the whole scheme is invisible when receives are
+// pre-posted; and runs are seed/time deterministic.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "nmad/api/session.hpp"
+#include "simnet/profiles.hpp"
+#include "util/buffer.hpp"
+
+namespace nmad::core {
+namespace {
+
+constexpr size_t kBudget = 128 * 1024;
+
+CoreConfig flow_config() {
+  CoreConfig c;
+  c.flow_control = true;  // forces reliability on
+  c.rx_budget = kBudget;
+  // Three senders at 32 KiB initial credit each: Σ initial ≤ budget, so
+  // the bound holds from time zero.
+  c.initial_credit_bytes = 32 * 1024;
+  c.initial_credit_msgs = 16;
+  c.ack_timeout_us = 200.0;
+  c.ack_delay_us = 5.0;
+  return c;
+}
+
+struct OverloadResult {
+  CoreStats receiver;   // node 0 (the overloaded one)
+  CoreStats sender;     // node 1 (representative)
+  uint64_t frames_dropped = 0;  // across every NIC
+  double end_time_us = 0.0;
+  bool data_ok = true;
+};
+
+// Three senders each push `msgs` eager messages of `msg_bytes` at node 0,
+// whose receives are only posted `post_delay_us` into the run — the
+// canonical overload: traffic arrives with nowhere to go but the
+// unexpected store.
+OverloadResult run_overload(CoreConfig config, size_t msgs,
+                            size_t msg_bytes, double post_delay_us) {
+  api::ClusterOptions options;
+  options.nodes = 4;
+  options.rails = {simnet::mx_myri10g_profile()};
+  options.core = std::move(config);
+  api::Cluster cluster(std::move(options));
+
+  Core& rx = cluster.core(0);
+  const size_t senders = 3;
+  std::vector<std::vector<std::vector<std::byte>>> in(senders), out(senders);
+  std::vector<std::pair<Core*, Request*>> owned;
+  std::vector<Request*> sends;
+  std::vector<Request*> recvs;
+
+  for (size_t s = 0; s < senders; ++s) {
+    in[s].resize(msgs);
+    out[s].resize(msgs);
+    Core& tx = cluster.core(static_cast<simnet::NodeId>(s + 1));
+    const GateId g = cluster.gate(static_cast<simnet::NodeId>(s + 1), 0);
+    for (size_t i = 0; i < msgs; ++i) {
+      in[s][i].resize(msg_bytes);
+      out[s][i].resize(msg_bytes);
+      util::fill_pattern({out[s][i].data(), msg_bytes},
+                         static_cast<int>(s * msgs + i));
+      Request* r = tx.isend(g, Tag(i),
+                            util::ConstBytes{out[s][i].data(), msg_bytes});
+      owned.emplace_back(&tx, r);
+      sends.push_back(r);
+    }
+  }
+
+  // Receives arrive late, from inside the event loop.
+  cluster.world().after(post_delay_us, [&]() {
+    for (size_t s = 0; s < senders; ++s) {
+      const GateId g = cluster.gate(0, static_cast<simnet::NodeId>(s + 1));
+      for (size_t i = 0; i < msgs; ++i) {
+        Request* r = rx.irecv(g, Tag(i), {in[s][i].data(), msg_bytes});
+        owned.emplace_back(&rx, r);
+        recvs.push_back(r);
+      }
+    }
+  });
+
+  cluster.wait_all(sends);
+  // Without flow control every send can complete (acked into the store)
+  // before the receives even exist; pump until they are posted.
+  cluster.world().run_until(
+      [&]() { return recvs.size() == senders * msgs; });
+  cluster.wait_all(recvs);
+
+  OverloadResult result;
+  result.receiver = rx.stats();
+  result.sender = cluster.core(1).stats();
+  result.end_time_us = cluster.now();
+  for (size_t n = 0; n < options.nodes; ++n) {
+    result.frames_dropped += cluster.fabric()
+                                 .node(static_cast<simnet::NodeId>(n))
+                                 .nic(0)
+                                 .counters()
+                                 .frames_dropped;
+  }
+  for (size_t s = 0; s < senders && result.data_ok; ++s) {
+    for (size_t i = 0; i < msgs; ++i) {
+      if (!util::check_pattern({in[s][i].data(), msg_bytes},
+                               static_cast<int>(s * msgs + i))) {
+        result.data_ok = false;
+        break;
+      }
+    }
+  }
+  for (auto& [owner, r] : owned) {
+    EXPECT_TRUE(r->status().is_ok()) << r->status().to_string();
+    owner->release(r);
+  }
+  return result;
+}
+
+TEST(FlowControl, OverloadBoundedByBudget) {
+  // 3 senders × 40 × 4 KiB = 480 KiB of eager traffic vs a 128 KiB store.
+  const OverloadResult r =
+      run_overload(flow_config(), 40, 4 * 1024, 20000.0);
+  EXPECT_TRUE(r.data_ok);
+  EXPECT_EQ(r.frames_dropped, 0u);  // backpressure, never loss
+  EXPECT_LE(r.receiver.rx_stored_hwm, kBudget);
+  EXPECT_GT(r.receiver.rx_stored_hwm, 0u);  // the store was actually used
+  EXPECT_GT(r.receiver.credit_grants, 0u);  // credits flowed
+  // Senders were held back: blocks past the window demote to rendezvous
+  // (≥ the demotion floor) or stall in the window (below it).
+  EXPECT_GT(r.sender.credit_stalls + r.sender.credit_rdv_degrades, 0u);
+  EXPECT_EQ(r.receiver.gates_failed, 0u);
+  EXPECT_EQ(r.sender.gates_failed, 0u);
+  // The store drained completely once every receive matched.
+  EXPECT_EQ(r.receiver.rx_stored_bytes, 0u);
+}
+
+TEST(FlowControl, NoCreditBaselineOverflowsBudget) {
+  // Same traffic without flow control: the store blows through the budget
+  // (the budget is not enforced by storage, only by admission).
+  CoreConfig c = flow_config();
+  c.flow_control = false;
+  c.reliability = true;
+  const OverloadResult r = run_overload(std::move(c), 40, 4 * 1024, 20000.0);
+  EXPECT_TRUE(r.data_ok);
+  EXPECT_GT(r.receiver.rx_stored_hwm, kBudget);
+  EXPECT_EQ(r.receiver.credit_grants, 0u);
+  EXPECT_EQ(r.sender.credit_stalls, 0u);
+}
+
+TEST(FlowControl, PrePostedReceivesNeverTouchTheStore) {
+  api::ClusterOptions options;
+  options.nodes = 2;
+  options.rails = {simnet::mx_myri10g_profile()};
+  options.core = flow_config();
+  api::Cluster cluster(std::move(options));
+  Core& a = cluster.core(0);
+  Core& b = cluster.core(1);
+  const GateId ab = cluster.gate(0, 1);
+  const GateId ba = cluster.gate(1, 0);
+
+  constexpr size_t kMsgs = 64;
+  constexpr size_t kBytes = 4 * 1024;
+  std::vector<std::vector<std::byte>> in(kMsgs), out(kMsgs);
+  std::vector<Request*> reqs;
+  std::vector<std::pair<Core*, Request*>> owned;
+  for (size_t i = 0; i < kMsgs; ++i) {
+    in[i].resize(kBytes);
+    out[i].resize(kBytes);
+    util::fill_pattern({out[i].data(), kBytes}, static_cast<int>(i));
+    Request* r = b.irecv(ba, Tag(i), {in[i].data(), kBytes});
+    owned.emplace_back(&b, r);
+    reqs.push_back(r);
+  }
+  for (size_t i = 0; i < kMsgs; ++i) {
+    Request* r = a.isend(ab, Tag(i), util::ConstBytes{out[i].data(), kBytes});
+    owned.emplace_back(&a, r);
+    reqs.push_back(r);
+  }
+  cluster.wait_all(reqs);
+  for (size_t i = 0; i < kMsgs; ++i) {
+    EXPECT_TRUE(util::check_pattern({in[i].data(), kBytes},
+                                    static_cast<int>(i)))
+        << i;
+  }
+  // Receives matched on arrival: the unexpected store stayed empty and the
+  // liveness valve never had to fire.
+  EXPECT_EQ(b.stats().rx_stored_hwm, 0u);
+  EXPECT_EQ(a.stats().credit_probes, 0u);
+  for (auto& [owner, r] : owned) owner->release(r);
+}
+
+TEST(FlowControl, ChunkBudgetBoundsStore) {
+  // Message-count budget: bytes unlimited, at most 9 unexpected chunks
+  // may be admitted fabric-wide (3 peers × 3 initial ≤ 9 budget).
+  CoreConfig c = flow_config();
+  c.rx_budget = 0;
+  c.initial_credit_bytes = 0;  // unlimited bytes
+  c.rx_budget_msgs = 9;
+  c.initial_credit_msgs = 3;
+  constexpr size_t kBytes = 256;
+  const OverloadResult r = run_overload(std::move(c), 30, kBytes, 20000.0);
+  EXPECT_TRUE(r.data_ok);
+  EXPECT_EQ(r.frames_dropped, 0u);
+  EXPECT_LE(r.receiver.rx_stored_hwm, 9 * kBytes);
+  EXPECT_GT(r.sender.credit_stalls, 0u);
+}
+
+TEST(FlowControl, LargeBlocksDegradeToRendezvous) {
+  // A block below the NIC's rendezvous threshold but past the credit
+  // window switches to rendezvous instead of queueing as eager: the body
+  // then moves zero-copy once the receive exists, costing no store space.
+  api::ClusterOptions options;
+  options.nodes = 2;
+  options.rails = {simnet::mx_myri10g_profile()};  // rdv threshold 32 KiB
+  options.core = flow_config();
+  options.core.initial_credit_bytes = 8 * 1024;
+  options.core.rx_budget = 0;  // pure sliding window
+  api::Cluster cluster(std::move(options));
+  Core& a = cluster.core(0);
+  Core& b = cluster.core(1);
+
+  // 16 KiB each: eager by threshold, but 3 of them overflow an 8 KiB
+  // credit window many times over.
+  constexpr size_t kBytes = 16 * 1024;
+  std::vector<std::vector<std::byte>> in(3), out(3);
+  std::vector<Request*> sends;
+  std::vector<Request*> recvs;
+  for (int i = 0; i < 3; ++i) {
+    in[i].resize(kBytes);
+    out[i].resize(kBytes);
+    util::fill_pattern({out[i].data(), kBytes}, 90 + i);
+    sends.push_back(a.isend(cluster.gate(0, 1), Tag(i),
+                            util::ConstBytes{out[i].data(), kBytes}));
+  }
+  cluster.world().after(500.0, [&]() {
+    for (int i = 0; i < 3; ++i) {
+      recvs.push_back(
+          b.irecv(cluster.gate(1, 0), Tag(i), {in[i].data(), kBytes}));
+    }
+  });
+  cluster.wait_all(sends);
+  cluster.world().run_until([&]() { return recvs.size() == 3; });
+  cluster.wait_all(recvs);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(util::check_pattern({in[i].data(), kBytes}, 90 + i)) << i;
+  }
+  EXPECT_GT(a.stats().credit_rdv_degrades, 0u);
+  EXPECT_GT(a.stats().rdv_started, 0u);
+  for (Request* s : sends) a.release(s);
+  for (Request* r : recvs) b.release(r);
+}
+
+TEST(FlowControl, SlowReceiverStallsSenderNotTheFabric) {
+  // The receiver's NIC stops polling for 3 ms (frames queue, nothing is
+  // lost). Credits stop growing while it is deaf, so the sender stalls
+  // instead of flooding the queue, and the run completes after the pause.
+  api::ClusterOptions options;
+  options.nodes = 2;
+  options.rails = {simnet::mx_myri10g_profile()};
+  options.core = flow_config();
+  // Three deaf milliseconds on the only rail would trip the dead-rail
+  // heuristic (six consecutive timeouts); the rail is healthy, just slow.
+  options.core.rail_dead_after = 0;
+  api::Cluster cluster(std::move(options));
+  cluster.fabric().node(1).nic(0).set_rx_pauses({{0.0, 3000.0}});
+
+  Core& a = cluster.core(0);
+  Core& b = cluster.core(1);
+  constexpr size_t kMsgs = 40;
+  constexpr size_t kBytes = 4 * 1024;
+  std::vector<std::vector<std::byte>> in(kMsgs), out(kMsgs);
+  std::vector<Request*> reqs;
+  std::vector<std::pair<Core*, Request*>> owned;
+  for (size_t i = 0; i < kMsgs; ++i) {
+    in[i].resize(kBytes);
+    out[i].resize(kBytes);
+    util::fill_pattern({out[i].data(), kBytes}, static_cast<int>(i));
+    Request* r = b.irecv(cluster.gate(1, 0), Tag(i), {in[i].data(), kBytes});
+    owned.emplace_back(&b, r);
+    reqs.push_back(r);
+    Request* s = a.isend(cluster.gate(0, 1), Tag(i),
+                         util::ConstBytes{out[i].data(), kBytes});
+    owned.emplace_back(&a, s);
+    reqs.push_back(s);
+  }
+  cluster.wait_all(reqs);
+  for (size_t i = 0; i < kMsgs; ++i) {
+    EXPECT_TRUE(util::check_pattern({in[i].data(), kBytes},
+                                    static_cast<int>(i)))
+        << i;
+  }
+  EXPECT_GE(cluster.now(), 3000.0);  // the pause really held
+  // And the sender felt it: held back in the window or demoted to
+  // rendezvous while the deaf receiver granted nothing.
+  EXPECT_GT(a.stats().credit_stalls + a.stats().credit_rdv_degrades, 0u);
+  EXPECT_EQ(a.stats().gates_failed, 0u);
+  for (auto& [owner, r] : owned) owner->release(r);
+}
+
+TEST(FlowControl, OverloadRunIsDeterministic) {
+  const OverloadResult r1 =
+      run_overload(flow_config(), 20, 4 * 1024, 10000.0);
+  const OverloadResult r2 =
+      run_overload(flow_config(), 20, 4 * 1024, 10000.0);
+  EXPECT_EQ(r1.end_time_us, r2.end_time_us);
+  EXPECT_EQ(r1.receiver.packets_received, r2.receiver.packets_received);
+  EXPECT_EQ(r1.receiver.credit_grants, r2.receiver.credit_grants);
+  EXPECT_EQ(r1.receiver.rx_stored_hwm, r2.receiver.rx_stored_hwm);
+  EXPECT_EQ(r1.sender.credit_stalls, r2.sender.credit_stalls);
+}
+
+}  // namespace
+}  // namespace nmad::core

@@ -115,6 +115,18 @@ TEST(Reliability, ZeroFaultFabricNeverRetransmits) {
   EXPECT_EQ(stats.rails_failed, 0u);
   // Acks did flow (standalone or piggybacked) — the window drained.
   EXPECT_GT(stats.acks_sent + stats.acks_piggybacked, 0u);
+  // Flow control and cancellation are off/unused: every one of their
+  // counters must stay at zero — credits, stalls, probes and the store
+  // gauge cost nothing when the features are idle.
+  EXPECT_EQ(stats.credit_grants, 0u);
+  EXPECT_EQ(stats.credit_stalls, 0u);
+  EXPECT_EQ(stats.credit_probes, 0u);
+  EXPECT_EQ(stats.credit_rdv_degrades, 0u);
+  EXPECT_EQ(stats.rx_stored_hwm, 0u);
+  EXPECT_EQ(stats.sends_cancelled, 0u);
+  EXPECT_EQ(stats.recvs_cancelled, 0u);
+  EXPECT_EQ(stats.deadlines_exceeded, 0u);
+  EXPECT_EQ(stats.cancelled_payload_dropped, 0u);
 }
 
 struct DropCase {

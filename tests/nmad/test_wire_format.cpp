@@ -80,7 +80,7 @@ TEST(WireFormat, CtsCarriesRailList) {
   util::ByteBuffer buf;
   util::WireWriter w(buf);
   encode_packet_header(w, 1);
-  encode_cts(w, 9, 1, /*cookie=*/0xFEEDull, {0, 2, 3});
+  encode_cts(w, 0, 9, 1, /*cookie=*/0xFEEDull, {0, 2, 3});
 
   auto chunks = decode_all(buf.view());
   ASSERT_EQ(chunks.size(), 1u);
@@ -93,7 +93,7 @@ TEST(WireFormat, MultiplexedPacketPreservesOrder) {
   util::ByteBuffer buf;
   util::WireWriter w(buf);
   encode_packet_header(w, 3);
-  encode_cts(w, 1, 0, 0x1, {0});
+  encode_cts(w, 0, 1, 0, 0x1, {0});
   encode_data_header(w, 0, 2, 5, 3);
   w.bytes("abc", 3);
   encode_rts(w, 0, 3, 7, 100, 0, 100, 0x2);
@@ -128,8 +128,27 @@ TEST(WireFormat, HeaderSizeConstantsMatchEncoders) {
 
   util::ByteBuffer c;
   util::WireWriter wc(c);
-  encode_cts(wc, 1, 1, 0, {});
+  encode_cts(wc, 0, 1, 1, 0, {});
   EXPECT_EQ(c.size(), kCtsHeaderBytes);
+
+  util::ByteBuffer cr;
+  util::WireWriter wcr(cr);
+  encode_credit(wcr, 0, 0);
+  EXPECT_EQ(cr.size(), kCreditHeaderBytes);
+}
+
+TEST(WireFormat, CreditRoundTrip) {
+  util::ByteBuffer buf;
+  util::WireWriter w(buf);
+  encode_packet_header(w, 1);
+  encode_credit(w, /*credit_bytes=*/0x1234567890ull, /*credit_chunks=*/77);
+
+  auto chunks = decode_all(buf.view());
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].kind, ChunkKind::kCredit);
+  EXPECT_EQ(chunks[0].credit_bytes, 0x1234567890ull);
+  EXPECT_EQ(chunks[0].credit_chunks, 77u);
+  EXPECT_TRUE(chunks[0].payload.empty());
 }
 
 TEST(WireFormat, ChunkWireBytesMatchesEncodedSize) {
@@ -202,6 +221,7 @@ TEST(WireFormat, RandomMultiplexRoundTripProperty) {
       std::vector<uint8_t> rails;
       std::vector<uint32_t> sacks;
       std::vector<BulkAck> bulk_acks;
+      uint64_t credit_bytes = 0, credit_chunks = 0;
     };
     std::vector<Expect> expected;
     util::ByteBuffer buf;
@@ -209,7 +229,7 @@ TEST(WireFormat, RandomMultiplexRoundTripProperty) {
     encode_packet_header(w, static_cast<uint16_t>(n));
     for (int i = 0; i < n; ++i) {
       Expect e;
-      e.kind = static_cast<ChunkKind>(1 + rng.next_below(5));
+      e.kind = static_cast<ChunkKind>(1 + rng.next_below(6));
       e.tag = rng.next_u64();
       e.seq = static_cast<SeqNum>(rng.next_u64());
       e.len = static_cast<uint32_t>(rng.next_below(64));
@@ -241,7 +261,7 @@ TEST(WireFormat, RandomMultiplexRoundTripProperty) {
           for (size_t k = 0; k < n_rails; ++k) {
             e.rails.push_back(static_cast<uint8_t>(rng.next_below(8)));
           }
-          encode_cts(w, e.tag, e.seq, e.cookie, e.rails);
+          encode_cts(w, 0, e.tag, e.seq, e.cookie, e.rails);
           break;
         }
         case ChunkKind::kAck: {
@@ -261,6 +281,13 @@ TEST(WireFormat, RandomMultiplexRoundTripProperty) {
           encode_ack(w, e.seq, e.sacks, e.bulk_acks);
           break;
         }
+        case ChunkKind::kCredit:
+          e.tag = 0;  // credits carry no message identity
+          e.seq = 0;
+          e.credit_bytes = rng.next_u64();
+          e.credit_chunks = rng.next_u64();
+          encode_credit(w, e.credit_bytes, e.credit_chunks);
+          break;
       }
       expected.push_back(std::move(e));
     }
@@ -289,6 +316,10 @@ TEST(WireFormat, RandomMultiplexRoundTripProperty) {
       }
       if (e.kind == ChunkKind::kCts) {
         EXPECT_EQ(c.rails, e.rails);
+      }
+      if (e.kind == ChunkKind::kCredit) {
+        EXPECT_EQ(c.credit_bytes, e.credit_bytes);
+        EXPECT_EQ(c.credit_chunks, e.credit_chunks);
       }
       if (e.kind == ChunkKind::kAck) {
         EXPECT_EQ(c.sacks, e.sacks);

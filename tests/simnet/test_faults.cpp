@@ -231,5 +231,35 @@ TEST(FaultInjection, LateBulkFrameReachesOrphanHandler) {
   EXPECT_EQ(t.nic(1).counters().bulk_orphaned, 1u);
 }
 
+TEST(FaultInjection, RxPauseDelaysFramesWithoutLoss) {
+  // A paused receiver (slow poller) holds frames in its queue: delivery
+  // slides to the end of the pause window — and composes across adjacent
+  // windows — but nothing is ever dropped.
+  LossyPair t(FaultProfile{});
+  std::vector<double> arrivals;
+  t.nic(1).set_rx_handler(
+      [&](RxFrame&&) { arrivals.push_back(t.world.now()); });
+  t.nic(1).set_rx_pauses({{0.0, 500.0}, {500.0, 800.0}});
+
+  std::vector<std::byte> payload(64);
+  t.nic(0).send_frame(1, {payload.data(), payload.size()}, 1, nullptr);
+  t.nic(0).send_frame(1, {payload.data(), payload.size()}, 1, nullptr);
+  t.world.run_to_quiescence();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // Without the pause these frames land ~1.8/2.5µs in; the stacked
+  // windows push both past t=800.
+  EXPECT_GE(arrivals[0], 800.0);
+  EXPECT_GE(arrivals[1], arrivals[0]);
+  EXPECT_EQ(t.nic(0).counters().frames_dropped, 0u);
+  EXPECT_EQ(t.nic(1).counters().frames_received, 2u);
+
+  // A frame sent after the windows have passed is not delayed.
+  const double sent_at = t.world.now();
+  t.nic(0).send_frame(1, {payload.data(), payload.size()}, 1, nullptr);
+  t.world.run_to_quiescence();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_LT(arrivals[2], sent_at + 5.0);
+}
+
 }  // namespace
 }  // namespace nmad::simnet
