@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Replay a failing chaos-harness seed under the validating build.
+#
+#   scripts/replay.sh <seed> [explorer flags...]
+#
+# Examples:
+#   scripts/replay.sh 51                      # full schedule for seed 51
+#   scripts/replay.sh 51 --ops=4              # minimized prefix
+#   scripts/replay.sh 51 --ops=4 --verbose    # plus per-core debug dumps
+#   scripts/replay.sh 7 --inject=skip-credit-charge
+#
+# Configures/builds a dedicated tree with -DNMAD_VALIDATE=ON so the
+# compiled-in invariant checkers run on every progress tick during the
+# replay, then invokes the explorer with the given seed. Exit status is
+# the explorer's (0 = pass, 1 = oracle violation, 2 = usage).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ $# -lt 1 || ! $1 =~ ^[0-9]+$ ]]; then
+  echo "usage: $0 <seed> [explorer flags...]" >&2
+  exit 2
+fi
+SEED=$1
+shift
+
+BUILD_DIR=${BUILD_DIR:-build-validate}
+
+cmake -B "$BUILD_DIR" -S . -DNMAD_VALIDATE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target explorer >/dev/null
+
+exec "$BUILD_DIR/tests/explorer" --seed="$SEED" "$@"

@@ -427,6 +427,9 @@ void Core::refill_all() {
     refill_rail(r);
     if (!rails_[r].driver->tx_idle()) maybe_prebuild(r);
   }
+#ifdef NMAD_VALIDATE
+  validate_invariants();
+#endif
 }
 
 // §3.2 alternative policy: while the NIC is busy and the backlog is deep
@@ -738,6 +741,9 @@ void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
   }
   if (g.failed) return;  // a chunk handler may have torn the gate down
   if (reliable() && meta.reliable && meta.checksummed) schedule_ack(g);
+#ifdef NMAD_VALIDATE
+  validate_invariants();
+#endif
 }
 
 void Core::handle_payload_chunk(Gate& gate, const WireChunk& chunk) {
@@ -828,6 +834,10 @@ void Core::handle_rts(Gate& gate, const WireChunk& chunk) {
         rv = gate.rdv_recv.erase(rv);
       }
       gate.active_recv.erase(ar);
+      // The payload may still be behind the cancel notice (another rail,
+      // or a retransmission): tombstone the key so a late arrival is
+      // dropped instead of parked forever in the unexpected store.
+      gate.cancelled_recv.insert(key);
       req->complete(util::cancelled("sender withdrew the message"));
       return;
     }
@@ -857,6 +867,14 @@ void Core::handle_rts(Gate& gate, const WireChunk& chunk) {
   }
   auto it = gate.active_recv.find(key);
   if (it == gate.active_recv.end()) {
+    auto ue = gate.unexpected.find(key);
+    if (ue != gate.unexpected.end() && ue->second.peer_cancelled) {
+      // The sender withdrew the message and this RTS straggled in behind
+      // the cancel notice (another rail, or a retransmission): drop it
+      // rather than park it in the tombstoned entry.
+      ++stats_.cancelled_payload_dropped;
+      return;
+    }
     ++stats_.unexpected_chunks;
     StoredRts rts;
     rts.len = chunk.len;
@@ -1027,6 +1045,53 @@ void Core::debug_dump(std::FILE* out) const {
           static_cast<unsigned long long>(gate->advertised_limit_bytes),
           static_cast<unsigned long long>(gate->advertised_limit_chunks),
           gate->stored_bytes, gate->credit_stalled ? 1 : 0);
+      // Outstanding grant: what the peer may still send against the last
+      // advertisement — the receiver-side exposure this gate represents.
+      const uint64_t grant_bytes =
+          gate->advertised_limit_bytes > gate->eager_heard_bytes
+              ? gate->advertised_limit_bytes - gate->eager_heard_bytes
+              : 0;
+      const uint64_t grant_chunks =
+          gate->advertised_limit_chunks > gate->eager_heard_chunks
+              ? gate->advertised_limit_chunks - gate->eager_heard_chunks
+              : 0;
+      std::fprintf(out,
+                   "  grants: outstanding=%llu bytes / %llu chunks "
+                   "window_eager=%zu probe_armed=%d update_needed=%d\n",
+                   static_cast<unsigned long long>(grant_bytes),
+                   static_cast<unsigned long long>(grant_chunks),
+                   gate->window_eager_bytes,
+                   gate->credit_probe_armed ? 1 : 0,
+                   gate->credit_update_needed ? 1 : 0);
+    }
+    if (config_.reliability &&
+        (!gate->pending_pkts.empty() || !gate->pending_bulk.empty())) {
+      // Retransmit state: how deep into backoff each kind of in-flight
+      // traffic is, and how much of it is queued waiting for a rail.
+      uint32_t pkt_retries = 0;
+      double pkt_timeout = 0.0;
+      size_t pkt_queued = 0;
+      for (const auto& [seq, p] : gate->pending_pkts) {
+        pkt_retries = std::max(pkt_retries, p.retries);
+        pkt_timeout = std::max(pkt_timeout, p.timeout_us);
+        if (p.queued_retx) ++pkt_queued;
+      }
+      uint32_t bulk_retries = 0;
+      double bulk_timeout = 0.0;
+      size_t bulk_queued = 0;
+      for (const auto& [key, p] : gate->pending_bulk) {
+        bulk_retries = std::max(bulk_retries, p.retries);
+        bulk_timeout = std::max(bulk_timeout, p.timeout_us);
+        if (p.queued_retx) ++bulk_queued;
+      }
+      std::fprintf(out,
+                   "  retx: pkts=%zu (queued=%zu retries<=%u "
+                   "timeout<=%.0fus) bulk=%zu (queued=%zu retries<=%u "
+                   "timeout<=%.0fus) floor=%u seen=%zu\n",
+                   gate->pending_pkts.size(), pkt_queued, pkt_retries,
+                   pkt_timeout, gate->pending_bulk.size(), bulk_queued,
+                   bulk_retries, bulk_timeout, gate->recv_floor,
+                   gate->recv_seen.size());
     }
   }
   std::fprintf(out,
@@ -1622,6 +1687,13 @@ bool Core::credit_admits(Gate& gate, const OutChunk& chunk) {
 void Core::charge_credit(Gate& gate, OutChunk& chunk) {
   if (!flow_control() || chunk.credit_charged || chunk.is_control() ||
       chunk.payload.empty()) {
+    return;
+  }
+  if (skip_credit_charges_ > 0) [[unlikely]] {
+    // Injected protocol bug (test_skip_next_credit_charge): the chunk
+    // ships without being charged, so the receiver hears traffic the
+    // sender never accounted for.
+    --skip_credit_charges_;
     return;
   }
   chunk.credit_charged = true;

@@ -13,6 +13,7 @@
 // completion, bulk completion) drive all protocol state transitions.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -155,6 +156,11 @@ struct CoreStats {
   uint64_t recvs_cancelled = 0;
   uint64_t deadlines_exceeded = 0;
   uint64_t cancelled_payload_dropped = 0;  // chunks for a cancelled recv
+
+  // Invariant validation (check_invariants / validate_invariants; the
+  // hot-path hooks that drive these only compile under -DNMAD_VALIDATE).
+  uint64_t validate_ticks = 0;
+  uint64_t validate_violations = 0;
 };
 
 struct SendHints {
@@ -276,6 +282,35 @@ class Core {
   // diagnostics and debugging sessions.
   void debug_dump(std::FILE* out) const;
 
+  // Invariant validation ---------------------------------------------------
+  // Cross-checks every gate's bookkeeping against first principles:
+  // window byte accounting vs. credit charges, sent/heard traffic vs. the
+  // advertised limits, the unexpected store vs. its gauge and rx budget,
+  // retransmit-timer liveness, and the matching-structure disjointness
+  // (active vs. unexpected vs. cancelled). Returns true when clean;
+  // otherwise appends one line per violation to `failures` (which may be
+  // null). Always compiled — the chaos harness calls it at quiescence in
+  // any build; only the per-tick hooks below are NMAD_VALIDATE-gated.
+  [[nodiscard]] bool check_invariants(
+      std::vector<std::string>* failures) const;
+
+  // Per-progress-tick checker (wired into refill_all / on_packet under
+  // -DNMAD_VALIDATE=1): bumps stats().validate_ticks, and on violation
+  // prints every failure plus debug_dump(stderr) and aborts — unless a
+  // failure handler is installed (harness self-tests observe violations
+  // without dying).
+  void validate_invariants();
+  using ValidateFailureHandler =
+      std::function<void(const std::vector<std::string>&)>;
+  void set_validate_failure_handler(ValidateFailureHandler handler);
+
+  // Fault injection for the harness self-test: the next `n` calls to
+  // charge_credit become no-ops, modelling a sender that elects eager
+  // traffic without charging it against the peer's credit window.
+  void test_skip_next_credit_charge(uint32_t n = 1) {
+    skip_credit_charges_ += n;
+  }
+
  private:
   struct RailState {
     std::unique_ptr<drivers::Driver> driver;
@@ -394,6 +429,9 @@ class Core {
   util::ObjectPool<BulkJob> bulk_pool_;
   util::ObjectPool<SendRequest> send_pool_;
   util::ObjectPool<RecvRequest> recv_pool_;
+
+  ValidateFailureHandler validate_failure_handler_;
+  uint32_t skip_credit_charges_ = 0;  // test hook: drop upcoming charges
 
   CoreStats stats_;
 };

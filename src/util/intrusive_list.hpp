@@ -110,8 +110,29 @@ class IntrusiveList {
     ListHook* at_;
   };
 
+  class const_iterator {
+   public:
+    explicit const_iterator(const ListHook* at) : at_(at) {}
+    const T& operator*() const { return *owner_of(const_cast<ListHook*>(at_)); }
+    const T* operator->() const {
+      return owner_of(const_cast<ListHook*>(at_));
+    }
+    const_iterator& operator++() {
+      at_ = at_->next;
+      return *this;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.at_ == b.at_;
+    }
+
+   private:
+    const ListHook* at_;
+  };
+
   iterator begin() { return iterator{head_.next}; }
   iterator end() { return iterator{&head_}; }
+  const_iterator begin() const { return const_iterator{head_.next}; }
+  const_iterator end() const { return const_iterator{&head_}; }
 
   // Returns the element after `item`, or nullptr if it is the last.
   T* next_of(T& item) {

@@ -1,0 +1,116 @@
+// Schedule explorer CLI.
+//
+//   explorer --seed=S [--ops=L] [--inject=skip-credit-charge] [--verbose]
+//       run (or replay) one schedule; prints PASS/FAIL and, on failure,
+//       the minimized replay command line.
+//   explorer --sweep=N [--seed=S0] [--inject=...]
+//       run N schedules for seeds S0..S0+N-1; prints a coverage tally of
+//       strategies x fault kinds and fails on the first violation.
+//
+// Exit status: 0 all green, 1 violations found, 2 bad usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "harness/explorer_lib.hpp"
+
+namespace {
+
+bool parse_u64(const char* arg, const char* key, uint64_t* out) {
+  const size_t n = std::strlen(key);
+  if (std::strncmp(arg, key, n) != 0) return false;
+  *out = std::strtoull(arg + n, nullptr, 10);
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: explorer --seed=S [--ops=L] [--sweep=N]\n"
+               "                [--inject=skip-credit-charge] [--verbose]\n");
+  return 2;
+}
+
+int run_single(nmad::harness::ExplorerOptions opts) {
+  const nmad::harness::ExplorerResult r =
+      nmad::harness::run_schedule(opts);
+  if (r.ok) {
+    std::printf(
+        "PASS seed=%llu ops=%zu/%zu msgs=%zu strategy=%s fault=%s "
+        "flow=%d vt=%.0fus\n",
+        static_cast<unsigned long long>(opts.seed), r.ops_executed,
+        r.ops_total, r.messages, r.strategy.c_str(), r.fault_kind.c_str(),
+        r.flow_control ? 1 : 0, r.virtual_us);
+    return 0;
+  }
+  std::printf("FAIL seed=%llu strategy=%s fault=%s: %zu violation(s)\n",
+              static_cast<unsigned long long>(opts.seed),
+              r.strategy.c_str(), r.fault_kind.c_str(),
+              r.violations.size());
+  for (const std::string& v : r.violations) {
+    std::printf("  - %s\n", v.c_str());
+  }
+  const size_t shrunk = nmad::harness::minimize(opts);
+  std::printf("minimized to %zu op(s); replay with:\n  %s\n", shrunk,
+              nmad::harness::replay_command(opts, shrunk).c_str());
+  return 1;
+}
+
+int run_sweep(nmad::harness::ExplorerOptions opts, uint64_t sweep) {
+  std::map<std::string, size_t> coverage;
+  for (uint64_t i = 0; i < sweep; ++i) {
+    nmad::harness::ExplorerOptions one = opts;
+    one.seed = opts.seed + i;
+    one.verbose = false;
+    const nmad::harness::ExplorerResult r =
+        nmad::harness::run_schedule(one);
+    ++coverage[r.strategy + " / " + r.fault_kind];
+    if (!r.ok) {
+      std::printf("FAIL at seed=%llu (%zu violations)\n",
+                  static_cast<unsigned long long>(one.seed),
+                  r.violations.size());
+      for (const std::string& v : r.violations) {
+        std::printf("  - %s\n", v.c_str());
+      }
+      const size_t shrunk = nmad::harness::minimize(one);
+      std::printf("minimized to %zu op(s); replay with:\n  %s\n", shrunk,
+                  nmad::harness::replay_command(one, shrunk).c_str());
+      return 1;
+    }
+  }
+  std::printf("PASS %llu schedules, coverage:\n",
+              static_cast<unsigned long long>(sweep));
+  for (const auto& [key, count] : coverage) {
+    std::printf("  %-28s %zu\n", key.c_str(), count);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nmad::harness::ExplorerOptions opts;
+  uint64_t sweep = 0;
+  uint64_t ops = 0;
+  bool have_ops = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t v = 0;
+    if (parse_u64(arg, "--seed=", &v)) {
+      opts.seed = v;
+    } else if (parse_u64(arg, "--ops=", &ops)) {
+      have_ops = true;
+    } else if (parse_u64(arg, "--sweep=", &sweep)) {
+    } else if (std::strcmp(arg, "--inject=skip-credit-charge") == 0) {
+      opts.inject_skip_credit = true;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      opts.verbose = true;
+    } else {
+      return usage();
+    }
+  }
+  if (have_ops) opts.max_ops = ops;
+  if (sweep > 0) return run_sweep(opts, sweep);
+  return run_single(opts);
+}

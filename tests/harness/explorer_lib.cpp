@@ -1,0 +1,540 @@
+#include "harness/explorer_lib.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <utility>
+
+#include "harness/oracle.hpp"
+#include "nmad/api/session.hpp"
+#include "simnet/profiles.hpp"
+#include "util/buffer.hpp"
+#include "util/rng.hpp"
+
+namespace nmad::harness {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Plan: everything derived deterministically from the seed.
+// ---------------------------------------------------------------------------
+
+const char* const kStrategies[] = {"default", "aggreg", "aggreg_extended",
+                                   "split_balance"};
+
+enum class FaultKind { kNone, kDrops, kFlips, kBlackout, kRxPause, kMixed };
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDrops: return "drops";
+    case FaultKind::kFlips: return "flips";
+    case FaultKind::kBlackout: return "blackout";
+    case FaultKind::kRxPause: return "rx-pause";
+    case FaultKind::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+struct Message {
+  int src = 0;
+  int dst = 0;
+  uint64_t tag = 0;
+  size_t bytes = 0;
+  uint64_t pattern = 0;  // fill_pattern seed for the payload
+};
+
+struct Op {
+  enum class Kind {
+    kSendPost,   // isend message `msg`
+    kRecvPost,   // irecv message `msg`
+    kCancel,     // cancel the send (end=0) or recv (end=1) of `msg`
+    kDeadline,   // arm a deadline on the send/recv of `msg`
+    kWaitFor,    // pump until `msg`'s recv completes or `us` elapses
+    kStep,       // pump the world for `us` of virtual time
+  };
+  Kind kind = Kind::kStep;
+  size_t msg = 0;
+  int end = 0;  // 0 = send side, 1 = recv side
+  double us = 0.0;
+};
+
+struct Plan {
+  size_t nodes = 2;
+  size_t rails = 1;
+  std::string strategy;
+  FaultKind fault = FaultKind::kNone;
+  core::CoreConfig config;
+  std::vector<simnet::NicProfile> rail_profiles;
+  std::vector<Message> messages;
+  std::vector<Op> ops;
+};
+
+// Eager/rendezvous straddle: MX threshold is 32 KiB, the override (when
+// the plan picks it) is 4 KiB. Small sizes dominate so windows aggregate.
+constexpr size_t kSizes[] = {0,    1,     7,     64,        256,
+                             1024, 3000,  4095,  4096,      8192,
+                             31744, 32768, 49152, 150 * 1024};
+
+std::vector<simnet::FaultWindow> random_windows(util::Rng& rng, int count,
+                                                double max_len_us) {
+  std::vector<simnet::FaultWindow> out;
+  double at = 100.0;
+  for (int i = 0; i < count; ++i) {
+    at += static_cast<double>(rng.next_range(200, 2000));
+    const double len =
+        10.0 + rng.next_double() * (max_len_us - 10.0);
+    out.push_back({at, at + len});
+    at += len;
+  }
+  return out;
+}
+
+Plan make_plan(const ExplorerOptions& opts) {
+  // Decorrelate nearby seeds before drawing structure from them.
+  util::Rng rng(opts.seed * 0x9E3779B97F4A7C15ull + 0x2545F4914F6CDD1Dull);
+  Plan plan;
+
+  plan.nodes = 2 + rng.next_below(2);  // 2..3 ranks, full mesh of gates
+  plan.rails = 1 + rng.next_below(2);
+  plan.strategy = kStrategies[rng.next_below(std::size(kStrategies))];
+  plan.fault = static_cast<FaultKind>(rng.next_below(6));
+
+  core::CoreConfig& cfg = plan.config;
+  cfg.strategy = plan.strategy;
+  cfg.reliability = true;
+  cfg.ack_timeout_us = 200.0;
+  cfg.ack_delay_us = 5.0;
+  // Strict mode: every fault schedule below is recoverable, so gates must
+  // never fail. Rail death is disabled (a single lossy rail would
+  // otherwise fail the gate) and the retry budget outlasts the longest
+  // blackout by orders of magnitude (200µs · 2^19 cumulative backoff).
+  cfg.rail_dead_after = 0;
+  cfg.max_retries = 20;
+  if (rng.next_bool(0.4)) cfg.rdv_threshold_override = 4096;
+  if (rng.next_bool(0.3)) cfg.prebuild_backlog_chunks = 4;
+
+  bool flow = rng.next_bool(0.5);
+  if (opts.inject_skip_credit) flow = true;  // the bug is a credit bug
+  if (flow) {
+    cfg.flow_control = true;
+    // Σ initial grants across peers must fit the rx budget for the
+    // budget invariant to hold from time zero (core.hpp contract).
+    cfg.initial_credit_bytes = 48 * 1024;
+    cfg.initial_credit_msgs = 24;
+    if (rng.next_bool(0.5)) {
+      cfg.rx_budget = cfg.initial_credit_bytes * (plan.nodes - 1) +
+                      128 * 1024;
+      cfg.rx_budget_msgs = cfg.initial_credit_msgs * (plan.nodes - 1) + 64;
+    }
+    cfg.credit_probe_us = 500.0;
+  }
+
+  simnet::FaultProfile fault;
+  fault.seed = opts.seed ^ 0xFA017EEDull;
+  switch (plan.fault) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kDrops:
+      fault.frame_drop_prob = 0.02 + rng.next_double() * 0.10;
+      fault.bulk_drop_prob = 0.02 + rng.next_double() * 0.06;
+      break;
+    case FaultKind::kFlips:
+      fault.bit_flip_prob = 0.02 + rng.next_double() * 0.08;
+      break;
+    case FaultKind::kBlackout:
+      fault.blackouts = random_windows(rng, 3, 400.0);
+      break;
+    case FaultKind::kRxPause:
+      fault.rx_pauses = random_windows(rng, 3, 800.0);
+      break;
+    case FaultKind::kMixed:
+      fault.frame_drop_prob = 0.01 + rng.next_double() * 0.05;
+      fault.bit_flip_prob = rng.next_double() * 0.03;
+      fault.bulk_drop_prob = rng.next_double() * 0.04;
+      fault.blackouts = random_windows(rng, 1, 300.0);
+      fault.rx_pauses = random_windows(rng, 1, 500.0);
+      break;
+  }
+  for (size_t r = 0; r < plan.rails; ++r) {
+    simnet::NicProfile p = simnet::mx_myri10g_profile();
+    p.fault = fault;
+    p.fault.seed = fault.seed + r;  // decorrelate the rails' dice
+    plan.rail_profiles.push_back(std::move(p));
+  }
+
+  // Messages: ordered (src, dst) pairs over a handful of tags. The k-th
+  // send posted on a (src, dst, tag) stream matches the k-th recv posted
+  // on it, whatever the interleaving — that is the FIFO contract.
+  const size_t message_count = 6 + rng.next_below(10);
+  for (size_t i = 0; i < message_count; ++i) {
+    Message m;
+    m.src = static_cast<int>(rng.next_below(plan.nodes));
+    m.dst = static_cast<int>(rng.next_below(plan.nodes - 1));
+    if (m.dst >= m.src) ++m.dst;
+    m.tag = rng.next_below(3);
+    m.bytes = kSizes[rng.next_below(std::size(kSizes))];
+    m.pattern = opts.seed ^ (i * 0x9E3779B9ull + 1);
+    plan.messages.push_back(m);
+  }
+
+  // Two post ops per message, shuffled; then per-stream order is
+  // restored (sends of a stream post in message order, recvs likewise),
+  // which keeps the k-th-matches-k-th bookkeeping trivial while leaving
+  // the cross-stream interleaving — pre-posted vs unexpected, recv-first
+  // vs send-first — fully random.
+  std::vector<Op> posts;
+  for (size_t i = 0; i < plan.messages.size(); ++i) {
+    posts.push_back({Op::Kind::kSendPost, i, 0, 0.0});
+    posts.push_back({Op::Kind::kRecvPost, i, 1, 0.0});
+  }
+  for (size_t i = posts.size(); i > 1; --i) {
+    std::swap(posts[i - 1], posts[rng.next_below(i)]);
+  }
+  const auto stream_of = [&](const Op& op) {
+    const Message& m = plan.messages[op.msg];
+    return std::tuple<int, int, uint64_t, int>{m.src, m.dst, m.tag, op.end};
+  };
+  {
+    // Stable per-(stream, side) sort of the message indices in place.
+    std::map<std::tuple<int, int, uint64_t, int>, std::vector<size_t>>
+        positions;
+    for (size_t i = 0; i < posts.size(); ++i) {
+      positions[stream_of(posts[i])].push_back(i);
+    }
+    for (auto& [key, where] : positions) {
+      std::vector<size_t> msgs;
+      msgs.reserve(where.size());
+      for (size_t i : where) msgs.push_back(posts[i].msg);
+      std::sort(msgs.begin(), msgs.end());
+      for (size_t k = 0; k < where.size(); ++k) {
+        posts[where[k]].msg = msgs[k];
+      }
+    }
+  }
+
+  // Interleave chaos ops: time steps, cancels, deadlines, waits. Targets
+  // are always messages whose relevant half is already posted.
+  std::vector<char> send_posted(plan.messages.size(), 0);
+  std::vector<char> recv_posted(plan.messages.size(), 0);
+  std::vector<size_t> posted;  // message indices with either half posted
+  for (const Op& post : posts) {
+    plan.ops.push_back(post);
+    if (post.kind == Op::Kind::kSendPost) send_posted[post.msg] = 1;
+    if (post.kind == Op::Kind::kRecvPost) recv_posted[post.msg] = 1;
+    posted.push_back(post.msg);
+    if (rng.next_bool(0.35)) {
+      plan.ops.push_back({Op::Kind::kStep, 0, 0,
+                          1.0 + static_cast<double>(rng.next_below(300))});
+    }
+    if (rng.next_bool(0.12)) {
+      const size_t target = posted[rng.next_below(posted.size())];
+      const int end = rng.next_bool(0.5) ? 0 : 1;
+      if ((end == 0 && send_posted[target]) ||
+          (end == 1 && recv_posted[target])) {
+        plan.ops.push_back({Op::Kind::kCancel, target, end, 0.0});
+      }
+    }
+    if (rng.next_bool(0.08)) {
+      const size_t target = posted[rng.next_below(posted.size())];
+      const int end = rng.next_bool(0.5) ? 0 : 1;
+      if ((end == 0 && send_posted[target]) ||
+          (end == 1 && recv_posted[target])) {
+        plan.ops.push_back(
+            {Op::Kind::kDeadline, target, end,
+             50.0 + static_cast<double>(rng.next_below(2000))});
+      }
+    }
+    if (rng.next_bool(0.10)) {
+      const size_t target = posted[rng.next_below(posted.size())];
+      if (recv_posted[target]) {
+        plan.ops.push_back(
+            {Op::Kind::kWaitFor, target, 1,
+             static_cast<double>(rng.next_range(100, 5000))});
+      }
+    }
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------------
+
+struct LiveMessage {
+  std::vector<std::byte> out;
+  std::vector<std::byte> in;
+  core::Request* send = nullptr;  // owned by the src core
+  core::Request* recv = nullptr;  // owned by the dst core
+  size_t send_index = 0;          // position in the oracle's FIFO stream
+  size_t recv_index = 0;
+};
+
+class Runner {
+ public:
+  Runner(const ExplorerOptions& opts, Plan plan)
+      : opts_(opts), plan_(std::move(plan)) {
+    api::ClusterOptions cluster_opts;
+    cluster_opts.nodes = plan_.nodes;
+    cluster_opts.rails = plan_.rail_profiles;
+    cluster_opts.core = plan_.config;
+    cluster_ = std::make_unique<api::Cluster>(std::move(cluster_opts));
+    // In a -DNMAD_VALIDATE build the per-tick checker would abort the
+    // process on the first violation; route it into the oracle instead
+    // so the sweep reports a replayable seed (no-op otherwise).
+    for (simnet::NodeId n = 0; n < cluster_->node_count(); ++n) {
+      const int node = static_cast<int>(n);
+      cluster_->core(n).set_validate_failure_handler(
+          [this, node](const std::vector<std::string>& failures) {
+            for (const std::string& f : failures) {
+              oracle_.note_violation("validate: node " +
+                                     std::to_string(node) + ": " + f);
+            }
+          });
+    }
+    live_.resize(plan_.messages.size());
+    if (opts_.inject_skip_credit) {
+      cluster_->core(0).test_skip_next_credit_charge(3);
+    }
+  }
+
+  ExplorerResult run() {
+    ExplorerResult result;
+    result.ops_total = plan_.ops.size();
+    result.strategy = plan_.strategy;
+    result.fault_kind = fault_kind_name(plan_.fault);
+    result.nodes = plan_.nodes;
+    result.rails = plan_.rails;
+    result.flow_control = plan_.config.flow_control;
+
+    const size_t limit = std::min(opts_.max_ops, plan_.ops.size());
+    for (size_t i = 0; i < limit; ++i) {
+      execute(plan_.ops[i]);
+    }
+    result.ops_executed = limit;
+
+    // Balance the prefix: a message with only one half posted would hang
+    // (send with no recv) or leave the oracle unbalanced, and neither is
+    // an engine bug. Messages with neither half posted are skipped.
+    for (size_t i = 0; i < live_.size(); ++i) {
+      if (live_[i].send && !live_[i].recv) post_recv(i);
+      if (live_[i].recv && !live_[i].send) post_send(i);
+    }
+
+    // Drain to quiescence, bounded: a live-locked protocol (e.g. a credit
+    // probe re-arming forever) must terminate the run as a violation, not
+    // hang the harness.
+    size_t events = 0;
+    constexpr size_t kEventCap = 4'000'000;
+    while (events < kEventCap && cluster_->world().run_one()) ++events;
+    if (events >= kEventCap) {
+      oracle_.note_violation(
+          "world still busy after 4M events — live-locked protocol");
+    }
+    result.virtual_us = cluster_->now();
+
+    // Every request the harness still holds must be done at quiescence.
+    for (size_t i = 0; i < live_.size(); ++i) {
+      LiveMessage& m = live_[i];
+      const Message& spec = plan_.messages[i];
+      if (m.send || m.recv) ++result.messages;
+      if (m.send && m.send->done()) {
+        cluster_->core(spec.src).release(m.send);
+        m.send = nullptr;
+      }
+      if (m.recv && m.recv->done()) {
+        cluster_->core(spec.dst).release(m.recv);
+        m.recv = nullptr;
+      }
+    }
+    oracle_.finalize(*cluster_, /*allow_gate_failures=*/false);
+    if (opts_.verbose && !oracle_.ok()) {
+      for (simnet::NodeId n = 0; n < cluster_->node_count(); ++n) {
+        cluster_->core(n).debug_dump(stderr);
+      }
+    }
+
+    result.violations = oracle_.violations();
+    result.ok = result.violations.empty();
+    return result;
+  }
+
+ private:
+  void execute(const Op& op) {
+    switch (op.kind) {
+      case Op::Kind::kSendPost:
+        post_send(op.msg);
+        break;
+      case Op::Kind::kRecvPost:
+        post_recv(op.msg);
+        break;
+      case Op::Kind::kCancel: {
+        LiveMessage& m = live_[op.msg];
+        const Message& spec = plan_.messages[op.msg];
+        if (op.end == 0 && m.send && !m.send->done()) {
+          cluster_->core(spec.src).cancel(m.send);  // may refuse; fine
+        } else if (op.end == 1 && m.recv && !m.recv->done()) {
+          cluster_->core(spec.dst).cancel(m.recv);
+        }
+        break;
+      }
+      case Op::Kind::kDeadline: {
+        LiveMessage& m = live_[op.msg];
+        const Message& spec = plan_.messages[op.msg];
+        if (op.end == 0 && m.send && !m.send->done()) {
+          cluster_->core(spec.src).set_deadline(m.send, op.us);
+        } else if (op.end == 1 && m.recv && !m.recv->done()) {
+          cluster_->core(spec.dst).set_deadline(m.recv, op.us);
+        }
+        break;
+      }
+      case Op::Kind::kWaitFor: {
+        core::Request* req = live_[op.msg].recv;
+        const double until = cluster_->now() + op.us;
+        while (req && !req->done() && cluster_->now() < until) {
+          if (!cluster_->world().run_one()) break;
+        }
+        break;
+      }
+      case Op::Kind::kStep: {
+        const double until = cluster_->now() + op.us;
+        while (cluster_->now() < until) {
+          if (!cluster_->world().run_one()) break;
+        }
+        break;
+      }
+    }
+  }
+
+  void post_send(size_t msg) {
+    LiveMessage& m = live_[msg];
+    if (m.send) return;
+    const Message& spec = plan_.messages[msg];
+    m.out.resize(spec.bytes);
+    util::fill_pattern({m.out.data(), m.out.size()}, spec.pattern);
+    const util::ConstBytes payload{m.out.data(), m.out.size()};
+    m.send_index =
+        oracle_.send_posted(spec.src, spec.dst, spec.tag, payload);
+    core::Core& src = cluster_->core(spec.src);
+    core::Request* req = src.isend(
+        cluster_->gate(static_cast<simnet::NodeId>(spec.src),
+                       static_cast<simnet::NodeId>(spec.dst)),
+        core::Tag(spec.tag), payload);
+    m.send = req;
+    // A request can complete inside isend itself (failed gate); the
+    // callback must not be armed after the fact.
+    if (req->done()) {
+      oracle_.send_completed(spec.src, spec.dst, spec.tag, m.send_index,
+                             req->status());
+    } else {
+      req->set_on_complete([this, msg, req] {
+        const Message& s = plan_.messages[msg];
+        oracle_.send_completed(s.src, s.dst, s.tag, live_[msg].send_index,
+                               req->status());
+      });
+    }
+    if (opts_.verbose) {
+      std::printf("  [%8.1fus] isend %d->%d tag %llu %zuB (#%zu)\n",
+                  cluster_->now(), spec.src, spec.dst,
+                  static_cast<unsigned long long>(spec.tag), spec.bytes,
+                  m.send_index);
+    }
+  }
+
+  void post_recv(size_t msg) {
+    LiveMessage& m = live_[msg];
+    if (m.recv) return;
+    const Message& spec = plan_.messages[msg];
+    m.in.assign(spec.bytes, std::byte{0xEE});
+    m.recv_index = oracle_.recv_posted(
+        spec.dst, spec.src, spec.tag,
+        util::ConstBytes{m.in.data(), m.in.size()});
+    core::Core& dst = cluster_->core(spec.dst);
+    auto* req = dst.irecv(
+        cluster_->gate(static_cast<simnet::NodeId>(spec.dst),
+                       static_cast<simnet::NodeId>(spec.src)),
+        core::Tag(spec.tag), util::MutableBytes{m.in.data(), m.in.size()});
+    m.recv = req;
+    // irecv can complete synchronously (unexpected-store replay of a
+    // fully-arrived message, peer-cancelled tombstone, failed gate) —
+    // in that case the completion already happened and a late callback
+    // would never fire.
+    if (req->done()) {
+      oracle_.recv_completed(spec.dst, spec.src, spec.tag, m.recv_index,
+                             req->status(), req->received_bytes());
+    } else {
+      req->set_on_complete([this, msg, req] {
+        const Message& s = plan_.messages[msg];
+        oracle_.recv_completed(s.dst, s.src, s.tag, live_[msg].recv_index,
+                               req->status(), req->received_bytes());
+      });
+    }
+    if (opts_.verbose) {
+      std::printf("  [%8.1fus] irecv %d<-%d tag %llu %zuB (#%zu)\n",
+                  cluster_->now(), spec.dst, spec.src,
+                  static_cast<unsigned long long>(spec.tag), spec.bytes,
+                  m.recv_index);
+    }
+  }
+
+  ExplorerOptions opts_;
+  Plan plan_;
+  std::unique_ptr<api::Cluster> cluster_;
+  std::vector<LiveMessage> live_;
+  ProtocolOracle oracle_;
+};
+
+}  // namespace
+
+ExplorerResult run_schedule(const ExplorerOptions& opts) {
+  Plan plan = make_plan(opts);
+  if (opts.verbose) {
+    std::printf(
+        "seed=%llu nodes=%zu rails=%zu strategy=%s fault=%s flow=%d "
+        "ops=%zu msgs=%zu\n",
+        static_cast<unsigned long long>(opts.seed), plan.nodes, plan.rails,
+        plan.strategy.c_str(), fault_kind_name(plan.fault),
+        plan.config.flow_control ? 1 : 0, plan.ops.size(),
+        plan.messages.size());
+  }
+  Runner runner(opts, std::move(plan));
+  return runner.run();
+}
+
+size_t minimize(ExplorerOptions opts) {
+  const ExplorerResult full = run_schedule(opts);
+  if (full.ok) return 0;
+  size_t lo = 1;
+  size_t hi = std::min(opts.max_ops, full.ops_total);
+  // Binary search assuming prefix-monotone failure; the final re-run
+  // verifies the assumption and falls back to the known-failing length.
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    ExplorerOptions probe = opts;
+    probe.max_ops = mid;
+    probe.verbose = false;
+    if (!run_schedule(probe).ok) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  ExplorerOptions check = opts;
+  check.max_ops = lo;
+  check.verbose = false;
+  if (run_schedule(check).ok) {
+    return std::min(opts.max_ops, full.ops_total);  // non-monotone; keep all
+  }
+  return lo;
+}
+
+std::string replay_command(const ExplorerOptions& opts, size_t ops) {
+  std::string cmd = "explorer --seed=" + std::to_string(opts.seed) +
+                    " --ops=" + std::to_string(ops);
+  if (opts.inject_skip_credit) cmd += " --inject=skip-credit-charge";
+  return cmd;
+}
+
+}  // namespace nmad::harness

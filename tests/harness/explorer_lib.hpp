@@ -1,0 +1,59 @@
+// Deterministic chaos explorer: drives randomized N-rank schedules
+// through the full engine stack under fault injection and audits every
+// run with the ProtocolOracle.
+//
+// Everything about a run — cluster shape, strategy, fault schedule, op
+// sequence, payload contents — derives from one 64-bit seed, so a
+// failure replays bit-identically from `explorer --seed=S --ops=L`. The
+// op sequence supports prefix truncation (`max_ops`), which is what the
+// minimizer exploits: binary-search the shortest failing prefix, then
+// hand the user a replay command line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nmad::harness {
+
+struct ExplorerOptions {
+  uint64_t seed = 1;
+  // Execute only the first `max_ops` ops of the generated schedule (the
+  // harness then posts the matching halves of half-posted messages so
+  // every prefix is a complete, balanced schedule). SIZE_MAX = all.
+  size_t max_ops = static_cast<size_t>(-1);
+  // Injected protocol bug (Core::test_skip_next_credit_charge on rank 0):
+  // the self-test proving the oracle catches a sender that elects eager
+  // traffic without charging credit. Forces a flow-control plan.
+  bool inject_skip_credit = false;
+  bool verbose = false;  // narrate the plan and each op to stdout
+};
+
+struct ExplorerResult {
+  bool ok = false;
+  std::vector<std::string> violations;
+  size_t ops_total = 0;     // full plan length (for the replay line)
+  size_t ops_executed = 0;  // after prefix truncation
+  size_t messages = 0;      // messages actually posted (either half)
+  // Plan metadata, for coverage accounting across a sweep.
+  std::string strategy;
+  std::string fault_kind;  // none|drops|flips|blackout|rx-pause|mixed
+  size_t nodes = 0;
+  size_t rails = 0;
+  bool flow_control = false;
+  double virtual_us = 0.0;  // virtual time consumed by the run
+};
+
+// Generates the schedule for `opts.seed`, executes it, and audits it.
+ExplorerResult run_schedule(const ExplorerOptions& opts);
+
+// Shrinks a failing run to the shortest op prefix that still fails
+// (binary search over prefix length, verified by a final re-run).
+// `opts.max_ops` bounds the search from above. Returns the minimal
+// failing prefix length, or 0 if the failure did not reproduce.
+size_t minimize(ExplorerOptions opts);
+
+// The exact command line that replays a failing run.
+std::string replay_command(const ExplorerOptions& opts, size_t ops);
+
+}  // namespace nmad::harness

@@ -1,0 +1,177 @@
+// The chaos harness testing itself: the oracle flags misuse, a sweep of
+// randomized schedules runs green with real strategy/fault coverage,
+// replays are bit-deterministic, and an intentionally injected protocol
+// bug (a skipped credit charge) is caught and shrunk to a replayable
+// seed.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/explorer_lib.hpp"
+#include "harness/oracle.hpp"
+#include "nmad/api/session.hpp"
+#include "simnet/profiles.hpp"
+#include "util/buffer.hpp"
+
+namespace nmad::harness {
+namespace {
+
+TEST(Oracle, FlagsDoubleCompletionAndLostOps) {
+  ProtocolOracle oracle;
+  std::vector<std::byte> payload(64);
+  util::fill_pattern({payload.data(), payload.size()}, 9);
+  const util::ConstBytes bytes{payload.data(), payload.size()};
+
+  const size_t s = oracle.send_posted(0, 1, 5, bytes);
+  const size_t r = oracle.recv_posted(1, 0, 5, bytes);
+  oracle.send_completed(0, 1, 5, s, util::ok_status());
+  oracle.send_completed(0, 1, 5, s, util::ok_status());  // duplicate
+  EXPECT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.violations()[0].find("completed twice"),
+            std::string::npos);
+
+  // The receive never completes: finalize must flag it as lost.
+  (void)r;
+  api::Cluster cluster;  // any cluster works for the engine-side walk
+  oracle.finalize(cluster);
+  bool lost = false;
+  for (const std::string& v : oracle.violations()) {
+    if (v.find("never completed") != std::string::npos) lost = true;
+  }
+  EXPECT_TRUE(lost);
+}
+
+TEST(Oracle, FlagsCorruptPayload) {
+  ProtocolOracle oracle;
+  std::vector<std::byte> sent(128), got(128);
+  util::fill_pattern({sent.data(), sent.size()}, 3);
+  util::fill_pattern({got.data(), got.size()}, 4);  // different contents
+
+  const size_t s = oracle.send_posted(0, 1, 0,
+                                      {sent.data(), sent.size()});
+  const size_t r =
+      oracle.recv_posted(1, 0, 0, {got.data(), got.size()});
+  oracle.send_completed(0, 1, 0, s, util::ok_status());
+  oracle.recv_completed(1, 0, 0, r, util::ok_status(), got.size());
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.violations()[0].find("checksum"), std::string::npos);
+}
+
+TEST(Explorer, SweepRunsGreenWithCoverage) {
+  std::set<std::string> strategies;
+  std::set<std::string> faults;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    ExplorerOptions opts;
+    opts.seed = seed;
+    const ExplorerResult r = run_schedule(opts);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": "
+                      << (r.violations.empty() ? "?" : r.violations[0]);
+    EXPECT_GT(r.messages, 0u) << "seed " << seed;
+    strategies.insert(r.strategy);
+    faults.insert(r.fault_kind);
+  }
+  // The acceptance bar: at least 3 strategies x 4 fault kinds exercised.
+  EXPECT_GE(strategies.size(), 3u);
+  EXPECT_GE(faults.size(), 4u);
+}
+
+TEST(Explorer, ReplayIsDeterministic) {
+  ExplorerOptions opts;
+  opts.seed = 42;
+  const ExplorerResult a = run_schedule(opts);
+  const ExplorerResult b = run_schedule(opts);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.ops_total, b.ops_total);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.strategy, b.strategy);
+  EXPECT_EQ(a.fault_kind, b.fault_kind);
+  EXPECT_EQ(a.virtual_us, b.virtual_us);  // bit-identical virtual time
+}
+
+TEST(Explorer, InjectedCreditBugIsCaughtAndShrunk) {
+  // Plant the bug (rank 0 skips its next credit charges) and let the
+  // harness find it: some seed in a small range must produce eager
+  // flow-controlled traffic that trips the oracle's conservation checks.
+  ExplorerOptions failing;
+  bool found = false;
+  for (uint64_t seed = 1; seed <= 30 && !found; ++seed) {
+    ExplorerOptions opts;
+    opts.seed = seed;
+    opts.inject_skip_credit = true;
+    const ExplorerResult r = run_schedule(opts);
+    if (!r.ok) {
+      failing = opts;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no seed tripped on the injected bug";
+
+  const size_t shrunk = minimize(failing);
+  ASSERT_GT(shrunk, 0u);
+  const ExplorerResult full = run_schedule(failing);
+  EXPECT_LE(shrunk, full.ops_total);
+
+  // The minimized prefix still reproduces, and the replay line carries
+  // everything needed to do it again from a shell.
+  ExplorerOptions replay = failing;
+  replay.max_ops = shrunk;
+  EXPECT_FALSE(run_schedule(replay).ok);
+  const std::string cmd = replay_command(failing, shrunk);
+  EXPECT_NE(cmd.find("--seed="), std::string::npos);
+  EXPECT_NE(cmd.find("--ops="), std::string::npos);
+  EXPECT_NE(cmd.find("--inject=skip-credit-charge"), std::string::npos);
+}
+
+TEST(Invariants, CheckInvariantsCatchesSkippedCharge) {
+  // The same bug, seen from the compiled-in checker instead of the
+  // oracle: once an uncharged chunk leaves the window, the gate's
+  // window-byte gauge no longer matches the window contents.
+  api::ClusterOptions options;
+  options.rails = {simnet::mx_myri10g_profile()};
+  options.core.reliability = true;
+  options.core.flow_control = true;
+  options.core.ack_timeout_us = 200.0;
+  options.core.ack_delay_us = 5.0;
+  api::Cluster cluster(std::move(options));
+  core::Core& a = cluster.core(0);
+  core::Core& b = cluster.core(1);
+
+  std::vector<std::string> clean;
+  EXPECT_TRUE(a.check_invariants(&clean)) << clean[0];
+
+#ifdef NMAD_VALIDATE
+  // Under -DNMAD_VALIDATE the per-tick hook would abort the process the
+  // moment the bug fires; install a collector so the test observes it.
+  std::vector<std::string> seen;
+  a.set_validate_failure_handler(
+      [&seen](const std::vector<std::string>& f) {
+        seen.insert(seen.end(), f.begin(), f.end());
+      });
+#endif
+
+  a.test_skip_next_credit_charge(1);
+  std::vector<std::byte> out(512), in(512);
+  util::fill_pattern({out.data(), out.size()}, 1);
+  core::Request* r =
+      b.irecv(cluster.gate(1, 0), 0, util::MutableBytes{in.data(), 512});
+  core::Request* s =
+      a.isend(cluster.gate(0, 1), 0, util::ConstBytes{out.data(), 512});
+  cluster.wait(s);
+  cluster.wait(r);
+  cluster.world().run_to_quiescence();
+
+  std::vector<std::string> failures;
+  EXPECT_FALSE(a.check_invariants(&failures));
+  ASSERT_FALSE(failures.empty());
+#ifdef NMAD_VALIDATE
+  EXPECT_FALSE(seen.empty());
+  EXPECT_GT(a.stats().validate_violations, 0u);
+#endif
+  a.release(s);
+  b.release(r);
+}
+
+}  // namespace
+}  // namespace nmad::harness

@@ -1,0 +1,144 @@
+// Session / completion-machinery edge cases: waiting on requests that
+// are already done, cancelling twice, zero-timeout waits, and
+// CompletionQueue corner behavior.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "madmpi/madmpi.hpp"
+#include "nmad/api/completion_queue.hpp"
+#include "nmad/api/session.hpp"
+#include "simnet/profiles.hpp"
+#include "util/buffer.hpp"
+
+namespace nmad::core {
+namespace {
+
+struct Pair {
+  Pair() {
+    api::ClusterOptions options;
+    options.core.reliability = true;
+    options.core.ack_timeout_us = 200.0;
+    options.core.ack_delay_us = 5.0;
+    cluster = std::make_unique<api::Cluster>(std::move(options));
+    ab = cluster->gate(0, 1);
+    ba = cluster->gate(1, 0);
+  }
+  Core& a() { return cluster->core(0); }
+  Core& b() { return cluster->core(1); }
+
+  std::unique_ptr<api::Cluster> cluster;
+  GateId ab{};
+  GateId ba{};
+};
+
+TEST(SessionEdges, WaitOnAlreadyCompletedRequestReturnsAtOnce) {
+  Pair t;
+  std::vector<std::byte> out(256), in(256);
+  util::fill_pattern({out.data(), 256}, 1);
+  Request* r = t.b().irecv(t.ba, 0, {in.data(), 256});
+  Request* s = t.a().isend(t.ab, 0, util::ConstBytes{out.data(), 256});
+  t.cluster->wait(s);
+  t.cluster->wait(r);
+  ASSERT_TRUE(s->done());
+
+  // Waiting again must not pump the world (virtual time frozen) and must
+  // not disturb the completed status.
+  const double before = t.cluster->now();
+  t.cluster->wait(s);
+  t.cluster->wait(r);
+  EXPECT_EQ(t.cluster->now(), before);
+  EXPECT_TRUE(s->status().is_ok());
+  EXPECT_TRUE(r->status().is_ok());
+  EXPECT_TRUE(util::check_pattern({in.data(), 256}, 1));
+  t.a().release(s);
+  t.b().release(r);
+}
+
+TEST(SessionEdges, DoubleCancelSecondCallRefuses) {
+  Pair t;
+  std::vector<std::byte> in(256);
+  Request* r = t.b().irecv(t.ba, 7, {in.data(), 256});
+  EXPECT_TRUE(t.b().cancel(r));
+  EXPECT_TRUE(r->done());
+  EXPECT_EQ(r->status().code(), util::StatusCode::kCancelled);
+
+  // The second cancel sees a done request: refused, status untouched,
+  // and the cancel counter does not double-count.
+  EXPECT_FALSE(t.b().cancel(r));
+  EXPECT_EQ(r->status().code(), util::StatusCode::kCancelled);
+  EXPECT_EQ(t.b().stats().recvs_cancelled, 1u);
+  t.b().release(r);
+}
+
+TEST(SessionEdges, WaitForZeroTimeout) {
+  mpi::MadMpiWorld w;
+  const mpi::Datatype byte = mpi::Datatype::byte_type();
+  std::vector<std::byte> in(128), out(128);
+  util::fill_pattern({out.data(), 128}, 3);
+
+  // Pending request, zero budget: reports timeout without running a
+  // single event.
+  mpi::Request* r =
+      w.ep(1).irecv(in.data(), 128, byte, 0, 0, mpi::kCommWorld);
+  EXPECT_FALSE(w.ep(1).wait_for(r, 0.0));
+  EXPECT_FALSE(r->done());
+
+  // Once the match lands, a zero-timeout wait on the done request
+  // succeeds immediately.
+  mpi::Request* s =
+      w.ep(0).isend(out.data(), 128, byte, 1, 0, mpi::kCommWorld);
+  w.ep(1).wait(r);
+  EXPECT_TRUE(w.ep(1).wait_for(r, 0.0));
+  EXPECT_TRUE(w.ep(0).wait_for(s, 0.0));
+  EXPECT_TRUE(util::check_pattern({in.data(), 128}, 3));
+  w.ep(0).free_request(s);
+  w.ep(1).free_request(r);
+}
+
+TEST(SessionEdges, CompletionQueueEdges) {
+  Pair t;
+  api::CompletionQueue cq(t.cluster->world());
+  EXPECT_EQ(cq.pending(), 0u);
+  EXPECT_EQ(cq.poll(), nullptr);  // empty queue polls null, never blocks
+
+  // Tracking a request that is already complete enqueues it immediately.
+  std::vector<std::byte> in0(64);
+  Request* done_req = t.b().irecv(t.ba, 1, {in0.data(), 64});
+  ASSERT_TRUE(t.b().cancel(done_req));
+  cq.track(done_req);
+  EXPECT_EQ(cq.ready(), 1u);
+  EXPECT_EQ(cq.poll(), done_req);
+  EXPECT_EQ(cq.pending(), 0u);
+  t.b().release(done_req);
+
+  // In-flight requests surface in completion order, not tracking order.
+  std::vector<std::byte> out1(256), in1(256);
+  std::vector<std::byte> out2(200 * 1024), in2(200 * 1024);
+  util::fill_pattern({out1.data(), out1.size()}, 4);
+  util::fill_pattern({out2.data(), out2.size()}, 5);
+  // The rendezvous transfer (tag 3) takes far longer than the eager one
+  // (tag 2), so tag 2 completes first despite being tracked second.
+  Request* slow = t.b().irecv(t.ba, 3, {in2.data(), in2.size()});
+  Request* fast = t.b().irecv(t.ba, 2, {in1.data(), in1.size()});
+  cq.track(slow);
+  cq.track(fast);
+  Request* s1 =
+      t.a().isend(t.ab, 3, util::ConstBytes{out2.data(), out2.size()});
+  Request* s2 =
+      t.a().isend(t.ab, 2, util::ConstBytes{out1.data(), out1.size()});
+  EXPECT_EQ(cq.wait_next(), fast);
+  EXPECT_EQ(cq.wait_next(), slow);
+  EXPECT_EQ(cq.pending(), 0u);
+  t.cluster->wait(s1);
+  t.cluster->wait(s2);
+  EXPECT_TRUE(util::check_pattern({in1.data(), in1.size()}, 4));
+  EXPECT_TRUE(util::check_pattern({in2.data(), in2.size()}, 5));
+  t.a().release(s1);
+  t.a().release(s2);
+  t.b().release(fast);
+  t.b().release(slow);
+}
+
+}  // namespace
+}  // namespace nmad::core
