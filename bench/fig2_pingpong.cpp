@@ -94,6 +94,79 @@ void run_network(const std::string& net, uint64_t min_size,
   std::printf("\n");
 }
 
+// Flapping-rail scenario: MAD-MPI on two rails, rail 1 going dark for
+// 500µs every 3ms. The heartbeat monitor declares it dead (300µs of
+// silence), traffic fails over to rail 0, and the probe/probation
+// handshake revives it in the bright gap — over and over, while the
+// ping-pong keeps running. The table compares against the same two-rail
+// setup with no blackouts, so the penalty column isolates what the
+// flapping (and the recovery machinery) actually costs.
+void run_rail_flap(const std::string& net, uint64_t min_size,
+                   uint64_t max_size, bool csv) {
+  core::CoreConfig cfg;
+  cfg.rail_health = true;  // implies reliability
+  cfg.ack_timeout_us = 200.0;
+  cfg.ack_delay_us = 5.0;
+  cfg.rail_dead_after = 0;
+  cfg.max_retries = 20;
+  cfg.heartbeat_interval_us = 50.0;
+  cfg.suspect_after_us = 150.0;
+  cfg.dead_after_us = 300.0;
+  cfg.probe_interval_us = 100.0;
+  cfg.probation_replies = 2;
+
+  simnet::NicProfile base_rail;
+  if (!simnet::nic_profile_by_name(net, &base_rail)) {
+    std::fprintf(stderr, "unknown network: %s\n", net.c_str());
+    std::exit(2);
+  }
+  simnet::NicProfile flap_rail = base_rail;
+  for (int i = 0; i < 4000; ++i) {
+    const double begin = 2500.0 + 3000.0 * i;
+    flap_rail.fault.blackouts.push_back({begin, begin + 500.0});
+  }
+
+  util::Table table({"size", "steady_lat_us", "flap_lat_us",
+                     "steady_bw_MBps", "flap_bw_MBps", "penalty_pct"});
+  for (uint64_t size : util::doubling_sizes(min_size, max_size)) {
+    double lat[2] = {0.0, 0.0};
+    for (int flap = 0; flap < 2; ++flap) {
+      baseline::StackOptions options;
+      options.impl = baseline::StackImpl::kMadMpi;
+      options.nic = base_rail;
+      options.core = cfg;
+      options.extra_rails = {flap ? flap_rail : base_rail};
+      baseline::MpiStack stack(std::move(options));
+      lat[flap] = bench::pingpong_latency_us(stack, size);
+      // Settle before the stack destructs: beacons re-arm forever, and a
+      // packet mid-flight at teardown would leak its pool chunk.
+      for (int r = 0; r < 2; ++r) {
+        static_cast<mpi::MadMpiEndpoint&>(stack.ep(r))
+            .engine()
+            .stop_health_monitors();
+      }
+      while (stack.world().run_one()) {
+      }
+    }
+    table.add_row({util::format_size(size), util::format_fixed(lat[0], 2),
+                   util::format_fixed(lat[1], 2),
+                   util::format_fixed(static_cast<double>(size) / lat[0], 1),
+                   util::format_fixed(static_cast<double>(size) / lat[1], 1),
+                   util::format_fixed(
+                       (lat[1] - lat[0]) / lat[0] * 100.0, 1)});
+  }
+
+  std::printf("## Flapping-rail ping-pong over %s "
+              "(rail 1 dark 500us every 3ms, madmpi only)\n",
+              net.c_str());
+  if (csv) {
+    table.print_csv(stdout);
+  } else {
+    table.print();
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -114,6 +187,10 @@ int main(int argc, char** argv) {
                     "enable receiver-driven credit flow control (implies "
                     "the reliability layer; uncontended here, so measures "
                     "its zero-overhead claim)");
+  flags.define_bool("rail-flap", false,
+                    "two-rail madmpi-only run with rail 1 flapping "
+                    "(heartbeat death + epoch-fenced revival mid-bench); "
+                    "compares against the same setup with no blackouts");
   if (auto st = flags.parse(argc, argv); !st.is_ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     flags.print_help(argv[0]);
@@ -130,6 +207,10 @@ int main(int argc, char** argv) {
   const bool reliable = flags.get_bool("reliable");
   const bool credits = flags.get_bool("credits");
 
+  if (flags.get_bool("rail-flap")) {
+    run_rail_flap(net == "all" ? "mx" : net, min_size, max_size, csv);
+    return 0;
+  }
   if (net == "all") {
     run_network("mx", min_size, max_size, csv, plot, fault_drop,
                 fault_seed, reliable, credits);

@@ -3,7 +3,9 @@
 # with -DNMAD_SANITIZE=ON (ASan + UBSan, no recovery) and runs the full
 # test suite through it. A clean pass means the reliability layer's
 # timer/retransmit machinery holds up under memory and UB checking, not
-# just functionally.
+# just functionally. The suite includes the rail-lifecycle tests and the
+# explorer's 200-schedule sweeps (default mix and --fault=rail-flap), so
+# heartbeat death, epoch-fenced revival, and drain all run sanitized.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -8,6 +8,9 @@
 #   scripts/replay.sh 51 --ops=4              # minimized prefix
 #   scripts/replay.sh 51 --ops=4 --verbose    # plus per-core debug dumps
 #   scripts/replay.sh 7 --inject=skip-credit-charge
+#   scripts/replay.sh 9 --fault=rail-flap     # force the flapping-rail
+#                                             # profile (heartbeat death,
+#                                             # epoch-fenced revival, drain)
 #
 # Configures/builds a dedicated tree with -DNMAD_VALIDATE=ON so the
 # compiled-in invariant checkers run on every progress tick during the

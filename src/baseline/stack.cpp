@@ -30,6 +30,9 @@ MpiStack::MpiStack(StackOptions options) : options_(std::move(options)) {
     api::ClusterOptions cluster;
     cluster.nodes = options_.nodes;
     cluster.rails = {options_.nic};
+    for (const simnet::NicProfile& rail : options_.extra_rails) {
+      cluster.rails.push_back(rail);
+    }
     cluster.cpu = options_.cpu;
     cluster.core = options_.core;
     mad_ = std::make_unique<mpi::MadMpiWorld>(std::move(cluster));

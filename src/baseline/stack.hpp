@@ -33,6 +33,9 @@ struct StackOptions {
   size_t nodes = 2;
   // MAD-MPI only: engine configuration (strategy, overhead knobs).
   core::CoreConfig core;
+  // MAD-MPI only: additional rails beyond `nic` (multi-rail benches,
+  // e.g. the flapping-rail scenario). The baseline MPIs are single-rail.
+  std::vector<simnet::NicProfile> extra_rails;
 };
 
 class MpiStack {

@@ -103,6 +103,10 @@ bool MadMpiEndpoint::set_deadline(Request* req, double timeout_us) {
   return true;
 }
 
+util::Status MadMpiEndpoint::finalize(double deadline_us) {
+  return core_.drain(deadline_us);
+}
+
 MadMpiWorld::MadMpiWorld(api::ClusterOptions options)
     : cluster_(std::move(options)) {
   const int size = static_cast<int>(cluster_.node_count());

@@ -41,6 +41,10 @@ class MadMpiEndpoint final : public Endpoint {
   void free_request(Request* req) override;
   bool cancel(Request* req) override;
   bool set_deadline(Request* req, double timeout_us) override;
+  // Drains the engine: Finalize flushes in-flight traffic (retransmit
+  // windows, deferred acks, streaming rendezvous bodies) instead of
+  // abandoning it mid-protocol.
+  util::Status finalize(double deadline_us) override;
 
   [[nodiscard]] core::Core& engine() { return core_; }
 

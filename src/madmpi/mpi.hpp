@@ -101,6 +101,17 @@ class Endpoint {
     return false;
   }
 
+  // MPI_Finalize analogue: flush everything this endpoint still has in
+  // flight — pending sends, retransmit windows, deferred acks — within
+  // `deadline_us` of virtual time, instead of abandoning it. Returns
+  // kDeadlineExceeded when the traffic cannot quiesce in time (e.g. a
+  // sent message whose receive was never posted). The endpoint stays
+  // usable afterwards; this is a drain, not a teardown. Stacks with no
+  // engine-level buffering have nothing to flush and return ok.
+  virtual util::Status finalize(double /*deadline_us*/ = 1.0e7) {
+    return util::ok_status();
+  }
+
   // Completion.
   [[nodiscard]] static bool test(const Request* req) { return req->done(); }
   void wait(Request* req);

@@ -50,7 +50,8 @@ struct OutChunk {
 
   [[nodiscard]] bool is_control() const {
     return kind == ChunkKind::kRts || kind == ChunkKind::kCts ||
-           kind == ChunkKind::kAck || kind == ChunkKind::kCredit;
+           kind == ChunkKind::kAck || kind == ChunkKind::kCredit ||
+           kind == ChunkKind::kHeartbeat;
   }
 
   // Bytes this chunk adds to a track-0 packet (header + inline payload).
@@ -72,6 +73,10 @@ struct BulkJob {
   size_t sent = 0;                 // bytes handed to drivers so far
   size_t acked = 0;                // bytes whose transmit completed
   std::vector<uint8_t> rails;      // rails with a sink posted (from CTS)
+  // The unfiltered CTS grant: `rails` above shrinks when a rail dies so
+  // refill never schedules onto it, but the receiver's sinks stay posted
+  // through the blackout — revival restores the rail from this record.
+  std::vector<uint8_t> granted_rails;
   RailIndex pinned_rail = kAnyRail;  // application hint, if any
   SendRequest* owner = nullptr;
 

@@ -38,11 +38,20 @@ Core::Core(simnet::SimWorld& world, simnet::SimNode& node, CoreConfig config)
   // must survive loss), so it forces reliability on; reliability in turn
   // needs checksums: corruption detection is what turns a flipped bit
   // into a clean drop + retransmit.
+  // Rail health needs the same machinery one layer up: a rail declared
+  // dead only recovers its in-flight traffic through retransmission.
+  if (config_.rail_health) config_.reliability = true;
   if (config_.flow_control) config_.reliability = true;
   if (config_.reliability) config_.wire_checksum = true;
 }
 
 Core::~Core() {
+  for (auto& rail : rails_) {
+    if (rail.health_timer_armed) {
+      world_.cancel(rail.health_timer);
+      rail.health_timer_armed = false;
+    }
+  }
   for (auto& rail : rails_) {
     // A packet elected early but never transmitted returns its chunks to
     // the pool (reaching here with one is already a usage error that the
@@ -78,6 +87,15 @@ util::Status Core::add_rail(std::unique_ptr<drivers::Driver> driver) {
   driver->set_rx_handler([this, index](drivers::RxPacket&& packet) {
     on_packet(index, std::move(packet));
   });
+  // Track-1 deposits bypass on_packet, yet a rail streaming one long
+  // rendezvous body is the opposite of dead: count every bulk arrival as
+  // liveness so the monitor does not kill a saturated rail mid-transfer.
+  driver->set_bulk_rx_handler([this, index](drivers::PeerAddr) {
+    if (!rail_health_on() || index >= rails_.size()) return;
+    RailState& rs = rails_[index];
+    rs.last_rx_us = world_.now();
+    if (rs.health == RailHealth::kSuspect) rs.health = RailHealth::kAlive;
+  });
   if (config_.reliability) {
     // Late retransmissions may land after their sink completed; the
     // orphan handler re-acks them instead of treating them as protocol
@@ -110,6 +128,9 @@ util::Expected<GateId> Core::connect(drivers::PeerAddr peer,
     if (r >= rails_.size()) return util::out_of_range("bad rail index");
   }
   connected_ = true;
+  if (config_.rail_health && !health_monitors_started_) {
+    start_health_monitors();
+  }
 
   auto gate = std::make_unique<Gate>();
   gate->id = static_cast<GateId>(gates_.size());
@@ -168,6 +189,26 @@ bool Core::rail_alive(RailIndex rail) const {
 void Core::fail_rail(RailIndex rail) {
   NMAD_ASSERT(rail < rails_.size());
   kill_rail(rail);
+}
+
+RailHealth Core::rail_health_state(RailIndex rail) const {
+  NMAD_ASSERT(rail < rails_.size());
+  return rails_[rail].health;
+}
+
+uint32_t Core::rail_epoch(RailIndex rail) const {
+  NMAD_ASSERT(rail < rails_.size());
+  return rails_[rail].epoch;
+}
+
+const char* rail_health_name(RailHealth health) {
+  switch (health) {
+    case RailHealth::kAlive: return "alive";
+    case RailHealth::kSuspect: return "suspect";
+    case RailHealth::kDead: return "dead";
+    case RailHealth::kProbation: return "probation";
+  }
+  return "?";
 }
 
 size_t Core::window_size(GateId id) { return gate(id).window.size(); }
@@ -557,6 +598,8 @@ void Core::issue_packet(Gate& gate, RailIndex rail,
   if (reliable()) maybe_inject_ack(gate, *builder);
   // Likewise a credit advertisement, whenever the limits grew.
   if (flow_control()) maybe_inject_credit(gate, *builder);
+  // And a liveness beacon when this rail's heartbeat to the peer is due.
+  if (rail_health_on()) maybe_inject_heartbeat(gate, rail, *builder);
 
   // The optimizer just inspected the window and synthesized a packet;
   // charge its cost (§5.1: "extra operations on the critical path") —
@@ -569,14 +612,16 @@ void Core::issue_packet(Gate& gate, RailIndex rail,
   }
 
   // Payload-bearing packets get a sequence number and enter the unacked
-  // window; pure ack/credit packets are fire-and-forget (acknowledging an
-  // ack would ping-pong forever, and credits are self-healing: the next
-  // advertisement supersedes a lost one).
+  // window; pure ack/credit/heartbeat packets are fire-and-forget
+  // (acknowledging an ack would ping-pong forever, credits are
+  // self-healing — the next advertisement supersedes a lost one — and a
+  // lost heartbeat is just silence the next beacon or probe fills in).
   bool track = false;
   if (reliable()) {
     for (const OutChunk* chunk : builder->chunks()) {
       if (chunk->kind != ChunkKind::kAck &&
-          chunk->kind != ChunkKind::kCredit) {
+          chunk->kind != ChunkKind::kCredit &&
+          chunk->kind != ChunkKind::kHeartbeat) {
         track = true;
         break;
       }
@@ -678,6 +723,13 @@ void Core::issue_bulk(Gate& gate, RailIndex rail, BulkJob* job,
 void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
   auto it = peer_gate_.find(packet.from);
   NMAD_ASSERT_MSG(it != peer_gate_.end(), "packet from unknown peer");
+  if (rail_health_on()) {
+    // Anything heard on the rail — from any peer, even a packet that will
+    // be dropped as corrupt — is physical proof the link carries traffic.
+    RailState& rs = rails_[rail];
+    rs.last_rx_us = world_.now();
+    if (rs.health == RailHealth::kSuspect) rs.health = RailHealth::kAlive;
+  }
   Gate& g = *gates_[it->second];
   if (g.failed) return;  // peer already declared unreachable
   g.last_heard_rail = rail;  // a delivering rail: best ack return path
@@ -690,7 +742,7 @@ void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
   bool processed = false;   // at least one chunk acted on
   const util::Status st = decode_packet(
       packet.bytes.view(), &meta,
-      [this, &g, &meta, &classified, &drop,
+      [this, &g, rail, &meta, &classified, &drop,
        &processed](const WireChunk& chunk) {
         if (!classified) {
           classified = true;
@@ -727,6 +779,9 @@ void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
             break;
           case ChunkKind::kCredit:
             handle_credit(g, chunk);
+            break;
+          case ChunkKind::kHeartbeat:
+            handle_heartbeat(g, rail, chunk);
             break;
         }
       });
@@ -1015,10 +1070,22 @@ void Core::debug_dump(std::FILE* out) const {
   std::fprintf(out, "=== nmad core on node %u (strategy %s) ===\n",
                node_.id(), std::string(strategy_->name()).c_str());
   for (size_t r = 0; r < rails_.size(); ++r) {
-    std::fprintf(out, "rail %zu: %s tx_idle=%d prebuilt=%d alive=%d\n", r,
+    std::fprintf(out, "rail %zu: %s tx_idle=%d prebuilt=%d alive=%d", r,
                  rails_[r].driver->caps().name.c_str(),
                  rails_[r].driver->tx_idle() ? 1 : 0,
                  rails_[r].prebuilt ? 1 : 0, rails_[r].alive ? 1 : 0);
+    if (config_.rail_health) {
+      const RailState& rs = rails_[r];
+      std::fprintf(out,
+                   " health=%s epoch=%u peer_epoch=%u heard=%.0fus_ago",
+                   rail_health_name(rs.health), rs.epoch, rs.peer_epoch,
+                   world_.now() - rs.last_rx_us);
+      if (rs.health == RailHealth::kProbation) {
+        std::fprintf(out, " probation=%u/%u", rs.probation_hits,
+                     config_.probation_replies);
+      }
+    }
+    std::fprintf(out, "\n");
   }
   for (const auto& gate : gates_) {
     std::fprintf(out,
@@ -1125,6 +1192,26 @@ void Core::debug_dump(std::FILE* out) const {
         static_cast<unsigned long long>(stats_.rails_failed),
         static_cast<unsigned long long>(stats_.gates_failed));
   }
+  if (config_.rail_health) {
+    std::fprintf(
+        out,
+        "health: beacons=%llu/%llu probes=%llu replies=%llu fenced=%llu "
+        "suspected=%llu revived=%llu demoted=%llu\n",
+        static_cast<unsigned long long>(stats_.heartbeats_sent),
+        static_cast<unsigned long long>(stats_.heartbeats_received),
+        static_cast<unsigned long long>(stats_.probes_sent),
+        static_cast<unsigned long long>(stats_.probe_replies_sent),
+        static_cast<unsigned long long>(stats_.heartbeats_fenced),
+        static_cast<unsigned long long>(stats_.rails_suspected),
+        static_cast<unsigned long long>(stats_.rails_revived),
+        static_cast<unsigned long long>(stats_.probation_demotions));
+  }
+  if (stats_.drains_started != 0 || stats_.gates_closed != 0) {
+    std::fprintf(out, "drain: started=%llu completed=%llu gates_closed=%llu\n",
+                 static_cast<unsigned long long>(stats_.drains_started),
+                 static_cast<unsigned long long>(stats_.drains_completed),
+                 static_cast<unsigned long long>(stats_.gates_closed));
+  }
   if (config_.flow_control) {
     std::fprintf(
         out,
@@ -1165,14 +1252,19 @@ void Core::handle_cts(Gate& gate, const WireChunk& chunk) {
   gate.rdv_wait_cts.erase(it);
 
   // Keep only rails this side can actually drive (and the pinned rail, if
-  // the application constrained the message to one).
+  // the application constrained the message to one). The grant itself is
+  // recorded before the aliveness filter: the receiver's sinks stay
+  // posted through a blackout, so a granted rail that dies and later
+  // revives can be restored to the job (revive_rail).
   job->rails.clear();
+  job->granted_rails.clear();
   for (uint8_t r : chunk.rails) {
     if (r >= rails_.size() || !rails_[r].info.rdma || !gate.has_rail(r)) {
       continue;
     }
-    if (!rails_[r].alive) continue;
     if (job->pinned_rail != kAnyRail && job->pinned_rail != r) continue;
+    job->granted_rails.push_back(r);
+    if (!rails_[r].alive) continue;
     job->rails.push_back(r);
   }
   if (job->rails.empty()) {
@@ -1481,10 +1573,16 @@ void Core::kill_rail(RailIndex rail) {
   RailState& rs = rails_[rail];
   if (!rs.alive) return;
   rs.alive = false;
+  rs.health = RailHealth::kDead;
+  // A new epoch fences this rail's earlier life: probe replies and
+  // beacons carrying the old value no longer count toward revival.
+  ++rs.epoch;
+  rs.probation_hits = 0;
+  rs.last_probe_us = -1.0e18;  // probe at the very next health tick
   ++stats_.rails_failed;
-  NMAD_LOG_WARN("nmad: node %u declares rail %u (%s) dead", node_.id(),
-                static_cast<unsigned>(rail),
-                rs.driver->caps().name.c_str());
+  NMAD_LOG_WARN("nmad: node %u declares rail %u (%s) dead (epoch %u)",
+                node_.id(), static_cast<unsigned>(rail),
+                rs.driver->caps().name.c_str(), rs.epoch);
 
   // A packet elected early for this rail goes back to its gate's window
   // for re-election elsewhere.
@@ -1567,11 +1665,22 @@ void Core::kill_rail(RailIndex rail) {
 
 void Core::fail_gate(Gate& gate, const util::Status& status) {
   if (gate.failed) return;
-  gate.failed = true;
-  gate.fail_status = status;
   ++stats_.gates_failed;
   NMAD_LOG_WARN("nmad: node %u fails gate %u (peer %u): %s", node_.id(),
                 gate.id, gate.peer, status.to_string().c_str());
+  teardown_gate(gate, status);
+}
+
+void Core::close_gate(GateId id) {
+  Gate& g = gate(id);
+  if (g.failed) return;
+  ++stats_.gates_closed;
+  teardown_gate(g, util::closed("gate closed by the local endpoint"));
+}
+
+void Core::teardown_gate(Gate& gate, const util::Status& status) {
+  gate.failed = true;
+  gate.fail_status = status;
 
   if (gate.ack_timer_armed) {
     world_.cancel(gate.ack_timer);
@@ -1658,6 +1767,294 @@ void Core::on_bulk_orphan(drivers::PeerAddr from, uint64_t cookie,
   ack.len = static_cast<uint32_t>(len);
   g.pending_bulk_acks.push_back(ack);
   schedule_ack(g);
+}
+
+// ---------------------------------------------------------------------------
+// Rail health lifecycle (CoreConfig::rail_health)
+//
+// Liveness is active and symmetric: every engine beacons on every rail (at
+// most one kHeartbeat per interval per peer, piggybacked when traffic
+// flows), and anything *heard* on a rail refreshes it — so a healthy but
+// idle fabric stays quiet-but-alive, and detection of a dead link no
+// longer depends on in-flight data timing out. Revival is epoch-fenced: a
+// dead rail is probed, the peer echoes the probe's epoch, and only replies
+// carrying the rail's current epoch advance probation. Any straggler from
+// an earlier life — a delayed reply, a beacon inside a retransmitted wire
+// image — is fenced and dropped.
+// ---------------------------------------------------------------------------
+
+void Core::start_health_monitors() {
+  NMAD_ASSERT_MSG(config_.heartbeat_interval_us > 0.0 &&
+                      config_.probe_interval_us > 0.0,
+                  "rail_health needs positive intervals");
+  health_monitors_started_ = true;
+  const double now = world_.now();
+  for (RailIndex r = 0; r < static_cast<RailIndex>(rails_.size()); ++r) {
+    RailState& rs = rails_[r];
+    rs.last_rx_us = now;  // silence is counted from connect, not time zero
+    rs.health_timer_armed = true;
+    rs.health_timer = world_.after(config_.heartbeat_interval_us,
+                                   [this, r]() { on_health_tick(r); });
+  }
+}
+
+void Core::stop_health_monitors() {
+  for (RailState& rs : rails_) {
+    if (rs.health_timer_armed) {
+      world_.cancel(rs.health_timer);
+      rs.health_timer_armed = false;
+    }
+  }
+  health_monitors_started_ = false;
+}
+
+double& Core::hb_tx_slot(RailState& rs, GateId id) {
+  if (rs.hb_tx_us.size() <= id) {
+    rs.hb_tx_us.resize(std::max(gates_.size(), size_t{id} + 1), -1.0e18);
+  }
+  return rs.hb_tx_us[id];
+}
+
+OutChunk* Core::make_heartbeat_chunk(uint8_t flags, uint32_t epoch) {
+  OutChunk* hb = new_chunk();
+  hb->kind = ChunkKind::kHeartbeat;
+  hb->flags = flags;
+  hb->tag = 0;
+  hb->seq = epoch;  // the rail epoch rides the seq field
+  hb->prio = Priority::kHigh;
+  hb->owner = nullptr;
+  return hb;
+}
+
+void Core::maybe_inject_heartbeat(Gate& gate, RailIndex rail,
+                                  PacketBuilder& builder) {
+  RailState& rs = rails_[rail];
+  double& last = hb_tx_slot(rs, gate.id);
+  if (world_.now() - last < config_.heartbeat_interval_us) return;
+  OutChunk* hb = make_heartbeat_chunk(kFlagNone, rs.epoch);
+  if (!builder.fits(*hb)) {
+    chunk_pool_.release(hb);
+    return;
+  }
+  builder.add(hb);
+  last = world_.now();
+  ++stats_.heartbeats_sent;
+}
+
+void Core::send_standalone_heartbeat(Gate& gate, RailIndex rail,
+                                     uint8_t flags, uint32_t epoch) {
+  RailState& rs = rails_[rail];
+  const RailInfo& info = rs.info;
+  auto builder = std::make_shared<PacketBuilder>(
+      std::min(gate.max_packet, info.max_packet_bytes),
+      info.gather ? info.max_gather_segments : 0, config_.wire_checksum,
+      /*reserve_seq=*/true);
+  builder->add(make_heartbeat_chunk(flags, epoch));
+  // Refresh the beacon slot before issue_packet, which would otherwise
+  // piggyback a second (now redundant) plain beacon onto this packet.
+  hb_tx_slot(rs, gate.id) = world_.now();
+  if ((flags & kFlagProbe) != 0) {
+    ++stats_.probes_sent;
+  } else if ((flags & kFlagReply) != 0) {
+    ++stats_.probe_replies_sent;
+  } else {
+    ++stats_.heartbeats_sent;
+  }
+  issue_packet(gate, rail, std::move(builder), /*charge_election=*/false);
+}
+
+void Core::on_health_tick(RailIndex rail) {
+  RailState& rs = rails_[rail];
+  rs.health_timer_armed = false;
+  const double now = world_.now();
+
+  if (rs.alive) {
+    if (now - rs.last_rx_us >= config_.dead_after_us) {
+      // Sustained silence despite our beacons provoking acks: the link is
+      // gone. kill_rail re-elects its in-flight traffic and bumps the
+      // epoch; the dead branch below starts probing for revival.
+      kill_rail(rail);
+    } else {
+      if (now - rs.last_rx_us >= config_.suspect_after_us) {
+        if (rs.health == RailHealth::kAlive) {
+          rs.health = RailHealth::kSuspect;
+          ++stats_.rails_suspected;
+        }
+      }
+      // Beacon duty: one standalone heartbeat per tick, to the peer that
+      // has waited longest (piggybacking covers the rest when traffic
+      // flows). One per tick keeps the NIC contention negligible; the
+      // suspect/dead thresholds leave room for the rotation.
+      if (rs.driver->tx_idle()) {
+        Gate* stalest = nullptr;
+        double stalest_at = 0.0;
+        for (auto& gate_ptr : gates_) {
+          Gate& g = *gate_ptr;
+          if (g.failed || !g.has_rail(rail)) continue;
+          const double at = hb_tx_slot(rs, g.id);
+          if (stalest == nullptr || at < stalest_at) {
+            stalest = &g;
+            stalest_at = at;
+          }
+        }
+        if (stalest != nullptr &&
+            now - stalest_at >= config_.heartbeat_interval_us) {
+          send_standalone_heartbeat(*stalest, rail, kFlagNone, rs.epoch);
+        }
+      }
+    }
+  } else {
+    if (rs.health == RailHealth::kProbation &&
+        now - rs.last_fresh_reply_us > 2.0 * config_.probe_interval_us) {
+      // Replies dried up mid-probation: back to dead under a new epoch,
+      // so stragglers from the aborted attempt cannot count again.
+      rs.health = RailHealth::kDead;
+      ++rs.epoch;
+      rs.probation_hits = 0;
+      ++stats_.probation_demotions;
+    }
+    if (now - rs.last_probe_us >= config_.probe_interval_us &&
+        rs.driver->tx_idle()) {
+      rs.last_probe_us = now;
+      // Any peer's reply is proof the local link works; probe the first
+      // live gate on the rail.
+      for (auto& gate_ptr : gates_) {
+        Gate& g = *gate_ptr;
+        if (g.failed || !g.has_rail(rail)) continue;
+        send_standalone_heartbeat(g, rail, kFlagProbe, rs.epoch);
+        break;
+      }
+    }
+  }
+
+  rs.health_timer_armed = true;
+  rs.health_timer = world_.after(config_.heartbeat_interval_us,
+                                 [this, rail]() { on_health_tick(rail); });
+}
+
+void Core::handle_heartbeat(Gate& gate, RailIndex rail,
+                            const WireChunk& chunk) {
+  RailState& rs = rails_[rail];
+  if ((chunk.flags & kFlagProbe) != 0) {
+    // The probe reached us, which is itself proof the link carries
+    // traffic; echo its epoch back so the prober can fence replies that
+    // straddle a further death. Replying is best-effort — the prober
+    // retries on its own schedule.
+    if (!gate.failed && rs.driver->tx_idle()) {
+      send_standalone_heartbeat(gate, rail, kFlagReply, chunk.seq);
+    }
+    return;
+  }
+  if ((chunk.flags & kFlagReply) != 0) {
+    if (rs.alive || chunk.seq != rs.epoch) {
+      // A reply for an epoch this rail has moved past (or a rail that
+      // already revived): it proves nothing about the current life.
+      ++stats_.heartbeats_fenced;
+      return;
+    }
+    rs.health = RailHealth::kProbation;
+    rs.last_fresh_reply_us = world_.now();
+    if (++rs.probation_hits >= config_.probation_replies) {
+      revive_rail(rail);
+    }
+    return;
+  }
+  // Plain beacon. The peer's epoch only ever grows; an older value is a
+  // stale wire image (a beacon piggybacked on a packet that was flattened
+  // for retransmission before the peer's rail died) — fence it.
+  if (chunk.seq < rs.peer_epoch) {
+    ++stats_.heartbeats_fenced;
+    return;
+  }
+  rs.peer_epoch = chunk.seq;
+  ++stats_.heartbeats_received;
+}
+
+void Core::revive_rail(RailIndex rail) {
+  NMAD_ASSERT(rail < rails_.size());
+  RailState& rs = rails_[rail];
+  if (rs.alive) return;
+  rs.alive = true;
+  rs.health = RailHealth::kAlive;
+  rs.consec_timeouts = 0;
+  rs.probation_hits = 0;
+  rs.last_rx_us = world_.now();
+  ++stats_.rails_revived;
+  NMAD_LOG_WARN("nmad: node %u revives rail %u (%s) at epoch %u",
+                node_.id(), static_cast<unsigned>(rail),
+                rs.driver->caps().name.c_str(), rs.epoch);
+
+  // Hand the rail back to rendezvous jobs whose CTS granted it: the
+  // receiver's sinks stayed posted through the blackout, so the grant is
+  // still honoured. Election then rebalances onto it naturally.
+  for (auto& gate_ptr : gates_) {
+    Gate& g = *gate_ptr;
+    if (g.failed || !g.has_rail(rail)) continue;
+    std::set<BulkJob*> jobs;
+    for (BulkJob& job : g.ready_bulk) jobs.insert(&job);
+    for (auto& [key, p] : g.pending_bulk) jobs.insert(p.job);
+    for (BulkJob* job : jobs) {
+      if (job->allows_rail(rail)) continue;
+      if (job->pinned_rail != kAnyRail && job->pinned_rail != rail) continue;
+      const auto& granted = job->granted_rails;
+      if (std::find(granted.begin(), granted.end(),
+                    static_cast<uint8_t>(rail)) != granted.end()) {
+        job->rails.push_back(static_cast<uint8_t>(rail));
+      }
+    }
+  }
+  refill_all();
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain / shutdown
+// ---------------------------------------------------------------------------
+
+bool Core::drained() const {
+  for (const auto& gate_ptr : gates_) {
+    const Gate& g = *gate_ptr;
+    if (g.failed) continue;
+    if (!g.window.empty() || !g.ready_bulk.empty() ||
+        !g.rdv_wait_cts.empty() || !g.rdv_recv.empty()) {
+      return false;
+    }
+    if (!g.pending_pkts.empty() || !g.pending_bulk.empty() ||
+        !g.retx_queue.empty() || !g.bulk_retx.empty()) {
+      return false;
+    }
+    if (g.ack_needed || !g.pending_bulk_acks.empty()) return false;
+  }
+  for (const RailState& rs : rails_) {
+    if (rs.prebuilt) return false;  // elected early, never transmitted
+    // Without reliability no engine structure tracks a packet after its
+    // election, so "flushed" must also mean the transmit engines are
+    // quiet: a frame mid-DMA completes its sends only at tx-done.
+    if (rs.alive && rs.driver && !rs.driver->tx_idle()) return false;
+  }
+  return true;
+}
+
+util::Status Core::drain(double deadline_us) {
+  ++stats_.drains_started;
+  const double deadline = world_.now() + deadline_us;
+  while (!drained()) {
+    if (world_.now() >= deadline) {
+      return util::deadline_exceeded("drain deadline expired");
+    }
+    if (!world_.run_one()) {
+      // The whole simulation went quiescent with this engine still
+      // holding undelivered state (e.g. a rendezvous whose receive was
+      // never posted): no amount of waiting flushes it.
+      return util::deadline_exceeded("drain stalled: engine cannot flush");
+    }
+  }
+  // Quiescence audit: a clean flush must also be a consistent one.
+  std::vector<std::string> failures;
+  if (!check_invariants(&failures)) {
+    return util::internal_error("drain audit: " + failures.front());
+  }
+  ++stats_.drains_completed;
+  return util::ok_status();
 }
 
 // ---------------------------------------------------------------------------

@@ -114,7 +114,35 @@ struct CoreConfig {
   // update without ever breaching the receiver's budget; never needed in
   // steady state. 0 disables the probe.
   double credit_probe_us = 2000.0;
+
+  // --- Rail health lifecycle ----------------------------------------------
+  // Active liveness and revival. Every rail carries lightweight kHeartbeat
+  // beacons — piggybacked on outgoing packets when traffic flows, sent
+  // standalone when the rail is idle — so silence is detected even with
+  // nothing in flight: a rail unheard for suspect_after_us turns suspect,
+  // and for dead_after_us is declared dead (kill_rail re-elects its
+  // in-flight traffic onto surviving rails). Dead rails are probed every
+  // probe_interval_us; a reply echoing the rail's current epoch proves the
+  // link works again, and probation_replies fresh replies revive it —
+  // rendezvous jobs regain the rail and the next election may use it.
+  // Forces reliability on (a dying rail's traffic must be recoverable).
+  bool rail_health = false;
+  double heartbeat_interval_us = 500.0;
+  // Thresholds are on receive silence, so with several peers beaconing in
+  // rotation keep suspect_after_us at a few heartbeat intervals.
+  double suspect_after_us = 1500.0;
+  double dead_after_us = 3000.0;
+  double probe_interval_us = 1000.0;
+  uint32_t probation_replies = 2;
 };
+
+// One rail's position in the health lifecycle (CoreConfig::rail_health):
+// alive rails carry traffic and degrade to suspect on silence; dead rails
+// carry none and are probed; a probed rail answering with the current
+// epoch walks through probation back to alive.
+enum class RailHealth : uint8_t { kAlive, kSuspect, kDead, kProbation };
+
+const char* rail_health_name(RailHealth health);
 
 struct CoreStats {
   uint64_t sends_submitted = 0;
@@ -142,6 +170,21 @@ struct CoreStats {
   uint64_t bulk_retransmitted = 0;
   uint64_t rails_failed = 0;
   uint64_t gates_failed = 0;
+
+  // Rail health lifecycle.
+  uint64_t heartbeats_sent = 0;      // beacons (piggybacked + standalone)
+  uint64_t heartbeats_received = 0;  // plain beacons heard
+  uint64_t probes_sent = 0;          // revival probes on dead rails
+  uint64_t probe_replies_sent = 0;
+  uint64_t heartbeats_fenced = 0;    // stale-epoch beacons/replies dropped
+  uint64_t rails_suspected = 0;      // alive -> suspect transitions
+  uint64_t rails_revived = 0;        // probation -> alive transitions
+  uint64_t probation_demotions = 0;  // probation -> dead (replies dried up)
+
+  // Drain / close.
+  uint64_t drains_started = 0;
+  uint64_t drains_completed = 0;
+  uint64_t gates_closed = 0;
 
   // Flow control.
   uint64_t credit_grants = 0;        // credit chunks put on the wire
@@ -239,6 +282,28 @@ class Core {
   // most one deadline per request (the last call wins).
   void set_deadline(Request* req, double timeout_us);
 
+  // Graceful drain / shutdown ----------------------------------------------
+  // Pumps the shared event loop until this engine is flushed: every
+  // non-failed gate's optimization window, rendezvous pipeline and
+  // retransmit windows are empty and all deferred acknowledgements have
+  // shipped. Unmatched receives stay posted (the application may expect
+  // traffic after the drain) and the engine remains fully usable — drain
+  // is a flush, not a teardown. Returns kDeadlineExceeded when
+  // `deadline_us` of virtual time elapses first, or when the whole
+  // simulation goes quiescent with this engine still holding undelivered
+  // state (e.g. a rendezvous whose receive was never posted): either way
+  // the engine cannot flush in time. On success the quiescence audit
+  // (check_invariants) runs and its first failure is surfaced.
+  util::Status drain(double deadline_us);
+  // True when the flush condition above already holds.
+  [[nodiscard]] bool drained() const;
+  // Releases every local resource of one gate: unmatched receives
+  // complete with kClosed, the unexpected store is dropped and its rx
+  // budget released, posted bulk sinks are withdrawn, timers disarmed.
+  // The gate refuses traffic afterwards. Drain first for a graceful
+  // shutdown; closing with traffic in flight abandons it.
+  void close_gate(GateId id);
+
   // Drives driver-internal progress (no-op on the simulated fabric).
   void poll();
 
@@ -252,6 +317,20 @@ class Core {
   // monitor outside the engine noticed the link die).
   [[nodiscard]] bool rail_alive(RailIndex rail) const;
   void fail_rail(RailIndex rail);
+  // Rail health lifecycle: where the rail stands, and its revival epoch
+  // (bumped on every death, fencing probe replies and beacons from an
+  // earlier life). revive_rail() forces the dead->alive transition the
+  // probation handshake normally performs (operational use, mirroring
+  // fail_rail): rendezvous jobs whose CTS granted the rail regain it and
+  // the next election may schedule onto it again.
+  [[nodiscard]] RailHealth rail_health_state(RailIndex rail) const;
+  [[nodiscard]] uint32_t rail_epoch(RailIndex rail) const;
+  void revive_rail(RailIndex rail);
+  // Disarms the heartbeat/probe timers. The monitors re-arm themselves
+  // forever by design (liveness has no natural end), which keeps the
+  // simulation from ever going quiescent; harnesses that pump the world
+  // dry call this once the workload is finished.
+  void stop_health_monitors();
   [[nodiscard]] size_t gate_count() const { return gates_.size(); }
   [[nodiscard]] Gate& gate(GateId id);
   [[nodiscard]] size_t window_size(GateId id);
@@ -323,6 +402,24 @@ class Core {
     // timeouts (reset by any ack for this rail) drive the declaration.
     bool alive = true;
     uint32_t consec_timeouts = 0;
+    // Rail health lifecycle (CoreConfig::rail_health). `epoch` bumps on
+    // every death, so probe replies and beacons from an earlier life can
+    // be told from fresh ones; `peer_epoch` is the highest epoch heard in
+    // the peer's plain beacons (older ones are stale wire images from
+    // retransmitted packets and are fenced).
+    RailHealth health = RailHealth::kAlive;
+    uint32_t epoch = 0;
+    uint32_t peer_epoch = 0;
+    uint32_t probation_hits = 0;      // fresh probe replies this probation
+    double last_rx_us = 0.0;          // anything heard on this rail
+    double last_fresh_reply_us = 0.0;
+    double last_probe_us = -1.0e18;
+    // Last beacon sent per gate (indexed by GateId, lazily sized): the
+    // liveness thresholds are per-peer receive silence, so each peer must
+    // hear its own beacons.
+    std::vector<double> hb_tx_us;
+    simnet::EventId health_timer = 0;
+    bool health_timer_armed = false;
   };
 
   void maybe_prebuild(RailIndex rail);
@@ -384,8 +481,27 @@ class Core {
   void note_rail_timeout(RailIndex rail);
   void kill_rail(RailIndex rail);
   void fail_gate(Gate& gate, const util::Status& status);
+  // Shared teardown behind fail_gate (peer failure) and close_gate (local
+  // shutdown); only the bookkeeping around it differs.
+  void teardown_gate(Gate& gate, const util::Status& status);
   void on_bulk_orphan(drivers::PeerAddr from, uint64_t cookie,
                       size_t offset, size_t len);
+
+  // Rail health lifecycle ---------------------------------------------------
+  [[nodiscard]] bool rail_health_on() const { return config_.rail_health; }
+  void start_health_monitors();
+  void on_health_tick(RailIndex rail);
+  // Appends a plain beacon to an outgoing packet when the rail's beacon
+  // to this gate is due (at most one per heartbeat interval per peer).
+  void maybe_inject_heartbeat(Gate& gate, RailIndex rail,
+                              PacketBuilder& builder);
+  // Fire-and-forget single-chunk heartbeat packet (plain beacon, probe,
+  // or reply); the caller checks tx_idle first.
+  void send_standalone_heartbeat(Gate& gate, RailIndex rail, uint8_t flags,
+                                 uint32_t epoch);
+  void handle_heartbeat(Gate& gate, RailIndex rail, const WireChunk& chunk);
+  OutChunk* make_heartbeat_chunk(uint8_t flags, uint32_t epoch);
+  double& hb_tx_slot(RailState& rs, GateId id);
 
   // Flow control ------------------------------------------------------------
   [[nodiscard]] bool flow_control() const { return config_.flow_control; }
@@ -424,6 +540,7 @@ class Core {
   std::map<drivers::PeerAddr, GateId> peer_gate_;
   uint64_t next_cookie_;
   bool connected_ = false;  // first connect freezes rail setup
+  bool health_monitors_started_ = false;
 
   util::ObjectPool<OutChunk> chunk_pool_;
   util::ObjectPool<BulkJob> bulk_pool_;

@@ -67,6 +67,10 @@ const util::SegmentVec& PacketBuilder::finalize() {
       case ChunkKind::kCredit:
         encode_credit(w, chunk->credit_bytes, chunk->credit_chunks);
         break;
+      case ChunkKind::kHeartbeat:
+        // The rail epoch rides the seq field, like the ack floor does.
+        encode_heartbeat(w, chunk->flags, chunk->seq);
+        break;
     }
     extents.emplace_back(begin, headers_.size() - begin);
   }

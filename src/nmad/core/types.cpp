@@ -10,6 +10,7 @@ const char* chunk_kind_name(ChunkKind kind) {
     case ChunkKind::kCts: return "cts";
     case ChunkKind::kAck: return "ack";
     case ChunkKind::kCredit: return "credit";
+    case ChunkKind::kHeartbeat: return "heartbeat";
   }
   return "?";
 }

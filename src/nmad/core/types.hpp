@@ -31,6 +31,7 @@ enum class ChunkKind : uint8_t {
   kCts = 4,   // rendezvous clear-to-send (control)
   kAck = 5,   // reliability: cumulative + selective acknowledgement
   kCredit = 6,  // flow control: receiver's cumulative eager-credit limits
+  kHeartbeat = 7,  // rail health: liveness beacon / revival probe+reply
 };
 
 const char* chunk_kind_name(ChunkKind kind);
@@ -50,6 +51,12 @@ enum ChunkFlags : uint8_t {
   // On kRts: the sender withdraws the rendezvous (cancellation); on kCts:
   // the receiver refuses the grant (its receive was cancelled).
   kFlagCancel = 1u << 2,
+  // kHeartbeat only. A plain heartbeat (neither flag) is a one-way "this
+  // rail carried a packet" beacon. kFlagProbe asks a dead rail's peer to
+  // answer; kFlagReply is that answer, echoing the probe's epoch so the
+  // prober can tell a fresh response from one delayed across a revival.
+  kFlagProbe = 1u << 3,
+  kFlagReply = 1u << 4,
 };
 
 }  // namespace nmad::core

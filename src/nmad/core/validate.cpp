@@ -332,6 +332,33 @@ bool Core::check_invariants(std::vector<std::string>* failures) const {
     }
   }
 
+  // --- rail health lifecycle ----------------------------------------------
+  // The boolean alive flag and the four-state health machine must agree,
+  // and the epoch must witness every death (it bumps on each one).
+  for (size_t r = 0; r < rails_.size(); ++r) {
+    const RailState& rs = rails_[r];
+    const bool healthy = rs.health == RailHealth::kAlive ||
+                         rs.health == RailHealth::kSuspect;
+    if (rs.alive != healthy) {
+      addf(out, "rail %zu: alive=%d but health=%s", r, rs.alive ? 1 : 0,
+           rail_health_name(rs.health));
+    }
+    if (!rs.alive && rs.epoch == 0) {
+      addf(out, "rail %zu: dead with epoch 0 (death must bump the epoch)",
+           r);
+    }
+    if (rs.probation_hits != 0 && rs.health != RailHealth::kProbation) {
+      addf(out, "rail %zu: %u probation hits outside probation (health=%s)",
+           r, rs.probation_hits, rail_health_name(rs.health));
+    }
+    if (config_.rail_health && rs.probation_hits >= config_.probation_replies &&
+        !rs.alive) {
+      addf(out, "rail %zu: %u probation hits reached the revival bar (%u) "
+           "without reviving",
+           r, rs.probation_hits, config_.probation_replies);
+    }
+  }
+
   // --- cross-gate gauges -------------------------------------------------
   if (stored_bytes_total != stats_.rx_stored_bytes) {
     addf(out,

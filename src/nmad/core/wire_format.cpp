@@ -77,6 +77,12 @@ void encode_credit(util::WireWriter& w, uint64_t credit_bytes,
   w.u64(credit_chunks);
 }
 
+void encode_heartbeat(util::WireWriter& w, uint8_t flags, uint32_t epoch) {
+  // Heartbeats cover one rail of the whole gate: tag is unused and the
+  // seq field carries the rail epoch (kAck precedent for reusing seq).
+  encode_common(w, ChunkKind::kHeartbeat, flags, /*tag=*/0, epoch);
+}
+
 size_t chunk_wire_bytes(ChunkKind kind, size_t payload_len,
                         size_t cts_rail_count, size_t ack_sacks,
                         size_t ack_bulks) {
@@ -89,6 +95,7 @@ size_t chunk_wire_bytes(ChunkKind kind, size_t payload_len,
       return kAckHeaderBytes + ack_sacks * kAckSackBytes +
              ack_bulks * kAckBulkBytes;
     case ChunkKind::kCredit: return kCreditHeaderBytes;
+    case ChunkKind::kHeartbeat: return kHeartbeatHeaderBytes;
   }
   return 0;
 }

@@ -58,6 +58,9 @@ inline constexpr size_t kAckSackBytes = 4;
 inline constexpr size_t kAckBulkBytes = 8 + 4 + 4;
 // Common header + u64 cumulative byte limit + u64 cumulative chunk limit.
 inline constexpr size_t kCreditHeaderBytes = 1 + 1 + 8 + 4 + 8 + 8;
+// Just the common header: the rail epoch rides in the seq field and the
+// probe/reply role in the chunk flags, so a heartbeat costs 14 bytes.
+inline constexpr size_t kHeartbeatHeaderBytes = 1 + 1 + 8 + 4;
 
 // One acknowledged rendezvous slice (cookie, offset, length).
 struct BulkAck {
@@ -109,6 +112,9 @@ void encode_ack(util::WireWriter& w, uint32_t ack_floor,
                 const std::vector<BulkAck>& bulk_acks);
 void encode_credit(util::WireWriter& w, uint64_t credit_bytes,
                    uint64_t credit_chunks);
+// `epoch` is the sender's current epoch for the rail the heartbeat rides
+// (or, on kFlagReply, the echoed probe epoch); it travels in `seq`.
+void encode_heartbeat(util::WireWriter& w, uint8_t flags, uint32_t epoch);
 
 // Packet-level framing decoded ahead of the chunks. Filled in before the
 // first sink invocation, so sinks may consult it.
@@ -207,6 +213,9 @@ util::Status decode_packet(util::ConstBytes packet, PacketMeta* meta,
         chunk.credit_bytes = r.u64();
         chunk.credit_chunks = r.u64();
         break;
+      case ChunkKind::kHeartbeat:
+        break;  // epoch is in `seq`; no kind-specific fields
+
       default:
         return util::internal_error("unknown chunk kind on wire");
     }

@@ -98,6 +98,15 @@ class Driver {
     (void)handler;
   }
 
+  // (from): any track-1 arrival on this rail, sink hit or orphan. Bulk
+  // deposits never reach the rx handler, so the health monitor needs this
+  // hook to count a saturated bulk stream as liveness evidence. Drivers
+  // that cannot observe deposits may ignore it.
+  using BulkRxHandler = std::function<void(PeerAddr)>;
+  virtual void set_bulk_rx_handler(BulkRxHandler handler) {
+    (void)handler;
+  }
+
   // Drives any driver-internal progress. The simulated drivers are fully
   // event-driven and need no polling; a production driver would reap
   // completion queues here.

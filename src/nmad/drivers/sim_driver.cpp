@@ -128,6 +128,11 @@ void SimDriver::set_bulk_orphan_handler(BulkOrphanHandler handler) {
       });
 }
 
+void SimDriver::set_bulk_rx_handler(BulkRxHandler handler) {
+  nic_.set_bulk_rx_handler(
+      [handler = std::move(handler)](simnet::NodeId src) { handler(src); });
+}
+
 void SimDriver::set_rx_handler(RxHandler handler) {
   nic_.set_rx_handler(
       [handler = std::move(handler)](simnet::RxFrame&& frame) {

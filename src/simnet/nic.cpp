@@ -153,6 +153,21 @@ void SimNic::send_bulk(NodeId dst, uint64_t cookie, size_t offset,
     return;  // lost on the wire
   }
   const NodeId src = node_;
+  // A long stream occupies the wire continuously, but the sim models it
+  // as one delivery event at last-byte arrival. Surface the in-between
+  // to the receiver as periodic activity pings, or a rail busy with a
+  // single multi-hundred-µs DMA looks silent to its health monitor and
+  // gets declared dead mid-transfer. Short slices add no events.
+  if (dest->bulk_rx_) {
+    const SimTime first_byte = arrival - static_cast<double>(bytes.size()) /
+                                             profile_.bandwidth_mbps;
+    for (SimTime at = first_byte + kBulkActivityPeriodUs; at < arrival;
+         at += kBulkActivityPeriodUs) {
+      world_.at(at, [dest, src]() {
+        if (dest->bulk_rx_) dest->bulk_rx_(src);
+      });
+    }
+  }
   world_.at(arrival,
             [dest, src, cookie, offset, copy = std::move(copy)]() mutable {
               dest->deliver_bulk(src, cookie, offset, std::move(copy));
@@ -194,6 +209,8 @@ void SimNic::deliver_frame(RxFrame&& frame, size_t bytes) {
 
 void SimNic::deliver_bulk(NodeId src, uint64_t cookie, size_t offset,
                           util::ByteBuffer data) {
+  // Even an orphan proves the link carries traffic: liveness first.
+  if (bulk_rx_) bulk_rx_(src);
   auto it = sinks_.find(cookie);
   if (it == sinks_.end()) {
     // Late duplicate after its sink completed and was cancelled: only

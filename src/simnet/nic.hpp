@@ -197,12 +197,33 @@ class SimNic {
     profile_.fault.rx_pauses = std::move(pauses);
   }
 
+  // Installs blackout windows after construction, same access pattern as
+  // set_rx_pauses — rail-flap scenarios darken a rail mid-run and expect
+  // the health layer to notice, fail over, and revive it afterwards.
+  void set_blackouts(std::vector<FaultWindow> windows) {
+    profile_.fault.blackouts = std::move(windows);
+  }
+
   // Handler for bulk frames with no posted sink. Without one, such a frame
   // is a protocol bug and asserts; with reliability enabled it is a late
   // duplicate and the engine re-acks it.
   void set_bulk_orphan_handler(BulkOrphanFn fn) {
     bulk_orphan_ = std::move(fn);
   }
+
+  // (src): fires on every track-1 arrival, sink hit or orphan, and
+  // periodically while a long stream is still on the wire (see
+  // kBulkActivityPeriodUs). Track-1 deposits bypass the rx handler, so
+  // without this hook a rail carrying nothing but a long one-directional
+  // bulk stream looks silent to the health monitor and gets falsely
+  // declared dead mid-transfer.
+  using BulkRxFn = std::function<void(NodeId)>;
+  void set_bulk_rx_handler(BulkRxFn fn) { bulk_rx_ = std::move(fn); }
+
+  // Spacing of the in-flight activity pings a long bulk stream delivers
+  // to the receiving NIC. Well under any sane suspect threshold; slices
+  // shorter than this add no events at all.
+  static constexpr SimTime kBulkActivityPeriodUs = 25.0;
 
   // True when `at` falls inside a scheduled blackout window of this NIC.
   [[nodiscard]] bool in_blackout(SimTime at) const {
@@ -256,6 +277,7 @@ class SimNic {
   std::vector<SimNic*> peers_;
   RxHandler rx_handler_;
   BulkOrphanFn bulk_orphan_;
+  BulkRxFn bulk_rx_;
   std::map<uint64_t, BulkSink*> sinks_;
   SimTime tx_free_ = 0.0;
   SimTime rx_free_ = 0.0;

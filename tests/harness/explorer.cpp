@@ -26,9 +26,12 @@ bool parse_u64(const char* arg, const char* key, uint64_t* out) {
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: explorer --seed=S [--ops=L] [--sweep=N]\n"
-               "                [--inject=skip-credit-charge] [--verbose]\n");
+  std::fprintf(
+      stderr,
+      "usage: explorer --seed=S [--ops=L] [--sweep=N]\n"
+      "                [--fault=none|drops|flips|blackout|rx-pause|mixed|"
+      "rail-flap]\n"
+      "                [--inject=skip-credit-charge] [--verbose]\n");
   return 2;
 }
 
@@ -102,6 +105,13 @@ int main(int argc, char** argv) {
     } else if (parse_u64(arg, "--ops=", &ops)) {
       have_ops = true;
     } else if (parse_u64(arg, "--sweep=", &sweep)) {
+    } else if (std::strncmp(arg, "--fault=", 8) == 0) {
+      opts.force_fault = arg + 8;
+      if (!nmad::harness::known_fault_kind(opts.force_fault)) {
+        std::fprintf(stderr, "unknown fault kind: %s\n",
+                     opts.force_fault.c_str());
+        return usage();
+      }
     } else if (std::strcmp(arg, "--inject=skip-credit-charge") == 0) {
       opts.inject_skip_credit = true;
     } else if (std::strcmp(arg, "--verbose") == 0) {

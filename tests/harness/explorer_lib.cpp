@@ -24,7 +24,12 @@ namespace {
 const char* const kStrategies[] = {"default", "aggreg", "aggreg_extended",
                                    "split_balance"};
 
-enum class FaultKind { kNone, kDrops, kFlips, kBlackout, kRxPause, kMixed };
+// kRailFlap is never drawn from the seed (it reshapes the whole plan);
+// it is selected with ExplorerOptions::force_fault only.
+enum class FaultKind {
+  kNone, kDrops, kFlips, kBlackout, kRxPause, kMixed, kRailFlap
+};
+constexpr size_t kDrawnFaultKinds = 6;  // kNone..kMixed
 
 const char* fault_kind_name(FaultKind k) {
   switch (k) {
@@ -34,8 +39,19 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kBlackout: return "blackout";
     case FaultKind::kRxPause: return "rx-pause";
     case FaultKind::kMixed: return "mixed";
+    case FaultKind::kRailFlap: return "rail-flap";
   }
   return "?";
+}
+
+bool fault_kind_from_name(const std::string& name, FaultKind* out) {
+  for (int k = 0; k <= static_cast<int>(FaultKind::kRailFlap); ++k) {
+    if (name == fault_kind_name(static_cast<FaultKind>(k))) {
+      *out = static_cast<FaultKind>(k);
+      return true;
+    }
+  }
+  return false;
 }
 
 struct Message {
@@ -54,6 +70,7 @@ struct Op {
     kDeadline,   // arm a deadline on the send/recv of `msg`
     kWaitFor,    // pump until `msg`'s recv completes or `us` elapses
     kStep,       // pump the world for `us` of virtual time
+    kDrain,      // Core::drain on node `msg` with deadline `us`
   };
   Kind kind = Kind::kStep;
   size_t msg = 0;
@@ -100,7 +117,15 @@ Plan make_plan(const ExplorerOptions& opts) {
   plan.nodes = 2 + rng.next_below(2);  // 2..3 ranks, full mesh of gates
   plan.rails = 1 + rng.next_below(2);
   plan.strategy = kStrategies[rng.next_below(std::size(kStrategies))];
-  plan.fault = static_cast<FaultKind>(rng.next_below(6));
+  plan.fault = static_cast<FaultKind>(rng.next_below(kDrawnFaultKinds));
+  if (!opts.force_fault.empty()) {
+    // The draw above still happens, so the rest of the plan keeps the
+    // same seed-derived shape whichever kind ends up forced.
+    FaultKind forced = plan.fault;
+    if (fault_kind_from_name(opts.force_fault, &forced)) {
+      plan.fault = forced;
+    }
+  }
 
   core::CoreConfig& cfg = plan.config;
   cfg.strategy = plan.strategy;
@@ -157,11 +182,41 @@ Plan make_plan(const ExplorerOptions& opts) {
       fault.blackouts = random_windows(rng, 1, 300.0);
       fault.rx_pauses = random_windows(rng, 1, 500.0);
       break;
+    case FaultKind::kRailFlap:
+      break;  // shaped below: the blackouts land on rail 1 only
+  }
+  std::vector<simnet::FaultWindow> flap_windows;
+  if (plan.fault == FaultKind::kRailFlap) {
+    // Two rails; rail 0 stays clean so kill_rail never has to fail a
+    // gate and every schedule remains recoverable. Health thresholds are
+    // scaled to the plan's 200µs ack timeout: suspect after 150µs of
+    // silence, dead after 300µs, probed every 100µs, revived after two
+    // fresh probe replies.
+    plan.rails = 2;
+    cfg.rail_health = true;
+    cfg.heartbeat_interval_us = 50.0;
+    cfg.suspect_after_us = 150.0;
+    cfg.dead_after_us = 300.0;
+    cfg.probe_interval_us = 100.0;
+    cfg.probation_replies = 2;
+    // Each blackout outlasts dead_after_us (the rail really dies) and the
+    // bright gaps leave room for the probe/probation handshake to revive
+    // it before the next window.
+    double at = 300.0;
+    for (int i = 0; i < 3; ++i) {
+      at += static_cast<double>(rng.next_range(500, 3000));
+      const double len = 350.0 + rng.next_double() * 450.0;
+      flap_windows.push_back({at, at + len});
+      at += len + 800.0;
+    }
   }
   for (size_t r = 0; r < plan.rails; ++r) {
     simnet::NicProfile p = simnet::mx_myri10g_profile();
     p.fault = fault;
     p.fault.seed = fault.seed + r;  // decorrelate the rails' dice
+    if (plan.fault == FaultKind::kRailFlap && r == 1) {
+      p.fault.blackouts = flap_windows;
+    }
     plan.rail_profiles.push_back(std::move(p));
   }
 
@@ -255,6 +310,15 @@ Plan make_plan(const ExplorerOptions& opts) {
              static_cast<double>(rng.next_range(100, 5000))});
       }
     }
+    if (rng.next_bool(0.05)) {
+      // Mid-schedule drain: flush one node's engine under load. Legal
+      // outcomes are ok (everything it sent beforehand completed) or
+      // kDeadlineExceeded (it could not flush in time) — never a hang,
+      // never a completion left dangling after an ok.
+      plan.ops.push_back(
+          {Op::Kind::kDrain, static_cast<size_t>(rng.next_below(plan.nodes)),
+           0, 2000.0 + static_cast<double>(rng.next_below(20000))});
+    }
   }
   return plan;
 }
@@ -328,7 +392,51 @@ class Runner {
     // hang the harness.
     size_t events = 0;
     constexpr size_t kEventCap = 4'000'000;
-    while (events < kEventCap && cluster_->world().run_one()) ++events;
+    if (!plan_.config.rail_health) {
+      while (events < kEventCap && cluster_->world().run_one()) ++events;
+    } else {
+      // The heartbeat timers re-arm forever, so the world never goes
+      // quiescent on its own. Pump until the workload is done and the
+      // last blackout is well past (room for the probe/probation
+      // handshake), audit that every darkened rail died AND came back,
+      // then disarm the monitors and drain the remainder normally.
+      double settle = 0.0;
+      for (const simnet::NicProfile& p : plan_.rail_profiles) {
+        for (const simnet::FaultWindow& w : p.fault.blackouts) {
+          settle = std::max(settle, w.end_us);
+        }
+      }
+      settle += 3000.0;
+      while (events < kEventCap && cluster_->world().run_one()) {
+        ++events;
+        if (cluster_->now() >= settle && workload_done()) break;
+      }
+      for (simnet::NodeId n = 0; n < cluster_->node_count(); ++n) {
+        core::Core& core = cluster_->core(n);
+        if (plan_.fault == FaultKind::kRailFlap) {
+          if (core.stats().rails_failed == 0) {
+            oracle_.note_violation(
+                "node " + std::to_string(n) +
+                ": rail-flap plan but no rail ever died");
+          }
+          if (core.stats().rails_revived == 0) {
+            oracle_.note_violation(
+                "node " + std::to_string(n) +
+                ": rail-flap plan but no rail was ever revived");
+          }
+        }
+        for (simnet::RailIndex r = 0;
+             r < static_cast<simnet::RailIndex>(core.rail_count()); ++r) {
+          if (!core.rail_alive(r)) {
+            oracle_.note_violation(
+                "node " + std::to_string(n) + " rail " + std::to_string(r) +
+                " still dead after the last blackout — revival failed");
+          }
+        }
+        core.stop_health_monitors();
+      }
+      while (events < kEventCap && cluster_->world().run_one()) ++events;
+    }
     if (events >= kEventCap) {
       oracle_.note_violation(
           "world still busy after 4M events — live-locked protocol");
@@ -405,7 +513,45 @@ class Runner {
         }
         break;
       }
+      case Op::Kind::kDrain: {
+        const int node = static_cast<int>(op.msg);
+        const util::Status st =
+            cluster_->core(static_cast<simnet::NodeId>(op.msg))
+                .drain(op.us);
+        if (!st.is_ok() &&
+            st.code() != util::StatusCode::kDeadlineExceeded) {
+          oracle_.note_violation("drain on node " + std::to_string(node) +
+                                 " returned " + st.to_string());
+        }
+        if (st.is_ok()) {
+          // Drain legality: ok means this node flushed everything, so no
+          // send it posted before the drain may still be pending (a later
+          // completion would be a completion after a successful drain).
+          for (size_t i = 0; i < live_.size(); ++i) {
+            if (plan_.messages[i].src != node) continue;
+            if (live_[i].send && !live_[i].send->done()) {
+              oracle_.note_violation(
+                  "drain ok on node " + std::to_string(node) +
+                  " but its send of message " + std::to_string(i) +
+                  " is still pending");
+            }
+          }
+        }
+        if (opts_.verbose) {
+          std::printf("  [%8.1fus] drain node %d (deadline %.0fus): %s\n",
+                      cluster_->now(), node, op.us, st.to_string().c_str());
+        }
+        break;
+      }
     }
+  }
+
+  [[nodiscard]] bool workload_done() const {
+    for (const LiveMessage& m : live_) {
+      if (m.send && !m.send->done()) return false;
+      if (m.recv && !m.recv->done()) return false;
+    }
+    return true;
   }
 
   void post_send(size_t msg) {
@@ -533,8 +679,14 @@ size_t minimize(ExplorerOptions opts) {
 std::string replay_command(const ExplorerOptions& opts, size_t ops) {
   std::string cmd = "explorer --seed=" + std::to_string(opts.seed) +
                     " --ops=" + std::to_string(ops);
+  if (!opts.force_fault.empty()) cmd += " --fault=" + opts.force_fault;
   if (opts.inject_skip_credit) cmd += " --inject=skip-credit-charge";
   return cmd;
+}
+
+bool known_fault_kind(const std::string& name) {
+  FaultKind ignored = FaultKind::kNone;
+  return fault_kind_from_name(name, &ignored);
 }
 
 }  // namespace nmad::harness

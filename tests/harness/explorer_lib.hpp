@@ -26,6 +26,11 @@ struct ExplorerOptions {
   // the self-test proving the oracle catches a sender that elects eager
   // traffic without charging credit. Forces a flow-control plan.
   bool inject_skip_credit = false;
+  // Overrides the seed-drawn fault kind (empty = keep the draw). The
+  // "rail-flap" kind is only reachable this way: it reshapes the plan —
+  // two rails, rail health on, blackouts on rail 1 only — and the run
+  // additionally audits that every darkened rail died AND revived.
+  std::string force_fault;
   bool verbose = false;  // narrate the plan and each op to stdout
 };
 
@@ -37,7 +42,8 @@ struct ExplorerResult {
   size_t messages = 0;      // messages actually posted (either half)
   // Plan metadata, for coverage accounting across a sweep.
   std::string strategy;
-  std::string fault_kind;  // none|drops|flips|blackout|rx-pause|mixed
+  // none|drops|flips|blackout|rx-pause|mixed|rail-flap
+  std::string fault_kind;
   size_t nodes = 0;
   size_t rails = 0;
   bool flow_control = false;
@@ -55,5 +61,8 @@ size_t minimize(ExplorerOptions opts);
 
 // The exact command line that replays a failing run.
 std::string replay_command(const ExplorerOptions& opts, size_t ops);
+
+// True when `name` is a valid --fault= override (CLI validation).
+bool known_fault_kind(const std::string& name);
 
 }  // namespace nmad::harness
