@@ -107,11 +107,11 @@ void BM_StrategyElection(benchmark::State& state) {
     chunks[i].payload = {payload.data(), payload.size()};
   }
   for (auto _ : state) {
-    for (auto& c : chunks) gate.window.push_back(c);
+    for (auto& c : chunks) gate.sched.window.push_back(c);
     core::PacketBuilder builder(32 * 1024, 0);
     benchmark::DoNotOptimize(
-        strategy->pack(a, gate, a.rail_info(0), builder));
-    gate.window.clear();
+        strategy->pack(a.scheduler(), gate, a.rail_info(0), builder));
+    gate.sched.window.clear();
   }
   state.SetItemsProcessed(state.iterations() * n);
 }

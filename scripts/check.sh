@@ -9,6 +9,49 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# ---------------------------------------------------------------------------
+# Layer-seam lint: the three core layers (collect / schedule / transfer)
+# talk only through layer_ifaces.hpp and the event bus. No layer may
+# include another layer's header (or the façade), declare friends, or
+# reach into the gate sub-struct another layer owns.
+# ---------------------------------------------------------------------------
+lint_fail=0
+lint() { echo "seam lint: $*" >&2; lint_fail=1; }
+
+COLLECT="src/nmad/core/collect_layer.hpp src/nmad/core/collect_layer.cpp"
+SCHED="src/nmad/core/schedule_layer.hpp src/nmad/core/schedule_layer.cpp"
+TRANSFER="src/nmad/core/transfer_engine.hpp src/nmad/core/transfer_engine.cpp"
+LAYERS="$COLLECT $SCHED $TRANSFER"
+
+# shellcheck disable=SC2086
+if grep -nE '#include *"nmad/core/(collect_layer|schedule_layer|transfer_engine|core)\.hpp"' \
+    $LAYERS | grep -v -e 'collect_layer.cpp:.*collect_layer.hpp' \
+                      -e 'schedule_layer.cpp:.*schedule_layer.hpp' \
+                      -e 'transfer_engine.cpp:.*transfer_engine.hpp'; then
+  lint "a layer includes another layer's header (talk through layer_ifaces.hpp)"
+fi
+# shellcheck disable=SC2086
+if grep -n 'friend' $LAYERS src/nmad/core/layer_ifaces.hpp; then
+  lint "friend declarations are banned in layer files"
+fi
+# shellcheck disable=SC2086
+if grep -n '\.sched\b\|sched\.window\|sched\.ready_bulk' $COLLECT; then
+  lint "the collect layer reached into Gate::sched (ScheduleLayer owns it)"
+fi
+# shellcheck disable=SC2086
+if grep -n '\.collect\b' $SCHED $TRANSFER; then
+  lint "a layer reached into Gate::collect (CollectLayer owns it)"
+fi
+# shellcheck disable=SC2086
+if grep -n '\.sched\b' $TRANSFER; then
+  lint "the transfer layer reached into Gate::sched (ScheduleLayer owns it)"
+fi
+if [ "$lint_fail" -ne 0 ]; then
+  echo "seam lint failed" >&2
+  exit 1
+fi
+echo "seam lint: OK"
+
 BUILD_DIR=${BUILD_DIR:-build-asan}
 
 cmake -B "$BUILD_DIR" -S . -DNMAD_SANITIZE=ON \

@@ -59,7 +59,7 @@ void Cluster::stall_report(const core::Request* req, int n) const {
                req->gate(), static_cast<unsigned long long>(req->tag()),
                static_cast<unsigned long long>(req->seq()), world_.now(), n,
                stall_report_limit_);
-  for (const auto& core : cores_) core->debug_dump(stderr);
+  for (const auto& core : cores_) core->debug_dump(std::cerr);
 }
 
 void Cluster::wait(core::Request* req) {
@@ -72,7 +72,7 @@ void Cluster::wait(core::Request* req) {
     if (!world_.run_one()) {
       // Protocol deadlock: dump every engine's state before aborting so
       // the failure is diagnosable.
-      for (auto& core : cores_) core->debug_dump(stderr);
+      for (auto& core : cores_) core->debug_dump(std::cerr);
       NMAD_ASSERT_MSG(false,
                       "simulation went quiescent with a pending request");
     }

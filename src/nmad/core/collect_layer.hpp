@@ -1,0 +1,95 @@
+// CollectLayer: the collect layer (paper §3.1).
+//
+// Owns message submission and matching: per-gate send/receive sequence
+// counters, the posted-receive table, the unexpected store (with its
+// peer-cancellation tombstones) and the rendezvous receive pipeline
+// (posted sinks, bounce buffers, CTS grants). Submitted sends are cut
+// into chunks or rendezvous jobs and handed to the scheduling layer
+// through ISchedule; it never elects or transmits anything itself.
+//
+// The layer sees its neighbours only through the seam interfaces and
+// never includes another layer's header.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nmad/core/layer_ifaces.hpp"
+
+namespace nmad::core {
+
+class CollectLayer {
+ public:
+  CollectLayer(EngineContext& ctx, ISchedule& sched, ITransferFleet& fleet,
+               IEngine& engine);
+
+  CollectLayer(const CollectLayer&) = delete;
+  CollectLayer& operator=(const CollectLayer&) = delete;
+
+  // Submission --------------------------------------------------------------
+  SendRequest* isend(Gate& gate, Tag tag, const SourceLayout& src,
+                     const SendHints& hints);
+  RecvRequest* irecv(Gate& gate, Tag tag, DestLayout dest);
+  [[nodiscard]] PeekInfo peek_unexpected(Gate& gate, Tag tag);
+
+  // Largest payload one eager chunk can carry on this gate.
+  [[nodiscard]] size_t max_eager_payload(const Gate& gate) const;
+
+  // Packet-hub dispatch (the façade decodes, this layer owns the state) ----
+  void on_payload(Gate& gate, const WireChunk& chunk);
+  void on_rts(Gate& gate, const WireChunk& chunk);
+
+  // Cancellation ------------------------------------------------------------
+  // Withdraws a posted receive; see Core::cancel for the full contract.
+  bool cancel_recv(Gate& gate, RecvRequest* req, util::Status status);
+
+  // Teardown (façade-orchestrated; see Core::teardown_gate) -----------------
+  // Receive side: posted sinks, matched receives, the unexpected store
+  // (discharging its budget through the scheduling layer's gauge).
+  void teardown(Gate& gate, const util::Status& status);
+
+  // Drain -------------------------------------------------------------------
+  [[nodiscard]] bool flushed(const Gate& gate) const {
+    return gate.collect.rdv_recv.empty();
+  }
+
+  // Introspection -----------------------------------------------------------
+  struct GateCounts {
+    size_t active_recv = 0;
+    size_t unexpected = 0;
+    size_t rdv_recv = 0;
+  };
+  [[nodiscard]] GateCounts gate_counts(const Gate& gate) const;
+  // Bytes/chunks actually parked in the unexpected store — the ground
+  // truth the scheduling layer's gauge is audited against.
+  [[nodiscard]] std::pair<size_t, size_t> count_store(const Gate& gate) const;
+  // Own-state invariants: the unexpected store's tombstones, and the
+  // matching structures against each other.
+  void check_gate(const Gate& gate, std::vector<std::string>& out) const;
+
+ private:
+  void submit_eager_block(Gate& gate, SendRequest* req, Tag tag, SeqNum seq,
+                          size_t logical_offset, util::ConstBytes block,
+                          size_t total, bool simple, const SendHints& hints);
+  void deliver_eager(Gate& gate, RecvRequest* req, uint32_t offset,
+                     uint32_t total, util::ConstBytes payload);
+  void start_rdv_recv(Gate& gate, RecvRequest* req, uint32_t len,
+                      uint32_t offset, uint32_t total, uint64_t cookie);
+  void on_bulk_recv_complete(GateId gate_id, uint64_t cookie);
+  void recv_add_bytes(Gate& gate, RecvRequest* req, size_t n);
+  void finish_recv_if_done(Gate& gate, RecvRequest* req);
+  void send_cancel_cts(Gate& gate, Tag tag, SeqNum seq, uint64_t cookie);
+
+  [[nodiscard]] Gate& gate_ref(GateId id) { return *ctx_.gates[id]; }
+  [[nodiscard]] bool reliable() const { return ctx_.config.reliability; }
+  [[nodiscard]] bool flow_control() const { return ctx_.config.flow_control; }
+
+  EngineContext& ctx_;
+  ISchedule& sched_;
+  ITransferFleet& fleet_;
+  IEngine& engine_;
+};
+
+}  // namespace nmad::core

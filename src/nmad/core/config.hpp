@@ -1,0 +1,221 @@
+// Engine-wide configuration and counters, shared by all three layers
+// (collect / schedule / transfer) through the EngineContext. Kept in a
+// leaf header so the layer TUs can see the knobs without including the
+// Core façade (and therefore each other).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "nmad/core/types.hpp"
+
+namespace nmad::core {
+
+struct CoreConfig {
+  // Strategy selected at startup ("the optimization function is to be
+  // selected among an extensible and programmable set of strategies").
+  std::string strategy = "aggreg";
+
+  // Modelled software costs of the engine itself. These are what §5.1
+  // measures as the < 0.5 µs MAD-MPI overhead: the extra header plus the
+  // scheduler "inspect[ing] the ready list of packets".
+  double submit_overhead_us = 0.10;  // collect layer, per isend/irecv
+  double submit_chunk_us = 0.03;     // per chunk registered
+  double elect_overhead_us = 0.40;   // optimizer, per packet election
+  double parse_packet_us = 0.20;     // receive path, per packet
+  double parse_chunk_us = 0.05;      // receive path, per chunk
+
+  // Overrides the per-rail rendezvous threshold when non-zero.
+  size_t rdv_threshold_override = 0;
+
+  // Appends a 4-byte checksum to every track-0 packet and verifies it on
+  // receive — a debugging aid for driver/strategy development (the flag
+  // is carried on the wire, so mixed settings interoperate).
+  bool wire_checksum = false;
+
+  // §3.2 lists three election policies. The default is pure just-in-time
+  // (elect when a NIC idles). Setting this to N > 0 enables the
+  // alternatives: once the window backlog reaches N chunks while the NIC
+  // is busy, the optimizer runs early and parks one ready-to-send packet,
+  // which is handed over the moment the NIC idles ("prepare a single
+  // ready-to-send packet to anticipate for any upcoming completion").
+  // The election cost is thus overlapped with communication, at the price
+  // of freezing that packet's contents early.
+  size_t prebuild_backlog_chunks = 0;
+
+  // --- Reliability layer --------------------------------------------------
+  // Enables ack/retransmit on track-0 packets and rendezvous slices:
+  // every payload-bearing packet carries a sequence number, the receiver
+  // acknowledges (piggybacked on reverse traffic where possible), and the
+  // sender retransmits on timeout with exponential backoff, failing over
+  // to surviving rails. Forces wire_checksum on; corrupt packets are
+  // dropped and recovered by retransmission instead of asserting.
+  bool reliability = false;
+  // Base retransmit deadline for a track-0 packet. Rendezvous slices add
+  // their own modelled wire time on top (large slices take longer).
+  double ack_timeout_us = 1000.0;
+  // Delayed-ack grace: how long the receiver waits for reverse traffic to
+  // piggyback on before sending a standalone ack packet.
+  double ack_delay_us = 5.0;
+  // Timeout multiplier applied after each retransmission of an entry.
+  double retry_backoff = 2.0;
+  // A packet/slice that times out this many times fails the gate.
+  uint32_t max_retries = 10;
+  // Consecutive timeouts on one rail before it is declared dead and its
+  // in-flight traffic re-elected onto surviving rails (0 disables).
+  uint32_t rail_dead_after = 6;
+  // Max unacked packets per gate; window packing pauses at the cap.
+  size_t reliability_window = 64;
+
+  // --- Receiver-driven flow control ---------------------------------------
+  // Enables credit-based eager admission: the receiver advertises
+  // cumulative limits on eager bytes/chunks (piggybacked on acks), the
+  // strategy layer holds back eager chunks past the limit, and large
+  // blocks degrade to rendezvous instead of flooding the peer. Forces
+  // reliability on (credits ride the ack machinery).
+  bool flow_control = false;
+  // Receive-side budget for the unexpected store, in payload bytes and in
+  // message-chunk count (0 = unlimited). Credit advertisements never let
+  // admitted-but-unheard eager traffic exceed the free budget, so the
+  // store stays bounded under overload without dropping data.
+  size_t rx_budget = 0;
+  size_t rx_budget_msgs = 0;
+  // Credits granted to each peer at gate-open, before any advertisement
+  // arrives (both endpoints must agree on these, so every core of a
+  // fabric should share its flow-control config). For the rx_budget bound
+  // to hold from time zero, keep the sum of initial grants across peers
+  // within the budget. 0 means unlimited.
+  size_t initial_credit_bytes = 64 * 1024;
+  size_t initial_credit_msgs = 64;
+  // Liveness valve: when the sender has been credit-stalled this long
+  // with nothing in flight, it asks the receiver to restate its limits
+  // (a zero-valued kCredit chunk). Recovers from a lost final credit
+  // update without ever breaching the receiver's budget; never needed in
+  // steady state. 0 disables the probe.
+  double credit_probe_us = 2000.0;
+
+  // --- Rail health lifecycle ----------------------------------------------
+  // Active liveness and revival. Every rail carries lightweight kHeartbeat
+  // beacons — piggybacked on outgoing packets when traffic flows, sent
+  // standalone when the rail is idle — so silence is detected even with
+  // nothing in flight: a rail unheard for suspect_after_us turns suspect,
+  // and for dead_after_us is declared dead (the transfer engine re-elects
+  // its in-flight traffic onto surviving rails). Dead rails are probed
+  // every probe_interval_us; a reply echoing the rail's current epoch
+  // proves the link works again, and probation_replies fresh replies
+  // revive it — rendezvous jobs regain the rail and the next election may
+  // use it. Forces reliability on (a dying rail's traffic must be
+  // recoverable).
+  bool rail_health = false;
+  double heartbeat_interval_us = 500.0;
+  // Thresholds are on receive silence, so with several peers beaconing in
+  // rotation keep suspect_after_us at a few heartbeat intervals.
+  double suspect_after_us = 1500.0;
+  double dead_after_us = 3000.0;
+  double probe_interval_us = 1000.0;
+  uint32_t probation_replies = 2;
+};
+
+// One rail's position in the health lifecycle (CoreConfig::rail_health):
+// alive rails carry traffic and degrade to suspect on silence; dead rails
+// carry none and are probed; a probed rail answering with the current
+// epoch walks through probation back to alive.
+enum class RailHealth : uint8_t { kAlive, kSuspect, kDead, kProbation };
+
+const char* rail_health_name(RailHealth health);
+
+struct CoreStats {
+  uint64_t sends_submitted = 0;
+  uint64_t recvs_submitted = 0;
+  uint64_t packets_sent = 0;
+  uint64_t packets_received = 0;
+  uint64_t chunks_sent = 0;
+  uint64_t chunks_received = 0;
+  // Chunks that shared a packet with at least one other chunk.
+  uint64_t chunks_aggregated = 0;
+  uint64_t rdv_started = 0;
+  uint64_t bulk_sends = 0;
+  uint64_t bulk_bytes = 0;
+  uint64_t unexpected_chunks = 0;
+  uint64_t packets_prebuilt = 0;  // elected early under the backlog policy
+
+  // Reliability layer.
+  uint64_t packet_timeouts = 0;
+  uint64_t packets_retransmitted = 0;
+  uint64_t packets_rejected = 0;    // corrupt/unverifiable, dropped
+  uint64_t packets_duplicate = 0;   // suppressed by seq dedup (re-acked)
+  uint64_t acks_sent = 0;           // standalone delayed-ack packets
+  uint64_t acks_piggybacked = 0;    // acks injected into outgoing packets
+  uint64_t bulk_timeouts = 0;
+  uint64_t bulk_retransmitted = 0;
+  uint64_t rails_failed = 0;
+  uint64_t gates_failed = 0;
+
+  // Rail health lifecycle.
+  uint64_t heartbeats_sent = 0;      // beacons (piggybacked + standalone)
+  uint64_t heartbeats_received = 0;  // plain beacons heard
+  uint64_t probes_sent = 0;          // revival probes on dead rails
+  uint64_t probe_replies_sent = 0;
+  uint64_t heartbeats_fenced = 0;    // stale-epoch beacons/replies dropped
+  uint64_t rails_suspected = 0;      // alive -> suspect transitions
+  uint64_t rails_revived = 0;        // probation -> alive transitions
+  uint64_t probation_demotions = 0;  // probation -> dead (replies dried up)
+
+  // Drain / close.
+  uint64_t drains_started = 0;
+  uint64_t drains_completed = 0;
+  uint64_t gates_closed = 0;
+
+  // Flow control.
+  uint64_t credit_grants = 0;        // credit chunks put on the wire
+  uint64_t credit_stalls = 0;        // eager chunks held back by credit
+  uint64_t credit_probes = 0;        // credit requests sent while stalled
+  uint64_t credit_rdv_degrades = 0;  // eager blocks demoted to rendezvous
+  uint64_t rx_stored_bytes = 0;      // unexpected-store payload (gauge)
+  uint64_t rx_stored_hwm = 0;        // high-water mark of the above
+
+  // Cancellation / deadlines.
+  uint64_t sends_cancelled = 0;
+  uint64_t recvs_cancelled = 0;
+  uint64_t deadlines_exceeded = 0;
+  uint64_t cancelled_payload_dropped = 0;  // chunks for a cancelled recv
+
+  // Event bus: one counter per EventKind published (the observability
+  // spine; see events.hpp for the kinds).
+  uint64_t ev_packet_built = 0;
+  uint64_t ev_elected = 0;
+  uint64_t ev_wire_tx = 0;
+  uint64_t ev_wire_rx = 0;
+  uint64_t ev_acked = 0;
+  uint64_t ev_retransmit = 0;
+  uint64_t ev_health_transition = 0;
+  uint64_t ev_drain_milestone = 0;
+
+  // Invariant validation (check_invariants / validate_invariants; the
+  // hot-path hooks that drive these only compile under -DNMAD_VALIDATE).
+  uint64_t validate_ticks = 0;
+  uint64_t validate_violations = 0;
+  // Per-layer breakdown of validate_violations: which layer's own checks
+  // flagged the state. `engine` covers the cross-layer consistency checks
+  // that no single layer can make alone (store vs. gauge, global budgets).
+  uint64_t validate_violations_collect = 0;
+  uint64_t validate_violations_schedule = 0;
+  uint64_t validate_violations_transfer = 0;
+  uint64_t validate_violations_engine = 0;
+};
+
+struct SendHints {
+  Priority prio = Priority::kNormal;
+  RailIndex pinned_rail = kAnyRail;
+};
+
+// Nonblocking-probe result; see Core::peek_unexpected for the sequence
+// contract.
+struct PeekInfo {
+  bool matched = false;
+  bool total_known = false;
+  size_t total_bytes = 0;
+};
+
+}  // namespace nmad::core

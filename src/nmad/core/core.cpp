@@ -1,25 +1,14 @@
 #include "nmad/core/core.hpp"
 
 #include <algorithm>
-#include <set>
 
+#include "nmad/core/format_util.hpp"
 #include "nmad/strategies/builtin.hpp"
-#include "simnet/time.hpp"
 #include "util/logging.hpp"
 
 namespace nmad::core {
 
 namespace {
-// Bounds on one ack chunk's contents, keeping it well under any rail's
-// packet limit. Sacks are re-advertised on every ack until the floor
-// passes them, so the cap only delays retirement; bulk-slice acks are
-// consumed when the chunk ships and re-queued if it overflows.
-constexpr size_t kMaxSacksPerAck = 32;
-constexpr size_t kMaxBulkAcksPerAck = 16;
-// A block at least this large that does not fit the remaining credit is
-// demoted to rendezvous instead of waiting for the window to open: the
-// RTS costs a round-trip but moves no payload until the receiver agrees.
-constexpr size_t kCreditRdvFloor = 1024;
 // An expired deadline whose request is momentarily un-cancellable (a part
 // is inside a transmitting builder) retries at this interval.
 constexpr double kDeadlineRetryUs = 50.0;
@@ -29,11 +18,13 @@ Core::Core(simnet::SimWorld& world, simnet::SimNode& node, CoreConfig config)
     : world_(world),
       node_(node),
       config_(std::move(config)),
-      strategy_((ensure_builtin_strategies(), make_strategy(config_.strategy))),
-      // Rendezvous cookies embed the node id so sinks posted on a shared
-      // receiver NIC never collide across senders.
-      next_cookie_((static_cast<uint64_t>(node.id()) + 1) << 48) {
-  NMAD_ASSERT_MSG(strategy_ != nullptr, "unknown strategy name");
+      bus_(world_, &stats_),
+      ctx_{world_,     node_,      config_,    stats_,     bus_,
+           chunk_pool_, bulk_pool_, send_pool_, recv_pool_, gates_},
+      sched_(ctx_, *this, *this,
+             (ensure_builtin_strategies(), make_strategy(config_.strategy))),
+      collect_(ctx_, sched_, *this, *this) {
+  NMAD_ASSERT_MSG(sched_.has_strategy(), "unknown strategy name");
   // Flow control rides the ack machinery (credits piggyback on acks and
   // must survive loss), so it forces reliability on; reliability in turn
   // needs checksums: corruption detection is what turns a flipped bit
@@ -43,28 +34,36 @@ Core::Core(simnet::SimWorld& world, simnet::SimNode& node, CoreConfig config)
   if (config_.rail_health) config_.reliability = true;
   if (config_.flow_control) config_.reliability = true;
   if (config_.reliability) config_.wire_checksum = true;
+
+  // The transfer layer announces every health transition on the bus; the
+  // scheduling layer reacts by re-homing in-flight traffic off a dead
+  // rail or handing a revived one back to its rendezvous jobs. The
+  // suspect state is a warning, not a death: only crossing the
+  // alive/dead boundary moves traffic.
+  bus_.subscribe(EventKind::kHealthTransition, [this](const Event& ev) {
+    const auto prev = static_cast<RailHealth>(ev.a);
+    const auto next = static_cast<RailHealth>(ev.b);
+    const bool was_alive =
+        prev == RailHealth::kAlive || prev == RailHealth::kSuspect;
+    const bool now_alive =
+        next == RailHealth::kAlive || next == RailHealth::kSuspect;
+    if (was_alive && !now_alive) {
+      sched_.on_rail_dead(ev.rail);
+    } else if (!was_alive && now_alive) {
+      sched_.on_rail_revived(ev.rail);
+    }
+  });
 }
 
 Core::~Core() {
-  for (auto& rail : rails_) {
-    if (rail.health_timer_armed) {
-      world_.cancel(rail.health_timer);
-      rail.health_timer_armed = false;
-    }
-  }
-  for (auto& rail : rails_) {
-    // A packet elected early but never transmitted returns its chunks to
-    // the pool (reaching here with one is already a usage error that the
-    // request pools will flag; this keeps the diagnostics readable).
-    if (rail.prebuilt) {
-      for (OutChunk* chunk : rail.prebuilt->chunks()) {
-        chunk_pool_.release(chunk);
-      }
-      rail.prebuilt.reset();
-    }
-    rail.driver->shutdown();
-  }
+  for (auto& rail : rails_) rail->stop_monitor();
+  sched_.release_prebuilt_chunks();
+  for (auto& rail : rails_) rail->shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Setup
+// ---------------------------------------------------------------------------
 
 util::Status Core::add_rail(std::unique_ptr<drivers::Driver> driver) {
   if (connected_) {
@@ -84,31 +83,25 @@ util::Status Core::add_rail(std::unique_ptr<drivers::Driver> driver) {
   info.latency_us = caps.latency_us;
   info.bandwidth_mbps = caps.bandwidth_mbps;
 
-  driver->set_rx_handler([this, index](drivers::RxPacket&& packet) {
-    on_packet(index, std::move(packet));
-  });
-  // Track-1 deposits bypass on_packet, yet a rail streaming one long
-  // rendezvous body is the opposite of dead: count every bulk arrival as
-  // liveness so the monitor does not kill a saturated rail mid-transfer.
-  driver->set_bulk_rx_handler([this, index](drivers::PeerAddr) {
-    if (!rail_health_on() || index >= rails_.size()) return;
-    RailState& rs = rails_[index];
-    rs.last_rx_us = world_.now();
-    if (rs.health == RailHealth::kSuspect) rs.health = RailHealth::kAlive;
+  auto rail =
+      std::make_unique<TransferEngine>(ctx_, index, std::move(driver), info);
+  // Standalone heartbeats flow back through the scheduler's issue path so
+  // they pick up piggybacked acks/credits like any other packet.
+  rail->bind(&sched_);
+  rail->install_rx([this](RailIndex r, drivers::RxPacket&& packet) {
+    on_packet(r, std::move(packet));
   });
   if (config_.reliability) {
     // Late retransmissions may land after their sink completed; the
     // orphan handler re-acks them instead of treating them as protocol
     // errors.
-    driver->set_bulk_orphan_handler(
-        [this](drivers::PeerAddr from, uint64_t cookie, size_t offset,
-               size_t len) { on_bulk_orphan(from, cookie, offset, len); });
+    rail->install_orphan([this](drivers::PeerAddr from, uint64_t cookie,
+                                size_t offset, size_t len) {
+      on_bulk_orphan(from, cookie, offset, len);
+    });
   }
-
-  RailState state;
-  state.driver = std::move(driver);
-  state.info = info;
-  rails_.push_back(std::move(state));
+  rails_.push_back(std::move(rail));
+  sched_.add_rail_slot();
   return util::ok_status();
 }
 
@@ -139,31 +132,17 @@ util::Expected<GateId> Core::connect(drivers::PeerAddr peer,
   gate->rdv_threshold = SIZE_MAX;
   gate->max_packet = SIZE_MAX;
   for (RailIndex r : gate->rails) {
-    const RailInfo& info = rails_[r].info;
+    const RailInfo& info = rails_[r]->info();
     gate->max_packet = std::min(gate->max_packet, info.max_packet_bytes);
     if (info.rdma) {
       gate->has_rdma = true;
-      gate->rdv_threshold =
-          std::min(gate->rdv_threshold, info.rdv_threshold);
+      gate->rdv_threshold = std::min(gate->rdv_threshold, info.rdv_threshold);
     }
   }
   if (config_.rdv_threshold_override != 0 && gate->has_rdma) {
     gate->rdv_threshold = config_.rdv_threshold_override;
   }
-  if (config_.flow_control) {
-    // Both endpoints start from the configured initial grant; everything
-    // after that is negotiated through kCredit advertisements.
-    gate->credit_limit_bytes = config_.initial_credit_bytes == 0
-                                   ? UINT64_MAX
-                                   : config_.initial_credit_bytes;
-    gate->credit_limit_chunks = config_.initial_credit_msgs == 0
-                                    ? UINT64_MAX
-                                    : config_.initial_credit_msgs;
-    gate->advertised_limit_bytes = gate->credit_limit_bytes;
-    gate->advertised_limit_chunks = gate->credit_limit_chunks;
-    gate->last_sent_limit_bytes = gate->advertised_limit_bytes;
-    gate->last_sent_limit_chunks = gate->advertised_limit_chunks;
-  }
+  sched_.init_gate(*gate);
 
   const GateId id = gate->id;
   peer_gate_[peer] = id;
@@ -176,199 +155,83 @@ Gate& Core::gate(GateId id) {
   return *gates_[id];
 }
 
+ITransferRail& Core::transfer_rail(RailIndex rail) {
+  NMAD_ASSERT(rail < rails_.size());
+  return *rails_[rail];
+}
+
+const ITransferRail& Core::transfer_rail(RailIndex rail) const {
+  NMAD_ASSERT(rail < rails_.size());
+  return *rails_[rail];
+}
+
 const RailInfo& Core::rail_info(RailIndex rail) const {
   NMAD_ASSERT(rail < rails_.size());
-  return rails_[rail].info;
+  return rails_[rail]->info();
 }
 
 bool Core::rail_alive(RailIndex rail) const {
   NMAD_ASSERT(rail < rails_.size());
-  return rails_[rail].alive;
+  return rails_[rail]->alive();
 }
 
 void Core::fail_rail(RailIndex rail) {
   NMAD_ASSERT(rail < rails_.size());
-  kill_rail(rail);
+  rails_[rail]->kill();
 }
 
 RailHealth Core::rail_health_state(RailIndex rail) const {
   NMAD_ASSERT(rail < rails_.size());
-  return rails_[rail].health;
+  return rails_[rail]->health();
 }
 
 uint32_t Core::rail_epoch(RailIndex rail) const {
   NMAD_ASSERT(rail < rails_.size());
-  return rails_[rail].epoch;
+  return rails_[rail]->epoch();
 }
 
-const char* rail_health_name(RailHealth health) {
-  switch (health) {
-    case RailHealth::kAlive: return "alive";
-    case RailHealth::kSuspect: return "suspect";
-    case RailHealth::kDead: return "dead";
-    case RailHealth::kProbation: return "probation";
-  }
-  return "?";
+void Core::revive_rail(RailIndex rail) {
+  NMAD_ASSERT(rail < rails_.size());
+  rails_[rail]->revive();
 }
 
-size_t Core::window_size(GateId id) { return gate(id).window.size(); }
+void Core::start_health_monitors() {
+  NMAD_ASSERT_MSG(config_.heartbeat_interval_us > 0.0 &&
+                      config_.probe_interval_us > 0.0,
+                  "rail_health needs positive intervals");
+  health_monitors_started_ = true;
+  const double now = world_.now();
+  for (auto& rail : rails_) rail->start_monitor(now);
+}
+
+void Core::stop_health_monitors() {
+  for (auto& rail : rails_) rail->stop_monitor();
+  health_monitors_started_ = false;
+}
+
+size_t Core::window_size(GateId id) { return gate(id).sched.window.size(); }
 
 util::Status Core::set_strategy(const std::string& name) {
   std::unique_ptr<Strategy> next = make_strategy(name);
   if (next == nullptr) {
     return util::not_found("no strategy registered as '" + name + "'");
   }
-  strategy_ = std::move(next);
+  sched_.set_strategy(std::move(next));
   config_.strategy = name;
   return util::ok_status();
 }
 
 void Core::poll() {
-  for (auto& rail : rails_) rail.driver->poll();
+  for (auto& rail : rails_) rail->poll();
 }
 
 // ---------------------------------------------------------------------------
-// Collect layer: submission
+// Collect-layer forwarders
 // ---------------------------------------------------------------------------
-
-size_t Core::max_eager_payload(const Gate& gate) const {
-  NMAD_ASSERT(gate.max_packet > kPacketHeaderBytes + kFragHeaderBytes);
-  return gate.max_packet - kPacketHeaderBytes - kFragHeaderBytes;
-}
-
-OutChunk* Core::new_chunk() { return chunk_pool_.acquire(); }
-
-void Core::submit_chunk(Gate& gate, OutChunk* chunk) {
-  node_.cpu().charge(config_.submit_chunk_us);
-  if (chunk->prio == Priority::kHigh) chunk->flags |= kFlagPriority;
-  if (flow_control() && !chunk->is_control() && !chunk->credit_charged) {
-    gate.window_eager_bytes += chunk->payload.size();
-  }
-  gate.window.push_back(*chunk);
-}
-
-void Core::submit_rdv_block(Gate& gate, SendRequest* req, Tag tag,
-                            SeqNum seq, size_t logical_offset,
-                            util::ConstBytes block, size_t total,
-                            const SendHints& hints) {
-  BulkJob* job = bulk_pool_.acquire();
-  job->cookie = next_cookie_++;
-  job->gate = gate.id;
-  job->body = block;
-  job->sent = 0;
-  job->acked = 0;
-  job->rails.clear();
-  job->pinned_rail = hints.pinned_rail;
-  job->owner = req;
-  req->add_part();
-  gate.rdv_wait_cts[job->cookie] = job;
-  ++stats_.rdv_started;
-
-  OutChunk* rts = new_chunk();
-  rts->kind = ChunkKind::kRts;
-  rts->flags = 0;
-  rts->tag = tag;
-  rts->seq = seq;
-  rts->offset = static_cast<uint32_t>(logical_offset);
-  rts->total = static_cast<uint32_t>(total);
-  rts->rdv_len = static_cast<uint32_t>(block.size());
-  rts->cookie = job->cookie;
-  rts->prio = Priority::kHigh;  // control data ships first
-  rts->pinned_rail = hints.pinned_rail;
-  rts->owner = nullptr;
-  submit_chunk(gate, rts);
-}
-
-void Core::submit_eager_block(Gate& gate, SendRequest* req, Tag tag,
-                              SeqNum seq, size_t logical_offset,
-                              util::ConstBytes block, size_t total,
-                              bool simple, const SendHints& hints) {
-  const size_t max_payload = max_eager_payload(gate);
-  size_t offset = 0;
-  do {
-    const size_t n = std::min(block.size() - offset, max_payload);
-    OutChunk* chunk = new_chunk();
-    chunk->kind = simple ? ChunkKind::kData : ChunkKind::kFrag;
-    chunk->flags = 0;
-    chunk->tag = tag;
-    chunk->seq = seq;
-    chunk->offset = static_cast<uint32_t>(logical_offset + offset);
-    chunk->total = static_cast<uint32_t>(total);
-    chunk->payload = block.subspan(offset, n);
-    chunk->prio = hints.prio;
-    chunk->pinned_rail = hints.pinned_rail;
-    chunk->owner = req;
-    req->add_part();
-    if (logical_offset + offset + n == total) chunk->flags |= kFlagLast;
-    submit_chunk(gate, chunk);
-    offset += n;
-  } while (offset < block.size());
-}
 
 SendRequest* Core::isend(GateId gate_id, Tag tag, const SourceLayout& src,
                          const SendHints& hints) {
-  Gate& g = gate(gate_id);
-  const SeqNum seq = g.send_seq[tag]++;
-  SendRequest* req = send_pool_.acquire(gate_id, tag, seq, src.total());
-  ++stats_.sends_submitted;
-  if (g.failed) {
-    // The peer is unreachable; fail fast instead of queueing forever.
-    req->complete(g.fail_status);
-    return req;
-  }
-  node_.cpu().charge(config_.submit_overhead_us);
-
-  const size_t total = src.total();
-  if (total == 0) {
-    // Zero-length message: a bare data chunk carries the completion.
-    OutChunk* chunk = new_chunk();
-    chunk->kind = ChunkKind::kData;
-    chunk->flags = kFlagLast;
-    chunk->tag = tag;
-    chunk->seq = seq;
-    chunk->offset = 0;
-    chunk->total = 0;
-    chunk->payload = {};
-    chunk->prio = hints.prio;
-    chunk->pinned_rail = hints.pinned_rail;
-    chunk->owner = req;
-    req->add_part();
-    submit_chunk(g, chunk);
-    refill_all();
-    return req;
-  }
-
-  // "Simple" messages (single block, fits one eager chunk) use the compact
-  // data header; everything else uses offset-addressed fragments.
-  const bool want_rdv =
-      g.has_rdma && src.blocks().size() == 1 &&
-      src.blocks()[0].memory.size() >= g.rdv_threshold;
-  const bool simple = src.blocks().size() == 1 && !want_rdv &&
-                      src.blocks()[0].memory.size() <= max_eager_payload(g);
-
-  for (const SourceLayout::Block& block : src.blocks()) {
-    if (block.memory.empty()) continue;
-    bool rdv = g.has_rdma && block.memory.size() >= g.rdv_threshold;
-    if (!rdv && flow_control() && g.has_rdma &&
-        block.memory.size() >= kCreditRdvFloor &&
-        g.eager_sent_bytes + g.window_eager_bytes + block.memory.size() >
-            g.credit_limit_bytes) {
-      // Graceful degradation: the eager path would exhaust the peer's
-      // credit, so negotiate the block instead — the RTS is always
-      // admissible and the body bypasses the receiver's eager budget.
-      rdv = true;
-      ++stats_.credit_rdv_degrades;
-    }
-    if (rdv) {
-      submit_rdv_block(g, req, tag, seq, block.logical_offset, block.memory,
-                       total, hints);
-    } else {
-      submit_eager_block(g, req, tag, seq, block.logical_offset,
-                         block.memory, total, simple, hints);
-    }
-  }
-  refill_all();
-  return req;
+  return collect_.isend(gate(gate_id), tag, src, hints);
 }
 
 SendRequest* Core::isend(GateId gate_id, Tag tag, util::ConstBytes data,
@@ -377,73 +240,15 @@ SendRequest* Core::isend(GateId gate_id, Tag tag, util::ConstBytes data,
 }
 
 RecvRequest* Core::irecv(GateId gate_id, Tag tag, DestLayout dest) {
-  Gate& g = gate(gate_id);
-  const SeqNum seq = g.recv_seq[tag]++;
-  RecvRequest* req = recv_pool_.acquire(gate_id, tag, seq, std::move(dest));
-  ++stats_.recvs_submitted;
-  if (g.failed) {
-    req->complete(g.fail_status);
-    return req;
-  }
-  node_.cpu().charge(config_.submit_overhead_us);
-
-  const MsgKey key{tag, seq};
-  g.active_recv[key] = req;
-
-  // Replay anything that arrived before this receive was posted.
-  auto it = g.unexpected.find(key);
-  if (it != g.unexpected.end()) {
-    UnexpectedMsg msg = std::move(it->second);
-    g.unexpected.erase(it);
-    if (msg.peer_cancelled) {
-      // The sender withdrew this message before we matched it.
-      g.active_recv.erase(key);
-      req->complete(util::cancelled("sender withdrew the message"));
-      return req;
-    }
-    size_t drained_bytes = 0;
-    size_t drained_chunks = 0;
-    for (const StoredFrag& frag : msg.frags) {
-      if (!frag.data.view().empty()) {
-        drained_bytes += frag.data.view().size();
-        ++drained_chunks;
-      }
-      deliver_eager(g, req, frag.offset, frag.total, frag.data.view());
-    }
-    if (drained_bytes > 0) rx_store_discharge(g, drained_bytes, drained_chunks);
-    for (const StoredRts& rts : msg.rts) {
-      start_rdv_recv(g, req, rts.len, rts.offset, rts.total, rts.cookie);
-    }
-    refill_all();  // replay may have queued CTS chunks
-  }
-  return req;
+  return collect_.irecv(gate(gate_id), tag, std::move(dest));
 }
 
-RecvRequest* Core::irecv(GateId gate_id, Tag tag,
-                         util::MutableBytes buffer) {
+RecvRequest* Core::irecv(GateId gate_id, Tag tag, util::MutableBytes buffer) {
   return irecv(gate_id, tag, DestLayout::contiguous(buffer));
 }
 
 Core::PeekResult Core::peek_unexpected(GateId gate_id, Tag tag) {
-  Gate& g = gate(gate_id);
-  // The next irecv on this tag will be assigned the current counter value.
-  SeqNum next_seq = 0;
-  if (auto it = g.recv_seq.find(tag); it != g.recv_seq.end()) {
-    next_seq = it->second;
-  }
-  auto it = g.unexpected.find(MsgKey{tag, next_seq});
-  if (it == g.unexpected.end()) return {};
-  PeekResult result;
-  result.matched = true;
-  for (const StoredFrag& frag : it->second.frags) {
-    result.total_known = true;
-    result.total_bytes = frag.total;
-  }
-  for (const StoredRts& rts : it->second.rts) {
-    result.total_known = true;
-    result.total_bytes = rts.total;
-  }
-  return result;
+  return collect_.peek_unexpected(gate(gate_id), tag);
 }
 
 void Core::release(Request* req) {
@@ -460,279 +265,16 @@ void Core::release(Request* req) {
 }
 
 // ---------------------------------------------------------------------------
-// Scheduling layer: just-in-time election
-// ---------------------------------------------------------------------------
-
-void Core::refill_all() {
-  for (RailIndex r = 0; r < rails_.size(); ++r) {
-    refill_rail(r);
-    if (!rails_[r].driver->tx_idle()) maybe_prebuild(r);
-  }
-#ifdef NMAD_VALIDATE
-  validate_invariants();
-#endif
-}
-
-// §3.2 alternative policy: while the NIC is busy and the backlog is deep
-// enough, run the optimizer early and park the resulting packet.
-void Core::maybe_prebuild(RailIndex rail) {
-  if (config_.prebuild_backlog_chunks == 0) return;
-  RailState& rs = rails_[rail];
-  if (!rs.alive || rs.prebuilt) return;
-  const size_t n = gates_.size();
-  for (size_t k = 0; k < n; ++k) {
-    const size_t gi = (rs.rr_cursor + k) % n;
-    Gate& g = *gates_[gi];
-    if (!g.has_rail(rail) || g.failed) continue;
-    if (g.window.size() < config_.prebuild_backlog_chunks) continue;
-    if (reliable() && g.pending_pkts.size() >= config_.reliability_window) {
-      continue;
-    }
-    const size_t max_bytes = std::min(g.max_packet, rs.info.max_packet_bytes);
-    const size_t max_segments =
-        rs.info.gather ? rs.info.max_gather_segments : 0;
-    auto builder = std::make_shared<PacketBuilder>(
-        max_bytes, max_segments, config_.wire_checksum,
-        /*reserve_seq=*/reliable());
-    const size_t taken = strategy_->pack(*this, g, rs.info, *builder);
-    if (taken == 0) continue;
-    // The election cost is paid now, overlapped with the NIC's current
-    // transmission instead of delaying the next one.
-    node_.cpu().charge(config_.elect_overhead_us);
-    ++stats_.packets_prebuilt;
-    rs.prebuilt = std::move(builder);
-    rs.prebuilt_gate = g.id;
-    rs.rr_cursor = (gi + 1) % n;
-    return;
-  }
-}
-
-void Core::refill_rail(RailIndex rail) {
-  RailState& rs = rails_[rail];
-  if (!rs.alive) return;
-  if (!rs.driver->tx_idle()) return;
-
-  // A pre-armed packet goes out instantly, no election on the idle path.
-  if (rs.prebuilt) {
-    std::shared_ptr<PacketBuilder> builder = std::move(rs.prebuilt);
-    rs.prebuilt.reset();
-    issue_packet(gate(rs.prebuilt_gate), rail, std::move(builder),
-                 /*charge_election=*/false);
-    return;
-  }
-  const size_t n = gates_.size();
-  for (size_t k = 0; k < n; ++k) {
-    const size_t gi = (rs.rr_cursor + k) % n;
-    Gate& g = *gates_[gi];
-    if (!g.has_rail(rail) || g.failed) continue;
-
-    if (reliable()) {
-      // Lost traffic first: the receiver is stalled on it. A packet
-      // retransmit may ride any alive rail of the gate (track-0 packets
-      // fit every rail's frame limit by construction); bulk slices only
-      // ride rails their CTS granted.
-      while (!g.retx_queue.empty()) {
-        const uint32_t seq = g.retx_queue.front();
-        auto it = g.pending_pkts.find(seq);
-        if (it == g.pending_pkts.end() || !it->second.queued_retx) {
-          g.retx_queue.pop_front();  // retired while queued
-          continue;
-        }
-        g.retx_queue.pop_front();
-        rs.rr_cursor = (gi + 1) % n;
-        retransmit_packet(g, rail, seq);
-        return;
-      }
-      for (size_t b = 0; b < g.bulk_retx.size(); ++b) {
-        const BulkKey key = g.bulk_retx[b];
-        auto it = g.pending_bulk.find(key);
-        if (it == g.pending_bulk.end() || !it->second.queued_retx) {
-          g.bulk_retx.erase(g.bulk_retx.begin() +
-                            static_cast<ptrdiff_t>(b));
-          --b;
-          continue;
-        }
-        if (!rs.info.rdma || !it->second.job->allows_rail(rail)) continue;
-        g.bulk_retx.erase(g.bulk_retx.begin() + static_cast<ptrdiff_t>(b));
-        rs.rr_cursor = (gi + 1) % n;
-        retransmit_bulk(g, rail, key);
-        return;
-      }
-    }
-
-    // Granted rendezvous bodies take precedence: the receiver is waiting.
-    Strategy::BulkDecision decision = strategy_->next_bulk(*this, g, rs.info);
-    if (decision.job != nullptr && decision.bytes > 0) {
-      rs.rr_cursor = (gi + 1) % n;
-      issue_bulk(g, rail, decision.job, decision.bytes);
-      return;
-    }
-
-    if (!g.window.empty()) {
-      if (reliable() &&
-          g.pending_pkts.size() >= config_.reliability_window) {
-        continue;  // sliding window full: wait for acks
-      }
-      const size_t max_bytes =
-          std::min(g.max_packet, rs.info.max_packet_bytes);
-      const size_t max_segments =
-          rs.info.gather ? rs.info.max_gather_segments : 0;
-      auto builder = std::make_shared<PacketBuilder>(
-          max_bytes, max_segments, config_.wire_checksum,
-          /*reserve_seq=*/reliable());
-      const size_t taken = strategy_->pack(*this, g, rs.info, *builder);
-      if (taken > 0) {
-        rs.rr_cursor = (gi + 1) % n;
-        issue_packet(g, rail, std::move(builder));
-        return;
-      }
-    }
-  }
-}
-
-void Core::issue_packet(Gate& gate, RailIndex rail,
-                        std::shared_ptr<PacketBuilder> builder,
-                        bool charge_election) {
-  // Piggyback any pending acknowledgement on this packet — a free ride,
-  // where a standalone ack packet would cost a header and an election.
-  if (reliable()) maybe_inject_ack(gate, *builder);
-  // Likewise a credit advertisement, whenever the limits grew.
-  if (flow_control()) maybe_inject_credit(gate, *builder);
-  // And a liveness beacon when this rail's heartbeat to the peer is due.
-  if (rail_health_on()) maybe_inject_heartbeat(gate, rail, *builder);
-
-  // The optimizer just inspected the window and synthesized a packet;
-  // charge its cost (§5.1: "extra operations on the critical path") —
-  // unless it was already paid at prebuild time.
-  if (charge_election) node_.cpu().charge(config_.elect_overhead_us);
-  ++stats_.packets_sent;
-  stats_.chunks_sent += builder->chunk_count();
-  if (builder->chunk_count() > 1) {
-    stats_.chunks_aggregated += builder->chunk_count();
-  }
-
-  // Payload-bearing packets get a sequence number and enter the unacked
-  // window; pure ack/credit/heartbeat packets are fire-and-forget
-  // (acknowledging an ack would ping-pong forever, credits are
-  // self-healing — the next advertisement supersedes a lost one — and a
-  // lost heartbeat is just silence the next beacon or probe fills in).
-  bool track = false;
-  if (reliable()) {
-    for (const OutChunk* chunk : builder->chunks()) {
-      if (chunk->kind != ChunkKind::kAck &&
-          chunk->kind != ChunkKind::kCredit &&
-          chunk->kind != ChunkKind::kHeartbeat) {
-        track = true;
-        break;
-      }
-    }
-  }
-  uint32_t pkt_seq = 0;
-  if (track) {
-    pkt_seq = gate.next_pkt_seq++;
-    builder->mark_reliable(pkt_seq);
-  }
-
-  const util::SegmentVec& segments = builder->finalize();
-
-  if (track) {
-    // Flatten the wire image now: retransmission must not depend on the
-    // application buffers or the builder staying untouched.
-    PendingPacket& p = gate.pending_pkts[pkt_seq];
-    p.wire = std::make_shared<util::ByteBuffer>();
-    p.wire->resize(segments.total_bytes());
-    segments.gather_into(p.wire->view());
-    for (OutChunk* chunk : builder->chunks()) {
-      if (chunk->owner != nullptr && !chunk->is_control()) {
-        p.owners.push_back(chunk->owner);
-      }
-    }
-    p.last_rail = rail;
-    p.timeout_us = config_.ack_timeout_us;
-    arm_packet_timer(gate, pkt_seq);
-  }
-
-  const bool defer_completion = reliable();
-  const util::Status st = rails_[rail].driver->send_packet(
-      gate.peer, segments, [this, builder, defer_completion]() {
-        for (OutChunk* chunk : builder->chunks()) {
-          // Under reliability, part_done waits for the ack, not tx-done.
-          if (!defer_completion && chunk->owner != nullptr &&
-              !chunk->is_control()) {
-            chunk->owner->part_done();
-          }
-          chunk_pool_.release(chunk);
-        }
-        refill_all();
-      });
-  NMAD_ASSERT_MSG(st.is_ok(), "driver rejected packet send");
-}
-
-void Core::issue_bulk(Gate& gate, RailIndex rail, BulkJob* job,
-                      size_t bytes) {
-  NMAD_ASSERT(bytes > 0 && bytes <= job->remaining());
-  node_.cpu().charge(config_.elect_overhead_us);
-  ++stats_.bulk_sends;
-  stats_.bulk_bytes += bytes;
-
-  const size_t offset = job->sent;
-  job->sent += bytes;
-  if (job->all_sent()) {
-    gate.ready_bulk.remove(*job);  // nothing left to elect
-  }
-
-  if (reliable()) {
-    const BulkKey key{job->cookie, offset};
-    PendingBulk& p = gate.pending_bulk[key];
-    p.job = job;
-    p.offset = offset;
-    p.len = bytes;
-    p.last_rail = rail;
-    // Large slices hold the wire longer; budget their transfer time on
-    // top of the base deadline so they don't time out spuriously.
-    p.timeout_us =
-        config_.ack_timeout_us +
-        2.0 * simnet::wire_time(static_cast<double>(bytes),
-                                rails_[rail].info.bandwidth_mbps);
-    arm_bulk_timer(gate, key);
-  }
-
-  const bool defer_completion = reliable();
-  util::SegmentVec segments;
-  segments.add(job->body.subspan(offset, bytes));
-  const util::Status st = rails_[rail].driver->send_bulk(
-      gate.peer, job->cookie, offset, segments,
-      [this, job, bytes, defer_completion]() {
-        if (!defer_completion) {
-          job->acked += bytes;
-          if (job->all_sent() && job->all_acked()) {
-            SendRequest* owner = job->owner;
-            bulk_pool_.release(job);
-            owner->part_done();
-          }
-        }
-        refill_all();
-      });
-  NMAD_ASSERT_MSG(st.is_ok(), "driver rejected bulk send");
-}
-
-// ---------------------------------------------------------------------------
-// Receive path
+// The packet hub: every arrival is decoded once here, then each chunk is
+// dispatched to the layer that owns its state.
 // ---------------------------------------------------------------------------
 
 void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
   auto it = peer_gate_.find(packet.from);
   NMAD_ASSERT_MSG(it != peer_gate_.end(), "packet from unknown peer");
-  if (rail_health_on()) {
-    // Anything heard on the rail — from any peer, even a packet that will
-    // be dropped as corrupt — is physical proof the link carries traffic.
-    RailState& rs = rails_[rail];
-    rs.last_rx_us = world_.now();
-    if (rs.health == RailHealth::kSuspect) rs.health = RailHealth::kAlive;
-  }
   Gate& g = *gates_[it->second];
   if (g.failed) return;  // peer already declared unreachable
-  g.last_heard_rail = rail;  // a delivering rail: best ack return path
+  sched_.note_heard(g, rail);  // a delivering rail: best ack return path
   ++stats_.packets_received;
   node_.cpu().charge(config_.parse_packet_us);
 
@@ -746,14 +288,14 @@ void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
        &processed](const WireChunk& chunk) {
         if (!classified) {
           classified = true;
-          if (reliable()) {
+          if (config_.reliability) {
             if (!meta.checksummed) {
               // A flipped checksum-flag bit would disable verification;
               // reliable-mode peers always checksum, so refuse the
               // packet and let the retransmit timer recover it.
               drop = true;
               ++stats_.packets_rejected;
-            } else if (meta.reliable && reliable_rx_register(g, meta.seq)) {
+            } else if (meta.reliable && sched_.rx_register(g, meta.seq)) {
               drop = true;  // duplicate: already delivered, just re-ack
               ++stats_.packets_duplicate;
             }
@@ -766,22 +308,22 @@ void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
         switch (chunk.kind) {
           case ChunkKind::kData:
           case ChunkKind::kFrag:
-            handle_payload_chunk(g, chunk);
+            collect_.on_payload(g, chunk);
             break;
           case ChunkKind::kRts:
-            handle_rts(g, chunk);
+            collect_.on_rts(g, chunk);
             break;
           case ChunkKind::kCts:
-            handle_cts(g, chunk);
+            sched_.on_cts(g, chunk);
             break;
           case ChunkKind::kAck:
-            handle_ack(g, chunk);
+            sched_.on_ack(g, chunk);
             break;
           case ChunkKind::kCredit:
-            handle_credit(g, chunk);
+            sched_.on_credit(g, chunk);
             break;
           case ChunkKind::kHeartbeat:
-            handle_heartbeat(g, rail, chunk);
+            rails_[rail]->handle_heartbeat(g, chunk);
             break;
         }
       });
@@ -790,878 +332,30 @@ void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
     // before any chunk reaches the sink; drop it and let the sender
     // retransmit. Decode errors on verified content — or any error
     // without the reliability layer — remain hard protocol bugs.
-    NMAD_ASSERT_MSG(reliable() && !processed, "malformed packet on wire");
+    NMAD_ASSERT_MSG(config_.reliability && !processed,
+                    "malformed packet on wire");
     ++stats_.packets_rejected;
     return;
   }
+  if (processed) {
+    bus_.publish({.kind = EventKind::kWireRx,
+                  .gate = g.id,
+                  .rail = rail,
+                  .seq = meta.reliable ? meta.seq : 0,
+                  .a = packet.bytes.view().size()});
+  }
   if (g.failed) return;  // a chunk handler may have torn the gate down
-  if (reliable() && meta.reliable && meta.checksummed) schedule_ack(g);
+  if (config_.reliability && meta.reliable && meta.checksummed) {
+    sched_.schedule_ack(g);
+  }
 #ifdef NMAD_VALIDATE
   validate_invariants();
 #endif
 }
 
-void Core::handle_payload_chunk(Gate& gate, const WireChunk& chunk) {
-  if (flow_control() && !chunk.payload.empty()) {
-    // Heard-side credit accounting, the mirror of the sender's charge.
-    // Runs before any tombstone check so the two ends stay in step even
-    // for payload that is about to be dropped.
-    gate.eager_heard_bytes += chunk.payload.size();
-    gate.eager_heard_chunks += 1;
-  }
-  const MsgKey key{chunk.tag, chunk.seq};
-  if (gate.cancelled_recv.count(key) != 0) {
-    // The receive was cancelled; its data has nowhere to go.
-    ++stats_.cancelled_payload_dropped;
-    return;
-  }
-  auto it = gate.active_recv.find(key);
-  if (it == gate.active_recv.end()) {
-    auto ue = gate.unexpected.find(key);
-    if (ue != gate.unexpected.end() && ue->second.peer_cancelled) {
-      // The sender withdrew the message; this is a straggler.
-      ++stats_.cancelled_payload_dropped;
-      return;
-    }
-    // Unexpected: copy the payload aside (real host work) until a
-    // matching receive is posted.
-    ++stats_.unexpected_chunks;
-    node_.cpu().charge_memcpy(chunk.payload.size());
-    StoredFrag frag;
-    frag.kind = chunk.kind;
-    frag.flags = chunk.flags;
-    frag.offset = chunk.offset;
-    frag.total = chunk.total;
-    frag.data.append(chunk.payload);
-    gate.unexpected[key].frags.push_back(std::move(frag));
-    if (!chunk.payload.empty()) {
-      rx_store_charge(gate, chunk.payload.size(), 1);
-    }
-    return;
-  }
-  deliver_eager(gate, it->second, chunk.offset, chunk.total, chunk.payload);
-}
-
-void Core::deliver_eager(Gate& gate, RecvRequest* req, uint32_t offset,
-                         uint32_t total, util::ConstBytes payload) {
-  if (!req->set_total(total)) {
-    finish_recv_if_done(gate, req);
-    return;
-  }
-  if (payload.empty()) {
-    recv_add_bytes(gate, req, 0);
-    return;
-  }
-  // Eager data is copied from the NIC buffer into the destination layout:
-  // the one unavoidable copy of eager protocols. Content moves now (the
-  // source view dies with the packet); completion is accounted when the
-  // modelled memcpy finishes. The deferred event re-looks the receive up
-  // by key — it may be cancelled (and even released) while the modelled
-  // memcpy is in flight.
-  req->layout_.scatter(offset, payload);
-  const simnet::SimTime done_at = node_.cpu().charge_memcpy(payload.size());
-  const size_t n = payload.size();
-  const GateId gid = gate.id;
-  const MsgKey key{req->tag(), req->seq()};
-  world_.at(done_at, [this, gid, key, n]() {
-    Gate& g = this->gate(gid);
-    auto it = g.active_recv.find(key);
-    if (it == g.active_recv.end()) return;
-    recv_add_bytes(g, it->second, n);
-  });
-}
-
-void Core::handle_rts(Gate& gate, const WireChunk& chunk) {
-  const MsgKey key{chunk.tag, chunk.seq};
-  if ((chunk.flags & kFlagCancel) != 0) {
-    // The sender withdrew the whole message (tag, seq).
-    auto ar = gate.active_recv.find(key);
-    if (ar != gate.active_recv.end()) {
-      RecvRequest* req = ar->second;
-      for (auto rv = gate.rdv_recv.begin(); rv != gate.rdv_recv.end();) {
-        if (rv->second.request != req) {
-          ++rv;
-          continue;
-        }
-        for (uint8_t r : rv->second.rails) {
-          rails_[r].driver->cancel_bulk_recv(rv->first);
-        }
-        rv = gate.rdv_recv.erase(rv);
-      }
-      gate.active_recv.erase(ar);
-      // The payload may still be behind the cancel notice (another rail,
-      // or a retransmission): tombstone the key so a late arrival is
-      // dropped instead of parked forever in the unexpected store.
-      gate.cancelled_recv.insert(key);
-      req->complete(util::cancelled("sender withdrew the message"));
-      return;
-    }
-    if (gate.cancelled_recv.count(key) != 0) return;  // cancelled here too
-    // Not matched yet: drop whatever is parked and leave a tombstone so
-    // the future irecv learns of the withdrawal.
-    UnexpectedMsg& msg = gate.unexpected[key];
-    size_t bytes = 0;
-    size_t chunks = 0;
-    for (const StoredFrag& frag : msg.frags) {
-      if (!frag.data.view().empty()) {
-        bytes += frag.data.view().size();
-        ++chunks;
-      }
-    }
-    if (bytes > 0) rx_store_discharge(gate, bytes, chunks);
-    msg.frags.clear();
-    msg.rts.clear();
-    msg.peer_cancelled = true;
-    return;
-  }
-  if (gate.cancelled_recv.count(key) != 0) {
-    // The receive was cancelled: refuse the grant so the sender unwinds.
-    send_cancel_cts(gate, chunk.tag, chunk.seq, chunk.cookie);
-    refill_all();
-    return;
-  }
-  auto it = gate.active_recv.find(key);
-  if (it == gate.active_recv.end()) {
-    auto ue = gate.unexpected.find(key);
-    if (ue != gate.unexpected.end() && ue->second.peer_cancelled) {
-      // The sender withdrew the message and this RTS straggled in behind
-      // the cancel notice (another rail, or a retransmission): drop it
-      // rather than park it in the tombstoned entry.
-      ++stats_.cancelled_payload_dropped;
-      return;
-    }
-    ++stats_.unexpected_chunks;
-    StoredRts rts;
-    rts.len = chunk.len;
-    rts.offset = chunk.offset;
-    rts.total = chunk.total;
-    rts.cookie = chunk.cookie;
-    gate.unexpected[key].rts.push_back(rts);
-    return;
-  }
-  start_rdv_recv(gate, it->second, chunk.len, chunk.offset, chunk.total,
-                 chunk.cookie);
-}
-
-void Core::start_rdv_recv(Gate& gate, RecvRequest* req, uint32_t len,
-                          uint32_t offset, uint32_t total, uint64_t cookie) {
-  if (gate.failed) return;  // unexpected-replay after a gate failure
-  if (!req->set_total(total)) {
-    // Truncation: no CTS is ever sent; the request carries the error.
-    finish_recv_if_done(gate, req);
-    return;
-  }
-
-  RdvRecv rec;
-  rec.request = req;
-  rec.len = len;
-  rec.offset = offset;
-  util::MutableBytes region = req->layout_.contiguous_region(offset, len);
-  if (region.empty() && len > 0) {
-    // Destination is scattered: receive through a bounce buffer, scatter
-    // on completion (costs a modelled memcpy — zero-copy only when the
-    // block lands contiguously, exactly the Figure 4 distinction).
-    rec.bounce.resize(len);
-    region = rec.bounce.view();
-  }
-  const GateId gate_id = gate.id;
-  rec.sink = std::make_unique<simnet::BulkSink>(
-      cookie, region, len, [this, gate_id, cookie]() {
-        // Defer: the sink is still on the delivery stack right now.
-        world_.after(0.0, [this, gate_id, cookie]() {
-          on_bulk_recv_complete(gate_id, cookie);
-        });
-      });
-  if (reliable()) {
-    // Every deposited slice is acknowledged back to the sender, which
-    // holds its copy until then.
-    rec.sink->set_on_deposit([this, gate_id, cookie](size_t dep_offset,
-                                                     size_t dep_len) {
-      Gate& g2 = this->gate(gate_id);
-      if (g2.failed) return;
-      BulkAck ack;
-      ack.cookie = cookie;
-      ack.offset = static_cast<uint32_t>(dep_offset);
-      ack.len = static_cast<uint32_t>(dep_len);
-      g2.pending_bulk_acks.push_back(ack);
-      schedule_ack(g2);
-    });
-  }
-
-  std::vector<uint8_t> posted_rails;
-  for (RailIndex r : gate.rails) {
-    if (!rails_[r].info.rdma || !rails_[r].alive) continue;
-    const util::Status st = rails_[r].driver->post_bulk_recv(rec.sink.get());
-    NMAD_ASSERT_MSG(st.is_ok(), "bulk post failed on RDMA rail");
-    posted_rails.push_back(static_cast<uint8_t>(r));
-  }
-  if (posted_rails.empty()) {
-    NMAD_ASSERT_MSG(reliable(), "RTS received but no RDMA rail available");
-    fail_gate(gate, util::closed("no alive RDMA rail for rendezvous"));
-    return;
-  }
-  rec.rails = posted_rails;
-  gate.rdv_recv.emplace(cookie, std::move(rec));
-
-  // Grant: the CTS is an ordinary control chunk — it rides the window and
-  // may be aggregated with outgoing data (key to the §5.3 strategy).
-  OutChunk* cts = new_chunk();
-  cts->kind = ChunkKind::kCts;
-  cts->flags = 0;
-  cts->tag = req->tag();
-  cts->seq = req->seq();
-  cts->cookie = cookie;
-  cts->cts_rails = std::move(posted_rails);
-  cts->prio = Priority::kHigh;
-  cts->owner = nullptr;
-  submit_chunk(gate, cts);
-  refill_all();
-}
-
-void Core::on_bulk_recv_complete(GateId gate_id, uint64_t cookie) {
-  Gate& g = gate(gate_id);
-  auto it = g.rdv_recv.find(cookie);
-  if (it == g.rdv_recv.end()) {
-    // The gate failed between the sink completing and this deferred
-    // event; the sink was already cancelled.
-    NMAD_ASSERT(g.failed);
-    return;
-  }
-  RdvRecv rec = std::move(it->second);
-  g.rdv_recv.erase(it);
-  // Late duplicate slices must be re-acked even though the sink is gone.
-  if (reliable()) g.completed_bulk.insert(cookie);
-
-  for (uint8_t r : rec.rails) {
-    rails_[r].driver->cancel_bulk_recv(cookie);
-  }
-
-  RecvRequest* req = rec.request;
-  const size_t len = rec.len;
-  if (!rec.bounce.empty()) {
-    // Bounce path: scatter into the real destination at memcpy cost. The
-    // deferred completion re-looks the receive up by key (see
-    // deliver_eager for why).
-    req->layout_.scatter(rec.offset, rec.bounce.view());
-    const simnet::SimTime done_at = node_.cpu().charge_memcpy(len);
-    const MsgKey key{req->tag(), req->seq()};
-    world_.at(done_at, [this, gate_id, key, len]() {
-      Gate& g2 = this->gate(gate_id);
-      auto ar = g2.active_recv.find(key);
-      if (ar == g2.active_recv.end()) return;
-      recv_add_bytes(g2, ar->second, len);
-    });
-  } else {
-    recv_add_bytes(g, req, len);
-  }
-}
-
-void Core::recv_add_bytes(Gate& gate, RecvRequest* req, size_t n) {
-  req->add_received(n);
-  finish_recv_if_done(gate, req);
-}
-
-void Core::finish_recv_if_done(Gate& gate, RecvRequest* req) {
-  if (!req->done()) return;
-  gate.active_recv.erase(MsgKey{req->tag(), req->seq()});
-}
-
-void Core::debug_dump(std::FILE* out) const {
-  std::fprintf(out, "=== nmad core on node %u (strategy %s) ===\n",
-               node_.id(), std::string(strategy_->name()).c_str());
-  for (size_t r = 0; r < rails_.size(); ++r) {
-    std::fprintf(out, "rail %zu: %s tx_idle=%d prebuilt=%d alive=%d", r,
-                 rails_[r].driver->caps().name.c_str(),
-                 rails_[r].driver->tx_idle() ? 1 : 0,
-                 rails_[r].prebuilt ? 1 : 0, rails_[r].alive ? 1 : 0);
-    if (config_.rail_health) {
-      const RailState& rs = rails_[r];
-      std::fprintf(out,
-                   " health=%s epoch=%u peer_epoch=%u heard=%.0fus_ago",
-                   rail_health_name(rs.health), rs.epoch, rs.peer_epoch,
-                   world_.now() - rs.last_rx_us);
-      if (rs.health == RailHealth::kProbation) {
-        std::fprintf(out, " probation=%u/%u", rs.probation_hits,
-                     config_.probation_replies);
-      }
-    }
-    std::fprintf(out, "\n");
-  }
-  for (const auto& gate : gates_) {
-    std::fprintf(out,
-                 "gate %u → peer %u: window=%zu ready_bulk=%zu "
-                 "rdv_wait_cts=%zu active_recv=%zu unexpected=%zu "
-                 "rdv_recv=%zu pending_pkts=%zu pending_bulk=%zu "
-                 "failed=%d\n",
-                 gate->id, gate->peer, gate->window.size(),
-                 gate->ready_bulk.size(), gate->rdv_wait_cts.size(),
-                 gate->active_recv.size(), gate->unexpected.size(),
-                 gate->rdv_recv.size(), gate->pending_pkts.size(),
-                 gate->pending_bulk.size(), gate->failed ? 1 : 0);
-    if (config_.flow_control) {
-      std::fprintf(
-          out,
-          "  credit: sent=%llu/%llu limit=%llu/%llu heard=%llu/%llu "
-          "advertised=%llu/%llu stored=%zu stalled=%d\n",
-          static_cast<unsigned long long>(gate->eager_sent_bytes),
-          static_cast<unsigned long long>(gate->eager_sent_chunks),
-          static_cast<unsigned long long>(gate->credit_limit_bytes),
-          static_cast<unsigned long long>(gate->credit_limit_chunks),
-          static_cast<unsigned long long>(gate->eager_heard_bytes),
-          static_cast<unsigned long long>(gate->eager_heard_chunks),
-          static_cast<unsigned long long>(gate->advertised_limit_bytes),
-          static_cast<unsigned long long>(gate->advertised_limit_chunks),
-          gate->stored_bytes, gate->credit_stalled ? 1 : 0);
-      // Outstanding grant: what the peer may still send against the last
-      // advertisement — the receiver-side exposure this gate represents.
-      const uint64_t grant_bytes =
-          gate->advertised_limit_bytes > gate->eager_heard_bytes
-              ? gate->advertised_limit_bytes - gate->eager_heard_bytes
-              : 0;
-      const uint64_t grant_chunks =
-          gate->advertised_limit_chunks > gate->eager_heard_chunks
-              ? gate->advertised_limit_chunks - gate->eager_heard_chunks
-              : 0;
-      std::fprintf(out,
-                   "  grants: outstanding=%llu bytes / %llu chunks "
-                   "window_eager=%zu probe_armed=%d update_needed=%d\n",
-                   static_cast<unsigned long long>(grant_bytes),
-                   static_cast<unsigned long long>(grant_chunks),
-                   gate->window_eager_bytes,
-                   gate->credit_probe_armed ? 1 : 0,
-                   gate->credit_update_needed ? 1 : 0);
-    }
-    if (config_.reliability &&
-        (!gate->pending_pkts.empty() || !gate->pending_bulk.empty())) {
-      // Retransmit state: how deep into backoff each kind of in-flight
-      // traffic is, and how much of it is queued waiting for a rail.
-      uint32_t pkt_retries = 0;
-      double pkt_timeout = 0.0;
-      size_t pkt_queued = 0;
-      for (const auto& [seq, p] : gate->pending_pkts) {
-        pkt_retries = std::max(pkt_retries, p.retries);
-        pkt_timeout = std::max(pkt_timeout, p.timeout_us);
-        if (p.queued_retx) ++pkt_queued;
-      }
-      uint32_t bulk_retries = 0;
-      double bulk_timeout = 0.0;
-      size_t bulk_queued = 0;
-      for (const auto& [key, p] : gate->pending_bulk) {
-        bulk_retries = std::max(bulk_retries, p.retries);
-        bulk_timeout = std::max(bulk_timeout, p.timeout_us);
-        if (p.queued_retx) ++bulk_queued;
-      }
-      std::fprintf(out,
-                   "  retx: pkts=%zu (queued=%zu retries<=%u "
-                   "timeout<=%.0fus) bulk=%zu (queued=%zu retries<=%u "
-                   "timeout<=%.0fus) floor=%u seen=%zu\n",
-                   gate->pending_pkts.size(), pkt_queued, pkt_retries,
-                   pkt_timeout, gate->pending_bulk.size(), bulk_queued,
-                   bulk_retries, bulk_timeout, gate->recv_floor,
-                   gate->recv_seen.size());
-    }
-  }
-  std::fprintf(out,
-               "stats: sends=%llu recvs=%llu packets=%llu/%llu "
-               "chunks=%llu agg=%llu rdv=%llu bulk=%llu prebuilt=%llu "
-               "unexpected=%llu\n",
-               static_cast<unsigned long long>(stats_.sends_submitted),
-               static_cast<unsigned long long>(stats_.recvs_submitted),
-               static_cast<unsigned long long>(stats_.packets_sent),
-               static_cast<unsigned long long>(stats_.packets_received),
-               static_cast<unsigned long long>(stats_.chunks_sent),
-               static_cast<unsigned long long>(stats_.chunks_aggregated),
-               static_cast<unsigned long long>(stats_.rdv_started),
-               static_cast<unsigned long long>(stats_.bulk_sends),
-               static_cast<unsigned long long>(stats_.packets_prebuilt),
-               static_cast<unsigned long long>(stats_.unexpected_chunks));
-  if (config_.reliability) {
-    std::fprintf(
-        out,
-        "reliability: timeouts=%llu retx=%llu rejected=%llu dup=%llu "
-        "acks=%llu piggy=%llu bulk_to=%llu bulk_retx=%llu "
-        "rails_failed=%llu gates_failed=%llu\n",
-        static_cast<unsigned long long>(stats_.packet_timeouts),
-        static_cast<unsigned long long>(stats_.packets_retransmitted),
-        static_cast<unsigned long long>(stats_.packets_rejected),
-        static_cast<unsigned long long>(stats_.packets_duplicate),
-        static_cast<unsigned long long>(stats_.acks_sent),
-        static_cast<unsigned long long>(stats_.acks_piggybacked),
-        static_cast<unsigned long long>(stats_.bulk_timeouts),
-        static_cast<unsigned long long>(stats_.bulk_retransmitted),
-        static_cast<unsigned long long>(stats_.rails_failed),
-        static_cast<unsigned long long>(stats_.gates_failed));
-  }
-  if (config_.rail_health) {
-    std::fprintf(
-        out,
-        "health: beacons=%llu/%llu probes=%llu replies=%llu fenced=%llu "
-        "suspected=%llu revived=%llu demoted=%llu\n",
-        static_cast<unsigned long long>(stats_.heartbeats_sent),
-        static_cast<unsigned long long>(stats_.heartbeats_received),
-        static_cast<unsigned long long>(stats_.probes_sent),
-        static_cast<unsigned long long>(stats_.probe_replies_sent),
-        static_cast<unsigned long long>(stats_.heartbeats_fenced),
-        static_cast<unsigned long long>(stats_.rails_suspected),
-        static_cast<unsigned long long>(stats_.rails_revived),
-        static_cast<unsigned long long>(stats_.probation_demotions));
-  }
-  if (stats_.drains_started != 0 || stats_.gates_closed != 0) {
-    std::fprintf(out, "drain: started=%llu completed=%llu gates_closed=%llu\n",
-                 static_cast<unsigned long long>(stats_.drains_started),
-                 static_cast<unsigned long long>(stats_.drains_completed),
-                 static_cast<unsigned long long>(stats_.gates_closed));
-  }
-  if (config_.flow_control) {
-    std::fprintf(
-        out,
-        "flow: grants=%llu stalls=%llu probes=%llu rdv_degrades=%llu "
-        "rx_stored=%llu rx_hwm=%llu\n",
-        static_cast<unsigned long long>(stats_.credit_grants),
-        static_cast<unsigned long long>(stats_.credit_stalls),
-        static_cast<unsigned long long>(stats_.credit_probes),
-        static_cast<unsigned long long>(stats_.credit_rdv_degrades),
-        static_cast<unsigned long long>(stats_.rx_stored_bytes),
-        static_cast<unsigned long long>(stats_.rx_stored_hwm));
-  }
-  if (stats_.sends_cancelled != 0 || stats_.recvs_cancelled != 0 ||
-      stats_.deadlines_exceeded != 0 || stats_.cancelled_payload_dropped != 0) {
-    std::fprintf(
-        out,
-        "cancel: sends=%llu recvs=%llu deadlines=%llu dropped=%llu\n",
-        static_cast<unsigned long long>(stats_.sends_cancelled),
-        static_cast<unsigned long long>(stats_.recvs_cancelled),
-        static_cast<unsigned long long>(stats_.deadlines_exceeded),
-        static_cast<unsigned long long>(stats_.cancelled_payload_dropped));
-  }
-}
-
-void Core::handle_cts(Gate& gate, const WireChunk& chunk) {
-  if ((chunk.flags & kFlagCancel) != 0) {
-    handle_cancel_cts(gate, chunk);
-    return;
-  }
-  auto it = gate.rdv_wait_cts.find(chunk.cookie);
-  if (it == gate.rdv_wait_cts.end()) {
-    // A grant racing our own withdrawal: consume the tombstone.
-    if (gate.cancelled_rdv.erase(chunk.cookie) > 0) return;
-    NMAD_ASSERT_MSG(false, "CTS for unknown cookie");
-    return;
-  }
-  BulkJob* job = it->second;
-  gate.rdv_wait_cts.erase(it);
-
-  // Keep only rails this side can actually drive (and the pinned rail, if
-  // the application constrained the message to one). The grant itself is
-  // recorded before the aliveness filter: the receiver's sinks stay
-  // posted through a blackout, so a granted rail that dies and later
-  // revives can be restored to the job (revive_rail).
-  job->rails.clear();
-  job->granted_rails.clear();
-  for (uint8_t r : chunk.rails) {
-    if (r >= rails_.size() || !rails_[r].info.rdma || !gate.has_rail(r)) {
-      continue;
-    }
-    if (job->pinned_rail != kAnyRail && job->pinned_rail != r) continue;
-    job->granted_rails.push_back(r);
-    if (!rails_[r].alive) continue;
-    job->rails.push_back(r);
-  }
-  if (job->rails.empty()) {
-    NMAD_ASSERT_MSG(reliable(), "CTS grants no usable rail");
-    const util::Status status =
-        util::closed("no usable rail for granted rendezvous");
-    job->owner->complete(status);
-    bulk_pool_.release(job);
-    fail_gate(gate, status);
-    return;
-  }
-  gate.ready_bulk.push_back(*job);
-  refill_all();
-}
-
 // ---------------------------------------------------------------------------
-// Reliability layer: acknowledgements, retransmission, rail failover
+// Gate failure / teardown
 // ---------------------------------------------------------------------------
-
-bool Core::reliable_rx_register(Gate& gate, uint32_t seq) {
-  if (seq < gate.recv_floor || gate.recv_seen.count(seq) != 0) return true;
-  gate.recv_seen.insert(seq);
-  while (gate.recv_seen.count(gate.recv_floor) != 0) {
-    gate.recv_seen.erase(gate.recv_floor);
-    ++gate.recv_floor;
-  }
-  return false;
-}
-
-OutChunk* Core::make_ack_chunk(Gate& gate) {
-  OutChunk* ack = new_chunk();
-  ack->kind = ChunkKind::kAck;
-  ack->flags = 0;
-  ack->tag = 0;
-  ack->seq = gate.recv_floor;  // cumulative floor rides the seq field
-  ack->offset = 0;
-  ack->total = 0;
-  ack->payload = {};
-  const size_t n_sacks = std::min(gate.recv_seen.size(), kMaxSacksPerAck);
-  ack->ack_sacks.assign(
-      gate.recv_seen.begin(),
-      std::next(gate.recv_seen.begin(), static_cast<ptrdiff_t>(n_sacks)));
-  const size_t n_bulk =
-      std::min(gate.pending_bulk_acks.size(), kMaxBulkAcksPerAck);
-  ack->ack_bulk_acks.assign(
-      gate.pending_bulk_acks.begin(),
-      gate.pending_bulk_acks.begin() + static_cast<ptrdiff_t>(n_bulk));
-  ack->prio = Priority::kHigh;
-  ack->pinned_rail = kAnyRail;
-  ack->owner = nullptr;
-  return ack;
-}
-
-void Core::commit_ack_chunk(Gate& gate, OutChunk* ack) {
-  // The chunk is definitely shipping: consume the bulk-slice acks it
-  // carries (the sender's timer re-sends the slice if this ack is lost).
-  // Packet acks are idempotent and re-advertised until the floor passes.
-  gate.pending_bulk_acks.erase(
-      gate.pending_bulk_acks.begin(),
-      gate.pending_bulk_acks.begin() +
-          static_cast<ptrdiff_t>(ack->ack_bulk_acks.size()));
-  gate.ack_needed = !gate.pending_bulk_acks.empty();
-  if (gate.ack_needed) {
-    if (!gate.ack_timer_armed) schedule_ack(gate);
-  } else if (gate.ack_timer_armed) {
-    world_.cancel(gate.ack_timer);
-    gate.ack_timer_armed = false;
-  }
-}
-
-void Core::maybe_inject_ack(Gate& gate, PacketBuilder& builder) {
-  if (!gate.ack_needed || gate.failed) return;
-  OutChunk* ack = make_ack_chunk(gate);
-  if (!builder.empty() && !builder.fits(*ack)) {
-    chunk_pool_.release(ack);
-    return;  // packet is full; the delayed-ack timer still covers us
-  }
-  builder.add(ack);
-  ++stats_.acks_piggybacked;
-  commit_ack_chunk(gate, ack);
-}
-
-void Core::schedule_ack(Gate& gate) {
-  gate.ack_needed = true;
-  if (gate.ack_timer_armed) return;
-  gate.ack_timer_armed = true;
-  const GateId gid = gate.id;
-  gate.ack_timer = world_.after(config_.ack_delay_us,
-                                [this, gid]() { on_ack_timer(gid); });
-}
-
-void Core::on_ack_timer(GateId gate_id) {
-  Gate& g = gate(gate_id);
-  g.ack_timer_armed = false;
-  if (g.failed || !g.ack_needed) return;
-  // No outgoing packet picked the ack up in time: send it standalone on
-  // an idle rail, bypassing the window (which may be at its cap). Prefer
-  // the rail the peer's traffic was last heard on — a rail that delivers
-  // inbound is the best guess for the return path when another rail of
-  // the gate has gone dark.
-  RailIndex chosen = kAnyRail;
-  bool any_alive = false;
-  if (g.has_rail(g.last_heard_rail) && rails_[g.last_heard_rail].alive) {
-    any_alive = true;
-    if (rails_[g.last_heard_rail].driver->tx_idle()) {
-      chosen = g.last_heard_rail;
-    }
-  }
-  for (RailIndex r : g.rails) {
-    if (chosen != kAnyRail) break;
-    if (!rails_[r].alive) continue;
-    any_alive = true;
-    if (rails_[r].driver->tx_idle()) {
-      chosen = r;
-      break;
-    }
-  }
-  if (!any_alive) return;  // nothing to ack over; the peer fails too
-  if (chosen == kAnyRail) {
-    schedule_ack(g);  // all rails busy: piggybacking will beat us anyway
-    return;
-  }
-  OutChunk* ack = make_ack_chunk(g);
-  commit_ack_chunk(g, ack);
-  ++stats_.acks_sent;
-  const RailInfo& info = rails_[chosen].info;
-  auto builder = std::make_shared<PacketBuilder>(
-      std::min(g.max_packet, info.max_packet_bytes),
-      info.gather ? info.max_gather_segments : 0, config_.wire_checksum,
-      /*reserve_seq=*/true);
-  builder->add(ack);
-  issue_packet(g, chosen, std::move(builder), /*charge_election=*/false);
-}
-
-void Core::handle_ack(Gate& gate, const WireChunk& chunk) {
-  if (!reliable()) return;  // stray ack without the layer enabled
-  while (!gate.pending_pkts.empty() &&
-         gate.pending_pkts.begin()->first < chunk.seq) {
-    retire_packet(gate, gate.pending_pkts.begin());
-  }
-  for (const uint32_t seq : chunk.sacks) {
-    auto it = gate.pending_pkts.find(seq);
-    if (it != gate.pending_pkts.end()) retire_packet(gate, it);
-  }
-  for (const BulkAck& ack : chunk.bulk_acks) retire_bulk(gate, ack);
-}
-
-void Core::retire_packet(Gate& gate,
-                         std::map<uint32_t, PendingPacket>::iterator it) {
-  PendingPacket& p = it->second;
-  if (p.timer_armed) world_.cancel(p.timer);
-  rails_[p.last_rail].consec_timeouts = 0;  // the rail delivered
-  std::vector<SendRequest*> owners = std::move(p.owners);
-  gate.pending_pkts.erase(it);
-  for (SendRequest* owner : owners) {
-    if (owner != nullptr) owner->part_done();  // null: cancelled mid-flight
-  }
-}
-
-void Core::retire_bulk(Gate& gate, const BulkAck& ack) {
-  auto it = gate.pending_bulk.find(BulkKey{ack.cookie, ack.offset});
-  if (it == gate.pending_bulk.end()) return;  // duplicate ack
-  PendingBulk& p = it->second;
-  if (p.len != ack.len) return;  // not this slice
-  if (p.timer_armed) world_.cancel(p.timer);
-  rails_[p.last_rail].consec_timeouts = 0;
-  BulkJob* job = p.job;
-  gate.pending_bulk.erase(it);
-  job->acked += ack.len;
-  if (job->all_sent() && job->all_acked()) {
-    SendRequest* owner = job->owner;
-    bulk_pool_.release(job);
-    owner->part_done();
-  }
-}
-
-void Core::arm_packet_timer(Gate& gate, uint32_t seq) {
-  auto it = gate.pending_pkts.find(seq);
-  NMAD_ASSERT(it != gate.pending_pkts.end());
-  PendingPacket& p = it->second;
-  NMAD_ASSERT(!p.timer_armed);
-  p.timer_armed = true;
-  const GateId gid = gate.id;
-  p.timer = world_.after(
-      p.timeout_us, [this, gid, seq]() { on_packet_timeout(gid, seq); });
-}
-
-void Core::arm_bulk_timer(Gate& gate, const BulkKey& key) {
-  auto it = gate.pending_bulk.find(key);
-  NMAD_ASSERT(it != gate.pending_bulk.end());
-  PendingBulk& p = it->second;
-  NMAD_ASSERT(!p.timer_armed);
-  p.timer_armed = true;
-  const GateId gid = gate.id;
-  p.timer = world_.after(
-      p.timeout_us, [this, gid, key]() { on_bulk_timeout(gid, key); });
-}
-
-void Core::on_packet_timeout(GateId gate_id, uint32_t seq) {
-  Gate& g = gate(gate_id);
-  if (g.failed) return;
-  auto it = g.pending_pkts.find(seq);
-  if (it == g.pending_pkts.end()) return;  // retired; stale timer
-  it->second.timer_armed = false;
-  ++stats_.packet_timeouts;
-  note_rail_timeout(it->second.last_rail);
-  // Rail death may have failed the gate or requeued this packet already.
-  if (g.failed) return;
-  it = g.pending_pkts.find(seq);
-  if (it == g.pending_pkts.end() || it->second.queued_retx) {
-    refill_all();
-    return;
-  }
-  PendingPacket& p = it->second;
-  if (p.retries >= config_.max_retries) {
-    fail_gate(g, util::resource_exhausted(
-                     "packet retransmission limit reached"));
-    return;
-  }
-  ++p.retries;
-  p.timeout_us *= config_.retry_backoff;
-  p.queued_retx = true;
-  g.retx_queue.push_back(seq);
-  refill_all();
-}
-
-void Core::on_bulk_timeout(GateId gate_id, BulkKey key) {
-  Gate& g = gate(gate_id);
-  if (g.failed) return;
-  auto it = g.pending_bulk.find(key);
-  if (it == g.pending_bulk.end()) return;  // retired; stale timer
-  it->second.timer_armed = false;
-  ++stats_.bulk_timeouts;
-  note_rail_timeout(it->second.last_rail);
-  if (g.failed) return;
-  it = g.pending_bulk.find(key);
-  if (it == g.pending_bulk.end() || it->second.queued_retx) {
-    refill_all();
-    return;
-  }
-  PendingBulk& p = it->second;
-  if (p.retries >= config_.max_retries) {
-    fail_gate(g, util::resource_exhausted(
-                     "rendezvous retransmission limit reached"));
-    return;
-  }
-  ++p.retries;
-  p.timeout_us *= config_.retry_backoff;
-  p.queued_retx = true;
-  g.bulk_retx.push_back(key);
-  refill_all();
-}
-
-void Core::retransmit_packet(Gate& gate, RailIndex rail, uint32_t seq) {
-  auto it = gate.pending_pkts.find(seq);
-  NMAD_ASSERT(it != gate.pending_pkts.end());
-  PendingPacket& p = it->second;
-  p.queued_retx = false;
-  if (p.timer_armed) {
-    world_.cancel(p.timer);
-    p.timer_armed = false;
-  }
-  p.last_rail = rail;
-  ++stats_.packets_retransmitted;
-  // Re-issuing is an election of sorts: the engine walked its queues.
-  node_.cpu().charge(config_.elect_overhead_us);
-  std::shared_ptr<util::ByteBuffer> wire = p.wire;
-  util::SegmentVec segments;
-  segments.add(wire->view());
-  const util::Status st = rails_[rail].driver->send_packet(
-      gate.peer, segments, [this, wire]() { refill_all(); });
-  NMAD_ASSERT_MSG(st.is_ok(), "driver rejected packet retransmit");
-  arm_packet_timer(gate, seq);
-}
-
-void Core::retransmit_bulk(Gate& gate, RailIndex rail, const BulkKey& key) {
-  auto it = gate.pending_bulk.find(key);
-  NMAD_ASSERT(it != gate.pending_bulk.end());
-  PendingBulk& p = it->second;
-  p.queued_retx = false;
-  if (p.timer_armed) {
-    world_.cancel(p.timer);
-    p.timer_armed = false;
-  }
-  p.last_rail = rail;
-  ++stats_.bulk_retransmitted;
-  node_.cpu().charge(config_.elect_overhead_us);
-  util::SegmentVec segments;
-  segments.add(p.job->body.subspan(p.offset, p.len));
-  const util::Status st = rails_[rail].driver->send_bulk(
-      gate.peer, key.first, p.offset, segments,
-      [this]() { refill_all(); });
-  NMAD_ASSERT_MSG(st.is_ok(), "driver rejected bulk retransmit");
-  arm_bulk_timer(gate, key);
-}
-
-void Core::note_rail_timeout(RailIndex rail) {
-  if (config_.rail_dead_after == 0) return;
-  RailState& rs = rails_[rail];
-  if (!rs.alive) return;
-  if (++rs.consec_timeouts >= config_.rail_dead_after) kill_rail(rail);
-}
-
-void Core::kill_rail(RailIndex rail) {
-  NMAD_ASSERT(rail < rails_.size());
-  RailState& rs = rails_[rail];
-  if (!rs.alive) return;
-  rs.alive = false;
-  rs.health = RailHealth::kDead;
-  // A new epoch fences this rail's earlier life: probe replies and
-  // beacons carrying the old value no longer count toward revival.
-  ++rs.epoch;
-  rs.probation_hits = 0;
-  rs.last_probe_us = -1.0e18;  // probe at the very next health tick
-  ++stats_.rails_failed;
-  NMAD_LOG_WARN("nmad: node %u declares rail %u (%s) dead (epoch %u)",
-                node_.id(), static_cast<unsigned>(rail),
-                rs.driver->caps().name.c_str(), rs.epoch);
-
-  // A packet elected early for this rail goes back to its gate's window
-  // for re-election elsewhere.
-  if (rs.prebuilt) {
-    Gate& pg = gate(rs.prebuilt_gate);
-    for (OutChunk* chunk : rs.prebuilt->chunks()) {
-      pg.window.push_back(*chunk);
-    }
-    rs.prebuilt.reset();
-  }
-
-  for (auto& gate_ptr : gates_) {
-    Gate& g = *gate_ptr;
-    if (g.failed || !g.has_rail(rail)) continue;
-    bool any_alive = false;
-    for (RailIndex r : g.rails) {
-      if (rails_[r].alive) {
-        any_alive = true;
-        break;
-      }
-    }
-    if (!any_alive) {
-      fail_gate(g, util::closed("all rails to peer unreachable"));
-      continue;
-    }
-
-    // Unpin traffic the application pinned to the dead rail: delivery
-    // beats placement once the rail is gone.
-    for (OutChunk& chunk : g.window) {
-      if (chunk.pinned_rail == rail) chunk.pinned_rail = kAnyRail;
-    }
-    for (auto& [cookie, job] : g.rdv_wait_cts) {
-      if (job->pinned_rail == rail) job->pinned_rail = kAnyRail;
-    }
-
-    // Re-elect in-flight traffic that last rode the dead rail.
-    for (auto& [seq, p] : g.pending_pkts) {
-      if (p.last_rail != rail || p.queued_retx) continue;
-      if (p.timer_armed) {
-        world_.cancel(p.timer);
-        p.timer_armed = false;
-      }
-      p.queued_retx = true;
-      g.retx_queue.push_back(seq);
-    }
-    for (auto& [key, p] : g.pending_bulk) {
-      if (p.last_rail != rail || p.queued_retx) continue;
-      if (p.timer_armed) {
-        world_.cancel(p.timer);
-        p.timer_armed = false;
-      }
-      p.queued_retx = true;
-      g.bulk_retx.push_back(key);
-    }
-
-    // Rendezvous jobs lose the rail from their grant; a job with no
-    // usable rail left can never move its body, so the gate fails (the
-    // receive side is stuck waiting on a posted sink otherwise).
-    std::set<BulkJob*> jobs;
-    for (BulkJob& job : g.ready_bulk) jobs.insert(&job);
-    for (auto& [key, p] : g.pending_bulk) jobs.insert(p.job);
-    bool gate_dead = false;
-    for (BulkJob* job : jobs) {
-      if (job->pinned_rail == rail) job->pinned_rail = kAnyRail;
-      auto& jr = job->rails;
-      jr.erase(
-          std::remove(jr.begin(), jr.end(), static_cast<uint8_t>(rail)),
-          jr.end());
-      if (jr.empty()) {
-        gate_dead = true;
-        break;
-      }
-    }
-    if (gate_dead) {
-      fail_gate(g, util::closed("no surviving rail for rendezvous body"));
-    }
-  }
-  refill_all();
-}
 
 void Core::fail_gate(Gate& gate, const util::Status& status) {
   if (gate.failed) return;
@@ -1675,81 +369,23 @@ void Core::close_gate(GateId id) {
   Gate& g = gate(id);
   if (g.failed) return;
   ++stats_.gates_closed;
+  bus_.publish({.kind = EventKind::kDrainMilestone, .gate = id, .a = 2});
   teardown_gate(g, util::closed("gate closed by the local endpoint"));
 }
 
 void Core::teardown_gate(Gate& gate, const util::Status& status) {
+  // `failed` is set before any layer runs so re-entrant paths (a
+  // completion callback submitting more traffic, a discharge trying to
+  // re-advertise credit) see the gate as already gone.
   gate.failed = true;
   gate.fail_status = status;
-
-  if (gate.ack_timer_armed) {
-    world_.cancel(gate.ack_timer);
-    gate.ack_timer_armed = false;
-  }
-  if (gate.credit_probe_armed) {
-    world_.cancel(gate.credit_probe_timer);
-    gate.credit_probe_armed = false;
-  }
-
-  // Window chunks: owners learn the error; control chunks just vanish.
-  while (!gate.window.empty()) {
-    OutChunk& chunk = gate.window.pop_front();
-    if (chunk.owner != nullptr) chunk.owner->complete(status);
-    chunk_pool_.release(&chunk);
-  }
-
-  // Packets elected early for this gate on any rail.
-  for (auto& rs : rails_) {
-    if (rs.prebuilt && rs.prebuilt_gate == gate.id) {
-      for (OutChunk* chunk : rs.prebuilt->chunks()) {
-        if (chunk->owner != nullptr) chunk->owner->complete(status);
-        chunk_pool_.release(chunk);
-      }
-      rs.prebuilt.reset();
-    }
-  }
-
-  // In-flight reliable packets (null owners: chunks cancelled mid-flight).
-  for (auto& [seq, p] : gate.pending_pkts) {
-    if (p.timer_armed) world_.cancel(p.timer);
-    for (SendRequest* owner : p.owners) {
-      if (owner != nullptr) owner->complete(status);
-    }
-  }
-  gate.pending_pkts.clear();
-  gate.retx_queue.clear();
-
-  // Rendezvous jobs in every stage of the protocol.
-  std::set<BulkJob*> jobs;
-  for (auto& [key, p] : gate.pending_bulk) {
-    if (p.timer_armed) world_.cancel(p.timer);
-    jobs.insert(p.job);
-  }
-  gate.pending_bulk.clear();
-  gate.bulk_retx.clear();
-  while (!gate.ready_bulk.empty()) jobs.insert(&gate.ready_bulk.pop_front());
-  for (auto& [cookie, job] : gate.rdv_wait_cts) jobs.insert(job);
-  gate.rdv_wait_cts.clear();
-  for (BulkJob* job : jobs) {
-    if (job->owner != nullptr) job->owner->complete(status);
-    bulk_pool_.release(job);
-  }
-
-  // Receive side: posted receives learn the error; posted sinks go away.
-  for (auto& [cookie, rec] : gate.rdv_recv) {
-    for (uint8_t r : rec.rails) rails_[r].driver->cancel_bulk_recv(cookie);
-  }
-  gate.rdv_recv.clear();
-  for (auto& [key, req] : gate.active_recv) req->complete(status);
-  gate.active_recv.clear();
-  // Release the rx budget held by this peer's parked fragments. `failed`
-  // is already set, so the discharge does not try to re-advertise credit.
-  if (gate.stored_bytes > 0 || gate.stored_chunks > 0) {
-    rx_store_discharge(gate, gate.stored_bytes, gate.stored_chunks);
-  }
-  gate.unexpected.clear();
-  gate.recv_seen.clear();
-  gate.pending_bulk_acks.clear();
+  // Send side first (window, prebuilt packets, reliability windows,
+  // rendezvous jobs), then the receive side (sinks, matched receives,
+  // the unexpected store), then the scheduling residue the receive-side
+  // teardown may have touched (dedup set, deferred bulk acks).
+  sched_.teardown_send(gate, status);
+  collect_.teardown(gate, status);
+  sched_.teardown_finish(gate);
 }
 
 void Core::on_bulk_orphan(drivers::PeerAddr from, uint64_t cookie,
@@ -1758,284 +394,30 @@ void Core::on_bulk_orphan(drivers::PeerAddr from, uint64_t cookie,
   if (it == peer_gate_.end()) return;
   Gate& g = *gates_[it->second];
   if (g.failed) return;
-  if (g.completed_bulk.count(cookie) == 0) return;  // truly unknown: drop
-  // A retransmitted slice landed after its sink completed: the bytes are
-  // already in place, but the sender still waits for the ack.
-  BulkAck ack;
-  ack.cookie = cookie;
-  ack.offset = static_cast<uint32_t>(offset);
-  ack.len = static_cast<uint32_t>(len);
-  g.pending_bulk_acks.push_back(ack);
-  schedule_ack(g);
+  sched_.on_bulk_orphan(g, cookie, offset, len);
 }
 
 // ---------------------------------------------------------------------------
-// Rail health lifecycle (CoreConfig::rail_health)
-//
-// Liveness is active and symmetric: every engine beacons on every rail (at
-// most one kHeartbeat per interval per peer, piggybacked when traffic
-// flows), and anything *heard* on a rail refreshes it — so a healthy but
-// idle fabric stays quiet-but-alive, and detection of a dead link no
-// longer depends on in-flight data timing out. Revival is epoch-fenced: a
-// dead rail is probed, the peer echoes the probe's epoch, and only replies
-// carrying the rail's current epoch advance probation. Any straggler from
-// an earlier life — a delayed reply, a beacon inside a retransmitted wire
-// image — is fenced and dropped.
-// ---------------------------------------------------------------------------
-
-void Core::start_health_monitors() {
-  NMAD_ASSERT_MSG(config_.heartbeat_interval_us > 0.0 &&
-                      config_.probe_interval_us > 0.0,
-                  "rail_health needs positive intervals");
-  health_monitors_started_ = true;
-  const double now = world_.now();
-  for (RailIndex r = 0; r < static_cast<RailIndex>(rails_.size()); ++r) {
-    RailState& rs = rails_[r];
-    rs.last_rx_us = now;  // silence is counted from connect, not time zero
-    rs.health_timer_armed = true;
-    rs.health_timer = world_.after(config_.heartbeat_interval_us,
-                                   [this, r]() { on_health_tick(r); });
-  }
-}
-
-void Core::stop_health_monitors() {
-  for (RailState& rs : rails_) {
-    if (rs.health_timer_armed) {
-      world_.cancel(rs.health_timer);
-      rs.health_timer_armed = false;
-    }
-  }
-  health_monitors_started_ = false;
-}
-
-double& Core::hb_tx_slot(RailState& rs, GateId id) {
-  if (rs.hb_tx_us.size() <= id) {
-    rs.hb_tx_us.resize(std::max(gates_.size(), size_t{id} + 1), -1.0e18);
-  }
-  return rs.hb_tx_us[id];
-}
-
-OutChunk* Core::make_heartbeat_chunk(uint8_t flags, uint32_t epoch) {
-  OutChunk* hb = new_chunk();
-  hb->kind = ChunkKind::kHeartbeat;
-  hb->flags = flags;
-  hb->tag = 0;
-  hb->seq = epoch;  // the rail epoch rides the seq field
-  hb->prio = Priority::kHigh;
-  hb->owner = nullptr;
-  return hb;
-}
-
-void Core::maybe_inject_heartbeat(Gate& gate, RailIndex rail,
-                                  PacketBuilder& builder) {
-  RailState& rs = rails_[rail];
-  double& last = hb_tx_slot(rs, gate.id);
-  if (world_.now() - last < config_.heartbeat_interval_us) return;
-  OutChunk* hb = make_heartbeat_chunk(kFlagNone, rs.epoch);
-  if (!builder.fits(*hb)) {
-    chunk_pool_.release(hb);
-    return;
-  }
-  builder.add(hb);
-  last = world_.now();
-  ++stats_.heartbeats_sent;
-}
-
-void Core::send_standalone_heartbeat(Gate& gate, RailIndex rail,
-                                     uint8_t flags, uint32_t epoch) {
-  RailState& rs = rails_[rail];
-  const RailInfo& info = rs.info;
-  auto builder = std::make_shared<PacketBuilder>(
-      std::min(gate.max_packet, info.max_packet_bytes),
-      info.gather ? info.max_gather_segments : 0, config_.wire_checksum,
-      /*reserve_seq=*/true);
-  builder->add(make_heartbeat_chunk(flags, epoch));
-  // Refresh the beacon slot before issue_packet, which would otherwise
-  // piggyback a second (now redundant) plain beacon onto this packet.
-  hb_tx_slot(rs, gate.id) = world_.now();
-  if ((flags & kFlagProbe) != 0) {
-    ++stats_.probes_sent;
-  } else if ((flags & kFlagReply) != 0) {
-    ++stats_.probe_replies_sent;
-  } else {
-    ++stats_.heartbeats_sent;
-  }
-  issue_packet(gate, rail, std::move(builder), /*charge_election=*/false);
-}
-
-void Core::on_health_tick(RailIndex rail) {
-  RailState& rs = rails_[rail];
-  rs.health_timer_armed = false;
-  const double now = world_.now();
-
-  if (rs.alive) {
-    if (now - rs.last_rx_us >= config_.dead_after_us) {
-      // Sustained silence despite our beacons provoking acks: the link is
-      // gone. kill_rail re-elects its in-flight traffic and bumps the
-      // epoch; the dead branch below starts probing for revival.
-      kill_rail(rail);
-    } else {
-      if (now - rs.last_rx_us >= config_.suspect_after_us) {
-        if (rs.health == RailHealth::kAlive) {
-          rs.health = RailHealth::kSuspect;
-          ++stats_.rails_suspected;
-        }
-      }
-      // Beacon duty: one standalone heartbeat per tick, to the peer that
-      // has waited longest (piggybacking covers the rest when traffic
-      // flows). One per tick keeps the NIC contention negligible; the
-      // suspect/dead thresholds leave room for the rotation.
-      if (rs.driver->tx_idle()) {
-        Gate* stalest = nullptr;
-        double stalest_at = 0.0;
-        for (auto& gate_ptr : gates_) {
-          Gate& g = *gate_ptr;
-          if (g.failed || !g.has_rail(rail)) continue;
-          const double at = hb_tx_slot(rs, g.id);
-          if (stalest == nullptr || at < stalest_at) {
-            stalest = &g;
-            stalest_at = at;
-          }
-        }
-        if (stalest != nullptr &&
-            now - stalest_at >= config_.heartbeat_interval_us) {
-          send_standalone_heartbeat(*stalest, rail, kFlagNone, rs.epoch);
-        }
-      }
-    }
-  } else {
-    if (rs.health == RailHealth::kProbation &&
-        now - rs.last_fresh_reply_us > 2.0 * config_.probe_interval_us) {
-      // Replies dried up mid-probation: back to dead under a new epoch,
-      // so stragglers from the aborted attempt cannot count again.
-      rs.health = RailHealth::kDead;
-      ++rs.epoch;
-      rs.probation_hits = 0;
-      ++stats_.probation_demotions;
-    }
-    if (now - rs.last_probe_us >= config_.probe_interval_us &&
-        rs.driver->tx_idle()) {
-      rs.last_probe_us = now;
-      // Any peer's reply is proof the local link works; probe the first
-      // live gate on the rail.
-      for (auto& gate_ptr : gates_) {
-        Gate& g = *gate_ptr;
-        if (g.failed || !g.has_rail(rail)) continue;
-        send_standalone_heartbeat(g, rail, kFlagProbe, rs.epoch);
-        break;
-      }
-    }
-  }
-
-  rs.health_timer_armed = true;
-  rs.health_timer = world_.after(config_.heartbeat_interval_us,
-                                 [this, rail]() { on_health_tick(rail); });
-}
-
-void Core::handle_heartbeat(Gate& gate, RailIndex rail,
-                            const WireChunk& chunk) {
-  RailState& rs = rails_[rail];
-  if ((chunk.flags & kFlagProbe) != 0) {
-    // The probe reached us, which is itself proof the link carries
-    // traffic; echo its epoch back so the prober can fence replies that
-    // straddle a further death. Replying is best-effort — the prober
-    // retries on its own schedule.
-    if (!gate.failed && rs.driver->tx_idle()) {
-      send_standalone_heartbeat(gate, rail, kFlagReply, chunk.seq);
-    }
-    return;
-  }
-  if ((chunk.flags & kFlagReply) != 0) {
-    if (rs.alive || chunk.seq != rs.epoch) {
-      // A reply for an epoch this rail has moved past (or a rail that
-      // already revived): it proves nothing about the current life.
-      ++stats_.heartbeats_fenced;
-      return;
-    }
-    rs.health = RailHealth::kProbation;
-    rs.last_fresh_reply_us = world_.now();
-    if (++rs.probation_hits >= config_.probation_replies) {
-      revive_rail(rail);
-    }
-    return;
-  }
-  // Plain beacon. The peer's epoch only ever grows; an older value is a
-  // stale wire image (a beacon piggybacked on a packet that was flattened
-  // for retransmission before the peer's rail died) — fence it.
-  if (chunk.seq < rs.peer_epoch) {
-    ++stats_.heartbeats_fenced;
-    return;
-  }
-  rs.peer_epoch = chunk.seq;
-  ++stats_.heartbeats_received;
-}
-
-void Core::revive_rail(RailIndex rail) {
-  NMAD_ASSERT(rail < rails_.size());
-  RailState& rs = rails_[rail];
-  if (rs.alive) return;
-  rs.alive = true;
-  rs.health = RailHealth::kAlive;
-  rs.consec_timeouts = 0;
-  rs.probation_hits = 0;
-  rs.last_rx_us = world_.now();
-  ++stats_.rails_revived;
-  NMAD_LOG_WARN("nmad: node %u revives rail %u (%s) at epoch %u",
-                node_.id(), static_cast<unsigned>(rail),
-                rs.driver->caps().name.c_str(), rs.epoch);
-
-  // Hand the rail back to rendezvous jobs whose CTS granted it: the
-  // receiver's sinks stayed posted through the blackout, so the grant is
-  // still honoured. Election then rebalances onto it naturally.
-  for (auto& gate_ptr : gates_) {
-    Gate& g = *gate_ptr;
-    if (g.failed || !g.has_rail(rail)) continue;
-    std::set<BulkJob*> jobs;
-    for (BulkJob& job : g.ready_bulk) jobs.insert(&job);
-    for (auto& [key, p] : g.pending_bulk) jobs.insert(p.job);
-    for (BulkJob* job : jobs) {
-      if (job->allows_rail(rail)) continue;
-      if (job->pinned_rail != kAnyRail && job->pinned_rail != rail) continue;
-      const auto& granted = job->granted_rails;
-      if (std::find(granted.begin(), granted.end(),
-                    static_cast<uint8_t>(rail)) != granted.end()) {
-        job->rails.push_back(static_cast<uint8_t>(rail));
-      }
-    }
-  }
-  refill_all();
-}
-
-// ---------------------------------------------------------------------------
-// Graceful drain / shutdown
+// Drain
 // ---------------------------------------------------------------------------
 
 bool Core::drained() const {
   for (const auto& gate_ptr : gates_) {
     const Gate& g = *gate_ptr;
     if (g.failed) continue;
-    if (!g.window.empty() || !g.ready_bulk.empty() ||
-        !g.rdv_wait_cts.empty() || !g.rdv_recv.empty()) {
-      return false;
-    }
-    if (!g.pending_pkts.empty() || !g.pending_bulk.empty() ||
-        !g.retx_queue.empty() || !g.bulk_retx.empty()) {
-      return false;
-    }
-    if (g.ack_needed || !g.pending_bulk_acks.empty()) return false;
+    if (!sched_.flushed(g) || !collect_.flushed(g)) return false;
   }
-  for (const RailState& rs : rails_) {
-    if (rs.prebuilt) return false;  // elected early, never transmitted
-    // Without reliability no engine structure tracks a packet after its
-    // election, so "flushed" must also mean the transmit engines are
-    // quiet: a frame mid-DMA completes its sends only at tx-done.
-    if (rs.alive && rs.driver && !rs.driver->tx_idle()) return false;
-  }
-  return true;
+  // Without reliability no engine structure tracks a packet after its
+  // election, so "flushed" must also mean the transmit engines are
+  // quiet: a frame mid-DMA completes its sends only at tx-done.
+  return sched_.rails_flushed();
 }
 
 util::Status Core::drain(double deadline_us) {
   ++stats_.drains_started;
+  bus_.publish({.kind = EventKind::kDrainMilestone,
+                .a = 0,
+                .b = static_cast<uint64_t>(deadline_us)});
   const double deadline = world_.now() + deadline_us;
   while (!drained()) {
     if (world_.now() >= deadline) {
@@ -2054,291 +436,12 @@ util::Status Core::drain(double deadline_us) {
     return util::internal_error("drain audit: " + failures.front());
   }
   ++stats_.drains_completed;
+  bus_.publish({.kind = EventKind::kDrainMilestone, .a = 1});
   return util::ok_status();
 }
 
 // ---------------------------------------------------------------------------
-// Flow control (CoreConfig::flow_control)
-//
-// The receiver advertises cumulative admission limits — "you may have sent
-// me at most L bytes / N chunks of eager payload since the connection
-// opened". Cumulative limits (rather than deltas) make the scheme immune
-// to loss and reordering: the sender keeps max(limit seen so far) and a
-// stale or lost advertisement is simply superseded by the next one.
-// ---------------------------------------------------------------------------
-
-bool Core::credit_admits(Gate& gate, const OutChunk& chunk) {
-  if (!flow_control() || gate.failed) return true;
-  if (chunk.is_control() || chunk.payload.empty() || chunk.credit_charged) {
-    return true;  // control traffic and re-homed chunks always flow
-  }
-  if (gate.eager_sent_bytes + chunk.payload.size() <=
-          gate.credit_limit_bytes &&
-      gate.eager_sent_chunks + 1 <= gate.credit_limit_chunks) {
-    return true;
-  }
-  note_credit_stall(gate);
-  return false;
-}
-
-void Core::charge_credit(Gate& gate, OutChunk& chunk) {
-  if (!flow_control() || chunk.credit_charged || chunk.is_control() ||
-      chunk.payload.empty()) {
-    return;
-  }
-  if (skip_credit_charges_ > 0) [[unlikely]] {
-    // Injected protocol bug (test_skip_next_credit_charge): the chunk
-    // ships without being charged, so the receiver hears traffic the
-    // sender never accounted for.
-    --skip_credit_charges_;
-    return;
-  }
-  chunk.credit_charged = true;
-  gate.eager_sent_bytes += chunk.payload.size();
-  gate.eager_sent_chunks += 1;
-  gate.window_eager_bytes -=
-      std::min(gate.window_eager_bytes, chunk.payload.size());
-}
-
-void Core::note_credit_stall(Gate& gate) {
-  ++stats_.credit_stalls;
-  gate.credit_stalled = true;
-  if (gate.credit_probe_armed || config_.credit_probe_us <= 0.0) return;
-  gate.credit_probe_armed = true;
-  const GateId gid = gate.id;
-  gate.credit_probe_timer = world_.after(
-      config_.credit_probe_us, [this, gid]() { on_credit_probe(gid); });
-}
-
-void Core::on_credit_probe(GateId gate_id) {
-  Gate& g = gate(gate_id);
-  g.credit_probe_armed = false;
-  if (g.failed || !g.credit_stalled) return;
-  // While anything of ours is still unacked, a piggybacked credit update
-  // can still come home on its ack: keep waiting.
-  if (!g.pending_pkts.empty() || !g.pending_bulk.empty()) {
-    g.credit_probe_armed = true;
-    g.credit_probe_timer = world_.after(
-        config_.credit_probe_us,
-        [this, gate_id]() { on_credit_probe(gate_id); });
-    return;
-  }
-  // Anything actually held back? The flag can outlive the traffic (the
-  // stalled chunks may have been cancelled); if nothing in the window is
-  // waiting on credit, the stall is over and the timer stays down.
-  bool held = false;
-  for (const OutChunk& c : g.window) {
-    if (!c.is_control() && !c.payload.empty() && !c.credit_charged) {
-      held = true;
-      break;
-    }
-  }
-  if (!held) {
-    g.credit_stalled = false;
-    return;
-  }
-  // Quiet gate, stalled sender: either the peer's store is full, or its
-  // last credit update was lost (standalone ack/credit packets are
-  // fire-and-forget). We cannot tell which from here, and force-admitting
-  // would breach the receiver's budget — so ask instead: a kCredit chunk
-  // with zero limits is a no-op under the monotone-max rule, which lets
-  // the zero value double as "please restate your limits". A lost update
-  // comes back on the answer; a genuinely full receiver restates the old
-  // limits and we simply probe again.
-  RailIndex chosen = kAnyRail;
-  bool any_alive = false;
-  if (g.has_rail(g.last_heard_rail) && rails_[g.last_heard_rail].alive) {
-    any_alive = true;
-    if (rails_[g.last_heard_rail].driver->tx_idle()) {
-      chosen = g.last_heard_rail;
-    }
-  }
-  for (RailIndex r : g.rails) {
-    if (chosen != kAnyRail) break;
-    if (!rails_[r].alive) continue;
-    any_alive = true;
-    if (rails_[r].driver->tx_idle()) {
-      chosen = r;
-      break;
-    }
-  }
-  if (!any_alive) return;  // every rail is gone; failure detection acts
-  if (chosen != kAnyRail) {
-    OutChunk* req = new_chunk();
-    req->kind = ChunkKind::kCredit;
-    req->flags = 0;
-    req->credit_bytes = 0;
-    req->credit_chunks = 0;
-    req->prio = Priority::kHigh;
-    req->owner = nullptr;
-    const RailInfo& info = rails_[chosen].info;
-    auto builder = std::make_shared<PacketBuilder>(
-        std::min(g.max_packet, info.max_packet_bytes),
-        info.gather ? info.max_gather_segments : 0, config_.wire_checksum,
-        /*reserve_seq=*/true);
-    builder->add(req);
-    issue_packet(g, chosen, std::move(builder), /*charge_election=*/false);
-    ++stats_.credit_probes;
-  }
-  // Keep probing until the limits grow (handle_credit cancels the timer)
-  // or the held-back traffic goes away.
-  g.credit_probe_armed = true;
-  g.credit_probe_timer = world_.after(
-      config_.credit_probe_us, [this, gate_id]() { on_credit_probe(gate_id); });
-}
-
-void Core::refresh_advert(Gate& gate) {
-  if (gate.failed) return;
-  // Bytes. With a budget, grant exactly the room the store has left after
-  // what is parked plus what the *other* peers may still send against
-  // their outstanding grants; this gate's own outstanding grant is being
-  // recomputed, so it is excluded.
-  uint64_t want_bytes = gate.advertised_limit_bytes;
-  if (config_.rx_budget == 0) {
-    if (config_.initial_credit_bytes != 0) {
-      want_bytes = gate.eager_heard_bytes + config_.initial_credit_bytes;
-    }
-  } else {
-    const uint64_t budget =
-        std::max<uint64_t>(config_.rx_budget, gate.max_packet);
-    uint64_t used = 0;
-    for (const auto& g : gates_) {
-      used += g->stored_bytes;
-      if (g.get() != &gate &&
-          g->advertised_limit_bytes > g->eager_heard_bytes) {
-        used += g->advertised_limit_bytes - g->eager_heard_bytes;
-      }
-    }
-    uint64_t avail = budget > used ? budget - used : 0;
-    // Cap the outstanding grant at the initial window. Adverts are
-    // monotone, so an over-generous grant to a sender that then goes idle
-    // is stranded forever — and a stranded grant the size of the whole
-    // budget starves every other peer (deadlock). Capping bounds the
-    // stranding to one initial window per idle gate, and the config rule
-    // "Σ initial grants ≤ budget" then guarantees each gate can always be
-    // re-granted its window: no peer can be starved out.
-    if (config_.initial_credit_bytes != 0) {
-      avail = std::min<uint64_t>(avail, config_.initial_credit_bytes);
-    }
-    want_bytes = gate.eager_heard_bytes + avail;
-  }
-  if (want_bytes > gate.advertised_limit_bytes) {
-    gate.advertised_limit_bytes = want_bytes;  // monotone, never retreats
-  }
-  // Chunk count, same shape.
-  uint64_t want_chunks = gate.advertised_limit_chunks;
-  if (config_.rx_budget_msgs == 0) {
-    if (config_.initial_credit_msgs != 0) {
-      want_chunks = gate.eager_heard_chunks + config_.initial_credit_msgs;
-    }
-  } else {
-    const uint64_t budget = std::max<uint64_t>(config_.rx_budget_msgs, 1);
-    uint64_t used = 0;
-    for (const auto& g : gates_) {
-      used += g->stored_chunks;
-      if (g.get() != &gate &&
-          g->advertised_limit_chunks > g->eager_heard_chunks) {
-        used += g->advertised_limit_chunks - g->eager_heard_chunks;
-      }
-    }
-    uint64_t avail = budget > used ? budget - used : 0;
-    if (config_.initial_credit_msgs != 0) {  // same stranding cap as bytes
-      avail = std::min<uint64_t>(avail, config_.initial_credit_msgs);
-    }
-    want_chunks = gate.eager_heard_chunks + avail;
-  }
-  if (want_chunks > gate.advertised_limit_chunks) {
-    gate.advertised_limit_chunks = want_chunks;
-  }
-}
-
-OutChunk* Core::make_credit_chunk(Gate& gate) {
-  refresh_advert(gate);
-  if (!gate.credit_update_needed &&
-      gate.advertised_limit_bytes == gate.last_sent_limit_bytes &&
-      gate.advertised_limit_chunks == gate.last_sent_limit_chunks) {
-    return nullptr;  // the peer already knows everything we could say
-  }
-  OutChunk* chunk = new_chunk();
-  chunk->kind = ChunkKind::kCredit;
-  chunk->flags = 0;
-  chunk->credit_bytes = gate.advertised_limit_bytes;
-  chunk->credit_chunks = gate.advertised_limit_chunks;
-  chunk->prio = Priority::kHigh;
-  chunk->owner = nullptr;
-  return chunk;
-}
-
-void Core::maybe_inject_credit(Gate& gate, PacketBuilder& builder) {
-  if (!flow_control() || gate.failed) return;
-  OutChunk* credit = make_credit_chunk(gate);
-  if (credit == nullptr) return;
-  if (!builder.empty() && !builder.fits(*credit)) {
-    chunk_pool_.release(credit);
-    return;  // packet is full; the next one (or an ack) carries the update
-  }
-  builder.add(credit);
-  gate.last_sent_limit_bytes = gate.advertised_limit_bytes;
-  gate.last_sent_limit_chunks = gate.advertised_limit_chunks;
-  gate.credit_update_needed = false;
-  ++stats_.credit_grants;
-}
-
-void Core::handle_credit(Gate& gate, const WireChunk& chunk) {
-  if (!flow_control()) return;
-  if (chunk.credit_bytes == 0 && chunk.credit_chunks == 0) {
-    // A credit *request* from a stalled sender (see on_credit_probe):
-    // restate our current limits on the ack path, even if they have not
-    // moved since the last advertisement.
-    if (!gate.failed) {
-      gate.credit_update_needed = true;
-      schedule_ack(gate);
-    }
-    return;
-  }
-  bool grew = false;
-  if (chunk.credit_bytes > gate.credit_limit_bytes) {
-    gate.credit_limit_bytes = chunk.credit_bytes;
-    grew = true;
-  }
-  if (chunk.credit_chunks > gate.credit_limit_chunks) {
-    gate.credit_limit_chunks = chunk.credit_chunks;
-    grew = true;
-  }
-  if (!grew) return;  // stale (reordered) advertisement
-  gate.credit_stalled = false;
-  if (gate.credit_probe_armed) {
-    world_.cancel(gate.credit_probe_timer);
-    gate.credit_probe_armed = false;
-  }
-  refill_all();  // stalled chunks may be admissible now
-}
-
-void Core::rx_store_charge(Gate& gate, size_t bytes, size_t chunks) {
-  gate.stored_bytes += bytes;
-  gate.stored_chunks += chunks;
-  stats_.rx_stored_bytes += bytes;
-  if (stats_.rx_stored_bytes > stats_.rx_stored_hwm) {
-    stats_.rx_stored_hwm = stats_.rx_stored_bytes;
-  }
-}
-
-void Core::rx_store_discharge(Gate& gate, size_t bytes, size_t chunks) {
-  NMAD_ASSERT(gate.stored_bytes >= bytes);
-  NMAD_ASSERT(gate.stored_chunks >= chunks);
-  NMAD_ASSERT(stats_.rx_stored_bytes >= bytes);
-  gate.stored_bytes -= bytes;
-  gate.stored_chunks -= chunks;
-  stats_.rx_stored_bytes -= bytes;
-  // Freed room means fresh credit to hand out; let it ride the next ack.
-  if (flow_control() && bytes > 0 && !gate.failed) {
-    gate.credit_update_needed = true;
-    schedule_ack(gate);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Cancellation & deadlines
+// Cancellation / deadlines
 // ---------------------------------------------------------------------------
 
 bool Core::cancel(Request* req) {
@@ -2349,245 +452,11 @@ bool Core::cancel_with(Request* req, util::Status status) {
   if (req->done()) return false;
   Gate& g = gate(req->gate());
   if (req->kind() == Request::Kind::kSend) {
-    return cancel_send(g, static_cast<SendRequest*>(req), std::move(status));
+    return sched_.cancel_send(g, static_cast<SendRequest*>(req),
+                              std::move(status));
   }
-  return cancel_recv(g, static_cast<RecvRequest*>(req), std::move(status));
-}
-
-bool Core::cancel_send(Gate& gate, SendRequest* req, util::Status status) {
-  if (gate.failed) return false;
-  // Pass 1 (no mutation): every pending part must be reachable, or the
-  // cancel is refused and the send proceeds untouched. Parts inside a
-  // prebuilt packet are unreachable on purpose — the builder holds live
-  // views of the application buffer and is already promised to a NIC.
-  size_t reachable = 0;
-  for (OutChunk& c : gate.window) {
-    if (c.owner == req) ++reachable;
-  }
-  std::set<BulkJob*> jobs;
-  for (auto& [cookie, job] : gate.rdv_wait_cts) {
-    if (job->owner == req) jobs.insert(job);
-  }
-  for (BulkJob& job : gate.ready_bulk) {
-    if (job.owner == req) jobs.insert(&job);
-  }
-  for (auto& [key, p] : gate.pending_bulk) {
-    if (p.job->owner == req) jobs.insert(p.job);
-  }
-  if (!reliable()) {
-    // Without the reliability layer, a streaming job's driver-completion
-    // callback dereferences the job: it cannot be freed mid-flight.
-    for (BulkJob* job : jobs) {
-      if (job->sent > job->acked) return false;
-    }
-  }
-  reachable += jobs.size();
-  if (reliable()) {
-    for (auto& [seq, p] : gate.pending_pkts) {
-      for (SendRequest* owner : p.owners) {
-        if (owner == req) ++reachable;
-      }
-    }
-  }
-  if (reachable < req->pending_parts_) return false;
-  NMAD_ASSERT(reachable == req->pending_parts_);
-
-  // Pass 2: unwind. Window chunks are simply discarded; charged-but-lost
-  // chunks (re-homed by a rail death) un-charge so the sender's view of
-  // the credit window stays consistent with what the receiver heard.
-  std::vector<OutChunk*> mine;
-  for (OutChunk& c : gate.window) {
-    if (c.owner == req) mine.push_back(&c);
-  }
-  for (OutChunk* c : mine) {
-    gate.window.remove(*c);
-    if (flow_control() && !c->payload.empty()) {
-      if (c->credit_charged) {
-        gate.eager_sent_bytes -= c->payload.size();
-        gate.eager_sent_chunks -= 1;
-      } else {
-        gate.window_eager_bytes -=
-            std::min(gate.window_eager_bytes, c->payload.size());
-      }
-    }
-    chunk_pool_.release(c);
-  }
-  for (BulkJob* job : jobs) {
-    // A CTS may already be on its way: tombstone the cookie so the grant
-    // is swallowed instead of tripping the unknown-cookie assert.
-    gate.cancelled_rdv.insert(job->cookie);
-    gate.rdv_wait_cts.erase(job->cookie);
-    remove_window_rts(gate, job->cookie);
-    drop_bulk_job(gate, job);
-  }
-  if (reliable()) {
-    // In-flight packets keep their flattened wire copy (retransmits stay
-    // memory-safe); only the completion hook is detached.
-    for (auto& [seq, p] : gate.pending_pkts) {
-      for (SendRequest*& owner : p.owners) {
-        if (owner == req) owner = nullptr;
-      }
-    }
-  }
-  // The message consumed a sequence number, so the peer's matching irecv
-  // would wait forever: always tell it the message was withdrawn.
-  send_cancel_rts(gate, req->tag(), req->seq(), 0);
-  refill_all();
-  ++stats_.sends_cancelled;
-  req->pending_parts_ = 0;
-  req->complete(std::move(status));
-  cancel_deadline(req);
-  return true;
-}
-
-bool Core::cancel_recv(Gate& gate, RecvRequest* req, util::Status status) {
-  if (gate.failed) return false;
-  const MsgKey key{req->tag(), req->seq()};
-  std::vector<uint64_t> cookies;
-  for (auto& [cookie, rec] : gate.rdv_recv) {
-    if (rec.request == req) cookies.push_back(cookie);
-  }
-  if (!reliable()) {
-    // Once the CTS left the window the sender may stream at any moment;
-    // without the reliability layer a torn-down sink would strand those
-    // bytes with nowhere to go. Only cancel while the grant is still ours.
-    for (uint64_t cookie : cookies) {
-      bool in_window = false;
-      for (OutChunk& c : gate.window) {
-        if (c.kind == ChunkKind::kCts && c.cookie == cookie &&
-            (c.flags & kFlagCancel) == 0) {
-          in_window = true;
-          break;
-        }
-      }
-      if (!in_window) return false;
-    }
-  }
-  gate.active_recv.erase(key);
-  gate.cancelled_recv.insert(key);  // late payload is dropped, RTS refused
-  for (uint64_t cookie : cookies) {
-    RdvRecv& rec = gate.rdv_recv.at(cookie);
-    for (uint8_t r : rec.rails) rails_[r].driver->cancel_bulk_recv(cookie);
-    gate.rdv_recv.erase(cookie);
-    for (OutChunk& c : gate.window) {
-      if (c.kind == ChunkKind::kCts && c.cookie == cookie &&
-          (c.flags & kFlagCancel) == 0) {
-        gate.window.remove(c);
-        chunk_pool_.release(&c);
-        break;
-      }
-    }
-    // The sender may already hold the grant: revoke it so the job (and
-    // its retransmits) unwind instead of streaming into the void.
-    send_cancel_cts(gate, req->tag(), req->seq(), cookie);
-  }
-  refill_all();
-  ++stats_.recvs_cancelled;
-  req->complete(std::move(status));
-  cancel_deadline(req);
-  return true;
-}
-
-void Core::handle_cancel_cts(Gate& gate, const WireChunk& chunk) {
-  // The receiver refused or revoked the grant for this cookie. Preferred
-  // unwind is a full cancel of the owning send; when other parts of the
-  // message are already in flight, only this job is dropped and the rest
-  // of the message completes normally.
-  auto it = gate.rdv_wait_cts.find(chunk.cookie);
-  if (it != gate.rdv_wait_cts.end()) {
-    BulkJob* job = it->second;
-    SendRequest* owner = job->owner;
-    if (owner != nullptr &&
-        cancel_send(gate, owner,
-                    util::cancelled("peer cancelled the receive"))) {
-      return;  // cancel_send unwound this job (and any siblings)
-    }
-    gate.rdv_wait_cts.erase(chunk.cookie);
-    remove_window_rts(gate, chunk.cookie);
-    drop_bulk_job(gate, job);
-    if (owner != nullptr) owner->part_done();
-    return;
-  }
-  if (!reliable()) return;  // mid-stream: the slices land in the void
-  BulkJob* job = nullptr;
-  for (BulkJob& j : gate.ready_bulk) {
-    if (j.cookie == chunk.cookie) {
-      job = &j;
-      break;
-    }
-  }
-  if (job == nullptr) {
-    for (auto& [key, p] : gate.pending_bulk) {
-      if (key.first == chunk.cookie) {
-        job = p.job;
-        break;
-      }
-    }
-  }
-  if (job == nullptr) return;  // already finished (revocation raced the end)
-  SendRequest* owner = job->owner;
-  if (owner != nullptr &&
-      cancel_send(gate, owner,
-                  util::cancelled("peer cancelled the receive"))) {
-    return;
-  }
-  drop_bulk_job(gate, job);
-  if (owner != nullptr) owner->part_done();
-}
-
-void Core::send_cancel_rts(Gate& gate, Tag tag, SeqNum seq,
-                           uint64_t cookie) {
-  OutChunk* c = new_chunk();
-  c->kind = ChunkKind::kRts;
-  c->flags = kFlagCancel;
-  c->tag = tag;
-  c->seq = seq;
-  c->offset = 0;
-  c->total = 0;
-  c->rdv_len = 0;
-  c->cookie = cookie;
-  c->prio = Priority::kHigh;
-  c->owner = nullptr;
-  submit_chunk(gate, c);
-}
-
-void Core::send_cancel_cts(Gate& gate, Tag tag, SeqNum seq,
-                           uint64_t cookie) {
-  OutChunk* c = new_chunk();
-  c->kind = ChunkKind::kCts;
-  c->flags = kFlagCancel;
-  c->tag = tag;
-  c->seq = seq;
-  c->cookie = cookie;
-  c->prio = Priority::kHigh;
-  c->owner = nullptr;
-  submit_chunk(gate, c);
-}
-
-void Core::remove_window_rts(Gate& gate, uint64_t cookie) {
-  for (OutChunk& c : gate.window) {
-    if (c.kind == ChunkKind::kRts && c.cookie == cookie &&
-        (c.flags & kFlagCancel) == 0) {
-      gate.window.remove(c);
-      chunk_pool_.release(&c);
-      return;
-    }
-  }
-}
-
-void Core::drop_bulk_job(Gate& gate, BulkJob* job) {
-  if (job->hook.is_linked()) gate.ready_bulk.remove(*job);
-  for (auto it = gate.pending_bulk.begin(); it != gate.pending_bulk.end();) {
-    if (it->second.job == job) {
-      if (it->second.timer_armed) world_.cancel(it->second.timer);
-      it = gate.pending_bulk.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  // Stale bulk_retx keys are skipped (and dropped) by refill_rail once
-  // the pending entry is gone.
-  bulk_pool_.release(job);
+  return collect_.cancel_recv(g, static_cast<RecvRequest*>(req),
+                              std::move(status));
 }
 
 void Core::set_deadline(Request* req, double timeout_us) {
@@ -2607,16 +476,128 @@ void Core::cancel_deadline(Request* req) {
 void Core::on_deadline(Request* req) {
   req->deadline_armed_ = false;
   if (req->done()) return;
-  if (cancel_with(req,
-                  util::deadline_exceeded("request deadline expired"))) {
+  if (cancel_with(req, util::deadline_exceeded("request deadline expired"))) {
     ++stats_.deadlines_exceeded;
     return;
   }
   // Uncancellable right now (bytes in flight): retry shortly. The request
   // either becomes cancellable or completes, whichever comes first.
   req->deadline_armed_ = true;
-  req->deadline_timer_ = world_.after(kDeadlineRetryUs,
-                                      [this, req]() { on_deadline(req); });
+  req->deadline_timer_ =
+      world_.after(kDeadlineRetryUs, [this, req]() { on_deadline(req); });
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+void Core::debug_dump(std::ostream& out) const {
+  using ULL = unsigned long long;
+  dumpf(out, "=== nmad core on node %u (strategy %s) ===\n", node_.id(),
+        std::string(sched_.strategy_name()).c_str());
+  for (size_t r = 0; r < rails_.size(); ++r) {
+    const TransferEngine& te = *rails_[r];
+    dumpf(out, "rail %zu: %s tx_idle=%d prebuilt=%d alive=%d", r,
+          te.name().c_str(), te.tx_idle() ? 1 : 0,
+          sched_.has_prebuilt(static_cast<RailIndex>(r)) ? 1 : 0,
+          te.alive() ? 1 : 0);
+    te.dump_health(out);
+    dumpf(out, "\n");
+  }
+  for (const auto& gate : gates_) {
+    const ScheduleLayer::GateCounts sc = sched_.gate_counts(*gate);
+    const CollectLayer::GateCounts cc = collect_.gate_counts(*gate);
+    dumpf(out,
+          "gate %u → peer %u: window=%zu ready_bulk=%zu "
+          "rdv_wait_cts=%zu active_recv=%zu unexpected=%zu "
+          "rdv_recv=%zu pending_pkts=%zu pending_bulk=%zu "
+          "failed=%d\n",
+          gate->id, gate->peer, sc.window, sc.ready_bulk, sc.rdv_wait_cts,
+          cc.active_recv, cc.unexpected, cc.rdv_recv, sc.pending_pkts,
+          sc.pending_bulk, gate->failed ? 1 : 0);
+    sched_.dump_gate_detail(*gate, out);
+  }
+  dumpf(out,
+        "stats: sends=%llu recvs=%llu packets=%llu/%llu "
+        "chunks=%llu agg=%llu rdv=%llu bulk=%llu prebuilt=%llu "
+        "unexpected=%llu\n",
+        static_cast<ULL>(stats_.sends_submitted),
+        static_cast<ULL>(stats_.recvs_submitted),
+        static_cast<ULL>(stats_.packets_sent),
+        static_cast<ULL>(stats_.packets_received),
+        static_cast<ULL>(stats_.chunks_sent),
+        static_cast<ULL>(stats_.chunks_aggregated),
+        static_cast<ULL>(stats_.rdv_started),
+        static_cast<ULL>(stats_.bulk_sends),
+        static_cast<ULL>(stats_.packets_prebuilt),
+        static_cast<ULL>(stats_.unexpected_chunks));
+  if (config_.reliability) {
+    dumpf(out,
+          "reliability: timeouts=%llu retx=%llu rejected=%llu dup=%llu "
+          "acks=%llu piggy=%llu bulk_to=%llu bulk_retx=%llu "
+          "rails_failed=%llu gates_failed=%llu\n",
+          static_cast<ULL>(stats_.packet_timeouts),
+          static_cast<ULL>(stats_.packets_retransmitted),
+          static_cast<ULL>(stats_.packets_rejected),
+          static_cast<ULL>(stats_.packets_duplicate),
+          static_cast<ULL>(stats_.acks_sent),
+          static_cast<ULL>(stats_.acks_piggybacked),
+          static_cast<ULL>(stats_.bulk_timeouts),
+          static_cast<ULL>(stats_.bulk_retransmitted),
+          static_cast<ULL>(stats_.rails_failed),
+          static_cast<ULL>(stats_.gates_failed));
+  }
+  if (config_.rail_health) {
+    dumpf(out,
+          "health: beacons=%llu/%llu probes=%llu replies=%llu fenced=%llu "
+          "suspected=%llu revived=%llu demoted=%llu\n",
+          static_cast<ULL>(stats_.heartbeats_sent),
+          static_cast<ULL>(stats_.heartbeats_received),
+          static_cast<ULL>(stats_.probes_sent),
+          static_cast<ULL>(stats_.probe_replies_sent),
+          static_cast<ULL>(stats_.heartbeats_fenced),
+          static_cast<ULL>(stats_.rails_suspected),
+          static_cast<ULL>(stats_.rails_revived),
+          static_cast<ULL>(stats_.probation_demotions));
+  }
+  if (stats_.drains_started != 0 || stats_.gates_closed != 0) {
+    dumpf(out, "drain: started=%llu completed=%llu gates_closed=%llu\n",
+          static_cast<ULL>(stats_.drains_started),
+          static_cast<ULL>(stats_.drains_completed),
+          static_cast<ULL>(stats_.gates_closed));
+  }
+  if (config_.flow_control) {
+    dumpf(out,
+          "flow: grants=%llu stalls=%llu probes=%llu rdv_degrades=%llu "
+          "rx_stored=%llu rx_hwm=%llu\n",
+          static_cast<ULL>(stats_.credit_grants),
+          static_cast<ULL>(stats_.credit_stalls),
+          static_cast<ULL>(stats_.credit_probes),
+          static_cast<ULL>(stats_.credit_rdv_degrades),
+          static_cast<ULL>(stats_.rx_stored_bytes),
+          static_cast<ULL>(stats_.rx_stored_hwm));
+  }
+  if (stats_.sends_cancelled != 0 || stats_.recvs_cancelled != 0 ||
+      stats_.deadlines_exceeded != 0 ||
+      stats_.cancelled_payload_dropped != 0) {
+    dumpf(out, "cancel: sends=%llu recvs=%llu deadlines=%llu dropped=%llu\n",
+          static_cast<ULL>(stats_.sends_cancelled),
+          static_cast<ULL>(stats_.recvs_cancelled),
+          static_cast<ULL>(stats_.deadlines_exceeded),
+          static_cast<ULL>(stats_.cancelled_payload_dropped));
+  }
+  dumpf(out,
+        "events: built=%llu elected=%llu tx=%llu rx=%llu acked=%llu "
+        "retx=%llu health=%llu drain=%llu\n",
+        static_cast<ULL>(stats_.ev_packet_built),
+        static_cast<ULL>(stats_.ev_elected),
+        static_cast<ULL>(stats_.ev_wire_tx),
+        static_cast<ULL>(stats_.ev_wire_rx),
+        static_cast<ULL>(stats_.ev_acked),
+        static_cast<ULL>(stats_.ev_retransmit),
+        static_cast<ULL>(stats_.ev_health_transition),
+        static_cast<ULL>(stats_.ev_drain_milestone));
+  bus_.dump_trace(out, 32);
 }
 
 }  // namespace nmad::core

@@ -1,29 +1,47 @@
-// Core: the NewMadeleine communication engine (paper §3).
+// Core: the NewMadeleine communication engine façade (paper §3).
 //
-// One Core instance is one process's engine. It owns the three layers:
-//   - collect layer: isend()/irecv() register application data and the
-//     metadata needed to identify it remotely (tag, sequence number);
-//   - optimizing/scheduling layer: submitted chunks accumulate in the
-//     per-gate optimization window; whenever a NIC goes idle the selected
-//     Strategy elects/synthesizes the next physical packet just-in-time;
-//   - transfer layer: one Driver per rail moves packets and rendezvous
-//     bodies, and reports idleness so the cycle continues.
+// One Core instance is one process's engine. The engine proper lives in
+// three collaborating layers, each a separate translation unit that never
+// includes another layer's header:
+//   - CollectLayer: isend()/irecv() register application data and the
+//     metadata needed to identify it remotely (tag, sequence number),
+//     match incoming traffic and park the unexpected;
+//   - ScheduleLayer: submitted chunks accumulate in the per-gate
+//     optimization window; whenever a NIC goes idle the selected Strategy
+//     elects/synthesizes the next physical packet just-in-time. The
+//     reliability windows and credit accounting live here too;
+//   - TransferEngine (one per rail): owns the driver, pumps tx/rx, and
+//     runs the rail's health lifecycle.
+//
+// Core wires the layers together through the seam interfaces
+// (layer_ifaces.hpp) and the event bus (events.hpp), keeps the public API
+// stable, and retains only the engine-level concerns no layer owns: gate
+// setup/teardown, the packet hub that decodes arrivals and dispatches
+// chunks to their owning layer, request deadlines, drain, and the
+// cross-layer invariant audit.
 //
 // The engine is event-driven: driver callbacks (packet arrival, transmit
 // completion, bulk completion) drive all protocol state transitions.
 #pragma once
 
 #include <functional>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "nmad/core/chunk.hpp"
+#include "nmad/core/collect_layer.hpp"
+#include "nmad/core/config.hpp"
+#include "nmad/core/events.hpp"
 #include "nmad/core/gate.hpp"
+#include "nmad/core/layer_ifaces.hpp"
 #include "nmad/core/layout.hpp"
 #include "nmad/core/request.hpp"
+#include "nmad/core/schedule_layer.hpp"
 #include "nmad/core/strategy.hpp"
+#include "nmad/core/transfer_engine.hpp"
 #include "nmad/drivers/driver.hpp"
 #include "simnet/fabric.hpp"
 #include "simnet/world.hpp"
@@ -32,189 +50,10 @@
 
 namespace nmad::core {
 
-struct CoreConfig {
-  // Strategy selected at startup ("the optimization function is to be
-  // selected among an extensible and programmable set of strategies").
-  std::string strategy = "aggreg";
-
-  // Modelled software costs of the engine itself. These are what §5.1
-  // measures as the < 0.5 µs MAD-MPI overhead: the extra header plus the
-  // scheduler "inspect[ing] the ready list of packets".
-  double submit_overhead_us = 0.10;  // collect layer, per isend/irecv
-  double submit_chunk_us = 0.03;     // per chunk registered
-  double elect_overhead_us = 0.40;   // optimizer, per packet election
-  double parse_packet_us = 0.20;     // receive path, per packet
-  double parse_chunk_us = 0.05;      // receive path, per chunk
-
-  // Overrides the per-rail rendezvous threshold when non-zero.
-  size_t rdv_threshold_override = 0;
-
-  // Appends a 4-byte checksum to every track-0 packet and verifies it on
-  // receive — a debugging aid for driver/strategy development (the flag
-  // is carried on the wire, so mixed settings interoperate).
-  bool wire_checksum = false;
-
-  // §3.2 lists three election policies. The default is pure just-in-time
-  // (elect when a NIC idles). Setting this to N > 0 enables the
-  // alternatives: once the window backlog reaches N chunks while the NIC
-  // is busy, the optimizer runs early and parks one ready-to-send packet,
-  // which is handed over the moment the NIC idles ("prepare a single
-  // ready-to-send packet to anticipate for any upcoming completion").
-  // The election cost is thus overlapped with communication, at the price
-  // of freezing that packet's contents early.
-  size_t prebuild_backlog_chunks = 0;
-
-  // --- Reliability layer --------------------------------------------------
-  // Enables ack/retransmit on track-0 packets and rendezvous slices:
-  // every payload-bearing packet carries a sequence number, the receiver
-  // acknowledges (piggybacked on reverse traffic where possible), and the
-  // sender retransmits on timeout with exponential backoff, failing over
-  // to surviving rails. Forces wire_checksum on; corrupt packets are
-  // dropped and recovered by retransmission instead of asserting.
-  bool reliability = false;
-  // Base retransmit deadline for a track-0 packet. Rendezvous slices add
-  // their own modelled wire time on top (large slices take longer).
-  double ack_timeout_us = 1000.0;
-  // Delayed-ack grace: how long the receiver waits for reverse traffic to
-  // piggyback on before sending a standalone ack packet.
-  double ack_delay_us = 5.0;
-  // Timeout multiplier applied after each retransmission of an entry.
-  double retry_backoff = 2.0;
-  // A packet/slice that times out this many times fails the gate.
-  uint32_t max_retries = 10;
-  // Consecutive timeouts on one rail before it is declared dead and its
-  // in-flight traffic re-elected onto surviving rails (0 disables).
-  uint32_t rail_dead_after = 6;
-  // Max unacked packets per gate; window packing pauses at the cap.
-  size_t reliability_window = 64;
-
-  // --- Receiver-driven flow control ---------------------------------------
-  // Enables credit-based eager admission: the receiver advertises
-  // cumulative limits on eager bytes/chunks (piggybacked on acks), the
-  // strategy layer holds back eager chunks past the limit, and large
-  // blocks degrade to rendezvous instead of flooding the peer. Forces
-  // reliability on (credits ride the ack machinery).
-  bool flow_control = false;
-  // Receive-side budget for the unexpected store, in payload bytes and in
-  // message-chunk count (0 = unlimited). Credit advertisements never let
-  // admitted-but-unheard eager traffic exceed the free budget, so the
-  // store stays bounded under overload without dropping data.
-  size_t rx_budget = 0;
-  size_t rx_budget_msgs = 0;
-  // Credits granted to each peer at gate-open, before any advertisement
-  // arrives (both endpoints must agree on these, so every core of a
-  // fabric should share its flow-control config). For the rx_budget bound
-  // to hold from time zero, keep the sum of initial grants across peers
-  // within the budget. 0 means unlimited.
-  size_t initial_credit_bytes = 64 * 1024;
-  size_t initial_credit_msgs = 64;
-  // Liveness valve: when the sender has been credit-stalled this long
-  // with nothing in flight, it asks the receiver to restate its limits
-  // (a zero-valued kCredit chunk). Recovers from a lost final credit
-  // update without ever breaching the receiver's budget; never needed in
-  // steady state. 0 disables the probe.
-  double credit_probe_us = 2000.0;
-
-  // --- Rail health lifecycle ----------------------------------------------
-  // Active liveness and revival. Every rail carries lightweight kHeartbeat
-  // beacons — piggybacked on outgoing packets when traffic flows, sent
-  // standalone when the rail is idle — so silence is detected even with
-  // nothing in flight: a rail unheard for suspect_after_us turns suspect,
-  // and for dead_after_us is declared dead (kill_rail re-elects its
-  // in-flight traffic onto surviving rails). Dead rails are probed every
-  // probe_interval_us; a reply echoing the rail's current epoch proves the
-  // link works again, and probation_replies fresh replies revive it —
-  // rendezvous jobs regain the rail and the next election may use it.
-  // Forces reliability on (a dying rail's traffic must be recoverable).
-  bool rail_health = false;
-  double heartbeat_interval_us = 500.0;
-  // Thresholds are on receive silence, so with several peers beaconing in
-  // rotation keep suspect_after_us at a few heartbeat intervals.
-  double suspect_after_us = 1500.0;
-  double dead_after_us = 3000.0;
-  double probe_interval_us = 1000.0;
-  uint32_t probation_replies = 2;
-};
-
-// One rail's position in the health lifecycle (CoreConfig::rail_health):
-// alive rails carry traffic and degrade to suspect on silence; dead rails
-// carry none and are probed; a probed rail answering with the current
-// epoch walks through probation back to alive.
-enum class RailHealth : uint8_t { kAlive, kSuspect, kDead, kProbation };
-
-const char* rail_health_name(RailHealth health);
-
-struct CoreStats {
-  uint64_t sends_submitted = 0;
-  uint64_t recvs_submitted = 0;
-  uint64_t packets_sent = 0;
-  uint64_t packets_received = 0;
-  uint64_t chunks_sent = 0;
-  uint64_t chunks_received = 0;
-  // Chunks that shared a packet with at least one other chunk.
-  uint64_t chunks_aggregated = 0;
-  uint64_t rdv_started = 0;
-  uint64_t bulk_sends = 0;
-  uint64_t bulk_bytes = 0;
-  uint64_t unexpected_chunks = 0;
-  uint64_t packets_prebuilt = 0;  // elected early under the backlog policy
-
-  // Reliability layer.
-  uint64_t packet_timeouts = 0;
-  uint64_t packets_retransmitted = 0;
-  uint64_t packets_rejected = 0;    // corrupt/unverifiable, dropped
-  uint64_t packets_duplicate = 0;   // suppressed by seq dedup (re-acked)
-  uint64_t acks_sent = 0;           // standalone delayed-ack packets
-  uint64_t acks_piggybacked = 0;    // acks injected into outgoing packets
-  uint64_t bulk_timeouts = 0;
-  uint64_t bulk_retransmitted = 0;
-  uint64_t rails_failed = 0;
-  uint64_t gates_failed = 0;
-
-  // Rail health lifecycle.
-  uint64_t heartbeats_sent = 0;      // beacons (piggybacked + standalone)
-  uint64_t heartbeats_received = 0;  // plain beacons heard
-  uint64_t probes_sent = 0;          // revival probes on dead rails
-  uint64_t probe_replies_sent = 0;
-  uint64_t heartbeats_fenced = 0;    // stale-epoch beacons/replies dropped
-  uint64_t rails_suspected = 0;      // alive -> suspect transitions
-  uint64_t rails_revived = 0;        // probation -> alive transitions
-  uint64_t probation_demotions = 0;  // probation -> dead (replies dried up)
-
-  // Drain / close.
-  uint64_t drains_started = 0;
-  uint64_t drains_completed = 0;
-  uint64_t gates_closed = 0;
-
-  // Flow control.
-  uint64_t credit_grants = 0;        // credit chunks put on the wire
-  uint64_t credit_stalls = 0;        // eager chunks held back by credit
-  uint64_t credit_probes = 0;        // credit requests sent while stalled
-  uint64_t credit_rdv_degrades = 0;  // eager blocks demoted to rendezvous
-  uint64_t rx_stored_bytes = 0;      // unexpected-store payload (gauge)
-  uint64_t rx_stored_hwm = 0;        // high-water mark of the above
-
-  // Cancellation / deadlines.
-  uint64_t sends_cancelled = 0;
-  uint64_t recvs_cancelled = 0;
-  uint64_t deadlines_exceeded = 0;
-  uint64_t cancelled_payload_dropped = 0;  // chunks for a cancelled recv
-
-  // Invariant validation (check_invariants / validate_invariants; the
-  // hot-path hooks that drive these only compile under -DNMAD_VALIDATE).
-  uint64_t validate_ticks = 0;
-  uint64_t validate_violations = 0;
-};
-
-struct SendHints {
-  Priority prio = Priority::kNormal;
-  RailIndex pinned_rail = kAnyRail;
-};
-
-class Core {
+class Core final : public ITransferFleet, private IEngine {
  public:
   Core(simnet::SimWorld& world, simnet::SimNode& node, CoreConfig config);
-  ~Core();
+  ~Core() override;
 
   Core(const Core&) = delete;
   Core& operator=(const Core&) = delete;
@@ -254,11 +93,7 @@ class Core {
   // peek therefore never reorders matching and iprobe/irecv pairs are
   // race-free: if peek says matched, the next irecv matches that very
   // message.
-  struct PeekResult {
-    bool matched = false;
-    bool total_known = false;
-    size_t total_bytes = 0;
-  };
+  using PeekResult = PeekInfo;
   [[nodiscard]] PeekResult peek_unexpected(GateId gate, Tag tag);
 
   // Completion -------------------------------------------------------------
@@ -310,7 +145,11 @@ class Core {
   // Introspection ----------------------------------------------------------
   [[nodiscard]] const CoreConfig& config() const { return config_; }
   [[nodiscard]] const CoreStats& stats() const { return stats_; }
-  [[nodiscard]] size_t rail_count() const { return rails_.size(); }
+  // ITransferFleet (also the public rail-count accessor).
+  [[nodiscard]] size_t rail_count() const override { return rails_.size(); }
+  [[nodiscard]] ITransferRail& transfer_rail(RailIndex rail) override;
+  [[nodiscard]] const ITransferRail& transfer_rail(
+      RailIndex rail) const override;
   [[nodiscard]] const RailInfo& rail_info(RailIndex rail) const;
   // Reliability: rails marked dead after repeated timeouts stop carrying
   // traffic; fail_rail() forces the transition (operational use: a health
@@ -335,7 +174,7 @@ class Core {
   [[nodiscard]] Gate& gate(GateId id);
   [[nodiscard]] size_t window_size(GateId id);
   [[nodiscard]] std::string_view strategy_name() const {
-    return strategy_->name();
+    return sched_.strategy_name();
   }
 
   // Switches the optimization function at runtime — the paper proposes a
@@ -347,37 +186,46 @@ class Core {
   [[nodiscard]] simnet::SimWorld& world() { return world_; }
   [[nodiscard]] simnet::SimNode& node() { return node_; }
 
+  // Layer access ------------------------------------------------------------
+  // The concrete layers, for tests and benchmarks that drive one layer
+  // directly (the strategy SPI hands ScheduleLayer& to pack()).
+  [[nodiscard]] ScheduleLayer& scheduler() { return sched_; }
+  [[nodiscard]] CollectLayer& collector() { return collect_; }
+  [[nodiscard]] EventBus& bus() { return bus_; }
+  [[nodiscard]] const EventBus& bus() const { return bus_; }
+
   // Strategy SPI: flow control -----------------------------------------
-  // Whether the credit window admits electing `chunk` onto the wire now.
-  // Control chunks, already-charged chunks and empty payloads always
-  // pass. Denial records a stall and arms the liveness probe.
-  [[nodiscard]] bool credit_admits(Gate& gate, const OutChunk& chunk);
-  // Charges an elected chunk against the gate's credit (idempotent;
-  // strategies call it when they take a payload chunk off the window).
-  void charge_credit(Gate& gate, OutChunk& chunk);
+  // Forwarders kept for harness code that holds a Core; strategies
+  // themselves receive the ScheduleLayer.
+  [[nodiscard]] bool credit_admits(Gate& gate, const OutChunk& chunk) {
+    return sched_.credit_admits(gate, chunk);
+  }
+  void charge_credit(Gate& gate, OutChunk& chunk) {
+    sched_.charge_credit(gate, chunk);
+  }
 
   // Writes a human-readable snapshot of the engine state (windows,
-  // pending rendezvous, in-flight receives) — used by deadlock
-  // diagnostics and debugging sessions.
-  void debug_dump(std::FILE* out) const;
+  // pending rendezvous, in-flight receives, the event-bus trace) — used
+  // by deadlock diagnostics and debugging sessions.
+  void debug_dump(std::ostream& out = std::cerr) const;
 
   // Invariant validation ---------------------------------------------------
-  // Cross-checks every gate's bookkeeping against first principles:
-  // window byte accounting vs. credit charges, sent/heard traffic vs. the
-  // advertised limits, the unexpected store vs. its gauge and rx budget,
-  // retransmit-timer liveness, and the matching-structure disjointness
-  // (active vs. unexpected vs. cancelled). Returns true when clean;
-  // otherwise appends one line per violation to `failures` (which may be
-  // null). Always compiled — the chaos harness calls it at quiescence in
-  // any build; only the per-tick hooks below are NMAD_VALIDATE-gated.
+  // Cross-checks every layer's bookkeeping against first principles: each
+  // layer audits its own state (CollectLayer::check_gate,
+  // ScheduleLayer::check_gate, TransferEngine::check) and the façade
+  // cross-checks the seams (the unexpected store vs. the scheduler's
+  // gauge, the engine-wide rx budget). Returns true when clean; otherwise
+  // appends one line per violation to `failures` (which may be null).
+  // Always compiled — the chaos harness calls it at quiescence in any
+  // build; only the per-tick hooks below are NMAD_VALIDATE-gated.
   [[nodiscard]] bool check_invariants(
       std::vector<std::string>* failures) const;
 
-  // Per-progress-tick checker (wired into refill_all / on_packet under
-  // -DNMAD_VALIDATE=1): bumps stats().validate_ticks, and on violation
-  // prints every failure plus debug_dump(stderr) and aborts — unless a
-  // failure handler is installed (harness self-tests observe violations
-  // without dying).
+  // Per-progress-tick checker (wired into the scheduler's kick() and the
+  // packet hub under -DNMAD_VALIDATE=1): bumps stats().validate_ticks,
+  // and on violation prints every failure plus debug_dump() and the
+  // event trace and aborts — unless a failure handler is installed
+  // (harness self-tests observe violations without dying).
   void validate_invariants();
   using ValidateFailureHandler =
       std::function<void(const std::vector<std::string>&)>;
@@ -387,170 +235,65 @@ class Core {
   // charge_credit become no-ops, modelling a sender that elects eager
   // traffic without charging it against the peer's credit window.
   void test_skip_next_credit_charge(uint32_t n = 1) {
-    skip_credit_charges_ += n;
+    sched_.skip_next_credit_charge(n);
   }
 
  private:
-  struct RailState {
-    std::unique_ptr<drivers::Driver> driver;
-    RailInfo info;
-    size_t rr_cursor = 0;  // round-robin position over gates
-    // Packet elected early under the prebuild policy, waiting for idle.
-    std::shared_ptr<PacketBuilder> prebuilt;
-    GateId prebuilt_gate = 0;
-    // Reliability: dead rails carry no traffic; consecutive unanswered
-    // timeouts (reset by any ack for this rail) drive the declaration.
-    bool alive = true;
-    uint32_t consec_timeouts = 0;
-    // Rail health lifecycle (CoreConfig::rail_health). `epoch` bumps on
-    // every death, so probe replies and beacons from an earlier life can
-    // be told from fresh ones; `peer_epoch` is the highest epoch heard in
-    // the peer's plain beacons (older ones are stale wire images from
-    // retransmitted packets and are fenced).
-    RailHealth health = RailHealth::kAlive;
-    uint32_t epoch = 0;
-    uint32_t peer_epoch = 0;
-    uint32_t probation_hits = 0;      // fresh probe replies this probation
-    double last_rx_us = 0.0;          // anything heard on this rail
-    double last_fresh_reply_us = 0.0;
-    double last_probe_us = -1.0e18;
-    // Last beacon sent per gate (indexed by GateId, lazily sized): the
-    // liveness thresholds are per-peer receive silence, so each peer must
-    // hear its own beacons.
-    std::vector<double> hb_tx_us;
-    simnet::EventId health_timer = 0;
-    bool health_timer_armed = false;
-  };
+  // IEngine (the services layers call back into the façade for).
+  void fail_gate(Gate& gate, const util::Status& status) override;
+  void cancel_deadline(Request* req) override;
+  void validate_tick() override { validate_invariants(); }
 
-  void maybe_prebuild(RailIndex rail);
-
-  // Scheduling -------------------------------------------------------------
-  void refill_all();
-  void refill_rail(RailIndex rail);
-  void issue_packet(Gate& gate, RailIndex rail,
-                    std::shared_ptr<PacketBuilder> builder,
-                    bool charge_election = true);
-  void issue_bulk(Gate& gate, RailIndex rail, BulkJob* job, size_t bytes);
-
-  // Submission helpers ------------------------------------------------------
-  OutChunk* new_chunk();
-  void submit_chunk(Gate& gate, OutChunk* chunk);
-  void submit_rdv_block(Gate& gate, SendRequest* req, Tag tag, SeqNum seq,
-                        size_t logical_offset, util::ConstBytes block,
-                        size_t total, const SendHints& hints);
-  void submit_eager_block(Gate& gate, SendRequest* req, Tag tag, SeqNum seq,
-                          size_t logical_offset, util::ConstBytes block,
-                          size_t total, bool simple,
-                          const SendHints& hints);
-
-  // Receive path ------------------------------------------------------------
+  // The packet hub: decodes one arrived packet and dispatches each chunk
+  // to the layer that owns its state.
   void on_packet(RailIndex rail, drivers::RxPacket&& packet);
-  void handle_payload_chunk(Gate& gate, const WireChunk& chunk);
-  void handle_rts(Gate& gate, const WireChunk& chunk);
-  void handle_cts(Gate& gate, const WireChunk& chunk);
-  void deliver_eager(Gate& gate, RecvRequest* req, uint32_t offset,
-                     uint32_t total, util::ConstBytes payload);
-  void start_rdv_recv(Gate& gate, RecvRequest* req, uint32_t len,
-                      uint32_t offset, uint32_t total, uint64_t cookie);
-  void on_bulk_recv_complete(GateId gate_id, uint64_t cookie);
-  void recv_add_bytes(Gate& gate, RecvRequest* req, size_t n);
-  void finish_recv_if_done(Gate& gate, RecvRequest* req);
 
-  // Reliability layer -------------------------------------------------------
-  [[nodiscard]] bool reliable() const { return config_.reliability; }
-  // Registers an incoming reliable packet seq; true if already heard.
-  bool reliable_rx_register(Gate& gate, uint32_t seq);
-  // Builds an ack chunk from the gate's receive state. Bulk-slice acks
-  // are only drained from the gate once the chunk is committed to a
-  // packet (commit_ack_chunk); packet acks (floor + sacks) are idempotent.
-  OutChunk* make_ack_chunk(Gate& gate);
-  void commit_ack_chunk(Gate& gate, OutChunk* ack);
-  void maybe_inject_ack(Gate& gate, PacketBuilder& builder);
-  void schedule_ack(Gate& gate);
-  void on_ack_timer(GateId gate_id);
-  void handle_ack(Gate& gate, const WireChunk& chunk);
-  void retire_packet(Gate& gate,
-                     std::map<uint32_t, PendingPacket>::iterator it);
-  void retire_bulk(Gate& gate, const BulkAck& ack);
-  void arm_packet_timer(Gate& gate, uint32_t seq);
-  void arm_bulk_timer(Gate& gate, const BulkKey& key);
-  void on_packet_timeout(GateId gate_id, uint32_t seq);
-  void on_bulk_timeout(GateId gate_id, BulkKey key);
-  void retransmit_packet(Gate& gate, RailIndex rail, uint32_t seq);
-  void retransmit_bulk(Gate& gate, RailIndex rail, const BulkKey& key);
-  void note_rail_timeout(RailIndex rail);
-  void kill_rail(RailIndex rail);
-  void fail_gate(Gate& gate, const util::Status& status);
   // Shared teardown behind fail_gate (peer failure) and close_gate (local
-  // shutdown); only the bookkeeping around it differs.
+  // shutdown); only the bookkeeping around it differs. Orchestrates the
+  // per-layer teardowns in wire-safe order.
   void teardown_gate(Gate& gate, const util::Status& status);
-  void on_bulk_orphan(drivers::PeerAddr from, uint64_t cookie,
-                      size_t offset, size_t len);
+  void on_bulk_orphan(drivers::PeerAddr from, uint64_t cookie, size_t offset,
+                      size_t len);
 
-  // Rail health lifecycle ---------------------------------------------------
-  [[nodiscard]] bool rail_health_on() const { return config_.rail_health; }
   void start_health_monitors();
-  void on_health_tick(RailIndex rail);
-  // Appends a plain beacon to an outgoing packet when the rail's beacon
-  // to this gate is due (at most one per heartbeat interval per peer).
-  void maybe_inject_heartbeat(Gate& gate, RailIndex rail,
-                              PacketBuilder& builder);
-  // Fire-and-forget single-chunk heartbeat packet (plain beacon, probe,
-  // or reply); the caller checks tx_idle first.
-  void send_standalone_heartbeat(Gate& gate, RailIndex rail, uint8_t flags,
-                                 uint32_t epoch);
-  void handle_heartbeat(Gate& gate, RailIndex rail, const WireChunk& chunk);
-  OutChunk* make_heartbeat_chunk(uint8_t flags, uint32_t epoch);
-  double& hb_tx_slot(RailState& rs, GateId id);
 
-  // Flow control ------------------------------------------------------------
-  [[nodiscard]] bool flow_control() const { return config_.flow_control; }
-  // Recomputes the limits this receiver can advertise to `gate`'s peer
-  // without the sum of all peers' admissible-but-unheard eager traffic
-  // exceeding the free rx budget. Monotone: limits never retreat.
-  void refresh_advert(Gate& gate);
-  OutChunk* make_credit_chunk(Gate& gate);
-  void maybe_inject_credit(Gate& gate, PacketBuilder& builder);
-  void handle_credit(Gate& gate, const WireChunk& chunk);
-  void note_credit_stall(Gate& gate);
-  void on_credit_probe(GateId gate_id);
-  void rx_store_charge(Gate& gate, size_t bytes, size_t chunks);
-  void rx_store_discharge(Gate& gate, size_t bytes, size_t chunks);
-
-  // Cancellation ------------------------------------------------------------
+  // Cancellation / deadlines.
   bool cancel_with(Request* req, util::Status status);
-  bool cancel_send(Gate& gate, SendRequest* req, util::Status status);
-  bool cancel_recv(Gate& gate, RecvRequest* req, util::Status status);
-  void handle_cancel_cts(Gate& gate, const WireChunk& chunk);
-  void send_cancel_rts(Gate& gate, Tag tag, SeqNum seq, uint64_t cookie);
-  void send_cancel_cts(Gate& gate, Tag tag, SeqNum seq, uint64_t cookie);
-  void remove_window_rts(Gate& gate, uint64_t cookie);
-  void drop_bulk_job(Gate& gate, BulkJob* job);
-  void cancel_deadline(Request* req);
   void on_deadline(Request* req);
 
-  [[nodiscard]] size_t max_eager_payload(const Gate& gate) const;
+  // Per-layer violation tallies from one check_invariants() pass, so the
+  // stats can attribute failures to the layer that reported them.
+  struct ValidateReport {
+    size_t collect = 0;
+    size_t schedule = 0;
+    size_t transfer = 0;
+    size_t engine = 0;
+  };
+  bool check_invariants_report(std::vector<std::string>* failures,
+                               ValidateReport* report) const;
 
   simnet::SimWorld& world_;
   simnet::SimNode& node_;
   CoreConfig config_;
-  std::unique_ptr<Strategy> strategy_;
-  std::vector<RailState> rails_;
-  std::vector<std::unique_ptr<Gate>> gates_;
-  std::map<drivers::PeerAddr, GateId> peer_gate_;
-  uint64_t next_cookie_;
-  bool connected_ = false;  // first connect freezes rail setup
-  bool health_monitors_started_ = false;
+  CoreStats stats_;
+  EventBus bus_;
 
   util::ObjectPool<OutChunk> chunk_pool_;
   util::ObjectPool<BulkJob> bulk_pool_;
   util::ObjectPool<SendRequest> send_pool_;
   util::ObjectPool<RecvRequest> recv_pool_;
+  std::vector<std::unique_ptr<Gate>> gates_;
+
+  EngineContext ctx_;
+  std::vector<std::unique_ptr<TransferEngine>> rails_;
+  ScheduleLayer sched_;
+  CollectLayer collect_;
+
+  std::map<drivers::PeerAddr, GateId> peer_gate_;
+  bool connected_ = false;  // first connect freezes rail setup
+  bool health_monitors_started_ = false;
 
   ValidateFailureHandler validate_failure_handler_;
-  uint32_t skip_credit_charges_ = 0;  // test hook: drop upcoming charges
-
-  CoreStats stats_;
 };
 
 }  // namespace nmad::core

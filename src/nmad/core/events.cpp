@@ -1,0 +1,118 @@
+#include "nmad/core/events.hpp"
+
+#include <ostream>
+
+#include "nmad/core/format_util.hpp"
+
+namespace nmad::core {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPacketBuilt:
+      return "packet-built";
+    case EventKind::kElected:
+      return "elected";
+    case EventKind::kWireTx:
+      return "wire-tx";
+    case EventKind::kWireRx:
+      return "wire-rx";
+    case EventKind::kAcked:
+      return "acked";
+    case EventKind::kRetransmit:
+      return "retransmit";
+    case EventKind::kHealthTransition:
+      return "health-transition";
+    case EventKind::kDrainMilestone:
+      return "drain-milestone";
+  }
+  return "?";
+}
+
+EventBus::EventBus(simnet::SimWorld& world, CoreStats* stats,
+                   size_t trace_capacity)
+    : world_(world), stats_(stats), capacity_(trace_capacity) {
+  ring_.reserve(capacity_);
+}
+
+void EventBus::publish(Event ev) {
+  ev.t = world_.now();
+  ++published_;
+  if (stats_ != nullptr) {
+    switch (ev.kind) {
+      case EventKind::kPacketBuilt:
+        ++stats_->ev_packet_built;
+        break;
+      case EventKind::kElected:
+        ++stats_->ev_elected;
+        break;
+      case EventKind::kWireTx:
+        ++stats_->ev_wire_tx;
+        break;
+      case EventKind::kWireRx:
+        ++stats_->ev_wire_rx;
+        break;
+      case EventKind::kAcked:
+        ++stats_->ev_acked;
+        break;
+      case EventKind::kRetransmit:
+        ++stats_->ev_retransmit;
+        break;
+      case EventKind::kHealthTransition:
+        ++stats_->ev_health_transition;
+        break;
+      case EventKind::kDrainMilestone:
+        ++stats_->ev_drain_milestone;
+        break;
+    }
+  }
+  if (capacity_ > 0) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(ev);
+    } else {
+      ring_[next_] = ev;
+      next_ = (next_ + 1) % capacity_;
+    }
+  }
+  for (const auto& fn : subscribers_[static_cast<size_t>(ev.kind)]) {
+    fn(ev);
+  }
+}
+
+void EventBus::subscribe(EventKind kind, Subscriber fn) {
+  subscribers_[static_cast<size_t>(kind)].push_back(std::move(fn));
+}
+
+size_t EventBus::trace_size() const { return ring_.size(); }
+
+std::vector<Event> EventBus::trace() const {
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+void EventBus::dump_trace(std::ostream& out, size_t max_events) const {
+  const auto events = trace();
+  const size_t n = events.size() < max_events ? events.size() : max_events;
+  dumpf(out, "trace (last %zu of %llu events):\n", n,
+        static_cast<unsigned long long>(published_));
+  for (size_t i = events.size() - n; i < events.size(); ++i) {
+    const Event& ev = events[i];
+    dumpf(out, "  [%10.2fus] %-17s gate=%u", ev.t,
+          event_kind_name(ev.kind), static_cast<unsigned>(ev.gate));
+    if (ev.rail != kAnyRail) {
+      dumpf(out, " rail=%u", static_cast<unsigned>(ev.rail));
+    }
+    dumpf(out, " seq=%u a=%llu b=%llu\n", static_cast<unsigned>(ev.seq),
+          static_cast<unsigned long long>(ev.a),
+          static_cast<unsigned long long>(ev.b));
+  }
+}
+
+}  // namespace nmad::core

@@ -1,0 +1,35 @@
+// printf-style helpers shared by the layers' debug_dump and invariant
+// reporting: format into a stack buffer, then hand off to an ostream or a
+// failure list. Keeps the dump code as dense as the old FILE* version
+// while satisfying the std::ostream interface.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nmad::core {
+
+[[gnu::format(printf, 2, 3)]] inline void dumpf(std::ostream& out,
+                                                const char* fmt, ...) {
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out << buf;
+}
+
+[[gnu::format(printf, 2, 3)]] inline void addf(std::vector<std::string>& out,
+                                               const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out.emplace_back(buf);
+}
+
+}  // namespace nmad::core

@@ -1,5 +1,13 @@
 // Gate: all per-peer engine state (paper: a connection to one remote
 // process, possibly spanning several heterogeneous NICs).
+//
+// The state is carved along the paper's layer boundary: `Gate::collect`
+// belongs to the collect layer (message matching, the unexpected store,
+// in-flight receives) and `Gate::sched` to the scheduling layer (the
+// optimization window, rendezvous send pipeline, ack/retransmit windows,
+// credit accounting). The few commons every layer reads (peer, rails,
+// thresholds, failure latch) stay on the Gate itself. Each layer touches
+// only its own sub-struct — scripts/check.sh lints the seam.
 #pragma once
 
 #include <cstdint>
@@ -91,27 +99,33 @@ struct PendingBulk {
 
 using BulkKey = std::pair<uint64_t, size_t>;  // (cookie, offset)
 
-struct Gate {
-  GateId id = 0;
-  drivers::PeerAddr peer = 0;
-  std::vector<RailIndex> rails;      // core rail indices reaching the peer
-  size_t rdv_threshold = SIZE_MAX;   // per-block eager/rdv switch
-  size_t max_packet = 32 * 1024;     // largest track-0 packet
-  bool has_rdma = false;
+// Collect-layer state: message identification and matching. Owned and
+// mutated exclusively by CollectLayer.
+struct GateCollect {
+  std::map<Tag, SeqNum> send_seq;
+  std::map<Tag, SeqNum> recv_seq;
+  std::map<MsgKey, RecvRequest*> active_recv;
+  std::map<MsgKey, UnexpectedMsg> unexpected;
+  std::map<uint64_t, RdvRecv> rdv_recv;  // cookie → in-flight bulk receive
+  // Receiver side: message keys whose receive was cancelled; payload that
+  // arrives later is dropped instead of parked as unexpected.
+  std::set<MsgKey> cancelled_recv;
+};
 
+// Scheduling-layer state: the optimization window, rendezvous send
+// pipeline, reliability windows and credit accounting. Owned and mutated
+// exclusively by ScheduleLayer.
+struct GateSched {
   // ---- send side -------------------------------------------------------
   // The optimization window: chunks accumulate here while NICs are busy.
   util::IntrusiveList<OutChunk, &OutChunk::hook> window;
   // Rendezvous jobs whose CTS has arrived; strategies drain these first.
   util::IntrusiveList<BulkJob, &BulkJob::hook> ready_bulk;
-  std::map<Tag, SeqNum> send_seq;
   std::map<uint64_t, BulkJob*> rdv_wait_cts;  // parked until CTS
-
-  // ---- receive side ----------------------------------------------------
-  std::map<Tag, SeqNum> recv_seq;
-  std::map<MsgKey, RecvRequest*> active_recv;
-  std::map<MsgKey, UnexpectedMsg> unexpected;
-  std::map<uint64_t, RdvRecv> rdv_recv;  // cookie → in-flight bulk receive
+  // Sender side: rendezvous cookies withdrawn by cancel(); a late CTS for
+  // one of these is silently dropped instead of tripping the unknown-
+  // cookie assert.
+  std::set<uint64_t> cancelled_rdv;
 
   // ---- reliability (CoreConfig::reliability only) ----------------------
   // Send side: sliding window of unacked packets / bulk slices, plus the
@@ -166,15 +180,18 @@ struct Gate {
   uint64_t last_sent_limit_bytes = 0;    // last limits put on the wire
   uint64_t last_sent_limit_chunks = 0;
   bool credit_update_needed = false;     // drained store → re-advertise
+};
 
-  // ---- cancellation ----------------------------------------------------
-  // Sender side: rendezvous cookies withdrawn by cancel(); a late CTS for
-  // one of these is silently dropped instead of tripping the unknown-
-  // cookie assert.
-  std::set<uint64_t> cancelled_rdv;
-  // Receiver side: message keys whose receive was cancelled; payload that
-  // arrives later is dropped instead of parked as unexpected.
-  std::set<MsgKey> cancelled_recv;
+struct Gate {
+  GateId id = 0;
+  drivers::PeerAddr peer = 0;
+  std::vector<RailIndex> rails;      // core rail indices reaching the peer
+  size_t rdv_threshold = SIZE_MAX;   // per-block eager/rdv switch
+  size_t max_packet = 32 * 1024;     // largest track-0 packet
+  bool has_rdma = false;
+
+  GateCollect collect;
+  GateSched sched;
 
   // Set when the peer became unreachable; every request completes with
   // this status from then on.

@@ -1,0 +1,154 @@
+// The seams between the paper's three layers.
+//
+// CollectLayer, ScheduleLayer and TransferEngine compile as separate TUs
+// that never include each other's headers; everything a layer needs from
+// a neighbour goes through one of the small interfaces here (plus the
+// event bus for notifications). The Core façade implements IEngine and
+// ITransferFleet and wires the concrete layers together.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nmad/core/config.hpp"
+#include "nmad/core/events.hpp"
+#include "nmad/core/gate.hpp"
+#include "nmad/core/packet_builder.hpp"
+#include "nmad/core/strategy.hpp"
+#include "nmad/drivers/driver.hpp"
+#include "simnet/fabric.hpp"
+#include "simnet/nic.hpp"
+#include "simnet/world.hpp"
+#include "util/pool.hpp"
+#include "util/status.hpp"
+
+namespace nmad::core {
+
+// Shared plumbing every layer receives by reference at construction: the
+// simulated world/node (time, cpu charges), the config and stats blocks,
+// the event bus, the object pools, and the gate table. Holding these in
+// one context keeps the layer constructors flat and makes the sharing
+// explicit — no layer owns any of it.
+struct EngineContext {
+  simnet::SimWorld& world;
+  simnet::SimNode& node;
+  CoreConfig& config;
+  CoreStats& stats;
+  EventBus& bus;
+  util::ObjectPool<OutChunk>& chunk_pool;
+  util::ObjectPool<BulkJob>& bulk_pool;
+  util::ObjectPool<SendRequest>& send_pool;
+  util::ObjectPool<RecvRequest>& recv_pool;
+  std::vector<std::unique_ptr<Gate>>& gates;
+};
+
+// Engine-level services only the façade can provide: gate failure (which
+// tears down state in *every* layer), request deadline bookkeeping, and
+// the per-tick invariant hook.
+class IEngine {
+ public:
+  virtual ~IEngine() = default;
+  virtual void fail_gate(Gate& gate, const util::Status& status) = 0;
+  virtual void cancel_deadline(Request* req) = 0;
+  virtual void validate_tick() = 0;
+};
+
+// One rail of the transfer layer, as seen by the scheduling and collect
+// layers: capability info, liveness, and the tx/rx pump entry points.
+class ITransferRail {
+ public:
+  virtual ~ITransferRail() = default;
+
+  [[nodiscard]] virtual const RailInfo& info() const = 0;
+  [[nodiscard]] virtual bool alive() const = 0;
+  [[nodiscard]] virtual bool tx_idle() const = 0;
+
+  virtual util::Status send_packet(const Gate& gate,
+                                   const util::SegmentVec& segments,
+                                   drivers::Driver::CompletionFn on_tx_done) = 0;
+  virtual util::Status send_bulk(const Gate& gate, uint64_t cookie,
+                                 size_t offset,
+                                 const util::SegmentVec& segments,
+                                 drivers::Driver::CompletionFn on_tx_done) = 0;
+  virtual util::Status post_bulk_recv(simnet::BulkSink* sink) = 0;
+  virtual void cancel_bulk_recv(uint64_t cookie) = 0;
+
+  // An ack for traffic last sent on this rail arrived: the rail
+  // demonstrably delivers, reset its timeout streak.
+  virtual void note_delivery() = 0;
+  // A retransmit timer fired for traffic last sent on this rail; enough
+  // consecutive ones declare the rail dead.
+  virtual void note_timeout() = 0;
+  // Appends a plain beacon to an outgoing packet when this rail's beacon
+  // to `gate` is due (at most one per heartbeat interval per peer).
+  virtual void maybe_inject_heartbeat(Gate& gate, PacketBuilder& builder) = 0;
+};
+
+// The set of transfer engines, as handed to the scheduling layer.
+class ITransferFleet {
+ public:
+  virtual ~ITransferFleet() = default;
+  [[nodiscard]] virtual size_t rail_count() const = 0;
+  [[nodiscard]] virtual ITransferRail& transfer_rail(RailIndex rail) = 0;
+  [[nodiscard]] virtual const ITransferRail& transfer_rail(
+      RailIndex rail) const = 0;
+};
+
+// The scheduling layer, as seen by the collect layer: chunk submission,
+// rendezvous initiation, and the receive-side services (credit gauges,
+// deferred acks) that live with the ack machinery.
+class ISchedule {
+ public:
+  virtual ~ISchedule() = default;
+
+  // Appends `chunk` to the gate's optimization window (charging the
+  // modelled submit cost) — the collect→schedule handoff of the paper.
+  virtual void enqueue(Gate& gate, OutChunk* chunk) = 0;
+  // Starts a rendezvous send for one large block: allocates the cookie,
+  // parks the job until CTS, and windows the RTS.
+  virtual void submit_rdv(Gate& gate, SendRequest* req, Tag tag, SeqNum seq,
+                          size_t logical_offset, util::ConstBytes block,
+                          size_t total, const SendHints& hints) = 0;
+  // Whether the credit window wants an eager block of `block_bytes`
+  // demoted to rendezvous (it would overshoot the peer's limit).
+  [[nodiscard]] virtual bool credit_wants_rdv(const Gate& gate,
+                                              size_t block_bytes) const = 0;
+  // Runs a scheduling pass over every rail (election, prebuild).
+  virtual void kick() = 0;
+
+  // Receive-side services.
+  virtual void note_heard(Gate& gate, RailIndex rail) = 0;
+  virtual void note_eager_heard(Gate& gate, size_t payload_bytes) = 0;
+  virtual void queue_bulk_ack(Gate& gate, const BulkAck& ack) = 0;
+  virtual void note_bulk_completed(Gate& gate, uint64_t cookie) = 0;
+  virtual void rx_store_charge(Gate& gate, size_t bytes, size_t chunks) = 0;
+  virtual void rx_store_discharge(Gate& gate, size_t bytes,
+                                  size_t chunks) = 0;
+  [[nodiscard]] virtual std::pair<size_t, size_t> store_gauge(
+      const Gate& gate) const = 0;
+
+  // Cancellation support: whether the CTS for `cookie` is still sitting
+  // unsent in the window, and its removal (a receive cancels cleanly only
+  // while its grant has not left the node, unless reliability can recall
+  // it).
+  [[nodiscard]] virtual bool cts_in_window(const Gate& gate,
+                                           uint64_t cookie) const = 0;
+  virtual void remove_window_cts(Gate& gate, uint64_t cookie) = 0;
+};
+
+// Packet issue service the transfer layer needs back from the scheduler:
+// standalone single-chunk control packets (heartbeats, probes, replies)
+// still flow through the scheduler's issue path so they pick up
+// piggybacked acks/credits and reliability bookkeeping uniformly.
+class IPacketIssuer {
+ public:
+  virtual ~IPacketIssuer() = default;
+  virtual void issue_standalone(Gate& gate, RailIndex rail,
+                                std::shared_ptr<PacketBuilder> builder) = 0;
+};
+
+}  // namespace nmad::core

@@ -6,6 +6,11 @@
 // completes when every chunk of the message has left the NIC (the user
 // buffer is reusable); a receive request completes when every expected
 // byte has landed in the destination layout.
+//
+// The methods under "engine-internal protocol entry points" are the
+// mutation surface the collect/schedule layers drive; applications must
+// not call them (they are public only so the layer TUs need no friend
+// access — the layers themselves are linted against private reach-ins).
 #pragma once
 
 #include <cstdint>
@@ -37,12 +42,7 @@ class Request {
     on_complete_ = std::move(fn);
   }
 
- protected:
-  friend class Core;
-
-  Request(Kind kind, GateId gate, Tag tag, SeqNum seq)
-      : kind_(kind), gate_(gate), tag_(tag), seq_(seq) {}
-
+  // Engine-internal protocol entry point — applications must not call it.
   void complete(util::Status status) {
     if (done_) return;
     status_ = std::move(status);
@@ -53,6 +53,12 @@ class Request {
       fn();
     }
   }
+
+ protected:
+  friend class Core;
+
+  Request(Kind kind, GateId gate, Tag tag, SeqNum seq)
+      : kind_(kind), gate_(gate), tag_(tag), seq_(seq) {}
 
   Kind kind_;
   GateId gate_;
@@ -72,20 +78,23 @@ class SendRequest final : public Request {
  public:
   [[nodiscard]] size_t total_bytes() const { return total_bytes_; }
 
+  // Engine-internal protocol entry points — applications must not call
+  // these. One "part" per data/frag chunk and per rendezvous job; the
+  // request completes when all parts have been transmitted.
+  void add_part() { ++pending_parts_; }
+  void part_done() {
+    NMAD_ASSERT(pending_parts_ > 0);
+    if (--pending_parts_ == 0) complete(util::ok_status());
+  }
+  [[nodiscard]] size_t pending_parts() const { return pending_parts_; }
+  void reset_parts() { pending_parts_ = 0; }
+
  private:
   friend class Core;
   friend class util::ObjectPool<SendRequest>;
 
   SendRequest(GateId gate, Tag tag, SeqNum seq, size_t total_bytes)
       : Request(Kind::kSend, gate, tag, seq), total_bytes_(total_bytes) {}
-
-  // One "part" per data/frag chunk and per rendezvous job; the request
-  // completes when all parts have been transmitted.
-  void add_part() { ++pending_parts_; }
-  void part_done() {
-    NMAD_ASSERT(pending_parts_ > 0);
-    if (--pending_parts_ == 0) complete(util::ok_status());
-  }
 
   size_t total_bytes_;
   size_t pending_parts_ = 0;
@@ -98,13 +107,8 @@ class RecvRequest final : public Request {
   [[nodiscard]] bool total_known() const { return total_known_; }
   [[nodiscard]] size_t expected_bytes() const { return expected_; }
 
- private:
-  friend class Core;
-  friend class util::ObjectPool<RecvRequest>;
-
-  RecvRequest(GateId gate, Tag tag, SeqNum seq, DestLayout layout)
-      : Request(Kind::kRecv, gate, tag, seq), layout_(std::move(layout)) {}
-
+  // Engine-internal protocol entry points — applications must not call
+  // these.
   // Learns the message total from an incoming chunk header. Returns false
   // (and fails the request) when the destination is too small.
   bool set_total(size_t total) {
@@ -129,6 +133,15 @@ class RecvRequest final : public Request {
       complete(util::ok_status());
     }
   }
+
+  [[nodiscard]] DestLayout& layout() { return layout_; }
+
+ private:
+  friend class Core;
+  friend class util::ObjectPool<RecvRequest>;
+
+  RecvRequest(GateId gate, Tag tag, SeqNum seq, DestLayout layout)
+      : Request(Kind::kRecv, gate, tag, seq), layout_(std::move(layout)) {}
 
   DestLayout layout_;
   size_t received_ = 0;

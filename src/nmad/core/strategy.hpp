@@ -22,7 +22,7 @@
 
 namespace nmad::core {
 
-class Core;
+class ScheduleLayer;
 
 // Nominal per-rail information strategies may consult ("information about
 // the underlying network can be obtained in a generic manner", §4).
@@ -45,8 +45,10 @@ class Strategy {
 
   // Elects chunks from `gate`'s window into `builder` for transmission on
   // `rail`. Returns the number of chunks consumed (0 = nothing electable).
-  // The strategy must unlink consumed chunks from the window.
-  virtual size_t pack(Core& core, Gate& gate, const RailInfo& rail,
+  // The strategy must unlink consumed chunks from the window. Strategies
+  // are an extension point of the scheduling layer, so the SPI hands them
+  // that layer (credit admission, rail info) rather than the whole engine.
+  virtual size_t pack(ScheduleLayer& sched, Gate& gate, const RailInfo& rail,
                       PacketBuilder& builder) = 0;
 
   // Offered a ready rendezvous body for `rail`; returns the job to stream
@@ -56,7 +58,7 @@ class Strategy {
     BulkJob* job = nullptr;
     size_t bytes = 0;
   };
-  virtual BulkDecision next_bulk(Core& core, Gate& gate,
+  virtual BulkDecision next_bulk(ScheduleLayer& sched, Gate& gate,
                                  const RailInfo& rail) = 0;
 };
 

@@ -1,0 +1,363 @@
+#include "nmad/core/transfer_engine.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "nmad/core/format_util.hpp"
+#include "util/logging.hpp"
+
+// ---------------------------------------------------------------------------
+// Rail health lifecycle (CoreConfig::rail_health)
+//
+// Liveness is active and symmetric: every engine beacons on every rail (at
+// most one kHeartbeat per interval per peer, piggybacked when traffic
+// flows), and anything *heard* on a rail refreshes it — so a healthy but
+// idle fabric stays quiet-but-alive, and detection of a dead link no
+// longer depends on in-flight data timing out. Revival is epoch-fenced: a
+// dead rail is probed, the peer echoes the probe's epoch, and only replies
+// carrying the rail's current epoch advance probation. Any straggler from
+// an earlier life — a delayed reply, a beacon inside a retransmitted wire
+// image — is fenced and dropped.
+// ---------------------------------------------------------------------------
+
+namespace nmad::core {
+
+const char* rail_health_name(RailHealth health) {
+  switch (health) {
+    case RailHealth::kAlive: return "alive";
+    case RailHealth::kSuspect: return "suspect";
+    case RailHealth::kDead: return "dead";
+    case RailHealth::kProbation: return "probation";
+  }
+  return "?";
+}
+
+TransferEngine::TransferEngine(EngineContext& ctx, RailIndex index,
+                               std::unique_ptr<drivers::Driver> driver,
+                               RailInfo info)
+    : ctx_(ctx), index_(index), driver_(std::move(driver)), info_(info) {
+  // Track-1 deposits bypass the packet hub, yet a rail streaming one long
+  // rendezvous body is the opposite of dead: count every bulk arrival as
+  // liveness so the monitor does not kill a saturated rail mid-transfer.
+  driver_->set_bulk_rx_handler([this](drivers::PeerAddr) {
+    if (!health_on()) return;
+    refresh_liveness();
+  });
+}
+
+void TransferEngine::install_rx(RxSink sink) {
+  driver_->set_rx_handler(
+      [this, sink = std::move(sink)](drivers::RxPacket&& packet) {
+        if (health_on()) refresh_liveness();
+        sink(index_, std::move(packet));
+      });
+}
+
+void TransferEngine::install_orphan(drivers::Driver::BulkOrphanHandler sink) {
+  driver_->set_bulk_orphan_handler(std::move(sink));
+}
+
+void TransferEngine::refresh_liveness() {
+  last_rx_us_ = ctx_.world.now();
+  if (health_ == RailHealth::kSuspect) set_health(RailHealth::kAlive);
+}
+
+util::Status TransferEngine::send_packet(
+    const Gate& gate, const util::SegmentVec& segments,
+    drivers::Driver::CompletionFn on_tx_done) {
+  ctx_.bus.publish({.kind = EventKind::kWireTx,
+                    .gate = gate.id,
+                    .rail = index_,
+                    .a = segments.total_bytes(),
+                    .b = 0});
+  return driver_->send_packet(gate.peer, segments, std::move(on_tx_done));
+}
+
+util::Status TransferEngine::send_bulk(
+    const Gate& gate, uint64_t cookie, size_t offset,
+    const util::SegmentVec& segments,
+    drivers::Driver::CompletionFn on_tx_done) {
+  ctx_.bus.publish({.kind = EventKind::kWireTx,
+                    .gate = gate.id,
+                    .rail = index_,
+                    .a = segments.total_bytes(),
+                    .b = 1});
+  return driver_->send_bulk(gate.peer, cookie, offset, segments,
+                            std::move(on_tx_done));
+}
+
+util::Status TransferEngine::post_bulk_recv(simnet::BulkSink* sink) {
+  return driver_->post_bulk_recv(sink);
+}
+
+void TransferEngine::cancel_bulk_recv(uint64_t cookie) {
+  driver_->cancel_bulk_recv(cookie);
+}
+
+void TransferEngine::note_timeout() {
+  if (ctx_.config.rail_dead_after == 0) return;
+  if (!alive_) return;
+  if (++consec_timeouts_ >= ctx_.config.rail_dead_after) kill();
+}
+
+void TransferEngine::set_health(RailHealth next) {
+  if (health_ == next) return;
+  const RailHealth prev = health_;
+  health_ = next;
+  ctx_.bus.publish({.kind = EventKind::kHealthTransition,
+                    .rail = index_,
+                    .seq = epoch_,
+                    .a = static_cast<uint64_t>(prev),
+                    .b = static_cast<uint64_t>(next)});
+}
+
+void TransferEngine::kill() {
+  if (!alive_) return;
+  alive_ = false;
+  // A new epoch fences this rail's earlier life: probe replies and
+  // beacons carrying the old value no longer count toward revival.
+  ++epoch_;
+  probation_hits_ = 0;
+  last_probe_us_ = -1.0e18;  // probe at the very next health tick
+  ++ctx_.stats.rails_failed;
+  NMAD_LOG_WARN("nmad: node %u declares rail %u (%s) dead (epoch %u)",
+                ctx_.node.id(), static_cast<unsigned>(index_),
+                driver_->caps().name.c_str(), epoch_);
+  // The health-transition event is the rail's obituary on the bus: the
+  // scheduling layer's subscription re-homes prebuilt packets and
+  // in-flight traffic before this returns (delivery is synchronous).
+  set_health(RailHealth::kDead);
+}
+
+void TransferEngine::revive() {
+  if (alive_) return;
+  alive_ = true;
+  consec_timeouts_ = 0;
+  probation_hits_ = 0;
+  last_rx_us_ = ctx_.world.now();
+  ++ctx_.stats.rails_revived;
+  NMAD_LOG_WARN("nmad: node %u revives rail %u (%s) at epoch %u",
+                ctx_.node.id(), static_cast<unsigned>(index_),
+                driver_->caps().name.c_str(), epoch_);
+  // The scheduling layer's subscription hands the rail back to rendezvous
+  // jobs whose CTS granted it, then kicks an election pass.
+  set_health(RailHealth::kAlive);
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeats
+// ---------------------------------------------------------------------------
+
+double& TransferEngine::hb_tx_slot(GateId id) {
+  if (hb_tx_us_.size() <= id) {
+    hb_tx_us_.resize(std::max(ctx_.gates.size(), size_t{id} + 1), -1.0e18);
+  }
+  return hb_tx_us_[id];
+}
+
+OutChunk* TransferEngine::make_heartbeat_chunk(uint8_t flags,
+                                               uint32_t epoch) {
+  OutChunk* hb = ctx_.chunk_pool.acquire();
+  hb->kind = ChunkKind::kHeartbeat;
+  hb->flags = flags;
+  hb->tag = 0;
+  hb->seq = epoch;  // the rail epoch rides the seq field
+  hb->prio = Priority::kHigh;
+  hb->owner = nullptr;
+  return hb;
+}
+
+void TransferEngine::maybe_inject_heartbeat(Gate& gate,
+                                            PacketBuilder& builder) {
+  if (!health_on()) return;
+  double& last = hb_tx_slot(gate.id);
+  if (ctx_.world.now() - last < ctx_.config.heartbeat_interval_us) return;
+  OutChunk* hb = make_heartbeat_chunk(kFlagNone, epoch_);
+  if (!builder.fits(*hb)) {
+    ctx_.chunk_pool.release(hb);
+    return;
+  }
+  builder.add(hb);
+  last = ctx_.world.now();
+  ++ctx_.stats.heartbeats_sent;
+}
+
+void TransferEngine::send_standalone_heartbeat(Gate& gate, uint8_t flags,
+                                               uint32_t epoch) {
+  auto builder = std::make_shared<PacketBuilder>(
+      std::min(gate.max_packet, info_.max_packet_bytes),
+      info_.gather ? info_.max_gather_segments : 0, ctx_.config.wire_checksum,
+      /*reserve_seq=*/true);
+  builder->add(make_heartbeat_chunk(flags, epoch));
+  // Refresh the beacon slot before the issue path, which would otherwise
+  // piggyback a second (now redundant) plain beacon onto this packet.
+  hb_tx_slot(gate.id) = ctx_.world.now();
+  if ((flags & kFlagProbe) != 0) {
+    ++ctx_.stats.probes_sent;
+  } else if ((flags & kFlagReply) != 0) {
+    ++ctx_.stats.probe_replies_sent;
+  } else {
+    ++ctx_.stats.heartbeats_sent;
+  }
+  issuer_->issue_standalone(gate, index_, std::move(builder));
+}
+
+void TransferEngine::start_monitor(double now) {
+  last_rx_us_ = now;  // silence is counted from connect, not time zero
+  health_timer_armed_ = true;
+  health_timer_ = ctx_.world.after(ctx_.config.heartbeat_interval_us,
+                                   [this]() { on_health_tick(); });
+}
+
+void TransferEngine::stop_monitor() {
+  if (health_timer_armed_) {
+    ctx_.world.cancel(health_timer_);
+    health_timer_armed_ = false;
+  }
+}
+
+void TransferEngine::on_health_tick() {
+  health_timer_armed_ = false;
+  const double now = ctx_.world.now();
+
+  if (alive_) {
+    if (now - last_rx_us_ >= ctx_.config.dead_after_us) {
+      // Sustained silence despite our beacons provoking acks: the link is
+      // gone. kill() re-elects its in-flight traffic (via the bus) and
+      // bumps the epoch; the dead branch below starts probing for revival.
+      kill();
+    } else {
+      if (now - last_rx_us_ >= ctx_.config.suspect_after_us) {
+        if (health_ == RailHealth::kAlive) {
+          set_health(RailHealth::kSuspect);
+          ++ctx_.stats.rails_suspected;
+        }
+      }
+      // Beacon duty: one standalone heartbeat per tick, to the peer that
+      // has waited longest (piggybacking covers the rest when traffic
+      // flows). One per tick keeps the NIC contention negligible; the
+      // suspect/dead thresholds leave room for the rotation.
+      if (driver_->tx_idle()) {
+        Gate* stalest = nullptr;
+        double stalest_at = 0.0;
+        for (auto& gate_ptr : ctx_.gates) {
+          Gate& g = *gate_ptr;
+          if (g.failed || !g.has_rail(index_)) continue;
+          const double at = hb_tx_slot(g.id);
+          if (stalest == nullptr || at < stalest_at) {
+            stalest = &g;
+            stalest_at = at;
+          }
+        }
+        if (stalest != nullptr &&
+            now - stalest_at >= ctx_.config.heartbeat_interval_us) {
+          send_standalone_heartbeat(*stalest, kFlagNone, epoch_);
+        }
+      }
+    }
+  } else {
+    if (health_ == RailHealth::kProbation &&
+        now - last_fresh_reply_us_ > 2.0 * ctx_.config.probe_interval_us) {
+      // Replies dried up mid-probation: back to dead under a new epoch,
+      // so stragglers from the aborted attempt cannot count again.
+      set_health(RailHealth::kDead);
+      ++epoch_;
+      probation_hits_ = 0;
+      ++ctx_.stats.probation_demotions;
+    }
+    if (now - last_probe_us_ >= ctx_.config.probe_interval_us &&
+        driver_->tx_idle()) {
+      last_probe_us_ = now;
+      // Any peer's reply is proof the local link works; probe the first
+      // live gate on the rail.
+      for (auto& gate_ptr : ctx_.gates) {
+        Gate& g = *gate_ptr;
+        if (g.failed || !g.has_rail(index_)) continue;
+        send_standalone_heartbeat(g, kFlagProbe, epoch_);
+        break;
+      }
+    }
+  }
+
+  health_timer_armed_ = true;
+  health_timer_ = ctx_.world.after(ctx_.config.heartbeat_interval_us,
+                                   [this]() { on_health_tick(); });
+}
+
+void TransferEngine::handle_heartbeat(Gate& gate, const WireChunk& chunk) {
+  if ((chunk.flags & kFlagProbe) != 0) {
+    // The probe reached us, which is itself proof the link carries
+    // traffic; echo its epoch back so the prober can fence replies that
+    // straddle a further death. Replying is best-effort — the prober
+    // retries on its own schedule.
+    if (!gate.failed && driver_->tx_idle()) {
+      send_standalone_heartbeat(gate, kFlagReply, chunk.seq);
+    }
+    return;
+  }
+  if ((chunk.flags & kFlagReply) != 0) {
+    if (alive_ || chunk.seq != epoch_) {
+      // A reply for an epoch this rail has moved past (or a rail that
+      // already revived): it proves nothing about the current life.
+      ++ctx_.stats.heartbeats_fenced;
+      return;
+    }
+    set_health(RailHealth::kProbation);
+    last_fresh_reply_us_ = ctx_.world.now();
+    if (++probation_hits_ >= ctx_.config.probation_replies) {
+      revive();
+    }
+    return;
+  }
+  // Plain beacon. The peer's epoch only ever grows; an older value is a
+  // stale wire image (a beacon piggybacked on a packet that was flattened
+  // for retransmission before the peer's rail died) — fence it.
+  if (chunk.seq < peer_epoch_) {
+    ++ctx_.stats.heartbeats_fenced;
+    return;
+  }
+  peer_epoch_ = chunk.seq;
+  ++ctx_.stats.heartbeats_received;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+void TransferEngine::dump_health(std::ostream& out) const {
+  if (!health_on()) return;
+  dumpf(out, " health=%s epoch=%u peer_epoch=%u heard=%.0fus_ago",
+        rail_health_name(health_), epoch_, peer_epoch_,
+        ctx_.world.now() - last_rx_us_);
+  if (health_ == RailHealth::kProbation) {
+    dumpf(out, " probation=%u/%u", probation_hits_,
+          ctx_.config.probation_replies);
+  }
+}
+
+void TransferEngine::check(size_t display_index,
+                           std::vector<std::string>& out) const {
+  const bool health_says_alive = health_ == RailHealth::kAlive ||
+                                 health_ == RailHealth::kSuspect;
+  if (alive_ != health_says_alive) {
+    addf(out, "rail %zu: alive=%d but health=%s", display_index,
+         alive_ ? 1 : 0, rail_health_name(health_));
+  }
+  if (!alive_ && epoch_ == 0) {
+    addf(out, "rail %zu: dead without ever bumping its epoch",
+         display_index);
+  }
+  if (probation_hits_ != 0 && health_ != RailHealth::kProbation) {
+    addf(out, "rail %zu: probation hits outside probation (health=%s)",
+         display_index, rail_health_name(health_));
+  }
+  if (health_ == RailHealth::kProbation &&
+      probation_hits_ >= ctx_.config.probation_replies) {
+    addf(out,
+         "rail %zu: %u probation hits reached the revival bar without "
+         "reviving",
+         display_index, probation_hits_);
+  }
+}
+
+}  // namespace nmad::core

@@ -1,10 +1,16 @@
 // Compiled-in protocol invariant checking (CMake option NMAD_VALIDATE).
 //
-// check_invariants() re-derives every piece of per-gate bookkeeping from
-// first principles and compares it against the engine's incremental
-// counters: the optimization window vs. the credit accounting, the
-// unexpected store vs. its gauge and the rx budget, the reliability
-// window vs. its timers, and the matching structures against each other.
+// check_invariants() re-derives every piece of bookkeeping from first
+// principles and compares it against the engine's incremental counters.
+// Each layer audits only its own state — ScheduleLayer::check_gate (the
+// window vs. credit accounting, the rendezvous send pipeline, the
+// reliability windows), CollectLayer::check_gate (the unexpected store's
+// tombstones, the matching structures), TransferEngine::check (the
+// alive/health state machine) — and this file keeps the seams: the
+// collect layer's actual store vs. the scheduler's gauge, and the
+// engine-wide rx budget. Violations are tallied per layer into the
+// validate_violations_* stats so a failure report names its owner.
+//
 // The walk is deliberately O(state) — it runs on every progress tick in
 // validating builds, so a violation is caught within one event of the
 // state transition that introduced it, while the schedule that produced
@@ -14,30 +20,25 @@
 // (FIFO matching, payload integrity, exactly-once completion) lives in
 // the test harness oracle, which shadows the engine from outside.
 #include <algorithm>
-#include <cstdarg>
 #include <cstdio>
 
 #include "nmad/core/core.hpp"
+#include "nmad/core/format_util.hpp"
 #include "util/assert.hpp"
 
 namespace nmad::core {
+
 namespace {
-
-[[gnu::format(printf, 2, 3)]]
-void addf(std::vector<std::string>& out, const char* fmt, ...) {
-  char buf[512];
-  va_list ap;
-  va_start(ap, fmt);
-  std::vsnprintf(buf, sizeof(buf), fmt, ap);
-  va_end(ap);
-  out.emplace_back(buf);
-}
-
 using ULL = unsigned long long;
-
 }  // namespace
 
 bool Core::check_invariants(std::vector<std::string>* failures) const {
+  ValidateReport report;
+  return check_invariants_report(failures, &report);
+}
+
+bool Core::check_invariants_report(std::vector<std::string>* failures,
+                                   ValidateReport* report) const {
   std::vector<std::string> local;
   std::vector<std::string>& out = failures != nullptr ? *failures : local;
   const size_t before = out.size();
@@ -50,316 +51,41 @@ bool Core::check_invariants(std::vector<std::string>* failures) const {
     const Gate& g = *gate_ptr;
     if (g.failed) continue;  // fail_gate already tore this state down
     max_packet_max = std::max(max_packet_max, g.max_packet);
-    stored_bytes_total += g.stored_bytes;
-    stored_chunks_total += g.stored_chunks;
+    stored_bytes_total += g.sched.stored_bytes;
+    stored_chunks_total += g.sched.stored_chunks;
 
-    // --- send window ----------------------------------------------------
-    // Control chunks never carry an owner; payload chunks always do, and
-    // a completed send can have nothing left in the window (its parts are
-    // what completion counts down).
-    uint64_t win_uncharged = 0;
-    for (const OutChunk& c : g.window) {
-      if (c.is_control()) {
-        if (c.owner != nullptr) {
-          addf(out, "gate %u: %s control chunk carries an owner", g.id,
-               chunk_kind_name(c.kind));
-        }
-        continue;
-      }
-      if (c.owner == nullptr) {
-        addf(out, "gate %u: payload chunk (tag %llu seq %u) has no owner",
-             g.id, static_cast<ULL>(c.tag), c.seq);
-      } else if (c.owner->done()) {
-        addf(out,
-             "gate %u: window chunk owned by a completed send "
-             "(tag %llu seq %u)",
-             g.id, static_cast<ULL>(c.tag), c.seq);
-      }
-      if (!c.credit_charged) win_uncharged += c.payload.size();
-    }
+    size_t mark = out.size();
+    sched_.check_gate(g, out);
+    report->schedule += out.size() - mark;
 
-    // --- flow control ---------------------------------------------------
-    if (config_.flow_control) {
-      if (win_uncharged != g.window_eager_bytes) {
-        addf(out,
-             "gate %u: window_eager_bytes=%llu but the window holds %llu "
-             "uncharged payload bytes (a charge was skipped or doubled)",
-             g.id, static_cast<ULL>(g.window_eager_bytes),
-             static_cast<ULL>(win_uncharged));
-      }
-      if (g.eager_sent_bytes > g.credit_limit_bytes) {
-        addf(out, "gate %u: charged %llu eager bytes past the limit %llu",
-             g.id, static_cast<ULL>(g.eager_sent_bytes),
-             static_cast<ULL>(g.credit_limit_bytes));
-      }
-      if (g.eager_sent_chunks > g.credit_limit_chunks) {
-        addf(out, "gate %u: charged %llu eager chunks past the limit %llu",
-             g.id, static_cast<ULL>(g.eager_sent_chunks),
-             static_cast<ULL>(g.credit_limit_chunks));
-      }
-      if (g.eager_heard_bytes > g.advertised_limit_bytes) {
-        addf(out,
-             "gate %u: heard %llu eager bytes but only advertised %llu "
-             "(peer sent uncharged traffic)",
-             g.id, static_cast<ULL>(g.eager_heard_bytes),
-             static_cast<ULL>(g.advertised_limit_bytes));
-      }
-      if (g.eager_heard_chunks > g.advertised_limit_chunks) {
-        addf(out,
-             "gate %u: heard %llu eager chunks but only advertised %llu",
-             g.id, static_cast<ULL>(g.eager_heard_chunks),
-             static_cast<ULL>(g.advertised_limit_chunks));
-      }
-      if (g.last_sent_limit_bytes > g.advertised_limit_bytes ||
-          g.last_sent_limit_chunks > g.advertised_limit_chunks) {
-        addf(out,
-             "gate %u: a limit on the wire (%llu/%llu) exceeds the "
-             "advertised limit (%llu/%llu) — adverts must be monotone",
-             g.id, static_cast<ULL>(g.last_sent_limit_bytes),
-             static_cast<ULL>(g.last_sent_limit_chunks),
-             static_cast<ULL>(g.advertised_limit_bytes),
-             static_cast<ULL>(g.advertised_limit_chunks));
-      }
-    }
+    mark = out.size();
+    collect_.check_gate(g, out);
+    report->collect += out.size() - mark;
 
-    // --- unexpected store ------------------------------------------------
-    size_t exp_bytes = 0;
-    size_t exp_chunks = 0;
-    for (const auto& [key, msg] : g.unexpected) {
-      if (msg.peer_cancelled && (!msg.frags.empty() || !msg.rts.empty())) {
-        addf(out,
-             "gate %u: tombstoned unexpected message (tag %llu seq %u) "
-             "still holds data",
-             g.id, static_cast<ULL>(key.first), key.second);
-      }
-      for (const StoredFrag& frag : msg.frags) {
-        exp_bytes += frag.data.view().size();
-        if (!frag.data.view().empty()) ++exp_chunks;
-      }
-      if (g.active_recv.count(key) != 0) {
-        addf(out,
-             "gate %u: message (tag %llu seq %u) both matched and parked "
-             "as unexpected",
-             g.id, static_cast<ULL>(key.first), key.second);
-      }
-      if (g.cancelled_recv.count(key) != 0) {
-        addf(out,
-             "gate %u: message (tag %llu seq %u) both cancelled and "
-             "parked as unexpected",
-             g.id, static_cast<ULL>(key.first), key.second);
-      }
-    }
-    if (exp_bytes != g.stored_bytes || exp_chunks != g.stored_chunks) {
+    // --- the collect/schedule seam ----------------------------------------
+    // The scheduler's gauge is incremental (charged/discharged as
+    // fragments park and drain); the collect layer's store is the ground
+    // truth. They must agree byte for byte.
+    mark = out.size();
+    const auto [exp_bytes, exp_chunks] = collect_.count_store(g);
+    if (exp_bytes != g.sched.stored_bytes ||
+        exp_chunks != g.sched.stored_chunks) {
       addf(out,
            "gate %u: unexpected store holds %zu bytes / %zu chunks but "
            "the gauge says %zu/%zu",
-           g.id, exp_bytes, exp_chunks, g.stored_bytes, g.stored_chunks);
+           g.id, exp_bytes, exp_chunks, g.sched.stored_bytes,
+           g.sched.stored_chunks);
     }
-
-    // --- receive matching ------------------------------------------------
-    for (const auto& [key, req] : g.active_recv) {
-      if (req == nullptr) {
-        addf(out, "gate %u: null receive matched (tag %llu seq %u)", g.id,
-             static_cast<ULL>(key.first), key.second);
-        continue;
-      }
-      if (req->done()) {
-        addf(out,
-             "gate %u: completed receive still matched (tag %llu seq %u)",
-             g.id, static_cast<ULL>(key.first), key.second);
-      }
-      if (req->tag() != key.first || req->seq() != key.second) {
-        addf(out,
-             "gate %u: active_recv key (tag %llu seq %u) does not match "
-             "its request (tag %llu seq %u)",
-             g.id, static_cast<ULL>(key.first), key.second,
-             static_cast<ULL>(req->tag()), req->seq());
-      }
-      if (g.cancelled_recv.count(key) != 0) {
-        addf(out,
-             "gate %u: receive (tag %llu seq %u) both active and "
-             "cancelled",
-             g.id, static_cast<ULL>(key.first), key.second);
-      }
-    }
-    for (const auto& [cookie, rec] : g.rdv_recv) {
-      if (rec.request == nullptr || rec.request->done()) {
-        addf(out,
-             "gate %u: rendezvous receive (cookie %llu) without a live "
-             "request",
-             g.id, static_cast<ULL>(cookie));
-        continue;
-      }
-      const MsgKey key{rec.request->tag(), rec.request->seq()};
-      auto it = g.active_recv.find(key);
-      if (it == g.active_recv.end() || it->second != rec.request) {
-        addf(out,
-             "gate %u: rendezvous receive (cookie %llu) not in "
-             "active_recv",
-             g.id, static_cast<ULL>(cookie));
-      }
-    }
-
-    // --- rendezvous send side --------------------------------------------
-    for (const auto& [cookie, job] : g.rdv_wait_cts) {
-      if (job == nullptr || job->cookie != cookie || job->gate != g.id) {
-        addf(out, "gate %u: corrupt parked rendezvous (cookie %llu)", g.id,
-             static_cast<ULL>(cookie));
-        continue;
-      }
-      if (job->sent != 0 || job->acked != 0) {
-        addf(out,
-             "gate %u: rendezvous body (cookie %llu) moved before its CTS",
-             g.id, static_cast<ULL>(cookie));
-      }
-      if (job->owner == nullptr || job->owner->done()) {
-        addf(out,
-             "gate %u: parked rendezvous (cookie %llu) without a live "
-             "owner",
-             g.id, static_cast<ULL>(cookie));
-      }
-    }
-    for (const BulkJob& job : g.ready_bulk) {
-      if (job.gate != g.id) {
-        addf(out, "gate %u: ready bulk job belongs to gate %u", g.id,
-             job.gate);
-      }
-      if (job.owner == nullptr || job.owner->done()) {
-        addf(out, "gate %u: ready bulk job (cookie %llu) without a live "
-             "owner",
-             g.id, static_cast<ULL>(job.cookie));
-      }
-      if (job.sent > job.body.size() || job.acked > job.sent) {
-        addf(out,
-             "gate %u: bulk job (cookie %llu) accounting sent=%zu "
-             "acked=%zu body=%zu",
-             g.id, static_cast<ULL>(job.cookie), job.sent, job.acked,
-             job.body.size());
-      }
-      if (job.all_sent()) {
-        addf(out,
-             "gate %u: fully-sent bulk job (cookie %llu) still on the "
-             "ready list",
-             g.id, static_cast<ULL>(job.cookie));
-      }
-    }
-
-    // --- reliability -----------------------------------------------------
-    if (config_.reliability) {
-      if (g.pending_pkts.size() > config_.reliability_window) {
-        addf(out, "gate %u: %zu unacked packets exceed the window cap %zu",
-             g.id, g.pending_pkts.size(), config_.reliability_window);
-      }
-      for (const auto& [seq, p] : g.pending_pkts) {
-        if (seq >= g.next_pkt_seq) {
-          addf(out, "gate %u: pending packet seq %u beyond next seq %u",
-               g.id, seq, g.next_pkt_seq);
-        }
-        if (p.wire == nullptr || p.wire->view().empty()) {
-          addf(out, "gate %u: pending packet seq %u has no wire image",
-               g.id, seq);
-        }
-        // Liveness: an unacked packet with neither a ticking timer nor a
-        // place in the retransmit queue will never be recovered.
-        if (!p.timer_armed && !p.queued_retx) {
-          addf(out,
-               "gate %u: pending packet seq %u neither timed nor queued "
-               "for retransmit",
-               g.id, seq);
-        }
-        if (p.queued_retx &&
-            std::find(g.retx_queue.begin(), g.retx_queue.end(), seq) ==
-                g.retx_queue.end()) {
-          addf(out,
-               "gate %u: packet seq %u marked queued but absent from the "
-               "retransmit queue",
-               g.id, seq);
-        }
-        for (const SendRequest* owner : p.owners) {
-          if (owner != nullptr && owner->done()) {
-            addf(out,
-                 "gate %u: pending packet seq %u owned by a completed "
-                 "send",
-                 g.id, seq);
-          }
-        }
-      }
-      for (const auto& [key, p] : g.pending_bulk) {
-        if (p.job == nullptr) {
-          addf(out, "gate %u: pending bulk slice (cookie %llu) has no job",
-               g.id, static_cast<ULL>(key.first));
-          continue;
-        }
-        if (!p.timer_armed && !p.queued_retx) {
-          addf(out,
-               "gate %u: bulk slice (cookie %llu offset %zu) neither "
-               "timed nor queued for retransmit",
-               g.id, static_cast<ULL>(key.first), key.second);
-        }
-        if (p.queued_retx &&
-            std::find(g.bulk_retx.begin(), g.bulk_retx.end(), key) ==
-                g.bulk_retx.end()) {
-          addf(out,
-               "gate %u: bulk slice (cookie %llu offset %zu) marked "
-               "queued but absent from the retransmit queue",
-               g.id, static_cast<ULL>(key.first), key.second);
-        }
-        if (p.offset + p.len > p.job->body.size()) {
-          addf(out,
-               "gate %u: bulk slice (cookie %llu) extent %zu+%zu exceeds "
-               "the body (%zu bytes)",
-               g.id, static_cast<ULL>(key.first), p.offset, p.len,
-               p.job->body.size());
-        }
-        if (p.job->owner == nullptr || p.job->owner->done()) {
-          addf(out,
-               "gate %u: in-flight bulk slice (cookie %llu) without a "
-               "live owner",
-               g.id, static_cast<ULL>(key.first));
-        }
-      }
-      // The dedup set only keeps seqs the floor has not swallowed yet.
-      if (!g.recv_seen.empty() && *g.recv_seen.begin() <= g.recv_floor) {
-        addf(out,
-             "gate %u: seq dedup set reaches down to %u at/below the "
-             "floor %u",
-             g.id, *g.recv_seen.begin(), g.recv_floor);
-      }
-    } else if (!g.pending_pkts.empty() || !g.pending_bulk.empty() ||
-               !g.retx_queue.empty() || !g.bulk_retx.empty()) {
-      addf(out, "gate %u: reliability state without the reliability layer",
-           g.id);
-    }
+    report->engine += out.size() - mark;
   }
 
-  // --- rail health lifecycle ----------------------------------------------
-  // The boolean alive flag and the four-state health machine must agree,
-  // and the epoch must witness every death (it bumps on each one).
-  for (size_t r = 0; r < rails_.size(); ++r) {
-    const RailState& rs = rails_[r];
-    const bool healthy = rs.health == RailHealth::kAlive ||
-                         rs.health == RailHealth::kSuspect;
-    if (rs.alive != healthy) {
-      addf(out, "rail %zu: alive=%d but health=%s", r, rs.alive ? 1 : 0,
-           rail_health_name(rs.health));
-    }
-    if (!rs.alive && rs.epoch == 0) {
-      addf(out, "rail %zu: dead with epoch 0 (death must bump the epoch)",
-           r);
-    }
-    if (rs.probation_hits != 0 && rs.health != RailHealth::kProbation) {
-      addf(out, "rail %zu: %u probation hits outside probation (health=%s)",
-           r, rs.probation_hits, rail_health_name(rs.health));
-    }
-    if (config_.rail_health && rs.probation_hits >= config_.probation_replies &&
-        !rs.alive) {
-      addf(out, "rail %zu: %u probation hits reached the revival bar (%u) "
-           "without reviving",
-           r, rs.probation_hits, config_.probation_replies);
-    }
-  }
+  // --- transfer layer ------------------------------------------------------
+  size_t mark = out.size();
+  for (size_t r = 0; r < rails_.size(); ++r) rails_[r]->check(r, out);
+  report->transfer += out.size() - mark;
 
-  // --- cross-gate gauges -------------------------------------------------
+  // --- cross-gate gauges (engine level) ------------------------------------
+  mark = out.size();
   if (stored_bytes_total != stats_.rx_stored_bytes) {
     addf(out,
          "unexpected-store gauge %llu disagrees with the per-gate sum "
@@ -391,6 +117,7 @@ bool Core::check_invariants(std::vector<std::string>* failures) const {
            static_cast<ULL>(stored_chunks_total), static_cast<ULL>(budget));
     }
   }
+  report->engine += out.size() - mark;
 
   return out.size() == before;
 }
@@ -398,8 +125,13 @@ bool Core::check_invariants(std::vector<std::string>* failures) const {
 void Core::validate_invariants() {
   ++stats_.validate_ticks;
   std::vector<std::string> failures;
-  if (check_invariants(&failures)) return;
+  ValidateReport report;
+  if (check_invariants_report(&failures, &report)) return;
   stats_.validate_violations += failures.size();
+  stats_.validate_violations_collect += report.collect;
+  stats_.validate_violations_schedule += report.schedule;
+  stats_.validate_violations_transfer += report.transfer;
+  stats_.validate_violations_engine += report.engine;
   if (validate_failure_handler_) {
     validate_failure_handler_(failures);
     return;
@@ -410,7 +142,9 @@ void Core::validate_invariants() {
   for (const std::string& f : failures) {
     std::fprintf(stderr, "  %s\n", f.c_str());
   }
-  debug_dump(stderr);
+  // The dump ends with the event-bus trace: the last thing the engine did
+  // before the violation, in order.
+  debug_dump(std::cerr);
   util::assert_fail("protocol invariants hold", __FILE__, __LINE__,
                     failures.front().c_str());
 }

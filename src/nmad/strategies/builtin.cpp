@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "nmad/core/core.hpp"
+#include "nmad/core/schedule_layer.hpp"
 #include "nmad/core/strategy.hpp"
 
 namespace nmad::core {
@@ -16,32 +16,32 @@ class DefaultStrategy : public Strategy {
  public:
   [[nodiscard]] std::string_view name() const override { return "default"; }
 
-  size_t pack(Core& core, Gate& gate, const RailInfo& rail,
+  size_t pack(ScheduleLayer& sched, Gate& gate, const RailInfo& rail,
               PacketBuilder& builder) override {
-    OutChunk* chunk = first_eligible(core, gate, rail);
+    OutChunk* chunk = first_eligible(sched, gate, rail);
     if (chunk == nullptr) return 0;
-    gate.window.remove(*chunk);
-    core.charge_credit(gate, *chunk);
+    gate.sched.window.remove(*chunk);
+    sched.charge_credit(gate, *chunk);
     builder.add(chunk);
     return 1;
   }
 
-  BulkDecision next_bulk(Core& core, Gate& gate,
+  BulkDecision next_bulk(ScheduleLayer& sched, Gate& gate,
                          const RailInfo& rail) override {
-    (void)core;
-    for (BulkJob& job : gate.ready_bulk) {
+    (void)sched;
+    for (BulkJob& job : gate.sched.ready_bulk) {
       if (job.allows_rail(rail.index)) return {&job, job.remaining()};
     }
     return {};
   }
 
  protected:
-  static OutChunk* first_eligible(Core& core, Gate& gate,
+  static OutChunk* first_eligible(ScheduleLayer& sched, Gate& gate,
                                   const RailInfo& rail) {
-    for (OutChunk& chunk : gate.window) {
+    for (OutChunk& chunk : gate.sched.window) {
       if ((chunk.pinned_rail == kAnyRail ||
            chunk.pinned_rail == rail.index) &&
-          core.credit_admits(gate, chunk)) {
+          sched.credit_admits(gate, chunk)) {
         return &chunk;
       }
     }
@@ -56,7 +56,7 @@ class AggregStrategy : public DefaultStrategy {
  public:
   [[nodiscard]] std::string_view name() const override { return "aggreg"; }
 
-  size_t pack(Core& core, Gate& gate, const RailInfo& rail,
+  size_t pack(ScheduleLayer& sched, Gate& gate, const RailInfo& rail,
               PacketBuilder& builder) override {
     const size_t limit = aggregate_limit(gate, rail);
     size_t taken = 0;
@@ -65,9 +65,10 @@ class AggregStrategy : public DefaultStrategy {
     // skipped but scanning continues: this is the paper's reordering
     // "to maximize the number of aggregation operations".
     for (int pass = 0; pass < 2; ++pass) {
-      OutChunk* it = gate.window.empty() ? nullptr : &gate.window.front();
+      OutChunk* it =
+          gate.sched.window.empty() ? nullptr : &gate.sched.window.front();
       while (it != nullptr) {
-        OutChunk* next = gate.window.next_of(*it);
+        OutChunk* next = gate.sched.window.next_of(*it);
         const bool urgent =
             it->is_control() || (it->flags & kFlagPriority) != 0;
         const bool wanted = (pass == 0) ? urgent : !urgent;
@@ -76,9 +77,9 @@ class AggregStrategy : public DefaultStrategy {
         if (wanted && rail_ok && builder.fits(*it) &&
             (builder.wire_bytes() + it->wire_bytes() <= limit ||
              builder.empty()) &&
-            core.credit_admits(gate, *it)) {
-          gate.window.remove(*it);
-          core.charge_credit(gate, *it);
+            sched.credit_admits(gate, *it)) {
+          gate.sched.window.remove(*it);
+          sched.charge_credit(gate, *it);
           builder.add(it);
           ++taken;
         }
@@ -123,9 +124,9 @@ class SplitBalanceStrategy final : public AggregStrategy {
     return "split_balance";
   }
 
-  BulkDecision next_bulk(Core& core, Gate& gate,
+  BulkDecision next_bulk(ScheduleLayer& sched, Gate& gate,
                          const RailInfo& rail) override {
-    for (BulkJob& job : gate.ready_bulk) {
+    for (BulkJob& job : gate.sched.ready_bulk) {
       if (!job.allows_rail(rail.index)) continue;
       const size_t remaining = job.remaining();
       if (remaining == 0) continue;
@@ -137,7 +138,7 @@ class SplitBalanceStrategy final : public AggregStrategy {
       // This rail's share of the original body, by nominal bandwidth.
       double bw_sum = 0.0;
       for (uint8_t r : job.rails) {
-        bw_sum += core.rail_info(r).bandwidth_mbps;
+        bw_sum += sched.rail_info(r).bandwidth_mbps;
       }
       const double fraction = rail.bandwidth_mbps / bw_sum;
       auto share = static_cast<size_t>(

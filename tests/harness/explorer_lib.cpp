@@ -359,6 +359,28 @@ class Runner {
           });
     }
     live_.resize(plan_.messages.size());
+    // Shadow the event-bus spine: record the first time each node saw
+    // each lifecycle stage, so the run can prove the complete
+    // elect -> build -> tx -> rx -> ack chain went over the bus even
+    // after the bounded trace ring has recycled the early events.
+    chain_.resize(plan_.nodes);
+    for (simnet::NodeId n = 0; n < cluster_->node_count(); ++n) {
+      ChainTimes& times = chain_[n];
+      core::EventBus& bus = cluster_->core(n).bus();
+      bus.subscribe(core::EventKind::kElected, [&times](const core::Event& e) {
+        if (times.elected < 0.0) times.elected = e.t;
+      });
+      bus.subscribe(core::EventKind::kPacketBuilt,
+                    [&times](const core::Event& e) {
+                      if (times.built < 0.0) times.built = e.t;
+                    });
+      bus.subscribe(core::EventKind::kWireTx, [&times](const core::Event& e) {
+        if (times.tx < 0.0) times.tx = e.t;
+      });
+      bus.subscribe(core::EventKind::kAcked, [&times](const core::Event& e) {
+        if (times.acked < 0.0) times.acked = e.t;
+      });
+    }
     if (opts_.inject_skip_credit) {
       cluster_->core(0).test_skip_next_credit_charge(3);
     }
@@ -458,11 +480,45 @@ class Runner {
       }
     }
     oracle_.finalize(*cluster_, /*allow_gate_failures=*/false);
-    if (opts_.verbose && !oracle_.ok()) {
+    if (!oracle_.ok()) {
+      // Oracle violations always come with the engine dumps: the event-bus
+      // trace at the end of each dump is the schedule's last moves in order.
       for (simnet::NodeId n = 0; n < cluster_->node_count(); ++n) {
-        cluster_->core(n).debug_dump(stderr);
+        cluster_->core(n).debug_dump(std::cerr);
       }
     }
+
+    // Fold the per-node event-bus accounting into the result and audit
+    // the trace rings: chronological order always, and at least one node
+    // must have retained the sender-side elect/build/tx chain (plus an
+    // ack when the plan was reliable) so a failing seed's dump shows the
+    // schedule's actual moves.
+    bool any_chain = false;
+    bool rings_ordered = true;
+    for (simnet::NodeId n = 0; n < cluster_->node_count(); ++n) {
+      const core::Core& c = cluster_->core(n);
+      const core::CoreStats& s = c.stats();
+      result.ev_elected += s.ev_elected;
+      result.ev_packet_built += s.ev_packet_built;
+      result.ev_wire_tx += s.ev_wire_tx;
+      result.ev_wire_rx += s.ev_wire_rx;
+      result.ev_acked += s.ev_acked;
+      double last_t = 0.0;
+      for (const core::Event& ev : c.bus().trace()) {
+        if (ev.t < last_t) rings_ordered = false;
+        last_t = ev.t;
+      }
+      // The shadow subscription saw the stages as they happened; a
+      // complete sender-side chain is causally ordered first times.
+      const ChainTimes& times = chain_[n];
+      if (times.elected >= 0.0 && times.elected <= times.built &&
+          times.built <= times.tx &&
+          (!plan_.config.reliability || times.tx <= times.acked)) {
+        any_chain = true;
+      }
+    }
+    result.trace_lifecycle_ok =
+        rings_ordered && (any_chain || result.messages == 0);
 
     result.violations = oracle_.violations();
     result.ok = result.violations.empty();
@@ -628,7 +684,17 @@ class Runner {
   ExplorerOptions opts_;
   Plan plan_;
   std::unique_ptr<api::Cluster> cluster_;
+  // First time each node's bus reported each lifecycle stage (-1 =
+  // never). Filled by the shadow subscriptions wired in the ctor.
+  struct ChainTimes {
+    double elected = -1.0;
+    double built = -1.0;
+    double tx = -1.0;
+    double acked = -1.0;
+  };
+
   std::vector<LiveMessage> live_;
+  std::vector<ChainTimes> chain_;
   ProtocolOracle oracle_;
 };
 

@@ -48,6 +48,18 @@ struct ExplorerResult {
   size_t rails = 0;
   bool flow_control = false;
   double virtual_us = 0.0;  // virtual time consumed by the run
+  // Event-bus lifecycle accounting, summed over every node's engine.
+  // A reliable run that moved data must have walked the complete
+  // elect -> build -> tx -> rx -> ack chain through the packet tracer.
+  uint64_t ev_elected = 0;
+  uint64_t ev_packet_built = 0;
+  uint64_t ev_wire_tx = 0;
+  uint64_t ev_wire_rx = 0;
+  uint64_t ev_acked = 0;
+  // Per-node trace-ring audit: rings are chronological, and at least one
+  // node retained sender-side elect/build/tx events (ack too when the
+  // run was reliable).
+  bool trace_lifecycle_ok = false;
 };
 
 // Generates the schedule for `opts.seed`, executes it, and audits it.

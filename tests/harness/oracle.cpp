@@ -210,17 +210,17 @@ void ProtocolOracle::finalize(api::Cluster& cluster,
         }
         continue;
       }
-      if (tx.eager_sent_bytes != rx.eager_heard_bytes ||
-          tx.eager_sent_chunks != rx.eager_heard_chunks) {
+      if (tx.sched.eager_sent_bytes != rx.sched.eager_heard_bytes ||
+          tx.sched.eager_sent_chunks != rx.sched.eager_heard_chunks) {
         std::snprintf(
             buf, sizeof(buf),
             "credit imbalance %u->%u: sender charged %llu bytes / %llu "
             "chunks, receiver heard %llu/%llu",
             static_cast<unsigned>(a), static_cast<unsigned>(b),
-            static_cast<unsigned long long>(tx.eager_sent_bytes),
-            static_cast<unsigned long long>(tx.eager_sent_chunks),
-            static_cast<unsigned long long>(rx.eager_heard_bytes),
-            static_cast<unsigned long long>(rx.eager_heard_chunks));
+            static_cast<unsigned long long>(tx.sched.eager_sent_bytes),
+            static_cast<unsigned long long>(tx.sched.eager_sent_chunks),
+            static_cast<unsigned long long>(rx.sched.eager_heard_bytes),
+            static_cast<unsigned long long>(rx.sched.eager_heard_chunks));
         violation(buf);
       }
     }

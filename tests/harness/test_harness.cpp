@@ -77,6 +77,25 @@ TEST(Explorer, SweepRunsGreenWithCoverage) {
   EXPECT_GE(faults.size(), 4u);
 }
 
+TEST(Explorer, SeededScheduleTraceCapturesLifecycle) {
+  // A reliable (rail-flap forces rail health, hence acks) seeded
+  // schedule must walk the complete elect -> build -> tx -> rx -> ack
+  // chain through the event bus, and the per-node trace rings must have
+  // retained it in chronological order.
+  ExplorerOptions opts;
+  opts.seed = 3;
+  opts.force_fault = "rail-flap";
+  const ExplorerResult r = run_schedule(opts);
+  EXPECT_TRUE(r.ok) << (r.violations.empty() ? "?" : r.violations[0]);
+  ASSERT_GT(r.messages, 0u);
+  EXPECT_GT(r.ev_elected, 0u);
+  EXPECT_GT(r.ev_packet_built, 0u);
+  EXPECT_GT(r.ev_wire_tx, 0u);
+  EXPECT_GT(r.ev_wire_rx, 0u);
+  EXPECT_GT(r.ev_acked, 0u);
+  EXPECT_TRUE(r.trace_lifecycle_ok);
+}
+
 TEST(Explorer, ReplayIsDeterministic) {
   ExplorerOptions opts;
   opts.seed = 42;

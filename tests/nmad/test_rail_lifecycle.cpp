@@ -5,7 +5,7 @@
 // close_gate give the engine a graceful shutdown path.
 #include <gtest/gtest.h>
 
-#include <cstdio>
+#include <sstream>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -62,14 +62,9 @@ void settle(api::Cluster& cluster) {
 }
 
 std::string dump_core(Core& core) {
-  char* buf = nullptr;
-  size_t len = 0;
-  FILE* mem = open_memstream(&buf, &len);
+  std::ostringstream mem;
   core.debug_dump(mem);
-  std::fclose(mem);
-  std::string out(buf, len);
-  free(buf);
-  return out;
+  return mem.str();
 }
 
 TEST(RailLifecycle, HeartbeatsKeepIdleRailsAlive) {
