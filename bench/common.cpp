@@ -57,6 +57,24 @@ double pingpong_latency_us(MpiStack& stack, size_t size, int iters,
   return rtt / 2.0;
 }
 
+util::QuantileDigest pingpong_latency_digest(MpiStack& stack, size_t size,
+                                             int iters, int warmup) {
+  std::vector<std::byte> a_buf(size == 0 ? 1 : size);
+  std::vector<std::byte> b_buf(a_buf.size());
+  util::fill_pattern({a_buf.data(), size}, 17);
+
+  for (int i = 0; i < warmup; ++i) {
+    one_roundtrip(stack, a_buf.data(), b_buf.data(), size);
+  }
+  util::QuantileDigest digest;
+  for (int i = 0; i < iters; ++i) {
+    const double t0 = stack.now_us();
+    one_roundtrip(stack, a_buf.data(), b_buf.data(), size);
+    digest.add((stack.now_us() - t0) / 2.0);
+  }
+  return digest;
+}
+
 double pingpong_bandwidth_mbps(MpiStack& stack, size_t size, int iters,
                                int warmup) {
   const double oneway_us = pingpong_latency_us(stack, size, iters, warmup);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "baseline/stack.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace nmad::bench {
@@ -17,6 +18,13 @@ namespace nmad::bench {
 // bytes, averaged over `iters` round trips after `warmup` rounds.
 double pingpong_latency_us(baseline::MpiStack& stack, size_t size,
                            int iters = 20, int warmup = 3);
+
+// The same ping-pong, but every round timed individually into a
+// streaming digest — the tail view (p99/p999/max) of the experiment the
+// mean above flattens. More iterations make the high quantiles sharper.
+util::QuantileDigest pingpong_latency_digest(baseline::MpiStack& stack,
+                                             size_t size, int iters = 200,
+                                             int warmup = 3);
 
 // Bandwidth in MB/s derived from the same ping-pong.
 double pingpong_bandwidth_mbps(baseline::MpiStack& stack, size_t size,

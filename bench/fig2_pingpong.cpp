@@ -167,6 +167,45 @@ void run_rail_flap(const std::string& net, uint64_t min_size,
   std::printf("\n");
 }
 
+// Machine-readable artifact: every (net, impl, size) row re-measured
+// with per-round timing so the JSON carries the tail (p99/p999/max)
+// alongside the mean — the file CI checks in as BENCH_fig2.json.
+void run_json(const std::string& path, uint64_t min_size, uint64_t max_size,
+              int iters) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"fig2_pingpong\",\n  \"unit\": \"us\",\n"
+               "  \"iters\": %d,\n  \"rows\": [",
+               iters);
+  bool first = true;
+  for (const std::string& net : {std::string("mx"), std::string("quadrics")}) {
+    for (const std::string& impl : bench::impls_for_net(net)) {
+      for (uint64_t size : util::doubling_sizes(min_size, max_size)) {
+        baseline::MpiStack stack = bench::make_stack(impl, net);
+        const util::QuantileDigest d =
+            bench::pingpong_latency_digest(stack, size, iters);
+        std::fprintf(
+            f,
+            "%s\n    {\"net\": \"%s\", \"impl\": \"%s\", \"size\": %llu, "
+            "\"mean_us\": %.3f, \"p99_us\": %.3f, \"p999_us\": %.3f, "
+            "\"max_us\": %.3f, \"bw_MBps\": %.1f}",
+            first ? "" : ",", net.c_str(), impl.c_str(),
+            static_cast<unsigned long long>(size), d.mean(), d.p99(),
+            d.p999(), d.max(),
+            d.mean() > 0.0 ? static_cast<double>(size) / d.mean() : 0.0);
+        first = false;
+      }
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -191,6 +230,11 @@ int main(int argc, char** argv) {
                     "two-rail madmpi-only run with rail 1 flapping "
                     "(heartbeat death + epoch-fenced revival mid-bench); "
                     "compares against the same setup with no blackouts");
+  flags.define("json", "",
+               "write a machine-readable artifact (mean/p99/p999/max per "
+               "net x impl x size row) to this path and exit");
+  flags.define("iters", "200",
+               "per-round samples in --json mode (tail sharpness)");
   if (auto st = flags.parse(argc, argv); !st.is_ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     flags.print_help(argv[0]);
@@ -207,6 +251,11 @@ int main(int argc, char** argv) {
   const bool reliable = flags.get_bool("reliable");
   const bool credits = flags.get_bool("credits");
 
+  if (!flags.get("json").empty()) {
+    run_json(flags.get("json"), min_size, max_size,
+             flags.get_int("iters"));
+    return 0;
+  }
   if (flags.get_bool("rail-flap")) {
     run_rail_flap(net == "all" ? "mx" : net, min_size, max_size, csv);
     return 0;

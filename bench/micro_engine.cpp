@@ -7,6 +7,7 @@
 // run on the critical path.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "madmpi/datatype.hpp"
@@ -25,6 +26,29 @@ using namespace nmad;
 using core::ChunkKind;
 using core::OutChunk;
 
+// Nearest-rank quantile over the per-repetition results. Reported only
+// when run with --benchmark_repetitions=N (the bench.sh entry point uses
+// N=25): the aggregate rows then carry mean/median/stddev plus these —
+// the tail view of the hot-path cost.
+double quantile_of(const std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+void AddTailStats(benchmark::internal::Benchmark* b) {
+  b->ComputeStatistics(
+       "p99", [](const std::vector<double>& v) { return quantile_of(v, 0.99); })
+      ->ComputeStatistics(
+          "p999",
+          [](const std::vector<double>& v) { return quantile_of(v, 0.999); })
+      ->ComputeStatistics("max", [](const std::vector<double>& v) {
+        return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+      });
+}
+
 void BM_WindowPushPop(benchmark::State& state) {
   util::IntrusiveList<OutChunk, &OutChunk::hook> window;
   std::vector<OutChunk> chunks(64);
@@ -34,7 +58,7 @@ void BM_WindowPushPop(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 64);
 }
-BENCHMARK(BM_WindowPushPop);
+BENCHMARK(BM_WindowPushPop)->Apply(AddTailStats);
 
 void BM_ChunkPoolCycle(benchmark::State& state) {
   util::ObjectPool<OutChunk> pool(128);
@@ -44,7 +68,7 @@ void BM_ChunkPoolCycle(benchmark::State& state) {
     pool.release(c);
   }
 }
-BENCHMARK(BM_ChunkPoolCycle);
+BENCHMARK(BM_ChunkPoolCycle)->Apply(AddTailStats);
 
 void BM_PacketBuild(benchmark::State& state) {
   const auto n = static_cast<size_t>(state.range(0));
@@ -64,7 +88,7 @@ void BM_PacketBuild(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_PacketBuild)->Arg(1)->Arg(8)->Arg(32);
+BENCHMARK(BM_PacketBuild)->Arg(1)->Arg(8)->Arg(32)->Apply(AddTailStats);
 
 void BM_PacketDecode(benchmark::State& state) {
   const auto n = static_cast<size_t>(state.range(0));
@@ -88,7 +112,7 @@ void BM_PacketDecode(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_PacketDecode)->Arg(1)->Arg(8)->Arg(32);
+BENCHMARK(BM_PacketDecode)->Arg(1)->Arg(8)->Arg(32)->Apply(AddTailStats);
 
 void BM_StrategyElection(benchmark::State& state) {
   // Cost of one just-in-time election over a populated window — the
@@ -115,7 +139,7 @@ void BM_StrategyElection(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_StrategyElection)->Arg(1)->Arg(8)->Arg(64);
+BENCHMARK(BM_StrategyElection)->Arg(1)->Arg(8)->Arg(64)->Apply(AddTailStats);
 
 void BM_LayoutScatter(benchmark::State& state) {
   const auto block = static_cast<size_t>(state.range(0));
@@ -132,7 +156,7 @@ void BM_LayoutScatter(benchmark::State& state) {
   }
   state.SetBytesProcessed(state.iterations() * total);
 }
-BENCHMARK(BM_LayoutScatter)->Arg(64)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_LayoutScatter)->Arg(64)->Arg(1024)->Arg(65536)->Apply(AddTailStats);
 
 void BM_DatatypeFlatten(benchmark::State& state) {
   const auto blocks = static_cast<int>(state.range(0));
@@ -145,7 +169,7 @@ void BM_DatatypeFlatten(benchmark::State& state) {
     benchmark::DoNotOptimize(t.blocks().data());
   }
 }
-BENCHMARK(BM_DatatypeFlatten)->Arg(2)->Arg(16)->Arg(128);
+BENCHMARK(BM_DatatypeFlatten)->Arg(2)->Arg(16)->Arg(128)->Apply(AddTailStats);
 
 void BM_SourceLayoutFromDatatype(benchmark::State& state) {
   const auto count = static_cast<int>(state.range(0));
@@ -159,7 +183,7 @@ void BM_SourceLayoutFromDatatype(benchmark::State& state) {
     benchmark::DoNotOptimize(layout.total());
   }
 }
-BENCHMARK(BM_SourceLayoutFromDatatype)->Arg(1)->Arg(16);
+BENCHMARK(BM_SourceLayoutFromDatatype)->Arg(1)->Arg(16)->Apply(AddTailStats);
 
 // Whole-stack virtual ping-pong per real-CPU cost: how much host time one
 // simulated round trip burns (simulator efficiency, not protocol time).
@@ -180,7 +204,7 @@ void BM_SimulatedRoundTrip(benchmark::State& state) {
     ++tag;
   }
 }
-BENCHMARK(BM_SimulatedRoundTrip);
+BENCHMARK(BM_SimulatedRoundTrip)->Apply(AddTailStats);
 
 }  // namespace
 

@@ -1,0 +1,311 @@
+// ML-style traffic under a flapping rail: tail latency of spray vs split.
+//
+// Two collective-shaped generators drive a 4-node cluster whose second
+// rail goes dark for 500µs every 3ms (the PR-4 rail-flap profile):
+//
+//   ring-allreduce — every rank exchanges a bucket slice with its ring
+//                    neighbours for 2*(N-1) steps per round, the
+//                    bucketed allreduce an ML framework issues per
+//                    gradient tensor;
+//   ps-incast      — N-1 workers push gradients at one parameter server,
+//                    which answers each with fresh parameters — the
+//                    many-to-one burst that makes incast pathological.
+//
+// Each round is timed individually on the virtual clock into a quantile
+// digest, so the table shows mean AND p99/p999/max. The comparison is
+// per-packet multipath spraying (CoreConfig::spray) against the paper's
+// per-segment split_balance strategy on identical traffic and faults:
+// spray keeps every fragment individually re-routable, so one blackout
+// costs a fragment re-issue instead of a stalled half-message — the
+// difference lives in the tail, which is the whole point.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "nmad/api/session.hpp"
+#include "simnet/profiles.hpp"
+#include "util/buffer.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace nmad;
+
+constexpr size_t kNodes = 4;
+
+struct RunResult {
+  util::QuantileDigest round_us;
+  uint64_t spray_reissues = 0;
+  uint64_t rails_failed = 0;
+  uint64_t rails_revived = 0;
+};
+
+// The PR-4 flapping-rail shape: rail 0 healthy, rail 1 dark 500µs every
+// 3ms, heartbeat monitor tuned to declare death after 300µs of silence
+// and revive through probation in the bright gap.
+api::ClusterOptions flap_options(bool spray) {
+  api::ClusterOptions options;
+  options.nodes = kNodes;
+
+  simnet::NicProfile base_rail;
+  simnet::nic_profile_by_name("mx", &base_rail);
+  simnet::NicProfile flap_rail = base_rail;
+  for (int i = 0; i < 4000; ++i) {
+    const double begin = 2500.0 + 3000.0 * i;
+    flap_rail.fault.blackouts.push_back({begin, begin + 500.0});
+  }
+  options.rails = {base_rail, flap_rail};
+
+  core::CoreConfig& cfg = options.core;
+  cfg.rail_health = true;  // implies reliability
+  cfg.ack_timeout_us = 200.0;
+  cfg.ack_delay_us = 5.0;
+  cfg.rail_dead_after = 0;
+  cfg.max_retries = 20;
+  cfg.heartbeat_interval_us = 50.0;
+  cfg.suspect_after_us = 150.0;
+  cfg.dead_after_us = 300.0;
+  cfg.probe_interval_us = 100.0;
+  cfg.probation_replies = 2;
+  // Both sides of the comparison move the gradient through the
+  // rendezvous path; only the body scheduling differs.
+  cfg.rdv_threshold_override = 4096;
+  if (spray) {
+    cfg.spray = true;
+  } else {
+    cfg.strategy = "split_balance";
+  }
+  return options;
+}
+
+// Re-arming beacons and a packet mid-flight at teardown would leak pool
+// chunks; settle the cluster before it destructs.
+void settle(api::Cluster& cluster) {
+  for (size_t n = 0; n < cluster.node_count(); ++n) {
+    cluster.core(n).stop_health_monitors();
+  }
+  while (cluster.world().run_one()) {
+  }
+}
+
+void collect_stats(api::Cluster& cluster, RunResult* out) {
+  for (size_t n = 0; n < cluster.node_count(); ++n) {
+    const core::CoreStats& s = cluster.core(n).stats();
+    out->spray_reissues += s.spray_reissues;
+    out->rails_failed += s.rails_failed;
+    out->rails_revived += s.rails_revived;
+  }
+}
+
+// Bucketed ring allreduce: reduce-scatter then allgather, 2*(N-1) steps,
+// every rank sending its current slice right and receiving from the left.
+RunResult run_allreduce(bool spray, size_t slice, int rounds, int warmup) {
+  api::Cluster cluster(flap_options(spray));
+  std::vector<std::vector<std::byte>> tx(kNodes), rx(kNodes);
+  for (size_t n = 0; n < kNodes; ++n) {
+    tx[n].resize(slice);
+    rx[n].resize(slice);
+    util::fill_pattern({tx[n].data(), slice}, 40 + static_cast<int>(n));
+  }
+
+  RunResult result;
+  core::Tag tag = 0;
+  for (int round = 0; round < warmup + rounds; ++round) {
+    const double t0 = cluster.now();
+    for (size_t step = 0; step < 2 * (kNodes - 1); ++step) {
+      std::vector<core::Request*> reqs;
+      for (size_t r = 0; r < kNodes; ++r) {
+        const size_t right = (r + 1) % kNodes;
+        const size_t left = (r + kNodes - 1) % kNodes;
+        reqs.push_back(cluster.core(r).irecv(
+            cluster.gate(r, left), tag,
+            util::MutableBytes{rx[r].data(), slice}));
+        reqs.push_back(cluster.core(r).isend(
+            cluster.gate(r, right), tag,
+            util::ConstBytes{tx[r].data(), slice}));
+      }
+      cluster.wait_all(reqs);
+      for (size_t r = 0; r < kNodes; ++r) {
+        cluster.core(r).release(reqs[2 * r]);
+        cluster.core(r).release(reqs[2 * r + 1]);
+      }
+      ++tag;
+    }
+    if (round >= warmup) result.round_us.add(cluster.now() - t0);
+  }
+  collect_stats(cluster, &result);
+  settle(cluster);
+  return result;
+}
+
+// Parameter-server incast: workers 1..N-1 push a gradient at rank 0
+// simultaneously; the server answers each with updated parameters. The
+// round completes when every worker holds fresh parameters.
+RunResult run_incast(bool spray, size_t grad, int rounds, int warmup) {
+  api::Cluster cluster(flap_options(spray));
+  core::Core& server = cluster.core(0);
+  std::vector<std::byte> params(grad);
+  util::fill_pattern({params.data(), grad}, 7);
+  std::vector<std::vector<std::byte>> grads(kNodes), inbox(kNodes),
+      fresh(kNodes);
+  for (size_t w = 1; w < kNodes; ++w) {
+    grads[w].resize(grad);
+    inbox[w].resize(grad);
+    fresh[w].resize(grad);
+    util::fill_pattern({grads[w].data(), grad}, 80 + static_cast<int>(w));
+  }
+
+  RunResult result;
+  core::Tag tag = 0;
+  for (int round = 0; round < warmup + rounds; ++round) {
+    const double t0 = cluster.now();
+    std::vector<core::Request*> push;
+    std::vector<core::Request*> server_rx(kNodes, nullptr);
+    for (size_t w = 1; w < kNodes; ++w) {
+      server_rx[w] = server.irecv(cluster.gate(0, w), tag,
+                                  util::MutableBytes{inbox[w].data(), grad});
+      push.push_back(cluster.core(w).isend(
+          cluster.gate(w, 0), tag, util::ConstBytes{grads[w].data(), grad}));
+    }
+    // The server turns each gradient around as soon as it lands.
+    std::vector<core::Request*> reply(kNodes, nullptr);
+    std::vector<core::Request*> fetch(kNodes, nullptr);
+    for (size_t w = 1; w < kNodes; ++w) {
+      fetch[w] = cluster.core(w).irecv(
+          cluster.gate(w, 0), tag, util::MutableBytes{fresh[w].data(), grad});
+    }
+    for (size_t w = 1; w < kNodes; ++w) {
+      cluster.wait(server_rx[w]);
+      reply[w] = server.isend(cluster.gate(0, w), tag,
+                              util::ConstBytes{params.data(), grad});
+    }
+    for (size_t w = 1; w < kNodes; ++w) {
+      cluster.wait(fetch[w]);
+      cluster.wait(reply[w]);
+    }
+    for (size_t w = 1; w < kNodes; ++w) {
+      cluster.wait(push[w - 1]);
+      cluster.core(w).release(push[w - 1]);
+      cluster.core(w).release(fetch[w]);
+      server.release(server_rx[w]);
+      server.release(reply[w]);
+    }
+    ++tag;
+    if (round >= warmup) result.round_us.add(cluster.now() - t0);
+  }
+  collect_stats(cluster, &result);
+  settle(cluster);
+  return result;
+}
+
+void add_row(util::Table* table, const std::string& scenario,
+             const std::string& sched, size_t size, const RunResult& r) {
+  const util::QuantileDigest& d = r.round_us;
+  table->add_row({scenario, sched, util::format_size(size),
+                  util::format_fixed(d.mean(), 2),
+                  util::format_fixed(d.quantile(0.99), 2),
+                  util::format_fixed(d.quantile(0.999), 2),
+                  util::format_fixed(d.max(), 2),
+                  std::to_string(r.spray_reissues),
+                  std::to_string(r.rails_failed)});
+}
+
+void json_row(std::FILE* f, bool first, const std::string& scenario,
+              const std::string& sched, size_t size, const RunResult& r) {
+  const util::QuantileDigest& d = r.round_us;
+  std::fprintf(
+      f,
+      "%s\n    {\"scenario\": \"%s\", \"sched\": \"%s\", \"size\": %zu, "
+      "\"rounds\": %llu, \"mean_us\": %.3f, \"p99_us\": %.3f, "
+      "\"p999_us\": %.3f, \"max_us\": %.3f, \"spray_reissues\": %llu, "
+      "\"rails_failed\": %llu}",
+      first ? "" : ",", scenario.c_str(), sched.c_str(), size,
+      static_cast<unsigned long long>(d.count()), d.mean(),
+      d.quantile(0.99), d.quantile(0.999), d.max(),
+      static_cast<unsigned long long>(r.spray_reissues),
+      static_cast<unsigned long long>(r.rails_failed));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags;
+  flags.define("scenario", "all", "allreduce, incast, or all");
+  flags.define("size", "64K",
+               "bucket slice / gradient size per message (rendezvous path "
+               "needs >= 4K)");
+  flags.define("rounds", "200", "timed rounds per cell (tail sharpness)");
+  flags.define("warmup", "3", "untimed warmup rounds");
+  flags.define_bool("csv", false, "emit CSV instead of a table");
+  flags.define("json", "", "also write a machine-readable artifact here");
+  if (auto st = flags.parse(argc, argv); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    flags.print_help(argv[0]);
+    return 2;
+  }
+
+  const std::string scenario = flags.get("scenario");
+  const size_t size = flags.get_size("size");
+  const int rounds = flags.get_int("rounds");
+  const int warmup = flags.get_int("warmup");
+
+  struct Cell {
+    std::string scenario;
+    std::string sched;
+    RunResult result;
+  };
+  std::vector<Cell> cells;
+  if (scenario == "allreduce" || scenario == "all") {
+    cells.push_back(
+        {"ring-allreduce", "spray", run_allreduce(true, size, rounds, warmup)});
+    cells.push_back({"ring-allreduce", "split",
+                     run_allreduce(false, size, rounds, warmup)});
+  }
+  if (scenario == "incast" || scenario == "all") {
+    cells.push_back(
+        {"ps-incast", "spray", run_incast(true, size, rounds, warmup)});
+    cells.push_back(
+        {"ps-incast", "split", run_incast(false, size, rounds, warmup)});
+  }
+  if (cells.empty()) {
+    std::fprintf(stderr, "unknown scenario: %s\n", scenario.c_str());
+    return 2;
+  }
+
+  util::Table table({"scenario", "sched", "size", "mean_us", "p99_us",
+                     "p999_us", "max_us", "reissues", "rail_deaths"});
+  for (const Cell& c : cells) {
+    add_row(&table, c.scenario, c.sched, size, c.result);
+  }
+  std::printf("## ML-style traffic under rail flap "
+              "(4 nodes, 2 rails, rail 1 dark 500us every 3ms)\n");
+  if (flags.get_bool("csv")) {
+    table.print_csv(stdout);
+  } else {
+    table.print();
+  }
+  std::printf("\n");
+
+  const std::string json = flags.get("json");
+  if (!json.empty()) {
+    std::FILE* f = std::fopen(json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json.c_str());
+      return 2;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"ml_tail\",\n  \"unit\": \"us\",\n"
+                 "  \"rows\": [");
+    for (size_t i = 0; i < cells.size(); ++i) {
+      json_row(f, i == 0, cells[i].scenario, cells[i].sched, size,
+               cells[i].result);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerates the machine-readable benchmark artifacts checked in at the
+# repository root:
+#
+#   BENCH_fig2.json    — raw ping-pong, mean + p99/p999/max per
+#                        (net, impl, size) row, virtual-clock timing
+#                        (exactly reproducible run-to-run);
+#   BENCH_micro.json   — engine hot-path micro-costs in real host
+#                        nanoseconds (google-benchmark aggregate rows:
+#                        mean/median/stddev plus p99/p999/max over
+#                        repetitions — host-dependent, indicative only);
+#   BENCH_ml_tail.json — ML-style traffic (ring-allreduce, PS incast)
+#                        under the flapping-rail profile, spray vs split,
+#                        per-round tail quantiles on the virtual clock.
+#
+# Usage: scripts/bench.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+if [ ! -d "$BUILD" ]; then
+  cmake -B "$BUILD" -S .
+fi
+cmake --build "$BUILD" -j --target fig2_pingpong micro_engine ml_tail
+
+"$BUILD"/bench/fig2_pingpong --json=BENCH_fig2.json --iters=200
+
+"$BUILD"/bench/micro_engine \
+  --benchmark_repetitions=25 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=console \
+  --benchmark_out_format=json \
+  --benchmark_out=BENCH_micro.json
+
+"$BUILD"/bench/ml_tail --rounds=200 --json=BENCH_ml_tail.json 2>/dev/null
+
+echo "artifacts: BENCH_fig2.json BENCH_micro.json BENCH_ml_tail.json"

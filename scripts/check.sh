@@ -3,9 +3,11 @@
 # with -DNMAD_SANITIZE=ON (ASan + UBSan, no recovery) and runs the full
 # test suite through it. A clean pass means the reliability layer's
 # timer/retransmit machinery holds up under memory and UB checking, not
-# just functionally. The suite includes the rail-lifecycle tests and the
-# explorer's 200-schedule sweeps (default mix and --fault=rail-flap), so
-# heartbeat death, epoch-fenced revival, and drain all run sanitized.
+# just functionally. The suite includes the rail-lifecycle and spray
+# tests and the explorer's 200-schedule sweeps (default mix,
+# --fault=rail-flap and --fault=spray-reorder), so heartbeat death,
+# epoch-fenced revival, drain, and spray reassembly/failover all run
+# sanitized.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,6 +47,17 @@ fi
 # shellcheck disable=SC2086
 if grep -n '\.sched\b' $TRANSFER; then
   lint "the transfer layer reached into Gate::sched (ScheduleLayer owns it)"
+fi
+# Spray splits across the seam: reassembly state (spray_recv/spray_done)
+# is collect-owned; the fragment cutter and suspect-rail re-issue are
+# schedule-owned. Neither side may name the other's half.
+# shellcheck disable=SC2086
+if grep -n 'spray_recv\|spray_done' $SCHED $TRANSFER; then
+  lint "spray reassembly state is collect-owned (Gate::collect.spray_recv)"
+fi
+# shellcheck disable=SC2086
+if grep -n 'spray_job\|on_rail_suspect' $COLLECT $TRANSFER; then
+  lint "spray send/failover is schedule-owned (ScheduleLayer::spray_job)"
 fi
 if [ "$lint_fail" -ne 0 ]; then
   echo "seam lint failed" >&2

@@ -39,6 +39,13 @@ struct OutChunk {
   // kCredit only: cumulative eager admission limits for the peer.
   uint64_t credit_bytes = 0;
   uint64_t credit_chunks = 0;
+  // kSprayFrag only: fragment stream position and failover re-issue epoch
+  // (see wire_format.hpp). `reissue_at` is stamped when a suspect-rail
+  // failover re-creates the chunk, so issue_packet can measure the
+  // enqueue-to-wire re-issue latency; -1 means "original issue".
+  uint32_t frag_seq = 0;
+  uint32_t epoch = 0;
+  double reissue_at = -1.0;
   // Flow control: set once this chunk's payload has been charged against
   // the gate's credit, so a chunk returned to the window (rail death) is
   // never charged twice.
@@ -79,6 +86,10 @@ struct BulkJob {
   std::vector<uint8_t> granted_rails;
   RailIndex pinned_rail = kAnyRail;  // application hint, if any
   SendRequest* owner = nullptr;
+  // Sender proposed (and receiver accepted) the per-packet spray path:
+  // on CTS the body is fragmented into kSprayFrag window chunks instead
+  // of flowing through the per-rail bulk pipeline.
+  bool spray = false;
 
   [[nodiscard]] bool all_sent() const { return sent == body.size(); }
   [[nodiscard]] bool all_acked() const { return acked == body.size(); }

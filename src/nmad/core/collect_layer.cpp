@@ -1,6 +1,7 @@
 #include "nmad/core/collect_layer.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "nmad/core/format_util.hpp"
 #include "util/assert.hpp"
@@ -148,7 +149,12 @@ RecvRequest* CollectLayer::irecv(Gate& gate, Tag tag, DestLayout dest) {
       sched_.rx_store_discharge(gate, drained_bytes, drained_chunks);
     }
     for (const StoredRts& rts : msg.rts) {
-      start_rdv_recv(gate, req, rts.len, rts.offset, rts.total, rts.cookie);
+      if ((rts.flags & kFlagSpray) != 0) {
+        start_spray_recv(gate, req, rts.len, rts.offset, rts.total,
+                         rts.cookie);
+      } else {
+        start_rdv_recv(gate, req, rts.len, rts.offset, rts.total, rts.cookie);
+      }
     }
     sched_.kick();  // replay may have queued CTS chunks
   }
@@ -269,6 +275,9 @@ void CollectLayer::on_rts(Gate& gate, const WireChunk& chunk) {
         }
         rv = gate.collect.rdv_recv.erase(rv);
       }
+      // An armed spray reassembly dies with its request; fragments still
+      // on the wire fall to the tombstone below and are dropped.
+      gate.collect.spray_recv.erase(key);
       gate.collect.active_recv.erase(ar);
       // The payload may still be behind the cancel notice (another rail,
       // or a retransmission): tombstone the key so a late arrival is
@@ -315,11 +324,17 @@ void CollectLayer::on_rts(Gate& gate, const WireChunk& chunk) {
     }
     ++ctx_.stats.unexpected_chunks;
     StoredRts rts;
+    rts.flags = chunk.flags;
     rts.len = chunk.len;
     rts.offset = chunk.offset;
     rts.total = chunk.total;
     rts.cookie = chunk.cookie;
     gate.collect.unexpected[key].rts.push_back(rts);
+    return;
+  }
+  if ((chunk.flags & kFlagSpray) != 0) {
+    start_spray_recv(gate, it->second, chunk.len, chunk.offset, chunk.total,
+                     chunk.cookie);
     return;
   }
   start_rdv_recv(gate, it->second, chunk.len, chunk.offset, chunk.total,
@@ -402,6 +417,175 @@ void CollectLayer::start_rdv_recv(Gate& gate, RecvRequest* req, uint32_t len,
   sched_.kick();
 }
 
+void CollectLayer::start_spray_recv(Gate& gate, RecvRequest* req,
+                                    uint32_t len, uint32_t offset,
+                                    uint32_t total, uint64_t cookie) {
+  if (gate.failed) return;  // unexpected-replay after a gate failure
+  if (!req->set_total(total)) {
+    // Truncation: no CTS is ever sent; the request carries the error.
+    finish_recv_if_done(gate, req);
+    return;
+  }
+  const MsgKey key{req->tag(), req->seq()};
+
+  if (len > 0) {
+    SprayRecv rec;
+    rec.request = req;
+    rec.len = len;
+    rec.offset = offset;
+    rec.total = total;
+    rec.cookie = cookie;
+    rec.region = req->layout().contiguous_region(offset, len);
+    if (rec.region.empty()) {
+      // Destination is scattered: reassemble in a bounce buffer, scatter
+      // once on completion (same zero-copy boundary as rendezvous).
+      rec.bounce.resize(len);
+      rec.region = rec.bounce.view();
+    }
+    gate.collect.spray_recv.emplace(key, std::move(rec));
+  } else {
+    // Degenerate empty body: nothing will ever arrive, complete now. The
+    // CTS below still unparks the sender's job.
+    gate.collect.spray_done.insert(key);
+    recv_add_bytes(gate, req, 0);
+  }
+
+  // Accept the spray proposal: a kFlagSpray CTS with no granted rails —
+  // fragments ride ordinary track-0 packets on whatever rails the
+  // sender's strategy elects, so no sinks are posted.
+  OutChunk* cts = ctx_.chunk_pool.acquire();
+  cts->kind = ChunkKind::kCts;
+  cts->flags = kFlagSpray;
+  cts->tag = key.first;
+  cts->seq = key.second;
+  cts->cookie = cookie;
+  cts->cts_rails.clear();
+  cts->prio = Priority::kHigh;
+  cts->owner = nullptr;
+  sched_.enqueue(gate, cts);
+  sched_.kick();
+}
+
+void CollectLayer::on_spray_frag(Gate& gate, RailIndex rail,
+                                 const WireChunk& chunk) {
+  // Unlike on_payload there is no note_eager_heard here: sprayed bodies
+  // were granted through the rendezvous handshake and never charge the
+  // eager credit window on the sender, so hearing them must not count
+  // either (the delivery oracle audits the two gauges for equality).
+  const MsgKey key{chunk.tag, chunk.seq};
+  const auto publish_rx = [&](uint64_t outcome) {
+    ctx_.bus.publish(
+        {.kind = EventKind::kSprayFragRx,
+         .gate = gate.id,
+         .rail = rail,
+         .seq = chunk.seq,
+         .a = (static_cast<uint64_t>(chunk.tag) << 40) | chunk.offset,
+         .b = (outcome << 32) | chunk.len});
+  };
+  if (gate.collect.cancelled_recv.count(key) != 0) {
+    ++ctx_.stats.cancelled_payload_dropped;
+    return;
+  }
+  auto it = gate.collect.spray_recv.find(key);
+  if (it == gate.collect.spray_recv.end()) {
+    // After completion (or never armed at all): a retransmitted original,
+    // or a fenced twin straggling in behind the reassembled message.
+    ++ctx_.stats.spray_frags_late;
+    publish_rx(3);
+    return;
+  }
+  SprayRecv& rec = it->second;
+
+  // Epoch fence, per fragment sequence: once a re-issued (higher-epoch)
+  // copy of this fragment has been seen, the suspect-rail twin is stale
+  // even though its bytes are identical — dropping it keeps the failover
+  // path honest in the accounting the oracle audits. Fencing is NOT
+  // per-message: untouched epoch-0 fragments of a partially re-issued
+  // spray are still the only copy of their bytes.
+  auto [eit, fresh_seq] = rec.frag_epoch.try_emplace(chunk.frag_seq,
+                                                     chunk.epoch);
+  if (!fresh_seq) {
+    if (chunk.epoch < eit->second) {
+      ++ctx_.stats.spray_frags_fenced;
+      publish_rx(2);
+      return;
+    }
+    eit->second = chunk.epoch;
+  }
+
+  // Coverage: fragment extents are fixed per frag_seq, so any overlap
+  // with an applied interval means an identical twin (original vs
+  // re-issue, or a packet-level retransmit) — apply exactly once.
+  NMAD_ASSERT_MSG(static_cast<size_t>(chunk.offset) + chunk.payload.size() <=
+                      rec.len,
+                  "spray fragment outside its granted block");
+  const size_t lo = chunk.offset;
+  const size_t hi = lo + chunk.payload.size();
+  auto next = rec.covered.upper_bound(lo);
+  bool overlap = next != rec.covered.end() && next->first < hi;
+  if (!overlap && next != rec.covered.begin()) {
+    overlap = std::prev(next)->second > lo;
+  }
+  if (overlap) {
+    ++ctx_.stats.spray_frag_dups;
+    publish_rx(1);
+    return;
+  }
+
+  std::memcpy(rec.region.data() + lo, chunk.payload.data(), hi - lo);
+  ctx_.node.cpu().charge_memcpy(hi - lo);
+  auto ins = rec.covered.emplace(lo, hi).first;
+  if (ins != rec.covered.begin()) {
+    auto prev = std::prev(ins);
+    if (prev->second == lo) {
+      prev->second = hi;
+      rec.covered.erase(ins);
+      ins = prev;
+    }
+  }
+  if (auto after = std::next(ins);
+      after != rec.covered.end() && ins->second == after->first) {
+    ins->second = after->second;
+    rec.covered.erase(after);
+  }
+  rec.received += hi - lo;
+  ++ctx_.stats.spray_frags_rx;
+  publish_rx(0);
+
+  if (rec.received < rec.len) return;
+
+  // Reassembly complete: every byte applied exactly once.
+  SprayRecv done = std::move(rec);
+  gate.collect.spray_recv.erase(it);
+  gate.collect.spray_done.insert(key);
+  ++ctx_.stats.spray_reassembled;
+  ctx_.bus.publish({.kind = EventKind::kReassembled,
+                    .gate = gate.id,
+                    .rail = rail,
+                    .seq = key.second,
+                    .a = static_cast<uint64_t>(key.first) << 40,
+                    .b = done.len});
+  RecvRequest* req = done.request;
+  if (!done.bounce.empty()) {
+    // Bounce path: scatter into the real destination at memcpy cost; the
+    // deferred completion re-looks the receive up by key (see
+    // deliver_eager for why).
+    req->layout().scatter(done.offset, done.bounce.view());
+    const simnet::SimTime done_at =
+        ctx_.node.cpu().charge_memcpy(done.len);
+    const GateId gid = gate.id;
+    const size_t len = done.len;
+    ctx_.world.at(done_at, [this, gid, key, len]() {
+      Gate& g2 = gate_ref(gid);
+      auto ar = g2.collect.active_recv.find(key);
+      if (ar == g2.collect.active_recv.end()) return;
+      recv_add_bytes(g2, ar->second, len);
+    });
+  } else {
+    recv_add_bytes(gate, req, done.len);
+  }
+}
+
 void CollectLayer::on_bulk_recv_complete(GateId gate_id, uint64_t cookie) {
   Gate& g = gate_ref(gate_id);
   auto it = g.collect.rdv_recv.find(cookie);
@@ -458,6 +642,11 @@ bool CollectLayer::cancel_recv(Gate& gate, RecvRequest* req,
                                util::Status status) {
   if (gate.failed) return false;
   const MsgKey key{req->tag(), req->seq()};
+  // A sprayed receive cannot cancel once granted: fragments may land at
+  // any moment on any rail and there is no per-cookie sink to revoke.
+  // Refusal is part of the cancel contract — the caller retries or the
+  // message completes first.
+  if (gate.collect.spray_recv.count(key) != 0) return false;
   std::vector<uint64_t> cookies;
   for (auto& [cookie, rec] : gate.collect.rdv_recv) {
     if (rec.request == req) cookies.push_back(cookie);
@@ -516,6 +705,10 @@ void CollectLayer::teardown(Gate& gate, const util::Status& status) {
     }
   }
   gate.collect.rdv_recv.clear();
+  // Spray reassemblies complete (with the error) through active_recv —
+  // every in-flight SprayRecv request is matched there by construction.
+  gate.collect.spray_recv.clear();
+  gate.collect.spray_done.clear();
   for (auto& [key, req] : gate.collect.active_recv) req->complete(status);
   gate.collect.active_recv.clear();
   // Release the rx budget held by this peer's parked fragments. `failed`
@@ -533,7 +726,7 @@ void CollectLayer::teardown(Gate& gate, const util::Status& status) {
 
 CollectLayer::GateCounts CollectLayer::gate_counts(const Gate& gate) const {
   return {gate.collect.active_recv.size(), gate.collect.unexpected.size(),
-          gate.collect.rdv_recv.size()};
+          gate.collect.rdv_recv.size(), gate.collect.spray_recv.size()};
 }
 
 std::pair<size_t, size_t> CollectLayer::count_store(const Gate& gate) const {
@@ -616,6 +809,52 @@ void CollectLayer::check_gate(const Gate& gate,
            "gate %u: rendezvous receive (cookie %llu) not in "
            "active_recv",
            gate.id, static_cast<ULL>(cookie));
+    }
+  }
+
+  // --- spray reassembly ------------------------------------------------
+  for (const auto& [key, rec] : c.spray_recv) {
+    if (rec.request == nullptr || rec.request->done()) {
+      addf(out,
+           "gate %u: spray reassembly (tag %llu seq %u) without a live "
+           "request",
+           gate.id, static_cast<ULL>(key.first), key.second);
+      continue;
+    }
+    auto it = c.active_recv.find(key);
+    if (it == c.active_recv.end() || it->second != rec.request) {
+      addf(out,
+           "gate %u: spray reassembly (tag %llu seq %u) not in "
+           "active_recv",
+           gate.id, static_cast<ULL>(key.first), key.second);
+    }
+    if (rec.received >= rec.len) {
+      addf(out,
+           "gate %u: spray reassembly (tag %llu seq %u) applied %zu of "
+           "%u bytes but was never completed",
+           gate.id, static_cast<ULL>(key.first), key.second, rec.received,
+           rec.len);
+    }
+    if (c.spray_done.count(key) != 0) {
+      addf(out,
+           "gate %u: spray reassembly (tag %llu seq %u) both in flight "
+           "and completed",
+           gate.id, static_cast<ULL>(key.first), key.second);
+    }
+    size_t covered = 0;
+    size_t prev_end = 0;
+    bool ordered = true;
+    for (const auto& [lo, hi] : rec.covered) {
+      if (lo < prev_end || hi <= lo || hi > rec.len) ordered = false;
+      covered += hi - lo;
+      prev_end = hi;
+    }
+    if (!ordered || covered != rec.received) {
+      addf(out,
+           "gate %u: spray coverage map of (tag %llu seq %u) is "
+           "inconsistent (%zu covered vs %zu received)",
+           gate.id, static_cast<ULL>(key.first), key.second, covered,
+           rec.received);
     }
   }
 }

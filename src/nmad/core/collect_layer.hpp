@@ -40,6 +40,9 @@ class CollectLayer {
   // Packet-hub dispatch (the façade decodes, this layer owns the state) ----
   void on_payload(Gate& gate, const WireChunk& chunk);
   void on_rts(Gate& gate, const WireChunk& chunk);
+  // One sprayed fragment landed (any order, any rail, possibly a
+  // duplicate or a fenced stale twin): reorder-tolerant reassembly.
+  void on_spray_frag(Gate& gate, RailIndex rail, const WireChunk& chunk);
 
   // Cancellation ------------------------------------------------------------
   // Withdraws a posted receive; see Core::cancel for the full contract.
@@ -52,7 +55,7 @@ class CollectLayer {
 
   // Drain -------------------------------------------------------------------
   [[nodiscard]] bool flushed(const Gate& gate) const {
-    return gate.collect.rdv_recv.empty();
+    return gate.collect.rdv_recv.empty() && gate.collect.spray_recv.empty();
   }
 
   // Introspection -----------------------------------------------------------
@@ -60,6 +63,7 @@ class CollectLayer {
     size_t active_recv = 0;
     size_t unexpected = 0;
     size_t rdv_recv = 0;
+    size_t spray_recv = 0;
   };
   [[nodiscard]] GateCounts gate_counts(const Gate& gate) const;
   // Bytes/chunks actually parked in the unexpected store — the ground
@@ -77,6 +81,10 @@ class CollectLayer {
                      uint32_t total, util::ConstBytes payload);
   void start_rdv_recv(Gate& gate, RecvRequest* req, uint32_t len,
                       uint32_t offset, uint32_t total, uint64_t cookie);
+  // Arms the reassembly buffer for a spray-flagged RTS and grants it with
+  // a kFlagSpray CTS (no per-rail sinks: fragments ride track-0 packets).
+  void start_spray_recv(Gate& gate, RecvRequest* req, uint32_t len,
+                        uint32_t offset, uint32_t total, uint64_t cookie);
   void on_bulk_recv_complete(GateId gate_id, uint64_t cookie);
   void recv_add_bytes(Gate& gate, RecvRequest* req, size_t n);
   void finish_recv_if_done(Gate& gate, RecvRequest* req);

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "nmad/core/types.hpp"
+#include "util/stats.hpp"
 
 namespace nmad::core {
 
@@ -109,6 +110,20 @@ struct CoreConfig {
   // recoverable).
   bool rail_health = false;
   double heartbeat_interval_us = 500.0;
+
+  // --- Per-packet multipath spray -----------------------------------------
+  // Sprays rendezvous-class contiguous bodies packet-by-packet across every
+  // alive rail instead of negotiating per-rail RDMA sinks: the body is cut
+  // into spray_frag_bytes kSprayFrag chunks that the strategy stripes over
+  // the rails, and the receiver reassembles them into the posted buffer
+  // through a reorder-tolerant coverage map. When the health machine marks
+  // a rail *suspect* (not yet dead), in-flight sprayed fragments on that
+  // rail are immediately re-issued on survivors with a bumped re-issue
+  // epoch — the receiver fences the stale twins — which moves failover
+  // from the dead_after_us horizon to the suspect_after_us horizon.
+  // Forces reliability on (sprayed fragments ride the packet ack machinery).
+  bool spray = false;
+  size_t spray_frag_bytes = 8 * 1024;
   // Thresholds are on receive silence, so with several peers beaconing in
   // rotation keep suspect_after_us at a few heartbeat intervals.
   double suspect_after_us = 1500.0;
@@ -162,6 +177,18 @@ struct CoreStats {
   uint64_t rails_revived = 0;        // probation -> alive transitions
   uint64_t probation_demotions = 0;  // probation -> dead (replies dried up)
 
+  // Per-packet multipath spray.
+  uint64_t spray_sends = 0;          // messages sent via the spray path
+  uint64_t spray_frags_tx = 0;       // fragments enqueued (incl. re-issues)
+  uint64_t spray_frags_rx = 0;       // fragments applied to a reassembly buf
+  uint64_t spray_frag_dups = 0;      // already-covered fragments dropped
+  uint64_t spray_frags_fenced = 0;   // stale-epoch fragments dropped
+  uint64_t spray_frags_late = 0;     // fragments after reassembly completed
+  uint64_t spray_reissues = 0;       // suspect-rail failover re-issues
+  uint64_t spray_reassembled = 0;    // messages completed via reassembly
+  // Suspect-transition to wire latency of each failover re-issue, in µs.
+  util::QuantileDigest spray_reissue_latency_us;
+
   // Drain / close.
   uint64_t drains_started = 0;
   uint64_t drains_completed = 0;
@@ -191,6 +218,9 @@ struct CoreStats {
   uint64_t ev_retransmit = 0;
   uint64_t ev_health_transition = 0;
   uint64_t ev_drain_milestone = 0;
+  uint64_t ev_spray_reissued = 0;
+  uint64_t ev_spray_frag_rx = 0;
+  uint64_t ev_reassembled = 0;
 
   // Invariant validation (check_invariants / validate_invariants; the
   // hot-path hooks that drive these only compile under -DNMAD_VALIDATE).

@@ -33,6 +33,10 @@ Core::Core(simnet::SimWorld& world, simnet::SimNode& node, CoreConfig config)
   // dead only recovers its in-flight traffic through retransmission.
   if (config_.rail_health) config_.reliability = true;
   if (config_.flow_control) config_.reliability = true;
+  // Sprayed fragments ride track-0 packets under the ack machinery: the
+  // receiver's exactly-once reassembly leans on packet dedup and the
+  // re-issue path leans on retransmittable pending packets.
+  if (config_.spray) config_.reliability = true;
   if (config_.reliability) config_.wire_checksum = true;
 
   // The transfer layer announces every health transition on the bus; the
@@ -51,6 +55,11 @@ Core::Core(simnet::SimWorld& world, simnet::SimNode& node, CoreConfig config)
       sched_.on_rail_dead(ev.rail);
     } else if (!was_alive && now_alive) {
       sched_.on_rail_revived(ev.rail);
+    } else if (prev == RailHealth::kAlive && next == RailHealth::kSuspect) {
+      // The spray failover acts on suspicion, not death: in-flight
+      // sprayed fragments on the suspect rail are re-issued on the
+      // survivors within the same microsecond-scale tick.
+      sched_.on_rail_suspect(ev.rail);
     }
   });
 }
@@ -325,6 +334,9 @@ void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
           case ChunkKind::kHeartbeat:
             rails_[rail]->handle_heartbeat(g, chunk);
             break;
+          case ChunkKind::kSprayFrag:
+            collect_.on_spray_frag(g, rail, chunk);
+            break;
         }
       });
   if (!st.is_ok()) {
@@ -510,11 +522,11 @@ void Core::debug_dump(std::ostream& out) const {
     dumpf(out,
           "gate %u → peer %u: window=%zu ready_bulk=%zu "
           "rdv_wait_cts=%zu active_recv=%zu unexpected=%zu "
-          "rdv_recv=%zu pending_pkts=%zu pending_bulk=%zu "
+          "rdv_recv=%zu spray_recv=%zu pending_pkts=%zu pending_bulk=%zu "
           "failed=%d\n",
           gate->id, gate->peer, sc.window, sc.ready_bulk, sc.rdv_wait_cts,
-          cc.active_recv, cc.unexpected, cc.rdv_recv, sc.pending_pkts,
-          sc.pending_bulk, gate->failed ? 1 : 0);
+          cc.active_recv, cc.unexpected, cc.rdv_recv, cc.spray_recv,
+          sc.pending_pkts, sc.pending_bulk, gate->failed ? 1 : 0);
     sched_.dump_gate_detail(*gate, out);
   }
   dumpf(out,
@@ -559,6 +571,27 @@ void Core::debug_dump(std::ostream& out) const {
           static_cast<ULL>(stats_.rails_suspected),
           static_cast<ULL>(stats_.rails_revived),
           static_cast<ULL>(stats_.probation_demotions));
+  }
+  if (config_.spray) {
+    dumpf(out,
+          "spray: sends=%llu frags_tx=%llu frags_rx=%llu dups=%llu "
+          "fenced=%llu late=%llu reissues=%llu reassembled=%llu\n",
+          static_cast<ULL>(stats_.spray_sends),
+          static_cast<ULL>(stats_.spray_frags_tx),
+          static_cast<ULL>(stats_.spray_frags_rx),
+          static_cast<ULL>(stats_.spray_frag_dups),
+          static_cast<ULL>(stats_.spray_frags_fenced),
+          static_cast<ULL>(stats_.spray_frags_late),
+          static_cast<ULL>(stats_.spray_reissues),
+          static_cast<ULL>(stats_.spray_reassembled));
+    if (stats_.spray_reissue_latency_us.count() > 0) {
+      const util::QuantileDigest& d = stats_.spray_reissue_latency_us;
+      dumpf(out,
+            "spray reissue latency: n=%llu mean=%.2fus p99=%.2fus "
+            "p999=%.2fus max=%.2fus\n",
+            static_cast<ULL>(d.count()), d.mean(), d.quantile(0.99),
+            d.quantile(0.999), d.max());
+    }
   }
   if (stats_.drains_started != 0 || stats_.gates_closed != 0) {
     dumpf(out, "drain: started=%llu completed=%llu gates_closed=%llu\n",

@@ -24,6 +24,12 @@ const char* event_kind_name(EventKind kind) {
       return "health-transition";
     case EventKind::kDrainMilestone:
       return "drain-milestone";
+    case EventKind::kSprayReissued:
+      return "spray-reissued";
+    case EventKind::kSprayFragRx:
+      return "spray-frag-rx";
+    case EventKind::kReassembled:
+      return "reassembled";
   }
   return "?";
 }
@@ -62,6 +68,15 @@ void EventBus::publish(Event ev) {
         break;
       case EventKind::kDrainMilestone:
         ++stats_->ev_drain_milestone;
+        break;
+      case EventKind::kSprayReissued:
+        ++stats_->ev_spray_reissued;
+        break;
+      case EventKind::kSprayFragRx:
+        ++stats_->ev_spray_frag_rx;
+        break;
+      case EventKind::kReassembled:
+        ++stats_->ev_reassembled;
         break;
     }
   }

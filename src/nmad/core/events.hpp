@@ -34,9 +34,21 @@ enum class EventKind : uint8_t {
   kRetransmit,         // a timed-out entry was re-sent
   kHealthTransition,   // a rail moved in the health lifecycle
   kDrainMilestone,     // drain started / completed, or a gate closed
+  // Per-packet multipath spray. Operand encoding (consumed by the
+  // fragment-granularity delivery audits in the explorer harness):
+  //   kSprayReissued:  a = (tag << 40) | offset, b = payload len
+  //   kSprayFragRx:    a = (tag << 40) | offset,
+  //                    b = (outcome << 32) | len with outcome
+  //                    0 = applied, 1 = duplicate, 2 = epoch-fenced,
+  //                    3 = after-completion straggler
+  //   kReassembled:    a = (tag << 40), b = total bytes
+  // Tags above 2^24 alias in `a`; the harness workloads keep tags small.
+  kSprayReissued,      // suspect-rail failover re-issued an in-flight frag
+  kSprayFragRx,        // a spray fragment reached the reassembly buffer
+  kReassembled,        // a sprayed message completed reassembly
 };
 
-inline constexpr size_t kEventKindCount = 8;
+inline constexpr size_t kEventKindCount = 11;
 
 const char* event_kind_name(EventKind kind);
 

@@ -39,8 +39,11 @@ struct StoredFrag {
   util::ByteBuffer data;
 };
 
-// RTS that arrived before its receive was posted.
+// RTS that arrived before its receive was posted. `flags` preserves the
+// wire flags (kFlagSpray in particular) so a late-posted receive replays
+// the sender's spray proposal faithfully.
 struct StoredRts {
+  uint8_t flags = 0;
   uint32_t len = 0;
   uint32_t offset = 0;
   uint32_t total = 0;
@@ -68,12 +71,53 @@ struct RdvRecv {
 
 using MsgKey = std::pair<Tag, SeqNum>;
 
+// Receive-side state of one sprayed message (CoreConfig::spray): a
+// reorder-tolerant reassembly buffer. Fragments land in any order, on any
+// rail; `covered` merges the applied [offset, end) byte ranges (the
+// BulkSink dedup idiom) so duplicates from retransmission apply exactly
+// once, and `frag_epoch` records the highest re-issue epoch accepted per
+// fragment sequence so a stale twin straggling in after a failover
+// re-issue is fenced. Fencing is per-fragment, not per-message: after a
+// partial re-issue the untouched epoch-0 fragments on healthy rails are
+// still the only copy of their bytes and must stay acceptable.
+struct SprayRecv {
+  RecvRequest* request = nullptr;
+  uint32_t len = 0;     // bytes of this sprayed block
+  uint32_t offset = 0;  // logical offset of the block in the message
+  uint32_t total = 0;   // total message bytes (RTS total)
+  uint64_t cookie = 0;  // the rendezvous cookie echoed in the CTS
+  size_t received = 0;               // distinct payload bytes applied
+  std::map<size_t, size_t> covered;  // merged applied intervals: off → end
+  std::map<uint32_t, uint32_t> frag_epoch;  // frag_seq → accepted epoch
+  util::MutableBytes region;  // direct destination (empty → bounce path)
+  util::ByteBuffer bounce;    // used when the dest is not contiguous
+};
+
+// Sender-side record of one spray fragment riding in a pending packet,
+// kept so a suspect-rail failover can re-create the fragment on a
+// survivor without re-parsing the flattened wire image. `payload` aliases
+// the application send buffer (valid until the owning request completes,
+// which cannot happen while the re-issued fragment is unacked).
+struct SprayFragRef {
+  Tag tag = 0;
+  SeqNum seq = 0;
+  uint32_t frag_seq = 0;
+  uint32_t epoch = 0;
+  uint32_t offset = 0;
+  uint32_t total = 0;
+  util::ConstBytes payload;
+  SendRequest* owner = nullptr;
+  size_t owner_slot = 0;  // index into PendingPacket::owners
+  bool reissued = false;  // a higher-epoch twin is already in flight
+};
+
 // One unacknowledged reliable packet: a flattened copy of the wire bytes
 // (retransmittable on any rail) plus the send requests whose chunks rode
 // in it. part_done() for those chunks is deferred until the ack arrives.
 struct PendingPacket {
   std::shared_ptr<util::ByteBuffer> wire;
   std::vector<SendRequest*> owners;  // one entry per owned payload chunk
+  std::vector<SprayFragRef> spray_frags;  // spray fragments riding inside
   RailIndex last_rail = 0;
   uint32_t retries = 0;
   double timeout_us = 0.0;  // current (backed-off) retransmit deadline
@@ -107,6 +151,11 @@ struct GateCollect {
   std::map<MsgKey, RecvRequest*> active_recv;
   std::map<MsgKey, UnexpectedMsg> unexpected;
   std::map<uint64_t, RdvRecv> rdv_recv;  // cookie → in-flight bulk receive
+  std::map<MsgKey, SprayRecv> spray_recv;  // in-flight spray reassemblies
+  // Completed spray reassemblies: a fragment arriving after completion
+  // (retransmitted or fenced twin in flight) is dropped as a late
+  // straggler rather than re-opened. Pruned at gate teardown.
+  std::set<MsgKey> spray_done;
   // Receiver side: message keys whose receive was cancelled; payload that
   // arrives later is dropped instead of parked as unexpected.
   std::set<MsgKey> cancelled_recv;

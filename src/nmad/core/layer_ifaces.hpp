@@ -65,6 +65,9 @@ class ITransferRail {
 
   [[nodiscard]] virtual const RailInfo& info() const = 0;
   [[nodiscard]] virtual bool alive() const = 0;
+  // Alive but under suspicion (health silence past suspect_after_us). The
+  // spray failover path avoids suspect rails when picking a survivor.
+  [[nodiscard]] virtual bool suspect() const = 0;
   [[nodiscard]] virtual bool tx_idle() const = 0;
 
   virtual util::Status send_packet(const Gate& gate,

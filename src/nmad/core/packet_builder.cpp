@@ -71,6 +71,11 @@ const util::SegmentVec& PacketBuilder::finalize() {
         // The rail epoch rides the seq field, like the ack floor does.
         encode_heartbeat(w, chunk->flags, chunk->seq);
         break;
+      case ChunkKind::kSprayFrag:
+        encode_spray_frag_header(w, chunk->flags, chunk->tag, chunk->seq,
+                                 len, chunk->offset, chunk->total,
+                                 chunk->frag_seq, chunk->epoch);
+        break;
     }
     extents.emplace_back(begin, headers_.size() - begin);
   }

@@ -82,9 +82,16 @@ void ScheduleLayer::submit_rdv(Gate& gate, SendRequest* req, Tag tag,
   gate.sched.rdv_wait_cts[job->cookie] = job;
   ++ctx_.stats.rdv_started;
 
+  // Propose the per-packet spray path for whole single-block messages:
+  // spray reassembly is keyed by (tag, seq), so a multi-block message
+  // (several rendezvous jobs under one key) must keep the cookie-keyed
+  // bulk pipeline. The receiver accepts by echoing kFlagSpray on the CTS.
+  job->spray =
+      ctx_.config.spray && logical_offset == 0 && block.size() == total;
+
   OutChunk* rts = ctx_.chunk_pool.acquire();
   rts->kind = ChunkKind::kRts;
-  rts->flags = 0;
+  rts->flags = job->spray ? kFlagSpray : uint8_t{0};
   rts->tag = tag;
   rts->seq = seq;
   rts->offset = static_cast<uint32_t>(logical_offset);
@@ -311,8 +318,28 @@ void ScheduleLayer::issue_packet(Gate& gate, RailIndex rail,
     p.wire->resize(segments.total_bytes());
     segments.gather_into(p.wire->view());
     for (OutChunk* chunk : builder->chunks()) {
-      if (chunk->owner != nullptr && !chunk->is_control()) {
-        p.owners.push_back(chunk->owner);
+      if (chunk->owner == nullptr || chunk->is_control()) continue;
+      const size_t slot = p.owners.size();
+      p.owners.push_back(chunk->owner);
+      if (chunk->kind == ChunkKind::kSprayFrag) {
+        // Remember enough to re-create the fragment on a survivor the
+        // instant this packet's rail turns suspect (see on_rail_suspect).
+        p.spray_frags.push_back({.tag = chunk->tag,
+                                 .seq = chunk->seq,
+                                 .frag_seq = chunk->frag_seq,
+                                 .epoch = chunk->epoch,
+                                 .offset = chunk->offset,
+                                 .total = chunk->total,
+                                 .payload = chunk->payload,
+                                 .owner = chunk->owner,
+                                 .owner_slot = slot,
+                                 .reissued = false});
+        if (chunk->reissue_at >= 0.0) {
+          // Suspect-transition to wire: the failover latency the spray
+          // path exists to shrink.
+          ctx_.stats.spray_reissue_latency_us.add(ctx_.world.now() -
+                                                  chunk->reissue_at);
+        }
       }
     }
     p.last_rail = rail;
@@ -396,6 +423,126 @@ void ScheduleLayer::issue_bulk(Gate& gate, RailIndex rail, BulkJob* job,
 }
 
 // ---------------------------------------------------------------------------
+// Per-packet multipath spray (CoreConfig::spray)
+// ---------------------------------------------------------------------------
+
+void ScheduleLayer::spray_job(Gate& gate, BulkJob* job) {
+  // Sprayed fragments ride track-0 packets under the ack machinery, so
+  // the config chain forces reliability on whenever spray is enabled.
+  NMAD_ASSERT(reliable());
+  SendRequest* owner = job->owner;
+  const Tag tag = owner->tag();
+  const SeqNum seq = owner->seq();
+  const util::ConstBytes body = job->body;
+
+  // Each fragment must fit a track-0 packet on its own: packet header +
+  // seq + fragment header + payload + checksum trailer within the gate's
+  // smallest rail frame.
+  const size_t overhead = kPacketHeaderBytes + kPacketSeqBytes +
+                          kSprayFragHeaderBytes + kChecksumTrailerBytes;
+  NMAD_ASSERT(gate.max_packet > overhead);
+  const size_t frag_bytes = std::max<size_t>(
+      1, std::min(ctx_.config.spray_frag_bytes, gate.max_packet - overhead));
+
+  ++ctx_.stats.spray_sends;
+  uint32_t frag_seq = 0;
+  for (size_t off = 0; off < body.size(); off += frag_bytes) {
+    const size_t n = std::min(frag_bytes, body.size() - off);
+    OutChunk* c = ctx_.chunk_pool.acquire();
+    c->kind = ChunkKind::kSprayFrag;
+    c->flags = 0;
+    c->tag = tag;
+    c->seq = seq;
+    c->offset = static_cast<uint32_t>(off);
+    c->total = static_cast<uint32_t>(body.size());
+    c->payload = body.subspan(off, n);
+    c->frag_seq = frag_seq++;
+    c->epoch = 0;
+    c->reissue_at = -1.0;
+    // Sprayed bodies were admitted as rendezvous traffic — the receiver
+    // granted the whole block up front — so they bypass the eager credit
+    // window: mark them charged before enqueue.
+    c->credit_charged = true;
+    c->prio = Priority::kNormal;
+    c->pinned_rail = job->pinned_rail;
+    c->owner = owner;
+    owner->add_part();
+    enqueue(gate, c);
+    ++ctx_.stats.spray_frags_tx;
+  }
+  // Every fragment holds its own part; the job's original part retires
+  // with the job itself.
+  ctx_.bulk_pool.release(job);
+  owner->part_done();
+  kick();
+}
+
+void ScheduleLayer::on_rail_suspect(RailIndex rail) {
+  if (!ctx_.config.spray) return;
+  const double now = ctx_.world.now();
+  bool any = false;
+  for (auto& gate_ptr : ctx_.gates) {
+    Gate& g = *gate_ptr;
+    if (g.failed || !g.has_rail(rail)) continue;
+    // Survivors: alive and not themselves under suspicion. With none, the
+    // regular timeout/death machinery remains the recovery path.
+    std::vector<RailIndex> survivors;
+    for (RailIndex r : g.rails) {
+      if (r == rail) continue;
+      const ITransferRail& tr = fleet_.transfer_rail(r);
+      if (tr.alive() && !tr.suspect()) survivors.push_back(r);
+    }
+    if (survivors.empty()) continue;
+    size_t rr = 0;
+    for (auto& [seq, p] : g.sched.pending_pkts) {
+      if (p.last_rail != rail) continue;
+      for (SprayFragRef& ref : p.spray_frags) {
+        if (ref.reissued) continue;  // a fresher twin is already out
+        SendRequest*& slot = p.owners[ref.owner_slot];
+        if (slot == nullptr) continue;  // cancelled mid-flight
+        ref.reissued = true;
+        // Hand the part to the re-issued copy: when the *original*
+        // packet is eventually acked (or the gate torn down), its nulled
+        // slot is skipped — the part retires exactly once, with
+        // whichever copy the receiver accepts first.
+        SendRequest* owner = slot;
+        slot = nullptr;
+        OutChunk* c = ctx_.chunk_pool.acquire();
+        c->kind = ChunkKind::kSprayFrag;
+        c->flags = 0;
+        c->tag = ref.tag;
+        c->seq = ref.seq;
+        c->offset = ref.offset;
+        c->total = ref.total;
+        c->payload = ref.payload;
+        c->frag_seq = ref.frag_seq;
+        c->epoch = ref.epoch + 1;  // fences the suspect-rail twin
+        c->reissue_at = now;
+        c->credit_charged = true;
+        c->prio = Priority::kHigh;  // the receiver is stalled on it
+        c->pinned_rail = survivors[rr++ % survivors.size()];
+        // No add_part here: the copy *inherits* the part the original
+        // fragment held (its slot above is now null and will never
+        // retire), keeping expected-part accounting balanced.
+        c->owner = owner;
+        enqueue(g, c);
+        ++ctx_.stats.spray_reissues;
+        ++ctx_.stats.spray_frags_tx;
+        ctx_.bus.publish(
+            {.kind = EventKind::kSprayReissued,
+             .gate = g.id,
+             .rail = rail,
+             .seq = ref.seq,
+             .a = (static_cast<uint64_t>(ref.tag) << 40) | ref.offset,
+             .b = ref.payload.size()});
+        any = true;
+      }
+    }
+  }
+  if (any) kick();
+}
+
+// ---------------------------------------------------------------------------
 // CTS handling (grant arrival on the send side)
 // ---------------------------------------------------------------------------
 
@@ -413,6 +560,16 @@ void ScheduleLayer::on_cts(Gate& gate, const WireChunk& chunk) {
   }
   BulkJob* job = it->second;
   gate.sched.rdv_wait_cts.erase(it);
+
+  // The receiver echoed our spray proposal: the body leaves through the
+  // optimization window as kSprayFrag chunks instead of per-rail bulk
+  // sinks. (A receiver that ignored the flag falls through to the bulk
+  // pipeline — both sides key off the CTS flag, so they always agree.)
+  if (job->spray && (chunk.flags & kFlagSpray) != 0) {
+    spray_job(gate, job);
+    return;
+  }
+  job->spray = false;
 
   // Keep only rails this side can actually drive (and the pinned rail, if
   // the application constrained the message to one). The grant itself is
@@ -1131,7 +1288,11 @@ bool ScheduleLayer::cancel_send(Gate& gate, SendRequest* req,
   }
   for (OutChunk* c : mine) {
     s.window.remove(*c);
-    if (flow_control() && !c->payload.empty()) {
+    // Spray fragments are born credit_charged without ever touching the
+    // eager accounting (the receiver granted the block via CTS), so they
+    // have nothing to unwind.
+    if (flow_control() && !c->payload.empty() &&
+        c->kind != ChunkKind::kSprayFrag) {
       if (c->credit_charged) {
         s.eager_sent_bytes -= c->payload.size();
         s.eager_sent_chunks -= 1;
@@ -1717,6 +1878,21 @@ void ScheduleLayer::check_gate(const Gate& gate,
                "gate %u: pending packet seq %u owned by a completed "
                "send",
                gate.id, seq);
+        }
+      }
+      for (const SprayFragRef& ref : p.spray_frags) {
+        if (ref.owner_slot >= p.owners.size()) {
+          addf(out,
+               "gate %u: spray fragment (tag %llu frag %u) points past "
+               "the owner table of packet seq %u",
+               gate.id, static_cast<ULL>(ref.tag), ref.frag_seq, seq);
+        } else if (!ref.reissued && p.owners[ref.owner_slot] != nullptr &&
+                   p.owners[ref.owner_slot] != ref.owner) {
+          addf(out,
+               "gate %u: spray fragment (tag %llu frag %u) disagrees "
+               "with owner slot %zu of packet seq %u",
+               gate.id, static_cast<ULL>(ref.tag), ref.frag_seq,
+               ref.owner_slot, seq);
         }
       }
     }

@@ -110,6 +110,12 @@ class ScheduleLayer final : public ISchedule, public IPacketIssuer {
   // rendezvous jobs whose CTS granted it.
   void on_rail_dead(RailIndex rail);
   void on_rail_revived(RailIndex rail);
+  // Microsecond failover (CoreConfig::spray): the moment a rail turns
+  // *suspect*, sprayed fragments in flight on it are re-issued on the
+  // surviving rails with a bumped epoch — without waiting for the rail to
+  // be declared dead or any retransmit timer to fire. The original
+  // packets stay in the unacked window (the receiver dedups/fences).
+  void on_rail_suspect(RailIndex rail);
 
   // Teardown (façade-orchestrated; see Core::teardown_gate) -----------------
   // Send side: timers, the window, prebuilt packets, the reliability
@@ -166,6 +172,9 @@ class ScheduleLayer final : public ISchedule, public IPacketIssuer {
                     std::shared_ptr<PacketBuilder> builder,
                     bool charge_election = true);
   void issue_bulk(Gate& gate, RailIndex rail, BulkJob* job, size_t bytes);
+  // Spray path: cuts a CTS-granted body into kSprayFrag window chunks the
+  // strategy stripes packet-by-packet across the gate's alive rails.
+  void spray_job(Gate& gate, BulkJob* job);
 
   // Reliability -------------------------------------------------------------
   OutChunk* make_ack_chunk(Gate& gate);

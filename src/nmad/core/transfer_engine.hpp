@@ -43,6 +43,9 @@ class TransferEngine final : public ITransferRail {
   // ITransferRail ----------------------------------------------------------
   [[nodiscard]] const RailInfo& info() const override { return info_; }
   [[nodiscard]] bool alive() const override { return alive_; }
+  [[nodiscard]] bool suspect() const override {
+    return health_ == RailHealth::kSuspect;
+  }
   [[nodiscard]] bool tx_idle() const override { return driver_->tx_idle(); }
   util::Status send_packet(const Gate& gate, const util::SegmentVec& segments,
                            drivers::Driver::CompletionFn on_tx_done) override;

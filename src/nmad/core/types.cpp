@@ -11,6 +11,7 @@ const char* chunk_kind_name(ChunkKind kind) {
     case ChunkKind::kAck: return "ack";
     case ChunkKind::kCredit: return "credit";
     case ChunkKind::kHeartbeat: return "heartbeat";
+    case ChunkKind::kSprayFrag: return "spray-frag";
   }
   return "?";
 }

@@ -32,6 +32,11 @@ enum class ChunkKind : uint8_t {
   kAck = 5,   // reliability: cumulative + selective acknowledgement
   kCredit = 6,  // flow control: receiver's cumulative eager-credit limits
   kHeartbeat = 7,  // rail health: liveness beacon / revival probe+reply
+  // Per-packet multipath spray: one fragment of a rendezvous-class body
+  // striped packet-by-packet across every alive rail. Carries its own
+  // fragment sequence and a re-issue epoch so the receiver's reassembly
+  // buffer can fence stale duplicates after a failover re-issue.
+  kSprayFrag = 8,
 };
 
 const char* chunk_kind_name(ChunkKind kind);
@@ -57,6 +62,10 @@ enum ChunkFlags : uint8_t {
   // prober can tell a fresh response from one delayed across a revival.
   kFlagProbe = 1u << 3,
   kFlagReply = 1u << 4,
+  // On kRts: the sender proposes per-packet multipath spray for the body
+  // (no RDMA sinks; kSprayFrag packets instead). On kCts: the receiver
+  // accepts and has armed a reorder-tolerant reassembly buffer.
+  kFlagSpray = 1u << 5,
 };
 
 }  // namespace nmad::core

@@ -83,6 +83,18 @@ void encode_heartbeat(util::WireWriter& w, uint8_t flags, uint32_t epoch) {
   encode_common(w, ChunkKind::kHeartbeat, flags, /*tag=*/0, epoch);
 }
 
+void encode_spray_frag_header(util::WireWriter& w, uint8_t flags, Tag tag,
+                              SeqNum seq, uint32_t len, uint32_t offset,
+                              uint32_t total, uint32_t frag_seq,
+                              uint32_t epoch) {
+  encode_common(w, ChunkKind::kSprayFrag, flags, tag, seq);
+  w.u32(len);
+  w.u32(offset);
+  w.u32(total);
+  w.u32(frag_seq);
+  w.u32(epoch);
+}
+
 size_t chunk_wire_bytes(ChunkKind kind, size_t payload_len,
                         size_t cts_rail_count, size_t ack_sacks,
                         size_t ack_bulks) {
@@ -96,6 +108,7 @@ size_t chunk_wire_bytes(ChunkKind kind, size_t payload_len,
              ack_bulks * kAckBulkBytes;
     case ChunkKind::kCredit: return kCreditHeaderBytes;
     case ChunkKind::kHeartbeat: return kHeartbeatHeaderBytes;
+    case ChunkKind::kSprayFrag: return kSprayFragHeaderBytes + payload_len;
   }
   return 0;
 }

@@ -61,6 +61,9 @@ inline constexpr size_t kCreditHeaderBytes = 1 + 1 + 8 + 4 + 8 + 8;
 // Just the common header: the rail epoch rides in the seq field and the
 // probe/reply role in the chunk flags, so a heartbeat costs 14 bytes.
 inline constexpr size_t kHeartbeatHeaderBytes = 1 + 1 + 8 + 4;
+// Common header + u32 len + u32 offset + u32 total + u32 frag_seq +
+// u32 epoch, then the inline payload.
+inline constexpr size_t kSprayFragHeaderBytes = 1 + 1 + 8 + 4 + 4 + 4 + 4 + 4 + 4;
 
 // One acknowledged rendezvous slice (cookie, offset, length).
 struct BulkAck {
@@ -91,6 +94,12 @@ struct WireChunk {
   // delta) semantics make lost or reordered credit chunks harmless.
   uint64_t credit_bytes = 0;
   uint64_t credit_chunks = 0;
+  // kSprayFrag only: position in the spray fragment stream and the
+  // failover re-issue epoch (0 = original issue; a re-issue after a rail
+  // turned suspect carries the fragment's epoch + 1 so the reassembly
+  // buffer can fence the stale twin when it eventually straggles in).
+  uint32_t frag_seq = 0;
+  uint32_t epoch = 0;
 };
 
 // Encoders append one chunk header (and know nothing of payload bytes;
@@ -115,6 +124,10 @@ void encode_credit(util::WireWriter& w, uint64_t credit_bytes,
 // `epoch` is the sender's current epoch for the rail the heartbeat rides
 // (or, on kFlagReply, the echoed probe epoch); it travels in `seq`.
 void encode_heartbeat(util::WireWriter& w, uint8_t flags, uint32_t epoch);
+void encode_spray_frag_header(util::WireWriter& w, uint8_t flags, Tag tag,
+                              SeqNum seq, uint32_t len, uint32_t offset,
+                              uint32_t total, uint32_t frag_seq,
+                              uint32_t epoch);
 
 // Packet-level framing decoded ahead of the chunks. Filled in before the
 // first sink invocation, so sinks may consult it.
@@ -215,6 +228,14 @@ util::Status decode_packet(util::ConstBytes packet, PacketMeta* meta,
         break;
       case ChunkKind::kHeartbeat:
         break;  // epoch is in `seq`; no kind-specific fields
+      case ChunkKind::kSprayFrag:
+        chunk.len = r.u32();
+        chunk.offset = r.u32();
+        chunk.total = r.u32();
+        chunk.frag_seq = r.u32();
+        chunk.epoch = r.u32();
+        chunk.payload = r.bytes(chunk.len);
+        break;
 
       default:
         return util::internal_error("unknown chunk kind on wire");

@@ -115,7 +115,7 @@ void SimNic::send_frame(NodeId dst, util::ConstBytes bytes,
     trace_->record(world_.now(), TraceKind::kFrameTx, node_, rail_,
                    bytes.size());
   }
-  const SimTime arrival =
+  SimTime arrival =
       launch(bytes.size(), segment_count, 0.0, std::move(on_tx_done));
 
   RxFrame frame;
@@ -125,6 +125,17 @@ void SimNic::send_frame(NodeId dst, util::ConstBytes bytes,
   if (profile_.fault.any() &&
       apply_faults(dest, arrival, &frame.bytes, /*bulk=*/false)) {
     return;  // lost on the wire
+  }
+  // Adaptive-routing reorder: a jittered frame takes a longer path and
+  // arrives behind frames launched after it. Drawn after the loss dice
+  // so enabling reorder never perturbs which frames an existing seed
+  // drops. Blackout checks above use the un-jittered arrival: the jitter
+  // models path length, not a way to outrun a dark receiver.
+  const FaultProfile& fault = profile_.fault;
+  if (fault.reorder_prob > 0.0 && fault.jitter_max_us > 0.0 &&
+      rng_.next_bool(fault.reorder_prob)) {
+    arrival += fault.jitter_max_us * rng_.next_double();
+    ++counters_.frames_reordered;
   }
   const size_t len = bytes.size();
   world_.at(arrival, [dest, frame = std::move(frame), len]() mutable {

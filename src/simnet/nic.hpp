@@ -48,6 +48,14 @@ struct FaultProfile {
   double frame_drop_prob = 0.0;  // track-0 frames silently lost
   double bit_flip_prob = 0.0;    // track-0 frames with one corrupted bit
   double bulk_drop_prob = 0.0;   // track-1 slices silently lost
+  // Packet reordering: each track-0 frame independently draws a delivery
+  // jitter of up to jitter_max_us with probability reorder_prob. A
+  // jittered frame arrives late and can land *behind* frames launched
+  // after it — the adaptive-routing / multipath shape spray reassembly
+  // must tolerate. Frames are delayed, never lost; track-1 (RDMA) slices
+  // keep their ordered per-sink delivery.
+  double reorder_prob = 0.0;
+  double jitter_max_us = 0.0;
   uint64_t seed = 0;
   // Blackouts apply at both ends: a frame is lost if its sender launches
   // inside a window or its receiver would hear it inside one. The
@@ -65,7 +73,8 @@ struct FaultProfile {
 
   [[nodiscard]] bool any() const {
     return frame_drop_prob > 0.0 || bit_flip_prob > 0.0 ||
-           bulk_drop_prob > 0.0 || !blackouts.empty();
+           bulk_drop_prob > 0.0 ||
+           (reorder_prob > 0.0 && jitter_max_us > 0.0) || !blackouts.empty();
   }
 };
 
@@ -249,6 +258,7 @@ class SimNic {
     // Fault-injection outcomes (sender-side accounting).
     uint64_t frames_dropped = 0;
     uint64_t frames_corrupted = 0;
+    uint64_t frames_reordered = 0;  // track-0 frames given delivery jitter
     uint64_t bulk_dropped = 0;
     uint64_t bulk_orphaned = 0;  // receiver-side: late frames, sink gone
   };

@@ -65,6 +65,80 @@ double SampleSet::percentile(double p) const {
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }
 
+size_t QuantileDigest::bucket_of(uint64_t ticks) {
+  if (ticks < kSubBuckets) return static_cast<size_t>(ticks);
+  const int octave = std::bit_width(ticks) - 1;  // >= kSubBits
+  const uint64_t sub = (ticks >> (octave - kSubBits)) & (kSubBuckets - 1);
+  return static_cast<size_t>(octave - kSubBits + 1) * kSubBuckets +
+         static_cast<size_t>(sub);
+}
+
+double QuantileDigest::bucket_mid(size_t idx) {
+  if (idx < kSubBuckets) {
+    return static_cast<double>(idx) / kTicksPerUnit;
+  }
+  const int octave =
+      static_cast<int>(idx / kSubBuckets) + kSubBits - 1;
+  const uint64_t sub = idx % kSubBuckets;
+  const uint64_t lo = (uint64_t{1} << octave) |
+                      (sub << (octave - kSubBits));
+  const uint64_t width = uint64_t{1} << (octave - kSubBits);
+  return (static_cast<double>(lo) + static_cast<double>(width) / 2.0) /
+         kTicksPerUnit;
+}
+
+void QuantileDigest::add(double x) {
+  if (x < 0.0) x = 0.0;
+  const auto ticks = static_cast<uint64_t>(x * kTicksPerUnit);
+  const size_t idx = bucket_of(ticks);
+  if (buckets_.size() <= idx) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+  sum_ += x;
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+}
+
+void QuantileDigest::merge(const QuantileDigest& other) {
+  if (other.count_ == 0) return;
+  if (buckets_.size() < other.buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  sum_ += other.sum_;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+}
+
+double QuantileDigest::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  NMAD_ASSERT(q >= 0.0 && q <= 1.0);
+  // Nearest-rank over the cumulative counts, clamped to the exact
+  // observed range so q=0 / q=1 report true min/max.
+  const auto rank = static_cast<uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > rank) {
+      return std::min(std::max(bucket_mid(i), min_), max_);
+    }
+  }
+  return max_;
+}
+
 void SizeHistogram::add(uint64_t value) {
   const size_t bucket = value < 2 ? 0 : std::bit_width(value) - 1;
   if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);

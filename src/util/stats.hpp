@@ -60,6 +60,51 @@ class SampleSet {
   void ensure_sorted() const;
 };
 
+// Streaming quantile digest: a log-linear (HDR-style) histogram with 32
+// sub-buckets per octave, so any quantile is answered in O(buckets) with
+// bounded relative error (≤ ~3 %) and O(1) memory per sample. Values are
+// non-negative (latencies in µs); min/max/mean are tracked exactly, so
+// max() and quantiles at the extremes are never approximated away.
+// Digests merge bucket-wise, which is how per-gate tails roll up into an
+// engine-wide tail.
+class QuantileDigest {
+ public:
+  void add(double x);
+  void merge(const QuantileDigest& other);
+
+  [[nodiscard]] size_t count() const { return count_; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+
+  // Quantile by cumulative bucket walk; q in [0, 1]. Empty digest → 0.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] double p999() const { return quantile(0.999); }
+
+  void reset() { *this = QuantileDigest{}; }
+
+ private:
+  // 32 sub-buckets per octave; ticks are value µs × 1024 (sub-ns floor).
+  static constexpr int kSubBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  static constexpr double kTicksPerUnit = 1024.0;
+  static constexpr size_t kBuckets =
+      static_cast<size_t>((64 - kSubBits) * kSubBuckets);
+
+  static size_t bucket_of(uint64_t ticks);
+  static double bucket_mid(size_t idx);
+
+  std::vector<uint64_t> buckets_;  // lazily sized, kBuckets max
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 // Power-of-two bucketed histogram for message-size distributions.
 class SizeHistogram {
  public:

@@ -30,7 +30,7 @@ int usage() {
       stderr,
       "usage: explorer --seed=S [--ops=L] [--sweep=N]\n"
       "                [--fault=none|drops|flips|blackout|rx-pause|mixed|"
-      "rail-flap]\n"
+      "reorder|rail-flap|spray-reorder]\n"
       "                [--inject=skip-credit-charge] [--verbose]\n");
   return 2;
 }

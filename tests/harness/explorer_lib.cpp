@@ -24,12 +24,14 @@ namespace {
 const char* const kStrategies[] = {"default", "aggreg", "aggreg_extended",
                                    "split_balance"};
 
-// kRailFlap is never drawn from the seed (it reshapes the whole plan);
-// it is selected with ExplorerOptions::force_fault only.
+// kRailFlap and kSprayReorder are never drawn from the seed (they
+// reshape the whole plan); they are selected with
+// ExplorerOptions::force_fault only.
 enum class FaultKind {
-  kNone, kDrops, kFlips, kBlackout, kRxPause, kMixed, kRailFlap
+  kNone, kDrops, kFlips, kBlackout, kRxPause, kMixed, kReorder,
+  kRailFlap, kSprayReorder
 };
-constexpr size_t kDrawnFaultKinds = 6;  // kNone..kMixed
+constexpr size_t kDrawnFaultKinds = 7;  // kNone..kReorder
 
 const char* fault_kind_name(FaultKind k) {
   switch (k) {
@@ -39,13 +41,15 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kBlackout: return "blackout";
     case FaultKind::kRxPause: return "rx-pause";
     case FaultKind::kMixed: return "mixed";
+    case FaultKind::kReorder: return "reorder";
     case FaultKind::kRailFlap: return "rail-flap";
+    case FaultKind::kSprayReorder: return "spray-reorder";
   }
   return "?";
 }
 
 bool fault_kind_from_name(const std::string& name, FaultKind* out) {
-  for (int k = 0; k <= static_cast<int>(FaultKind::kRailFlap); ++k) {
+  for (int k = 0; k <= static_cast<int>(FaultKind::kSprayReorder); ++k) {
     if (name == fault_kind_name(static_cast<FaultKind>(k))) {
       *out = static_cast<FaultKind>(k);
       return true;
@@ -182,11 +186,20 @@ Plan make_plan(const ExplorerOptions& opts) {
       fault.blackouts = random_windows(rng, 1, 300.0);
       fault.rx_pauses = random_windows(rng, 1, 500.0);
       break;
+    case FaultKind::kReorder:
+      // Adaptive-routing jitter: frames delayed, never lost. The jitter
+      // ceiling comfortably exceeds the per-frame rx spacing, so frames
+      // genuinely overtake each other.
+      fault.reorder_prob = 0.15 + rng.next_double() * 0.45;
+      fault.jitter_max_us = 20.0 + rng.next_double() * 80.0;
+      break;
     case FaultKind::kRailFlap:
+    case FaultKind::kSprayReorder:
       break;  // shaped below: the blackouts land on rail 1 only
   }
   std::vector<simnet::FaultWindow> flap_windows;
-  if (plan.fault == FaultKind::kRailFlap) {
+  if (plan.fault == FaultKind::kRailFlap ||
+      plan.fault == FaultKind::kSprayReorder) {
     // Two rails; rail 0 stays clean so kill_rail never has to fail a
     // gate and every schedule remains recoverable. Health thresholds are
     // scaled to the plan's 200µs ack timeout: suspect after 150µs of
@@ -209,12 +222,26 @@ Plan make_plan(const ExplorerOptions& opts) {
       flap_windows.push_back({at, at + len});
       at += len + 800.0;
     }
+    if (plan.fault == FaultKind::kSprayReorder) {
+      // The tail-resilience profile: rendezvous bodies are sprayed
+      // packet-by-packet over both rails, every frame may take a jittered
+      // path, and rail 1 flaps underneath — out-of-order fragments,
+      // duplicates from suspect-rail re-issues and gap-fill after death
+      // all hit the reassembly buffer in one run. The fragment audits
+      // below prove exactly-once delivery survived it.
+      cfg.spray = true;
+      cfg.rdv_threshold_override = 4096;
+      fault.reorder_prob = 0.15 + rng.next_double() * 0.35;
+      fault.jitter_max_us = 30.0 + rng.next_double() * 70.0;
+    }
   }
   for (size_t r = 0; r < plan.rails; ++r) {
     simnet::NicProfile p = simnet::mx_myri10g_profile();
     p.fault = fault;
     p.fault.seed = fault.seed + r;  // decorrelate the rails' dice
-    if (plan.fault == FaultKind::kRailFlap && r == 1) {
+    if ((plan.fault == FaultKind::kRailFlap ||
+         plan.fault == FaultKind::kSprayReorder) &&
+        r == 1) {
       p.fault.blackouts = flap_windows;
     }
     plan.rail_profiles.push_back(std::move(p));
@@ -381,6 +408,64 @@ class Runner {
         if (times.acked < 0.0) times.acked = e.t;
       });
     }
+    // Fragment-granularity delivery audits (CoreConfig::spray): shadow
+    // every node's reassembly buffer through the bus and flag what the
+    // engine should never have let through — two *applied* fragments
+    // covering overlapping byte ranges of one message, or a fragment
+    // applied after that message already reported reassembly complete.
+    // Rejected fragments (duplicate / epoch-fenced / late outcomes) are
+    // the fault model at work, not violations.
+    spray_audit_.resize(plan_.nodes);
+    for (simnet::NodeId n = 0; n < cluster_->node_count(); ++n) {
+      auto& audit = spray_audit_[n];
+      const int node = static_cast<int>(n);
+      core::EventBus& bus = cluster_->core(n).bus();
+      bus.subscribe(
+          core::EventKind::kSprayFragRx,
+          [this, node, &audit](const core::Event& e) {
+            if ((e.b >> 32) != 0) return;  // rejected, nothing applied
+            const uint64_t tag = e.a >> 40;
+            const size_t off = e.a & ((uint64_t{1} << 40) - 1);
+            const size_t len = e.b & 0xFFFFFFFFull;
+            SprayState& st = audit[{e.gate, tag, e.seq}];
+            const std::string who = "node " + std::to_string(node) +
+                                    " gate " + std::to_string(e.gate) +
+                                    " tag " + std::to_string(tag) + " seq " +
+                                    std::to_string(e.seq);
+            if (st.completed) {
+              oracle_.note_violation(
+                  who + ": spray fragment [" + std::to_string(off) + ", " +
+                  std::to_string(off + len) +
+                  ") applied after reassembly completed");
+            }
+            auto it = st.covered.upper_bound(off);
+            const bool overlap =
+                (it != st.covered.begin() && std::prev(it)->second > off) ||
+                (it != st.covered.end() && it->first < off + len);
+            if (overlap) {
+              oracle_.note_violation(
+                  who + ": spray fragment [" + std::to_string(off) + ", " +
+                  std::to_string(off + len) +
+                  ") overlaps an already-applied fragment");
+            }
+            st.applied += len;
+            st.covered[off] = std::max(st.covered[off], off + len);
+          });
+      bus.subscribe(
+          core::EventKind::kReassembled,
+          [this, node, &audit](const core::Event& e) {
+            SprayState& st = audit[{e.gate, e.a >> 40, e.seq}];
+            st.completed = true;
+            if (st.applied != e.b) {
+              oracle_.note_violation(
+                  "node " + std::to_string(node) + " gate " +
+                  std::to_string(e.gate) + " seq " + std::to_string(e.seq) +
+                  ": reassembly completed at " + std::to_string(e.b) +
+                  " bytes but the applied fragments sum to " +
+                  std::to_string(st.applied));
+            }
+          });
+    }
     if (opts_.inject_skip_credit) {
       cluster_->core(0).test_skip_next_credit_charge(3);
     }
@@ -435,7 +520,8 @@ class Runner {
       }
       for (simnet::NodeId n = 0; n < cluster_->node_count(); ++n) {
         core::Core& core = cluster_->core(n);
-        if (plan_.fault == FaultKind::kRailFlap) {
+        if (plan_.fault == FaultKind::kRailFlap ||
+            plan_.fault == FaultKind::kSprayReorder) {
           if (core.stats().rails_failed == 0) {
             oracle_.note_violation(
                 "node " + std::to_string(n) +
@@ -503,6 +589,11 @@ class Runner {
       result.ev_wire_tx += s.ev_wire_tx;
       result.ev_wire_rx += s.ev_wire_rx;
       result.ev_acked += s.ev_acked;
+      result.spray_sends += s.spray_sends;
+      result.spray_frags_tx += s.spray_frags_tx;
+      result.spray_frags_rx += s.spray_frags_rx;
+      result.spray_reissues += s.spray_reissues;
+      result.spray_reassembled += s.spray_reassembled;
       double last_t = 0.0;
       for (const core::Event& ev : c.bus().trace()) {
         if (ev.t < last_t) rings_ordered = false;
@@ -693,8 +784,19 @@ class Runner {
     double acked = -1.0;
   };
 
+  // Shadow reassembly state of one sprayed message on one node, keyed
+  // by (gate, tag, seq): the byte ranges the engine *applied* (accepted
+  // into the destination), and whether it declared reassembly done.
+  struct SprayState {
+    std::map<size_t, size_t> covered;  // offset → end, as applied
+    uint64_t applied = 0;              // Σ applied fragment lengths
+    bool completed = false;
+  };
+  using SprayKey = std::tuple<core::GateId, uint64_t, uint32_t>;
+
   std::vector<LiveMessage> live_;
   std::vector<ChainTimes> chain_;
+  std::vector<std::map<SprayKey, SprayState>> spray_audit_;
   ProtocolOracle oracle_;
 };
 

@@ -42,7 +42,8 @@ struct ExplorerResult {
   size_t messages = 0;      // messages actually posted (either half)
   // Plan metadata, for coverage accounting across a sweep.
   std::string strategy;
-  // none|drops|flips|blackout|rx-pause|mixed|rail-flap
+  // none|drops|flips|blackout|rx-pause|mixed|reorder|rail-flap|
+  // spray-reorder (the last two are force-only)
   std::string fault_kind;
   size_t nodes = 0;
   size_t rails = 0;
@@ -60,6 +61,13 @@ struct ExplorerResult {
   // node retained sender-side elect/build/tx events (ack too when the
   // run was reliable).
   bool trace_lifecycle_ok = false;
+  // Spray accounting (non-zero only under CoreConfig::spray plans, i.e.
+  // --fault=spray-reorder), summed over every node's engine.
+  uint64_t spray_sends = 0;
+  uint64_t spray_frags_tx = 0;
+  uint64_t spray_frags_rx = 0;
+  uint64_t spray_reissues = 0;
+  uint64_t spray_reassembled = 0;
 };
 
 // Generates the schedule for `opts.seed`, executes it, and audits it.

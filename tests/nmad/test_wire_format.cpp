@@ -2,6 +2,7 @@
 // and malformed-packet rejection.
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <vector>
 
 #include "nmad/core/wire_format.hpp"
@@ -57,6 +58,28 @@ TEST(WireFormat, FragCarriesOffsetAndTotal) {
   EXPECT_EQ(chunks[0].offset, 100u);
   EXPECT_EQ(chunks[0].total, 500u);
   EXPECT_EQ(chunks[0].len, 4u);
+}
+
+TEST(WireFormat, SprayFragRoundTrip) {
+  util::ByteBuffer buf;
+  util::WireWriter w(buf);
+  encode_packet_header(w, 1);
+  encode_spray_frag_header(w, /*flags=*/0, /*tag=*/9, /*seq=*/12,
+                           /*len=*/5, /*offset=*/8192, /*total=*/65536,
+                           /*frag_seq=*/3, /*epoch=*/2);
+  w.bytes("spray", 5);
+
+  auto chunks = decode_all(buf.view());
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].kind, ChunkKind::kSprayFrag);
+  EXPECT_EQ(chunks[0].tag, 9u);
+  EXPECT_EQ(chunks[0].seq, 12u);
+  EXPECT_EQ(chunks[0].offset, 8192u);
+  EXPECT_EQ(chunks[0].total, 65536u);
+  EXPECT_EQ(chunks[0].frag_seq, 3u);
+  EXPECT_EQ(chunks[0].epoch, 2u);
+  ASSERT_EQ(chunks[0].payload.size(), 5u);
+  EXPECT_EQ(std::memcmp(chunks[0].payload.data(), "spray", 5), 0);
 }
 
 TEST(WireFormat, RtsRoundTrip) {
@@ -222,6 +245,7 @@ TEST(WireFormat, RandomMultiplexRoundTripProperty) {
       std::vector<uint32_t> sacks;
       std::vector<BulkAck> bulk_acks;
       uint64_t credit_bytes = 0, credit_chunks = 0;
+      uint32_t frag_seq = 0, epoch = 0;
     };
     std::vector<Expect> expected;
     util::ByteBuffer buf;
@@ -229,7 +253,13 @@ TEST(WireFormat, RandomMultiplexRoundTripProperty) {
     encode_packet_header(w, static_cast<uint16_t>(n));
     for (int i = 0; i < n; ++i) {
       Expect e;
-      e.kind = static_cast<ChunkKind>(1 + rng.next_below(6));
+      // Every multiplexable kind: 1..6 plus kSprayFrag (heartbeats ride
+      // their own raw frames, never a multiplexed packet).
+      static constexpr ChunkKind kKinds[] = {
+          ChunkKind::kData, ChunkKind::kFrag,   ChunkKind::kRts,
+          ChunkKind::kCts,  ChunkKind::kAck,    ChunkKind::kCredit,
+          ChunkKind::kSprayFrag};
+      e.kind = kKinds[rng.next_below(std::size(kKinds))];
       e.tag = rng.next_u64();
       e.seq = static_cast<SeqNum>(rng.next_u64());
       e.len = static_cast<uint32_t>(rng.next_below(64));
@@ -288,6 +318,19 @@ TEST(WireFormat, RandomMultiplexRoundTripProperty) {
           e.credit_chunks = rng.next_u64();
           encode_credit(w, e.credit_bytes, e.credit_chunks);
           break;
+        case ChunkKind::kSprayFrag:
+          e.payload.resize(e.len);
+          for (auto& b : e.payload) {
+            b = static_cast<std::byte>(rng.next_below(256));
+          }
+          e.frag_seq = static_cast<uint32_t>(rng.next_u64());
+          e.epoch = static_cast<uint32_t>(rng.next_below(8));
+          encode_spray_frag_header(w, 0, e.tag, e.seq, e.len, e.offset,
+                                   e.total, e.frag_seq, e.epoch);
+          w.bytes(e.payload.data(), e.payload.size());
+          break;
+        default:
+          FAIL() << "unreachable kind";
       }
       expected.push_back(std::move(e));
     }
@@ -299,7 +342,8 @@ TEST(WireFormat, RandomMultiplexRoundTripProperty) {
       EXPECT_EQ(c.kind, e.kind);
       EXPECT_EQ(c.tag, e.tag);
       EXPECT_EQ(c.seq, e.seq);
-      if (e.kind == ChunkKind::kData || e.kind == ChunkKind::kFrag) {
+      if (e.kind == ChunkKind::kData || e.kind == ChunkKind::kFrag ||
+          e.kind == ChunkKind::kSprayFrag) {
         ASSERT_EQ(c.payload.size(), e.payload.size());
         if (!e.payload.empty()) {
           EXPECT_EQ(std::memcmp(c.payload.data(), e.payload.data(),
@@ -307,9 +351,14 @@ TEST(WireFormat, RandomMultiplexRoundTripProperty) {
                     0);
         }
       }
-      if (e.kind == ChunkKind::kFrag || e.kind == ChunkKind::kRts) {
+      if (e.kind == ChunkKind::kFrag || e.kind == ChunkKind::kRts ||
+          e.kind == ChunkKind::kSprayFrag) {
         EXPECT_EQ(c.offset, e.offset);
         EXPECT_EQ(c.total, e.total);
+      }
+      if (e.kind == ChunkKind::kSprayFrag) {
+        EXPECT_EQ(c.frag_seq, e.frag_seq);
+        EXPECT_EQ(c.epoch, e.epoch);
       }
       if (e.kind == ChunkKind::kRts || e.kind == ChunkKind::kCts) {
         EXPECT_EQ(c.cookie, e.cookie);

@@ -13,7 +13,8 @@ namespace nmad::core {
 namespace {
 
 // Builds a representative checksummed + reliable packet: aggregated data,
-// a fragment, an RTS, a CTS and an ack — every chunk kind on the wire.
+// a fragment, an RTS, a CTS, an ack and a spray fragment — every
+// non-heartbeat chunk kind on the wire.
 util::ByteBuffer build_packet() {
   static std::vector<std::byte> payload0(64);
   static std::vector<std::byte> payload1(32);
@@ -57,6 +58,16 @@ util::ByteBuffer build_packet() {
   ack.ack_sacks = {19, 23};
   ack.ack_bulk_acks = {{0xABCDEF, 0, 32768}};
 
+  OutChunk spray;
+  spray.kind = ChunkKind::kSprayFrag;
+  spray.tag = 6;
+  spray.seq = 4;
+  spray.offset = 8192;
+  spray.total = 65536;
+  spray.frag_seq = 2;
+  spray.epoch = 1;
+  spray.payload = {payload1.data(), payload1.size()};
+
   PacketBuilder builder(64 * 1024, 0, /*checksum=*/true,
                         /*reserve_seq=*/true);
   builder.add(&data);
@@ -64,6 +75,7 @@ util::ByteBuffer build_packet() {
   builder.add(&rts);
   builder.add(&cts);
   builder.add(&ack);
+  builder.add(&spray);
   builder.mark_reliable(41);
 
   const util::SegmentVec& segs = builder.finalize();
@@ -93,7 +105,7 @@ TEST(WireFuzz, PristinePacketIsAccepted) {
   EXPECT_TRUE(meta.checksummed);
   EXPECT_TRUE(meta.reliable);
   EXPECT_EQ(meta.seq, 41u);
-  EXPECT_EQ(chunks, 5u);
+  EXPECT_EQ(chunks, 6u);
 }
 
 TEST(WireFuzz, EveryByteFlipIsRejected) {

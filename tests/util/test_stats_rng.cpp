@@ -139,5 +139,69 @@ TEST(SizeHistogram, PowerOfTwoBuckets) {
   EXPECT_EQ(h.bucket(5), 0u);
 }
 
+TEST(QuantileDigest, EmptyReturnsZero) {
+  QuantileDigest d;
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(d.min(), 0.0);
+  EXPECT_DOUBLE_EQ(d.max(), 0.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.99), 0.0);
+}
+
+TEST(QuantileDigest, ExactSummaries) {
+  QuantileDigest d;
+  for (int i = 1; i <= 100; ++i) d.add(static_cast<double>(i));
+  EXPECT_EQ(d.count(), 100u);
+  EXPECT_DOUBLE_EQ(d.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 100.0);
+}
+
+// The log-linear buckets (32 per octave) bound relative quantile error
+// to one sub-bucket width — about 2.2% of the value.
+TEST(QuantileDigest, QuantilesWithinBucketResolution) {
+  QuantileDigest d;
+  for (int i = 1; i <= 1000; ++i) d.add(static_cast<double>(i));
+  EXPECT_NEAR(d.p50(), 500.0, 500.0 * 0.025);
+  EXPECT_NEAR(d.p99(), 990.0, 990.0 * 0.025);
+  EXPECT_NEAR(d.p999(), 999.0, 999.0 * 0.025);
+  EXPECT_LE(d.quantile(0.0), d.quantile(0.5));
+  EXPECT_LE(d.quantile(0.5), d.quantile(1.0));
+}
+
+TEST(QuantileDigest, SkewedTailDoesNotPolluteMedian) {
+  QuantileDigest d;
+  for (int i = 0; i < 990; ++i) d.add(10.0);
+  for (int i = 0; i < 10; ++i) d.add(10000.0);
+  EXPECT_NEAR(d.p50(), 10.0, 10.0 * 0.025);
+  EXPECT_NEAR(d.p999(), 10000.0, 10000.0 * 0.025);
+  EXPECT_DOUBLE_EQ(d.max(), 10000.0);
+}
+
+TEST(QuantileDigest, MergeMatchesCombinedStream) {
+  QuantileDigest a, b, both;
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const double x = 1.0 + rng.next_double() * 100.0;
+    (i % 2 == 0 ? a : b).add(x);
+    both.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  // Summation order differs between the split and combined streams.
+  EXPECT_NEAR(a.mean(), both.mean(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), both.min());
+  EXPECT_DOUBLE_EQ(a.max(), both.max());
+  EXPECT_DOUBLE_EQ(a.p99(), both.p99());
+}
+
+TEST(QuantileDigest, ResetClears) {
+  QuantileDigest d;
+  d.add(5.0);
+  d.reset();
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 0.0);
+}
+
 }  // namespace
 }  // namespace nmad::util
