@@ -81,6 +81,43 @@ api::ClusterOptions flap_options(bool spray) {
   return options;
 }
 
+// The gray-failure shape: no blackouts at all — rail 1 keeps beaconing
+// but silently drops 5% of its track-0 frames forever. The comparison is
+// closed-loop adaptive spray (the continuous score detects the gray rail
+// and election evicts it from the stripe set) against the same spray
+// machinery with scoring off (static round-robin stripes that keep
+// feeding the lossy rail and eat the retransmit tail).
+api::ClusterOptions gray_options(bool adaptive) {
+  api::ClusterOptions options;
+  options.nodes = kNodes;
+
+  simnet::NicProfile base_rail;
+  simnet::nic_profile_by_name("mx", &base_rail);
+  simnet::NicProfile gray_rail = base_rail;
+  gray_rail.fault.seed = 0x6E47ull;
+  gray_rail.fault.frame_drop_prob = 0.05;
+  options.rails = {base_rail, gray_rail};
+
+  core::CoreConfig& cfg = options.core;
+  cfg.rail_health = true;  // implies reliability
+  cfg.ack_timeout_us = 200.0;
+  cfg.ack_delay_us = 5.0;
+  cfg.rail_dead_after = 0;
+  cfg.max_retries = 20;
+  cfg.heartbeat_interval_us = 50.0;
+  // The gray rail must never die of silence: beacons flow through the 5%
+  // loss, and the suspect/death thresholds sit beyond any plausible
+  // beacon-loss streak. Only the adaptive score can act on this rail.
+  cfg.suspect_after_us = 400.0;
+  cfg.dead_after_us = 2000.0;
+  cfg.probe_interval_us = 100.0;
+  cfg.probation_replies = 2;
+  cfg.rdv_threshold_override = 4096;
+  cfg.spray = true;
+  cfg.adaptive = adaptive;
+  return options;
+}
+
 // Re-arming beacons and a packet mid-flight at teardown would leak pool
 // chunks; settle the cluster before it destructs.
 void settle(api::Cluster& cluster) {
@@ -102,8 +139,9 @@ void collect_stats(api::Cluster& cluster, RunResult* out) {
 
 // Bucketed ring allreduce: reduce-scatter then allgather, 2*(N-1) steps,
 // every rank sending its current slice right and receiving from the left.
-RunResult run_allreduce(bool spray, size_t slice, int rounds, int warmup) {
-  api::Cluster cluster(flap_options(spray));
+RunResult run_allreduce(api::ClusterOptions opts, size_t slice, int rounds,
+                        int warmup) {
+  api::Cluster cluster(std::move(opts));
   std::vector<std::vector<std::byte>> tx(kNodes), rx(kNodes);
   for (size_t n = 0; n < kNodes; ++n) {
     tx[n].resize(slice);
@@ -144,8 +182,9 @@ RunResult run_allreduce(bool spray, size_t slice, int rounds, int warmup) {
 // Parameter-server incast: workers 1..N-1 push a gradient at rank 0
 // simultaneously; the server answers each with updated parameters. The
 // round completes when every worker holds fresh parameters.
-RunResult run_incast(bool spray, size_t grad, int rounds, int warmup) {
-  api::Cluster cluster(flap_options(spray));
+RunResult run_incast(api::ClusterOptions opts, size_t grad, int rounds,
+                     int warmup) {
+  api::Cluster cluster(std::move(opts));
   core::Core& server = cluster.core(0);
   std::vector<std::byte> params(grad);
   util::fill_pattern({params.data(), grad}, 7);
@@ -233,7 +272,8 @@ void json_row(std::FILE* f, bool first, const std::string& scenario,
 
 int main(int argc, char** argv) {
   util::CliFlags flags;
-  flags.define("scenario", "all", "allreduce, incast, or all");
+  flags.define("scenario", "all",
+               "allreduce, incast, gray, or all (all includes gray)");
   flags.define("size", "64K",
                "bucket slice / gradient size per message (rendezvous path "
                "needs >= 4K)");
@@ -259,16 +299,26 @@ int main(int argc, char** argv) {
   };
   std::vector<Cell> cells;
   if (scenario == "allreduce" || scenario == "all") {
-    cells.push_back(
-        {"ring-allreduce", "spray", run_allreduce(true, size, rounds, warmup)});
+    cells.push_back({"ring-allreduce", "spray",
+                     run_allreduce(flap_options(true), size, rounds, warmup)});
     cells.push_back({"ring-allreduce", "split",
-                     run_allreduce(false, size, rounds, warmup)});
+                     run_allreduce(flap_options(false), size, rounds, warmup)});
   }
   if (scenario == "incast" || scenario == "all") {
-    cells.push_back(
-        {"ps-incast", "spray", run_incast(true, size, rounds, warmup)});
-    cells.push_back(
-        {"ps-incast", "split", run_incast(false, size, rounds, warmup)});
+    cells.push_back({"ps-incast", "spray",
+                     run_incast(flap_options(true), size, rounds, warmup)});
+    cells.push_back({"ps-incast", "split",
+                     run_incast(flap_options(false), size, rounds, warmup)});
+  }
+  if (scenario == "gray" || scenario == "all") {
+    cells.push_back({"gray-allreduce", "adaptive",
+                     run_allreduce(gray_options(true), size, rounds, warmup)});
+    cells.push_back({"gray-allreduce", "static",
+                     run_allreduce(gray_options(false), size, rounds, warmup)});
+    cells.push_back({"gray-incast", "adaptive",
+                     run_incast(gray_options(true), size, rounds, warmup)});
+    cells.push_back({"gray-incast", "static",
+                     run_incast(gray_options(false), size, rounds, warmup)});
   }
   if (cells.empty()) {
     std::fprintf(stderr, "unknown scenario: %s\n", scenario.c_str());
@@ -280,8 +330,16 @@ int main(int argc, char** argv) {
   for (const Cell& c : cells) {
     add_row(&table, c.scenario, c.sched, size, c.result);
   }
-  std::printf("## ML-style traffic under rail flap "
-              "(4 nodes, 2 rails, rail 1 dark 500us every 3ms)\n");
+  if (scenario == "gray") {
+    std::printf("## ML-style traffic under a gray rail "
+                "(4 nodes, 2 rails, rail 1 dropping 5%% but beaconing)\n");
+  } else if (scenario == "all") {
+    std::printf("## ML-style traffic, rail-flap (spray vs split) and "
+                "gray-rail (adaptive vs static) profiles\n");
+  } else {
+    std::printf("## ML-style traffic under rail flap "
+                "(4 nodes, 2 rails, rail 1 dark 500us every 3ms)\n");
+  }
   if (flags.get_bool("csv")) {
     table.print_csv(stdout);
   } else {

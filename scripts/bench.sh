@@ -10,7 +10,9 @@
 #                        mean/median/stddev plus p99/p999/max over
 #                        repetitions — host-dependent, indicative only);
 #   BENCH_ml_tail.json — ML-style traffic (ring-allreduce, PS incast)
-#                        under the flapping-rail profile, spray vs split,
+#                        under the flapping-rail profile (spray vs split)
+#                        AND the gray-rail profile (adaptive vs static
+#                        election, rail 1 dropping 5% while beaconing),
 #                        per-round tail quantiles on the virtual clock.
 #
 # Usage: scripts/bench.sh [build-dir]   (default: build)

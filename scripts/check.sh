@@ -3,10 +3,11 @@
 # with -DNMAD_SANITIZE=ON (ASan + UBSan, no recovery) and runs the full
 # test suite through it. A clean pass means the reliability layer's
 # timer/retransmit machinery holds up under memory and UB checking, not
-# just functionally. The suite includes the rail-lifecycle and spray
-# tests and the explorer's 200-schedule sweeps (default mix,
-# --fault=rail-flap and --fault=spray-reorder), so heartbeat death,
-# epoch-fenced revival, drain, and spray reassembly/failover all run
+# just functionally. The suite includes the rail-lifecycle, spray and
+# adaptive tests and the explorer's 200-schedule sweeps (default mix,
+# --fault=rail-flap, --fault=spray-reorder and --fault=gray-rail), so
+# heartbeat death, epoch-fenced revival, drain, spray
+# reassembly/failover, and gray-failure scoring/election all run
 # sanitized.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -58,6 +59,21 @@ fi
 # shellcheck disable=SC2086
 if grep -n 'spray_job\|on_rail_suspect' $COLLECT $TRANSFER; then
   lint "spray send/failover is schedule-owned (ScheduleLayer::spray_job)"
+fi
+# The adaptive loop splits across the seam the same way: score
+# accumulation (loss EWMA, latency digest, throughput window, the
+# degraded state machine) is transfer-owned; what to DO about a score —
+# electing stripe sets, evicting degraded rails, re-issuing in-flight
+# fragments — is schedule-owned. Neither side may name the other's half.
+# shellcheck disable=SC2086
+if grep -n 'loss_ewma\|lat_ewma_us\|tp_est_\|win_tx_bytes_\|update_degraded' \
+    $SCHED $COLLECT; then
+  lint "rail score accumulation is transfer-owned (TransferEngine)"
+fi
+# shellcheck disable=SC2086
+if grep -n 'on_rail_degraded\|degraded_evictions\|adaptive_elections' \
+    $COLLECT $TRANSFER; then
+  lint "degraded election policy is schedule-owned (ScheduleLayer)"
 fi
 if [ "$lint_fail" -ne 0 ]; then
   echo "seam lint failed" >&2

@@ -130,13 +130,51 @@ struct CoreConfig {
   double dead_after_us = 3000.0;
   double probe_interval_us = 1000.0;
   uint32_t probation_replies = 2;
+
+  // --- Gray-failure scoring & adaptive election ---------------------------
+  // Continuous per-rail health scoring on top of the binary lifecycle: the
+  // transfer engine keeps an EWMA frame-loss rate (from ack vs. timeout
+  // outcomes), a delivery-latency digest and a delivered-bytes throughput
+  // estimate per rail, and flags a rail *degraded* when loss or latency
+  // breaches its enter threshold for degraded_sustain_us straight — even
+  // though the rail still beacons and stays "alive". The schedule layer
+  // closes the loop: degraded rails are evicted from spray stripe sets and
+  // skipped by election, and a rail entering degraded mid-transfer has its
+  // in-flight sprayed fragments re-issued on survivors exactly as the
+  // suspect path does. Exit uses the (lower) exit thresholds plus a
+  // minimum dwell so a borderline rail cannot flap. Forces rail_health on
+  // (scores refine the lifecycle, they do not replace it).
+  bool adaptive = false;
+  // EWMA smoothing factor for the per-delivery loss estimate.
+  double score_loss_alpha = 0.1;
+  // Loss-rate hysteresis band: enter degraded at/above `enter`, leave
+  // at/below `exit`.
+  double degraded_loss_enter = 0.02;
+  double degraded_loss_exit = 0.005;
+  // Delivery-latency hysteresis band on the recent-window p99, in µs
+  // (0 disables the latency criterion).
+  double degraded_latency_enter_us = 0.0;
+  double degraded_latency_exit_us = 0.0;
+  // How long a breach must persist before the rail turns degraded, and
+  // how long a degraded rail must stay clean before it recovers.
+  double degraded_sustain_us = 300.0;
+  double degraded_dwell_us = 1000.0;
 };
 
 // One rail's position in the health lifecycle (CoreConfig::rail_health):
 // alive rails carry traffic and degrade to suspect on silence; dead rails
 // carry none and are probed; a probed rail answering with the current
-// epoch walks through probation back to alive.
-enum class RailHealth : uint8_t { kAlive, kSuspect, kDead, kProbation };
+// epoch walks through probation back to alive. kDegraded is the gray
+// branch (CoreConfig::adaptive): the rail still beacons and still counts
+// as alive for liveness purposes, but its score breached the loss/latency
+// thresholds, so election routes around it until the score recovers.
+enum class RailHealth : uint8_t {
+  kAlive,
+  kSuspect,
+  kDead,
+  kProbation,
+  kDegraded
+};
 
 const char* rail_health_name(RailHealth health);
 
@@ -188,6 +226,14 @@ struct CoreStats {
   uint64_t spray_reassembled = 0;    // messages completed via reassembly
   // Suspect-transition to wire latency of each failover re-issue, in µs.
   util::QuantileDigest spray_reissue_latency_us;
+
+  // Gray-failure scoring & adaptive election (CoreConfig::adaptive).
+  uint64_t rails_degraded = 0;       // score-driven entries into kDegraded
+  uint64_t rails_recovered = 0;      // kDegraded -> kAlive exits
+  uint64_t degraded_reissues = 0;    // fragments re-issued off degraded rails
+  uint64_t adaptive_elections = 0;   // per-message spray/split/single picks
+  uint64_t degraded_evictions = 0;   // stripe slots denied to degraded rails
+  uint64_t probe_rtt_samples = 0;    // probe/reply RTTs fed to the digest
 
   // Drain / close.
   uint64_t drains_started = 0;

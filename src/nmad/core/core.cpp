@@ -31,6 +31,9 @@ Core::Core(simnet::SimWorld& world, simnet::SimNode& node, CoreConfig config)
   // into a clean drop + retransmit.
   // Rail health needs the same machinery one layer up: a rail declared
   // dead only recovers its in-flight traffic through retransmission.
+  // Adaptive scoring refines the health lifecycle (the degraded state
+  // lives inside it), so it forces rail_health on.
+  if (config_.adaptive) config_.rail_health = true;
   if (config_.rail_health) config_.reliability = true;
   if (config_.flow_control) config_.reliability = true;
   // Sprayed fragments ride track-0 packets under the ack machinery: the
@@ -47,19 +50,28 @@ Core::Core(simnet::SimWorld& world, simnet::SimNode& node, CoreConfig config)
   bus_.subscribe(EventKind::kHealthTransition, [this](const Event& ev) {
     const auto prev = static_cast<RailHealth>(ev.a);
     const auto next = static_cast<RailHealth>(ev.b);
-    const bool was_alive =
-        prev == RailHealth::kAlive || prev == RailHealth::kSuspect;
-    const bool now_alive =
-        next == RailHealth::kAlive || next == RailHealth::kSuspect;
+    const auto counts_alive = [](RailHealth h) {
+      // Degraded rails still carry traffic — they are alive, just
+      // deprioritized by election.
+      return h == RailHealth::kAlive || h == RailHealth::kSuspect ||
+             h == RailHealth::kDegraded;
+    };
+    const bool was_alive = counts_alive(prev);
+    const bool now_alive = counts_alive(next);
     if (was_alive && !now_alive) {
       sched_.on_rail_dead(ev.rail);
     } else if (!was_alive && now_alive) {
       sched_.on_rail_revived(ev.rail);
-    } else if (prev == RailHealth::kAlive && next == RailHealth::kSuspect) {
+    } else if (next == RailHealth::kSuspect &&
+               (prev == RailHealth::kAlive || prev == RailHealth::kDegraded)) {
       // The spray failover acts on suspicion, not death: in-flight
       // sprayed fragments on the suspect rail are re-issued on the
       // survivors within the same microsecond-scale tick.
       sched_.on_rail_suspect(ev.rail);
+    } else if (next == RailHealth::kDegraded) {
+      // Gray failure detected by score: re-elect in-flight sprayed
+      // fragments off the degraded rail while it keeps beaconing.
+      sched_.on_rail_degraded(ev.rail);
     }
   });
 }
@@ -592,6 +604,17 @@ void Core::debug_dump(std::ostream& out) const {
             static_cast<ULL>(d.count()), d.mean(), d.quantile(0.99),
             d.quantile(0.999), d.max());
     }
+  }
+  if (config_.adaptive) {
+    dumpf(out,
+          "adaptive: degraded=%llu recovered=%llu reissues=%llu "
+          "elections=%llu evictions=%llu rtt_samples=%llu\n",
+          static_cast<ULL>(stats_.rails_degraded),
+          static_cast<ULL>(stats_.rails_recovered),
+          static_cast<ULL>(stats_.degraded_reissues),
+          static_cast<ULL>(stats_.adaptive_elections),
+          static_cast<ULL>(stats_.degraded_evictions),
+          static_cast<ULL>(stats_.probe_rtt_samples));
   }
   if (stats_.drains_started != 0 || stats_.gates_closed != 0) {
     dumpf(out, "drain: started=%llu completed=%llu gates_closed=%llu\n",

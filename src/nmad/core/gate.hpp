@@ -119,6 +119,7 @@ struct PendingPacket {
   std::vector<SendRequest*> owners;  // one entry per owned payload chunk
   std::vector<SprayFragRef> spray_frags;  // spray fragments riding inside
   RailIndex last_rail = 0;
+  double issued_at = -1.0;  // virtual time of the last wire handoff
   uint32_t retries = 0;
   double timeout_us = 0.0;  // current (backed-off) retransmit deadline
   simnet::EventId timer = 0;
@@ -134,6 +135,7 @@ struct PendingBulk {
   size_t offset = 0;
   size_t len = 0;
   RailIndex last_rail = 0;
+  double issued_at = -1.0;  // virtual time of the last wire handoff
   uint32_t retries = 0;
   double timeout_us = 0.0;
   simnet::EventId timer = 0;

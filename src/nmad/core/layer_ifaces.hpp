@@ -68,7 +68,18 @@ class ITransferRail {
   // Alive but under suspicion (health silence past suspect_after_us). The
   // spray failover path avoids suspect rails when picking a survivor.
   [[nodiscard]] virtual bool suspect() const = 0;
+  // Alive and beaconing, but the continuous score breached the gray-
+  // failure thresholds (CoreConfig::adaptive): election routes around it.
+  [[nodiscard]] virtual bool degraded() const = 0;
   [[nodiscard]] virtual bool tx_idle() const = 0;
+
+  // Continuous score components, accumulated by the transfer layer from
+  // delivery/timeout outcomes and probe RTTs. The schedule layer reads
+  // these to elect spray/split/single per message and to weight stripe
+  // sets — the closed loop of the adaptive policy.
+  [[nodiscard]] virtual double score_loss() const = 0;        // EWMA [0,1]
+  [[nodiscard]] virtual double score_latency_p99() const = 0;  // µs, 0=none
+  [[nodiscard]] virtual double score_throughput() const = 0;   // bytes/µs
 
   virtual util::Status send_packet(const Gate& gate,
                                    const util::SegmentVec& segments,
@@ -81,8 +92,10 @@ class ITransferRail {
   virtual void cancel_bulk_recv(uint64_t cookie) = 0;
 
   // An ack for traffic last sent on this rail arrived: the rail
-  // demonstrably delivers, reset its timeout streak.
-  virtual void note_delivery() = 0;
+  // demonstrably delivers, reset its timeout streak. `latency_us` is the
+  // issue-to-ack delivery latency of the retired entry (< 0 when the
+  // issue time is unknown), feeding the rail's latency digest.
+  virtual void note_delivery(double latency_us = -1.0) = 0;
   // A retransmit timer fired for traffic last sent on this rail; enough
   // consecutive ones declare the rail dead.
   virtual void note_timeout() = 0;

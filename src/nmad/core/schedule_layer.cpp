@@ -89,6 +89,22 @@ void ScheduleLayer::submit_rdv(Gate& gate, SendRequest* req, Tag tag,
   job->spray =
       ctx_.config.spray && logical_offset == 0 && block.size() == total;
 
+  // Closed-loop election (CoreConfig::adaptive): consult the live rail
+  // scores per message. With two or more usable rails the message sprays
+  // — the stripe set is the healthy subset, since refill_rail makes
+  // degraded rails yield — which covers both the multi-rail stripe and
+  // the effective single-healthy-rail cases. With one usable rail the
+  // fragment overhead buys nothing and the message rides the plain bulk
+  // pipeline instead.
+  if (job->spray && adaptive()) {
+    size_t usable = 0;
+    for (RailIndex r : gate.rails) {
+      if (fleet_.transfer_rail(r).alive()) ++usable;
+    }
+    ++ctx_.stats.adaptive_elections;
+    if (usable <= 1) job->spray = false;
+  }
+
   OutChunk* rts = ctx_.chunk_pool.acquire();
   rts->kind = ChunkKind::kRts;
   rts->flags = job->spray ? kFlagSpray : uint8_t{0};
@@ -138,6 +154,12 @@ void ScheduleLayer::maybe_prebuild(RailIndex rail) {
     const size_t gi = (rs.rr_cursor + k) % n;
     Gate& g = *ctx_.gates[gi];
     if (!g.has_rail(rail) || g.failed) continue;
+    // Degraded rails don't prebuild for gates a healthy rail serves —
+    // the parked packet would ship on the gray rail the moment it idles,
+    // bypassing the refill-time yield.
+    if (adaptive() && tr.degraded() && gate_has_healthy_rail(g, rail)) {
+      continue;
+    }
     if (g.sched.window.size() < ctx_.config.prebuild_backlog_chunks) continue;
     if (reliable() &&
         g.sched.pending_pkts.size() >= ctx_.config.reliability_window) {
@@ -188,12 +210,33 @@ void ScheduleLayer::refill_rail(RailIndex rail) {
     Gate& g = *ctx_.gates[gi];
     if (!g.has_rail(rail) || g.failed) continue;
 
+    // Degraded rails yield to healthy ones (CoreConfig::adaptive): while
+    // this gate still reaches a scoreably healthy rail, a degraded rail
+    // elects no packet traffic for it — new stripes and packet
+    // retransmits route around the gray failure, and any kick lets the
+    // healthy rail drain them. Window chunks pinned to this very rail
+    // still ship (yielding them would strand the chunk), and the
+    // rendezvous bulk path is untouched: its rail set was fixed by the
+    // CTS grant. With no healthy alternative the rail keeps carrying
+    // everything — degraded is not dead.
+    const bool yield_degraded =
+        adaptive() && tr.degraded() && gate_has_healthy_rail(g, rail);
+    bool yield_window = yield_degraded;
+    if (yield_window) {
+      for (const OutChunk& c : g.sched.window) {
+        if (c.pinned_rail == rail) {
+          yield_window = false;
+          break;
+        }
+      }
+    }
+
     if (reliable()) {
       // Lost traffic first: the receiver is stalled on it. A packet
       // retransmit may ride any alive rail of the gate (track-0 packets
       // fit every rail's frame limit by construction); bulk slices only
       // ride rails their CTS granted.
-      while (!g.sched.retx_queue.empty()) {
+      while (!yield_degraded && !g.sched.retx_queue.empty()) {
         const uint32_t seq = g.sched.retx_queue.front();
         auto it = g.sched.pending_pkts.find(seq);
         if (it == g.sched.pending_pkts.end() || !it->second.queued_retx) {
@@ -232,7 +275,7 @@ void ScheduleLayer::refill_rail(RailIndex rail) {
       return;
     }
 
-    if (!g.sched.window.empty()) {
+    if (!yield_window && !g.sched.window.empty()) {
       if (reliable() &&
           g.sched.pending_pkts.size() >= ctx_.config.reliability_window) {
         continue;  // sliding window full: wait for acks
@@ -343,6 +386,7 @@ void ScheduleLayer::issue_packet(Gate& gate, RailIndex rail,
       }
     }
     p.last_rail = rail;
+    p.issued_at = ctx_.world.now();
     p.timeout_us = ctx_.config.ack_timeout_us;
     arm_packet_timer(gate, pkt_seq);
   }
@@ -393,6 +437,7 @@ void ScheduleLayer::issue_bulk(Gate& gate, RailIndex rail, BulkJob* job,
     p.offset = offset;
     p.len = bytes;
     p.last_rail = rail;
+    p.issued_at = ctx_.world.now();
     // Large slices hold the wire longer; budget their transfer time on
     // top of the base deadline so they don't time out spuriously.
     p.timeout_us =
@@ -479,19 +524,57 @@ void ScheduleLayer::spray_job(Gate& gate, BulkJob* job) {
 
 void ScheduleLayer::on_rail_suspect(RailIndex rail) {
   if (!ctx_.config.spray) return;
+  if (reissue_inflight_sprays(rail, /*degraded_trigger=*/false)) kick();
+}
+
+void ScheduleLayer::on_rail_degraded(RailIndex rail) {
+  if (!adaptive()) return;
+  // Eviction accounting: every gate that still reaches a healthy rail
+  // drops the degraded one from its stripe set (refill_rail yields it
+  // from now on); gates with no healthy alternative keep using it.
+  for (auto& gate_ptr : ctx_.gates) {
+    Gate& g = *gate_ptr;
+    if (g.failed || !g.has_rail(rail)) continue;
+    if (gate_has_healthy_rail(g, rail)) ++ctx_.stats.degraded_evictions;
+  }
+  bool any = false;
+  if (ctx_.config.spray) {
+    any = reissue_inflight_sprays(rail, /*degraded_trigger=*/true);
+  }
+  if (any) kick();
+}
+
+bool ScheduleLayer::gate_has_healthy_rail(const Gate& gate,
+                                          RailIndex except) const {
+  for (RailIndex r : gate.rails) {
+    if (r == except) continue;
+    const ITransferRail& tr = fleet_.transfer_rail(r);
+    if (tr.alive() && !tr.suspect() && !tr.degraded()) return true;
+  }
+  return false;
+}
+
+bool ScheduleLayer::reissue_inflight_sprays(RailIndex rail,
+                                            bool degraded_trigger) {
   const double now = ctx_.world.now();
   bool any = false;
   for (auto& gate_ptr : ctx_.gates) {
     Gate& g = *gate_ptr;
     if (g.failed || !g.has_rail(rail)) continue;
-    // Survivors: alive and not themselves under suspicion. With none, the
-    // regular timeout/death machinery remains the recovery path.
-    std::vector<RailIndex> survivors;
+    // Survivors: alive, not under suspicion, preferring scoreably
+    // healthy rails over degraded ones — a re-issue onto a gray rail is
+    // only taken when nothing better exists. With no survivor at all,
+    // the regular timeout/death machinery remains the recovery path.
+    std::vector<RailIndex> healthy;
+    std::vector<RailIndex> fallback;
     for (RailIndex r : g.rails) {
       if (r == rail) continue;
       const ITransferRail& tr = fleet_.transfer_rail(r);
-      if (tr.alive() && !tr.suspect()) survivors.push_back(r);
+      if (!tr.alive() || tr.suspect()) continue;
+      (tr.degraded() ? fallback : healthy).push_back(r);
     }
+    const std::vector<RailIndex>& survivors =
+        healthy.empty() ? fallback : healthy;
     if (survivors.empty()) continue;
     size_t rr = 0;
     for (auto& [seq, p] : g.sched.pending_pkts) {
@@ -527,6 +610,7 @@ void ScheduleLayer::on_rail_suspect(RailIndex rail) {
         c->owner = owner;
         enqueue(g, c);
         ++ctx_.stats.spray_reissues;
+        if (degraded_trigger) ++ctx_.stats.degraded_reissues;
         ++ctx_.stats.spray_frags_tx;
         ctx_.bus.publish(
             {.kind = EventKind::kSprayReissued,
@@ -539,7 +623,7 @@ void ScheduleLayer::on_rail_suspect(RailIndex rail) {
       }
     }
   }
-  if (any) kick();
+  return any;
 }
 
 // ---------------------------------------------------------------------------
@@ -743,7 +827,11 @@ void ScheduleLayer::retire_packet(
   const uint32_t seq = it->first;
   PendingPacket& p = it->second;
   if (p.timer_armed) ctx_.world.cancel(p.timer);
-  fleet_.transfer_rail(p.last_rail).note_delivery();  // the rail delivered
+  // The rail delivered: feed its score the issue-to-ack latency of the
+  // last (successful) wire handoff.
+  fleet_.transfer_rail(p.last_rail)
+      .note_delivery(p.issued_at >= 0.0 ? ctx_.world.now() - p.issued_at
+                                        : -1.0);
   ctx_.bus.publish({.kind = EventKind::kAcked,
                     .gate = gate.id,
                     .rail = p.last_rail,
@@ -761,7 +849,9 @@ void ScheduleLayer::retire_bulk(Gate& gate, const BulkAck& ack) {
   PendingBulk& p = it->second;
   if (p.len != ack.len) return;  // not this slice
   if (p.timer_armed) ctx_.world.cancel(p.timer);
-  fleet_.transfer_rail(p.last_rail).note_delivery();
+  fleet_.transfer_rail(p.last_rail)
+      .note_delivery(p.issued_at >= 0.0 ? ctx_.world.now() - p.issued_at
+                                        : -1.0);
   ctx_.bus.publish({.kind = EventKind::kAcked,
                     .gate = gate.id,
                     .rail = p.last_rail,
@@ -865,6 +955,7 @@ void ScheduleLayer::retransmit_packet(Gate& gate, RailIndex rail,
     p.timer_armed = false;
   }
   p.last_rail = rail;
+  p.issued_at = ctx_.world.now();
   ++ctx_.stats.packets_retransmitted;
   ctx_.bus.publish({.kind = EventKind::kRetransmit,
                     .gate = gate.id,
@@ -892,6 +983,7 @@ void ScheduleLayer::retransmit_bulk(Gate& gate, RailIndex rail,
     p.timer_armed = false;
   }
   p.last_rail = rail;
+  p.issued_at = ctx_.world.now();
   ++ctx_.stats.bulk_retransmitted;
   ctx_.bus.publish({.kind = EventKind::kRetransmit,
                     .gate = gate.id,

@@ -116,6 +116,13 @@ class ScheduleLayer final : public ISchedule, public IPacketIssuer {
   // be declared dead or any retransmit timer to fire. The original
   // packets stay in the unacked window (the receiver dedups/fences).
   void on_rail_suspect(RailIndex rail);
+  // Gray-failure re-election (CoreConfig::adaptive): the moment a rail's
+  // continuous score crosses into kDegraded — still alive, still
+  // beaconing — its in-flight sprayed fragments are re-issued on
+  // healthier rails exactly like the suspect failover, and the rail is
+  // evicted from future stripe sets (refill_rail yields it) until the
+  // score recovers.
+  void on_rail_degraded(RailIndex rail);
 
   // Teardown (façade-orchestrated; see Core::teardown_gate) -----------------
   // Send side: timers, the window, prebuilt packets, the reliability
@@ -163,7 +170,19 @@ class ScheduleLayer final : public ISchedule, public IPacketIssuer {
 
   [[nodiscard]] bool reliable() const { return ctx_.config.reliability; }
   [[nodiscard]] bool flow_control() const { return ctx_.config.flow_control; }
+  [[nodiscard]] bool adaptive() const { return ctx_.config.adaptive; }
   [[nodiscard]] Gate& gate_ref(GateId id) { return *ctx_.gates[id]; }
+
+  // Whether `gate` reaches a rail other than `except` that is alive and
+  // scoreably healthy (neither suspect nor degraded) — the question every
+  // degraded-rail yield decision asks.
+  [[nodiscard]] bool gate_has_healthy_rail(const Gate& gate,
+                                           RailIndex except) const;
+  // Shared body of the suspect/degraded failovers: re-issues every
+  // in-flight sprayed fragment last sent on `rail` onto a surviving
+  // rail, preferring scoreably healthy survivors over degraded ones.
+  // Returns whether anything was re-issued.
+  bool reissue_inflight_sprays(RailIndex rail, bool degraded_trigger);
 
   // Election ----------------------------------------------------------------
   void refill_rail(RailIndex rail);

@@ -28,6 +28,7 @@ const char* rail_health_name(RailHealth health) {
     case RailHealth::kSuspect: return "suspect";
     case RailHealth::kDead: return "dead";
     case RailHealth::kProbation: return "probation";
+    case RailHealth::kDegraded: return "degraded";
   }
   return "?";
 }
@@ -59,6 +60,10 @@ void TransferEngine::install_orphan(drivers::Driver::BulkOrphanHandler sink) {
 
 void TransferEngine::refresh_liveness() {
   last_rx_us_ = ctx_.world.now();
+  // kDegraded is deliberately NOT cleared here: the degraded state is
+  // score-driven (the rail is heard just fine — it drops or delays what
+  // it carries), so only a sustained clean score in update_degraded()
+  // may lift it.
   if (health_ == RailHealth::kSuspect) set_health(RailHealth::kAlive);
 }
 
@@ -70,6 +75,7 @@ util::Status TransferEngine::send_packet(
                     .rail = index_,
                     .a = segments.total_bytes(),
                     .b = 0});
+  win_tx_bytes_ += segments.total_bytes();
   return driver_->send_packet(gate.peer, segments, std::move(on_tx_done));
 }
 
@@ -82,6 +88,7 @@ util::Status TransferEngine::send_bulk(
                     .rail = index_,
                     .a = segments.total_bytes(),
                     .b = 1});
+  win_tx_bytes_ += segments.total_bytes();
   return driver_->send_bulk(gate.peer, cookie, offset, segments,
                             std::move(on_tx_done));
 }
@@ -94,10 +101,88 @@ void TransferEngine::cancel_bulk_recv(uint64_t cookie) {
   driver_->cancel_bulk_recv(cookie);
 }
 
+void TransferEngine::note_delivery(double latency_us) {
+  consec_timeouts_ = 0;
+  if (!adaptive_on()) return;
+  const double a = ctx_.config.score_loss_alpha;
+  loss_ewma_ *= 1.0 - a;  // a successful delivery pulls the estimate down
+  if (latency_us >= 0.0) {
+    delivery_latency_.add(latency_us);
+    lat_ewma_us_ = lat_ewma_us_ == 0.0
+                       ? latency_us
+                       : (1.0 - a) * lat_ewma_us_ + a * latency_us;
+  }
+  update_degraded();
+}
+
 void TransferEngine::note_timeout() {
+  if (adaptive_on() && alive_) {
+    const double a = ctx_.config.score_loss_alpha;
+    loss_ewma_ = (1.0 - a) * loss_ewma_ + a;  // a loss pulls it up
+    update_degraded();
+  }
   if (ctx_.config.rail_dead_after == 0) return;
   if (!alive_) return;
   if (++consec_timeouts_ >= ctx_.config.rail_dead_after) kill();
+}
+
+void TransferEngine::update_degraded() {
+  if (!adaptive_on() || !health_on() || !alive_) return;
+  const CoreConfig& cfg = ctx_.config;
+  const double now = ctx_.world.now();
+  const bool lat_on = cfg.degraded_latency_enter_us > 0.0;
+  const double lat_exit = cfg.degraded_latency_exit_us > 0.0
+                              ? cfg.degraded_latency_exit_us
+                              : cfg.degraded_latency_enter_us;
+  const bool breach =
+      loss_ewma_ >= cfg.degraded_loss_enter ||
+      (lat_on && lat_ewma_us_ >= cfg.degraded_latency_enter_us);
+  const bool clean = loss_ewma_ <= cfg.degraded_loss_exit &&
+                     (!lat_on || lat_ewma_us_ <= lat_exit);
+
+  if (health_ == RailHealth::kDegraded) {
+    // Exit needs the minimum dwell (no-flap), then a sustained clean
+    // reading below the *exit* thresholds — the hysteresis band.
+    if (clean) {
+      if (clean_since_us_ < 0.0) clean_since_us_ = now;
+      if (now - degraded_at_us_ >= cfg.degraded_dwell_us &&
+          now - clean_since_us_ >= cfg.degraded_sustain_us) {
+        clean_since_us_ = -1.0;
+        breach_since_us_ = -1.0;
+        ++ctx_.stats.rails_recovered;
+        NMAD_LOG_WARN("nmad: node %u clears rail %u (%s) from degraded",
+                      ctx_.node.id(), static_cast<unsigned>(index_),
+                      driver_->caps().name.c_str());
+        set_health(RailHealth::kAlive);
+      }
+    } else {
+      clean_since_us_ = -1.0;
+    }
+    return;
+  }
+  // Suspect outranks degraded: a rail that has gone silent is handled by
+  // the liveness machine; the score takes over again once it is heard.
+  if (health_ != RailHealth::kAlive) return;
+  if (breach) {
+    if (breach_since_us_ < 0.0) breach_since_us_ = now;
+    if (now - breach_since_us_ >= cfg.degraded_sustain_us) {
+      breach_since_us_ = -1.0;
+      clean_since_us_ = -1.0;
+      degraded_at_us_ = now;
+      ++degraded_entries_;
+      ++ctx_.stats.rails_degraded;
+      NMAD_LOG_WARN(
+          "nmad: node %u marks rail %u (%s) degraded (loss=%.4f lat=%.1fus)",
+          ctx_.node.id(), static_cast<unsigned>(index_),
+          driver_->caps().name.c_str(), loss_ewma_, lat_ewma_us_);
+      // The transition is the closed loop's trigger: the schedule layer's
+      // subscription re-elects in-flight sprayed fragments off this rail
+      // before this returns (bus delivery is synchronous).
+      set_health(RailHealth::kDegraded);
+    }
+  } else {
+    breach_since_us_ = -1.0;
+  }
 }
 
 void TransferEngine::set_health(RailHealth next) {
@@ -119,6 +204,9 @@ void TransferEngine::kill() {
   ++epoch_;
   probation_hits_ = 0;
   last_probe_us_ = -1.0e18;  // probe at the very next health tick
+  rtt_probe_pending_ = false;
+  breach_since_us_ = -1.0;
+  clean_since_us_ = -1.0;
   ++ctx_.stats.rails_failed;
   NMAD_LOG_WARN("nmad: node %u declares rail %u (%s) dead (epoch %u)",
                 ctx_.node.id(), static_cast<unsigned>(index_),
@@ -135,6 +223,12 @@ void TransferEngine::revive() {
   consec_timeouts_ = 0;
   probation_hits_ = 0;
   last_rx_us_ = ctx_.world.now();
+  // A revived rail starts its new life with a clean score: the losses
+  // that killed it belong to the old epoch.
+  loss_ewma_ = 0.0;
+  lat_ewma_us_ = 0.0;
+  breach_since_us_ = -1.0;
+  clean_since_us_ = -1.0;
   ++ctx_.stats.rails_revived;
   NMAD_LOG_WARN("nmad: node %u revives rail %u (%s) at epoch %u",
                 ctx_.node.id(), static_cast<unsigned>(index_),
@@ -204,6 +298,7 @@ void TransferEngine::send_standalone_heartbeat(Gate& gate, uint8_t flags,
 
 void TransferEngine::start_monitor(double now) {
   last_rx_us_ = now;  // silence is counted from connect, not time zero
+  last_tp_tick_us_ = now;
   health_timer_armed_ = true;
   health_timer_ = ctx_.world.after(ctx_.config.heartbeat_interval_us,
                                    [this]() { on_health_tick(); });
@@ -220,6 +315,21 @@ void TransferEngine::on_health_tick() {
   health_timer_armed_ = false;
   const double now = ctx_.world.now();
 
+  if (adaptive_on()) {
+    // Roll the throughput window: EWMA of per-tick wire-tx bytes over
+    // elapsed virtual time, in bytes/µs.
+    const double dt = now - last_tp_tick_us_;
+    if (dt > 0.0) {
+      const double inst = static_cast<double>(win_tx_bytes_) / dt;
+      tp_est_ = tp_est_ == 0.0 ? inst : 0.7 * tp_est_ + 0.3 * inst;
+    }
+    win_tx_bytes_ = 0;
+    last_tp_tick_us_ = now;
+    // Time-driven re-evaluation: sustain/dwell horizons must pass even
+    // when no new sample arrives to trigger the update.
+    update_degraded();
+  }
+
   if (alive_) {
     if (now - last_rx_us_ >= ctx_.config.dead_after_us) {
       // Sustained silence despite our beacons provoking acks: the link is
@@ -228,9 +338,35 @@ void TransferEngine::on_health_tick() {
       kill();
     } else {
       if (now - last_rx_us_ >= ctx_.config.suspect_after_us) {
-        if (health_ == RailHealth::kAlive) {
+        // Silence outranks the score: a degraded rail that stops being
+        // heard is treated like any other suspect (its fragments are
+        // re-issued); if it is heard again while still breaching, the
+        // score machine re-enters degraded after the sustain window.
+        if (health_ == RailHealth::kAlive ||
+            health_ == RailHealth::kDegraded) {
           set_health(RailHealth::kSuspect);
           ++ctx_.stats.rails_suspected;
+        }
+      }
+      // Alive-rail RTT probing (adaptive scoring): plain beacons refresh
+      // the peer's rx-liveness but are never answered, so an idle rail
+      // would accumulate no latency samples at all. A periodic probe is
+      // echoed back with our epoch, and the reply's RTT feeds the
+      // latency digest — see handle_heartbeat. The probe runs BEFORE
+      // beacon duty and doubles as this tick's beacon (it refreshes the
+      // gate's beacon slot and the peer's rx-liveness like any other
+      // standalone heartbeat): on a fully idle rail a beacon is due
+      // every tick, and a beacon sent first would leave tx busy and
+      // starve the probe forever.
+      if (adaptive_on() && driver_->tx_idle() &&
+          now - last_probe_us_ >= ctx_.config.probe_interval_us) {
+        for (auto& gate_ptr : ctx_.gates) {
+          Gate& g = *gate_ptr;
+          if (g.failed || !g.has_rail(index_)) continue;
+          last_probe_us_ = now;
+          rtt_probe_pending_ = true;
+          send_standalone_heartbeat(g, kFlagProbe, epoch_);
+          break;
         }
       }
       // Beacon duty: one standalone heartbeat per tick, to the peer that
@@ -296,9 +432,31 @@ void TransferEngine::handle_heartbeat(Gate& gate, const WireChunk& chunk) {
     return;
   }
   if ((chunk.flags & kFlagReply) != 0) {
-    if (alive_ || chunk.seq != epoch_) {
-      // A reply for an epoch this rail has moved past (or a rail that
-      // already revived): it proves nothing about the current life.
+    if (alive_) {
+      // A reply while alive is the echo of an RTT probe (or a straggler
+      // from a revival that already completed). A fresh-epoch echo of an
+      // outstanding probe yields the idle-rail latency sample the score
+      // needs; anything else is fenced as before.
+      if (rtt_probe_pending_ && chunk.seq == epoch_) {
+        rtt_probe_pending_ = false;
+        if (adaptive_on()) {
+          const double rtt = ctx_.world.now() - last_probe_us_;
+          delivery_latency_.add(rtt);
+          const double a = ctx_.config.score_loss_alpha;
+          lat_ewma_us_ = lat_ewma_us_ == 0.0
+                             ? rtt
+                             : (1.0 - a) * lat_ewma_us_ + a * rtt;
+          ++ctx_.stats.probe_rtt_samples;
+          update_degraded();
+        }
+        return;
+      }
+      ++ctx_.stats.heartbeats_fenced;
+      return;
+    }
+    if (chunk.seq != epoch_) {
+      // A reply for an epoch this rail has moved past: it proves nothing
+      // about the current life.
       ++ctx_.stats.heartbeats_fenced;
       return;
     }
@@ -333,15 +491,31 @@ void TransferEngine::dump_health(std::ostream& out) const {
     dumpf(out, " probation=%u/%u", probation_hits_,
           ctx_.config.probation_replies);
   }
+  if (adaptive_on()) {
+    dumpf(out,
+          "\n    score: loss=%.4f lat_p50=%.1fus lat_p99=%.1fus "
+          "(%zu samples) tp=%.2fB/us degraded_entries=%u",
+          loss_ewma_, delivery_latency_.p50(), delivery_latency_.p99(),
+          delivery_latency_.count(), tp_est_, degraded_entries_);
+  }
 }
 
 void TransferEngine::check(size_t display_index,
                            std::vector<std::string>& out) const {
   const bool health_says_alive = health_ == RailHealth::kAlive ||
-                                 health_ == RailHealth::kSuspect;
+                                 health_ == RailHealth::kSuspect ||
+                                 health_ == RailHealth::kDegraded;
   if (alive_ != health_says_alive) {
     addf(out, "rail %zu: alive=%d but health=%s", display_index,
          alive_ ? 1 : 0, rail_health_name(health_));
+  }
+  if (health_ == RailHealth::kDegraded && !ctx_.config.adaptive) {
+    addf(out, "rail %zu: degraded without adaptive scoring enabled",
+         display_index);
+  }
+  if (loss_ewma_ < 0.0 || loss_ewma_ > 1.0) {
+    addf(out, "rail %zu: loss EWMA %.6f outside [0,1]", display_index,
+         loss_ewma_);
   }
   if (!alive_ && epoch_ == 0) {
     addf(out, "rail %zu: dead without ever bumping its epoch",

@@ -46,7 +46,15 @@ class TransferEngine final : public ITransferRail {
   [[nodiscard]] bool suspect() const override {
     return health_ == RailHealth::kSuspect;
   }
+  [[nodiscard]] bool degraded() const override {
+    return health_ == RailHealth::kDegraded;
+  }
   [[nodiscard]] bool tx_idle() const override { return driver_->tx_idle(); }
+  [[nodiscard]] double score_loss() const override { return loss_ewma_; }
+  [[nodiscard]] double score_latency_p99() const override {
+    return delivery_latency_.p99();
+  }
+  [[nodiscard]] double score_throughput() const override { return tp_est_; }
   util::Status send_packet(const Gate& gate, const util::SegmentVec& segments,
                            drivers::Driver::CompletionFn on_tx_done) override;
   util::Status send_bulk(const Gate& gate, uint64_t cookie, size_t offset,
@@ -54,7 +62,7 @@ class TransferEngine final : public ITransferRail {
                          drivers::Driver::CompletionFn on_tx_done) override;
   util::Status post_bulk_recv(simnet::BulkSink* sink) override;
   void cancel_bulk_recv(uint64_t cookie) override;
-  void note_delivery() override { consec_timeouts_ = 0; }
+  void note_delivery(double latency_us = -1.0) override;
   void note_timeout() override;
   void maybe_inject_heartbeat(Gate& gate, PacketBuilder& builder) override;
 
@@ -84,11 +92,22 @@ class TransferEngine final : public ITransferRail {
   // Own-state invariants: alive/health agreement, epoch/probation sanity.
   void check(size_t display_index, std::vector<std::string>& out) const;
 
+  [[nodiscard]] const util::QuantileDigest& latency_digest() const {
+    return delivery_latency_;
+  }
+  [[nodiscard]] uint32_t degraded_entries() const {
+    return degraded_entries_;
+  }
+
  private:
   [[nodiscard]] bool health_on() const { return ctx_.config.rail_health; }
+  [[nodiscard]] bool adaptive_on() const { return ctx_.config.adaptive; }
   void set_health(RailHealth next);
   void refresh_liveness();
   void on_health_tick();
+  // Re-evaluates the gray-failure criterion (loss/latency vs. the
+  // hysteresis bands) and moves the rail into or out of kDegraded.
+  void update_degraded();
   void send_standalone_heartbeat(Gate& gate, uint8_t flags, uint32_t epoch);
   OutChunk* make_heartbeat_chunk(uint8_t flags, uint32_t epoch);
   double& hb_tx_slot(GateId id);
@@ -121,6 +140,27 @@ class TransferEngine final : public ITransferRail {
   std::vector<double> hb_tx_us_;
   simnet::EventId health_timer_ = 0;
   bool health_timer_armed_ = false;
+
+  // Gray-failure score (CoreConfig::adaptive). Loss is an EWMA over
+  // per-entry ack/timeout outcomes; latency is a streaming digest of
+  // issue-to-ack delivery times plus probe/reply RTTs (so idle rails
+  // still accumulate samples); throughput is an EWMA of per-tick wire-tx
+  // bytes. The degraded machine hangs off these: a sustained breach of
+  // the enter thresholds turns the rail kDegraded, a sustained clean
+  // reading after the minimum dwell returns it to kAlive.
+  double loss_ewma_ = 0.0;
+  double lat_ewma_us_ = 0.0;
+  util::QuantileDigest delivery_latency_;
+  double tp_est_ = 0.0;          // bytes per µs, EWMA across ticks
+  uint64_t win_tx_bytes_ = 0;    // wire-tx bytes since the last tick
+  double last_tp_tick_us_ = 0.0;
+  double breach_since_us_ = -1.0;   // first instant of the current breach
+  double clean_since_us_ = -1.0;    // first clean instant while degraded
+  double degraded_at_us_ = 0.0;     // when the rail entered kDegraded
+  uint32_t degraded_entries_ = 0;   // lifetime count of degraded entries
+  // Alive-rail RTT probing: one outstanding probe, stamped at send so the
+  // reply yields a latency sample even on an otherwise idle rail.
+  bool rtt_probe_pending_ = false;
 };
 
 }  // namespace nmad::core

@@ -69,6 +69,14 @@ bool SimNic::apply_faults(SimNic* dest, SimTime arrival,
     ++dropped;
     return true;
   }
+  // Gray-failure flaky window: an extra, intermittent drop draw on top
+  // of the persistent dice. Only rolled inside a configured window so an
+  // existing seed replays identically when the gray model is off.
+  if (fault.flaky_drop_prob > 0.0 && in_flaky(world_.now()) &&
+      rng_.next_bool(fault.flaky_drop_prob)) {
+    ++dropped;
+    return true;
+  }
   // Track-1 transfers are drop-only: RDMA hardware checksums its payload,
   // so corruption surfaces as a lost slice. Track-0 frames take a single
   // flipped bit that the engine's wire checksum must catch.
@@ -92,9 +100,12 @@ SimTime SimNic::launch(size_t bytes, size_t segment_count,
       segment_count > 1
           ? static_cast<double>(segment_count - 1) * profile_.gather_segment_us
           : 0.0;
+  // A throttled (gray) rail serializes frames against its reduced
+  // effective bandwidth: everything still flows, just slower.
   const SimTime occupancy =
       profile_.tx_post_us + extra_setup_us + gather_cost +
-      wire_time(static_cast<double>(bytes), profile_.bandwidth_mbps);
+      wire_time(static_cast<double>(bytes),
+                profile_.bandwidth_mbps * profile_.fault.bandwidth_throttle);
   tx_free_ = start + occupancy;
   counters_.tx_busy_us += occupancy;
   counters_.bytes_sent += bytes;

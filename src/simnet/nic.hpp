@@ -70,11 +70,22 @@ struct FaultProfile {
   // loop and are unaffected. Deliberately not part of any(): pauses are
   // delays, not faults to roll dice for.
   std::vector<FaultWindow> rx_pauses;
+  // Gray-failure shapes (the rail stays up and beaconing, it just gets
+  // worse): `flaky` windows add an extra, intermittent drop draw on top
+  // of the persistent probabilities, and `bandwidth_throttle` scales the
+  // effective link bandwidth (0 < factor <= 1). The flaky dice roll only
+  // inside a configured window, so enabling the gray model never changes
+  // which frames an existing seed drops elsewhere; the throttle draws no
+  // randomness at all.
+  double flaky_drop_prob = 0.0;
+  std::vector<FaultWindow> flaky;
+  double bandwidth_throttle = 1.0;
 
   [[nodiscard]] bool any() const {
     return frame_drop_prob > 0.0 || bit_flip_prob > 0.0 ||
            bulk_drop_prob > 0.0 ||
-           (reorder_prob > 0.0 && jitter_max_us > 0.0) || !blackouts.empty();
+           (reorder_prob > 0.0 && jitter_max_us > 0.0) ||
+           (flaky_drop_prob > 0.0 && !flaky.empty()) || !blackouts.empty();
   }
 };
 
@@ -211,6 +222,28 @@ class SimNic {
   // the health layer to notice, fail over, and revive it afterwards.
   void set_blackouts(std::vector<FaultWindow> windows) {
     profile_.fault.blackouts = std::move(windows);
+  }
+
+  // Gray-failure knobs, installed post-construction like the windows
+  // above: persistent elevated drop, intermittent flaky windows, and a
+  // bandwidth throttle — degraded-but-beaconing shapes for the adaptive
+  // election loop to detect and route around.
+  void set_frame_drop_prob(double p) { profile_.fault.frame_drop_prob = p; }
+  void set_flaky(double drop_prob, std::vector<FaultWindow> windows) {
+    profile_.fault.flaky_drop_prob = drop_prob;
+    profile_.fault.flaky = std::move(windows);
+  }
+  void set_bandwidth_throttle(double factor) {
+    NMAD_ASSERT(factor > 0.0 && factor <= 1.0);
+    profile_.fault.bandwidth_throttle = factor;
+  }
+
+  // True when `at` falls inside a flaky window of this NIC.
+  [[nodiscard]] bool in_flaky(SimTime at) const {
+    for (const FaultWindow& w : profile_.fault.flaky) {
+      if (at >= w.begin_us && at < w.end_us) return true;
+    }
+    return false;
   }
 
   // Handler for bulk frames with no posted sink. Without one, such a frame

@@ -30,7 +30,7 @@ int usage() {
       stderr,
       "usage: explorer --seed=S [--ops=L] [--sweep=N]\n"
       "                [--fault=none|drops|flips|blackout|rx-pause|mixed|"
-      "reorder|rail-flap|spray-reorder]\n"
+      "reorder|rail-flap|spray-reorder|gray-rail]\n"
       "                [--inject=skip-credit-charge] [--verbose]\n");
   return 2;
 }

@@ -24,12 +24,12 @@ namespace {
 const char* const kStrategies[] = {"default", "aggreg", "aggreg_extended",
                                    "split_balance"};
 
-// kRailFlap and kSprayReorder are never drawn from the seed (they
-// reshape the whole plan); they are selected with
+// kRailFlap, kSprayReorder and kGrayRail are never drawn from the seed
+// (they reshape the whole plan); they are selected with
 // ExplorerOptions::force_fault only.
 enum class FaultKind {
   kNone, kDrops, kFlips, kBlackout, kRxPause, kMixed, kReorder,
-  kRailFlap, kSprayReorder
+  kRailFlap, kSprayReorder, kGrayRail
 };
 constexpr size_t kDrawnFaultKinds = 7;  // kNone..kReorder
 
@@ -44,12 +44,13 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kReorder: return "reorder";
     case FaultKind::kRailFlap: return "rail-flap";
     case FaultKind::kSprayReorder: return "spray-reorder";
+    case FaultKind::kGrayRail: return "gray-rail";
   }
   return "?";
 }
 
 bool fault_kind_from_name(const std::string& name, FaultKind* out) {
-  for (int k = 0; k <= static_cast<int>(FaultKind::kSprayReorder); ++k) {
+  for (int k = 0; k <= static_cast<int>(FaultKind::kGrayRail); ++k) {
     if (name == fault_kind_name(static_cast<FaultKind>(k))) {
       *out = static_cast<FaultKind>(k);
       return true;
@@ -196,6 +197,8 @@ Plan make_plan(const ExplorerOptions& opts) {
     case FaultKind::kRailFlap:
     case FaultKind::kSprayReorder:
       break;  // shaped below: the blackouts land on rail 1 only
+    case FaultKind::kGrayRail:
+      break;  // shaped below: the gray shape lands on rail 1 only
   }
   std::vector<simnet::FaultWindow> flap_windows;
   if (plan.fault == FaultKind::kRailFlap ||
@@ -235,6 +238,28 @@ Plan make_plan(const ExplorerOptions& opts) {
       fault.jitter_max_us = 30.0 + rng.next_double() * 70.0;
     }
   }
+  if (plan.fault == FaultKind::kGrayRail) {
+    // Gray failure: rail 1 degrades — still alive, still beaconing —
+    // while rail 0 stays clean. Adaptive scoring is forced on and the
+    // silence thresholds leave death far out of reach (the rail must
+    // NOT die: beacons keep flowing through the gray shape), so only
+    // the continuous score can detect it and route around it.
+    plan.rails = 2;
+    cfg.rail_health = true;
+    cfg.adaptive = true;
+    cfg.spray = true;
+    cfg.rdv_threshold_override = 4096;
+    cfg.heartbeat_interval_us = 50.0;
+    cfg.suspect_after_us = 250.0;
+    cfg.dead_after_us = 1000.0;
+    cfg.probe_interval_us = 100.0;
+    cfg.probation_replies = 2;
+    // Loss-based detection uses the defaults; the latency criterion is
+    // armed too so throttle/jitter shapes (which lose nothing) can still
+    // breach.
+    cfg.degraded_latency_enter_us = 400.0;
+    cfg.degraded_latency_exit_us = 200.0;
+  }
   for (size_t r = 0; r < plan.rails; ++r) {
     simnet::NicProfile p = simnet::mx_myri10g_profile();
     p.fault = fault;
@@ -243,6 +268,26 @@ Plan make_plan(const ExplorerOptions& opts) {
          plan.fault == FaultKind::kSprayReorder) &&
         r == 1) {
       p.fault.blackouts = flap_windows;
+    }
+    if (plan.fault == FaultKind::kGrayRail && r == 1) {
+      // One seed-drawn degraded-but-beaconing shape per schedule.
+      switch (rng.next_below(4)) {
+        case 0:  // persistent elevated drop
+          p.fault.frame_drop_prob = 0.03 + rng.next_double() * 0.05;
+          p.fault.bulk_drop_prob = 0.02 + rng.next_double() * 0.04;
+          break;
+        case 1:  // intermittent flaky windows
+          p.fault.flaky_drop_prob = 0.25 + rng.next_double() * 0.35;
+          p.fault.flaky = random_windows(rng, 4, 600.0);
+          break;
+        case 2:  // bandwidth throttle
+          p.fault.bandwidth_throttle = 0.10 + rng.next_double() * 0.30;
+          break;
+        case 3:  // latency jitter
+          p.fault.reorder_prob = 0.30 + rng.next_double() * 0.40;
+          p.fault.jitter_max_us = 40.0 + rng.next_double() * 80.0;
+          break;
+      }
     }
     plan.rail_profiles.push_back(std::move(p));
   }
@@ -594,6 +639,9 @@ class Runner {
       result.spray_frags_rx += s.spray_frags_rx;
       result.spray_reissues += s.spray_reissues;
       result.spray_reassembled += s.spray_reassembled;
+      result.rails_degraded += s.rails_degraded;
+      result.degraded_reissues += s.degraded_reissues;
+      result.adaptive_elections += s.adaptive_elections;
       double last_t = 0.0;
       for (const core::Event& ev : c.bus().trace()) {
         if (ev.t < last_t) rings_ordered = false;

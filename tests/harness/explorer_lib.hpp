@@ -43,7 +43,7 @@ struct ExplorerResult {
   // Plan metadata, for coverage accounting across a sweep.
   std::string strategy;
   // none|drops|flips|blackout|rx-pause|mixed|reorder|rail-flap|
-  // spray-reorder (the last two are force-only)
+  // spray-reorder|gray-rail (the last three are force-only)
   std::string fault_kind;
   size_t nodes = 0;
   size_t rails = 0;
@@ -68,6 +68,11 @@ struct ExplorerResult {
   uint64_t spray_frags_rx = 0;
   uint64_t spray_reissues = 0;
   uint64_t spray_reassembled = 0;
+  // Adaptive accounting (non-zero only under CoreConfig::adaptive plans,
+  // i.e. --fault=gray-rail), summed over every node's engine.
+  uint64_t rails_degraded = 0;
+  uint64_t degraded_reissues = 0;
+  uint64_t adaptive_elections = 0;
 };
 
 // Generates the schedule for `opts.seed`, executes it, and audits it.
