@@ -62,16 +62,68 @@ void run_network(const std::string& net, bool csv) {
               net == "quadrics" ? "50%" : "70%");
 }
 
+// Machine-readable artifact (BENCH_fig3.json): one row per
+// (net, segments, impl, seg_size) with the latency and MAD-MPI's gain
+// over the best competitor. Virtual-clock timing — reproducible
+// run-to-run.
+void run_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"fig3_multiseg\",\n  \"unit\": \"us\",\n"
+               "  \"rows\": [");
+  bool first = true;
+  for (const std::string& net : {std::string("mx"), std::string("quadrics")}) {
+    const uint64_t max_size = net == "quadrics" ? 8 * 1024 : 16 * 1024;
+    const std::vector<std::string> impls = bench::impls_for_net(net);
+    for (int segments : {8, 16}) {
+      for (uint64_t size : util::doubling_sizes(4, max_size)) {
+        std::vector<double> lats;
+        for (const std::string& impl : impls) {
+          baseline::MpiStack stack = bench::make_stack(impl, net);
+          lats.push_back(bench::multiseg_latency_us(stack, segments, size));
+        }
+        const double best_other =
+            *std::min_element(lats.begin() + 1, lats.end());
+        for (size_t i = 0; i < impls.size(); ++i) {
+          std::fprintf(
+              f,
+              "%s\n    {\"net\": \"%s\", \"segments\": %d, \"impl\": "
+              "\"%s\", \"seg_size\": %llu, \"lat_us\": %.3f, "
+              "\"gain_vs_best_pct\": %.1f}",
+              first ? "" : ",", net.c_str(), segments, impls[i].c_str(),
+              static_cast<unsigned long long>(size), lats[i],
+              i == 0 ? bench::gain_percent(lats[0], best_other) : 0.0);
+          first = false;
+        }
+      }
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::CliFlags flags;
   flags.define("net", "all", "network: mx, quadrics, or all");
   flags.define_bool("csv", false, "emit CSV instead of a table");
+  flags.define("json", "",
+               "write a machine-readable artifact (lat + gain per net x "
+               "segments x impl x size row) to this path and exit");
   if (auto st = flags.parse(argc, argv); !st.is_ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     flags.print_help(argv[0]);
     return 2;
+  }
+  if (!flags.get("json").empty()) {
+    run_json(flags.get("json"));
+    return 0;
   }
   const std::string net = flags.get("net");
   const bool csv = flags.get_bool("csv");

@@ -65,16 +65,65 @@ void run_network(const std::string& net, bool csv) {
   std::printf("\n");
 }
 
+// Machine-readable artifact (BENCH_fig4.json): one row per
+// (net, impl, element count) with the transfer time and MAD-MPI's gain
+// over that impl. Virtual-clock timing — reproducible run-to-run.
+void run_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"fig4_datatype\",\n  \"unit\": \"us\",\n"
+               "  \"small_block\": %zu,\n  \"large_block\": %zu,\n"
+               "  \"rows\": [",
+               kSmall, kLarge);
+  bool first = true;
+  for (const std::string& net : {std::string("mx"), std::string("quadrics")}) {
+    const std::vector<std::string> impls = bench::impls_for_net(net);
+    for (int count = 1; count <= 8; count *= 2) {
+      std::vector<double> times;
+      for (const std::string& impl : impls) {
+        baseline::MpiStack stack = bench::make_stack(impl, net);
+        times.push_back(
+            bench::datatype_transfer_us(stack, count, kSmall, kLarge));
+      }
+      for (size_t i = 0; i < impls.size(); ++i) {
+        std::fprintf(
+            f,
+            "%s\n    {\"net\": \"%s\", \"impl\": \"%s\", \"elements\": %d, "
+            "\"total_size\": %zu, \"time_us\": %.3f, "
+            "\"madmpi_gain_pct\": %.1f}",
+            first ? "" : ",", net.c_str(), impls[i].c_str(), count,
+            static_cast<size_t>(count) * (kSmall + kLarge), times[i],
+            i == 0 ? 0.0 : bench::gain_percent(times[0], times[i]));
+        first = false;
+      }
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::CliFlags flags;
   flags.define("net", "all", "network: mx, quadrics, or all");
   flags.define_bool("csv", false, "emit CSV instead of a table");
+  flags.define("json", "",
+               "write a machine-readable artifact (time + gain per net x "
+               "impl x element-count row) to this path and exit");
   if (auto st = flags.parse(argc, argv); !st.is_ok()) {
     std::fprintf(stderr, "%s\n", st.to_string().c_str());
     flags.print_help(argv[0]);
     return 2;
+  }
+  if (!flags.get("json").empty()) {
+    run_json(flags.get("json"));
+    return 0;
   }
   const std::string net = flags.get("net");
   const bool csv = flags.get_bool("csv");

@@ -5,6 +5,10 @@
 #   BENCH_fig2.json    — raw ping-pong, mean + p99/p999/max per
 #                        (net, impl, size) row, virtual-clock timing
 #                        (exactly reproducible run-to-run);
+#   BENCH_fig3.json    — multi-segment ping-pong latency + MAD-MPI gain
+#                        per (net, segments, impl, size) row;
+#   BENCH_fig4.json    — indexed-datatype transfer time + gain per
+#                        (net, impl, element-count) row;
 #   BENCH_micro.json   — engine hot-path micro-costs in real host
 #                        nanoseconds (google-benchmark aggregate rows:
 #                        mean/median/stddev plus p99/p999/max over
@@ -13,7 +17,13 @@
 #                        under the flapping-rail profile (spray vs split)
 #                        AND the gray-rail profile (adaptive vs static
 #                        election, rail 1 dropping 5% while beaconing),
-#                        per-round tail quantiles on the virtual clock.
+#                        per-round tail quantiles on the virtual clock;
+#   BENCH_scale.json   — discrete-event core throughput: calendar queue
+#                        vs the heap baseline at 4/64/1k-rank pending
+#                        sets, plus the 1k-rank alltoall / 10k-flow
+#                        incast / soak scenarios with their allocation
+#                        counters (host events/sec — indicative only,
+#                        but the speedup ratio is the acceptance gate).
 #
 # Usage: scripts/bench.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -23,9 +33,12 @@ BUILD="${1:-build}"
 if [ ! -d "$BUILD" ]; then
   cmake -B "$BUILD" -S .
 fi
-cmake --build "$BUILD" -j --target fig2_pingpong micro_engine ml_tail
+cmake --build "$BUILD" -j --target \
+  fig2_pingpong fig3_multiseg fig4_datatype micro_engine ml_tail scale
 
 "$BUILD"/bench/fig2_pingpong --json=BENCH_fig2.json --iters=200
+"$BUILD"/bench/fig3_multiseg --json=BENCH_fig3.json
+"$BUILD"/bench/fig4_datatype --json=BENCH_fig4.json
 
 "$BUILD"/bench/micro_engine \
   --benchmark_repetitions=25 \
@@ -36,4 +49,22 @@ cmake --build "$BUILD" -j --target fig2_pingpong micro_engine ml_tail
 
 "$BUILD"/bench/ml_tail --rounds=200 --json=BENCH_ml_tail.json 2>/dev/null
 
-echo "artifacts: BENCH_fig2.json BENCH_micro.json BENCH_ml_tail.json"
+# The scale bench exits non-zero by itself if any scenario allocated
+# during steady state; the python check below enforces the scheduler
+# speedup floor at the 1k-rank pending set.
+"$BUILD"/bench/scale --json=BENCH_scale.json
+python3 - <<'PY'
+import json
+rows = json.load(open("BENCH_scale.json"))["rows"]
+churn_1k = [r for r in rows
+            if r["section"] == "queue_micro"
+            and r["shape"] == "churn" and r["ranks_equiv"] == 1024]
+assert churn_1k, "BENCH_scale.json is missing the 1k-rank churn row"
+speedup = churn_1k[0]["speedup"]
+assert speedup >= 5.0, \
+    f"calendar queue speedup {speedup:.2f}x at 1k ranks is below the 5x floor"
+print(f"scale gate: {speedup:.2f}x over the heap baseline at 1k ranks")
+PY
+
+echo "artifacts: BENCH_fig2.json BENCH_fig3.json BENCH_fig4.json" \
+     "BENCH_micro.json BENCH_ml_tail.json BENCH_scale.json"

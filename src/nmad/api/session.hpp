@@ -31,6 +31,12 @@ struct ClusterOptions {
   // 0 disables the watchdog (wait only aborts on quiescence).
   double stall_report_interval_us = 1e6;
   int stall_report_limit = 16;
+  // Open a gate between every node pair at construction (the historical
+  // behaviour, right for small clusters). At 1k+ ranks the N² gates and
+  // their windows dominate memory and setup time, while real communication
+  // patterns (alltoall exchanges, incast) touch O(N·log N) pairs — set
+  // false and open pairs on demand with ensure_gate().
+  bool full_mesh = true;
 };
 
 class Cluster {
@@ -51,6 +57,15 @@ class Cluster {
   // Gate on `from` leading to `to`.
   [[nodiscard]] core::GateId gate(simnet::NodeId from,
                                   simnet::NodeId to) const;
+
+  // Whether the from→to gate has been opened (always true under a full
+  // mesh; lazy-mesh audits use this to skip pairs that never talked).
+  [[nodiscard]] bool has_gate(simnet::NodeId from, simnet::NodeId to) const;
+
+  // Lazy-mesh mode: opens the from→to gate (and its to→from return path —
+  // receiving a packet from an unconnected peer is a protocol error) if
+  // not yet open. Idempotent; no-op for pairs the full mesh already wired.
+  void ensure_gate(simnet::NodeId from, simnet::NodeId to);
 
   // Virtual time now, µs.
   [[nodiscard]] double now() const { return world_.now(); }

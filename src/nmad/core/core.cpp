@@ -4,6 +4,7 @@
 
 #include "nmad/core/format_util.hpp"
 #include "nmad/strategies/builtin.hpp"
+#include "util/inline_fn.hpp"
 #include "util/logging.hpp"
 
 namespace nmad::core {
@@ -135,7 +136,7 @@ util::Expected<GateId> Core::connect(drivers::PeerAddr peer) {
 util::Expected<GateId> Core::connect(drivers::PeerAddr peer,
                                      std::vector<RailIndex> rails) {
   if (rails.empty()) return util::invalid_argument("gate needs >= 1 rail");
-  if (peer_gate_.count(peer) != 0) {
+  if (peer < peer_gate_.size() && peer_gate_[peer] != kNoGate) {
     return util::already_exists("gate to this peer already open");
   }
   for (RailIndex r : rails) {
@@ -166,6 +167,10 @@ util::Expected<GateId> Core::connect(drivers::PeerAddr peer,
   sched_.init_gate(*gate);
 
   const GateId id = gate->id;
+  NMAD_ASSERT_MSG(gates_.size() < kNoGate, "GateId space exhausted");
+  if (peer >= peer_gate_.size()) {
+    peer_gate_.resize(peer + 1, kNoGate);
+  }
   peer_gate_[peer] = id;
   gates_.push_back(std::move(gate));
   return id;
@@ -291,9 +296,10 @@ void Core::release(Request* req) {
 // ---------------------------------------------------------------------------
 
 void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
-  auto it = peer_gate_.find(packet.from);
-  NMAD_ASSERT_MSG(it != peer_gate_.end(), "packet from unknown peer");
-  Gate& g = *gates_[it->second];
+  NMAD_ASSERT_MSG(
+      packet.from < peer_gate_.size() && peer_gate_[packet.from] != kNoGate,
+      "packet from unknown peer");
+  Gate& g = *gates_[peer_gate_[packet.from]];
   if (g.failed) return;  // peer already declared unreachable
   sched_.note_heard(g, rail);  // a delivering rail: best ack return path
   ++stats_.packets_received;
@@ -414,9 +420,8 @@ void Core::teardown_gate(Gate& gate, const util::Status& status) {
 
 void Core::on_bulk_orphan(drivers::PeerAddr from, uint64_t cookie,
                           size_t offset, size_t len) {
-  auto it = peer_gate_.find(from);
-  if (it == peer_gate_.end()) return;
-  Gate& g = *gates_[it->second];
+  if (from >= peer_gate_.size() || peer_gate_[from] == kNoGate) return;
+  Gate& g = *gates_[peer_gate_[from]];
   if (g.failed) return;
   sched_.on_bulk_orphan(g, cookie, offset, len);
 }
@@ -653,7 +658,44 @@ void Core::debug_dump(std::ostream& out) const {
         static_cast<ULL>(stats_.ev_retransmit),
         static_cast<ULL>(stats_.ev_health_transition),
         static_cast<ULL>(stats_.ev_drain_milestone));
+  const AllocStats alloc = alloc_stats();
+  dumpf(out,
+        "alloc: chunk=%zu/%zu(%zu) bulk=%zu/%zu(%zu) send=%zu/%zu(%zu) "
+        "recv=%zu/%zu(%zu) fn_spills=%llu\n",
+        alloc.chunk_pool_live, alloc.chunk_pool_capacity,
+        alloc.chunk_pool_grows, alloc.bulk_pool_live, alloc.bulk_pool_capacity,
+        alloc.bulk_pool_grows, alloc.send_pool_live, alloc.send_pool_capacity,
+        alloc.send_pool_grows, alloc.recv_pool_live, alloc.recv_pool_capacity,
+        alloc.recv_pool_grows, static_cast<ULL>(alloc.inline_fn_heap_allocs));
+  dumpf(out,
+        "queue: sched=%llu exec=%llu cancel=%llu buckets=%zu pending=%zu "
+        "nodes=%zu slots=%zu resizes=%llu direct=%llu\n",
+        static_cast<ULL>(alloc.queue.scheduled),
+        static_cast<ULL>(alloc.queue.executed),
+        static_cast<ULL>(alloc.queue.cancelled), alloc.queue.buckets,
+        alloc.queue.pending, alloc.queue.node_capacity,
+        alloc.queue.slot_capacity, static_cast<ULL>(alloc.queue.resizes),
+        static_cast<ULL>(alloc.queue.direct_searches));
   bus_.dump_trace(out, 32);
+}
+
+Core::AllocStats Core::alloc_stats() const {
+  AllocStats s;
+  s.chunk_pool_live = chunk_pool_.live();
+  s.chunk_pool_capacity = chunk_pool_.capacity();
+  s.chunk_pool_grows = chunk_pool_.grows();
+  s.bulk_pool_live = bulk_pool_.live();
+  s.bulk_pool_capacity = bulk_pool_.capacity();
+  s.bulk_pool_grows = bulk_pool_.grows();
+  s.send_pool_live = send_pool_.live();
+  s.send_pool_capacity = send_pool_.capacity();
+  s.send_pool_grows = send_pool_.grows();
+  s.recv_pool_live = recv_pool_.live();
+  s.recv_pool_capacity = recv_pool_.capacity();
+  s.recv_pool_grows = recv_pool_.grows();
+  s.queue = world_.queue_stats();
+  s.inline_fn_heap_allocs = util::inline_fn_heap_allocs();
+  return s;
 }
 
 }  // namespace nmad::core

@@ -26,7 +26,6 @@
 
 #include <functional>
 #include <iostream>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -204,6 +203,29 @@ class Core final : public ITransferFleet, private IEngine {
     sched_.charge_credit(gate, chunk);
   }
 
+  // Allocation telemetry for the churn-regression tests: pool occupancy
+  // and slab counts for every hot-path pool, the event-queue slab/slot
+  // capacities, and the global InlineFunction heap-spill count. Every
+  // `*_grows`/capacity field is monotone and must be flat across a
+  // steady-state phase — any increase is a hot-path heap allocation.
+  struct AllocStats {
+    size_t chunk_pool_live = 0;
+    size_t chunk_pool_capacity = 0;
+    size_t chunk_pool_grows = 0;
+    size_t bulk_pool_live = 0;
+    size_t bulk_pool_capacity = 0;
+    size_t bulk_pool_grows = 0;
+    size_t send_pool_live = 0;
+    size_t send_pool_capacity = 0;
+    size_t send_pool_grows = 0;
+    size_t recv_pool_live = 0;
+    size_t recv_pool_capacity = 0;
+    size_t recv_pool_grows = 0;
+    simnet::EventQueue::Stats queue;
+    uint64_t inline_fn_heap_allocs = 0;
+  };
+  [[nodiscard]] AllocStats alloc_stats() const;
+
   // Writes a human-readable snapshot of the engine state (windows,
   // pending rendezvous, in-flight receives, the event-bus trace) — used
   // by deadlock diagnostics and debugging sessions.
@@ -289,7 +311,10 @@ class Core final : public ITransferFleet, private IEngine {
   ScheduleLayer sched_;
   CollectLayer collect_;
 
-  std::map<drivers::PeerAddr, GateId> peer_gate_;
+  // Dense peer→gate index (PeerAddrs are small node ranks): on_packet
+  // resolves the owning gate with one array load instead of a tree walk,
+  // keeping per-packet cost rank-count-independent.
+  std::vector<GateId> peer_gate_;  // kNoGate = no gate to that peer
   bool connected_ = false;  // first connect freezes rail setup
   bool health_monitors_started_ = false;
 

@@ -8,6 +8,9 @@ namespace nmad::core {
 // Index of a connection to one peer process.
 using GateId = uint16_t;
 
+// Sentinel for "no gate" in dense peer→gate index tables.
+inline constexpr GateId kNoGate = 0xFFFF;
+
 // Full 64-bit message tag. Upper layers multiplex logical channels into it
 // (MAD-MPI folds the communicator id into the high bits), which is exactly
 // what lets the optimizer aggregate across MPI communicators.

@@ -23,10 +23,9 @@ RailIndex Fabric::add_rail(const NicProfile& profile) {
     endpoints.push_back(node->nics_.back().get());
   }
   for (SimNic* nic : endpoints) {
-    std::vector<SimNic*> peers;
-    for (SimNic* other : endpoints) {
-      if (other != nic) peers.push_back(other);
-    }
+    // By-NodeId peer table (self slot nulled): peer() is an array load.
+    std::vector<SimNic*> peers = endpoints;
+    peers[nic->node()] = nullptr;
     nic->set_peers(std::move(peers));
   }
   return rail;

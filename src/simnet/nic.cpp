@@ -43,13 +43,6 @@ void BulkSink::deposit(size_t offset, util::ConstBytes data) {
   }
 }
 
-SimNic* SimNic::peer(NodeId node) const {
-  for (SimNic* p : peers_) {
-    if (p->node() == node) return p;
-  }
-  return nullptr;
-}
-
 bool SimNic::tx_idle() const { return tx_free_ <= world_.now(); }
 
 bool SimNic::apply_faults(SimNic* dest, SimTime arrival,

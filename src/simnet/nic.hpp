@@ -18,6 +18,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "simnet/cpu.hpp"
@@ -179,8 +180,12 @@ class SimNic {
   [[nodiscard]] RailIndex rail() const { return rail_; }
 
   // Connects this endpoint to its peers on the same rail (set by Fabric).
+  // The vector is indexed by NodeId — slot [node()] is this NIC's own
+  // (never-used) entry — so peer() is one array load at any rank count.
   void set_peers(std::vector<SimNic*> peers) { peers_ = std::move(peers); }
-  [[nodiscard]] SimNic* peer(NodeId node) const;
+  [[nodiscard]] SimNic* peer(NodeId node) const {
+    return node < peers_.size() ? peers_[node] : nullptr;
+  }
 
   // True when the transmit engine could start a new frame right now.
   [[nodiscard]] bool tx_idle() const;
@@ -321,7 +326,7 @@ class SimNic {
   RxHandler rx_handler_;
   BulkOrphanFn bulk_orphan_;
   BulkRxFn bulk_rx_;
-  std::map<uint64_t, BulkSink*> sinks_;
+  std::unordered_map<uint64_t, BulkSink*> sinks_;  // cookie → sink, O(1)
   SimTime tx_free_ = 0.0;
   SimTime rx_free_ = 0.0;
   TraceLog* trace_ = nullptr;

@@ -47,6 +47,9 @@ class SimWorld {
 
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] EventQueue::Stats queue_stats() const {
+    return queue_.stats();
+  }
 
  private:
   SimTime now_ = 0.0;

@@ -55,6 +55,9 @@ class ObjectPool {
   [[nodiscard]] size_t capacity() const {
     return slabs_.size() * slab_objects_;
   }
+  // Number of slab allocations since construction; flat across a
+  // steady-state phase means acquire() never touched the heap.
+  [[nodiscard]] size_t grows() const { return slabs_.size(); }
 
  private:
   using Slot = std::aligned_storage_t<sizeof(T), alignof(T)>;

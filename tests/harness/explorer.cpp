@@ -28,10 +28,12 @@ bool parse_u64(const char* arg, const char* key, uint64_t* out) {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: explorer --seed=S [--ops=L] [--sweep=N]\n"
+      "usage: explorer --seed=S [--ops=L] [--sweep=N] [--ranks=R]\n"
       "                [--fault=none|drops|flips|blackout|rx-pause|mixed|"
       "reorder|rail-flap|spray-reorder|gray-rail]\n"
-      "                [--inject=skip-credit-charge] [--verbose]\n");
+      "                [--inject=skip-credit-charge] [--verbose]\n"
+      "  --ranks=R   override the seed-drawn 2..3-rank topology (R >= 2);\n"
+      "              large R runs on a lazy gate mesh\n");
   return 2;
 }
 
@@ -40,11 +42,11 @@ int run_single(nmad::harness::ExplorerOptions opts) {
       nmad::harness::run_schedule(opts);
   if (r.ok) {
     std::printf(
-        "PASS seed=%llu ops=%zu/%zu msgs=%zu strategy=%s fault=%s "
-        "flow=%d vt=%.0fus\n",
+        "PASS seed=%llu ops=%zu/%zu msgs=%zu ranks=%zu strategy=%s "
+        "fault=%s flow=%d vt=%.0fus\n",
         static_cast<unsigned long long>(opts.seed), r.ops_executed,
-        r.ops_total, r.messages, r.strategy.c_str(), r.fault_kind.c_str(),
-        r.flow_control ? 1 : 0, r.virtual_us);
+        r.ops_total, r.messages, r.nodes, r.strategy.c_str(),
+        r.fault_kind.c_str(), r.flow_control ? 1 : 0, r.virtual_us);
     return 0;
   }
   std::printf("FAIL seed=%llu strategy=%s fault=%s: %zu violation(s)\n",
@@ -105,6 +107,12 @@ int main(int argc, char** argv) {
     } else if (parse_u64(arg, "--ops=", &ops)) {
       have_ops = true;
     } else if (parse_u64(arg, "--sweep=", &sweep)) {
+    } else if (parse_u64(arg, "--ranks=", &v)) {
+      if (v < 2) {
+        std::fprintf(stderr, "--ranks needs at least 2 ranks\n");
+        return usage();
+      }
+      opts.ranks = static_cast<size_t>(v);
     } else if (std::strncmp(arg, "--fault=", 8) == 0) {
       opts.force_fault = arg + 8;
       if (!nmad::harness::known_fault_kind(opts.force_fault)) {

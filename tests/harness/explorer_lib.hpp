@@ -31,6 +31,11 @@ struct ExplorerOptions {
   // two rails, rail health on, blackouts on rail 1 only — and the run
   // additionally audits that every darkened rail died AND revived.
   std::string force_fault;
+  // Overrides the seed-drawn rank count (0 = keep the 2..3 draw). Large
+  // topologies run on a lazy mesh — only the gates the drawn messages
+  // need are opened — and the schedule draws proportionally more
+  // messages so the extra ranks actually talk.
+  size_t ranks = 0;
   bool verbose = false;  // narrate the plan and each op to stdout
 };
 

@@ -198,6 +198,9 @@ void ProtocolOracle::finalize(api::Cluster& cluster,
       core::Core& sender = cluster.core(a);
       core::Core& receiver = cluster.core(b);
       if (!sender.config().flow_control) continue;
+      // Lazy-mesh runs only wire the pairs that talked; an unopened pair
+      // has no gates to balance.
+      if (!cluster.has_gate(a, b) || !cluster.has_gate(b, a)) continue;
       core::Gate& tx = sender.gate(cluster.gate(a, b));
       core::Gate& rx = receiver.gate(cluster.gate(b, a));
       if (tx.failed || rx.failed) {

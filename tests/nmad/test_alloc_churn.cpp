@@ -1,0 +1,154 @@
+// Allocation-churn regression tests.
+//
+// The hot path — event scheduling, packet chunks, requests, bulk jobs —
+// runs on pools, slabs and inline callables; after a warm-up phase that
+// sizes them, steady-state traffic must not touch the heap through any of
+// them. The witnesses are Core::alloc_stats(): every pool's capacity and
+// grow count, the event queue's slab/slot/bucket capacities, and the
+// global InlineFunction spill counter. All are monotone, so "flat across
+// the measured phase" is exactly "zero hot-path allocations".
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "nmad/api/session.hpp"
+#include "util/buffer.hpp"
+#include "util/inline_fn.hpp"
+
+namespace nmad::core {
+namespace {
+
+using api::Cluster;
+using api::ClusterOptions;
+
+// Snapshot of every monotone allocation counter across a whole cluster.
+struct AllocSnapshot {
+  size_t pool_capacity = 0;
+  size_t pool_grows = 0;
+  simnet::EventQueue::Stats queue;
+  uint64_t fn_spills = 0;
+};
+
+AllocSnapshot snapshot(Cluster& cluster) {
+  AllocSnapshot s;
+  for (size_t n = 0; n < cluster.node_count(); ++n) {
+    const Core::AllocStats a =
+        cluster.core(static_cast<simnet::NodeId>(n)).alloc_stats();
+    s.pool_capacity += a.chunk_pool_capacity + a.bulk_pool_capacity +
+                       a.send_pool_capacity + a.recv_pool_capacity;
+    s.pool_grows += a.chunk_pool_grows + a.bulk_pool_grows +
+                    a.send_pool_grows + a.recv_pool_grows;
+  }
+  s.queue = cluster.core(0).alloc_stats().queue;
+  s.fn_spills = util::inline_fn_heap_allocs();
+  return s;
+}
+
+void expect_flat(const AllocSnapshot& warm, const AllocSnapshot& steady) {
+  EXPECT_EQ(steady.pool_capacity, warm.pool_capacity)
+      << "an engine pool grew during steady state";
+  EXPECT_EQ(steady.pool_grows, warm.pool_grows);
+  EXPECT_EQ(steady.queue.node_slabs, warm.queue.node_slabs)
+      << "the event queue allocated a node slab during steady state";
+  EXPECT_EQ(steady.queue.node_capacity, warm.queue.node_capacity);
+  EXPECT_EQ(steady.queue.slot_capacity, warm.queue.slot_capacity);
+  EXPECT_EQ(steady.queue.buckets, warm.queue.buckets);
+  EXPECT_EQ(steady.queue.resizes, warm.queue.resizes);
+  EXPECT_EQ(steady.fn_spills, warm.fn_spills)
+      << "an event callback spilled out of its inline buffer";
+}
+
+void pingpong_round(Cluster& cluster, std::vector<std::byte>& buf,
+                    uint64_t round) {
+  Core& a = cluster.core(0);
+  Core& b = cluster.core(1);
+  const Tag tag = round;
+  Request* s0 = a.isend(cluster.gate(0, 1), tag,
+                        util::ConstBytes{buf.data(), buf.size()});
+  Request* r0 = b.irecv(cluster.gate(1, 0), tag,
+                        util::MutableBytes{buf.data(), buf.size()});
+  std::vector<Request*> reqs{s0, r0};
+  cluster.wait_all(reqs);
+  a.release(s0);
+  b.release(r0);
+  Request* s1 = b.isend(cluster.gate(1, 0), tag,
+                        util::ConstBytes{buf.data(), buf.size()});
+  Request* r1 = a.irecv(cluster.gate(0, 1), tag,
+                        util::MutableBytes{buf.data(), buf.size()});
+  reqs = {s1, r1};
+  cluster.wait_all(reqs);
+  b.release(s1);
+  a.release(r1);
+}
+
+TEST(AllocChurn, SteadyPingPongIsAllocationFree) {
+  Cluster cluster{};
+  std::vector<std::byte> buf(4096);
+  for (uint64_t r = 0; r < 50; ++r) pingpong_round(cluster, buf, r);
+  const AllocSnapshot warm = snapshot(cluster);
+
+  for (uint64_t r = 50; r < 550; ++r) pingpong_round(cluster, buf, r);
+  expect_flat(warm, snapshot(cluster));
+}
+
+// Reliability arms a retransmit timer per packet and cancels it on ack —
+// the cancel-heaviest shape the engine has. Timer slots and event nodes
+// must recycle, not accumulate.
+TEST(AllocChurn, ReliablePingPongIsAllocationFree) {
+  ClusterOptions options;
+  options.core.reliability = true;
+  Cluster cluster(std::move(options));
+  std::vector<std::byte> buf(4096);
+  for (uint64_t r = 0; r < 50; ++r) pingpong_round(cluster, buf, r);
+  const AllocSnapshot warm = snapshot(cluster);
+
+  for (uint64_t r = 50; r < 550; ++r) pingpong_round(cluster, buf, r);
+  expect_flat(warm, snapshot(cluster));
+}
+
+// 64-rank alltoall: every rank exchanges an eager message with every other
+// rank each round. After one warm-up round sizes the pools across all 64
+// engines, further rounds must be allocation-free through every counter.
+TEST(AllocChurn, Alltoall64RankSteadyState) {
+  constexpr size_t kRanks = 64;
+  ClusterOptions options;
+  options.nodes = kRanks;
+  Cluster cluster(std::move(options));
+  std::vector<std::byte> payload(512);
+
+  auto alltoall_round = [&](uint64_t round) {
+    std::vector<Request*> reqs;
+    reqs.reserve(kRanks * (kRanks - 1) * 2);
+    std::vector<std::pair<simnet::NodeId, Request*>> owners;
+    owners.reserve(reqs.capacity());
+    for (simnet::NodeId i = 0; i < kRanks; ++i) {
+      for (simnet::NodeId j = 0; j < kRanks; ++j) {
+        if (i == j) continue;
+        const Tag tag = (round << 16) | (Tag(i) << 8) | Tag(j);
+        Request* r = cluster.core(j).irecv(
+            cluster.gate(j, i), tag,
+            util::MutableBytes{payload.data(), payload.size()});
+        Request* s = cluster.core(i).isend(
+            cluster.gate(i, j), tag,
+            util::ConstBytes{payload.data(), payload.size()});
+        reqs.push_back(r);
+        reqs.push_back(s);
+        owners.emplace_back(j, r);
+        owners.emplace_back(i, s);
+      }
+    }
+    cluster.wait_all(reqs);
+    for (auto& [node, req] : owners) cluster.core(node).release(req);
+  };
+
+  alltoall_round(0);
+  alltoall_round(1);
+  const AllocSnapshot warm = snapshot(cluster);
+
+  for (uint64_t r = 2; r < 6; ++r) alltoall_round(r);
+  expect_flat(warm, snapshot(cluster));
+}
+
+}  // namespace
+}  // namespace nmad::core
