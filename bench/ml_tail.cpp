@@ -41,7 +41,22 @@ struct RunResult {
   uint64_t spray_reissues = 0;
   uint64_t rails_failed = 0;
   uint64_t rails_revived = 0;
+  // Pool growths during the timed phase, across every engine. The warmup
+  // rounds size the pools; the measured phase must then be allocation-free
+  // even while rails flap, peers crash and gates rejoin.
+  uint64_t steady_allocs = 0;
 };
+
+// Sum of every engine pool's monotone grow counter.
+uint64_t total_pool_grows(api::Cluster& cluster) {
+  uint64_t g = 0;
+  for (size_t n = 0; n < cluster.node_count(); ++n) {
+    const core::Core::AllocStats s = cluster.core(n).alloc_stats();
+    g += s.chunk_pool_grows + s.bulk_pool_grows + s.send_pool_grows +
+         s.recv_pool_grows;
+  }
+  return g;
+}
 
 // The PR-4 flapping-rail shape: rail 0 healthy, rail 1 dark 500µs every
 // 3ms, heartbeat monitor tuned to declare death after 300µs of silence
@@ -150,8 +165,10 @@ RunResult run_allreduce(api::ClusterOptions opts, size_t slice, int rounds,
   }
 
   RunResult result;
+  uint64_t warm_grows = 0;
   core::Tag tag = 0;
   for (int round = 0; round < warmup + rounds; ++round) {
+    if (round == warmup) warm_grows = total_pool_grows(cluster);
     const double t0 = cluster.now();
     for (size_t step = 0; step < 2 * (kNodes - 1); ++step) {
       std::vector<core::Request*> reqs;
@@ -174,6 +191,7 @@ RunResult run_allreduce(api::ClusterOptions opts, size_t slice, int rounds,
     }
     if (round >= warmup) result.round_us.add(cluster.now() - t0);
   }
+  result.steady_allocs = total_pool_grows(cluster) - warm_grows;
   collect_stats(cluster, &result);
   settle(cluster);
   return result;
@@ -198,8 +216,10 @@ RunResult run_incast(api::ClusterOptions opts, size_t grad, int rounds,
   }
 
   RunResult result;
+  uint64_t warm_grows = 0;
   core::Tag tag = 0;
   for (int round = 0; round < warmup + rounds; ++round) {
+    if (round == warmup) warm_grows = total_pool_grows(cluster);
     const double t0 = cluster.now();
     std::vector<core::Request*> push;
     std::vector<core::Request*> server_rx(kNodes, nullptr);
@@ -235,6 +255,99 @@ RunResult run_incast(api::ClusterOptions opts, size_t grad, int rounds,
     ++tag;
     if (round >= warmup) result.round_us.add(cluster.now() - t0);
   }
+  result.steady_allocs = total_pool_grows(cluster) - warm_grows;
+  collect_stats(cluster, &result);
+  settle(cluster);
+  return result;
+}
+
+// Peer-crash/rejoin cycles on a 2-node pair: the worker node dies for
+// 1.5ms out of every 6ms. A gradient push is mid-flight each time the
+// lights go out — the lifecycle must unwind it with kPeerDead, fence the
+// dead incarnation, and rejoin the restarted peer; the cycle closes with
+// the first verified exchange of the new incarnation. The timed quantity
+// is the recovery latency past the dark window: detect + probation +
+// rejoin handshake + one verified round-trip.
+RunResult run_crash(size_t grad, int rounds, int warmup) {
+  constexpr double kFirstUs = 2000.0;
+  constexpr double kCycleUs = 6000.0;
+  constexpr double kDarkUs = 1500.0;
+
+  api::ClusterOptions options;
+  options.nodes = 2;
+  simnet::NicProfile rail;
+  simnet::nic_profile_by_name("mx", &rail);
+  options.rails = {rail, rail};
+  core::CoreConfig& cfg = options.core;
+  cfg.peer_lifecycle = true;  // implies rail_health, implies reliability
+  cfg.ack_timeout_us = 200.0;
+  cfg.ack_delay_us = 5.0;
+  cfg.rail_dead_after = 0;
+  cfg.max_retries = 20;
+  cfg.heartbeat_interval_us = 50.0;
+  cfg.suspect_after_us = 150.0;
+  cfg.dead_after_us = 300.0;
+  cfg.probe_interval_us = 100.0;
+  cfg.probation_replies = 2;
+  cfg.peer_death_grace_us = 150.0;
+  cfg.rdv_threshold_override = 4096;
+  api::Cluster cluster(std::move(options));
+  core::Core& a = cluster.core(0);
+  core::Core& b = cluster.core(1);
+
+  std::vector<simnet::FaultWindow> crashes;
+  for (int i = 0; i < warmup + rounds; ++i) {
+    const double begin = kFirstUs + kCycleUs * i;
+    crashes.push_back({begin, begin + kDarkUs});
+  }
+  cluster.fabric().set_node_crashes(1, crashes);
+
+  std::vector<std::byte> out(grad), in(grad);
+  util::fill_pattern({out.data(), grad}, 11);
+
+  RunResult result;
+  uint64_t warm_grows = 0;
+  core::Tag tag = 0;
+  for (int round = 0; round < warmup + rounds; ++round) {
+    if (round == warmup) warm_grows = total_pool_grows(cluster);
+    const double begin = kFirstUs + kCycleUs * round;
+    while (cluster.now() < begin - 20.0 && cluster.world().run_one()) {
+    }
+    // Caught mid-rendezvous by the crash.
+    core::Request* victim =
+        a.isend(cluster.gate(0, 1), tag++, util::ConstBytes{out.data(), grad});
+    const uint64_t a_rejoined = a.stats().peers_rejoined;
+    const uint64_t b_rejoined = b.stats().peers_rejoined;
+    while ((a.stats().peers_rejoined == a_rejoined ||
+            b.stats().peers_rejoined == b_rejoined) &&
+           cluster.world().run_one()) {
+    }
+    // First verified exchange of the new incarnation, both directions.
+    core::Request* rx = b.irecv(cluster.gate(1, 0), tag,
+                                util::MutableBytes{in.data(), grad});
+    core::Request* tx = a.isend(cluster.gate(0, 1), tag,
+                                util::ConstBytes{out.data(), grad});
+    ++tag;
+    core::Request* rx2 = a.irecv(cluster.gate(0, 1), tag,
+                                 util::MutableBytes{in.data(), grad});
+    core::Request* tx2 = b.isend(cluster.gate(1, 0), tag,
+                                 util::ConstBytes{out.data(), grad});
+    ++tag;
+    cluster.wait(rx);
+    cluster.wait(tx);
+    cluster.wait(rx2);
+    cluster.wait(tx2);
+    if (!victim->done()) cluster.wait(victim);
+    a.release(victim);  // kPeerDead from the unwind, or ok if it raced in
+    a.release(tx);
+    a.release(rx2);
+    b.release(rx);
+    b.release(tx2);
+    if (round >= warmup) {
+      result.round_us.add(cluster.now() - (begin + kDarkUs));
+    }
+  }
+  result.steady_allocs = total_pool_grows(cluster) - warm_grows;
   collect_stats(cluster, &result);
   settle(cluster);
   return result;
@@ -249,7 +362,8 @@ void add_row(util::Table* table, const std::string& scenario,
                   util::format_fixed(d.quantile(0.999), 2),
                   util::format_fixed(d.max(), 2),
                   std::to_string(r.spray_reissues),
-                  std::to_string(r.rails_failed)});
+                  std::to_string(r.rails_failed),
+                  std::to_string(r.steady_allocs)});
 }
 
 void json_row(std::FILE* f, bool first, const std::string& scenario,
@@ -260,12 +374,13 @@ void json_row(std::FILE* f, bool first, const std::string& scenario,
       "%s\n    {\"scenario\": \"%s\", \"sched\": \"%s\", \"size\": %zu, "
       "\"rounds\": %llu, \"mean_us\": %.3f, \"p99_us\": %.3f, "
       "\"p999_us\": %.3f, \"max_us\": %.3f, \"spray_reissues\": %llu, "
-      "\"rails_failed\": %llu}",
+      "\"rails_failed\": %llu, \"steady_allocs\": %llu}",
       first ? "" : ",", scenario.c_str(), sched.c_str(), size,
       static_cast<unsigned long long>(d.count()), d.mean(),
       d.quantile(0.99), d.quantile(0.999), d.max(),
       static_cast<unsigned long long>(r.spray_reissues),
-      static_cast<unsigned long long>(r.rails_failed));
+      static_cast<unsigned long long>(r.rails_failed),
+      static_cast<unsigned long long>(r.steady_allocs));
 }
 
 }  // namespace
@@ -273,7 +388,7 @@ void json_row(std::FILE* f, bool first, const std::string& scenario,
 int main(int argc, char** argv) {
   util::CliFlags flags;
   flags.define("scenario", "all",
-               "allreduce, incast, gray, or all (all includes gray)");
+               "allreduce, incast, gray, crash, or all");
   flags.define("size", "64K",
                "bucket slice / gradient size per message (rendezvous path "
                "needs >= 4K)");
@@ -320,17 +435,25 @@ int main(int argc, char** argv) {
     cells.push_back({"gray-incast", "static",
                      run_incast(gray_options(false), size, rounds, warmup)});
   }
+  if (scenario == "crash" || scenario == "all") {
+    cells.push_back(
+        {"peer-crash", "lifecycle", run_crash(size, rounds, warmup)});
+  }
   if (cells.empty()) {
     std::fprintf(stderr, "unknown scenario: %s\n", scenario.c_str());
     return 2;
   }
 
   util::Table table({"scenario", "sched", "size", "mean_us", "p99_us",
-                     "p999_us", "max_us", "reissues", "rail_deaths"});
+                     "p999_us", "max_us", "reissues", "rail_deaths",
+                     "allocs"});
   for (const Cell& c : cells) {
     add_row(&table, c.scenario, c.sched, size, c.result);
   }
-  if (scenario == "gray") {
+  if (scenario == "crash") {
+    std::printf("## ML-style traffic under peer crash/rejoin cycles "
+                "(2 nodes, 2 rails, worker dark 1.5ms every 6ms)\n");
+  } else if (scenario == "gray") {
     std::printf("## ML-style traffic under a gray rail "
                 "(4 nodes, 2 rails, rail 1 dropping 5%% but beaconing)\n");
   } else if (scenario == "all") {

@@ -5,10 +5,11 @@
 # timer/retransmit machinery holds up under memory and UB checking, not
 # just functionally. The suite includes the rail-lifecycle, spray and
 # adaptive tests and the explorer's 200-schedule sweeps (default mix,
-# --fault=rail-flap, --fault=spray-reorder and --fault=gray-rail), so
-# heartbeat death, epoch-fenced revival, drain, spray
-# reassembly/failover, and gray-failure scoring/election all run
-# sanitized.
+# --fault=rail-flap, --fault=spray-reorder, --fault=gray-rail and
+# --fault=peer-crash), so heartbeat death, epoch-fenced revival, drain,
+# spray reassembly/failover, gray-failure scoring/election, and the
+# peer-crash lifecycle (kPeerDead unwind, incarnation fence, rejoin)
+# all run sanitized.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

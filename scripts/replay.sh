@@ -11,6 +11,9 @@
 #   scripts/replay.sh 9 --fault=rail-flap     # force the flapping-rail
 #                                             # profile (heartbeat death,
 #                                             # epoch-fenced revival, drain)
+#   scripts/replay.sh 3 --fault=peer-crash    # force the whole-node
+#                                             # crash/rejoin profile
+#                                             # (kPeerDead unwind, fence)
 #
 # Configures/builds a dedicated tree with -DNMAD_VALIDATE=ON so the
 # compiled-in invariant checkers run on every progress tick during the

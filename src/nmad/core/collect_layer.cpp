@@ -282,7 +282,7 @@ void CollectLayer::on_rts(Gate& gate, const WireChunk& chunk) {
       // The payload may still be behind the cancel notice (another rail,
       // or a retransmission): tombstone the key so a late arrival is
       // dropped instead of parked forever in the unexpected store.
-      gate.collect.cancelled_recv.insert(key);
+      gate.collect.cancelled_recv.emplace(key, reap_tombstones(gate));
       req->complete(util::cancelled("sender withdrew the message"));
       return;
     }
@@ -446,7 +446,7 @@ void CollectLayer::start_spray_recv(Gate& gate, RecvRequest* req,
   } else {
     // Degenerate empty body: nothing will ever arrive, complete now. The
     // CTS below still unparks the sender's job.
-    gate.collect.spray_done.insert(key);
+    gate.collect.spray_done.emplace(key, reap_tombstones(gate));
     recv_add_bytes(gate, req, 0);
   }
 
@@ -557,7 +557,7 @@ void CollectLayer::on_spray_frag(Gate& gate, RailIndex rail,
   // Reassembly complete: every byte applied exactly once.
   SprayRecv done = std::move(rec);
   gate.collect.spray_recv.erase(it);
-  gate.collect.spray_done.insert(key);
+  gate.collect.spray_done.emplace(key, reap_tombstones(gate));
   ++ctx_.stats.spray_reassembled;
   ctx_.bus.publish({.kind = EventKind::kReassembled,
                     .gate = gate.id,
@@ -661,7 +661,7 @@ bool CollectLayer::cancel_recv(Gate& gate, RecvRequest* req,
   }
   gate.collect.active_recv.erase(key);
   // Late payload is dropped, RTS refused.
-  gate.collect.cancelled_recv.insert(key);
+  gate.collect.cancelled_recv.emplace(key, reap_tombstones(gate));
   for (uint64_t cookie : cookies) {
     RdvRecv& rec = gate.collect.rdv_recv.at(cookie);
     for (uint8_t r : rec.rails) {
@@ -691,6 +691,31 @@ void CollectLayer::send_cancel_cts(Gate& gate, Tag tag, SeqNum seq,
   c->prio = Priority::kHigh;
   c->owner = nullptr;
   sched_.enqueue(gate, c);
+}
+
+uint32_t CollectLayer::reap_tombstones(Gate& gate) {
+  const uint32_t floor = sched_.recv_watermark(gate);
+  if (reliable()) {
+    // Anything referencing a key tombstoned a full reliability window
+    // below the floor arrives as a duplicate and is suppressed before the
+    // tombstone would ever be consulted — the entry is dead weight.
+    const auto win = static_cast<uint32_t>(ctx_.config.reliability_window);
+    uint64_t reaped = 0;
+    const auto reap = [&](auto& tombs) {
+      for (auto it = tombs.begin(); it != tombs.end();) {
+        if (floor - it->second >= win && it->second <= floor) {
+          it = tombs.erase(it);
+          ++reaped;
+        } else {
+          ++it;
+        }
+      }
+    };
+    reap(gate.collect.spray_done);
+    reap(gate.collect.cancelled_recv);
+    ctx_.stats.tombstones_reaped += reaped;
+  }
+  return floor;
 }
 
 // ---------------------------------------------------------------------------

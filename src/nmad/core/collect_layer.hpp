@@ -89,6 +89,12 @@ class CollectLayer {
   void recv_add_bytes(Gate& gate, RecvRequest* req, size_t n);
   void finish_recv_if_done(Gate& gate, RecvRequest* req);
   void send_cancel_cts(Gate& gate, Tag tag, SeqNum seq, uint64_t cookie);
+  // Tombstone GC: reaps spray_done / cancelled_recv entries whose
+  // creation-time floor fell a reliability window behind the watermark
+  // (read through the ISchedule seam), then returns the current
+  // watermark for stamping a new tombstone. Called at every insert, so
+  // churny workloads stay bounded without a background sweep.
+  uint32_t reap_tombstones(Gate& gate);
 
   [[nodiscard]] Gate& gate_ref(GateId id) { return *ctx_.gates[id]; }
   [[nodiscard]] bool reliable() const { return ctx_.config.reliability; }

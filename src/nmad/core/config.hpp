@@ -61,6 +61,11 @@ struct CoreConfig {
   double ack_delay_us = 5.0;
   // Timeout multiplier applied after each retransmission of an entry.
   double retry_backoff = 2.0;
+  // Decorrelates the exponential backoff: each retransmission's grown
+  // timeout is scaled by a seed-deterministic factor in [0.5, 1.5) so
+  // that retries synchronized by a blackout or peer crash do not land on
+  // the wire in lockstep and re-congest the recovering rail.
+  bool backoff_jitter = true;
   // A packet/slice that times out this many times fails the gate.
   uint32_t max_retries = 10;
   // Consecutive timeouts on one rail before it is declared dead and its
@@ -130,6 +135,22 @@ struct CoreConfig {
   double dead_after_us = 3000.0;
   double probe_interval_us = 1000.0;
   uint32_t probation_replies = 2;
+
+  // --- Peer lifecycle (crash detection, unwind, rejoin) -------------------
+  // Aggregates per-rail health into a per-peer liveness verdict: when no
+  // rail to a peer is alive and the condition persists for
+  // peer_death_grace_us, the peer is declared dead — every in-flight op
+  // against it is unwound with kPeerDead, a kPeerDied event is published,
+  // and the gate is fenced. A restarted peer announces a bumped node
+  // incarnation in its heartbeats; packets from the previous incarnation
+  // are dropped (never applied), and a fresh-incarnation beacon on a
+  // live rail re-opens the gate with clean sequence/credit state so
+  // post-rejoin traffic is exactly-once. Forces rail_health on (peer
+  // liveness is derived from rail liveness).
+  bool peer_lifecycle = false;
+  // How long every rail to the peer must stay non-alive before the peer
+  // is declared dead (0 declares immediately on losing the last rail).
+  double peer_death_grace_us = 1000.0;
 
   // --- Gray-failure scoring & adaptive election ---------------------------
   // Continuous per-rail health scoring on top of the binary lifecycle: the
@@ -227,6 +248,14 @@ struct CoreStats {
   // Suspect-transition to wire latency of each failover re-issue, in µs.
   util::QuantileDigest spray_reissue_latency_us;
 
+  // Peer lifecycle (CoreConfig::peer_lifecycle).
+  uint64_t peers_died = 0;           // gates fenced after the death grace
+  uint64_t peers_rejoined = 0;       // gates re-opened by a fresh incarnation
+  uint64_t incarnations_fenced = 0;  // previous-life packets dropped
+  // Tombstone GC behind the ack-floor watermark (cancel tombstones and
+  // spray_done markers reaped once the receive floor passes them).
+  uint64_t tombstones_reaped = 0;
+
   // Gray-failure scoring & adaptive election (CoreConfig::adaptive).
   uint64_t rails_degraded = 0;       // score-driven entries into kDegraded
   uint64_t rails_recovered = 0;      // kDegraded -> kAlive exits
@@ -267,6 +296,8 @@ struct CoreStats {
   uint64_t ev_spray_reissued = 0;
   uint64_t ev_spray_frag_rx = 0;
   uint64_t ev_reassembled = 0;
+  uint64_t ev_peer_died = 0;
+  uint64_t ev_peer_rejoined = 0;
 
   // Invariant validation (check_invariants / validate_invariants; the
   // hot-path hooks that drive these only compile under -DNMAD_VALIDATE).

@@ -33,7 +33,9 @@ Core::Core(simnet::SimWorld& world, simnet::SimNode& node, CoreConfig config)
   // Rail health needs the same machinery one layer up: a rail declared
   // dead only recovers its in-flight traffic through retransmission.
   // Adaptive scoring refines the health lifecycle (the degraded state
-  // lives inside it), so it forces rail_health on.
+  // lives inside it), so it forces rail_health on. Peer liveness is
+  // derived from rail liveness, so peer_lifecycle forces rail_health too.
+  if (config_.peer_lifecycle) config_.rail_health = true;
   if (config_.adaptive) config_.rail_health = true;
   if (config_.rail_health) config_.reliability = true;
   if (config_.flow_control) config_.reliability = true;
@@ -78,6 +80,12 @@ Core::Core(simnet::SimWorld& world, simnet::SimNode& node, CoreConfig config)
 }
 
 Core::~Core() {
+  for (auto& g : gates_) {
+    if (g->peer_grace_armed) {
+      world_.cancel(g->peer_grace_timer);
+      g->peer_grace_armed = false;
+    }
+  }
   for (auto& rail : rails_) rail->stop_monitor();
   sched_.release_prebuilt_chunks();
   for (auto& rail : rails_) rail->shutdown();
@@ -300,8 +308,15 @@ void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
       packet.from < peer_gate_.size() && peer_gate_[packet.from] != kNoGate,
       "packet from unknown peer");
   Gate& g = *gates_[peer_gate_[packet.from]];
-  if (g.failed) return;  // peer already declared unreachable
-  sched_.note_heard(g, rail);  // a delivering rail: best ack return path
+  // A failed gate normally refuses all traffic — except a peer-dead gate
+  // under the lifecycle, which keeps listening for heartbeats so a
+  // restarted peer can announce its new incarnation and rejoin. Every
+  // other chunk kind on such a gate is previous-life traffic and is
+  // fenced (dropped, never applied) below.
+  if (g.failed && !(config_.peer_lifecycle && g.peer_dead)) return;
+  if (!g.failed) {
+    sched_.note_heard(g, rail);  // a delivering rail: best ack return path
+  }
   ++stats_.packets_received;
   node_.cpu().charge(config_.parse_packet_us);
 
@@ -309,12 +324,18 @@ void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
   bool classified = false;  // packet-level framing inspected
   bool drop = false;        // duplicate or unverifiable: skip every chunk
   bool processed = false;   // at least one chunk acted on
+  bool fenced = false;      // gate was peer-dead when the packet arrived
   const util::Status st = decode_packet(
       packet.bytes.view(), &meta,
-      [this, &g, rail, &meta, &classified, &drop,
-       &processed](const WireChunk& chunk) {
+      [this, &g, rail, &meta, &classified, &drop, &processed,
+       &fenced](const WireChunk& chunk) {
         if (!classified) {
           classified = true;
+          // The fence decision latches per packet: even if a heartbeat
+          // chunk rejoins the gate mid-decode, the packet's other chunks
+          // stay fenced — the gate never registered its seq, so applying
+          // them would double-deliver against the retransmission.
+          fenced = g.failed;
           if (config_.reliability) {
             if (!meta.checksummed) {
               // A flipped checksum-flag bit would disable verification;
@@ -322,6 +343,9 @@ void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
               // packet and let the retransmit timer recover it.
               drop = true;
               ++stats_.packets_rejected;
+            } else if (fenced) {
+              // Peer-dead gate: no seq registration on a fenced gate (a
+              // rejoin restarts the sequence space from zero).
             } else if (meta.reliable && sched_.rx_register(g, meta.seq)) {
               drop = true;  // duplicate: already delivered, just re-ack
               ++stats_.packets_duplicate;
@@ -329,6 +353,12 @@ void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
           }
         }
         if (drop) return;
+        if (fenced && chunk.kind != ChunkKind::kHeartbeat) {
+          // Previous-life traffic against a dead-peer gate (stale acks,
+          // spray fragments, credit grants): fenced, not applied.
+          ++stats_.incarnations_fenced;
+          return;
+        }
         processed = true;
         node_.cpu().charge(config_.parse_chunk_us);
         ++stats_.chunks_received;
@@ -350,6 +380,12 @@ void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
             sched_.on_credit(g, chunk);
             break;
           case ChunkKind::kHeartbeat:
+            // The incarnation fence runs before the rail health machinery
+            // sees the beacon; a previous-life beacon never refreshes
+            // liveness or answers probes.
+            if (config_.peer_lifecycle && !on_peer_heartbeat(g, rail, chunk)) {
+              break;
+            }
             rails_[rail]->handle_heartbeat(g, chunk);
             break;
           case ChunkKind::kSprayFrag:
@@ -375,6 +411,7 @@ void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
                   .a = packet.bytes.view().size()});
   }
   if (g.failed) return;  // a chunk handler may have torn the gate down
+  if (fenced) return;    // fenced packet: nothing to acknowledge
   if (config_.reliability && meta.reliable && meta.checksummed) {
     sched_.schedule_ack(g);
   }
@@ -404,6 +441,11 @@ void Core::close_gate(GateId id) {
 }
 
 void Core::teardown_gate(Gate& gate, const util::Status& status) {
+  // A pending death-grace verdict is moot once the gate is down.
+  if (gate.peer_grace_armed) {
+    world_.cancel(gate.peer_grace_timer);
+    gate.peer_grace_armed = false;
+  }
   // `failed` is set before any layer runs so re-entrant paths (a
   // completion callback submitting more traffic, a discharge trying to
   // re-advertise credit) see the gate as already gone.
@@ -416,6 +458,99 @@ void Core::teardown_gate(Gate& gate, const util::Status& status) {
   sched_.teardown_send(gate, status);
   collect_.teardown(gate, status);
   sched_.teardown_finish(gate);
+}
+
+// ---------------------------------------------------------------------------
+// Peer lifecycle: death grace, incarnation fencing, rejoin
+// ---------------------------------------------------------------------------
+
+void Core::peer_unreachable(Gate& gate) {
+  if (gate.failed) return;
+  if (!config_.peer_lifecycle || config_.peer_death_grace_us <= 0.0) {
+    fail_gate(gate, util::closed("all rails to peer unreachable"));
+    return;
+  }
+  if (gate.peer_grace_armed) return;
+  gate.peer_grace_armed = true;
+  gate.peer_grace_timer = world_.after(
+      config_.peer_death_grace_us, [this, &gate]() { on_peer_grace(gate); });
+}
+
+void Core::on_peer_grace(Gate& gate) {
+  gate.peer_grace_armed = false;
+  if (gate.failed) return;
+  // A rail may have revived during the grace: the peer is dead only if
+  // every rail to it is still down.
+  for (RailIndex r : gate.rails) {
+    if (rails_[r]->alive()) return;
+  }
+  declare_peer_dead(gate,
+                    "peer declared dead: no rail revived within the grace");
+}
+
+void Core::declare_peer_dead(Gate& gate, const char* why) {
+  NMAD_ASSERT(!gate.failed);
+  ++stats_.peers_died;
+  const ScheduleLayer::GateCounts sc = sched_.gate_counts(gate);
+  const CollectLayer::GateCounts cc = collect_.gate_counts(gate);
+  const uint64_t inflight = sc.window + sc.ready_bulk + sc.rdv_wait_cts +
+                            sc.pending_pkts + sc.pending_bulk +
+                            cc.active_recv + cc.rdv_recv + cc.spray_recv;
+  bus_.publish({.kind = EventKind::kPeerDied,
+                .gate = gate.id,
+                .a = gate.peer_incarnation,
+                .b = inflight});
+  fail_gate(gate, util::peer_dead(why));
+  // Set after the teardown so re-entrant paths saw a plainly-failed gate;
+  // from here on heartbeats keep flowing so a restart can announce itself.
+  gate.peer_dead = true;
+}
+
+bool Core::on_peer_heartbeat(Gate& g, RailIndex rail, const WireChunk& chunk) {
+  const uint32_t inc = chunk.epoch;  // node incarnation rides this field
+  if (inc < g.peer_incarnation) {
+    ++stats_.incarnations_fenced;  // beacon from a previous life
+    return false;
+  }
+  if (inc > g.peer_incarnation) {
+    // The peer restarted. Everything its old life left in flight is
+    // void: unwind as a peer death, then admit the new incarnation.
+    if (!g.failed) {
+      declare_peer_dead(g, "peer restarted with a new incarnation");
+    }
+    if (!g.peer_dead) return !g.failed;  // locally-closed gate stays closed
+    g.peer_incarnation = inc;
+  }
+  if (g.failed && g.peer_dead && rails_[rail]->alive()) {
+    // A live rail is delivering current-incarnation beacons: the peer is
+    // reachable again, re-open the gate with fresh state.
+    rejoin_gate(g);
+  }
+  // A still-dead gate keeps feeding current-incarnation heartbeats to the
+  // rail health machinery: probe replies are what revive the rail, and a
+  // revived rail is the precondition for the rejoin above — swallowing
+  // them here would deadlock the handshake.
+  return !g.failed || g.peer_dead;
+}
+
+void Core::rejoin_gate(Gate& g) {
+  NMAD_ASSERT(g.failed && g.peer_dead);
+  // The old life's state was fully unwound at death; re-open with fresh
+  // collect/sched state — sequence numbers, ack windows and credit
+  // ledgers restart from gate-open values, which the restarted peer
+  // (whose own gate went through the same death) agrees on.
+  g.collect = GateCollect{};
+  g.sched = GateSched{};
+  sched_.init_gate(g);
+  g.failed = false;
+  g.peer_dead = false;
+  g.fail_status = util::ok_status();
+  ++stats_.peers_rejoined;
+  NMAD_LOG_WARN("nmad: node %u rejoins gate %u (peer %u, incarnation %u)",
+                node_.id(), g.id, g.peer, g.peer_incarnation);
+  bus_.publish({.kind = EventKind::kPeerRejoined,
+                .gate = g.id,
+                .a = g.peer_incarnation});
 }
 
 void Core::on_bulk_orphan(drivers::PeerAddr from, uint64_t cookie,
@@ -540,10 +675,12 @@ void Core::debug_dump(std::ostream& out) const {
           "gate %u → peer %u: window=%zu ready_bulk=%zu "
           "rdv_wait_cts=%zu active_recv=%zu unexpected=%zu "
           "rdv_recv=%zu spray_recv=%zu pending_pkts=%zu pending_bulk=%zu "
-          "failed=%d\n",
+          "failed=%d peer_dead=%d inc=%u\n",
           gate->id, gate->peer, sc.window, sc.ready_bulk, sc.rdv_wait_cts,
           cc.active_recv, cc.unexpected, cc.rdv_recv, cc.spray_recv,
-          sc.pending_pkts, sc.pending_bulk, gate->failed ? 1 : 0);
+          sc.pending_pkts, sc.pending_bulk, gate->failed ? 1 : 0,
+          gate->peer_dead ? 1 : 0,
+          static_cast<unsigned>(gate->peer_incarnation));
     sched_.dump_gate_detail(*gate, out);
   }
   dumpf(out,
@@ -609,6 +746,14 @@ void Core::debug_dump(std::ostream& out) const {
             static_cast<ULL>(d.count()), d.mean(), d.quantile(0.99),
             d.quantile(0.999), d.max());
     }
+  }
+  if (config_.peer_lifecycle || stats_.tombstones_reaped != 0) {
+    dumpf(out,
+          "peer: died=%llu rejoined=%llu fenced=%llu tombstones_reaped=%llu\n",
+          static_cast<ULL>(stats_.peers_died),
+          static_cast<ULL>(stats_.peers_rejoined),
+          static_cast<ULL>(stats_.incarnations_fenced),
+          static_cast<ULL>(stats_.tombstones_reaped));
   }
   if (config_.adaptive) {
     dumpf(out,

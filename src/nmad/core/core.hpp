@@ -263,8 +263,22 @@ class Core final : public ITransferFleet, private IEngine {
  private:
   // IEngine (the services layers call back into the façade for).
   void fail_gate(Gate& gate, const util::Status& status) override;
+  void peer_unreachable(Gate& gate) override;
   void cancel_deadline(Request* req) override;
   void validate_tick() override { validate_invariants(); }
+
+  // Peer lifecycle (CoreConfig::peer_lifecycle). The death-grace timer
+  // armed by peer_unreachable lands here; a grace that expires with every
+  // rail still down declares the peer dead (kPeerDead unwind + kPeerDied
+  // event, heartbeats kept flowing). Heartbeat chunks pass through
+  // on_peer_heartbeat before the rail health machinery: beacons from a
+  // previous incarnation are fenced (return false), a bumped incarnation
+  // unwinds the old life, and a current-incarnation beacon on a live
+  // rail re-opens a peer-dead gate with fresh sequence/credit state.
+  void on_peer_grace(Gate& gate);
+  void declare_peer_dead(Gate& gate, const char* why);
+  bool on_peer_heartbeat(Gate& gate, RailIndex rail, const WireChunk& chunk);
+  void rejoin_gate(Gate& gate);
 
   // The packet hub: decodes one arrived packet and dispatches each chunk
   // to the layer that owns its state.

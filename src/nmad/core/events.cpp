@@ -30,6 +30,10 @@ const char* event_kind_name(EventKind kind) {
       return "spray-frag-rx";
     case EventKind::kReassembled:
       return "reassembled";
+    case EventKind::kPeerDied:
+      return "peer-died";
+    case EventKind::kPeerRejoined:
+      return "peer-rejoined";
   }
   return "?";
 }
@@ -77,6 +81,12 @@ void EventBus::publish(Event ev) {
         break;
       case EventKind::kReassembled:
         ++stats_->ev_reassembled;
+        break;
+      case EventKind::kPeerDied:
+        ++stats_->ev_peer_died;
+        break;
+      case EventKind::kPeerRejoined:
+        ++stats_->ev_peer_rejoined;
         break;
     }
   }

@@ -46,9 +46,13 @@ enum class EventKind : uint8_t {
   kSprayReissued,      // suspect-rail failover re-issued an in-flight frag
   kSprayFragRx,        // a spray fragment reached the reassembly buffer
   kReassembled,        // a sprayed message completed reassembly
+  // Peer lifecycle. Operand encoding: a = peer incarnation known at the
+  // transition, b = in-flight ops unwound (kPeerDied only).
+  kPeerDied,           // every rail to the peer stayed dead past the grace
+  kPeerRejoined,       // a fresh-incarnation beacon re-opened the gate
 };
 
-inline constexpr size_t kEventKindCount = 11;
+inline constexpr size_t kEventKindCount = 13;
 
 const char* event_kind_name(EventKind kind);
 

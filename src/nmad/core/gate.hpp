@@ -154,13 +154,19 @@ struct GateCollect {
   std::map<MsgKey, UnexpectedMsg> unexpected;
   std::map<uint64_t, RdvRecv> rdv_recv;  // cookie → in-flight bulk receive
   std::map<MsgKey, SprayRecv> spray_recv;  // in-flight spray reassemblies
+  // Tombstones, garbage-collected behind the ack-floor watermark: each
+  // entry records the receive floor at creation, and is reaped once the
+  // floor has advanced a full reliability window past it — any packet
+  // that could still reference the key is a duplicate below the floor by
+  // then, suppressed before chunk processing.
+  //
   // Completed spray reassemblies: a fragment arriving after completion
   // (retransmitted or fenced twin in flight) is dropped as a late
-  // straggler rather than re-opened. Pruned at gate teardown.
-  std::set<MsgKey> spray_done;
+  // straggler rather than re-opened.
+  std::map<MsgKey, uint32_t> spray_done;
   // Receiver side: message keys whose receive was cancelled; payload that
   // arrives later is dropped instead of parked as unexpected.
-  std::set<MsgKey> cancelled_recv;
+  std::map<MsgKey, uint32_t> cancelled_recv;
 };
 
 // Scheduling-layer state: the optimization window, rendezvous send
@@ -175,8 +181,9 @@ struct GateSched {
   std::map<uint64_t, BulkJob*> rdv_wait_cts;  // parked until CTS
   // Sender side: rendezvous cookies withdrawn by cancel(); a late CTS for
   // one of these is silently dropped instead of tripping the unknown-
-  // cookie assert.
-  std::set<uint64_t> cancelled_rdv;
+  // cookie assert. Tombstone: keyed to the receive floor at creation and
+  // reaped behind the ack-floor watermark (see GateCollect).
+  std::map<uint64_t, uint32_t> cancelled_rdv;
 
   // ---- reliability (CoreConfig::reliability only) ----------------------
   // Send side: sliding window of unacked packets / bulk slices, plus the
@@ -198,7 +205,9 @@ struct GateSched {
   simnet::EventId ack_timer = 0;
   bool ack_timer_armed = false;
   std::vector<BulkAck> pending_bulk_acks;  // deposited slices to ack
-  std::set<uint64_t> completed_bulk;       // fully-received rdv cookies
+  // Fully-received rdv cookies (late slices re-acked, not asserted).
+  // Tombstone: reaped behind the ack-floor watermark like cancelled_rdv.
+  std::map<uint64_t, uint32_t> completed_bulk;
 
   // ---- flow control (CoreConfig::flow_control only) --------------------
   // Sender view: cumulative eager traffic charged so far versus the
@@ -248,6 +257,17 @@ struct Gate {
   // this status from then on.
   bool failed = false;
   util::Status fail_status = util::ok_status();
+
+  // Peer lifecycle (CoreConfig::peer_lifecycle; owned by the façade).
+  // `peer_dead` marks a gate failed *because the peer was declared dead*:
+  // heartbeats still flow so a restarted peer can announce itself, and a
+  // fresh-incarnation beacon on a live rail re-opens the gate.
+  // `peer_incarnation` is the highest incarnation heard from the peer;
+  // packets announcing a lower one are from a previous life and fenced.
+  bool peer_dead = false;
+  uint32_t peer_incarnation = 0;
+  simnet::EventId peer_grace_timer = 0;
+  bool peer_grace_armed = false;
 
   [[nodiscard]] bool has_rail(RailIndex rail) const {
     for (RailIndex r : rails) {

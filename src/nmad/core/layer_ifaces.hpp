@@ -53,6 +53,11 @@ class IEngine {
  public:
   virtual ~IEngine() = default;
   virtual void fail_gate(Gate& gate, const util::Status& status) = 0;
+  // The last alive rail to this gate's peer just died. Under
+  // peer_lifecycle the façade arms the death-grace timer (declaring the
+  // peer dead if no rail revives in time); otherwise it fails the gate
+  // immediately, the pre-lifecycle behavior.
+  virtual void peer_unreachable(Gate& gate) = 0;
   virtual void cancel_deadline(Request* req) = 0;
   virtual void validate_tick() = 0;
 };
@@ -137,6 +142,12 @@ class ISchedule {
   virtual void kick() = 0;
 
   // Receive-side services.
+  // The reliability receive floor, exposed as the tombstone-GC watermark:
+  // any packet seq a reliability window below it can only be a suppressed
+  // duplicate, so tombstones created that long ago are reapable. The
+  // collect layer reads this through the seam (it may not touch
+  // Gate::sched) to GC its own cancelled_recv / spray_done maps.
+  [[nodiscard]] virtual uint32_t recv_watermark(const Gate& gate) const = 0;
   virtual void note_heard(Gate& gate, RailIndex rail) = 0;
   virtual void note_eager_heard(Gate& gate, size_t payload_bytes) = 0;
   virtual void queue_bulk_ack(Gate& gate, const BulkAck& ack) = 0;

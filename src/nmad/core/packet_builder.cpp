@@ -68,8 +68,9 @@ const util::SegmentVec& PacketBuilder::finalize() {
         encode_credit(w, chunk->credit_bytes, chunk->credit_chunks);
         break;
       case ChunkKind::kHeartbeat:
-        // The rail epoch rides the seq field, like the ack floor does.
-        encode_heartbeat(w, chunk->flags, chunk->seq);
+        // The rail epoch rides the seq field, like the ack floor does;
+        // the node incarnation reuses the epoch field.
+        encode_heartbeat(w, chunk->flags, chunk->seq, chunk->epoch);
         break;
       case ChunkKind::kSprayFrag:
         encode_spray_frag_header(w, chunk->flags, chunk->tag, chunk->seq,

@@ -31,7 +31,11 @@ ScheduleLayer::ScheduleLayer(EngineContext& ctx, ITransferFleet& fleet,
       strategy_(std::move(strategy)),
       // Rendezvous cookies embed the node id so sinks posted on a shared
       // receiver NIC never collide across senders.
-      next_cookie_((static_cast<uint64_t>(ctx.node.id()) + 1) << 48) {}
+      next_cookie_((static_cast<uint64_t>(ctx.node.id()) + 1) << 48),
+      // Seeded per node so the decorrelated backoff draws are replayable
+      // yet distinct across peers — the whole point of the jitter.
+      jitter_state_(0x9E3779B97F4A7C15ull ^
+                    (static_cast<uint64_t>(ctx.node.id()) + 1)) {}
 
 void ScheduleLayer::add_rail_slot() { rails_.emplace_back(); }
 
@@ -693,11 +697,41 @@ bool ScheduleLayer::rx_register(Gate& gate, uint32_t seq) {
   GateSched& s = gate.sched;
   if (seq < s.recv_floor || s.recv_seen.count(seq) != 0) return true;
   s.recv_seen.insert(seq);
+  const uint32_t old_floor = s.recv_floor;
   while (s.recv_seen.count(s.recv_floor) != 0) {
     s.recv_seen.erase(s.recv_floor);
     ++s.recv_floor;
   }
+  // A floor advance is the tombstone-GC trigger: any packet that could
+  // still reference a key recorded a full reliability window below the
+  // new floor is a duplicate suppressed right here, before the chunks
+  // that would consult the tombstone are ever decoded.
+  if (s.recv_floor != old_floor) reap_sched_tombstones(gate);
   return false;
+}
+
+uint32_t ScheduleLayer::recv_watermark(const Gate& gate) const {
+  return gate.sched.recv_floor;
+}
+
+void ScheduleLayer::reap_sched_tombstones(Gate& gate) {
+  GateSched& s = gate.sched;
+  const uint32_t floor = s.recv_floor;
+  const auto win = static_cast<uint32_t>(ctx_.config.reliability_window);
+  uint64_t reaped = 0;
+  const auto reap = [&](auto& tombs) {
+    for (auto it = tombs.begin(); it != tombs.end();) {
+      if (floor - it->second >= win && it->second <= floor) {
+        it = tombs.erase(it);
+        ++reaped;
+      } else {
+        ++it;
+      }
+    }
+  };
+  reap(s.cancelled_rdv);
+  reap(s.completed_bulk);
+  ctx_.stats.tombstones_reaped += reaped;
 }
 
 OutChunk* ScheduleLayer::make_ack_chunk(Gate& gate) {
@@ -889,6 +923,24 @@ void ScheduleLayer::arm_bulk_timer(Gate& gate, const BulkKey& key) {
       p.timeout_us, [this, gid, key]() { on_bulk_timeout(gid, key); });
 }
 
+double ScheduleLayer::backoff_growth() {
+  const double growth = ctx_.config.retry_backoff;
+  if (!ctx_.config.backoff_jitter) return growth;
+  // xorshift64* — cheap, allocation-free, and seeded per node, so a
+  // replayed schedule draws the identical jitter sequence.
+  uint64_t x = jitter_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  jitter_state_ = x;
+  const double u =
+      static_cast<double>((x * 0x2545F4914F6CDD1Dull) >> 11) /
+      9007199254740992.0;  // uniform in [0, 1)
+  // Scale into [0.5, 1.5) of the configured factor, clamped so a jittered
+  // timeout never shrinks — backoff must stay monotone per entry.
+  return std::max(1.0, growth * (0.5 + u));
+}
+
 void ScheduleLayer::on_packet_timeout(GateId gate_id, uint32_t seq) {
   Gate& g = gate_ref(gate_id);
   if (g.failed) return;
@@ -911,7 +963,7 @@ void ScheduleLayer::on_packet_timeout(GateId gate_id, uint32_t seq) {
     return;
   }
   ++p.retries;
-  p.timeout_us *= ctx_.config.retry_backoff;
+  p.timeout_us *= backoff_growth();
   p.queued_retx = true;
   g.sched.retx_queue.push_back(seq);
   kick();
@@ -938,7 +990,7 @@ void ScheduleLayer::on_bulk_timeout(GateId gate_id, BulkKey key) {
     return;
   }
   ++p.retries;
-  p.timeout_us *= ctx_.config.retry_backoff;
+  p.timeout_us *= backoff_growth();
   p.queued_retx = true;
   g.sched.bulk_retx.push_back(key);
   kick();
@@ -1019,7 +1071,7 @@ void ScheduleLayer::queue_bulk_ack(Gate& gate, const BulkAck& ack) {
 }
 
 void ScheduleLayer::note_bulk_completed(Gate& gate, uint64_t cookie) {
-  gate.sched.completed_bulk.insert(cookie);
+  gate.sched.completed_bulk.emplace(cookie, gate.sched.recv_floor);
 }
 
 void ScheduleLayer::on_bulk_orphan(Gate& gate, uint64_t cookie, size_t offset,
@@ -1398,7 +1450,7 @@ bool ScheduleLayer::cancel_send(Gate& gate, SendRequest* req,
   for (BulkJob* job : jobs) {
     // A CTS may already be on its way: tombstone the cookie so the grant
     // is swallowed instead of tripping the unknown-cookie assert.
-    s.cancelled_rdv.insert(job->cookie);
+    s.cancelled_rdv.emplace(job->cookie, s.recv_floor);
     s.rdv_wait_cts.erase(job->cookie);
     remove_window_rts(gate, job->cookie);
     drop_bulk_job(gate, job);
@@ -1561,7 +1613,33 @@ void ScheduleLayer::on_rail_dead(RailIndex rail) {
       }
     }
     if (!any_alive) {
-      engine_.fail_gate(g, util::closed("all rails to peer unreachable"));
+      // Park this rail's in-flight traffic in the retx queues (entries on
+      // the other rails were parked when those rails died). With no rail
+      // to elect onto the queues cannot drain, but crucially no retransmit
+      // timer keeps ticking toward the retry limit while the fate of the
+      // peer is undecided.
+      for (auto& [seq, p] : g.sched.pending_pkts) {
+        if (p.last_rail != rail || p.queued_retx) continue;
+        if (p.timer_armed) {
+          ctx_.world.cancel(p.timer);
+          p.timer_armed = false;
+        }
+        p.queued_retx = true;
+        g.sched.retx_queue.push_back(seq);
+      }
+      for (auto& [key, p] : g.sched.pending_bulk) {
+        if (p.last_rail != rail || p.queued_retx) continue;
+        if (p.timer_armed) {
+          ctx_.world.cancel(p.timer);
+          p.timer_armed = false;
+        }
+        p.queued_retx = true;
+        g.sched.bulk_retx.push_back(key);
+      }
+      // The façade decides what "unreachable" means: under the peer
+      // lifecycle it arms the death grace (a rail may yet revive);
+      // otherwise it fails the gate immediately as before.
+      engine_.peer_unreachable(g);
       continue;
     }
 
@@ -2029,6 +2107,22 @@ void ScheduleLayer::check_gate(const Gate& gate,
            "floor %u",
            gate.id, *s.recv_seen.begin(), s.recv_floor);
     }
+    // Tombstones stay bounded by the GC watermark: every surviving entry
+    // was created less than a reliability window below the current floor
+    // (rx_register reaps the rest whenever the floor advances).
+    const auto check_tombs = [&](const char* what, const auto& tombs) {
+      for (const auto& [key, born] : tombs) {
+        if (born > s.recv_floor ||
+            s.recv_floor - born > ctx_.config.reliability_window) {
+          addf(out,
+               "gate %u: %s tombstone (key %llu) born at floor %u "
+               "outlived the watermark (floor now %u)",
+               gate.id, what, static_cast<ULL>(key), born, s.recv_floor);
+        }
+      }
+    };
+    check_tombs("cancelled_rdv", s.cancelled_rdv);
+    check_tombs("completed_bulk", s.completed_bulk);
   } else if (!s.pending_pkts.empty() || !s.pending_bulk.empty() ||
              !s.retx_queue.empty() || !s.bulk_retx.empty()) {
     addf(out, "gate %u: reliability state without the reliability layer",

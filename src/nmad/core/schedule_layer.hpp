@@ -58,6 +58,7 @@ class ScheduleLayer final : public ISchedule, public IPacketIssuer {
   [[nodiscard]] bool credit_wants_rdv(const Gate& gate,
                                       size_t block_bytes) const override;
   void kick() override;
+  [[nodiscard]] uint32_t recv_watermark(const Gate& gate) const override;
   void note_heard(Gate& gate, RailIndex rail) override;
   void note_eager_heard(Gate& gate, size_t payload_bytes) override;
   void queue_bulk_ack(Gate& gate, const BulkAck& ack) override;
@@ -196,6 +197,16 @@ class ScheduleLayer final : public ISchedule, public IPacketIssuer {
   void spray_job(Gate& gate, BulkJob* job);
 
   // Reliability -------------------------------------------------------------
+  // The multiplicative retransmit-backoff growth for one timeout. With
+  // CoreConfig::backoff_jitter the configured factor is scaled by a
+  // deterministic per-node draw in [0.5, 1.5) (decorrelated backoff):
+  // peers whose timers fired in lockstep — the thundering herd after a
+  // shared blackout — spread their retries instead of colliding again.
+  [[nodiscard]] double backoff_growth();
+  // Reaps this layer's tombstones (cancelled_rdv, completed_bulk) whose
+  // creation-time floor has fallen a full reliability window behind the
+  // current receive floor; called when rx_register advances the floor.
+  void reap_sched_tombstones(Gate& gate);
   OutChunk* make_ack_chunk(Gate& gate);
   void commit_ack_chunk(Gate& gate, OutChunk* ack);
   void maybe_inject_ack(Gate& gate, PacketBuilder& builder);
@@ -232,6 +243,7 @@ class ScheduleLayer final : public ISchedule, public IPacketIssuer {
   std::unique_ptr<Strategy> strategy_;
   std::vector<RailSched> rails_;
   uint64_t next_cookie_;
+  uint64_t jitter_state_;  // xorshift state for decorrelated backoff
   uint32_t skip_credit_charges_ = 0;  // test hook: drop upcoming charges
 };
 

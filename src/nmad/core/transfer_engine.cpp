@@ -256,6 +256,10 @@ OutChunk* TransferEngine::make_heartbeat_chunk(uint8_t flags,
   hb->flags = flags;
   hb->tag = 0;
   hb->seq = epoch;  // the rail epoch rides the seq field
+  // The node incarnation rides alongside: every beacon/probe/reply
+  // announces which life of this node it belongs to, so a peer can fence
+  // stragglers from before a crash (peer lifecycle).
+  hb->epoch = ctx_.node.incarnation();
   hb->prio = Priority::kHigh;
   hb->owner = nullptr;
   return hb;
@@ -362,7 +366,9 @@ void TransferEngine::on_health_tick() {
           now - last_probe_us_ >= ctx_.config.probe_interval_us) {
         for (auto& gate_ptr : ctx_.gates) {
           Gate& g = *gate_ptr;
-          if (g.failed || !g.has_rail(index_)) continue;
+          // Peer-dead gates keep beaconing/probing: the restarted peer's
+          // fresh-incarnation heartbeat is the rejoin signal.
+          if ((g.failed && !g.peer_dead) || !g.has_rail(index_)) continue;
           last_probe_us_ = now;
           rtt_probe_pending_ = true;
           send_standalone_heartbeat(g, kFlagProbe, epoch_);
@@ -378,7 +384,7 @@ void TransferEngine::on_health_tick() {
         double stalest_at = 0.0;
         for (auto& gate_ptr : ctx_.gates) {
           Gate& g = *gate_ptr;
-          if (g.failed || !g.has_rail(index_)) continue;
+          if ((g.failed && !g.peer_dead) || !g.has_rail(index_)) continue;
           const double at = hb_tx_slot(g.id);
           if (stalest == nullptr || at < stalest_at) {
             stalest = &g;
@@ -405,10 +411,11 @@ void TransferEngine::on_health_tick() {
         driver_->tx_idle()) {
       last_probe_us_ = now;
       // Any peer's reply is proof the local link works; probe the first
-      // live gate on the rail.
+      // live gate on the rail (peer-dead gates count — reviving the rail
+      // is the first leg of the rejoin handshake).
       for (auto& gate_ptr : ctx_.gates) {
         Gate& g = *gate_ptr;
-        if (g.failed || !g.has_rail(index_)) continue;
+        if ((g.failed && !g.peer_dead) || !g.has_rail(index_)) continue;
         send_standalone_heartbeat(g, kFlagProbe, epoch_);
         break;
       }
@@ -426,7 +433,7 @@ void TransferEngine::handle_heartbeat(Gate& gate, const WireChunk& chunk) {
     // traffic; echo its epoch back so the prober can fence replies that
     // straddle a further death. Replying is best-effort — the prober
     // retries on its own schedule.
-    if (!gate.failed && driver_->tx_idle()) {
+    if ((!gate.failed || gate.peer_dead) && driver_->tx_idle()) {
       send_standalone_heartbeat(gate, kFlagReply, chunk.seq);
     }
     return;

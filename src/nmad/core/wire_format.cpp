@@ -77,10 +77,12 @@ void encode_credit(util::WireWriter& w, uint64_t credit_bytes,
   w.u64(credit_chunks);
 }
 
-void encode_heartbeat(util::WireWriter& w, uint8_t flags, uint32_t epoch) {
+void encode_heartbeat(util::WireWriter& w, uint8_t flags, uint32_t epoch,
+                      uint32_t incarnation) {
   // Heartbeats cover one rail of the whole gate: tag is unused and the
   // seq field carries the rail epoch (kAck precedent for reusing seq).
   encode_common(w, ChunkKind::kHeartbeat, flags, /*tag=*/0, epoch);
+  w.u32(incarnation);
 }
 
 void encode_spray_frag_header(util::WireWriter& w, uint8_t flags, Tag tag,

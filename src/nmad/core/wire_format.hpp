@@ -58,9 +58,11 @@ inline constexpr size_t kAckSackBytes = 4;
 inline constexpr size_t kAckBulkBytes = 8 + 4 + 4;
 // Common header + u64 cumulative byte limit + u64 cumulative chunk limit.
 inline constexpr size_t kCreditHeaderBytes = 1 + 1 + 8 + 4 + 8 + 8;
-// Just the common header: the rail epoch rides in the seq field and the
-// probe/reply role in the chunk flags, so a heartbeat costs 14 bytes.
-inline constexpr size_t kHeartbeatHeaderBytes = 1 + 1 + 8 + 4;
+// Common header + u32 node incarnation: the rail epoch rides in the seq
+// field and the probe/reply role in the chunk flags, so a heartbeat costs
+// 18 bytes. The incarnation fences whole previous lives of the sending
+// node the way the epoch fences previous lives of one rail.
+inline constexpr size_t kHeartbeatHeaderBytes = 1 + 1 + 8 + 4 + 4;
 // Common header + u32 len + u32 offset + u32 total + u32 frag_seq +
 // u32 epoch, then the inline payload.
 inline constexpr size_t kSprayFragHeaderBytes = 1 + 1 + 8 + 4 + 4 + 4 + 4 + 4 + 4;
@@ -123,7 +125,9 @@ void encode_credit(util::WireWriter& w, uint64_t credit_bytes,
                    uint64_t credit_chunks);
 // `epoch` is the sender's current epoch for the rail the heartbeat rides
 // (or, on kFlagReply, the echoed probe epoch); it travels in `seq`.
-void encode_heartbeat(util::WireWriter& w, uint8_t flags, uint32_t epoch);
+// `incarnation` is the sending node's crash/restart count.
+void encode_heartbeat(util::WireWriter& w, uint8_t flags, uint32_t epoch,
+                      uint32_t incarnation);
 void encode_spray_frag_header(util::WireWriter& w, uint8_t flags, Tag tag,
                               SeqNum seq, uint32_t len, uint32_t offset,
                               uint32_t total, uint32_t frag_seq,
@@ -227,7 +231,10 @@ util::Status decode_packet(util::ConstBytes packet, PacketMeta* meta,
         chunk.credit_chunks = r.u64();
         break;
       case ChunkKind::kHeartbeat:
-        break;  // epoch is in `seq`; no kind-specific fields
+        // The rail epoch is in `seq`; the node incarnation reuses the
+        // `epoch` field (no other chunk kind carries both).
+        chunk.epoch = r.u32();
+        break;
       case ChunkKind::kSprayFrag:
         chunk.len = r.u32();
         chunk.offset = r.u32();

@@ -31,4 +31,16 @@ RailIndex Fabric::add_rail(const NicProfile& profile) {
   return rail;
 }
 
+void Fabric::set_node_crashes(NodeId node,
+                              const std::vector<FaultWindow>& windows) {
+  NMAD_ASSERT(node < nodes_.size());
+  SimNode& n = *nodes_[node];
+  NMAD_ASSERT_MSG(!n.nics_.empty(), "node crash scheduled before any rail");
+  for (auto& nic : n.nics_) {
+    nic->add_blackouts(windows);
+  }
+  n.crash_windows_.insert(n.crash_windows_.end(), windows.begin(),
+                          windows.end());
+}
+
 }  // namespace nmad::simnet

@@ -18,7 +18,7 @@ namespace nmad::simnet {
 class SimNode {
  public:
   SimNode(SimWorld& world, NodeId id, CpuProfile cpu_profile)
-      : id_(id), cpu_(world, cpu_profile) {}
+      : world_(world), id_(id), cpu_(world, cpu_profile) {}
 
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] CpuModel& cpu() { return cpu_; }
@@ -29,11 +29,26 @@ class SimNode {
     return *nics_[rail];
   }
 
+  // The node's crash/restart count: how many scheduled crash windows have
+  // fully elapsed by the current virtual time. Evaluated lazily off the
+  // windows installed by Fabric::set_node_crashes, so a "restart" needs
+  // no timer — the engine reads the bumped incarnation the first time it
+  // beacons after the window ends. Deterministic by construction.
+  [[nodiscard]] uint32_t incarnation() const {
+    uint32_t n = 0;
+    for (const FaultWindow& w : crash_windows_) {
+      if (w.end_us <= world_.now()) ++n;
+    }
+    return n;
+  }
+
  private:
   friend class Fabric;
+  SimWorld& world_;
   NodeId id_;
   CpuModel cpu_;
   std::vector<std::unique_ptr<SimNic>> nics_;
+  std::vector<FaultWindow> crash_windows_;
 };
 
 class Fabric {
@@ -48,6 +63,12 @@ class Fabric {
 
   // Adds one NIC of `profile` to every node and wires them all together.
   RailIndex add_rail(const NicProfile& profile);
+
+  // Schedules whole-node crash windows: every NIC of `node` goes dark
+  // atomically for each window (blackouts appended to the per-rail fault
+  // profile at both ends of the physics), and the node's incarnation is
+  // one higher after each window ends. Call after every add_rail().
+  void set_node_crashes(NodeId node, const std::vector<FaultWindow>& windows);
 
   [[nodiscard]] SimWorld& world() { return world_; }
   [[nodiscard]] size_t node_count() const { return nodes_.size(); }

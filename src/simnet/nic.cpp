@@ -126,7 +126,10 @@ void SimNic::send_frame(NodeId dst, util::ConstBytes bytes,
   frame.src_node = node_;
   frame.rail = rail_;
   frame.bytes.append(bytes);
-  if (profile_.fault.any() &&
+  // The fault dice live on the sender, but the receiver's blackouts
+  // (node-crash windows land only on the crashed node's NICs) must drop
+  // inbound frames too — consult both profiles before skipping the check.
+  if ((profile_.fault.any() || dest->profile_.fault.any()) &&
       apply_faults(dest, arrival, &frame.bytes, /*bulk=*/false)) {
     return;  // lost on the wire
   }
@@ -163,7 +166,7 @@ void SimNic::send_bulk(NodeId dst, uint64_t cookie, size_t offset,
 
   util::ByteBuffer copy;
   copy.append(bytes);
-  if (profile_.fault.any() &&
+  if ((profile_.fault.any() || dest->profile_.fault.any()) &&
       apply_faults(dest, arrival, &copy, /*bulk=*/true)) {
     return;  // lost on the wire
   }
@@ -179,7 +182,13 @@ void SimNic::send_bulk(NodeId dst, uint64_t cookie, size_t offset,
     for (SimTime at = first_byte + kBulkActivityPeriodUs; at < arrival;
          at += kBulkActivityPeriodUs) {
       world_.at(at, [dest, src]() {
-        if (dest->bulk_rx_) dest->bulk_rx_(src);
+        // A dark receiver hears nothing, activity pings included — a
+        // ping landing inside a blackout window must not refresh the
+        // rail's liveness (checked at fire time: node-crash windows can
+        // be installed after the stream launched).
+        if (dest->bulk_rx_ && !dest->in_blackout(dest->world_.now())) {
+          dest->bulk_rx_(src);
+        }
       });
     }
   }

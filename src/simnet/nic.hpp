@@ -229,11 +229,27 @@ class SimNic {
     profile_.fault.blackouts = std::move(windows);
   }
 
+  // Appends blackout windows to the existing set (node-crash injection
+  // darkens every NIC of a node on top of whatever per-rail windows the
+  // fault profile already scheduled).
+  void add_blackouts(const std::vector<FaultWindow>& windows) {
+    profile_.fault.blackouts.insert(profile_.fault.blackouts.end(),
+                                    windows.begin(), windows.end());
+  }
+
   // Gray-failure knobs, installed post-construction like the windows
   // above: persistent elevated drop, intermittent flaky windows, and a
   // bandwidth throttle — degraded-but-beaconing shapes for the adaptive
   // election loop to detect and route around.
   void set_frame_drop_prob(double p) { profile_.fault.frame_drop_prob = p; }
+  // Adaptive-routing jitter, installable mid-run like the knobs above.
+  // Per-NIC (not per-rail-pair), so a harness can delay one node's
+  // outbound frames only — the shape that strands a crashed node's
+  // previous-life beacons on the wire past its own restart.
+  void set_reorder(double prob, double jitter_max_us) {
+    profile_.fault.reorder_prob = prob;
+    profile_.fault.jitter_max_us = jitter_max_us;
+  }
   void set_flaky(double drop_prob, std::vector<FaultWindow> windows) {
     profile_.fault.flaky_drop_prob = drop_prob;
     profile_.fault.flaky = std::move(windows);

@@ -18,6 +18,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kClosed: return "closed";
     case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::kPeerDead: return "peer-dead";
   }
   return "unknown";
 }
@@ -67,6 +68,9 @@ Status cancelled(std::string msg) {
 }
 Status deadline_exceeded(std::string msg) {
   return {StatusCode::kDeadlineExceeded, std::move(msg)};
+}
+Status peer_dead(std::string msg) {
+  return {StatusCode::kPeerDead, std::move(msg)};
 }
 
 }  // namespace nmad::util

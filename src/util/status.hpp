@@ -28,6 +28,7 @@ enum class StatusCode : int {
   kClosed,          // endpoint / driver already shut down
   kCancelled,       // request withdrawn by the application (MPI_Cancel)
   kDeadlineExceeded,  // request deadline expired before completion
+  kPeerDead,          // the remote peer was declared dead (node crash)
 };
 
 // Human-readable name of a status code ("ok", "invalid-argument", ...).
@@ -78,6 +79,7 @@ Status would_block();
 Status closed(std::string msg);
 Status cancelled(std::string msg);
 Status deadline_exceeded(std::string msg);
+Status peer_dead(std::string msg);
 
 // Minimal expected/result type: either a value or a non-ok Status.
 template <typename T>

@@ -30,7 +30,7 @@ int usage() {
       stderr,
       "usage: explorer --seed=S [--ops=L] [--sweep=N] [--ranks=R]\n"
       "                [--fault=none|drops|flips|blackout|rx-pause|mixed|"
-      "reorder|rail-flap|spray-reorder|gray-rail]\n"
+      "reorder|rail-flap|spray-reorder|gray-rail|peer-crash]\n"
       "                [--inject=skip-credit-charge] [--verbose]\n"
       "  --ranks=R   override the seed-drawn 2..3-rank topology (R >= 2);\n"
       "              large R runs on a lazy gate mesh\n");

@@ -24,12 +24,12 @@ namespace {
 const char* const kStrategies[] = {"default", "aggreg", "aggreg_extended",
                                    "split_balance"};
 
-// kRailFlap, kSprayReorder and kGrayRail are never drawn from the seed
-// (they reshape the whole plan); they are selected with
+// kRailFlap, kSprayReorder, kGrayRail and kPeerCrash are never drawn
+// from the seed (they reshape the whole plan); they are selected with
 // ExplorerOptions::force_fault only.
 enum class FaultKind {
   kNone, kDrops, kFlips, kBlackout, kRxPause, kMixed, kReorder,
-  kRailFlap, kSprayReorder, kGrayRail
+  kRailFlap, kSprayReorder, kGrayRail, kPeerCrash
 };
 constexpr size_t kDrawnFaultKinds = 7;  // kNone..kReorder
 
@@ -45,12 +45,13 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kRailFlap: return "rail-flap";
     case FaultKind::kSprayReorder: return "spray-reorder";
     case FaultKind::kGrayRail: return "gray-rail";
+    case FaultKind::kPeerCrash: return "peer-crash";
   }
   return "?";
 }
 
 bool fault_kind_from_name(const std::string& name, FaultKind* out) {
-  for (int k = 0; k <= static_cast<int>(FaultKind::kGrayRail); ++k) {
+  for (int k = 0; k <= static_cast<int>(FaultKind::kPeerCrash); ++k) {
     if (name == fault_kind_name(static_cast<FaultKind>(k))) {
       *out = static_cast<FaultKind>(k);
       return true;
@@ -92,6 +93,12 @@ struct Plan {
   std::vector<simnet::NicProfile> rail_profiles;
   std::vector<Message> messages;
   std::vector<Op> ops;
+  // kPeerCrash only: the whole-node crash is injected at run time, after
+  // the seed-drawn schedule has quiesced, so the dark window always lands
+  // on live crash-phase traffic whatever virtual time the prefix took.
+  bool crash_rejoins = false;   // window ends (rejoin) vs never ends
+  double crash_delay_us = 0.0;  // dark starts this long after injection
+  double crash_len_us = 0.0;    // dark length for the rejoin variant
 };
 
 // Eager/rendezvous straddle: MX threshold is 32 KiB, the override (when
@@ -200,6 +207,8 @@ Plan make_plan(const ExplorerOptions& opts) {
       break;  // shaped below: the blackouts land on rail 1 only
     case FaultKind::kGrayRail:
       break;  // shaped below: the gray shape lands on rail 1 only
+    case FaultKind::kPeerCrash:
+      break;  // shaped below: the wire stays clean, the crash IS the fault
   }
   // Health thresholds below are tuned for the seed-drawn 2..3-rank
   // shapes. Under --ranks=N the schedule posts thousands of messages and
@@ -270,6 +279,34 @@ Plan make_plan(const ExplorerOptions& opts) {
     // rail inflates RTT at large rank counts.
     cfg.degraded_latency_enter_us = 400.0 * hs;
     cfg.degraded_latency_exit_us = 200.0 * hs;
+  }
+  if (plan.fault == FaultKind::kPeerCrash) {
+    // Whole-node crash: every NIC on node 1 goes dark atomically (the
+    // runner injects the window after the seed-drawn prefix quiesces).
+    // Rail health is per-NIC silence, so peer death — "no alive rail to
+    // the peer remains" — is only unambiguous with a single peer: force
+    // two ranks. Both rails to the peer must die for the grace timer to
+    // declare death, which is exactly what the node-wide blackout does.
+    plan.nodes = 2;
+    plan.rails = 2;
+    cfg.peer_lifecycle = true;
+    cfg.rail_health = true;
+    cfg.heartbeat_interval_us = 50.0;
+    cfg.suspect_after_us = 150.0;
+    cfg.dead_after_us = 300.0;
+    cfg.probe_interval_us = 100.0;
+    cfg.probation_replies = 2;
+    cfg.peer_death_grace_us = 150.0;
+    // Rendezvous bodies (and, on half the seeds, per-packet spray) keep
+    // multi-chunk transfers in flight when the node goes dark, so the
+    // unwind covers mid-rendezvous and mid-spray state, not just eager.
+    cfg.rdv_threshold_override = 4096;
+    if (rng.next_bool(0.5)) cfg.spray = true;
+    plan.crash_rejoins = rng.next_bool(0.6);
+    plan.crash_delay_us = 30.0 + static_cast<double>(rng.next_below(120));
+    // The dark window must outlast dead_after + peer_death_grace by a
+    // wide margin so death is always declared before the restart.
+    plan.crash_len_us = 900.0 + rng.next_double() * 900.0;
   }
   for (size_t r = 0; r < plan.rails; ++r) {
     simnet::NicProfile p = simnet::mx_myri10g_profile();
@@ -573,6 +610,8 @@ class Runner {
     constexpr size_t kEventCap = 4'000'000;
     if (!plan_.config.rail_health) {
       while (events < kEventCap && cluster_->world().run_one()) ++events;
+    } else if (plan_.fault == FaultKind::kPeerCrash) {
+      run_peer_crash(events, kEventCap);
     } else {
       // The heartbeat timers re-arm forever, so the world never goes
       // quiescent on its own. Pump until the workload is done and the
@@ -644,7 +683,12 @@ class Runner {
         m.recv = nullptr;
       }
     }
-    oracle_.finalize(*cluster_, /*allow_gate_failures=*/false);
+    // A terminal crash leaves the gate pair dead on purpose; every other
+    // plan (including crash-then-rejoin, whose gates re-opened) must end
+    // with healthy gates.
+    oracle_.finalize(*cluster_, /*allow_gate_failures=*/plan_.fault ==
+                                    FaultKind::kPeerCrash &&
+                                !plan_.crash_rejoins);
     if (!oracle_.ok()) {
       // Oracle violations always come with the engine dumps: the event-bus
       // trace at the end of each dump is the schedule's last moves in order.
@@ -781,6 +825,155 @@ class Runner {
       if (m.recv && !m.recv->done()) return false;
     }
     return true;
+  }
+
+  // Appends a message to the plan at run time (kPeerCrash phases post
+  // traffic the seed-drawn prefix never saw). Fresh tags keep the new
+  // streams disjoint from the prefix's, so the oracle's k-th-matches-k-th
+  // bookkeeping is untouched by the engine's post-rejoin sequence reset.
+  size_t add_message(int src, int dst, uint64_t tag, size_t bytes) {
+    Message m;
+    m.src = src;
+    m.dst = dst;
+    m.tag = tag;
+    m.bytes = bytes;
+    m.pattern =
+        opts_.seed ^ (plan_.messages.size() * 0x9E3779B9ull + 0xC4A5Bull);
+    plan_.messages.push_back(m);
+    live_.emplace_back();
+    return plan_.messages.size() - 1;
+  }
+
+  // kPeerCrash driver. The seed-drawn prefix has already executed and
+  // been balanced on a healthy fabric; from here the run is phased:
+  //   1. pump the prefix to completion;
+  //   2. install the node-1 dark window, post crash-phase traffic (fresh
+  //      tags, both halves, eager through rendezvous/spray sizes) so the
+  //      blackout lands mid-transfer, and drain the survivor through the
+  //      death — the quiescence audit runs against the unwind itself;
+  //   3. audit that both sides declared the peer dead;
+  //   4. rejoin variant: wait for the incarnation handshake to re-open
+  //      the gates, then prove post-rejoin traffic is exactly-once.
+  void run_peer_crash(size_t& events, size_t cap) {
+    // Phase 1: heartbeat timers re-arm forever, so pump until the
+    // workload is done rather than to world quiescence.
+    while (events < cap && cluster_->world().run_one()) {
+      ++events;
+      if (workload_done()) break;
+    }
+    // Phase 2: every NIC on node 1 goes dark at once. From here on a
+    // completion may be ok (finished before the dark) or kPeerDead.
+    const double start = cluster_->now() + plan_.crash_delay_us;
+    const double end =
+        plan_.crash_rejoins ? start + plan_.crash_len_us : 1e15;
+    cluster_->fabric().set_node_crashes(1, {{start, end}});
+    oracle_.set_allow_failures(true);
+    static constexpr size_t kCrashSizes[] = {48,    256,   4096,
+                                             8192,  32768, 150 * 1024};
+    std::vector<size_t> crash_msgs;
+    for (size_t i = 0; i < std::size(kCrashSizes); ++i) {
+      const int src = static_cast<int>(i % 2);
+      crash_msgs.push_back(add_message(src, 1 - src, 10 + i, kCrashSizes[i]));
+    }
+    for (size_t m : crash_msgs) {
+      post_send(m);
+      post_recv(m);
+    }
+    // Crash-mid-drain: the survivor starts flushing before the dark hits
+    // and must come back ok once the unwind fences the dead peer. A
+    // deadline-exceeded here means in-flight state survived the unwind.
+    const util::Status mid = cluster_->core(0).drain(
+        plan_.crash_delay_us + 30000.0);
+    if (!mid.is_ok()) {
+      oracle_.note_violation(
+          "survivor drain through the peer's death returned " +
+          mid.to_string() + " — the unwind left in-flight state behind");
+    }
+    // Phase 3: both sides must declare the peer dead (the dark node's own
+    // rails hear nothing either, so death is symmetric) and complete
+    // every crash-phase request.
+    while (events < cap && cluster_->world().run_one()) {
+      ++events;
+      if (cluster_->core(0).stats().peers_died >= 1 &&
+          cluster_->core(1).stats().peers_died >= 1 && workload_done()) {
+        break;
+      }
+    }
+    for (simnet::NodeId n = 0; n < cluster_->node_count(); ++n) {
+      if (cluster_->core(n).stats().peers_died == 0) {
+        oracle_.note_violation(
+            "node " + std::to_string(n) +
+            ": peer-crash plan but no peer death was ever declared");
+      }
+    }
+    // Quiescence audit after the unwind settled: nothing stranded.
+    const util::Status post = cluster_->core(0).drain(5000.0);
+    if (!post.is_ok()) {
+      oracle_.note_violation("survivor drain after peer death returned " +
+                             post.to_string());
+    }
+    if (plan_.crash_rejoins) {
+      // Phase 4: the restart bumped node 1's incarnation; probes revive
+      // the rails and the fenced handshake re-opens the gates.
+      while (events < cap && cluster_->world().run_one()) {
+        ++events;
+        if (cluster_->core(0).stats().peers_rejoined >= 1 &&
+            cluster_->core(1).stats().peers_rejoined >= 1) {
+          break;
+        }
+      }
+      for (simnet::NodeId n = 0; n < cluster_->node_count(); ++n) {
+        if (cluster_->core(n).stats().peers_rejoined == 0) {
+          oracle_.note_violation(
+              "node " + std::to_string(n) +
+              ": crash window ended but the gate never rejoined");
+        }
+      }
+      // Post-rejoin traffic on fresh tags: sequence and credit state
+      // restarted with the new incarnation, so these must complete ok
+      // with intact payloads (the oracle checks the checksums).
+      std::vector<size_t> rejoin_msgs;
+      for (size_t i = 0; i < std::size(kCrashSizes); ++i) {
+        const int src = static_cast<int>(i % 2);
+        rejoin_msgs.push_back(
+            add_message(src, 1 - src, 100 + i, kCrashSizes[i]));
+      }
+      for (size_t m : rejoin_msgs) {
+        post_send(m);
+        post_recv(m);
+      }
+      while (events < cap && cluster_->world().run_one()) {
+        ++events;
+        if (workload_done()) break;
+      }
+      for (size_t m : rejoin_msgs) {
+        const LiveMessage& lm = live_[m];
+        const bool send_ok =
+            lm.send && lm.send->done() && lm.send->status().is_ok();
+        const bool recv_ok =
+            lm.recv && lm.recv->done() && lm.recv->status().is_ok();
+        if (!send_ok || !recv_ok) {
+          oracle_.note_violation(
+              "post-rejoin message " + std::to_string(m) +
+              " did not complete ok — rejoin traffic is not exactly-once");
+        }
+      }
+      for (simnet::NodeId n = 0; n < cluster_->node_count(); ++n) {
+        core::Core& core = cluster_->core(n);
+        for (simnet::RailIndex r = 0;
+             r < static_cast<simnet::RailIndex>(core.rail_count()); ++r) {
+          if (!core.rail_alive(r)) {
+            oracle_.note_violation(
+                "node " + std::to_string(n) + " rail " + std::to_string(r) +
+                " still dead after the rejoin settled");
+          }
+        }
+      }
+    }
+    for (simnet::NodeId n = 0; n < cluster_->node_count(); ++n) {
+      cluster_->core(n).stop_health_monitors();
+    }
+    while (events < cap && cluster_->world().run_one()) ++events;
   }
 
   void post_send(size_t msg) {

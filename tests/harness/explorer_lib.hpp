@@ -48,7 +48,7 @@ struct ExplorerResult {
   // Plan metadata, for coverage accounting across a sweep.
   std::string strategy;
   // none|drops|flips|blackout|rx-pause|mixed|reorder|rail-flap|
-  // spray-reorder|gray-rail (the last three are force-only)
+  // spray-reorder|gray-rail|peer-crash (the last four are force-only)
   std::string fault_kind;
   size_t nodes = 0;
   size_t rails = 0;

@@ -123,9 +123,10 @@ void ProtocolOracle::recv_completed(int dst, int src, uint64_t tag,
     return;  // a withdrawal on either end is a legal outcome
   }
   if (allow_failures_ && (status.code() == util::StatusCode::kClosed ||
+                          status.code() == util::StatusCode::kPeerDead ||
                           status.code() ==
                               util::StatusCode::kResourceExhausted)) {
-    return;  // gate failure under a harsh fault schedule
+    return;  // gate failure / peer death under a harsh fault schedule
   }
   std::snprintf(buf, sizeof(buf),
                 "recv %d<-%d tag %llu #%zu completed with unexpected "

@@ -107,6 +107,43 @@ TEST(AllocChurn, ReliablePingPongIsAllocationFree) {
   expect_flat(warm, snapshot(cluster));
 }
 
+// Tombstone GC soak: completed-rendezvous and cancelled-receive
+// tombstones must be reaped once the ack floor moves past them, not
+// accumulate forever — and the reaping itself must not disturb the
+// allocation-free steady state.
+TEST(AllocChurn, TombstoneReapUnderRendezvousAndCancelSoak) {
+  ClusterOptions options;
+  options.core.reliability = true;
+  options.core.rdv_threshold_override = 4096;  // 8K pingpongs go rendezvous
+  Cluster cluster(std::move(options));
+  std::vector<std::byte> buf(8192);
+
+  auto soak_round = [&](uint64_t round) {
+    pingpong_round(cluster, buf, round);
+    // A receive that never matches, cancelled: leaves a tombstone for
+    // the reaper to collect once the window moves past its birth floor.
+    Core& b = cluster.core(1);
+    Request* orphan = b.irecv(cluster.gate(1, 0), Tag((1ull << 20) + round),
+                              util::MutableBytes{buf.data(), buf.size()});
+    EXPECT_TRUE(b.cancel(orphan));
+    ASSERT_TRUE(orphan->done());
+    b.release(orphan);
+  };
+
+  for (uint64_t r = 0; r < 64; ++r) soak_round(r);
+  const AllocSnapshot warm = snapshot(cluster);
+  for (uint64_t r = 64; r < 400; ++r) soak_round(r);
+  expect_flat(warm, snapshot(cluster));
+
+  uint64_t reaped = 0;
+  for (size_t n = 0; n < cluster.node_count(); ++n) {
+    reaped += cluster.core(static_cast<simnet::NodeId>(n))
+                  .stats()
+                  .tombstones_reaped;
+  }
+  EXPECT_GT(reaped, 0u) << "no tombstone was ever garbage-collected";
+}
+
 // 64-rank alltoall: every rank exchanges an eager message with every other
 // rank each round. After one warm-up round sizes the pools across all 64
 // engines, further rounds must be allocation-free through every counter.

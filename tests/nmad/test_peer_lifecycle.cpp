@@ -1,0 +1,378 @@
+// Peer-crash fault tolerance: a whole-node crash silences every rail to
+// the peer, the death grace expires, the peer is declared dead and every
+// in-flight op unwinds deterministically with kPeerDead; the survivor
+// drains clean immediately afterwards. A restarted peer announces a
+// bumped incarnation through its heartbeats, previous-life stragglers
+// are fenced, and the rejoin handshake re-opens the gate with fresh
+// sequence/credit state so post-rejoin traffic is exactly-once. MAD-MPI
+// surfaces all of it: ops to a dead rank fail fast, Finalize skips dead
+// peers. Plus the drain-under-kDegraded satellite: a gray (degraded but
+// alive) rail must not stop Core::drain from flushing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "madmpi/madmpi.hpp"
+#include "nmad/api/session.hpp"
+#include "simnet/profiles.hpp"
+#include "util/buffer.hpp"
+
+namespace nmad::core {
+namespace {
+
+// Health thresholds scaled to the 200µs ack timeout, same shape the rail
+// lifecycle tests use, plus the peer lifecycle on top: both rails silent
+// for dead_after_us kills them, and peer_death_grace_us later the peer
+// itself is declared dead.
+CoreConfig lifecycle_config() {
+  CoreConfig c;
+  c.peer_lifecycle = true;  // implies rail_health, which implies reliability
+  c.ack_timeout_us = 200.0;
+  c.ack_delay_us = 5.0;
+  c.rail_dead_after = 0;  // the health layer owns rail death here
+  c.max_retries = 20;
+  c.heartbeat_interval_us = 50.0;
+  c.suspect_after_us = 150.0;
+  c.dead_after_us = 300.0;
+  c.probe_interval_us = 100.0;
+  c.probation_replies = 2;
+  c.peer_death_grace_us = 150.0;
+  return c;
+}
+
+api::ClusterOptions two_rail_options(CoreConfig cfg,
+                                     simnet::FaultProfile fault = {}) {
+  api::ClusterOptions options;
+  options.nodes = 2;
+  simnet::NicProfile rail = simnet::mx_myri10g_profile();
+  rail.fault = std::move(fault);
+  options.rails = {rail, rail};
+  options.core = cfg;
+  return options;
+}
+
+// Pumps the shared loop until `t_us`. With rail health on the world is
+// never quiescent (the monitors re-arm forever), so this always returns
+// at the requested time.
+void step_until(api::Cluster& cluster, double t_us) {
+  while (cluster.now() < t_us && cluster.world().run_one()) {
+  }
+}
+
+void settle(api::Cluster& cluster) {
+  for (simnet::NodeId n = 0; n < cluster.node_count(); ++n) {
+    cluster.core(n).stop_health_monitors();
+  }
+  while (cluster.world().run_one()) {
+  }
+}
+
+constexpr double kForever = 1.0e15;
+
+TEST(PeerLifecycle, CrashUnwindsInFlightWithPeerDead) {
+  CoreConfig cfg = lifecycle_config();
+  cfg.rdv_threshold_override = 4096;  // keep multi-chunk bodies in flight
+  api::Cluster cluster(two_rail_options(cfg));
+  Core& a = cluster.core(0);
+  Core& b = cluster.core(1);
+
+  size_t peer_died_events = 0;
+  a.bus().subscribe(EventKind::kPeerDied,
+                    [&peer_died_events](const Event&) { ++peer_died_events; });
+
+  step_until(cluster, 500.0);
+
+  // In-flight state of every flavour when the lights go out: an eager
+  // send, a rendezvous body, an unmatched posted receive, and traffic
+  // from the side that is about to crash.
+  std::vector<std::byte> big(256 * 1024), small(256), in(4096);
+  std::vector<std::byte> theirs(64 * 1024);
+  util::fill_pattern({big.data(), big.size()}, 7);
+  Request* rdv = a.isend(cluster.gate(0, 1), Tag(1),
+                         util::ConstBytes{big.data(), big.size()});
+  Request* eager = a.isend(cluster.gate(0, 1), Tag(2),
+                           util::ConstBytes{small.data(), small.size()});
+  Request* recv = a.irecv(cluster.gate(0, 1), Tag(3),
+                          util::MutableBytes{in.data(), in.size()});
+  Request* crashed_send = b.isend(cluster.gate(1, 0), Tag(4),
+                                  util::ConstBytes{theirs.data(),
+                                                   theirs.size()});
+
+  // Node 1 crashes now and never comes back: every NIC dark atomically.
+  cluster.fabric().set_node_crashes(1, {{cluster.now(), kForever}});
+
+  // Silence -> rails dead (300µs) -> grace (150µs) -> peer declared dead.
+  step_until(cluster, cluster.now() + 2000.0);
+  EXPECT_EQ(a.stats().peers_died, 1u);
+  EXPECT_EQ(b.stats().peers_died, 1u);  // death is symmetric: b hears nothing
+  EXPECT_GE(peer_died_events, 1u);
+
+  // The unwind completed every in-flight op with kPeerDead, no hangs.
+  for (Request* req : {rdv, recv, crashed_send}) {
+    ASSERT_TRUE(req->done());
+    EXPECT_EQ(req->status().code(), util::StatusCode::kPeerDead)
+        << req->status().to_string();
+  }
+  // The small eager send may have been acked before the dark hit.
+  ASSERT_TRUE(eager->done());
+  EXPECT_TRUE(eager->status().is_ok() ||
+              eager->status().code() == util::StatusCode::kPeerDead)
+      << eager->status().to_string();
+
+  // Quiescence audit: with the dead peer fenced, the survivor flushes
+  // clean immediately — nothing stranded in any layer.
+  EXPECT_TRUE(a.drain(5000.0).is_ok());
+
+  // Fail fast: new ops against the dead rank complete synchronously.
+  Request* late = a.isend(cluster.gate(0, 1), Tag(9),
+                          util::ConstBytes{small.data(), small.size()});
+  ASSERT_TRUE(late->done());
+  EXPECT_EQ(late->status().code(), util::StatusCode::kPeerDead);
+
+  a.release(rdv);
+  a.release(eager);
+  a.release(recv);
+  a.release(late);
+  b.release(crashed_send);
+  settle(cluster);
+}
+
+TEST(PeerLifecycle, CrashThenRejoinIsExactlyOnce) {
+  CoreConfig cfg = lifecycle_config();
+  cfg.rdv_threshold_override = 4096;
+  api::Cluster cluster(two_rail_options(cfg));
+  Core& a = cluster.core(0);
+  Core& b = cluster.core(1);
+
+  step_until(cluster, 500.0);
+  const double crash_at = cluster.now() + 50.0;
+  cluster.fabric().set_node_crashes(1, {{crash_at, crash_at + 1200.0}});
+
+  // Traffic caught mid-protocol by the crash.
+  std::vector<std::byte> doomed(128 * 1024);
+  Request* victim = a.isend(cluster.gate(0, 1), Tag(1),
+                            util::ConstBytes{doomed.data(), doomed.size()});
+
+  // Ride through death (both sides) and the rejoin handshake: restart
+  // bumps node 1's incarnation, probes revive the rails, and the fenced
+  // heartbeat exchange re-opens the gates.
+  step_until(cluster, crash_at + 4000.0);
+  EXPECT_GE(a.stats().peers_died, 1u);
+  EXPECT_GE(b.stats().peers_died, 1u);
+  EXPECT_GE(a.stats().peers_rejoined, 1u);
+  EXPECT_GE(b.stats().peers_rejoined, 1u);
+  for (RailIndex r = 0; r < 2; ++r) {
+    EXPECT_TRUE(a.rail_alive(r)) << "rail " << r;
+    EXPECT_TRUE(b.rail_alive(r)) << "rail " << r;
+  }
+  ASSERT_TRUE(victim->done());
+  EXPECT_EQ(victim->status().code(), util::StatusCode::kPeerDead);
+
+  // Post-rejoin traffic on fresh tags: sequence and credit state
+  // restarted on both sides, so delivery is exactly-once with intact
+  // payloads, in both directions.
+  for (int round = 0; round < 3; ++round) {
+    const size_t bytes = round == 0 ? 256 : 48 * 1024;
+    std::vector<std::byte> out(bytes), in(bytes, std::byte{0xEE});
+    util::fill_pattern({out.data(), bytes}, 100 + round);
+    auto* recv = b.irecv(cluster.gate(1, 0), Tag(100 + round),
+                         util::MutableBytes{in.data(), bytes});
+    auto* send = a.isend(cluster.gate(0, 1), Tag(100 + round),
+                         util::ConstBytes{out.data(), bytes});
+    cluster.wait(recv);
+    cluster.wait(send);
+    EXPECT_TRUE(send->status().is_ok()) << send->status().to_string();
+    EXPECT_TRUE(recv->status().is_ok()) << recv->status().to_string();
+    EXPECT_EQ(std::memcmp(in.data(), out.data(), bytes), 0)
+        << "payload mismatch on post-rejoin round " << round;
+    a.release(send);
+    b.release(recv);
+  }
+  EXPECT_TRUE(a.drain(5000.0).is_ok());
+  EXPECT_TRUE(b.drain(5000.0).is_ok());
+
+  a.release(victim);
+  settle(cluster);
+}
+
+TEST(PeerLifecycle, IncarnationFenceDropsStragglers) {
+  CoreConfig cfg = lifecycle_config();
+  // Wider health horizons: with heavy jitter on the doomed node's frames
+  // the arrival gaps alone must not kill a rail before the crash does.
+  cfg.suspect_after_us = 600.0;
+  cfg.dead_after_us = 1200.0;
+  cfg.probe_interval_us = 200.0;
+  api::Cluster cluster(two_rail_options(cfg));
+  Core& a = cluster.core(0);
+  Core& b = cluster.core(1);
+
+  // Node 1's outbound frames — and only those — take adaptive-routing
+  // detours of up to 3.5ms, longer than its own 2ms crash window: its
+  // previous-life heartbeats are still on the wire when the restarted
+  // node is already announcing incarnation 1. Every such straggler must
+  // be fenced at node 0, never fed to the health machinery. (Per-NIC so
+  // node 0's frames stay clean and node 1 still dies of clean silence.)
+  for (RailIndex r = 0; r < 2; ++r) {
+    cluster.fabric().node(1).nic(r).set_reorder(0.9, 3500.0);
+  }
+
+  step_until(cluster, 600.0);
+  cluster.fabric().set_node_crashes(1, {{600.0, 2600.0}});
+  step_until(cluster, 6600.0);
+
+  EXPECT_GE(a.stats().peers_died, 1u);
+  EXPECT_GE(b.stats().peers_died, 1u);
+  EXPECT_GE(a.stats().peers_rejoined, 1u);
+  EXPECT_GE(b.stats().peers_rejoined, 1u);
+  EXPECT_GT(a.stats().incarnations_fenced, 0u)
+      << "no previous-life heartbeat was ever fenced";
+
+  // The fence starves only the old life: the rejoined gate still carries
+  // verified traffic. Jitter off first so the exchange acks promptly.
+  for (RailIndex r = 0; r < 2; ++r) {
+    cluster.fabric().node(1).nic(r).set_reorder(0.0, 0.0);
+  }
+  const size_t bytes = 2048;
+  std::vector<std::byte> out(bytes), in(bytes, std::byte{0xEE});
+  util::fill_pattern({out.data(), bytes}, 77);
+  auto* recv = b.irecv(cluster.gate(1, 0), Tag(200),
+                       util::MutableBytes{in.data(), bytes});
+  auto* send = a.isend(cluster.gate(0, 1), Tag(200),
+                       util::ConstBytes{out.data(), bytes});
+  cluster.wait(recv);
+  cluster.wait(send);
+  EXPECT_TRUE(send->status().is_ok()) << send->status().to_string();
+  EXPECT_TRUE(recv->status().is_ok()) << recv->status().to_string();
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), bytes), 0);
+  a.release(send);
+  b.release(recv);
+  EXPECT_TRUE(a.drain(20000.0).is_ok());
+  settle(cluster);
+}
+
+TEST(PeerLifecycle, DrainSucceedsWhileRailDegraded) {
+  // Satellite: Core::drain while a rail is kDegraded (gray, not dead).
+  // The degraded rail keeps beaconing, adaptive scoring routes around
+  // it, and a drain must still flush everything — degraded is a routing
+  // hint, not a failure.
+  CoreConfig cfg = lifecycle_config();
+  cfg.adaptive = true;
+  cfg.spray = true;
+  cfg.rdv_threshold_override = 4096;
+  cfg.suspect_after_us = 400.0;  // loss must degrade the rail, not silence
+  cfg.dead_after_us = 2000.0;
+  api::ClusterOptions options;
+  options.nodes = 2;
+  simnet::NicProfile rail0 = simnet::mx_myri10g_profile();
+  simnet::NicProfile rail1 = rail0;
+  rail1.fault.frame_drop_prob = 0.08;
+  rail1.fault.seed = 0x6E47;
+  options.rails = {rail0, rail1};
+  options.core = cfg;
+  api::Cluster cluster(std::move(options));
+  Core& a = cluster.core(0);
+  Core& b = cluster.core(1);
+
+  bool drained_degraded = false;
+  for (int i = 0; i < 40; ++i) {
+    const size_t bytes = 64 * 1024;
+    std::vector<std::byte> out(bytes), in(bytes, std::byte{0xEE});
+    util::fill_pattern({out.data(), bytes}, 30 + i);
+    auto* recv = b.irecv(cluster.gate(1, 0), Tag(i),
+                         util::MutableBytes{in.data(), bytes});
+    auto* send = a.isend(cluster.gate(0, 1), Tag(i),
+                         util::ConstBytes{out.data(), bytes});
+    cluster.wait(recv);
+    cluster.wait(send);
+    EXPECT_EQ(std::memcmp(in.data(), out.data(), bytes), 0);
+    a.release(send);
+    b.release(recv);
+    if (a.rail_health_state(1) == RailHealth::kDegraded) {
+      // The drain runs with the rail still degraded and loss ongoing.
+      EXPECT_TRUE(a.drain(50000.0).is_ok());
+      drained_degraded = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(drained_degraded) << "rail 1 never entered kDegraded";
+  settle(cluster);
+}
+
+}  // namespace
+}  // namespace nmad::core
+
+// MAD-MPI surface: ops to a dead rank fail fast with kPeerDead and
+// Finalize skips dead peers instead of waiting out the deadline on them.
+namespace nmad::mpi {
+namespace {
+
+core::CoreConfig mpi_lifecycle_config() {
+  core::CoreConfig c;
+  c.peer_lifecycle = true;
+  c.ack_timeout_us = 200.0;
+  c.ack_delay_us = 5.0;
+  c.rail_dead_after = 0;
+  c.max_retries = 20;
+  c.heartbeat_interval_us = 50.0;
+  c.suspect_after_us = 150.0;
+  c.dead_after_us = 300.0;
+  c.probe_interval_us = 100.0;
+  c.probation_replies = 2;
+  c.peer_death_grace_us = 150.0;
+  return c;
+}
+
+TEST(PeerLifecycleMpi, DeadRankFailsFastAndFinalizeSkipsIt) {
+  api::ClusterOptions options;
+  options.nodes = 2;
+  options.rails = {simnet::mx_myri10g_profile(),
+                   simnet::mx_myri10g_profile()};
+  options.core = mpi_lifecycle_config();
+  MadMpiWorld world(std::move(options));
+  Endpoint& a = world.ep(0);
+  api::Cluster& cluster = world.cluster();
+
+  while (cluster.now() < 500.0 && cluster.world().run_one()) {
+  }
+
+  // In-flight traffic to the rank that is about to crash.
+  const int n = 128 * 1024;
+  std::vector<char> out(n, 'x');
+  Request* victim =
+      a.isend(out.data(), n, Datatype::byte_type(), 1, 5, kCommWorld);
+
+  cluster.fabric().set_node_crashes(1, {{cluster.now(), 1.0e15}});
+  while (cluster.now() < 3000.0 && cluster.world().run_one()) {
+  }
+  EXPECT_GE(cluster.core(0).stats().peers_died, 1u);
+  ASSERT_TRUE(victim->done());
+  EXPECT_EQ(victim->status().code(), util::StatusCode::kPeerDead);
+
+  // Fail fast: ops to the dead rank complete at post time.
+  std::vector<char> in(64);
+  Request* dead_send =
+      a.isend(out.data(), 64, Datatype::byte_type(), 1, 6, kCommWorld);
+  Request* dead_recv =
+      a.irecv(in.data(), 64, Datatype::byte_type(), 1, 7, kCommWorld);
+  ASSERT_TRUE(dead_send->done());
+  ASSERT_TRUE(dead_recv->done());
+  EXPECT_EQ(dead_send->status().code(), util::StatusCode::kPeerDead);
+  EXPECT_EQ(dead_recv->status().code(), util::StatusCode::kPeerDead);
+
+  // Finalize skips the dead peer: it returns ok well within the
+  // deadline instead of waiting on traffic that can never flush.
+  EXPECT_TRUE(a.finalize(5000.0).is_ok());
+
+  a.free_request(victim);
+  a.free_request(dead_send);
+  a.free_request(dead_recv);
+  for (simnet::NodeId node = 0; node < cluster.node_count(); ++node) {
+    cluster.core(node).stop_health_monitors();
+  }
+  while (cluster.world().run_one()) {
+  }
+}
+
+}  // namespace
+}  // namespace nmad::mpi
