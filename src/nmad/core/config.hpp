@@ -61,10 +61,14 @@ struct CoreConfig {
   double ack_delay_us = 5.0;
   // Timeout multiplier applied after each retransmission of an entry.
   double retry_backoff = 2.0;
-  // Decorrelates the exponential backoff: each retransmission's grown
-  // timeout is scaled by a seed-deterministic factor in [0.5, 1.5) so
-  // that retries synchronized by a blackout or peer crash do not land on
-  // the wire in lockstep and re-congest the recovering rail.
+  // Decorrelates the exponential backoff: each retransmission's growth
+  // factor is drawn seed-deterministically and symmetrically around
+  // retry_backoff — from [0.5, 1.5) of it when retry_backoff >= 2, from
+  // the widest sub-range that cannot shrink a timeout (half-width
+  // retry_backoff - 1) otherwise — so retries synchronized by a blackout
+  // or peer crash do not land on the wire in lockstep and re-congest the
+  // recovering rail. The mean growth is always the configured factor;
+  // retry_backoff = 1 (constant timeouts) is left exactly alone.
   bool backoff_jitter = true;
   // A packet/slice that times out this many times fails the gate.
   uint32_t max_retries = 10;
@@ -143,9 +147,14 @@ struct CoreConfig {
   // against it is unwound with kPeerDead, a kPeerDied event is published,
   // and the gate is fenced. A restarted peer announces a bumped node
   // incarnation in its heartbeats; packets from the previous incarnation
-  // are dropped (never applied), and a fresh-incarnation beacon on a
-  // live rail re-opens the gate with clean sequence/credit state so
-  // post-rejoin traffic is exactly-once. Forces rail_health on (peer
+  // are dropped (never applied). A beacon on a live rail re-opens the
+  // gate with clean sequence/credit state only when it proves the peer's
+  // own state is fresh — a strictly newer incarnation (restart) or a
+  // strictly newer per-gate unwind generation (the peer also declared us
+  // dead and unwound, as after a mutual blackout) than what was heard at
+  // death — so post-rejoin traffic is exactly-once even against a peer
+  // that rode out an asymmetric outage with its state intact (no rejoin
+  // happens then; the gate stays fenced). Forces rail_health on (peer
   // liveness is derived from rail liveness).
   bool peer_lifecycle = false;
   // How long every rail to the peer must stay non-alive before the peer

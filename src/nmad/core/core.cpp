@@ -466,8 +466,15 @@ void Core::teardown_gate(Gate& gate, const util::Status& status) {
 
 void Core::peer_unreachable(Gate& gate) {
   if (gate.failed) return;
-  if (!config_.peer_lifecycle || config_.peer_death_grace_us <= 0.0) {
+  if (!config_.peer_lifecycle) {
     fail_gate(gate, util::closed("all rails to peer unreachable"));
+    return;
+  }
+  if (config_.peer_death_grace_us <= 0.0) {
+    // Grace zero declares immediately on losing the last rail — still a
+    // peer death (kPeerDead unwind, heartbeats kept flowing for rejoin),
+    // not a plain gate closure.
+    declare_peer_dead(gate, "peer declared dead: last rail lost (no grace)");
     return;
   }
   if (gate.peer_grace_armed) return;
@@ -491,6 +498,13 @@ void Core::on_peer_grace(Gate& gate) {
 void Core::declare_peer_dead(Gate& gate, const char* why) {
   NMAD_ASSERT(!gate.failed);
   ++stats_.peers_died;
+  // The unwind fence: bump our generation (announced in every outgoing
+  // heartbeat) and record what we last heard from the peer. The rejoin
+  // test is strict inequality against these — only a peer that restarted
+  // or unwound *after* this moment can re-open the gate.
+  ++gate.gate_gen;
+  gate.death_incarnation = gate.peer_incarnation;
+  gate.death_peer_gen = gate.peer_gen;
   const ScheduleLayer::GateCounts sc = sched_.gate_counts(gate);
   const CollectLayer::GateCounts cc = collect_.gate_counts(gate);
   const uint64_t inflight = sc.window + sc.ready_bulk + sc.rdv_wait_cts +
@@ -508,6 +522,7 @@ void Core::declare_peer_dead(Gate& gate, const char* why) {
 
 bool Core::on_peer_heartbeat(Gate& g, RailIndex rail, const WireChunk& chunk) {
   const uint32_t inc = chunk.epoch;  // node incarnation rides this field
+  const auto gen = static_cast<uint32_t>(chunk.tag);  // peer's unwind gen
   if (inc < g.peer_incarnation) {
     ++stats_.incarnations_fenced;  // beacon from a previous life
     return false;
@@ -520,10 +535,20 @@ bool Core::on_peer_heartbeat(Gate& g, RailIndex rail, const WireChunk& chunk) {
     }
     if (!g.peer_dead) return !g.failed;  // locally-closed gate stays closed
     g.peer_incarnation = inc;
+    g.peer_gen = gen;  // a new life restarts the peer's unwind counter
+  } else if (gen > g.peer_gen) {
+    g.peer_gen = gen;  // max-merge: a delayed beacon never rolls it back
   }
-  if (g.failed && g.peer_dead && rails_[rail]->alive()) {
-    // A live rail is delivering current-incarnation beacons: the peer is
-    // reachable again, re-open the gate with fresh state.
+  if (g.failed && g.peer_dead && rails_[rail]->alive() &&
+      (g.peer_incarnation > g.death_incarnation ||
+       g.peer_gen > g.death_peer_gen)) {
+    // A live rail is delivering beacons that prove the peer's state is
+    // fresh relative to our death — it restarted (newer incarnation) or
+    // it unwound this gate itself (newer generation). Re-open with fresh
+    // state. A same-incarnation, same-generation beacon proves only
+    // reachability: the peer may never have noticed the outage, and its
+    // live pre-death receive floor would swallow our restarted sequence
+    // space (sends acked-but-never-delivered, stale traffic applied).
     rejoin_gate(g);
   }
   // A still-dead gate keeps feeding current-incarnation heartbeats to the
@@ -675,12 +700,14 @@ void Core::debug_dump(std::ostream& out) const {
           "gate %u → peer %u: window=%zu ready_bulk=%zu "
           "rdv_wait_cts=%zu active_recv=%zu unexpected=%zu "
           "rdv_recv=%zu spray_recv=%zu pending_pkts=%zu pending_bulk=%zu "
-          "failed=%d peer_dead=%d inc=%u\n",
+          "failed=%d peer_dead=%d inc=%u gen=%u/%u\n",
           gate->id, gate->peer, sc.window, sc.ready_bulk, sc.rdv_wait_cts,
           cc.active_recv, cc.unexpected, cc.rdv_recv, cc.spray_recv,
           sc.pending_pkts, sc.pending_bulk, gate->failed ? 1 : 0,
           gate->peer_dead ? 1 : 0,
-          static_cast<unsigned>(gate->peer_incarnation));
+          static_cast<unsigned>(gate->peer_incarnation),
+          static_cast<unsigned>(gate->gate_gen),
+          static_cast<unsigned>(gate->peer_gen));
     sched_.dump_gate_detail(*gate, out);
   }
   dumpf(out,

@@ -273,8 +273,11 @@ class Core final : public ITransferFleet, private IEngine {
   // event, heartbeats kept flowing). Heartbeat chunks pass through
   // on_peer_heartbeat before the rail health machinery: beacons from a
   // previous incarnation are fenced (return false), a bumped incarnation
-  // unwinds the old life, and a current-incarnation beacon on a live
-  // rail re-opens a peer-dead gate with fresh sequence/credit state.
+  // unwinds the old life, and a beacon on a live rail re-opens a
+  // peer-dead gate with fresh sequence/credit state — but only when it
+  // proves the peer unwound too (a strictly newer incarnation or a
+  // strictly newer unwind generation than what was recorded at death;
+  // see Gate::gate_gen).
   void on_peer_grace(Gate& gate);
   void declare_peer_dead(Gate& gate, const char* why);
   bool on_peer_heartbeat(Gate& gate, RailIndex rail, const WireChunk& chunk);

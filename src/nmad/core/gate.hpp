@@ -118,6 +118,10 @@ struct PendingPacket {
   std::shared_ptr<util::ByteBuffer> wire;
   std::vector<SendRequest*> owners;  // one entry per owned payload chunk
   std::vector<SprayFragRef> spray_frags;  // spray fragments riding inside
+  // Cancelled rendezvous cookies whose cancel-RTS rides in this packet:
+  // the ack arms their cancelled_rdv tombstones for garbage collection
+  // (until then the receiver may still issue a fresh-seq CTS).
+  std::vector<uint64_t> cancel_cookies;
   RailIndex last_rail = 0;
   double issued_at = -1.0;  // virtual time of the last wire handoff
   uint32_t retries = 0;
@@ -144,6 +148,10 @@ struct PendingBulk {
 };
 
 using BulkKey = std::pair<uint64_t, size_t>;  // (cookie, offset)
+
+// Watermark sentinel for a tombstone that is not yet eligible for the
+// receive-floor GC (see GateSched::cancelled_rdv).
+inline constexpr uint32_t kTombUnarmed = UINT32_MAX;
 
 // Collect-layer state: message identification and matching. Owned and
 // mutated exclusively by CollectLayer.
@@ -181,9 +189,19 @@ struct GateSched {
   std::map<uint64_t, BulkJob*> rdv_wait_cts;  // parked until CTS
   // Sender side: rendezvous cookies withdrawn by cancel(); a late CTS for
   // one of these is silently dropped instead of tripping the unknown-
-  // cookie assert. Tombstone: keyed to the receive floor at creation and
-  // reaped behind the ack-floor watermark (see GateCollect).
+  // cookie assert. Tombstone, reaped in two steps: an entry is born
+  // unarmed (kTombUnarmed) and only records a receive-floor watermark
+  // once the packet carrying the cancel-RTS is acked — before that the
+  // receiver may still issue a *fresh-seq* CTS for the cookie, which no
+  // floor advance can prove to be a duplicate. Once armed, the entry is
+  // reaped a full reliability window behind the floor like the
+  // GateCollect tombstones.
   std::map<uint64_t, uint32_t> cancelled_rdv;
+  // Cancelled messages whose cancel-RTS has not yet been packed into a
+  // wire packet, mapped to the rendezvous cookies it withdraws; the
+  // packet issue path moves the cookies onto PendingPacket so the ack
+  // can arm the tombstones above.
+  std::map<MsgKey, std::vector<uint64_t>> cancel_wait_ack;
 
   // ---- reliability (CoreConfig::reliability only) ----------------------
   // Send side: sliding window of unacked packets / bulk slices, plus the
@@ -261,13 +279,29 @@ struct Gate {
   // Peer lifecycle (CoreConfig::peer_lifecycle; owned by the façade).
   // `peer_dead` marks a gate failed *because the peer was declared dead*:
   // heartbeats still flow so a restarted peer can announce itself, and a
-  // fresh-incarnation beacon on a live rail re-opens the gate.
+  // beacon proving the peer unwound too re-opens the gate (below).
   // `peer_incarnation` is the highest incarnation heard from the peer;
   // packets announcing a lower one are from a previous life and fenced.
   bool peer_dead = false;
   uint32_t peer_incarnation = 0;
   simnet::EventId peer_grace_timer = 0;
   bool peer_grace_armed = false;
+  // Unwind fence for the rejoin handshake. `gate_gen` counts this side's
+  // peer-death unwinds of this gate and rides every outgoing heartbeat
+  // (in the chunk's otherwise-unused tag field); `peer_gen` is the
+  // highest generation heard from the peer's current incarnation. At
+  // death the (incarnation, generation) last heard from the peer is
+  // recorded, and a rejoin requires proof the peer's own state is fresh:
+  // a strictly newer incarnation (the peer restarted) or a strictly
+  // newer generation (the peer also declared us dead and unwound). A
+  // same-incarnation beacon from a peer that never unwound — the
+  // asymmetric outage where only our side went dark — re-opens nothing:
+  // rejoining against its live pre-death sequence/credit state would
+  // dup-drop our fresh sends under its old receive floor.
+  uint32_t gate_gen = 0;
+  uint32_t peer_gen = 0;
+  uint32_t death_incarnation = 0;
+  uint32_t death_peer_gen = 0;
 
   [[nodiscard]] bool has_rail(RailIndex rail) const {
     for (RailIndex r : rails) {

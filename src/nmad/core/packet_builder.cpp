@@ -69,8 +69,10 @@ const util::SegmentVec& PacketBuilder::finalize() {
         break;
       case ChunkKind::kHeartbeat:
         // The rail epoch rides the seq field, like the ack floor does;
-        // the node incarnation reuses the epoch field.
-        encode_heartbeat(w, chunk->flags, chunk->seq, chunk->epoch);
+        // the node incarnation reuses the epoch field and the gate's
+        // unwind generation the tag field.
+        encode_heartbeat(w, chunk->flags, chunk->seq, chunk->epoch,
+                         chunk->tag);
         break;
       case ChunkKind::kSprayFrag:
         encode_spray_frag_header(w, chunk->flags, chunk->tag, chunk->seq,

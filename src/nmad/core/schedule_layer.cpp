@@ -365,6 +365,19 @@ void ScheduleLayer::issue_packet(Gate& gate, RailIndex rail,
     p.wire->resize(segments.total_bytes());
     segments.gather_into(p.wire->view());
     for (OutChunk* chunk : builder->chunks()) {
+      if (chunk->kind == ChunkKind::kRts &&
+          (chunk->flags & kFlagCancel) != 0) {
+        // A cancel-RTS rides here: remember which withdrawn rendezvous
+        // cookies it covers, so the ack can arm their tombstones for GC
+        // (the receiver provably cannot grant them afterwards).
+        auto ck = gate.sched.cancel_wait_ack.find(
+            MsgKey{chunk->tag, chunk->seq});
+        if (ck != gate.sched.cancel_wait_ack.end()) {
+          p.cancel_cookies.insert(p.cancel_cookies.end(),
+                                  ck->second.begin(), ck->second.end());
+          gate.sched.cancel_wait_ack.erase(ck);
+        }
+      }
       if (chunk->owner == nullptr || chunk->is_control()) continue;
       const size_t slot = p.owners.size();
       p.owners.push_back(chunk->owner);
@@ -721,7 +734,10 @@ void ScheduleLayer::reap_sched_tombstones(Gate& gate) {
   uint64_t reaped = 0;
   const auto reap = [&](auto& tombs) {
     for (auto it = tombs.begin(); it != tombs.end();) {
-      if (floor - it->second >= win && it->second <= floor) {
+      // Unarmed entries (cancel-RTS not yet acked) are never reaped: the
+      // receiver may still issue a fresh-seq CTS that must find them.
+      if (it->second != kTombUnarmed && floor - it->second >= win &&
+          it->second <= floor) {
         it = tombs.erase(it);
         ++reaped;
       } else {
@@ -870,6 +886,18 @@ void ScheduleLayer::retire_packet(
                     .gate = gate.id,
                     .rail = p.last_rail,
                     .seq = seq});
+  // The ack proves the peer consumed the cancel-RTS chunks this packet
+  // carried: no fresh CTS can be granted for those cookies any more, so
+  // their tombstones become eligible for the floor-watermark GC. Any CTS
+  // already in flight was sent before this ack and therefore carries a seq
+  // within one reliability window of the floor recorded here.
+  for (const uint64_t cookie : p.cancel_cookies) {
+    auto tomb = gate.sched.cancelled_rdv.find(cookie);
+    if (tomb != gate.sched.cancelled_rdv.end() &&
+        tomb->second == kTombUnarmed) {
+      tomb->second = gate.sched.recv_floor;
+    }
+  }
   std::vector<SendRequest*> owners = std::move(p.owners);
   gate.sched.pending_pkts.erase(it);
   for (SendRequest* owner : owners) {
@@ -926,6 +954,16 @@ void ScheduleLayer::arm_bulk_timer(Gate& gate, const BulkKey& key) {
 double ScheduleLayer::backoff_growth() {
   const double growth = ctx_.config.retry_backoff;
   if (!ctx_.config.backoff_jitter) return growth;
+  // The draw is symmetric around the configured factor so jitter never
+  // changes the expected growth. The half-width is 0.5 * growth, shrunk
+  // to growth - 1 whenever the full range could dip below 1.0 (a
+  // jittered timeout must never shrink — backoff stays monotone per
+  // entry). A one-sided clamp instead would inflate small factors:
+  // retry_backoff = 1.0 (constant timeouts) would silently grow up to
+  // 1.5x per retry. At growth <= 1 the width collapses to zero and the
+  // configured factor is returned untouched.
+  const double half = std::min(0.5 * growth, growth - 1.0);
+  if (half <= 0.0) return growth;
   // xorshift64* — cheap, allocation-free, and seeded per node, so a
   // replayed schedule draws the identical jitter sequence.
   uint64_t x = jitter_state_;
@@ -936,9 +974,7 @@ double ScheduleLayer::backoff_growth() {
   const double u =
       static_cast<double>((x * 0x2545F4914F6CDD1Dull) >> 11) /
       9007199254740992.0;  // uniform in [0, 1)
-  // Scale into [0.5, 1.5) of the configured factor, clamped so a jittered
-  // timeout never shrinks — backoff must stay monotone per entry.
-  return std::max(1.0, growth * (0.5 + u));
+  return growth + half * (2.0 * u - 1.0);
 }
 
 void ScheduleLayer::on_packet_timeout(GateId gate_id, uint32_t seq) {
@@ -1448,9 +1484,18 @@ bool ScheduleLayer::cancel_send(Gate& gate, SendRequest* req,
     ctx_.chunk_pool.release(c);
   }
   for (BulkJob* job : jobs) {
-    // A CTS may already be on its way: tombstone the cookie so the grant
-    // is swallowed instead of tripping the unknown-cookie assert.
-    s.cancelled_rdv.emplace(job->cookie, s.recv_floor);
+    // A CTS may already be on its way — or may yet be *issued*, if the
+    // receiver grants before our cancel-RTS reaches it: tombstone the
+    // cookie so the grant is swallowed instead of tripping the
+    // unknown-cookie assert. The tombstone is born unarmed (exempt from
+    // the receive-floor GC): until the cancel-RTS is acked the receiver
+    // can still issue a fresh-seq CTS that no floor advance would catch.
+    // retire_packet arms it once the ack proves no new grant can follow.
+    s.cancelled_rdv.emplace(job->cookie, kTombUnarmed);
+    if (reliable()) {
+      s.cancel_wait_ack[MsgKey{req->tag(), req->seq()}].push_back(
+          job->cookie);
+    }
     s.rdv_wait_cts.erase(job->cookie);
     remove_window_rts(gate, job->cookie);
     drop_bulk_job(gate, job);
@@ -1784,6 +1829,7 @@ void ScheduleLayer::teardown_send(Gate& gate, const util::Status& status) {
 void ScheduleLayer::teardown_finish(Gate& gate) {
   gate.sched.recv_seen.clear();
   gate.sched.pending_bulk_acks.clear();
+  gate.sched.cancel_wait_ack.clear();
 }
 
 void ScheduleLayer::release_prebuilt_chunks() {
@@ -2112,6 +2158,9 @@ void ScheduleLayer::check_gate(const Gate& gate,
     // (rx_register reaps the rest whenever the floor advances).
     const auto check_tombs = [&](const char* what, const auto& tombs) {
       for (const auto& [key, born] : tombs) {
+        // Unarmed cancel tombstones wait for the cancel-RTS ack and are
+        // exempt from the watermark until then.
+        if (born == kTombUnarmed) continue;
         if (born > s.recv_floor ||
             s.recv_floor - born > ctx_.config.reliability_window) {
           addf(out,

@@ -198,14 +198,20 @@ class ScheduleLayer final : public ISchedule, public IPacketIssuer {
 
   // Reliability -------------------------------------------------------------
   // The multiplicative retransmit-backoff growth for one timeout. With
-  // CoreConfig::backoff_jitter the configured factor is scaled by a
-  // deterministic per-node draw in [0.5, 1.5) (decorrelated backoff):
-  // peers whose timers fired in lockstep — the thundering herd after a
-  // shared blackout — spread their retries instead of colliding again.
+  // CoreConfig::backoff_jitter a deterministic per-node draw spreads the
+  // factor symmetrically around the configured value, as wide as
+  // possible without ever dipping below 1.0 (decorrelated backoff with
+  // the configured mean): peers whose timers fired in lockstep — the
+  // thundering herd after a shared blackout — spread their retries
+  // instead of colliding again.
   [[nodiscard]] double backoff_growth();
   // Reaps this layer's tombstones (cancelled_rdv, completed_bulk) whose
-  // creation-time floor has fallen a full reliability window behind the
+  // arming-time floor has fallen a full reliability window behind the
   // current receive floor; called when rx_register advances the floor.
+  // cancelled_rdv entries are born unarmed (kTombUnarmed) and only start
+  // aging once the packet carrying their cancel-RTS is acked — before
+  // that the receiver may still grant a fresh-seq CTS that must find the
+  // tombstone instead of tripping the unknown-cookie assert.
   void reap_sched_tombstones(Gate& gate);
   OutChunk* make_ack_chunk(Gate& gate);
   void commit_ack_chunk(Gate& gate, OutChunk* ack);

@@ -249,12 +249,16 @@ double& TransferEngine::hb_tx_slot(GateId id) {
   return hb_tx_us_[id];
 }
 
-OutChunk* TransferEngine::make_heartbeat_chunk(uint8_t flags,
+OutChunk* TransferEngine::make_heartbeat_chunk(const Gate& gate,
+                                               uint8_t flags,
                                                uint32_t epoch) {
   OutChunk* hb = ctx_.chunk_pool.acquire();
   hb->kind = ChunkKind::kHeartbeat;
   hb->flags = flags;
-  hb->tag = 0;
+  // The gate's unwind generation rides the otherwise-unused tag field:
+  // together with the incarnation it lets a peer-dead gate prove to the
+  // other side that this side unwound too (the rejoin fence).
+  hb->tag = gate.gate_gen;
   hb->seq = epoch;  // the rail epoch rides the seq field
   // The node incarnation rides alongside: every beacon/probe/reply
   // announces which life of this node it belongs to, so a peer can fence
@@ -270,7 +274,7 @@ void TransferEngine::maybe_inject_heartbeat(Gate& gate,
   if (!health_on()) return;
   double& last = hb_tx_slot(gate.id);
   if (ctx_.world.now() - last < ctx_.config.heartbeat_interval_us) return;
-  OutChunk* hb = make_heartbeat_chunk(kFlagNone, epoch_);
+  OutChunk* hb = make_heartbeat_chunk(gate, kFlagNone, epoch_);
   if (!builder.fits(*hb)) {
     ctx_.chunk_pool.release(hb);
     return;
@@ -286,7 +290,7 @@ void TransferEngine::send_standalone_heartbeat(Gate& gate, uint8_t flags,
       std::min(gate.max_packet, info_.max_packet_bytes),
       info_.gather ? info_.max_gather_segments : 0, ctx_.config.wire_checksum,
       /*reserve_seq=*/true);
-  builder->add(make_heartbeat_chunk(flags, epoch));
+  builder->add(make_heartbeat_chunk(gate, flags, epoch));
   // Refresh the beacon slot before the issue path, which would otherwise
   // piggyback a second (now redundant) plain beacon onto this packet.
   hb_tx_slot(gate.id) = ctx_.world.now();

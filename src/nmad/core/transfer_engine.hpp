@@ -109,7 +109,8 @@ class TransferEngine final : public ITransferRail {
   // hysteresis bands) and moves the rail into or out of kDegraded.
   void update_degraded();
   void send_standalone_heartbeat(Gate& gate, uint8_t flags, uint32_t epoch);
-  OutChunk* make_heartbeat_chunk(uint8_t flags, uint32_t epoch);
+  OutChunk* make_heartbeat_chunk(const Gate& gate, uint8_t flags,
+                                 uint32_t epoch);
   double& hb_tx_slot(GateId id);
 
   EngineContext& ctx_;

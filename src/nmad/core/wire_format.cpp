@@ -78,10 +78,11 @@ void encode_credit(util::WireWriter& w, uint64_t credit_bytes,
 }
 
 void encode_heartbeat(util::WireWriter& w, uint8_t flags, uint32_t epoch,
-                      uint32_t incarnation) {
-  // Heartbeats cover one rail of the whole gate: tag is unused and the
-  // seq field carries the rail epoch (kAck precedent for reusing seq).
-  encode_common(w, ChunkKind::kHeartbeat, flags, /*tag=*/0, epoch);
+                      uint32_t incarnation, uint64_t gen) {
+  // Heartbeats cover one rail of the whole gate: the seq field carries
+  // the rail epoch (kAck precedent for reusing seq) and the tag field
+  // carries the gate's unwind generation (rejoin fence).
+  encode_common(w, ChunkKind::kHeartbeat, flags, /*tag=*/gen, epoch);
   w.u32(incarnation);
 }
 

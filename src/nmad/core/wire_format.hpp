@@ -59,9 +59,11 @@ inline constexpr size_t kAckBulkBytes = 8 + 4 + 4;
 // Common header + u64 cumulative byte limit + u64 cumulative chunk limit.
 inline constexpr size_t kCreditHeaderBytes = 1 + 1 + 8 + 4 + 8 + 8;
 // Common header + u32 node incarnation: the rail epoch rides in the seq
-// field and the probe/reply role in the chunk flags, so a heartbeat costs
-// 18 bytes. The incarnation fences whole previous lives of the sending
-// node the way the epoch fences previous lives of one rail.
+// field, the gate's unwind generation in the tag field, and the
+// probe/reply role in the chunk flags, so a heartbeat costs 18 bytes.
+// The incarnation fences whole previous lives of the sending node the
+// way the epoch fences previous lives of one rail; the generation proves
+// to a peer-dead gate that this side unwound too (the rejoin fence).
 inline constexpr size_t kHeartbeatHeaderBytes = 1 + 1 + 8 + 4 + 4;
 // Common header + u32 len + u32 offset + u32 total + u32 frag_seq +
 // u32 epoch, then the inline payload.
@@ -125,9 +127,11 @@ void encode_credit(util::WireWriter& w, uint64_t credit_bytes,
                    uint64_t credit_chunks);
 // `epoch` is the sender's current epoch for the rail the heartbeat rides
 // (or, on kFlagReply, the echoed probe epoch); it travels in `seq`.
-// `incarnation` is the sending node's crash/restart count.
+// `incarnation` is the sending node's crash/restart count. `gen` is the
+// sending gate's unwind generation (peer lifecycle); it travels in the
+// otherwise-unused tag field, so the wire layout is unchanged.
 void encode_heartbeat(util::WireWriter& w, uint8_t flags, uint32_t epoch,
-                      uint32_t incarnation);
+                      uint32_t incarnation, uint64_t gen);
 void encode_spray_frag_header(util::WireWriter& w, uint8_t flags, Tag tag,
                               SeqNum seq, uint32_t len, uint32_t offset,
                               uint32_t total, uint32_t frag_seq,

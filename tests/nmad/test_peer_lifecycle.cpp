@@ -196,6 +196,107 @@ TEST(PeerLifecycle, CrashThenRejoinIsExactlyOnce) {
   settle(cluster);
 }
 
+TEST(PeerLifecycle, AsymmetricOutageDoesNotRejoin) {
+  // One-directional silence: node 1's outbound frames are dropped while
+  // node 0's keep flowing. Node 0 declares node 1 dead through the grace
+  // and unwinds; node 1 never crashed and never unwound — it kept its
+  // sequence floor and credit ledger. When the outage heals, node 1's
+  // beacons carry the same incarnation and the same unwind generation as
+  // before the death, so the rejoin fence must hold: restarting seq and
+  // credit from zero against a peer with live state would dup-drop fresh
+  // sends and double-apply stale in-flight traffic.
+  CoreConfig cfg = lifecycle_config();
+  api::Cluster cluster(two_rail_options(cfg));
+  Core& a = cluster.core(0);
+  Core& b = cluster.core(1);
+
+  step_until(cluster, 500.0);
+  for (RailIndex r = 0; r < 2; ++r) {
+    cluster.fabric().node(1).nic(r).set_frame_drop_prob(1.0);
+  }
+
+  // Silence -> rails dead (300µs) -> grace (150µs) -> node 0 declares
+  // node 1 dead. Node 1 keeps hearing node 0 throughout, so its side of
+  // the gate stays live.
+  step_until(cluster, 1500.0);
+  EXPECT_EQ(a.stats().peers_died, 1u);
+  EXPECT_EQ(b.stats().peers_died, 0u);
+
+  // The outage heals: node 1's same-life beacons reach node 0 again and
+  // the rails revive, but the gate must stay fenced — the beacons prove
+  // the peer is alive, not that it unwound.
+  for (RailIndex r = 0; r < 2; ++r) {
+    cluster.fabric().node(1).nic(r).set_frame_drop_prob(0.0);
+  }
+  step_until(cluster, 5500.0);
+  for (RailIndex r = 0; r < 2; ++r) {
+    EXPECT_TRUE(a.rail_alive(r)) << "rail " << r << " never revived";
+  }
+  EXPECT_EQ(a.stats().peers_rejoined, 0u)
+      << "rejoined against a peer that never unwound";
+  EXPECT_EQ(b.stats().peers_rejoined, 0u);
+
+  // The fenced gate keeps failing fast rather than corrupting state.
+  std::vector<std::byte> out(256);
+  Request* late = a.isend(cluster.gate(0, 1), Tag(5),
+                          util::ConstBytes{out.data(), out.size()});
+  ASSERT_TRUE(late->done());
+  EXPECT_EQ(late->status().code(), util::StatusCode::kPeerDead);
+  a.release(late);
+  settle(cluster);
+}
+
+TEST(PeerLifecycle, ZeroGraceDeclaresImmediately) {
+  // peer_death_grace_us == 0 means "declare the moment the last rail
+  // dies": the peer must die with kPeerDead (heartbeats keep flowing,
+  // rejoin stays possible) — not fail the gate kClosed, which would
+  // strand it with no way back.
+  CoreConfig cfg = lifecycle_config();
+  cfg.peer_death_grace_us = 0.0;
+  cfg.rdv_threshold_override = 4096;
+  api::Cluster cluster(two_rail_options(cfg));
+  Core& a = cluster.core(0);
+  Core& b = cluster.core(1);
+
+  step_until(cluster, 500.0);
+  const double crash_at = cluster.now() + 50.0;
+  cluster.fabric().set_node_crashes(1, {{crash_at, crash_at + 1200.0}});
+
+  std::vector<std::byte> doomed(128 * 1024);
+  Request* victim = a.isend(cluster.gate(0, 1), Tag(1),
+                            util::ConstBytes{doomed.data(), doomed.size()});
+
+  step_until(cluster, crash_at + 4000.0);
+  EXPECT_GE(a.stats().peers_died, 1u);
+  EXPECT_GE(b.stats().peers_died, 1u);
+  ASSERT_TRUE(victim->done());
+  EXPECT_EQ(victim->status().code(), util::StatusCode::kPeerDead)
+      << victim->status().to_string();
+
+  // The restarted incarnation still rejoins: immediate death must not
+  // cost the gate its second life.
+  EXPECT_GE(a.stats().peers_rejoined, 1u);
+  EXPECT_GE(b.stats().peers_rejoined, 1u);
+  const size_t bytes = 2048;
+  std::vector<std::byte> out(bytes), in(bytes, std::byte{0xEE});
+  util::fill_pattern({out.data(), bytes}, 42);
+  auto* recv = b.irecv(cluster.gate(1, 0), Tag(300),
+                       util::MutableBytes{in.data(), bytes});
+  auto* send = a.isend(cluster.gate(0, 1), Tag(300),
+                       util::ConstBytes{out.data(), bytes});
+  cluster.wait(recv);
+  cluster.wait(send);
+  EXPECT_TRUE(send->status().is_ok()) << send->status().to_string();
+  EXPECT_TRUE(recv->status().is_ok()) << recv->status().to_string();
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), bytes), 0);
+  a.release(send);
+  b.release(recv);
+  EXPECT_TRUE(a.drain(5000.0).is_ok());
+  EXPECT_TRUE(b.drain(5000.0).is_ok());
+  a.release(victim);
+  settle(cluster);
+}
+
 TEST(PeerLifecycle, IncarnationFenceDropsStragglers) {
   CoreConfig cfg = lifecycle_config();
   // Wider health horizons: with heavy jitter on the doomed node's frames
