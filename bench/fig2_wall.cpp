@@ -1,0 +1,139 @@
+// Figure 2, wall-clock edition: the same raw ping-pong size sweep as
+// fig2_pingpong, but on real time — two engine Cores in one process,
+// each on its own WallClockRuntime, joined by the threaded
+// shared-memory rail. Nothing here is simulated: the latencies are
+// steady_clock measurements of the identical Core/strategy/protocol
+// stack the virtual-time figures exercise, which is the point — the
+// runtime seam swaps the clock and the rail, not the engine.
+//
+// --json writes the BENCH_wall.json artifact (mean/p99/p999/max per
+// size) that scripts/bench.sh checks in next to the simulated figures.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "nmad/api/wall_session.hpp"
+#include "util/buffer.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace nmad;
+
+// One full round trip (A→B then B→A), returned in µs. The figure-2
+// convention halves it: one-way latency of a pingpong. Distinct
+// out/in buffers per endpoint — in one address space the sender's read
+// and the receiver's deposit would otherwise race on the same bytes.
+double roundtrip_us(api::WallCluster& cluster, uint64_t tag, uint64_t size,
+                    std::vector<std::byte>& out, std::vector<std::byte>& in) {
+  const auto t0 = std::chrono::steady_clock::now();
+  core::Request* s0 = cluster.post_send(0, cluster.gate(0, 1), tag,
+                                        util::ConstBytes{out.data(), size});
+  core::Request* r0 = cluster.post_recv(1, cluster.gate(1, 0), tag,
+                                        util::MutableBytes{in.data(), size});
+  cluster.wait(0, s0);
+  cluster.wait(1, r0);
+  cluster.release(0, s0);
+  cluster.release(1, r0);
+  core::Request* s1 = cluster.post_send(1, cluster.gate(1, 0), tag,
+                                        util::ConstBytes{in.data(), size});
+  core::Request* r1 = cluster.post_recv(0, cluster.gate(0, 1), tag,
+                                        util::MutableBytes{out.data(), size});
+  cluster.wait(1, s1);
+  cluster.wait(0, r1);
+  cluster.release(1, s1);
+  cluster.release(0, r1);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+util::QuantileDigest measure(api::WallCluster& cluster, uint64_t size,
+                             int iters, uint64_t* tag) {
+  std::vector<std::byte> out(size), in(size);
+  util::fill_pattern({out.data(), size}, size);
+  for (int w = 0; w < 10; ++w) roundtrip_us(cluster, (*tag)++, size, out, in);
+  util::QuantileDigest d;
+  for (int i = 0; i < iters; ++i) {
+    d.add(roundtrip_us(cluster, (*tag)++, size, out, in) / 2.0);
+  }
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags;
+  flags.define("min", "4", "smallest message size");
+  flags.define("max", "1M", "largest message size");
+  flags.define("iters", "100", "timed rounds per size");
+  flags.define_bool("csv", false, "emit CSV instead of a table");
+  flags.define("json", "",
+               "write the machine-readable artifact (mean/p99/p999/max per "
+               "size) to this path");
+  if (auto st = flags.parse(argc, argv); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    flags.print_help(argv[0]);
+    return 2;
+  }
+  const uint64_t min_size = flags.get_size("min");
+  const uint64_t max_size = flags.get_size("max");
+  const int iters = flags.get_int("iters");
+  const std::string json = flags.get("json");
+
+  api::WallCluster cluster(api::WallCluster::Options{});
+
+  util::Table table(
+      {"size", "lat_us", "p99_us", "p999_us", "max_us", "bw_MBps"});
+  std::FILE* f = nullptr;
+  if (!json.empty()) {
+    f = std::fopen(json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json.c_str());
+      return 2;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fig2_wall\",\n  \"unit\": \"us\",\n"
+                 "  \"driver\": \"shm\",\n  \"iters\": %d,\n  \"rows\": [",
+                 iters);
+  }
+
+  uint64_t tag = 1;
+  bool first = true;
+  for (uint64_t size : util::doubling_sizes(min_size, max_size)) {
+    const util::QuantileDigest d = measure(cluster, size, iters, &tag);
+    const double bw =
+        d.mean() > 0.0 ? static_cast<double>(size) / d.mean() : 0.0;
+    table.add_row({util::format_size(size), util::format_fixed(d.mean(), 2),
+                   util::format_fixed(d.p99(), 2),
+                   util::format_fixed(d.p999(), 2),
+                   util::format_fixed(d.max(), 2),
+                   util::format_fixed(bw, 1)});
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "%s\n    {\"size\": %llu, \"mean_us\": %.3f, "
+                   "\"p99_us\": %.3f, \"p999_us\": %.3f, \"max_us\": %.3f, "
+                   "\"bw_MBps\": %.1f}",
+                   first ? "" : ",", static_cast<unsigned long long>(size),
+                   d.mean(), d.p99(), d.p999(), d.max(), bw);
+      first = false;
+    }
+  }
+
+  std::printf("## Figure 2 (wall clock) — shm ping-pong, two cores, "
+              "one process\n");
+  if (flags.get_bool("csv")) {
+    table.print_csv(stdout);
+  } else {
+    table.print();
+  }
+  if (f != nullptr) {
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json.c_str());
+  }
+  return 0;
+}

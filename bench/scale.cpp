@@ -162,7 +162,7 @@ uint64_t alloc_marks(api::Cluster& cluster) {
     marks += a.chunk_pool_grows + a.bulk_pool_grows + a.send_pool_grows +
              a.recv_pool_grows;
   }
-  const EventQueue::Stats q = cluster.core(0).alloc_stats().queue;
+  const nmad::runtime::TimerStats q = cluster.core(0).alloc_stats().queue;
   return marks + q.node_slabs + q.resizes;
 }
 

@@ -76,6 +76,19 @@ if grep -n 'on_rail_degraded\|degraded_evictions\|adaptive_elections' \
     $COLLECT $TRANSFER; then
   lint "degraded election policy is schedule-owned (ScheduleLayer)"
 fi
+# ---------------------------------------------------------------------------
+# Runtime-seam lint: the engine core is clock-agnostic. Everything under
+# src/nmad/core/ reaches time, timers, cpu charging and identity only
+# through runtime::IRuntime (layer_ifaces' EngineContext.rt) — a simnet
+# include there would quietly re-couple the engine to the simulator.
+# ---------------------------------------------------------------------------
+if grep -rn '#include *"simnet/' src/nmad/core/; then
+  lint "src/nmad/core/ includes a simnet header (use nmad/runtime/ instead)"
+fi
+if grep -rn 'simnet::' src/nmad/core/; then
+  lint "src/nmad/core/ names a simnet type (the core is runtime-agnostic)"
+fi
+
 if [ "$lint_fail" -ne 0 ]; then
   echo "seam lint failed" >&2
   exit 1
@@ -88,3 +101,15 @@ cmake -B "$BUILD_DIR" -S . -DNMAD_SANITIZE=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+# Thread tier: the wall-clock stack (rings, timer wheel + pump thread,
+# shm driver with its per-endpoint pump threads) rebuilt under TSan and
+# run alone — the virtual-clock tests are single-threaded by design, so
+# only the threaded targets pay the ~10x TSan tax.
+TSAN_DIR=${TSAN_DIR:-build-tsan}
+cmake -B "$TSAN_DIR" -S . -DNMAD_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$TSAN_DIR" -j"$(nproc)" \
+  --target test_ring test_timer_wheel test_wall_shm
+ctest --test-dir "$TSAN_DIR" --output-on-failure -j"$(nproc)" \
+  -R 'SpscRing|MpscRing|TimerWheel|WallClockRuntime|WallShm'

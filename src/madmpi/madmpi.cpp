@@ -60,7 +60,7 @@ Request* MadMpiEndpoint::isend(const void* buf, int count,
     util::ByteBuffer packed;
     packed.resize(src.total());
     type.pack(buf, count, packed.view());
-    core_.node().cpu().charge_memcpy(packed.size());
+    core_.rt().cpu().charge_memcpy(packed.size());
     core::SendRequest* inner =
         core_.isend(rank_gates_[dest], fold_tag(comm, tag),
                     core::SourceLayout::contiguous(packed.view()));

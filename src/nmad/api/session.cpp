@@ -25,7 +25,9 @@ Cluster::Cluster(ClusterOptions options)
 
   for (size_t n = 0; n < options.nodes; ++n) {
     simnet::SimNode& node = fabric_.node(static_cast<simnet::NodeId>(n));
-    auto core = std::make_unique<core::Core>(world_, node, options.core);
+    runtimes_.push_back(std::make_unique<runtime::SimRuntime>(world_, node));
+    auto core =
+        std::make_unique<core::Core>(*runtimes_.back(), options.core);
     for (size_t r = 0; r < options.rails.size(); ++r) {
       auto driver = std::make_unique<drivers::SimDriver>(
           world_, node, node.nic(static_cast<simnet::RailIndex>(r)));

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "nmad/core/core.hpp"
+#include "nmad/runtime/sim_runtime.hpp"
 #include "simnet/fabric.hpp"
 #include "simnet/profiles.hpp"
 #include "simnet/world.hpp"
@@ -80,6 +81,9 @@ class Cluster {
 
   simnet::SimWorld world_;
   simnet::Fabric fabric_;
+  // One pass-through runtime per node: each Core sees only the
+  // runtime::IRuntime seam, never the SimWorld/SimNode underneath.
+  std::vector<std::unique_ptr<runtime::SimRuntime>> runtimes_;
   std::vector<std::unique_ptr<core::Core>> cores_;
   std::vector<std::vector<core::GateId>> gates_;  // [from][to]
   double stall_report_interval_us_;

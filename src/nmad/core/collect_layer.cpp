@@ -57,7 +57,7 @@ SendRequest* CollectLayer::isend(Gate& gate, Tag tag, const SourceLayout& src,
     req->complete(gate.fail_status);
     return req;
   }
-  ctx_.node.cpu().charge(ctx_.config.submit_overhead_us);
+  ctx_.rt.cpu().charge(ctx_.config.submit_overhead_us);
 
   const size_t total = src.total();
   if (total == 0) {
@@ -120,7 +120,7 @@ RecvRequest* CollectLayer::irecv(Gate& gate, Tag tag, DestLayout dest) {
     req->complete(gate.fail_status);
     return req;
   }
-  ctx_.node.cpu().charge(ctx_.config.submit_overhead_us);
+  ctx_.rt.cpu().charge(ctx_.config.submit_overhead_us);
 
   const MsgKey key{tag, seq};
   gate.collect.active_recv[key] = req;
@@ -211,7 +211,7 @@ void CollectLayer::on_payload(Gate& gate, const WireChunk& chunk) {
     // Unexpected: copy the payload aside (real host work) until a
     // matching receive is posted.
     ++ctx_.stats.unexpected_chunks;
-    ctx_.node.cpu().charge_memcpy(chunk.payload.size());
+    ctx_.rt.cpu().charge_memcpy(chunk.payload.size());
     StoredFrag frag;
     frag.kind = chunk.kind;
     frag.flags = chunk.flags;
@@ -245,11 +245,11 @@ void CollectLayer::deliver_eager(Gate& gate, RecvRequest* req,
   // by key — it may be cancelled (and even released) while the modelled
   // memcpy is in flight.
   req->layout().scatter(offset, payload);
-  const simnet::SimTime done_at = ctx_.node.cpu().charge_memcpy(payload.size());
+  const double done_at = ctx_.rt.cpu().charge_memcpy(payload.size());
   const size_t n = payload.size();
   const GateId gid = gate.id;
   const MsgKey key{req->tag(), req->seq()};
-  ctx_.world.at(done_at, [this, gid, key, n]() {
+  ctx_.rt.schedule_at(done_at, [this, gid, key, n]() {
     Gate& g = gate_ref(gid);
     auto it = g.collect.active_recv.find(key);
     if (it == g.collect.active_recv.end()) return;
@@ -364,10 +364,10 @@ void CollectLayer::start_rdv_recv(Gate& gate, RecvRequest* req, uint32_t len,
     region = rec.bounce.view();
   }
   const GateId gate_id = gate.id;
-  rec.sink = std::make_unique<simnet::BulkSink>(
+  rec.sink = std::make_unique<drivers::BulkSink>(
       cookie, region, len, [this, gate_id, cookie]() {
         // Defer: the sink is still on the delivery stack right now.
-        ctx_.world.after(0.0, [this, gate_id, cookie]() {
+        ctx_.rt.defer([this, gate_id, cookie]() {
           on_bulk_recv_complete(gate_id, cookie);
         });
       });
@@ -533,7 +533,7 @@ void CollectLayer::on_spray_frag(Gate& gate, RailIndex rail,
   }
 
   std::memcpy(rec.region.data() + lo, chunk.payload.data(), hi - lo);
-  ctx_.node.cpu().charge_memcpy(hi - lo);
+  ctx_.rt.cpu().charge_memcpy(hi - lo);
   auto ins = rec.covered.emplace(lo, hi).first;
   if (ins != rec.covered.begin()) {
     auto prev = std::prev(ins);
@@ -571,11 +571,10 @@ void CollectLayer::on_spray_frag(Gate& gate, RailIndex rail,
     // deferred completion re-looks the receive up by key (see
     // deliver_eager for why).
     req->layout().scatter(done.offset, done.bounce.view());
-    const simnet::SimTime done_at =
-        ctx_.node.cpu().charge_memcpy(done.len);
+    const double done_at = ctx_.rt.cpu().charge_memcpy(done.len);
     const GateId gid = gate.id;
     const size_t len = done.len;
-    ctx_.world.at(done_at, [this, gid, key, len]() {
+    ctx_.rt.schedule_at(done_at, [this, gid, key, len]() {
       Gate& g2 = gate_ref(gid);
       auto ar = g2.collect.active_recv.find(key);
       if (ar == g2.collect.active_recv.end()) return;
@@ -611,9 +610,9 @@ void CollectLayer::on_bulk_recv_complete(GateId gate_id, uint64_t cookie) {
     // deferred completion re-looks the receive up by key (see
     // deliver_eager for why).
     req->layout().scatter(rec.offset, rec.bounce.view());
-    const simnet::SimTime done_at = ctx_.node.cpu().charge_memcpy(len);
+    const double done_at = ctx_.rt.cpu().charge_memcpy(len);
     const MsgKey key{req->tag(), req->seq()};
-    ctx_.world.at(done_at, [this, gate_id, key, len]() {
+    ctx_.rt.schedule_at(done_at, [this, gate_id, key, len]() {
       Gate& g2 = gate_ref(gate_id);
       auto ar = g2.collect.active_recv.find(key);
       if (ar == g2.collect.active_recv.end()) return;

@@ -15,12 +15,11 @@ namespace {
 constexpr double kDeadlineRetryUs = 50.0;
 }  // namespace
 
-Core::Core(simnet::SimWorld& world, simnet::SimNode& node, CoreConfig config)
-    : world_(world),
-      node_(node),
+Core::Core(runtime::IRuntime& rt, CoreConfig config)
+    : rt_(rt),
       config_(std::move(config)),
-      bus_(world_, &stats_),
-      ctx_{world_,     node_,      config_,    stats_,     bus_,
+      bus_(rt_, &stats_),
+      ctx_{rt_,        config_,    stats_,     bus_,
            chunk_pool_, bulk_pool_, send_pool_, recv_pool_, gates_},
       sched_(ctx_, *this, *this,
              (ensure_builtin_strategies(), make_strategy(config_.strategy))),
@@ -82,7 +81,7 @@ Core::Core(simnet::SimWorld& world, simnet::SimNode& node, CoreConfig config)
 Core::~Core() {
   for (auto& g : gates_) {
     if (g->peer_grace_armed) {
-      world_.cancel(g->peer_grace_timer);
+      rt_.cancel(g->peer_grace_timer);
       g->peer_grace_armed = false;
     }
   }
@@ -234,7 +233,7 @@ void Core::start_health_monitors() {
                       config_.probe_interval_us > 0.0,
                   "rail_health needs positive intervals");
   health_monitors_started_ = true;
-  const double now = world_.now();
+  const double now = rt_.now_us();
   for (auto& rail : rails_) rail->start_monitor(now);
 }
 
@@ -318,7 +317,7 @@ void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
     sched_.note_heard(g, rail);  // a delivering rail: best ack return path
   }
   ++stats_.packets_received;
-  node_.cpu().charge(config_.parse_packet_us);
+  rt_.cpu().charge(config_.parse_packet_us);
 
   PacketMeta meta;
   bool classified = false;  // packet-level framing inspected
@@ -360,7 +359,7 @@ void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
           return;
         }
         processed = true;
-        node_.cpu().charge(config_.parse_chunk_us);
+        rt_.cpu().charge(config_.parse_chunk_us);
         ++stats_.chunks_received;
         switch (chunk.kind) {
           case ChunkKind::kData:
@@ -427,7 +426,7 @@ void Core::on_packet(RailIndex rail, drivers::RxPacket&& packet) {
 void Core::fail_gate(Gate& gate, const util::Status& status) {
   if (gate.failed) return;
   ++stats_.gates_failed;
-  NMAD_LOG_WARN("nmad: node %u fails gate %u (peer %u): %s", node_.id(),
+  NMAD_LOG_WARN("nmad: node %u fails gate %u (peer %u): %s", rt_.local_id(),
                 gate.id, gate.peer, status.to_string().c_str());
   teardown_gate(gate, status);
 }
@@ -443,7 +442,7 @@ void Core::close_gate(GateId id) {
 void Core::teardown_gate(Gate& gate, const util::Status& status) {
   // A pending death-grace verdict is moot once the gate is down.
   if (gate.peer_grace_armed) {
-    world_.cancel(gate.peer_grace_timer);
+    rt_.cancel(gate.peer_grace_timer);
     gate.peer_grace_armed = false;
   }
   // `failed` is set before any layer runs so re-entrant paths (a
@@ -479,7 +478,7 @@ void Core::peer_unreachable(Gate& gate) {
   }
   if (gate.peer_grace_armed) return;
   gate.peer_grace_armed = true;
-  gate.peer_grace_timer = world_.after(
+  gate.peer_grace_timer = rt_.schedule_after(
       config_.peer_death_grace_us, [this, &gate]() { on_peer_grace(gate); });
 }
 
@@ -572,7 +571,7 @@ void Core::rejoin_gate(Gate& g) {
   g.fail_status = util::ok_status();
   ++stats_.peers_rejoined;
   NMAD_LOG_WARN("nmad: node %u rejoins gate %u (peer %u, incarnation %u)",
-                node_.id(), g.id, g.peer, g.peer_incarnation);
+                rt_.local_id(), g.id, g.peer, g.peer_incarnation);
   bus_.publish({.kind = EventKind::kPeerRejoined,
                 .gate = g.id,
                 .a = g.peer_incarnation});
@@ -607,15 +606,15 @@ util::Status Core::drain(double deadline_us) {
   bus_.publish({.kind = EventKind::kDrainMilestone,
                 .a = 0,
                 .b = static_cast<uint64_t>(deadline_us)});
-  const double deadline = world_.now() + deadline_us;
+  const double deadline = rt_.now_us() + deadline_us;
   while (!drained()) {
-    if (world_.now() >= deadline) {
+    if (rt_.now_us() >= deadline) {
       return util::deadline_exceeded("drain deadline expired");
     }
-    if (!world_.run_one()) {
-      // The whole simulation went quiescent with this engine still
-      // holding undelivered state (e.g. a rendezvous whose receive was
-      // never posted): no amount of waiting flushes it.
+    if (!rt_.advance()) {
+      // The runtime went quiescent with this engine still holding
+      // undelivered state (e.g. a rendezvous whose receive was never
+      // posted): no amount of waiting flushes it.
       return util::deadline_exceeded("drain stalled: engine cannot flush");
     }
   }
@@ -653,12 +652,12 @@ void Core::set_deadline(Request* req, double timeout_us) {
   cancel_deadline(req);  // last call wins
   req->deadline_armed_ = true;
   req->deadline_timer_ =
-      world_.after(timeout_us, [this, req]() { on_deadline(req); });
+      rt_.schedule_after(timeout_us, [this, req]() { on_deadline(req); });
 }
 
 void Core::cancel_deadline(Request* req) {
   if (!req->deadline_armed_) return;
-  world_.cancel(req->deadline_timer_);
+  rt_.cancel(req->deadline_timer_);
   req->deadline_armed_ = false;
 }
 
@@ -673,7 +672,7 @@ void Core::on_deadline(Request* req) {
   // either becomes cancellable or completes, whichever comes first.
   req->deadline_armed_ = true;
   req->deadline_timer_ =
-      world_.after(kDeadlineRetryUs, [this, req]() { on_deadline(req); });
+      rt_.schedule_after(kDeadlineRetryUs, [this, req]() { on_deadline(req); });
 }
 
 // ---------------------------------------------------------------------------
@@ -682,14 +681,16 @@ void Core::on_deadline(Request* req) {
 
 void Core::debug_dump(std::ostream& out) const {
   using ULL = unsigned long long;
-  dumpf(out, "=== nmad core on node %u (strategy %s) ===\n", node_.id(),
+  dumpf(out, "=== nmad core on node %u (strategy %s) ===\n", rt_.local_id(),
         std::string(sched_.strategy_name()).c_str());
   for (size_t r = 0; r < rails_.size(); ++r) {
     const TransferEngine& te = *rails_[r];
-    dumpf(out, "rail %zu: %s tx_idle=%d prebuilt=%d alive=%d", r,
-          te.name().c_str(), te.tx_idle() ? 1 : 0,
+    dumpf(out,
+          "rail %zu: %s tx_idle=%d prebuilt=%d alive=%d lat=%.2fus "
+          "bw=%.0fMB/s",
+          r, te.name().c_str(), te.tx_idle() ? 1 : 0,
           sched_.has_prebuilt(static_cast<RailIndex>(r)) ? 1 : 0,
-          te.alive() ? 1 : 0);
+          te.alive() ? 1 : 0, te.info().latency_us, te.info().bandwidth_mbps);
     te.dump_health(out);
     dumpf(out, "\n");
   }
@@ -865,7 +866,7 @@ Core::AllocStats Core::alloc_stats() const {
   s.recv_pool_live = recv_pool_.live();
   s.recv_pool_capacity = recv_pool_.capacity();
   s.recv_pool_grows = recv_pool_.grows();
-  s.queue = world_.queue_stats();
+  s.queue = rt_.timer_stats();
   s.inline_fn_heap_allocs = util::inline_fn_heap_allocs();
   return s;
 }

@@ -42,8 +42,7 @@
 #include "nmad/core/strategy.hpp"
 #include "nmad/core/transfer_engine.hpp"
 #include "nmad/drivers/driver.hpp"
-#include "simnet/fabric.hpp"
-#include "simnet/world.hpp"
+#include "nmad/runtime/runtime.hpp"
 #include "util/pool.hpp"
 #include "util/status.hpp"
 
@@ -51,7 +50,10 @@ namespace nmad::core {
 
 class Core final : public ITransferFleet, private IEngine {
  public:
-  Core(simnet::SimWorld& world, simnet::SimNode& node, CoreConfig config);
+  // The runtime supplies time, timers and host-cost accounting; it may be
+  // a SimRuntime (deterministic virtual time) or a WallClockRuntime (real
+  // transports). The engine itself never learns which.
+  Core(runtime::IRuntime& rt, CoreConfig config);
   ~Core() override;
 
   Core(const Core&) = delete;
@@ -110,23 +112,23 @@ class Core final : public ITransferFleet, private IEngine {
   // must still be release()d by the caller. No-op (returns false) on
   // requests that are already done.
   bool cancel(Request* req);
-  // Arms a deadline `timeout_us` of virtual time from now; if the request
+  // Arms a deadline `timeout_us` of runtime time from now; if the request
   // is still pending when it expires, the engine cancels it with
   // kDeadlineExceeded. An uncancellable send re-arms and tries again. At
   // most one deadline per request (the last call wins).
   void set_deadline(Request* req, double timeout_us);
 
   // Graceful drain / shutdown ----------------------------------------------
-  // Pumps the shared event loop until this engine is flushed: every
-  // non-failed gate's optimization window, rendezvous pipeline and
-  // retransmit windows are empty and all deferred acknowledgements have
-  // shipped. Unmatched receives stay posted (the application may expect
-  // traffic after the drain) and the engine remains fully usable — drain
-  // is a flush, not a teardown. Returns kDeadlineExceeded when
-  // `deadline_us` of virtual time elapses first, or when the whole
-  // simulation goes quiescent with this engine still holding undelivered
-  // state (e.g. a rendezvous whose receive was never posted): either way
-  // the engine cannot flush in time. On success the quiescence audit
+  // Pumps the runtime until this engine is flushed: every non-failed
+  // gate's optimization window, rendezvous pipeline and retransmit
+  // windows are empty and all deferred acknowledgements have shipped.
+  // Unmatched receives stay posted (the application may expect traffic
+  // after the drain) and the engine remains fully usable — drain is a
+  // flush, not a teardown. Returns kDeadlineExceeded when `deadline_us`
+  // of runtime time elapses first, or when the runtime reports no further
+  // progress is possible with this engine still holding undelivered state
+  // (e.g. a rendezvous whose receive was never posted): either way the
+  // engine cannot flush in time. On success the quiescence audit
   // (check_invariants) runs and its first failure is surfaced.
   util::Status drain(double deadline_us);
   // True when the flush condition above already holds.
@@ -166,8 +168,8 @@ class Core final : public ITransferFleet, private IEngine {
   void revive_rail(RailIndex rail);
   // Disarms the heartbeat/probe timers. The monitors re-arm themselves
   // forever by design (liveness has no natural end), which keeps the
-  // simulation from ever going quiescent; harnesses that pump the world
-  // dry call this once the workload is finished.
+  // runtime from ever going quiescent; harnesses that pump the event
+  // loop dry call this once the workload is finished.
   void stop_health_monitors();
   [[nodiscard]] size_t gate_count() const { return gates_.size(); }
   [[nodiscard]] Gate& gate(GateId id);
@@ -182,8 +184,8 @@ class Core final : public ITransferFleet, private IEngine {
   // so the next election simply uses the new policy. Returns not-found
   // for unregistered names.
   util::Status set_strategy(const std::string& name);
-  [[nodiscard]] simnet::SimWorld& world() { return world_; }
-  [[nodiscard]] simnet::SimNode& node() { return node_; }
+  [[nodiscard]] runtime::IRuntime& rt() { return rt_; }
+  [[nodiscard]] const runtime::IRuntime& rt() const { return rt_; }
 
   // Layer access ------------------------------------------------------------
   // The concrete layers, for tests and benchmarks that drive one layer
@@ -204,9 +206,9 @@ class Core final : public ITransferFleet, private IEngine {
   }
 
   // Allocation telemetry for the churn-regression tests: pool occupancy
-  // and slab counts for every hot-path pool, the event-queue slab/slot
-  // capacities, and the global InlineFunction heap-spill count. Every
-  // `*_grows`/capacity field is monotone and must be flat across a
+  // and slab counts for every hot-path pool, the runtime timer-queue
+  // slab/slot capacities, and the global InlineFunction heap-spill count.
+  // Every `*_grows`/capacity field is monotone and must be flat across a
   // steady-state phase — any increase is a hot-path heap allocation.
   struct AllocStats {
     size_t chunk_pool_live = 0;
@@ -221,7 +223,7 @@ class Core final : public ITransferFleet, private IEngine {
     size_t recv_pool_live = 0;
     size_t recv_pool_capacity = 0;
     size_t recv_pool_grows = 0;
-    simnet::EventQueue::Stats queue;
+    runtime::TimerStats queue;
     uint64_t inline_fn_heap_allocs = 0;
   };
   [[nodiscard]] AllocStats alloc_stats() const;
@@ -311,8 +313,7 @@ class Core final : public ITransferFleet, private IEngine {
   bool check_invariants_report(std::vector<std::string>* failures,
                                ValidateReport* report) const;
 
-  simnet::SimWorld& world_;
-  simnet::SimNode& node_;
+  runtime::IRuntime& rt_;
   CoreConfig config_;
   CoreStats stats_;
   EventBus bus_;

@@ -38,14 +38,14 @@ const char* event_kind_name(EventKind kind) {
   return "?";
 }
 
-EventBus::EventBus(simnet::SimWorld& world, CoreStats* stats,
+EventBus::EventBus(runtime::IRuntime& rt, CoreStats* stats,
                    size_t trace_capacity)
-    : world_(world), stats_(stats), capacity_(trace_capacity) {
+    : rt_(rt), stats_(stats), capacity_(trace_capacity) {
   ring_.reserve(capacity_);
 }
 
 void EventBus::publish(Event ev) {
-  ev.t = world_.now();
+  ev.t = rt_.now_us();
   ++published_;
   if (stats_ != nullptr) {
     switch (ev.kind) {

@@ -21,7 +21,7 @@
 
 #include "nmad/core/config.hpp"
 #include "nmad/core/types.hpp"
-#include "simnet/world.hpp"
+#include "nmad/runtime/runtime.hpp"
 
 namespace nmad::core {
 
@@ -60,7 +60,7 @@ const char* event_kind_name(EventKind kind);
 // old/new health, ...); unused fields stay at their defaults.
 struct Event {
   EventKind kind = EventKind::kPacketBuilt;
-  double t = 0.0;  // stamped by publish() with the virtual time
+  double t = 0.0;  // stamped by publish() from the runtime clock
   GateId gate = 0;
   RailIndex rail = kAnyRail;
   uint32_t seq = 0;
@@ -74,13 +74,13 @@ class EventBus {
 
   static constexpr size_t kDefaultTraceCapacity = 256;
 
-  EventBus(simnet::SimWorld& world, CoreStats* stats,
+  EventBus(runtime::IRuntime& rt, CoreStats* stats,
            size_t trace_capacity = kDefaultTraceCapacity);
 
   EventBus(const EventBus&) = delete;
   EventBus& operator=(const EventBus&) = delete;
 
-  // Stamps the event with the current virtual time, records it in the
+  // Stamps the event with the runtime's current time, records it in the
   // trace ring, bumps the per-kind stats counter, and synchronously
   // notifies every subscriber of that kind (in subscription order).
   void publish(Event ev);
@@ -95,7 +95,7 @@ class EventBus {
   void dump_trace(std::ostream& out, size_t max_events = 32) const;
 
  private:
-  simnet::SimWorld& world_;
+  runtime::IRuntime& rt_;
   CoreStats* stats_;
   std::vector<Event> ring_;
   size_t capacity_;

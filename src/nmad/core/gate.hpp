@@ -21,8 +21,7 @@
 #include "nmad/core/chunk.hpp"
 #include "nmad/core/request.hpp"
 #include "nmad/drivers/driver.hpp"
-#include "simnet/event_queue.hpp"
-#include "simnet/nic.hpp"
+#include "nmad/runtime/runtime.hpp"
 #include "util/buffer.hpp"
 #include "util/intrusive_list.hpp"
 #include "util/status.hpp"
@@ -64,7 +63,7 @@ struct RdvRecv {
   RecvRequest* request = nullptr;
   uint32_t len = 0;
   uint32_t offset = 0;
-  std::unique_ptr<simnet::BulkSink> sink;
+  std::unique_ptr<drivers::BulkSink> sink;
   std::vector<uint8_t> rails;       // rails the sink is posted on
   util::ByteBuffer bounce;          // used when the dest is not contiguous
 };
@@ -123,10 +122,10 @@ struct PendingPacket {
   // (until then the receiver may still issue a fresh-seq CTS).
   std::vector<uint64_t> cancel_cookies;
   RailIndex last_rail = 0;
-  double issued_at = -1.0;  // virtual time of the last wire handoff
+  double issued_at = -1.0;  // runtime time of the last wire handoff
   uint32_t retries = 0;
   double timeout_us = 0.0;  // current (backed-off) retransmit deadline
-  simnet::EventId timer = 0;
+  runtime::TimerId timer = 0;
   bool timer_armed = false;
   bool queued_retx = false;  // sitting in retx_queue
 };
@@ -139,10 +138,10 @@ struct PendingBulk {
   size_t offset = 0;
   size_t len = 0;
   RailIndex last_rail = 0;
-  double issued_at = -1.0;  // virtual time of the last wire handoff
+  double issued_at = -1.0;  // runtime time of the last wire handoff
   uint32_t retries = 0;
   double timeout_us = 0.0;
-  simnet::EventId timer = 0;
+  runtime::TimerId timer = 0;
   bool timer_armed = false;
   bool queued_retx = false;
 };
@@ -220,7 +219,7 @@ struct GateSched {
   uint32_t recv_floor = 0;         // every packet seq below this was heard
   std::set<uint32_t> recv_seen;    // heard seqs at/above the floor
   bool ack_needed = false;
-  simnet::EventId ack_timer = 0;
+  runtime::TimerId ack_timer = 0;
   bool ack_timer_armed = false;
   std::vector<BulkAck> pending_bulk_acks;  // deposited slices to ack
   // Fully-received rdv cookies (late slices re-acked, not asserted).
@@ -244,7 +243,7 @@ struct GateSched {
   // one chunk is force-admitted so a lost credit update cannot deadlock
   // the gate.
   bool credit_stalled = false;
-  simnet::EventId credit_probe_timer = 0;
+  runtime::TimerId credit_probe_timer = 0;
   bool credit_probe_armed = false;
 
   // Receiver view: cumulative eager traffic heard from the peer, bytes
@@ -284,7 +283,7 @@ struct Gate {
   // packets announcing a lower one are from a previous life and fenced.
   bool peer_dead = false;
   uint32_t peer_incarnation = 0;
-  simnet::EventId peer_grace_timer = 0;
+  runtime::TimerId peer_grace_timer = 0;
   bool peer_grace_armed = false;
   // Unwind fence for the rejoin handshake. `gate_gen` counts this side's
   // peer-death unwinds of this gate and rides every outgoing heartbeat

@@ -20,22 +20,19 @@
 #include "nmad/core/packet_builder.hpp"
 #include "nmad/core/strategy.hpp"
 #include "nmad/drivers/driver.hpp"
-#include "simnet/fabric.hpp"
-#include "simnet/nic.hpp"
-#include "simnet/world.hpp"
+#include "nmad/runtime/runtime.hpp"
 #include "util/pool.hpp"
 #include "util/status.hpp"
 
 namespace nmad::core {
 
 // Shared plumbing every layer receives by reference at construction: the
-// simulated world/node (time, cpu charges), the config and stats blocks,
-// the event bus, the object pools, and the gate table. Holding these in
-// one context keeps the layer constructors flat and makes the sharing
-// explicit — no layer owns any of it.
+// runtime (time, timers, cpu charges — simulated or wall-clock), the
+// config and stats blocks, the event bus, the object pools, and the gate
+// table. Holding these in one context keeps the layer constructors flat
+// and makes the sharing explicit — no layer owns any of it.
 struct EngineContext {
-  simnet::SimWorld& world;
-  simnet::SimNode& node;
+  runtime::IRuntime& rt;
   CoreConfig& config;
   CoreStats& stats;
   EventBus& bus;
@@ -93,7 +90,7 @@ class ITransferRail {
                                  size_t offset,
                                  const util::SegmentVec& segments,
                                  drivers::Driver::CompletionFn on_tx_done) = 0;
-  virtual util::Status post_bulk_recv(simnet::BulkSink* sink) = 0;
+  virtual util::Status post_bulk_recv(drivers::BulkSink* sink) = 0;
   virtual void cancel_bulk_recv(uint64_t cookie) = 0;
 
   // An ack for traffic last sent on this rail arrived: the rail

@@ -70,7 +70,7 @@ class Request {
   // Deadline support (Core::set_deadline): the armed timer is cancelled
   // when the request completes or is released, so a pooled object reused
   // for a new request never inherits a stale deadline.
-  uint64_t deadline_timer_ = 0;  // simnet::EventId
+  uint64_t deadline_timer_ = 0;  // runtime::TimerId
   bool deadline_armed_ = false;
 };
 

@@ -4,8 +4,8 @@
 #include <set>
 
 #include "nmad/core/format_util.hpp"
-#include "simnet/time.hpp"
 #include "util/logging.hpp"
+#include "util/units.hpp"
 
 namespace nmad::core {
 
@@ -31,11 +31,11 @@ ScheduleLayer::ScheduleLayer(EngineContext& ctx, ITransferFleet& fleet,
       strategy_(std::move(strategy)),
       // Rendezvous cookies embed the node id so sinks posted on a shared
       // receiver NIC never collide across senders.
-      next_cookie_((static_cast<uint64_t>(ctx.node.id()) + 1) << 48),
+      next_cookie_((static_cast<uint64_t>(ctx.rt.local_id()) + 1) << 48),
       // Seeded per node so the decorrelated backoff draws are replayable
       // yet distinct across peers — the whole point of the jitter.
       jitter_state_(0x9E3779B97F4A7C15ull ^
-                    (static_cast<uint64_t>(ctx.node.id()) + 1)) {}
+                    (static_cast<uint64_t>(ctx.rt.local_id()) + 1)) {}
 
 void ScheduleLayer::add_rail_slot() { rails_.emplace_back(); }
 
@@ -61,7 +61,7 @@ void ScheduleLayer::init_gate(Gate& gate) {
 // ---------------------------------------------------------------------------
 
 void ScheduleLayer::enqueue(Gate& gate, OutChunk* chunk) {
-  ctx_.node.cpu().charge(ctx_.config.submit_chunk_us);
+  ctx_.rt.cpu().charge(ctx_.config.submit_chunk_us);
   if (chunk->prio == Priority::kHigh) chunk->flags |= kFlagPriority;
   if (flow_control() && !chunk->is_control() && !chunk->credit_charged) {
     gate.sched.window_eager_bytes += chunk->payload.size();
@@ -180,7 +180,7 @@ void ScheduleLayer::maybe_prebuild(RailIndex rail) {
     if (taken == 0) continue;
     // The election cost is paid now, overlapped with the NIC's current
     // transmission instead of delaying the next one.
-    ctx_.node.cpu().charge(ctx_.config.elect_overhead_us);
+    ctx_.rt.cpu().charge(ctx_.config.elect_overhead_us);
     ++ctx_.stats.packets_prebuilt;
     ctx_.bus.publish({.kind = EventKind::kElected,
                       .gate = g.id,
@@ -320,7 +320,7 @@ void ScheduleLayer::issue_packet(Gate& gate, RailIndex rail,
   // The optimizer just inspected the window and synthesized a packet;
   // charge its cost (§5.1: "extra operations on the critical path") —
   // unless it was already paid at prebuild time.
-  if (charge_election) ctx_.node.cpu().charge(ctx_.config.elect_overhead_us);
+  if (charge_election) ctx_.rt.cpu().charge(ctx_.config.elect_overhead_us);
   ++ctx_.stats.packets_sent;
   ctx_.stats.chunks_sent += builder->chunk_count();
   if (builder->chunk_count() > 1) {
@@ -397,13 +397,13 @@ void ScheduleLayer::issue_packet(Gate& gate, RailIndex rail,
         if (chunk->reissue_at >= 0.0) {
           // Suspect-transition to wire: the failover latency the spray
           // path exists to shrink.
-          ctx_.stats.spray_reissue_latency_us.add(ctx_.world.now() -
+          ctx_.stats.spray_reissue_latency_us.add(ctx_.rt.now_us() -
                                                   chunk->reissue_at);
         }
       }
     }
     p.last_rail = rail;
-    p.issued_at = ctx_.world.now();
+    p.issued_at = ctx_.rt.now_us();
     p.timeout_us = ctx_.config.ack_timeout_us;
     arm_packet_timer(gate, pkt_seq);
   }
@@ -432,7 +432,7 @@ void ScheduleLayer::issue_standalone(Gate& gate, RailIndex rail,
 void ScheduleLayer::issue_bulk(Gate& gate, RailIndex rail, BulkJob* job,
                                size_t bytes) {
   NMAD_ASSERT(bytes > 0 && bytes <= job->remaining());
-  ctx_.node.cpu().charge(ctx_.config.elect_overhead_us);
+  ctx_.rt.cpu().charge(ctx_.config.elect_overhead_us);
   ++ctx_.stats.bulk_sends;
   ctx_.stats.bulk_bytes += bytes;
 
@@ -454,12 +454,12 @@ void ScheduleLayer::issue_bulk(Gate& gate, RailIndex rail, BulkJob* job,
     p.offset = offset;
     p.len = bytes;
     p.last_rail = rail;
-    p.issued_at = ctx_.world.now();
+    p.issued_at = ctx_.rt.now_us();
     // Large slices hold the wire longer; budget their transfer time on
     // top of the base deadline so they don't time out spuriously.
     p.timeout_us =
         ctx_.config.ack_timeout_us +
-        2.0 * simnet::wire_time(static_cast<double>(bytes),
+        2.0 * util::wire_time_us(static_cast<double>(bytes),
                                 fleet_.transfer_rail(rail).info()
                                     .bandwidth_mbps);
     arm_bulk_timer(gate, key);
@@ -573,7 +573,7 @@ bool ScheduleLayer::gate_has_healthy_rail(const Gate& gate,
 
 bool ScheduleLayer::reissue_inflight_sprays(RailIndex rail,
                                             bool degraded_trigger) {
-  const double now = ctx_.world.now();
+  const double now = ctx_.rt.now_us();
   bool any = false;
   for (auto& gate_ptr : ctx_.gates) {
     Gate& g = *gate_ptr;
@@ -789,7 +789,7 @@ void ScheduleLayer::commit_ack_chunk(Gate& gate, OutChunk* ack) {
   if (s.ack_needed) {
     if (!s.ack_timer_armed) schedule_ack(gate);
   } else if (s.ack_timer_armed) {
-    ctx_.world.cancel(s.ack_timer);
+    ctx_.rt.cancel(s.ack_timer);
     s.ack_timer_armed = false;
   }
 }
@@ -811,7 +811,7 @@ void ScheduleLayer::schedule_ack(Gate& gate) {
   if (gate.sched.ack_timer_armed) return;
   gate.sched.ack_timer_armed = true;
   const GateId gid = gate.id;
-  gate.sched.ack_timer = ctx_.world.after(
+  gate.sched.ack_timer = ctx_.rt.schedule_after(
       ctx_.config.ack_delay_us, [this, gid]() { on_ack_timer(gid); });
 }
 
@@ -876,11 +876,11 @@ void ScheduleLayer::retire_packet(
     Gate& gate, std::map<uint32_t, PendingPacket>::iterator it) {
   const uint32_t seq = it->first;
   PendingPacket& p = it->second;
-  if (p.timer_armed) ctx_.world.cancel(p.timer);
+  if (p.timer_armed) ctx_.rt.cancel(p.timer);
   // The rail delivered: feed its score the issue-to-ack latency of the
   // last (successful) wire handoff.
   fleet_.transfer_rail(p.last_rail)
-      .note_delivery(p.issued_at >= 0.0 ? ctx_.world.now() - p.issued_at
+      .note_delivery(p.issued_at >= 0.0 ? ctx_.rt.now_us() - p.issued_at
                                         : -1.0);
   ctx_.bus.publish({.kind = EventKind::kAcked,
                     .gate = gate.id,
@@ -910,9 +910,9 @@ void ScheduleLayer::retire_bulk(Gate& gate, const BulkAck& ack) {
   if (it == gate.sched.pending_bulk.end()) return;  // duplicate ack
   PendingBulk& p = it->second;
   if (p.len != ack.len) return;  // not this slice
-  if (p.timer_armed) ctx_.world.cancel(p.timer);
+  if (p.timer_armed) ctx_.rt.cancel(p.timer);
   fleet_.transfer_rail(p.last_rail)
-      .note_delivery(p.issued_at >= 0.0 ? ctx_.world.now() - p.issued_at
+      .note_delivery(p.issued_at >= 0.0 ? ctx_.rt.now_us() - p.issued_at
                                         : -1.0);
   ctx_.bus.publish({.kind = EventKind::kAcked,
                     .gate = gate.id,
@@ -936,7 +936,7 @@ void ScheduleLayer::arm_packet_timer(Gate& gate, uint32_t seq) {
   NMAD_ASSERT(!p.timer_armed);
   p.timer_armed = true;
   const GateId gid = gate.id;
-  p.timer = ctx_.world.after(
+  p.timer = ctx_.rt.schedule_after(
       p.timeout_us, [this, gid, seq]() { on_packet_timeout(gid, seq); });
 }
 
@@ -947,7 +947,7 @@ void ScheduleLayer::arm_bulk_timer(Gate& gate, const BulkKey& key) {
   NMAD_ASSERT(!p.timer_armed);
   p.timer_armed = true;
   const GateId gid = gate.id;
-  p.timer = ctx_.world.after(
+  p.timer = ctx_.rt.schedule_after(
       p.timeout_us, [this, gid, key]() { on_bulk_timeout(gid, key); });
 }
 
@@ -1039,18 +1039,18 @@ void ScheduleLayer::retransmit_packet(Gate& gate, RailIndex rail,
   PendingPacket& p = it->second;
   p.queued_retx = false;
   if (p.timer_armed) {
-    ctx_.world.cancel(p.timer);
+    ctx_.rt.cancel(p.timer);
     p.timer_armed = false;
   }
   p.last_rail = rail;
-  p.issued_at = ctx_.world.now();
+  p.issued_at = ctx_.rt.now_us();
   ++ctx_.stats.packets_retransmitted;
   ctx_.bus.publish({.kind = EventKind::kRetransmit,
                     .gate = gate.id,
                     .rail = rail,
                     .seq = seq});
   // Re-issuing is an election of sorts: the engine walked its queues.
-  ctx_.node.cpu().charge(ctx_.config.elect_overhead_us);
+  ctx_.rt.cpu().charge(ctx_.config.elect_overhead_us);
   std::shared_ptr<util::ByteBuffer> wire = p.wire;
   util::SegmentVec segments;
   segments.add(wire->view());
@@ -1067,18 +1067,18 @@ void ScheduleLayer::retransmit_bulk(Gate& gate, RailIndex rail,
   PendingBulk& p = it->second;
   p.queued_retx = false;
   if (p.timer_armed) {
-    ctx_.world.cancel(p.timer);
+    ctx_.rt.cancel(p.timer);
     p.timer_armed = false;
   }
   p.last_rail = rail;
-  p.issued_at = ctx_.world.now();
+  p.issued_at = ctx_.rt.now_us();
   ++ctx_.stats.bulk_retransmitted;
   ctx_.bus.publish({.kind = EventKind::kRetransmit,
                     .gate = gate.id,
                     .rail = rail,
                     .a = key.first,
                     .b = key.second});
-  ctx_.node.cpu().charge(ctx_.config.elect_overhead_us);
+  ctx_.rt.cpu().charge(ctx_.config.elect_overhead_us);
   util::SegmentVec segments;
   segments.add(p.job->body.subspan(p.offset, p.len));
   const util::Status st = fleet_.transfer_rail(rail).send_bulk(
@@ -1174,7 +1174,7 @@ void ScheduleLayer::note_credit_stall(Gate& gate) {
   }
   gate.sched.credit_probe_armed = true;
   const GateId gid = gate.id;
-  gate.sched.credit_probe_timer = ctx_.world.after(
+  gate.sched.credit_probe_timer = ctx_.rt.schedule_after(
       ctx_.config.credit_probe_us, [this, gid]() { on_credit_probe(gid); });
 }
 
@@ -1186,7 +1186,7 @@ void ScheduleLayer::on_credit_probe(GateId gate_id) {
   // can still come home on its ack: keep waiting.
   if (!g.sched.pending_pkts.empty() || !g.sched.pending_bulk.empty()) {
     g.sched.credit_probe_armed = true;
-    g.sched.credit_probe_timer = ctx_.world.after(
+    g.sched.credit_probe_timer = ctx_.rt.schedule_after(
         ctx_.config.credit_probe_us,
         [this, gate_id]() { on_credit_probe(gate_id); });
     return;
@@ -1252,7 +1252,7 @@ void ScheduleLayer::on_credit_probe(GateId gate_id) {
   // Keep probing until the limits grow (on_credit cancels the timer)
   // or the held-back traffic goes away.
   g.sched.credit_probe_armed = true;
-  g.sched.credit_probe_timer = ctx_.world.after(
+  g.sched.credit_probe_timer = ctx_.rt.schedule_after(
       ctx_.config.credit_probe_us,
       [this, gate_id]() { on_credit_probe(gate_id); });
 }
@@ -1381,7 +1381,7 @@ void ScheduleLayer::on_credit(Gate& gate, const WireChunk& chunk) {
   if (!grew) return;  // stale (reordered) advertisement
   gate.sched.credit_stalled = false;
   if (gate.sched.credit_probe_armed) {
-    ctx_.world.cancel(gate.sched.credit_probe_timer);
+    ctx_.rt.cancel(gate.sched.credit_probe_timer);
     gate.sched.credit_probe_armed = false;
   }
   kick();  // stalled chunks may be admissible now
@@ -1620,7 +1620,7 @@ void ScheduleLayer::drop_bulk_job(Gate& gate, BulkJob* job) {
   for (auto it = gate.sched.pending_bulk.begin();
        it != gate.sched.pending_bulk.end();) {
     if (it->second.job == job) {
-      if (it->second.timer_armed) ctx_.world.cancel(it->second.timer);
+      if (it->second.timer_armed) ctx_.rt.cancel(it->second.timer);
       it = gate.sched.pending_bulk.erase(it);
     } else {
       ++it;
@@ -1666,7 +1666,7 @@ void ScheduleLayer::on_rail_dead(RailIndex rail) {
       for (auto& [seq, p] : g.sched.pending_pkts) {
         if (p.last_rail != rail || p.queued_retx) continue;
         if (p.timer_armed) {
-          ctx_.world.cancel(p.timer);
+          ctx_.rt.cancel(p.timer);
           p.timer_armed = false;
         }
         p.queued_retx = true;
@@ -1675,7 +1675,7 @@ void ScheduleLayer::on_rail_dead(RailIndex rail) {
       for (auto& [key, p] : g.sched.pending_bulk) {
         if (p.last_rail != rail || p.queued_retx) continue;
         if (p.timer_armed) {
-          ctx_.world.cancel(p.timer);
+          ctx_.rt.cancel(p.timer);
           p.timer_armed = false;
         }
         p.queued_retx = true;
@@ -1701,7 +1701,7 @@ void ScheduleLayer::on_rail_dead(RailIndex rail) {
     for (auto& [seq, p] : g.sched.pending_pkts) {
       if (p.last_rail != rail || p.queued_retx) continue;
       if (p.timer_armed) {
-        ctx_.world.cancel(p.timer);
+        ctx_.rt.cancel(p.timer);
         p.timer_armed = false;
       }
       p.queued_retx = true;
@@ -1710,7 +1710,7 @@ void ScheduleLayer::on_rail_dead(RailIndex rail) {
     for (auto& [key, p] : g.sched.pending_bulk) {
       if (p.last_rail != rail || p.queued_retx) continue;
       if (p.timer_armed) {
-        ctx_.world.cancel(p.timer);
+        ctx_.rt.cancel(p.timer);
         p.timer_armed = false;
       }
       p.queued_retx = true;
@@ -1773,11 +1773,11 @@ void ScheduleLayer::on_rail_revived(RailIndex rail) {
 void ScheduleLayer::teardown_send(Gate& gate, const util::Status& status) {
   GateSched& s = gate.sched;
   if (s.ack_timer_armed) {
-    ctx_.world.cancel(s.ack_timer);
+    ctx_.rt.cancel(s.ack_timer);
     s.ack_timer_armed = false;
   }
   if (s.credit_probe_armed) {
-    ctx_.world.cancel(s.credit_probe_timer);
+    ctx_.rt.cancel(s.credit_probe_timer);
     s.credit_probe_armed = false;
   }
 
@@ -1801,7 +1801,7 @@ void ScheduleLayer::teardown_send(Gate& gate, const util::Status& status) {
 
   // In-flight reliable packets (null owners: chunks cancelled mid-flight).
   for (auto& [seq, p] : s.pending_pkts) {
-    if (p.timer_armed) ctx_.world.cancel(p.timer);
+    if (p.timer_armed) ctx_.rt.cancel(p.timer);
     for (SendRequest* owner : p.owners) {
       if (owner != nullptr) owner->complete(status);
     }
@@ -1812,7 +1812,7 @@ void ScheduleLayer::teardown_send(Gate& gate, const util::Status& status) {
   // Rendezvous jobs in every stage of the protocol.
   std::set<BulkJob*> jobs;
   for (auto& [key, p] : s.pending_bulk) {
-    if (p.timer_armed) ctx_.world.cancel(p.timer);
+    if (p.timer_armed) ctx_.rt.cancel(p.timer);
     jobs.insert(p.job);
   }
   s.pending_bulk.clear();

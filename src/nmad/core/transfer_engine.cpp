@@ -59,7 +59,7 @@ void TransferEngine::install_orphan(drivers::Driver::BulkOrphanHandler sink) {
 }
 
 void TransferEngine::refresh_liveness() {
-  last_rx_us_ = ctx_.world.now();
+  last_rx_us_ = ctx_.rt.now_us();
   // kDegraded is deliberately NOT cleared here: the degraded state is
   // score-driven (the rail is heard just fine — it drops or delays what
   // it carries), so only a sustained clean score in update_degraded()
@@ -93,7 +93,7 @@ util::Status TransferEngine::send_bulk(
                             std::move(on_tx_done));
 }
 
-util::Status TransferEngine::post_bulk_recv(simnet::BulkSink* sink) {
+util::Status TransferEngine::post_bulk_recv(drivers::BulkSink* sink) {
   return driver_->post_bulk_recv(sink);
 }
 
@@ -129,7 +129,7 @@ void TransferEngine::note_timeout() {
 void TransferEngine::update_degraded() {
   if (!adaptive_on() || !health_on() || !alive_) return;
   const CoreConfig& cfg = ctx_.config;
-  const double now = ctx_.world.now();
+  const double now = ctx_.rt.now_us();
   const bool lat_on = cfg.degraded_latency_enter_us > 0.0;
   const double lat_exit = cfg.degraded_latency_exit_us > 0.0
                               ? cfg.degraded_latency_exit_us
@@ -151,7 +151,7 @@ void TransferEngine::update_degraded() {
         breach_since_us_ = -1.0;
         ++ctx_.stats.rails_recovered;
         NMAD_LOG_WARN("nmad: node %u clears rail %u (%s) from degraded",
-                      ctx_.node.id(), static_cast<unsigned>(index_),
+                      ctx_.rt.local_id(), static_cast<unsigned>(index_),
                       driver_->caps().name.c_str());
         set_health(RailHealth::kAlive);
       }
@@ -173,7 +173,7 @@ void TransferEngine::update_degraded() {
       ++ctx_.stats.rails_degraded;
       NMAD_LOG_WARN(
           "nmad: node %u marks rail %u (%s) degraded (loss=%.4f lat=%.1fus)",
-          ctx_.node.id(), static_cast<unsigned>(index_),
+          ctx_.rt.local_id(), static_cast<unsigned>(index_),
           driver_->caps().name.c_str(), loss_ewma_, lat_ewma_us_);
       // The transition is the closed loop's trigger: the schedule layer's
       // subscription re-elects in-flight sprayed fragments off this rail
@@ -209,7 +209,7 @@ void TransferEngine::kill() {
   clean_since_us_ = -1.0;
   ++ctx_.stats.rails_failed;
   NMAD_LOG_WARN("nmad: node %u declares rail %u (%s) dead (epoch %u)",
-                ctx_.node.id(), static_cast<unsigned>(index_),
+                ctx_.rt.local_id(), static_cast<unsigned>(index_),
                 driver_->caps().name.c_str(), epoch_);
   // The health-transition event is the rail's obituary on the bus: the
   // scheduling layer's subscription re-homes prebuilt packets and
@@ -222,7 +222,7 @@ void TransferEngine::revive() {
   alive_ = true;
   consec_timeouts_ = 0;
   probation_hits_ = 0;
-  last_rx_us_ = ctx_.world.now();
+  last_rx_us_ = ctx_.rt.now_us();
   // A revived rail starts its new life with a clean score: the losses
   // that killed it belong to the old epoch.
   loss_ewma_ = 0.0;
@@ -231,7 +231,7 @@ void TransferEngine::revive() {
   clean_since_us_ = -1.0;
   ++ctx_.stats.rails_revived;
   NMAD_LOG_WARN("nmad: node %u revives rail %u (%s) at epoch %u",
-                ctx_.node.id(), static_cast<unsigned>(index_),
+                ctx_.rt.local_id(), static_cast<unsigned>(index_),
                 driver_->caps().name.c_str(), epoch_);
   // The scheduling layer's subscription hands the rail back to rendezvous
   // jobs whose CTS granted it, then kicks an election pass.
@@ -263,7 +263,7 @@ OutChunk* TransferEngine::make_heartbeat_chunk(const Gate& gate,
   // The node incarnation rides alongside: every beacon/probe/reply
   // announces which life of this node it belongs to, so a peer can fence
   // stragglers from before a crash (peer lifecycle).
-  hb->epoch = ctx_.node.incarnation();
+  hb->epoch = ctx_.rt.incarnation();
   hb->prio = Priority::kHigh;
   hb->owner = nullptr;
   return hb;
@@ -273,14 +273,14 @@ void TransferEngine::maybe_inject_heartbeat(Gate& gate,
                                             PacketBuilder& builder) {
   if (!health_on()) return;
   double& last = hb_tx_slot(gate.id);
-  if (ctx_.world.now() - last < ctx_.config.heartbeat_interval_us) return;
+  if (ctx_.rt.now_us() - last < ctx_.config.heartbeat_interval_us) return;
   OutChunk* hb = make_heartbeat_chunk(gate, kFlagNone, epoch_);
   if (!builder.fits(*hb)) {
     ctx_.chunk_pool.release(hb);
     return;
   }
   builder.add(hb);
-  last = ctx_.world.now();
+  last = ctx_.rt.now_us();
   ++ctx_.stats.heartbeats_sent;
 }
 
@@ -293,7 +293,7 @@ void TransferEngine::send_standalone_heartbeat(Gate& gate, uint8_t flags,
   builder->add(make_heartbeat_chunk(gate, flags, epoch));
   // Refresh the beacon slot before the issue path, which would otherwise
   // piggyback a second (now redundant) plain beacon onto this packet.
-  hb_tx_slot(gate.id) = ctx_.world.now();
+  hb_tx_slot(gate.id) = ctx_.rt.now_us();
   if ((flags & kFlagProbe) != 0) {
     ++ctx_.stats.probes_sent;
   } else if ((flags & kFlagReply) != 0) {
@@ -308,20 +308,20 @@ void TransferEngine::start_monitor(double now) {
   last_rx_us_ = now;  // silence is counted from connect, not time zero
   last_tp_tick_us_ = now;
   health_timer_armed_ = true;
-  health_timer_ = ctx_.world.after(ctx_.config.heartbeat_interval_us,
+  health_timer_ = ctx_.rt.schedule_after(ctx_.config.heartbeat_interval_us,
                                    [this]() { on_health_tick(); });
 }
 
 void TransferEngine::stop_monitor() {
   if (health_timer_armed_) {
-    ctx_.world.cancel(health_timer_);
+    ctx_.rt.cancel(health_timer_);
     health_timer_armed_ = false;
   }
 }
 
 void TransferEngine::on_health_tick() {
   health_timer_armed_ = false;
-  const double now = ctx_.world.now();
+  const double now = ctx_.rt.now_us();
 
   if (adaptive_on()) {
     // Roll the throughput window: EWMA of per-tick wire-tx bytes over
@@ -427,7 +427,7 @@ void TransferEngine::on_health_tick() {
   }
 
   health_timer_armed_ = true;
-  health_timer_ = ctx_.world.after(ctx_.config.heartbeat_interval_us,
+  health_timer_ = ctx_.rt.schedule_after(ctx_.config.heartbeat_interval_us,
                                    [this]() { on_health_tick(); });
 }
 
@@ -451,7 +451,7 @@ void TransferEngine::handle_heartbeat(Gate& gate, const WireChunk& chunk) {
       if (rtt_probe_pending_ && chunk.seq == epoch_) {
         rtt_probe_pending_ = false;
         if (adaptive_on()) {
-          const double rtt = ctx_.world.now() - last_probe_us_;
+          const double rtt = ctx_.rt.now_us() - last_probe_us_;
           delivery_latency_.add(rtt);
           const double a = ctx_.config.score_loss_alpha;
           lat_ewma_us_ = lat_ewma_us_ == 0.0
@@ -472,7 +472,7 @@ void TransferEngine::handle_heartbeat(Gate& gate, const WireChunk& chunk) {
       return;
     }
     set_health(RailHealth::kProbation);
-    last_fresh_reply_us_ = ctx_.world.now();
+    last_fresh_reply_us_ = ctx_.rt.now_us();
     if (++probation_hits_ >= ctx_.config.probation_replies) {
       revive();
     }
@@ -497,7 +497,7 @@ void TransferEngine::dump_health(std::ostream& out) const {
   if (!health_on()) return;
   dumpf(out, " health=%s epoch=%u peer_epoch=%u heard=%.0fus_ago",
         rail_health_name(health_), epoch_, peer_epoch_,
-        ctx_.world.now() - last_rx_us_);
+        ctx_.rt.now_us() - last_rx_us_);
   if (health_ == RailHealth::kProbation) {
     dumpf(out, " probation=%u/%u", probation_hits_,
           ctx_.config.probation_replies);

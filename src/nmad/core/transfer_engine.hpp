@@ -60,7 +60,7 @@ class TransferEngine final : public ITransferRail {
   util::Status send_bulk(const Gate& gate, uint64_t cookie, size_t offset,
                          const util::SegmentVec& segments,
                          drivers::Driver::CompletionFn on_tx_done) override;
-  util::Status post_bulk_recv(simnet::BulkSink* sink) override;
+  util::Status post_bulk_recv(drivers::BulkSink* sink) override;
   void cancel_bulk_recv(uint64_t cookie) override;
   void note_delivery(double latency_us = -1.0) override;
   void note_timeout() override;
@@ -139,7 +139,7 @@ class TransferEngine final : public ITransferRail {
   // liveness thresholds are per-peer receive silence, so each peer must
   // hear its own beacons.
   std::vector<double> hb_tx_us_;
-  simnet::EventId health_timer_ = 0;
+  runtime::TimerId health_timer_ = 0;
   bool health_timer_armed_ = false;
 
   // Gray-failure score (CoreConfig::adaptive). Loss is an EWMA over

@@ -138,7 +138,7 @@ void Core::validate_invariants() {
   }
   std::fprintf(stderr,
                "nmad: node %u: %zu protocol invariant violation(s):\n",
-               node_.id(), failures.size());
+               rt_.local_id(), failures.size());
   for (const std::string& f : failures) {
     std::fprintf(stderr, "  %s\n", f.c_str());
   }

@@ -10,20 +10,25 @@
 // on its rail. Drivers are strictly mechanism: they move fully-built
 // packets and bulk bodies, and report when the NIC is idle so the
 // scheduler above can elect the next optimized packet.
+//
+// All callbacks are allocation-free InlineFunctions: the per-packet
+// handoff across this seam is on the engine's steady-state hot path, and
+// the zero-alloc guarantee (test_alloc_churn) extends through it.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
-#include "simnet/nic.hpp"
+#include "nmad/drivers/bulk_sink.hpp"
 #include "util/buffer.hpp"
+#include "util/inline_fn.hpp"
 #include "util/status.hpp"
 
 namespace nmad::drivers {
 
 // Peer address on a rail. In the simulated fabric this is the node id;
-// a production driver would hold whatever its network names peers with.
+// the shm driver uses the rank within its hub; a production driver would
+// hold whatever its network names peers with.
 using PeerAddr = uint32_t;
 
 struct DriverCaps {
@@ -45,8 +50,19 @@ struct RxPacket {
 
 class Driver {
  public:
-  using CompletionFn = std::function<void()>;
-  using RxHandler = std::function<void(RxPacket&&)>;
+  // Capacities: the scheduler's tx-done closures measure ≤ 32 bytes, the
+  // engine's rx/orphan handlers capture only `this` — anything larger
+  // spills to the heap and trips the allocation-regression tests.
+  using CompletionFn = util::InlineFunction<48>;
+  using RxHandler = util::InlineFunction<32, void(RxPacket&&)>;
+  // (from, cookie, offset, len): a bulk slice addressed to a sink that is
+  // no longer posted — a late retransmission under the reliability layer.
+  using BulkOrphanHandler =
+      util::InlineFunction<32, void(PeerAddr, uint64_t, size_t, size_t)>;
+  // (from): any track-1 arrival on this rail, sink hit or orphan. Bulk
+  // deposits never reach the rx handler, so the health monitor needs this
+  // hook to count a saturated bulk stream as liveness evidence.
+  using BulkRxHandler = util::InlineFunction<32, void(PeerAddr)>;
 
   virtual ~Driver() = default;
 
@@ -77,19 +93,13 @@ class Driver {
   // Posts a bulk receive window. The sink is owned by the engine and may
   // be posted on several rails at once (multi-rail reassembly into one
   // destination region); the engine cancels it on every rail once the
-  // sink completes. BulkSink is the registered-memory handle of the
-  // simulated fabric — a production driver would wrap its own memory
-  // registration in the same shape.
-  virtual util::Status post_bulk_recv(simnet::BulkSink* sink) = 0;
+  // sink completes. Drivers wrap their own memory-registration handle
+  // around it internally.
+  virtual util::Status post_bulk_recv(BulkSink* sink) = 0;
   virtual void cancel_bulk_recv(uint64_t cookie) = 0;
 
   // Registers the engine's packet-arrival callback.
   virtual void set_rx_handler(RxHandler handler) = 0;
-
-  // (from, cookie, offset, len): a bulk slice addressed to a sink that is
-  // no longer posted — a late retransmission under the reliability layer.
-  using BulkOrphanHandler =
-      std::function<void(PeerAddr, uint64_t, size_t, size_t)>;
 
   // Optional: without a handler, orphan bulk arrivals stay a hard
   // protocol error (lossless operation). Drivers that cannot observe
@@ -98,11 +108,7 @@ class Driver {
     (void)handler;
   }
 
-  // (from): any track-1 arrival on this rail, sink hit or orphan. Bulk
-  // deposits never reach the rx handler, so the health monitor needs this
-  // hook to count a saturated bulk stream as liveness evidence. Drivers
-  // that cannot observe deposits may ignore it.
-  using BulkRxHandler = std::function<void(PeerAddr)>;
+  // Optional: drivers that cannot observe deposits may ignore it.
   virtual void set_bulk_rx_handler(BulkRxHandler handler) {
     (void)handler;
   }

@@ -2,8 +2,15 @@
 //
 // Bridges the engine's driver API onto simnet: charges host CPU where a
 // real driver would burn cycles (bounce-buffer copies when the NIC lacks
-// gather DMA), defers NIC launches until the host CPU is free, and owns
-// the BulkSink objects backing posted rendezvous windows.
+// gather DMA), defers NIC launches until the host CPU is free, and wraps
+// the engine's transport-neutral BulkSinks in the simulated NIC's own
+// registered-window objects.
+//
+// The send path is allocation-free in steady state: the frame staging
+// buffer and the in-flight completion are driver members (the single-
+// in-flight contract means one of each suffices), so every closure handed
+// to the simulator captures only `this` plus a few scalars and stays
+// inside its InlineFunction.
 #pragma once
 
 #include <map>
@@ -34,7 +41,7 @@ class SimDriver final : public Driver {
   util::Status send_bulk(PeerAddr to, uint64_t cookie, size_t offset,
                          const util::SegmentVec& segments,
                          CompletionFn on_tx_done) override;
-  util::Status post_bulk_recv(simnet::BulkSink* sink) override;
+  util::Status post_bulk_recv(BulkSink* sink) override;
   void cancel_bulk_recv(uint64_t cookie) override;
 
   void set_rx_handler(RxHandler handler) override;
@@ -46,7 +53,12 @@ class SimDriver final : public Driver {
 
  private:
   // Runs `fn` as soon as the host CPU is free (possibly immediately).
-  void when_cpu_free(std::function<void()> fn);
+  void when_cpu_free(simnet::EventFn fn);
+  // Stages `segments` into the member frame buffer and returns the wire
+  // segment count after the gather-capability check (charging the bounce
+  // copy when the NIC cannot gather).
+  size_t stage_frame(const util::SegmentVec& segments, bool bulk);
+  void finish_tx();
 
   simnet::SimWorld& world_;
   simnet::SimNode& node_;
@@ -54,6 +66,18 @@ class SimDriver final : public Driver {
   DriverCaps caps_;
   bool open_ = false;
   bool pending_tx_ = false;  // send accepted but NIC not yet done
+
+  // In-flight send state; valid only while pending_tx_. The buffer is
+  // reused send-to-send (the NIC copies it at launch, and the single-
+  // in-flight contract keeps launches and stagings strictly alternating).
+  util::ByteBuffer tx_frame_;
+  CompletionFn tx_done_;
+
+  // The simulated NIC's view of each posted engine sink: a simnet window
+  // over the same destination region, completion left to the engine side
+  // (deposits forward raw extents, the engine's interval set dedups —
+  // identical accounting whether one rail feeds the sink or several).
+  std::map<uint64_t, std::unique_ptr<simnet::BulkSink>> wrapped_sinks_;
 };
 
 // Builds driver caps from a NIC profile (shared with tests).

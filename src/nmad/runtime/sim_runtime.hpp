@@ -1,0 +1,89 @@
+// SimRuntime: the IRuntime adapter over the discrete-event simulation.
+//
+// Strictly pass-through: every schedule/cancel call forwards to the
+// SimWorld calendar queue in the same order the engine used to issue
+// them directly, and the returned TimerIds ARE the queue's generation-
+// stamped EventIds — so a seed replayed through the seam produces the
+// byte-identical event sequence (and BENCH artifacts) it produced before
+// the seam existed. Any behavioral divergence here is a bug.
+#pragma once
+
+#include <cstdint>
+
+#include "nmad/runtime/runtime.hpp"
+#include "simnet/fabric.hpp"
+#include "simnet/world.hpp"
+
+namespace nmad::runtime {
+
+class SimRuntime final : public IRuntime, public IExecLock {
+ public:
+  SimRuntime(simnet::SimWorld& world, simnet::SimNode& node)
+      : world_(world), node_(node), cpu_(node) {}
+
+  SimRuntime(const SimRuntime&) = delete;
+  SimRuntime& operator=(const SimRuntime&) = delete;
+
+  [[nodiscard]] double now_us() const override { return world_.now(); }
+
+  TimerId schedule_at(double at_us, TimerFn fn) override {
+    return world_.at(at_us, std::move(fn));
+  }
+  TimerId schedule_after(double delay_us, TimerFn fn) override {
+    return world_.after(delay_us, std::move(fn));
+  }
+  void defer(TimerFn fn) override { world_.after(0.0, std::move(fn)); }
+  void cancel(TimerId id) override { world_.cancel(id); }
+
+  [[nodiscard]] uint32_t local_id() const override { return node_.id(); }
+  [[nodiscard]] uint32_t incarnation() const override {
+    return node_.incarnation();
+  }
+
+  [[nodiscard]] ICpuCharge& cpu() override { return cpu_; }
+
+  [[nodiscard]] TimerStats timer_stats() const override {
+    const simnet::EventQueue::Stats qs = world_.queue_stats();
+    TimerStats ts;
+    ts.scheduled = qs.scheduled;
+    ts.executed = qs.executed;
+    ts.cancelled = qs.cancelled;
+    ts.resizes = qs.resizes;
+    ts.direct_searches = qs.direct_searches;
+    ts.buckets = qs.buckets;
+    ts.pending = qs.pending;
+    ts.node_capacity = qs.node_capacity;
+    ts.node_slabs = qs.node_slabs;
+    ts.slot_capacity = qs.slot_capacity;
+    return ts;
+  }
+
+  bool advance() override { return world_.run_one(); }
+
+  // IExecLock: the simulation is single-threaded; nothing to serialize.
+  void lock() override {}
+  void unlock() override {}
+
+  [[nodiscard]] simnet::SimWorld& world() { return world_; }
+  [[nodiscard]] simnet::SimNode& node() { return node_; }
+
+ private:
+  // Forwards host-cost charges to the node's CpuModel (virtual time).
+  class CpuAdapter final : public ICpuCharge {
+   public:
+    explicit CpuAdapter(simnet::SimNode& node) : node_(node) {}
+    double charge(double us) override { return node_.cpu().charge(us); }
+    double charge_memcpy(size_t bytes) override {
+      return node_.cpu().charge_memcpy(bytes);
+    }
+
+   private:
+    simnet::SimNode& node_;
+  };
+
+  simnet::SimWorld& world_;
+  simnet::SimNode& node_;
+  CpuAdapter cpu_;
+};
+
+}  // namespace nmad::runtime

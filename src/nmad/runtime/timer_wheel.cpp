@@ -1,0 +1,210 @@
+#include "nmad/runtime/timer_wheel.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace nmad::runtime {
+
+TimerWheel::TimerWheel(double tick_us) : tick_us_(tick_us) {
+  NMAD_ASSERT_MSG(tick_us_ > 0.0, "timer wheel tick must be positive");
+  buckets_.assign(kMinBuckets, nullptr);
+  mask_ = kMinBuckets - 1;
+}
+
+TimerWheel::~TimerWheel() = default;
+
+TimerWheel::Node* TimerWheel::acquire_node() {
+  if (free_nodes_ == nullptr) {
+    auto slab = std::make_unique<Node[]>(kSlabNodes);
+    for (size_t i = 0; i < kSlabNodes; ++i) {
+      slab[i].next = free_nodes_;
+      free_nodes_ = &slab[i];
+    }
+    slabs_.push_back(std::move(slab));
+  }
+  Node* node = free_nodes_;
+  free_nodes_ = node->next;
+  node->next = nullptr;
+  node->cancelled = false;
+  node->slot = kNoSlot;
+  return node;
+}
+
+void TimerWheel::release_node(Node* node) {
+  node->fn.reset();
+  node->next = free_nodes_;
+  free_nodes_ = node;
+}
+
+void TimerWheel::retire_slot(uint32_t slot) {
+  if (slot == kNoSlot) return;
+  // Bumping the generation fences every outstanding id for this slot.
+  ++slots_[slot].gen;
+  if (slots_[slot].gen == 0) slots_[slot].gen = 1;  // keep ids nonzero
+  slots_[slot].node = nullptr;
+  free_slots_.push_back(slot);
+}
+
+void TimerWheel::insert_node(Node* node) {
+  Node** link = &buckets_[node->vb & mask_];
+  while (*link != nullptr && before(**link, *node)) {
+    link = &(*link)->next;
+  }
+  node->next = *link;
+  *link = node;
+}
+
+TimerId TimerWheel::schedule_at(double at, TimerFn fn) {
+  NMAD_ASSERT_MSG(at >= 0.0, "timer scheduled before time zero");
+  Node* node = acquire_node();
+  node->at = at;
+  node->seq = next_seq_++;
+  // Clamp behind-the-cursor deadlines (already-due timers) onto the
+  // cursor bucket so the scan still finds them; ordering stays (at, seq).
+  const uint64_t vb = static_cast<uint64_t>(at / tick_us_);
+  node->vb = vb < cur_vb_ ? cur_vb_ : vb;
+  node->fn = std::move(fn);
+
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(SlotRec{});
+  }
+  slots_[slot].node = node;
+  node->slot = slot;
+
+  insert_node(node);
+  ++live_;
+  ++scheduled_;
+  if (live_ > buckets_.size()) resize(buckets_.size() * 2);
+  return (static_cast<uint64_t>(slot) << 32) | slots_[slot].gen;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  const uint32_t slot = static_cast<uint32_t>(id >> 32);
+  const uint32_t gen = static_cast<uint32_t>(id & 0xFFFFFFFFu);
+  if (slot >= slots_.size() || slots_[slot].gen != gen ||
+      slots_[slot].node == nullptr) {
+    return false;  // stale: fired, cancelled, or recycled
+  }
+  Node* node = slots_[slot].node;
+  node->cancelled = true;  // reaped lazily when it surfaces at a head
+  node->fn.reset();
+  retire_slot(slot);
+  node->slot = kNoSlot;
+  NMAD_ASSERT(live_ > 0);
+  --live_;
+  ++cancelled_count_;
+  return true;
+}
+
+TimerWheel::Node* TimerWheel::clean_head(size_t bucket) {
+  Node* head = buckets_[bucket];
+  while (head != nullptr && head->cancelled) {
+    buckets_[bucket] = head->next;
+    release_node(head);
+    head = buckets_[bucket];
+  }
+  return head;
+}
+
+TimerWheel::Node* TimerWheel::find_min() {
+  if (live_ == 0) return nullptr;
+  // One lap from the cursor: the common case pops within a few ticks.
+  const size_t nbuckets = buckets_.size();
+  for (size_t step = 0; step < nbuckets; ++step) {
+    const uint64_t vb = cur_vb_ + step;
+    Node* head = clean_head(vb & mask_);
+    if (head != nullptr && head->vb == vb) {
+      cur_vb_ = vb;
+      return head;
+    }
+    // head == nullptr or head->vb > vb: nothing pending in this virtual
+    // bucket (sorted lists make the lap's entries a prefix), keep going.
+  }
+  // Everything pending is at least a lap away: direct search over the
+  // bucket heads (each head is its bucket's (at, seq) minimum).
+  ++direct_searches_;
+  Node* min = nullptr;
+  for (size_t b = 0; b < nbuckets; ++b) {
+    Node* head = clean_head(b);
+    if (head != nullptr && (min == nullptr || before(*head, *min))) {
+      min = head;
+    }
+  }
+  NMAD_ASSERT_MSG(min != nullptr, "live timers but none found");
+  cur_vb_ = min->vb;
+  return min;
+}
+
+double TimerWheel::next_deadline() {
+  Node* min = find_min();
+  return min == nullptr ? std::numeric_limits<double>::infinity() : min->at;
+}
+
+bool TimerWheel::pop_due(double now, TimerFn* out) {
+  Node* min = find_min();
+  if (min == nullptr || min->at > now) return false;
+  // find_min left the cursor on min's virtual bucket; min is that
+  // bucket's clean head.
+  const size_t bucket = cur_vb_ & mask_;
+  NMAD_ASSERT(buckets_[bucket] == min);
+  buckets_[bucket] = min->next;
+  retire_slot(min->slot);
+  *out = std::move(min->fn);
+  release_node(min);
+  NMAD_ASSERT(live_ > 0);
+  --live_;
+  ++executed_;
+  return true;
+}
+
+void TimerWheel::resize(size_t want_buckets) {
+  std::vector<Node*> nodes;
+  nodes.reserve(live_);
+  for (Node*& head : buckets_) {
+    while (head != nullptr) {
+      Node* node = head;
+      head = node->next;
+      if (node->cancelled) {
+        release_node(node);
+      } else {
+        nodes.push_back(node);
+      }
+    }
+  }
+  buckets_.assign(want_buckets, nullptr);
+  mask_ = want_buckets - 1;
+  ++resizes_;
+  // Reinsert in reverse (at, seq) order so each insert lands at its
+  // bucket head — O(n) instead of O(n²) list walks.
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node* a, const Node* b) { return before(*b, *a); });
+  for (Node* node : nodes) {
+    node->next = nullptr;
+    insert_node(node);
+  }
+}
+
+TimerStats TimerWheel::stats() const {
+  TimerStats s;
+  s.scheduled = scheduled_;
+  s.executed = executed_;
+  s.cancelled = cancelled_count_;
+  s.resizes = resizes_;
+  s.direct_searches = direct_searches_;
+  s.buckets = buckets_.size();
+  s.pending = live_;
+  s.node_capacity = slabs_.size() * kSlabNodes;
+  s.node_slabs = slabs_.size();
+  s.slot_capacity = slots_.size();
+  return s;
+}
+
+}  // namespace nmad::runtime

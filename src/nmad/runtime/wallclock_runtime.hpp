@@ -1,0 +1,100 @@
+// WallClockRuntime: real time for real transports.
+//
+// now_us() is steady_clock microseconds since construction; timers live
+// in a hashed TimerWheel pumped by a background progress thread. Because
+// real drivers deliver from their own pump threads, the runtime also
+// provides the exec lock (IExecLock) that serializes every entry into
+// the engine: the timer thread fires callbacks under it, driver rx
+// threads deliver under it, and the application thread wraps its
+// isend/irecv/poll calls in it. The engine itself stays single-threaded
+// by contract — exactly one thread is ever inside a Core.
+//
+// Host cost modelling is a no-op here: the host really performs the
+// memcpys, so charge()/charge_memcpy() just return the current time.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "nmad/runtime/runtime.hpp"
+#include "nmad/runtime/timer_wheel.hpp"
+
+namespace nmad::runtime {
+
+class WallClockRuntime final : public IRuntime, public IExecLock {
+ public:
+  struct Options {
+    double tick_us = 50.0;  // timer-wheel bucket width
+    // Without the thread the owner pumps poll_timers() itself —
+    // deterministic single-threaded mode for tests.
+    bool background_thread = true;
+    uint32_t local_id = 0;
+    uint32_t incarnation = 0;
+  };
+
+  WallClockRuntime() : WallClockRuntime(Options{}) {}
+  explicit WallClockRuntime(Options options);
+  ~WallClockRuntime() override;
+
+  WallClockRuntime(const WallClockRuntime&) = delete;
+  WallClockRuntime& operator=(const WallClockRuntime&) = delete;
+
+  // IRuntime ----------------------------------------------------------
+  [[nodiscard]] double now_us() const override;
+  TimerId schedule_at(double at_us, TimerFn fn) override;
+  TimerId schedule_after(double delay_us, TimerFn fn) override;
+  void defer(TimerFn fn) override;
+  void cancel(TimerId id) override;
+  [[nodiscard]] uint32_t local_id() const override { return local_id_; }
+  [[nodiscard]] uint32_t incarnation() const override {
+    return incarnation_;
+  }
+  [[nodiscard]] ICpuCharge& cpu() override { return cpu_; }
+  [[nodiscard]] TimerStats timer_stats() const override;
+  // Real time passes on its own: briefly yield (or pump the wheel in
+  // threadless mode) and report "maybe more progress". Callers bound
+  // their waits with deadlines, not with this return value.
+  bool advance() override;
+
+  // IExecLock ---------------------------------------------------------
+  void lock() override { exec_mu_.lock(); }
+  void unlock() override { exec_mu_.unlock(); }
+
+  // Fires every timer due at the current time (takes the exec lock).
+  // The pump thread does this continuously; threadless mode calls it
+  // explicitly. Returns the number of timers fired.
+  size_t poll_timers();
+
+ private:
+  void pump();
+
+  class NullCpu final : public ICpuCharge {
+   public:
+    explicit NullCpu(WallClockRuntime& rt) : rt_(rt) {}
+    double charge(double) override { return rt_.now_us(); }
+    double charge_memcpy(size_t) override { return rt_.now_us(); }
+
+   private:
+    WallClockRuntime& rt_;
+  };
+
+  const std::chrono::steady_clock::time_point epoch_;
+  const uint32_t local_id_;
+  const uint32_t incarnation_;
+  NullCpu cpu_;
+
+  mutable std::mutex wheel_mu_;  // guards wheel_ (and the cv below)
+  TimerWheel wheel_;
+  std::condition_variable wheel_cv_;
+
+  std::mutex exec_mu_;  // serializes all engine entry (see header)
+
+  std::atomic<bool> stop_{false};
+  std::thread pump_thread_;
+};
+
+}  // namespace nmad::runtime

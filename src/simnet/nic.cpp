@@ -222,12 +222,13 @@ void SimNic::deliver_frame(RxFrame&& frame, size_t bytes) {
   }
   if (start > world_.now()) {
     world_.at(start, [this, frame = std::move(frame)]() mutable {
-      NMAD_ASSERT_MSG(rx_handler_ != nullptr, "frame with no rx handler");
+      NMAD_ASSERT_MSG(static_cast<bool>(rx_handler_),
+                      "frame with no rx handler");
       rx_handler_(std::move(frame));
     });
     return;
   }
-  NMAD_ASSERT_MSG(rx_handler_ != nullptr, "frame with no rx handler");
+  NMAD_ASSERT_MSG(static_cast<bool>(rx_handler_), "frame with no rx handler");
   rx_handler_(std::move(frame));
 }
 
@@ -240,7 +241,7 @@ void SimNic::deliver_bulk(NodeId src, uint64_t cookie, size_t offset,
     // Late duplicate after its sink completed and was cancelled: only
     // legal when someone registered an orphan handler (reliability layer);
     // otherwise it is a protocol bug, as before.
-    NMAD_ASSERT_MSG(bulk_orphan_ != nullptr,
+    NMAD_ASSERT_MSG(static_cast<bool>(bulk_orphan_),
                     "bulk frame arrived with no posted sink (protocol bug)");
     ++counters_.bulk_orphaned;
     bulk_orphan_(src, cookie, offset, data.size());

@@ -25,6 +25,7 @@
 #include "simnet/time.hpp"
 #include "simnet/trace.hpp"
 #include "util/buffer.hpp"
+#include "util/inline_fn.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
 
@@ -156,12 +157,16 @@ class BulkSink {
 
 class SimNic {
  public:
-  using RxHandler = std::function<void(RxFrame&&)>;
-  using TxDoneFn = std::function<void()>;
+  // Allocation-free, move-only handlers: the driver above forwards
+  // move-only InlineFunction callbacks through these, which std::function
+  // cannot hold. Capacity 48 fits the driver's adapter closures inline
+  // (and a TxDoneFn still fits inside a 64-byte EventFn when deferred).
+  using RxHandler = util::InlineFunction<48, void(RxFrame&&)>;
+  using TxDoneFn = util::InlineFunction<48>;
   // (src, cookie, offset, len): bulk frame that arrived after its sink was
   // cancelled — a late retransmission on a lossy fabric.
   using BulkOrphanFn =
-      std::function<void(NodeId, uint64_t, size_t, size_t)>;
+      util::InlineFunction<48, void(NodeId, uint64_t, size_t, size_t)>;
 
   SimNic(SimWorld& world, NicProfile profile, NodeId node, RailIndex rail)
       : world_(world),
@@ -280,7 +285,7 @@ class SimNic {
   // without this hook a rail carrying nothing but a long one-directional
   // bulk stream looks silent to the health monitor and gets falsely
   // declared dead mid-transfer.
-  using BulkRxFn = std::function<void(NodeId)>;
+  using BulkRxFn = util::InlineFunction<48, void(NodeId)>;
   void set_bulk_rx_handler(BulkRxFn fn) { bulk_rx_ = std::move(fn); }
 
   // Spacing of the in-flight activity pings a long bulk stream delivers

@@ -8,8 +8,14 @@
 // bytes) and falls back to the heap only for oversized captures — counted
 // globally so the allocation-regression tests can assert the hot path
 // never falls back.
+//
+// The signature is a template parameter (`InlineFunction<C, R(Args...)>`)
+// so the driver seam's typed handoffs (rx packets, bulk deposits) share
+// the same allocation-free machinery; `InlineFunction<C>` stays the
+// historical void() shorthand used by the event queue.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <new>
@@ -19,14 +25,19 @@
 namespace nmad::util {
 
 // Number of InlineFunction constructions that spilled to the heap since
-// process start (single-threaded simulation: a plain counter).
-inline uint64_t g_inline_fn_heap_allocs = 0;
+// process start. Relaxed atomic: wall-clock runs construct callables from
+// several pump threads, and the regression tests only compare snapshots
+// taken at quiescent points.
+inline std::atomic<uint64_t> g_inline_fn_heap_allocs{0};
 [[nodiscard]] inline uint64_t inline_fn_heap_allocs() {
-  return g_inline_fn_heap_allocs;
+  return g_inline_fn_heap_allocs.load(std::memory_order_relaxed);
 }
 
-template <size_t Capacity>
-class InlineFunction {
+template <size_t Capacity, typename Sig = void()>
+class InlineFunction;
+
+template <size_t Capacity, typename R, typename... Args>
+class InlineFunction<Capacity, R(Args...)> {
  public:
   InlineFunction() noexcept = default;
   InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
@@ -34,7 +45,7 @@ class InlineFunction {
   template <typename F,
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, InlineFunction> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
   InlineFunction(F&& f) {  // NOLINT(runtime/explicit)
     using Fn = std::decay_t<F>;
     if constexpr (sizeof(Fn) <= Capacity &&
@@ -42,7 +53,7 @@ class InlineFunction {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
       ops_ = &kInlineOps<Fn>;
     } else {
-      ++g_inline_fn_heap_allocs;
+      g_inline_fn_heap_allocs.fetch_add(1, std::memory_order_relaxed);
       *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
       ops_ = &kHeapOps<Fn>;
     }
@@ -79,7 +90,9 @@ class InlineFunction {
     }
   }
 
-  void operator()() { ops_->invoke(storage_); }
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
 
   [[nodiscard]] explicit operator bool() const noexcept {
     return ops_ != nullptr;
@@ -87,7 +100,7 @@ class InlineFunction {
 
  private:
   struct Ops {
-    void (*invoke)(void*);
+    R (*invoke)(void*, Args...);
     // Move-constructs dst from src and ends src's ownership; after
     // relocate only dst needs destroy().
     void (*relocate)(void* dst, void* src);
@@ -96,7 +109,10 @@ class InlineFunction {
 
   template <typename Fn>
   static constexpr Ops kInlineOps = {
-      [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      [](void* s, Args... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(s)))(
+            std::forward<Args>(args)...);
+      },
       [](void* dst, void* src) {
         Fn* from = std::launder(reinterpret_cast<Fn*>(src));
         ::new (dst) Fn(std::move(*from));
@@ -107,7 +123,9 @@ class InlineFunction {
 
   template <typename Fn>
   static constexpr Ops kHeapOps = {
-      [](void* s) { (**reinterpret_cast<Fn**>(s))(); },
+      [](void* s, Args... args) -> R {
+        return (**reinterpret_cast<Fn**>(s))(std::forward<Args>(args)...);
+      },
       [](void* dst, void* src) {
         *reinterpret_cast<Fn**>(dst) = *reinterpret_cast<Fn**>(src);
       },

@@ -1,0 +1,181 @@
+// Bounded lock-free rings for the in-process shared-memory driver.
+//
+// Two shapes, both power-of-two capacity with monotonically increasing
+// cursors (indices are masked on access, so the 64-bit counters never
+// wrap in practice) and cache-line padding between producer- and
+// consumer-owned fields so the two sides never false-share:
+//
+//  - SpscRing<T>: single producer, single consumer. The producer owns
+//    `head_`, the consumer owns `tail_`; each publishes its cursor with
+//    release order and reads the other side with acquire order — the
+//    classic Lamport ring. Besides value push/pop it exposes an in-place
+//    claim/publish + front/pop API so large slots (wire frames) are
+//    written directly in the ring with no intermediate copy.
+//
+//  - MpscRing<T>: many producers, one consumer (Vyukov bounded queue with
+//    per-slot sequence numbers). Producers race on a fetch-add cursor;
+//    each slot's sequence tells the consumer when the payload write is
+//    actually complete, so a slow producer never exposes a torn slot.
+//
+// Neither ring allocates after construction.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+
+#include "util/assert.hpp"
+
+namespace nmad::util {
+
+// Pinned rather than std::hardware_destructive_interference_size: the
+// library value is ABI-fragile across -mtune settings (GCC warns on any
+// use) and every target this builds for pads to 64.
+inline constexpr size_t kCacheLineBytes = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  // `capacity` must be a power of two (masked indexing).
+  explicit SpscRing(size_t capacity)
+      : mask_(capacity - 1), slots_(new T[capacity]) {
+    NMAD_ASSERT_MSG(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                    "ring capacity must be a power of two");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] size_t capacity() const { return mask_ + 1; }
+
+  // Producer side -----------------------------------------------------
+
+  // Slot for the next element, or nullptr when full. Write the payload
+  // in place, then publish().
+  [[nodiscard]] T* claim() {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_.load(std::memory_order_acquire) > mask_) return nullptr;
+    return &slots_[head & mask_];
+  }
+
+  void publish() {
+    head_.store(head_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  bool try_push(T&& value) {
+    T* slot = claim();
+    if (slot == nullptr) return false;
+    *slot = std::move(value);
+    publish();
+    return true;
+  }
+
+  // Consumer side -----------------------------------------------------
+
+  // Oldest unconsumed element, or nullptr when empty. The slot stays
+  // owned by the ring until pop_front().
+  [[nodiscard]] T* front() {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return nullptr;
+    return &slots_[tail & mask_];
+  }
+
+  void pop_front() {
+    tail_.store(tail_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  bool try_pop(T& out) {
+    T* slot = front();
+    if (slot == nullptr) return false;
+    out = std::move(*slot);
+    pop_front();
+    return true;
+  }
+
+  // Racy size estimate, for stats/backpressure heuristics only.
+  [[nodiscard]] size_t size_approx() const {
+    return static_cast<size_t>(head_.load(std::memory_order_acquire) -
+                               tail_.load(std::memory_order_acquire));
+  }
+
+ private:
+  alignas(kCacheLineBytes) std::atomic<uint64_t> head_{0};  // producer
+  alignas(kCacheLineBytes) std::atomic<uint64_t> tail_{0};  // consumer
+  alignas(kCacheLineBytes) const size_t mask_;
+  std::unique_ptr<T[]> slots_;
+};
+
+template <typename T>
+class MpscRing {
+ public:
+  explicit MpscRing(size_t capacity)
+      : mask_(capacity - 1), slots_(new Slot[capacity]) {
+    NMAD_ASSERT_MSG(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                    "ring capacity must be a power of two");
+    for (size_t i = 0; i <= mask_; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  [[nodiscard]] size_t capacity() const { return mask_ + 1; }
+
+  // Any thread. False when the ring is full.
+  bool try_push(T&& value) {
+    uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      const int64_t diff = static_cast<int64_t>(seq) -
+                           static_cast<int64_t>(pos);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          slot.value = std::move(value);
+          // Publishing seq = pos + 1 hands the slot to the consumer.
+          slot.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failed: `pos` was reloaded, retry with the new position.
+      } else if (diff < 0) {
+        return false;  // full: the consumer has not freed this slot yet
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Consumer thread only. False when empty (or the next producer is
+  // mid-write; the element surfaces once its slot sequence publishes).
+  bool try_pop(T& out) {
+    Slot& slot = slots_[tail_ & mask_];
+    const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (static_cast<int64_t>(seq) - static_cast<int64_t>(tail_ + 1) < 0) {
+      return false;
+    }
+    out = std::move(slot.value);
+    // Freeing the slot for the producer one lap ahead.
+    slot.seq.store(tail_ + mask_ + 1, std::memory_order_release);
+    ++tail_;
+    return true;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    T value{};
+  };
+
+  alignas(kCacheLineBytes) std::atomic<uint64_t> head_{0};  // producers
+  alignas(kCacheLineBytes) uint64_t tail_ = 0;              // consumer
+  alignas(kCacheLineBytes) const size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace nmad::util

@@ -21,4 +21,13 @@ std::string format_fixed(double value, int digits = 2);
 // Doubling sweep [lo, hi] inclusive, e.g. 4 → 8 → ... → 2M.
 std::vector<uint64_t> doubling_sizes(uint64_t lo, uint64_t hi);
 
+// Transfer time in µs of `bytes` at `mega_bytes_per_second` (decimal
+// megabytes, as NIC datasheets quote: 1 MB/s == 1 byte/µs). Runtime-
+// agnostic twin of the simulator's wire_time — strategy code estimates
+// wire occupancy from driver caps without depending on simnet.
+inline constexpr double wire_time_us(double bytes,
+                                     double mega_bytes_per_second) {
+  return bytes / mega_bytes_per_second;
+}
+
 }  // namespace nmad::util

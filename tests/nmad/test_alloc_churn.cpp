@@ -26,7 +26,7 @@ using api::ClusterOptions;
 struct AllocSnapshot {
   size_t pool_capacity = 0;
   size_t pool_grows = 0;
-  simnet::EventQueue::Stats queue;
+  runtime::TimerStats queue;
   uint64_t fn_spills = 0;
 };
 

@@ -6,6 +6,7 @@
 
 #include "nmad/core/core.hpp"
 #include "nmad/drivers/sim_driver.hpp"
+#include "nmad/runtime/sim_runtime.hpp"
 #include "simnet/profiles.hpp"
 #include "util/buffer.hpp"
 
@@ -15,6 +16,8 @@ namespace {
 struct AsymWorld {
   simnet::SimWorld world;
   simnet::Fabric fabric{world};
+  std::unique_ptr<runtime::SimRuntime> rt_a;
+  std::unique_ptr<runtime::SimRuntime> rt_b;
   std::unique_ptr<Core> a;
   std::unique_ptr<Core> b;
   GateId a_to_b = 0;
@@ -29,8 +32,10 @@ struct AsymWorld {
 
     CoreConfig config;
     config.strategy = "split_balance";
-    a = std::make_unique<Core>(world, fabric.node(0), config);
-    b = std::make_unique<Core>(world, fabric.node(1), config);
+    rt_a = std::make_unique<runtime::SimRuntime>(world, fabric.node(0));
+    rt_b = std::make_unique<runtime::SimRuntime>(world, fabric.node(1));
+    a = std::make_unique<Core>(*rt_a, config);
+    b = std::make_unique<Core>(*rt_b, config);
     for (int r = 0; r < 2; ++r) {
       NMAD_ASSERT(
           a->add_rail(std::make_unique<drivers::SimDriver>(

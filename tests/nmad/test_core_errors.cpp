@@ -3,6 +3,7 @@
 
 #include "nmad/api/session.hpp"
 #include "nmad/drivers/sim_driver.hpp"
+#include "nmad/runtime/sim_runtime.hpp"
 #include "simnet/profiles.hpp"
 
 namespace nmad::core {
@@ -15,7 +16,8 @@ TEST(CoreErrors, ConnectTwiceToSamePeerRejected) {
   fabric.add_node(simnet::opteron_2006_profile());
   fabric.add_rail(simnet::mx_myri10g_profile());
 
-  Core core(world, fabric.node(0), CoreConfig{});
+  runtime::SimRuntime rt(world, fabric.node(0));
+  Core core(rt, CoreConfig{});
   ASSERT_TRUE(core.add_rail(std::make_unique<drivers::SimDriver>(
                                 world, fabric.node(0),
                                 fabric.node(0).nic(0)))
@@ -34,7 +36,8 @@ TEST(CoreErrors, ConnectWithBadRailRejected) {
   fabric.add_node(simnet::opteron_2006_profile());
   fabric.add_rail(simnet::mx_myri10g_profile());
 
-  Core core(world, fabric.node(0), CoreConfig{});
+  runtime::SimRuntime rt(world, fabric.node(0));
+  Core core(rt, CoreConfig{});
   ASSERT_TRUE(core.add_rail(std::make_unique<drivers::SimDriver>(
                                 world, fabric.node(0),
                                 fabric.node(0).nic(0)))
@@ -56,7 +59,8 @@ TEST(CoreErrors, AddRailAfterConnectRejected) {
   fabric.add_rail(simnet::mx_myri10g_profile());
   fabric.add_rail(simnet::elan_quadrics_profile());
 
-  Core core(world, fabric.node(0), CoreConfig{});
+  runtime::SimRuntime rt(world, fabric.node(0));
+  Core core(rt, CoreConfig{});
   ASSERT_TRUE(core.add_rail(std::make_unique<drivers::SimDriver>(
                                 world, fabric.node(0),
                                 fabric.node(0).nic(0)))
@@ -74,7 +78,8 @@ TEST(CoreErrors, UnknownStrategyAborts) {
   fabric.add_node(simnet::opteron_2006_profile());
   CoreConfig config;
   config.strategy = "definitely-not-a-strategy";
-  EXPECT_DEATH(Core(world, fabric.node(0), config), "unknown strategy");
+  runtime::SimRuntime rt(world, fabric.node(0));
+  EXPECT_DEATH(Core(rt, config), "unknown strategy");
 }
 
 TEST(CoreErrors, ThresholdOverrideRespected) {

@@ -11,6 +11,8 @@
 #include "nmad/api/session.hpp"
 #include "nmad/core/core.hpp"
 #include "nmad/core/events.hpp"
+#include "nmad/runtime/sim_runtime.hpp"
+#include "simnet/fabric.hpp"
 #include "simnet/profiles.hpp"
 #include "util/buffer.hpp"
 
@@ -26,8 +28,11 @@ using api::ClusterOptions;
 
 TEST(EventBus, DeliversSynchronouslyInSubscriptionOrder) {
   simnet::SimWorld world;
+  simnet::Fabric fabric(world);
+  fabric.add_node(simnet::opteron_2006_profile());
+  runtime::SimRuntime rt(world, fabric.node(0));
   CoreStats stats;
-  EventBus bus(world, &stats);
+  EventBus bus(rt, &stats);
 
   std::vector<int> order;
   bus.subscribe(EventKind::kElected, [&](const Event&) { order.push_back(1); });
@@ -48,8 +53,11 @@ TEST(EventBus, DeliversSynchronouslyInSubscriptionOrder) {
 
 TEST(EventBus, StampsVirtualTimeAndKeepsOperands) {
   simnet::SimWorld world;
+  simnet::Fabric fabric(world);
+  fabric.add_node(simnet::opteron_2006_profile());
+  runtime::SimRuntime rt(world, fabric.node(0));
   CoreStats stats;
-  EventBus bus(world, &stats);
+  EventBus bus(rt, &stats);
   world.at(12.5, [&] {
     bus.publish({.kind = EventKind::kWireTx, .gate = 3, .rail = 1,
                  .seq = 9, .a = 1024, .b = 2});
@@ -68,8 +76,11 @@ TEST(EventBus, StampsVirtualTimeAndKeepsOperands) {
 
 TEST(EventBus, TraceRingKeepsNewestOldestFirst) {
   simnet::SimWorld world;
+  simnet::Fabric fabric(world);
+  fabric.add_node(simnet::opteron_2006_profile());
+  runtime::SimRuntime rt(world, fabric.node(0));
   CoreStats stats;
-  EventBus bus(world, &stats, /*trace_capacity=*/4);
+  EventBus bus(rt, &stats, /*trace_capacity=*/4);
   for (uint64_t i = 0; i < 10; ++i) {
     bus.publish({.kind = EventKind::kPacketBuilt, .a = i});
   }

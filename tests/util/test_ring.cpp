@@ -1,0 +1,277 @@
+// Property suite for the lock-free rings under the shm driver.
+//
+// Single-threaded seeded differential runs pin the FIFO/boundary
+// semantics against a std::deque model (tiny capacities force constant
+// wraparound, and the 64-bit cursors get pushed near overflow to prove
+// masked indexing really never wraps); real-thread stress runs then pin
+// the concurrency contract — SPSC under producer/consumer backpressure,
+// MPSC with racing producers — by checking no element is lost,
+// duplicated or reordered within its producer. The threaded tests are
+// also the TSan targets for the rings.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "util/ring.hpp"
+#include "util/rng.hpp"
+
+namespace nmad::util {
+namespace {
+
+// ---------------------------------------------------------------------
+// SPSC: seeded differential against a deque model.
+// ---------------------------------------------------------------------
+
+void spsc_diff(uint64_t seed, size_t capacity, size_t nops) {
+  SpscRing<uint64_t> ring(capacity);
+  std::deque<uint64_t> model;
+  Rng rng(seed);
+  uint64_t next = 0;
+
+  for (size_t op = 0; op < nops; ++op) {
+    if (rng.next_bool(0.5)) {
+      // Alternate the two producer APIs: value push and claim/publish.
+      if (rng.next_bool(0.5)) {
+        const bool pushed = ring.try_push(uint64_t{next});
+        ASSERT_EQ(pushed, model.size() < capacity) << "seed " << seed;
+        if (pushed) model.push_back(next++);
+      } else {
+        uint64_t* slot = ring.claim();
+        ASSERT_EQ(slot != nullptr, model.size() < capacity) << "seed " << seed;
+        if (slot != nullptr) {
+          *slot = next;
+          ring.publish();
+          model.push_back(next++);
+        }
+      }
+    } else {
+      if (rng.next_bool(0.5)) {
+        uint64_t got = 0;
+        const bool popped = ring.try_pop(got);
+        ASSERT_EQ(popped, !model.empty()) << "seed " << seed;
+        if (popped) {
+          ASSERT_EQ(got, model.front()) << "seed " << seed;
+          model.pop_front();
+        }
+      } else {
+        uint64_t* head = ring.front();
+        ASSERT_EQ(head != nullptr, !model.empty()) << "seed " << seed;
+        if (head != nullptr) {
+          ASSERT_EQ(*head, model.front()) << "seed " << seed;
+          ring.pop_front();
+          model.pop_front();
+        }
+      }
+    }
+    ASSERT_EQ(ring.size_approx(), model.size()) << "seed " << seed;
+  }
+}
+
+TEST(SpscRing, DifferentialAgainstDeque) {
+  for (uint64_t s = 0; s < 20; ++s) {
+    const uint64_t seed = 0x9E3779B97F4A7C15ull * (s + 1);
+    // Capacity 2 wraps every other op; 64 mixes long runs with wraps.
+    spsc_diff(seed, 2, 4000);
+    spsc_diff(seed, 8, 4000);
+    spsc_diff(seed, 64, 4000);
+  }
+}
+
+TEST(SpscRing, BoundaryFullAndEmpty) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.front(), nullptr);  // empty
+  int out = 0;
+  EXPECT_FALSE(ring.try_pop(out));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(int{i}));
+  EXPECT_EQ(ring.claim(), nullptr);  // full
+  EXPECT_FALSE(ring.try_push(99));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(SpscRing, SingleElementPingAcrossManyLaps) {
+  // Thousands of laps over a capacity-2 ring: the masked cursors must
+  // keep FIFO exact no matter how far head/tail run ahead of the mask.
+  SpscRing<uint64_t> ring(2);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(ring.try_push(uint64_t{i}));
+    uint64_t got = 0;
+    ASSERT_TRUE(ring.try_pop(got));
+    ASSERT_EQ(got, i);
+  }
+}
+
+TEST(SpscRing, ThreadedBackpressureStress) {
+  // Tiny ring so the producer constantly hits full and the consumer
+  // constantly hits empty: the acquire/release cursor handshake is the
+  // only thing keeping the sequence intact.
+  constexpr uint64_t kCount = 200000;
+  SpscRing<uint64_t> ring(8);
+  std::thread producer([&ring] {
+    for (uint64_t i = 0; i < kCount;) {
+      if (ring.try_push(uint64_t{i})) {
+        ++i;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  uint64_t expect = 0;
+  while (expect < kCount) {
+    uint64_t got = 0;
+    if (ring.try_pop(got)) {
+      ASSERT_EQ(got, expect);
+      ++expect;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_EQ(ring.front(), nullptr);
+}
+
+TEST(SpscRing, ThreadedClaimPublishInPlaceFrames) {
+  // The driver's actual shape: large slots written in place via
+  // claim()/publish(), consumed via front()/pop_front().
+  struct Frame {
+    uint64_t seq = 0;
+    std::array<uint64_t, 32> body{};
+  };
+  constexpr uint64_t kCount = 20000;
+  SpscRing<Frame> ring(4);
+  std::thread producer([&ring] {
+    for (uint64_t i = 0; i < kCount;) {
+      Frame* slot = ring.claim();
+      if (slot == nullptr) {
+        std::this_thread::yield();
+        continue;
+      }
+      slot->seq = i;
+      for (size_t k = 0; k < slot->body.size(); ++k) {
+        slot->body[k] = i * 31 + k;
+      }
+      ring.publish();
+      ++i;
+    }
+  });
+  for (uint64_t i = 0; i < kCount;) {
+    Frame* head = ring.front();
+    if (head == nullptr) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(head->seq, i);
+    for (size_t k = 0; k < head->body.size(); ++k) {
+      ASSERT_EQ(head->body[k], i * 31 + k);  // no torn slot
+    }
+    ring.pop_front();
+    ++i;
+  }
+  producer.join();
+}
+
+// ---------------------------------------------------------------------
+// MPSC (Vyukov): single-threaded boundaries, then racing producers.
+// ---------------------------------------------------------------------
+
+TEST(MpscRing, BoundaryFullEmptyAndFifo) {
+  MpscRing<int> ring(4);
+  int out = 0;
+  EXPECT_FALSE(ring.try_pop(out));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(int{i}));
+  EXPECT_FALSE(ring.try_push(99));  // full
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);  // one producer ⇒ global FIFO
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+  // Refill after a full lap: slot sequences must have recycled cleanly.
+  for (int i = 10; i < 14; ++i) EXPECT_TRUE(ring.try_push(int{i}));
+  for (int i = 10; i < 14; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(MpscRing, SingleProducerDifferentialAgainstDeque) {
+  MpscRing<uint64_t> ring(8);
+  std::deque<uint64_t> model;
+  Rng rng(1234);
+  uint64_t next = 0;
+  for (size_t op = 0; op < 20000; ++op) {
+    if (rng.next_bool(0.5)) {
+      const bool pushed = ring.try_push(uint64_t{next});
+      ASSERT_EQ(pushed, model.size() < 8u);
+      if (pushed) model.push_back(next++);
+    } else {
+      uint64_t got = 0;
+      const bool popped = ring.try_pop(got);
+      ASSERT_EQ(popped, !model.empty());
+      if (popped) {
+        ASSERT_EQ(got, model.front());
+        model.pop_front();
+      }
+    }
+  }
+}
+
+TEST(MpscRing, ManyProducersLoseNothing) {
+  // Each producer pushes an independent (id, seq) stream; the consumer
+  // must see every element exactly once and each stream in order —
+  // Vyukov's per-slot sequences are what prevents a slow producer from
+  // exposing a torn or duplicated slot.
+  constexpr size_t kProducers = 4;
+  constexpr uint64_t kPerProducer = 50000;
+  struct Tagged {
+    uint64_t producer = 0;
+    uint64_t seq = 0;
+  };
+  MpscRing<Tagged> ring(16);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (uint64_t i = 0; i < kPerProducer;) {
+        if (ring.try_push(Tagged{p, i})) {
+          ++i;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  std::array<uint64_t, kProducers> next_seq{};
+  uint64_t received = 0;
+  while (received < kProducers * kPerProducer) {
+    Tagged got;
+    if (!ring.try_pop(got)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_LT(got.producer, kProducers);
+    ASSERT_EQ(got.seq, next_seq[got.producer])
+        << "producer " << got.producer << " stream lost or reordered";
+    ++next_seq[got.producer];
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+  Tagged leftover;
+  EXPECT_FALSE(ring.try_pop(leftover));
+  for (size_t p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_seq[p], kPerProducer);
+  }
+}
+
+}  // namespace
+}  // namespace nmad::util
